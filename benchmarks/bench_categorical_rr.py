@@ -1,0 +1,28 @@
+"""Extension bench — categorical truth discovery under randomized response.
+
+The categorical analogue of Figure 2: sweep the randomized-response
+epsilon and measure label error of majority voting vs weighted voting vs
+accuracy-EM on perturbed labels.  Expected shape: error falls as epsilon
+grows; weighted methods dominate majority voting throughout.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_categorical_randomized_response(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "ext-categorical-rr", profile, base_seed=base_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    panel = result.panels[0]
+    for series in panel.series:
+        assert series.y[-1] <= series.y[0] + 1e-9, (
+            f"{series.label} error did not fall with epsilon"
+        )
+    weighted = sum(panel.series_by_label("weighted-voting").y)
+    majority = sum(panel.series_by_label("majority").y)
+    assert weighted <= majority + 1e-9

@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the core building blocks.
+
+Classic pytest-benchmark timing (repeated rounds) of the operations the
+figures are built from: one CRH/GTM/CATD fit, one perturbation pass, and
+one end-to-end pipeline run at the paper's synthetic scale (150 x 30).
+"""
+
+import pytest
+
+from repro.core.mechanism import PrivateTruthDiscovery
+from repro.datasets.synthetic import generate_synthetic
+from repro.privacy.mechanisms import ExponentialVarianceGaussianMechanism
+from repro.truthdiscovery.registry import create_method
+
+
+@pytest.fixture(scope="module")
+def paper_scale_claims():
+    return generate_synthetic(
+        num_users=150, num_objects=30, lambda1=4.0, random_state=0
+    ).claims
+
+
+@pytest.mark.parametrize("method_name", ["crh", "gtm", "catd", "mean", "median"])
+def test_method_fit(benchmark, paper_scale_claims, method_name):
+    benchmark(lambda: create_method(method_name).fit(paper_scale_claims))
+
+
+def test_perturbation_pass(benchmark, paper_scale_claims):
+    mechanism = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+    seeds = iter(range(10**9))
+    benchmark(
+        lambda: mechanism.perturb(paper_scale_claims, random_state=next(seeds))
+    )
+
+
+def test_full_pipeline(benchmark, paper_scale_claims):
+    pipeline = PrivateTruthDiscovery(method="crh", lambda2=1.0)
+    seeds = iter(range(10**9))
+    benchmark(
+        lambda: pipeline.run(paper_scale_claims, random_state=next(seeds))
+    )
+
+
+def test_large_matrix_fit(benchmark):
+    claims = generate_synthetic(
+        num_users=500, num_objects=500, lambda1=4.0, random_state=1
+    ).claims
+    benchmark.pedantic(
+        lambda: create_method("crh").fit(claims), rounds=3, iterations=1
+    )

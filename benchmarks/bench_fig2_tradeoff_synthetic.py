@@ -1,0 +1,21 @@
+"""Figure 2 — utility-privacy trade-off on synthetic data (CRH).
+
+Regenerates both panels (MAE vs epsilon, average added noise vs epsilon,
+one curve per delta in {0.2, 0.3, 0.4, 0.5}) and asserts the paper's
+qualitative claims: noise falls with epsilon and MAE stays well below
+the added noise at the strongest-privacy point.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures.common import check_tradeoff_shape
+
+
+def test_fig2_tradeoff_synthetic_crh(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    problems = check_tradeoff_shape(result)
+    assert problems == [], problems

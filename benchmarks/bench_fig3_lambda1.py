@@ -1,0 +1,23 @@
+"""Figure 3 — effect of lambda1 (original-data error distribution).
+
+Expected shape: both the average added noise and the MAE decrease as
+lambda1 grows (higher-quality data needs less noise for the same privacy
+and loses less utility).
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_effect_of_lambda1(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    noise = result.panel("(b) Average of Added Noise").series[0].y
+    mae = result.panel("(a) MAE").series[0].y
+    assert all(a > b for a, b in zip(noise, noise[1:])), (
+        "added noise must decrease with lambda1"
+    )
+    assert mae[-1] < mae[0], "MAE must fall as data quality improves"

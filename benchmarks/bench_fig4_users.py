@@ -1,0 +1,24 @@
+"""Figure 4 — effect of S (number of users).
+
+Expected shape: average added noise is flat in S (users perturb
+independently) while MAE falls with S (better weight estimation with
+more evidence).
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_effect_of_users(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    noise = result.panel("(b) Average of Added Noise").series[0].y
+    mae = result.panel("(a) MAE").series[0].y
+    spread = (max(noise) - min(noise)) / float(np.mean(noise))
+    assert spread < 0.35, f"noise should be flat in S (spread {spread:.2f})"
+    assert mae[-1] < mae[0], "MAE must fall as users are added"

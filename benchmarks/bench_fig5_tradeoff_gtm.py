@@ -1,0 +1,20 @@
+"""Figure 5 — utility-privacy trade-off with GTM (method generality).
+
+Same sweep as Figure 2 but aggregating with the Gaussian Truth Model;
+the paper's point is that the mechanism's pattern carries over to any
+continuous-data truth discovery method.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures.common import check_tradeoff_shape
+
+
+def test_fig5_tradeoff_synthetic_gtm(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    problems = check_tradeoff_shape(result)
+    assert problems == [], problems

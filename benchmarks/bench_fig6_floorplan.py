@@ -1,0 +1,19 @@
+"""Figure 6 — utility-privacy trade-off on the indoor floorplan dataset.
+
+Runs the Figure 2 sweep on the floorplan simulator (the stand-in for the
+paper's 247-user real deployment; see DESIGN.md substitutions).
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures.common import check_tradeoff_shape
+
+
+def test_fig6_tradeoff_floorplan(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    problems = check_tradeoff_shape(result)
+    assert problems == [], problems

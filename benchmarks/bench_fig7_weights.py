@@ -1,0 +1,25 @@
+"""Figure 7 — weight comparison (true vs estimated, original vs perturbed).
+
+Asserts the two observations the paper draws from this figure:
+estimated weights track true weights (population-level correlation), and
+the user who sampled the largest noise variance is down-weighted on the
+perturbed data relative to the original data.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_weight_comparison(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert float(result.metadata["pearson_original"]) > 0.5
+    assert float(result.metadata["pearson_perturbed"]) > 0.5
+    w_orig = float(result.metadata["noisiest_user_weight_original"])
+    w_pert = float(result.metadata["noisiest_user_weight_perturbed"])
+    assert w_pert < w_orig, (
+        "the noisiest user must lose weight after perturbation"
+    )

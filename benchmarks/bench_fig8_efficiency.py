@@ -1,0 +1,25 @@
+"""Figure 8 — efficiency study (running time vs noise level).
+
+Expected shape: truth discovery time on perturbed data sits slightly
+above the original-data baseline and stays roughly flat as the noise
+level varies — perturbation does not change the cost profile of the
+iterative procedure.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_efficiency(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    panel = result.panels[0]
+    perturbed = panel.series_by_label("perturbed").y
+    # Flat-ness: no runaway growth across the noise grid (allow generous
+    # slack for scheduler jitter at millisecond scales).
+    assert max(perturbed) < 20 * max(min(perturbed), 1e-6), (
+        "running time should not blow up with noise level"
+    )

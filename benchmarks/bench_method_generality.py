@@ -1,0 +1,20 @@
+"""Method generality — Figure 2's sweep under CATD.
+
+The paper demonstrates the mechanism with CRH (Fig. 2) and GTM (Fig. 5)
+and claims it works with *any* continuous-data truth discovery method;
+this bench extends the evidence with CATD.
+"""
+
+from repro.experiments import run_experiment
+from repro.experiments.figures.common import check_tradeoff_shape
+
+
+def test_fig2_under_catd(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2-catd", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    problems = check_tradeoff_shape(result)
+    assert problems == [], problems

@@ -1,0 +1,37 @@
+"""Privacy audit — empirical attackers vs the mechanism's theory.
+
+Runs the distinguishing game of :mod:`repro.privacy.attacks` across
+noise levels and checks that the optimal (marginal likelihood-ratio)
+attacker's accuracy matches the closed-form Laplace-marginal prediction
+— i.e. that the mechanism leaks exactly what its pure-epsilon marginal
+analysis says, and no more.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.extensions import AUDIT_GAP, AUDIT_LAMBDAS
+from repro.privacy.ldp import marginal_laplace_epsilon
+
+
+def test_privacy_audit(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext-privacy-audit", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    panel = result.panels[0]
+    measured = panel.series_by_label("marginal-lr").y
+    predicted = panel.series_by_label("theory").y
+    for lam, acc, theory in zip(AUDIT_LAMBDAS, measured, predicted):
+        assert acc == pytest.approx(theory, abs=0.03), (
+            f"lambda2={lam}: attacker accuracy {acc:.3f} vs theory "
+            f"{theory:.3f}"
+        )
+        # Hard cap from the pure-epsilon Laplace marginal view.
+        eps = marginal_laplace_epsilon(lam, AUDIT_GAP)
+        cap = 0.5 + (1.0 - math.exp(-eps / 2.0)) / 2.0
+        assert acc <= cap + 0.03

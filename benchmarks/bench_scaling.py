@@ -1,0 +1,26 @@
+"""Scalability — running time vs number of objects.
+
+Section 5.3 (citing the CRH paper) asserts truth discovery running time
+grows linearly in the number of objects at fixed iteration count.  This
+bench regenerates the scaling curve and checks for near-linear growth.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_scaling_in_objects(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-scaling", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    series = result.panels[0].series[0]
+    xs, ys = series.x, series.y
+    # Near-linear: time ratio should not wildly exceed the size ratio.
+    size_ratio = xs[-1] / xs[0]
+    time_ratio = ys[-1] / max(ys[0], 1e-9)
+    assert time_ratio < 5 * size_ratio, (
+        f"scaling looks super-linear: {time_ratio:.1f}x time for "
+        f"{size_ratio:.1f}x objects"
+    )

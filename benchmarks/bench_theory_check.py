@@ -1,0 +1,26 @@
+"""Extension bench — Monte Carlo validation of Theorem 4.3.
+
+For a grid of noise levels, compares the empirical probability that the
+aggregate moves by at least alpha against the theorem's explicit
+Chebyshev bound.  The theorem holds iff every empirical point sits at or
+below the bound.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_theorem43_bound_holds(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext-theory-check", profile, base_seed=base_seed),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    panel = result.panels[0]
+    empirical = panel.series_by_label("empirical").y
+    bound = panel.series_by_label("theorem bound").y
+    for c, emp, thm in zip(panel.series[0].x, empirical, bound):
+        assert emp <= thm + 1e-9, (
+            f"c={c}: empirical failure probability {emp:.3f} exceeds the "
+            f"Theorem 4.3 bound {thm:.3f}"
+        )

@@ -1,0 +1,37 @@
+"""Extension bench — Theorem 4.9's feasible window over data quality.
+
+Regenerates the c_min/c_max bound curves and checks the structural
+facts: the privacy bound decreases in lambda1, the utility bound
+increases, and the independently solved Eq. 19 knife edge sits exactly
+where the curves cross.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_tradeoff_window(benchmark, profile, base_seed, record_figure):
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            "ext-tradeoff-window", profile, base_seed=base_seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    panel = result.panels[0]
+    c_min = panel.series_by_label("c_min (privacy, Thm 4.8)").y
+    c_max = panel.series_by_label("c_max (utility, Thm 4.3)").y
+    xs = panel.series[0].x
+    assert all(a > b for a, b in zip(c_min, c_min[1:])), (
+        "privacy bound must decrease with data quality"
+    )
+    assert all(a < b for a, b in zip(c_max, c_max[1:])), (
+        "utility bound must increase with data quality"
+    )
+    knife = float(result.metadata["knife_edge_lambda1"])
+    # On either side of the knife edge the window flips open/closed.
+    for x, lo, hi in zip(xs, c_min, c_max):
+        if x < knife * 0.95:
+            assert lo > hi, f"window should be closed at lambda1={x}"
+        if x > knife * 1.05:
+            assert lo < hi, f"window should be open at lambda1={x}"

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figN`` module regenerates one figure of the paper.  The
+``record_figure`` fixture persists every regenerated figure under
+``results/`` (ASCII render + markdown tables) so benchmark runs leave an
+auditable artifact, and prints the render for ``-s`` runs.
+
+Profile selection: set ``REPRO_PROFILE=full`` for paper-quality sweeps
+(minutes); the default ``quick`` profile keeps the full sweep structure
+at CI-friendly cost (seconds per figure).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import figure_markdown
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    """Experiment profile name, overridable via REPRO_PROFILE."""
+    return os.environ.get("REPRO_PROFILE", "quick")
+
+
+@pytest.fixture(scope="session")
+def base_seed() -> int:
+    """Base seed, overridable via REPRO_SEED."""
+    return int(os.environ.get("REPRO_SEED", "2020"))
+
+
+@pytest.fixture
+def record_figure():
+    """Persist and print a regenerated figure."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.figure_id}.txt").write_text(
+            result.render() + "\n"
+        )
+        (RESULTS_DIR / f"{result.figure_id}.md").write_text(
+            figure_markdown(result) + "\n"
+        )
+        print()
+        print(result.render())
+
+    return _record

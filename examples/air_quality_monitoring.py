@@ -1,0 +1,92 @@
+"""Air quality monitoring with unreliable and adversarial sensors.
+
+The paper's introduction motivates truth discovery with applications
+such as air quality monitoring, where "some users provide correct and
+useful information while others may submit noisy or fake information
+... or even the intent to deceive and get rewards".  This example
+builds that scenario: a city-wide PM2.5 campaign where
+
+* most participants carry decent consumer sensors,
+* a fraction carry miscalibrated (biased) hardware, and
+* a small group reports inflated readings on purpose.
+
+It then compares naive averaging, the median, and private CRH — showing
+that weighted aggregation keeps the city map accurate even while every
+honest participant's readings are perturbed for privacy.
+
+Run:  python examples/air_quality_monitoring.py
+"""
+
+import numpy as np
+
+from repro import PrivateTruthDiscovery
+from repro.datasets.synthetic import generate_with_variances
+from repro.metrics import mae
+from repro.truthdiscovery import MeanAggregator, MedianAggregator
+
+SEED = 23
+NUM_STATIONS = 60  # monitoring micro-zones (objects)
+HONEST, MISCALIBRATED, ADVERSARIAL = 120, 25, 15
+
+
+def build_campaign(rng: np.random.Generator):
+    """PM2.5 truth per zone, plus three user populations."""
+    truths = rng.uniform(8.0, 80.0, NUM_STATIONS)  # ug/m3
+    variances = np.concatenate(
+        [
+            rng.exponential(4.0, HONEST),  # decent sensors
+            rng.exponential(25.0, MISCALIBRATED),  # poor sensors
+            rng.exponential(4.0, ADVERSARIAL),  # good sensors, bad intent
+        ]
+    )
+    dataset = generate_with_variances(
+        variances, num_objects=NUM_STATIONS, truths=truths, random_state=SEED
+    )
+    values = dataset.claims.values.copy()
+    # Miscalibrated devices: multiplicative drift.
+    drift = rng.uniform(0.7, 1.4, MISCALIBRATED)
+    sl = slice(HONEST, HONEST + MISCALIBRATED)
+    values[sl] = values[sl] * drift[:, None]
+    # Adversaries: inflate readings to trigger pollution alerts.
+    values[HONEST + MISCALIBRATED :] += rng.uniform(30.0, 60.0)
+    return dataset.claims.with_values(values), truths
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    claims, truths = build_campaign(rng)
+    print(
+        f"campaign: {claims.num_users} participants "
+        f"({HONEST} honest / {MISCALIBRATED} miscalibrated / "
+        f"{ADVERSARIAL} adversarial), {claims.num_objects} zones"
+    )
+
+    # Private pipeline: heavy noise (mean |noise| ~ 5 ug/m3 per reading).
+    pipeline = PrivateTruthDiscovery(method="crh", lambda2=0.02)
+    outcome = pipeline.run(claims, random_state=SEED)
+    print(
+        f"average |added noise| = "
+        f"{outcome.average_absolute_noise:.1f} ug/m3 per reading"
+    )
+
+    results = {
+        "naive mean (no privacy)": MeanAggregator().fit(claims).truths,
+        "median (no privacy)": MedianAggregator().fit(claims).truths,
+        "private CRH (with noise)": outcome.truths,
+    }
+    print("\nground-truth MAE by aggregator (ug/m3):")
+    for label, estimate in results.items():
+        print(f"  {label:26s} {mae(truths, estimate):6.2f}")
+
+    # Show that the adversaries were down-weighted.
+    w = outcome.weights
+    print(
+        "\nmean weight by population: "
+        f"honest {w[:HONEST].mean():.2f}, "
+        f"miscalibrated {w[HONEST:HONEST + MISCALIBRATED].mean():.2f}, "
+        f"adversarial {w[HONEST + MISCALIBRATED:].mean():.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Private crowd labeling — the categorical extension.
+
+The paper handles continuous sensing data and points to its KDD'18
+companion for categorical tasks.  This example runs that setting: a
+labelling campaign (e.g. "which of 4 road-surface conditions is shown?")
+where every worker's labels are protected by k-ary randomized response
+before submission, and the server recovers the true labels with
+weighted voting.
+
+Run:  python examples/crowd_labeling.py
+"""
+
+import numpy as np
+
+from repro.privacy.randomized_response import (
+    PrivatePreferenceRandomizedResponse,
+    RandomizedResponseMechanism,
+    keep_probability,
+)
+from repro.truthdiscovery.categorical import (
+    AccuracyEM,
+    MajorityVoting,
+    WeightedVoting,
+    generate_categorical_dataset,
+)
+
+SEED = 31
+NUM_WORKERS, NUM_TASKS, NUM_CATEGORIES = 200, 120, 4
+
+
+def error(method, claims, truths) -> float:
+    return float((method.fit(claims).truths != truths).mean())
+
+
+def main() -> None:
+    claims, truths, accuracies = generate_categorical_dataset(
+        NUM_WORKERS,
+        NUM_TASKS,
+        NUM_CATEGORIES,
+        accuracy_low=0.55,
+        accuracy_high=0.95,
+        random_state=SEED,
+    )
+    print(
+        f"{NUM_WORKERS} workers (accuracy {accuracies.min():.2f}-"
+        f"{accuracies.max():.2f}), {NUM_TASKS} tasks, "
+        f"{NUM_CATEGORIES} categories"
+    )
+
+    print("\nclean data (no privacy):")
+    for method in (MajorityVoting(), WeightedVoting(), AccuracyEM()):
+        print(f"  {method.name:16s} error {error(method, claims, truths):.3f}")
+
+    for epsilon in (2.0, 1.0, 0.5):
+        mech = RandomizedResponseMechanism(epsilon)
+        perturbed = mech.perturb(claims, random_state=SEED)
+        keep = keep_probability(epsilon, NUM_CATEGORIES)
+        print(
+            f"\nrandomized response, eps={epsilon} "
+            f"(keep prob {keep:.2f}, flip rate {perturbed.flip_rate:.2f}):"
+        )
+        for method in (MajorityVoting(), WeightedVoting(), AccuracyEM()):
+            print(
+                f"  {method.name:16s} error "
+                f"{error(method, perturbed.perturbed, truths):.3f}"
+            )
+
+    # The private-preference variant: each worker samples their own
+    # epsilon; the server knows only the distribution.
+    mech = PrivatePreferenceRandomizedResponse(epsilon_floor=0.8, rate=1.0)
+    perturbed = mech.perturb(claims, random_state=SEED)
+    print(
+        f"\nprivate-preference RR (floor 0.8, mean eps "
+        f"{perturbed.epsilons.mean():.2f}): guarantee {mech.guarantee(0.05)}"
+    )
+    for method in (MajorityVoting(), WeightedVoting()):
+        print(
+            f"  {method.name:16s} error "
+            f"{error(method, perturbed.perturbed, truths):.3f}"
+        )
+    print(
+        "\nnote: chance error would be "
+        f"{1 - 1 / NUM_CATEGORIES:.2f}; weighted methods stay far below it "
+        "even under heavy flipping."
+    )
+
+
+if __name__ == "__main__":
+    main()

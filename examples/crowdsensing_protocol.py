@@ -1,0 +1,94 @@
+"""The full crowd sensing protocol on a simulated (faulty) network.
+
+Runs Algorithm 2 as an actual distributed protocol — server, user
+devices, message transport — rather than as a library call:
+
+1. the server announces a campaign (micro-tasks + lambda2);
+2. each device perturbs locally (the sampled variance never leaves the
+   phone) and submits a single message;
+3. the server aggregates whatever survived a lossy, straggler-prone
+   network.
+
+Demonstrates the deployability claims of Section 3.2: one message per
+user, no user-to-user communication, and graceful degradation under
+drops.
+
+Run:  python examples/crowdsensing_protocol.py
+"""
+
+import numpy as np
+
+from repro.crowdsensing import (
+    CampaignSpec,
+    FaultModel,
+    build_devices,
+    run_campaign,
+)
+from repro.privacy import PrivacyAccountant, guarantee_of_mechanism
+
+SEED = 5
+NUM_USERS, NUM_TASKS = 80, 12
+LAMBDA2 = 2.0
+SENSITIVITY, DELTA = 1.0, 0.3
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    truths = rng.uniform(15.0, 30.0, NUM_TASKS)  # e.g. noise levels in dB
+    observations = {
+        f"user-{i:03d}": {
+            f"task-{j:02d}": float(truths[j] + rng.normal(0.0, 0.8))
+            for j in range(NUM_TASKS)
+        }
+        for i in range(NUM_USERS)
+    }
+    devices = build_devices(observations, random_state=SEED)
+
+    spec = CampaignSpec(
+        campaign_id="noise-map-round-1",
+        object_ids=tuple(f"task-{j:02d}" for j in range(NUM_TASKS)),
+        lambda2=LAMBDA2,
+        deadline=10.0,
+        min_contributors=20,
+        method="crh",
+    )
+
+    for label, faults in (
+        ("reliable network", FaultModel()),
+        ("20% message loss", FaultModel(drop_probability=0.2)),
+        (
+            "loss + stragglers",
+            FaultModel(
+                drop_probability=0.1,
+                straggler_probability=0.15,
+                straggler_penalty=60.0,  # miss the deadline
+            ),
+        ),
+    ):
+        report = run_campaign(spec, build_devices(observations, random_state=SEED),
+                              fault_model=faults, random_state=SEED)
+        err = (
+            float(np.abs(report.truths - truths).mean())
+            if report.succeeded
+            else float("nan")
+        )
+        print(f"{label:20s} | {report.summary()} | ground-truth MAE {err:.3f}")
+
+    # Per-user privacy budget for one round, tracked by the accountant.
+    acct = PrivacyAccountant()
+    guarantee = guarantee_of_mechanism(LAMBDA2, SENSITIVITY, DELTA)
+    acct.record_for_all(
+        [d.user_id for d in devices], guarantee, mechanism="exp-gaussian",
+        label=spec.campaign_id,
+    )
+    print(
+        f"\nper-user guarantee this round: {acct.composed_guarantee('user-000')}"
+    )
+    print(
+        "note: the submission schema has no field for the noise variance —"
+        " it physically cannot leak."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: privacy-preserving truth discovery in ~40 lines.
+
+Generates a synthetic crowd sensing campaign (the paper's Section 5.1
+setup), runs Algorithm 2 — each user perturbs locally with private
+Gaussian noise, the server aggregates with CRH — and reports how little
+the aggregate moved despite the injected noise.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PrivateTruthDiscovery
+from repro.datasets import generate_synthetic
+from repro.metrics import mae
+
+SEED = 7
+
+
+def main() -> None:
+    # A campaign: 150 users (error variances ~ Exp(lambda1)), 30 objects.
+    dataset = generate_synthetic(
+        num_users=150, num_objects=30, lambda1=4.0, random_state=SEED
+    )
+    print(f"dataset: {dataset.claims}")
+
+    # The server releases lambda2 = 0.5 => mean |noise| per claim = 1.0,
+    # which is on the order of the claims' own spread: heavy perturbation.
+    pipeline = PrivateTruthDiscovery(method="crh", lambda2=0.5)
+    evaluation = pipeline.evaluate_utility(dataset.claims, random_state=SEED)
+
+    print(f"average |added noise| : {evaluation.average_absolute_noise:.3f}")
+    print(f"MAE original vs private aggregate : {evaluation.mae:.3f}")
+    print(f"=> utility loss is {evaluation.mae / evaluation.average_absolute_noise:.1%} of the noise")
+
+    # Both aggregates stay close to the hidden ground truth.
+    print(
+        "ground-truth MAE: "
+        f"original={mae(dataset.ground_truth, evaluation.original.truths):.3f}  "
+        f"private={mae(dataset.ground_truth, evaluation.private.truths):.3f}"
+    )
+
+    # Weight self-correction: the noisiest user loses influence.
+    import numpy as np
+
+    noisiest = int(np.argmax(evaluation.private.perturbation.noise_variances))
+    print(
+        f"noisiest user (#{noisiest}): weight "
+        f"{evaluation.original.weights[noisiest]:.2f} -> "
+        f"{evaluation.private.discovery.weights[noisiest]:.2f} after perturbation"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Command-line interface: ``repro-experiments`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``list`` — show available experiments;
+* ``run NAME [--profile quick|full] [--seed N] [--markdown]`` — run one
+  experiment and print its tables/charts;
+* ``all [--profile ...]`` — run every experiment in sequence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import available_experiments, run_experiment
+from repro.experiments.reporting import figure_markdown
+from repro.utils.logging import enable_console_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures of 'Towards Differentially Private "
+            "Truth Discovery for Crowd Sensing Systems' (ICDCS 2020)."
+        ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="enable debug logging"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("name", help="experiment name (see 'list')")
+    _add_run_options(run_p)
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    _add_run_options(all_p)
+
+    show_p = sub.add_parser("show", help="render a previously saved result")
+    show_p.add_argument("name", help="figure id saved in the store")
+    show_p.add_argument(
+        "--store", metavar="DIR", required=True, help="result-store directory"
+    )
+    show_p.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit markdown tables instead of ASCII charts",
+    )
+
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default="quick",
+        help="experiment size (quick: seconds; full: paper-quality)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020, help="base random seed"
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit markdown tables instead of ASCII charts",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="also save the result as JSON into this result-store directory",
+    )
+
+
+def _print_result(result, markdown: bool) -> None:
+    if markdown:
+        print(figure_markdown(result))
+    else:
+        print(result.render())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+
+    if args.command == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    if args.command == "run":
+        if args.name not in available_experiments():
+            print(
+                f"unknown experiment {args.name!r}; available: "
+                f"{', '.join(available_experiments())}",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_experiment(args.name, args.profile, base_seed=args.seed)
+        _maybe_save(result, args.save)
+        _print_result(result, args.markdown)
+        return 0
+
+    if args.command == "all":
+        for name in available_experiments():
+            result = run_experiment(name, args.profile, base_seed=args.seed)
+            _maybe_save(result, args.save)
+            _print_result(result, args.markdown)
+            print()
+        return 0
+
+    if args.command == "show":
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(args.store)
+        try:
+            result = store.get(args.name)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        _print_result(result, args.markdown)
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+def _maybe_save(result, save_dir: Optional[str]) -> None:
+    if save_dir is None:
+        return
+    from repro.experiments.store import ResultStore
+
+    path = ResultStore(save_dir).put(result)
+    print(f"saved {result.figure_id} -> {path}", file=sys.stderr)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

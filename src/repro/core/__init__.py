@@ -1,0 +1,16 @@
+"""Core: the paper's privacy-preserving truth discovery mechanism.
+
+:class:`PrivateTruthDiscovery` is the Algorithm 2 pipeline; the config
+and result types round out the public API.
+"""
+
+from repro.core.config import PrivacyConfig
+from repro.core.mechanism import PrivateTruthDiscovery
+from repro.core.results import PrivateAggregationOutcome, UtilityEvaluation
+
+__all__ = [
+    "PrivacyConfig",
+    "PrivateAggregationOutcome",
+    "PrivateTruthDiscovery",
+    "UtilityEvaluation",
+]

@@ -1,0 +1,78 @@
+"""Configuration objects for the privacy-preserving truth discovery pipeline.
+
+Two ways to size the mechanism, mirroring how a deployment would be
+planned:
+
+* **mechanism-first** — give ``lambda2`` directly (the server knob of
+  Algorithm 2);
+* **privacy-first** — give a target ``(epsilon, delta)`` and a public
+  sensitivity bound; ``lambda2`` is derived through the Theorem 4.8
+  accounting (:func:`repro.privacy.ldp.lambda2_for_epsilon`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.privacy.ldp import lambda2_for_epsilon
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class PrivacyConfig:
+    """Resolved mechanism parameters plus their provenance.
+
+    Attributes
+    ----------
+    lambda2:
+        The exponential rate the server releases (Algorithm 2, line 3).
+    epsilon, delta, sensitivity:
+        The privacy target this lambda2 was derived from, when built via
+        :meth:`from_privacy_target`; informational otherwise.
+    """
+
+    lambda2: float
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    sensitivity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.lambda2, "lambda2")
+        if self.epsilon is not None:
+            ensure_positive(self.epsilon, "epsilon")
+        if self.delta is not None:
+            ensure_in_range(
+                self.delta, "delta", 0.0, 1.0,
+                low_inclusive=False, high_inclusive=False,
+            )
+        if self.sensitivity is not None:
+            ensure_positive(self.sensitivity, "sensitivity")
+
+    @classmethod
+    def from_lambda2(cls, lambda2: float) -> "PrivacyConfig":
+        """Mechanism-first construction."""
+        return cls(lambda2=lambda2)
+
+    @classmethod
+    def from_privacy_target(
+        cls, epsilon: float, delta: float, sensitivity: float
+    ) -> "PrivacyConfig":
+        """Privacy-first construction: derive lambda2 from the target."""
+        lambda2 = lambda2_for_epsilon(epsilon, sensitivity, delta)
+        return cls(
+            lambda2=lambda2,
+            epsilon=epsilon,
+            delta=delta,
+            sensitivity=sensitivity,
+        )
+
+    @property
+    def expected_noise_variance(self) -> float:
+        """Mean of the per-user variance draw: ``1 / lambda2``."""
+        return 1.0 / self.lambda2
+
+    @property
+    def expected_absolute_noise(self) -> float:
+        """Mean |noise| per claim: ``1 / sqrt(2 lambda2)``."""
+        return (2.0 * self.lambda2) ** -0.5

@@ -1,0 +1,86 @@
+"""Result bundles returned by the privacy-preserving pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.accuracy import AccuracyReport
+from repro.privacy.ldp import LDPGuarantee
+from repro.privacy.mechanisms import PerturbationResult
+from repro.truthdiscovery.base import TruthDiscoveryResult
+
+
+@dataclass(frozen=True)
+class PrivateAggregationOutcome:
+    """Output of one Algorithm 2 run (perturb + truth discovery).
+
+    Attributes
+    ----------
+    discovery:
+        The server-side truth discovery result on perturbed data
+        (``xhat*`` and the weights estimated from perturbed claims).
+    perturbation:
+        The client-side perturbation record. ``perturbation.noise`` and
+        ``noise_variances`` exist only inside experiments; a real server
+        never sees them.
+    guarantee:
+        The per-user (epsilon, delta)-LDP guarantee, when the pipeline
+        was configured with a sensitivity bound (None otherwise).
+    """
+
+    discovery: TruthDiscoveryResult
+    perturbation: PerturbationResult
+    guarantee: Optional[LDPGuarantee] = None
+
+    @property
+    def truths(self) -> np.ndarray:
+        """Aggregated results ``{xhat*_n}`` (Algorithm 2's output)."""
+        return self.discovery.truths
+
+    @property
+    def weights(self) -> np.ndarray:
+        """User weights estimated from the perturbed data."""
+        return self.discovery.weights
+
+    @property
+    def average_absolute_noise(self) -> float:
+        """Mean |added noise| per observed claim."""
+        return self.perturbation.average_absolute_noise
+
+
+@dataclass(frozen=True)
+class UtilityEvaluation:
+    """Side-by-side original vs perturbed run — the paper's utility view.
+
+    ``accuracy`` compares the two aggregate vectors (MAE is the paper's
+    headline utility number); the embedded outcomes keep full detail for
+    weight comparisons (Fig. 7) and efficiency analysis (Fig. 8).
+    """
+
+    original: TruthDiscoveryResult
+    private: PrivateAggregationOutcome
+    accuracy: AccuracyReport
+    original_seconds: float
+    private_seconds: float
+
+    @property
+    def mae(self) -> float:
+        """MAE between aggregates on original and perturbed data."""
+        return self.accuracy.mae
+
+    @property
+    def average_absolute_noise(self) -> float:
+        return self.private.average_absolute_noise
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        noise = self.average_absolute_noise
+        return (
+            f"noise={noise:.4f} mae={self.mae:.4f} "
+            f"(utility loss is {self.mae / noise:.1%} of noise)"
+            if noise > 0
+            else f"noise=0 mae={self.mae:.4f}"
+        )

@@ -1,0 +1,61 @@
+"""Simulated crowd sensing system (the paper's deployment context).
+
+Server, user devices, message protocol, and an in-process transport with
+fault injection — a runnable model of Figure 1's architecture in which
+Algorithm 2's client side executes on the devices and the untrusted
+server only ever sees perturbed claims.
+"""
+
+from repro.crowdsensing.campaign import CampaignReport, CampaignSpec
+from repro.crowdsensing.device import SensorModel, UserDevice
+from repro.crowdsensing.faults import RELIABLE, FaultModel, lossy
+from repro.crowdsensing.incentives import (
+    RewardPolicy,
+    allocate_rewards,
+    reward_distortion,
+    top_contributor_overlap,
+)
+from repro.crowdsensing.orchestrator import (
+    BudgetPolicy,
+    CampaignOrchestrator,
+    OrchestratorReport,
+)
+from repro.crowdsensing.messages import (
+    AggregateAnnouncement,
+    ClaimSubmission,
+    Envelope,
+    TaskAssignment,
+    from_wire,
+    to_wire,
+)
+from repro.crowdsensing.runtime import build_devices, run_campaign
+from repro.crowdsensing.server import AggregationServer
+from repro.crowdsensing.transport import InProcessTransport, TransportStats
+
+__all__ = [
+    "AggregateAnnouncement",
+    "AggregationServer",
+    "BudgetPolicy",
+    "CampaignOrchestrator",
+    "OrchestratorReport",
+    "CampaignReport",
+    "CampaignSpec",
+    "ClaimSubmission",
+    "Envelope",
+    "FaultModel",
+    "InProcessTransport",
+    "RELIABLE",
+    "RewardPolicy",
+    "SensorModel",
+    "TaskAssignment",
+    "allocate_rewards",
+    "reward_distortion",
+    "top_contributor_overlap",
+    "TransportStats",
+    "UserDevice",
+    "build_devices",
+    "from_wire",
+    "lossy",
+    "run_campaign",
+    "to_wire",
+]

@@ -1,0 +1,90 @@
+"""Campaign specification and reporting for crowd sensing rounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One aggregation round the server wants to run.
+
+    Attributes
+    ----------
+    campaign_id:
+        Unique name for this round.
+    object_ids:
+        The micro-tasks to collect claims about.
+    lambda2:
+        The mechanism hyper-parameter released with the assignment.
+    deadline:
+        Simulated time by which submissions must arrive.
+    min_contributors:
+        Abort threshold: below this many submissions the aggregate is
+        considered unreliable and not published.
+    method:
+        Truth discovery method name used server-side.
+    """
+
+    campaign_id: str
+    object_ids: tuple
+    lambda2: float
+    deadline: float = 10.0
+    min_contributors: int = 2
+    method: str = "crh"
+
+    def __post_init__(self) -> None:
+        if not self.campaign_id:
+            raise ValueError("campaign_id must be non-empty")
+        if not self.object_ids:
+            raise ValueError("object_ids must be non-empty")
+        if len(set(self.object_ids)) != len(self.object_ids):
+            raise ValueError("object_ids must be unique")
+        ensure_positive(self.lambda2, "lambda2")
+        ensure_positive(self.deadline, "deadline")
+        if self.min_contributors < 1:
+            raise ValueError("min_contributors must be >= 1")
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Everything a finished campaign produced.
+
+    ``truths`` is None when the campaign failed (insufficient
+    contributors by the deadline).
+    """
+
+    spec: CampaignSpec
+    truths: Optional[np.ndarray]
+    weights: Optional[np.ndarray]
+    contributors: tuple
+    submissions_received: int
+    assignments_sent: int
+    completed_at: float
+    messages_total: int
+    user_to_user_messages: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.truths is not None
+
+    @property
+    def coverage(self) -> float:
+        """Contributors per assignment — the campaign's effective yield."""
+        if self.assignments_sent == 0:
+            return 0.0
+        return self.submissions_received / self.assignments_sent
+
+    def summary(self) -> str:
+        status = "ok" if self.succeeded else "FAILED"
+        return (
+            f"campaign {self.spec.campaign_id}: {status}, "
+            f"{self.submissions_received}/{self.assignments_sent} submissions, "
+            f"{self.messages_total} messages "
+            f"({self.user_to_user_messages} user-to-user)"
+        )

@@ -1,0 +1,123 @@
+"""User devices: sensing, local perturbation, submission.
+
+A :class:`UserDevice` owns its user's original observations and executes
+the client side of Algorithm 2 entirely locally:
+
+* on receiving a :class:`TaskAssignment` it samples its private noise
+  variance ``delta_s^2 ~ Exp(lambda2)`` from its own RNG stream,
+* perturbs each observed claim with ``N(0, delta_s^2)`` noise,
+* replies with a single :class:`ClaimSubmission`.
+
+The sampled variance is stored only on the device (`_last_variance`) and
+is never serialised — the privacy boundary the paper's mechanism draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.crowdsensing.messages import ClaimSubmission, TaskAssignment
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass
+class SensorModel:
+    """How a device turns ground truth into an observation.
+
+    ``observe(truth)`` = truth + bias + N(0, error_std^2): a simple but
+    expressive model covering hardware bias and ambient noise, matching
+    the error structure assumed throughout the paper.
+    """
+
+    error_std: float = 0.2
+    bias: float = 0.0
+
+    def observe(self, truth: float, rng: np.random.Generator) -> float:
+        return float(truth + self.bias + rng.normal(0.0, self.error_std))
+
+
+class UserDevice:
+    """One participant's phone/wearable in the simulated system."""
+
+    def __init__(
+        self,
+        user_id: str,
+        observations: Mapping[object, float],
+        *,
+        random_state: RandomState = None,
+    ) -> None:
+        if not user_id:
+            raise ValueError("user_id must be non-empty")
+        if not observations:
+            raise ValueError(f"user {user_id!r} has no observations")
+        self.user_id = user_id
+        self._observations = dict(observations)
+        self._rng = as_generator(random_state)
+        self._last_variance: Optional[float] = None
+        self.submissions_made = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sense(
+        cls,
+        user_id: str,
+        ground_truth: Mapping[object, float],
+        sensor: SensorModel,
+        *,
+        random_state: RandomState = None,
+    ) -> "UserDevice":
+        """Build a device by observing ``ground_truth`` through ``sensor``."""
+        rng = as_generator(random_state)
+        observations = {
+            obj: sensor.observe(truth, rng) for obj, truth in ground_truth.items()
+        }
+        return cls(user_id, observations, random_state=rng)
+
+    # ------------------------------------------------------------------
+    def handle_assignment(
+        self, assignment: TaskAssignment
+    ) -> Optional[ClaimSubmission]:
+        """Execute Algorithm 2 lines 2-5 for this assignment.
+
+        Returns the submission, or None when the device observed none of
+        the requested objects (it then stays silent, as a real app
+        would).
+        """
+        requested = [
+            obj for obj in assignment.object_ids if obj in self._observations
+        ]
+        if not requested:
+            return None
+        variance = self._rng.exponential(scale=1.0 / assignment.lambda2)
+        self._last_variance = variance
+        std = math.sqrt(variance)
+        perturbed = tuple(
+            self._observations[obj] + float(self._rng.normal(0.0, std))
+            for obj in requested
+        )
+        self.submissions_made += 1
+        return ClaimSubmission(
+            campaign_id=assignment.campaign_id,
+            user_id=self.user_id,
+            object_ids=tuple(requested),
+            values=perturbed,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def observed_objects(self) -> tuple:
+        return tuple(self._observations)
+
+    def original_claim(self, object_id) -> float:
+        """The device's unperturbed observation (local-only accessor)."""
+        return self._observations[object_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UserDevice(user_id={self.user_id!r}, "
+            f"observations={len(self._observations)})"
+        )

@@ -1,0 +1,77 @@
+"""Fault injection for the simulated crowd sensing network.
+
+Real mobile crowd sensing deployments lose submissions (radio gaps, app
+kills) and see heavy-tailed latencies (stragglers).  The paper's
+mechanism is non-interactive precisely so these faults degrade coverage,
+not correctness; the fault model lets tests and examples demonstrate
+that claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Stochastic link behaviour between devices and the server.
+
+    Attributes
+    ----------
+    drop_probability:
+        Chance an individual message is silently lost.
+    base_latency:
+        Minimum one-way latency (simulated seconds).
+    latency_jitter:
+        Scale of the lognormal latency tail added to the base.
+    straggler_probability:
+        Chance a message is additionally delayed by
+        ``straggler_penalty``.
+    straggler_penalty:
+        Extra delay applied to straggler messages.
+    """
+
+    drop_probability: float = 0.0
+    base_latency: float = 0.01
+    latency_jitter: float = 0.005
+    straggler_probability: float = 0.0
+    straggler_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_in_range(self.drop_probability, "drop_probability", 0.0, 1.0)
+        ensure_positive(self.base_latency, "base_latency", strict=False)
+        ensure_positive(self.latency_jitter, "latency_jitter", strict=False)
+        ensure_in_range(
+            self.straggler_probability, "straggler_probability", 0.0, 1.0
+        )
+        ensure_positive(self.straggler_penalty, "straggler_penalty", strict=False)
+
+    def should_drop(self, rng: np.random.Generator) -> bool:
+        """Sample whether a message is lost."""
+        return self.drop_probability > 0 and bool(
+            rng.random() < self.drop_probability
+        )
+
+    def sample_latency(self, rng: np.random.Generator) -> float:
+        """Sample a one-way delivery latency."""
+        latency = self.base_latency
+        if self.latency_jitter > 0:
+            latency += float(rng.lognormal(mean=-2.0, sigma=1.0)) * self.latency_jitter
+        if self.straggler_probability > 0 and rng.random() < self.straggler_probability:
+            latency += self.straggler_penalty
+        return latency
+
+
+RELIABLE = FaultModel()
+"""A fault-free link (defaults): tiny fixed latency, no drops."""
+
+
+def lossy(drop_probability: float, *, random_jitter: float = 0.005) -> FaultModel:
+    """Convenience constructor for a link that only drops messages."""
+    return FaultModel(
+        drop_probability=drop_probability, latency_jitter=random_jitter
+    )

@@ -1,0 +1,108 @@
+"""Wire messages of the crowd sensing protocol.
+
+The paper's system (Section 2, Figure 1) has exactly two parties — the
+server and the users — and a non-interactive protocol:
+
+1. server -> user : task assignment carrying the micro-tasks and the
+   released hyper-parameter ``lambda2``;
+2. user -> server : one submission of perturbed claims;
+3. server -> all  : the published aggregated results.
+
+Messages are plain dataclasses with dict/JSON round-trips so the
+transport layer can treat them as opaque serialised payloads, as a real
+deployment would.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """Server -> user: the campaign's micro-tasks and mechanism parameter."""
+
+    campaign_id: str
+    object_ids: tuple
+    lambda2: float
+    deadline: float
+    kind: str = field(default="task_assignment", init=False)
+
+
+@dataclass(frozen=True)
+class ClaimSubmission:
+    """User -> server: perturbed claims for the observed objects.
+
+    ``values[i]`` is the perturbed claim for ``object_ids[i]``.  Note the
+    message deliberately has *no* field for the sampled noise variance —
+    that never leaves the device (the privacy property of Algorithm 2).
+    """
+
+    campaign_id: str
+    user_id: str
+    object_ids: tuple
+    values: tuple
+    kind: str = field(default="claim_submission", init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.object_ids) != len(self.values):
+            raise ValueError(
+                f"{len(self.object_ids)} object ids for {len(self.values)} values"
+            )
+
+
+@dataclass(frozen=True)
+class AggregateAnnouncement:
+    """Server -> all: the published aggregated results."""
+
+    campaign_id: str
+    object_ids: tuple
+    truths: tuple
+    num_contributors: int
+    kind: str = field(default="aggregate_announcement", init=False)
+
+
+Message = Any  # union of the dataclasses above; kept loose for transports
+
+_KIND_TO_CLASS = {
+    "task_assignment": TaskAssignment,
+    "claim_submission": ClaimSubmission,
+    "aggregate_announcement": AggregateAnnouncement,
+}
+
+
+def to_wire(message: Message) -> str:
+    """Serialise a protocol message to a JSON string."""
+    payload = asdict(message)
+    return json.dumps(payload, sort_keys=True)
+
+
+def from_wire(wire: str) -> Message:
+    """Deserialise a JSON string back into its message dataclass."""
+    payload = json.loads(wire)
+    kind = payload.pop("kind", None)
+    try:
+        cls = _KIND_TO_CLASS[kind]
+    except KeyError:
+        raise ValueError(f"unknown message kind {kind!r}") from None
+    for key in ("object_ids", "values", "truths"):
+        if key in payload and isinstance(payload[key], list):
+            payload[key] = tuple(payload[key])
+    return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: sender, recipient, and timing metadata."""
+
+    sender: str
+    recipient: str
+    payload: Message
+    send_time: float
+    deliver_time: float
+
+    def __post_init__(self) -> None:
+        if self.deliver_time < self.send_time:
+            raise ValueError("deliver_time cannot precede send_time")

@@ -1,0 +1,174 @@
+"""Multi-round campaign orchestration with privacy budget management.
+
+A deployment runs many aggregation rounds against an overlapping user
+population.  The orchestrator chains :func:`run_campaign` rounds over a
+shared transport, records every user's per-round LDP guarantee in a
+:class:`PrivacyAccountant`, and *stops scheduling rounds for users whose
+composed budget would exceed a cap* — the operational policy the paper's
+one-shot analysis leaves to the system builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.crowdsensing.campaign import CampaignReport, CampaignSpec
+from repro.crowdsensing.device import UserDevice
+from repro.crowdsensing.faults import RELIABLE, FaultModel
+from repro.crowdsensing.runtime import run_campaign
+from repro.crowdsensing.transport import InProcessTransport
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.ldp import LDPGuarantee, guarantee_of_mechanism
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, derive_seed
+from repro.utils.validation import ensure_positive
+
+_LOGGER = get_logger("crowdsensing.orchestrator")
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Per-user privacy budget cap across rounds.
+
+    ``epsilon_cap``/``delta_cap`` bound the basic-composition totals; a
+    user at or beyond either cap is excluded from further rounds.
+    """
+
+    epsilon_cap: float
+    delta_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.epsilon_cap, "epsilon_cap")
+        if not (0.0 < self.delta_cap <= 1.0):
+            raise ValueError("delta_cap must be in (0, 1]")
+
+    def allows(self, spent: LDPGuarantee, next_round: LDPGuarantee) -> bool:
+        """Would recording ``next_round`` keep the user within budget?"""
+        return (
+            spent.epsilon + next_round.epsilon <= self.epsilon_cap + 1e-12
+            and spent.delta + next_round.delta <= self.delta_cap + 1e-12
+        )
+
+
+@dataclass
+class OrchestratorReport:
+    """Everything a finished multi-round schedule produced."""
+
+    rounds: list = field(default_factory=list)
+    excluded_by_round: list = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def successful_rounds(self) -> list:
+        return [r for r in self.rounds if r.succeeded]
+
+
+class CampaignOrchestrator:
+    """Runs a schedule of campaigns under a per-user budget policy."""
+
+    def __init__(
+        self,
+        devices: Sequence[UserDevice],
+        *,
+        sensitivity: float,
+        delta: float,
+        policy: BudgetPolicy,
+        fault_model: FaultModel = RELIABLE,
+        random_state: RandomState = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("need at least one device")
+        ensure_positive(sensitivity, "sensitivity")
+        if not (0.0 < delta < 1.0):
+            raise ValueError("delta must be in (0, 1)")
+        self._devices = list(devices)
+        self._sensitivity = sensitivity
+        self._delta = delta
+        self._policy = policy
+        self._faults = fault_model
+        self._random_state = random_state
+        self.accountant = PrivacyAccountant()
+
+    # ------------------------------------------------------------------
+    def eligible_users(self, next_round: LDPGuarantee) -> list[str]:
+        """Users whose budget allows participating in ``next_round``."""
+        eligible = []
+        for device in self._devices:
+            spent = self.accountant.composed_guarantee(device.user_id)
+            if self._policy.allows(spent, next_round):
+                eligible.append(device.user_id)
+        return eligible
+
+    def run_schedule(
+        self, specs: Sequence[CampaignSpec]
+    ) -> OrchestratorReport:
+        """Run each campaign in order, enforcing the budget policy.
+
+        Rounds whose eligible population falls below the campaign's
+        ``min_contributors`` are skipped (recorded as failed reports with
+        zero assignments).
+        """
+        report = OrchestratorReport()
+        for idx, spec in enumerate(specs):
+            round_guarantee = guarantee_of_mechanism(
+                spec.lambda2, self._sensitivity, self._delta
+            )
+            eligible_ids = set(self.eligible_users(round_guarantee))
+            excluded = [
+                d.user_id for d in self._devices if d.user_id not in eligible_ids
+            ]
+            report.excluded_by_round.append(excluded)
+            participating = [
+                d for d in self._devices if d.user_id in eligible_ids
+            ]
+            if len(participating) < spec.min_contributors:
+                _LOGGER.warning(
+                    "round %s skipped: %d eligible users < %d required",
+                    spec.campaign_id,
+                    len(participating),
+                    spec.min_contributors,
+                )
+                report.rounds.append(
+                    CampaignReport(
+                        spec=spec,
+                        truths=None,
+                        weights=None,
+                        contributors=(),
+                        submissions_received=0,
+                        assignments_sent=0,
+                        completed_at=0.0,
+                        messages_total=0,
+                        user_to_user_messages=0,
+                    )
+                )
+                continue
+            transport = InProcessTransport(
+                fault_model=self._faults,
+                random_state=derive_seed(
+                    self._random_state, "orchestrator-transport", idx
+                ),
+            )
+            round_report = run_campaign(
+                spec, participating, transport=transport
+            )
+            report.rounds.append(round_report)
+            # Budget is charged to everyone who actually submitted.
+            self.accountant.record_for_all(
+                round_report.contributors,
+                round_guarantee,
+                mechanism="exp-gaussian",
+                label=spec.campaign_id,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    def remaining_budget(self, user_id: str) -> LDPGuarantee:
+        """Unspent (epsilon, delta) headroom for ``user_id``."""
+        spent = self.accountant.composed_guarantee(user_id)
+        return LDPGuarantee(
+            epsilon=max(0.0, self._policy.epsilon_cap - spent.epsilon),
+            delta=max(0.0, self._policy.delta_cap - spent.delta),
+        )

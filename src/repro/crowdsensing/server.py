@@ -1,0 +1,146 @@
+"""The aggregation server (untrusted, in the paper's threat model).
+
+The server can only observe what arrives on the wire: perturbed claims.
+It assigns tasks, collects submissions until the campaign deadline, runs
+truth discovery on whatever arrived, and publishes the aggregate.  It
+never sees noise variances or original values — by construction, those
+fields do not exist in the message schema.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crowdsensing.campaign import CampaignReport, CampaignSpec
+from repro.crowdsensing.messages import (
+    AggregateAnnouncement,
+    ClaimSubmission,
+    TaskAssignment,
+)
+from repro.crowdsensing.transport import InProcessTransport
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.registry import create_method
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("crowdsensing.server")
+
+
+class AggregationServer:
+    """Server-side of the crowd sensing protocol."""
+
+    def __init__(
+        self, transport: InProcessTransport, *, node_id: str = "server"
+    ) -> None:
+        if not node_id.startswith("server"):
+            raise ValueError(
+                "server node ids must start with 'server' (the transport "
+                "uses the prefix to audit user-to-user traffic)"
+            )
+        self.node_id = node_id
+        self._transport = transport
+        self._submissions: dict[str, list[ClaimSubmission]] = {}
+
+    # ------------------------------------------------------------------
+    def announce_campaign(
+        self, spec: CampaignSpec, user_ids: list[str]
+    ) -> int:
+        """Send the task assignment to every user; returns the send count."""
+        self._submissions[spec.campaign_id] = []
+        assignment = TaskAssignment(
+            campaign_id=spec.campaign_id,
+            object_ids=tuple(spec.object_ids),
+            lambda2=spec.lambda2,
+            deadline=spec.deadline,
+        )
+        sent = 0
+        for user_id in user_ids:
+            self._transport.send(self.node_id, user_id, assignment)
+            sent += 1
+        _LOGGER.debug(
+            "campaign %s announced to %d users", spec.campaign_id, sent
+        )
+        return sent
+
+    def collect(self) -> int:
+        """Drain the server inbox, filing submissions; returns the count."""
+        count = 0
+        for message in self._transport.receive(self.node_id):
+            if isinstance(message, ClaimSubmission):
+                bucket = self._submissions.get(message.campaign_id)
+                if bucket is None:
+                    _LOGGER.warning(
+                        "submission for unknown campaign %s ignored",
+                        message.campaign_id,
+                    )
+                    continue
+                bucket.append(message)
+                count += 1
+        return count
+
+    def submissions_for(self, campaign_id: str) -> list[ClaimSubmission]:
+        return list(self._submissions.get(campaign_id, []))
+
+    # ------------------------------------------------------------------
+    def finalise(
+        self,
+        spec: CampaignSpec,
+        *,
+        assignments_sent: int,
+        announce: bool = True,
+    ) -> CampaignReport:
+        """Aggregate the collected submissions for ``spec`` (Algorithm 2
+        line 6) and optionally publish the result."""
+        submissions = self._submissions.get(spec.campaign_id, [])
+        # Deduplicate by user (keep the last submission, e.g. a retry).
+        latest: dict[str, ClaimSubmission] = {}
+        for sub in submissions:
+            latest[sub.user_id] = sub
+        contributors = tuple(sorted(latest))
+
+        truths: Optional[np.ndarray] = None
+        weights: Optional[np.ndarray] = None
+        if len(latest) >= spec.min_contributors:
+            records = [
+                (sub.user_id, obj, val)
+                for sub in latest.values()
+                for obj, val in zip(sub.object_ids, sub.values)
+            ]
+            claims = ClaimMatrix.from_records(
+                records,
+                user_ids=contributors,
+                object_ids=spec.object_ids,
+            )
+            method = create_method(spec.method)
+            result = method.fit(claims)
+            truths = result.truths
+            weights = result.weights
+            if announce:
+                announcement = AggregateAnnouncement(
+                    campaign_id=spec.campaign_id,
+                    object_ids=tuple(spec.object_ids),
+                    truths=tuple(float(t) for t in truths),
+                    num_contributors=len(latest),
+                )
+                for user_id in contributors:
+                    self._transport.send(self.node_id, user_id, announcement)
+        else:
+            _LOGGER.warning(
+                "campaign %s failed: %d contributors < %d required",
+                spec.campaign_id,
+                len(latest),
+                spec.min_contributors,
+            )
+
+        return CampaignReport(
+            spec=spec,
+            truths=truths,
+            weights=weights,
+            contributors=contributors,
+            submissions_received=len(latest),
+            assignments_sent=assignments_sent,
+            completed_at=self._transport.now,
+            messages_total=self._transport.stats.sent,
+            user_to_user_messages=self._transport.user_to_user_messages(),
+        )

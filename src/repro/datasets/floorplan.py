@@ -1,0 +1,254 @@
+"""Indoor-floorplan crowd sensing simulator (paper Section 5.2 substitute).
+
+The paper evaluates on a real deployment: 247 smartphone users walked 129
+hallway segments; an Android app recorded step counts, and each user's
+travelled distance per segment was ``step_size * step_count``.  Distances
+differ across users "due to different walking patterns and in-phone
+sensor quality".  That dataset is not public, so we build a simulator
+with the same generative structure (see DESIGN.md, substitutions):
+
+* a building of hallway segments with true lengths (ground truth is the
+  manually measured length, as in the paper);
+* per-user walking profiles: a *systematic* step-length bias (users
+  mis-estimate their own stride), per-step stride jitter, and a step
+  *miscount* rate (sensor quality);
+* the claim of user ``s`` on segment ``n`` is
+  ``estimated_step_length_s * counted_steps_{s,n}``.
+
+The resulting per-user error distributions are heterogeneous and roughly
+Gaussian around a user-specific accuracy level — exactly the regime the
+paper's mechanism and CRH operate in, so every downstream code path
+(perturbation, weighting, aggregation, weight comparison for Fig. 7) is
+exercised as on the real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.datasets.synthetic import SyntheticDataset
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.utils.rng import RandomState, spawn_generators
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_int,
+    ensure_positive,
+)
+
+#: Deployment shape reported in the paper (Section 5.2).
+PAPER_NUM_USERS = 247
+PAPER_NUM_SEGMENTS = 129
+
+#: Average human stride length in metres; per-user strides vary around it.
+_MEAN_STRIDE_M = 0.72
+
+
+@dataclass(frozen=True)
+class WalkerProfile:
+    """How one user's phone turns walking into distance estimates.
+
+    Attributes
+    ----------
+    true_stride:
+        The user's actual average stride length (m).
+    estimated_stride:
+        The stride length configured in the app — systematically biased
+        away from ``true_stride`` ("different walking patterns").
+    stride_jitter:
+        Std-dev of per-segment variation of the realised stride (gait
+        variability).
+    miscount_rate:
+        Std-dev of the *relative* step-count error ("in-phone sensor
+        quality"): counted = true_steps * (1 + N(0, miscount_rate^2)).
+    """
+
+    true_stride: float
+    estimated_stride: float
+    stride_jitter: float
+    miscount_rate: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.true_stride, "true_stride")
+        ensure_positive(self.estimated_stride, "estimated_stride")
+        ensure_positive(self.stride_jitter, "stride_jitter", strict=False)
+        ensure_positive(self.miscount_rate, "miscount_rate", strict=False)
+
+
+@dataclass(frozen=True)
+class FloorplanDataset:
+    """A simulated indoor floorplan campaign.
+
+    ``claims`` holds per-user distance estimates (metres) for each
+    hallway segment; ``segment_lengths`` is the manually measured ground
+    truth the paper uses for Fig. 7's "true weight" computation.
+    """
+
+    claims: ClaimMatrix
+    segment_lengths: np.ndarray
+    profiles: tuple[WalkerProfile, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.segment_lengths, dtype=float)
+        if lengths.shape != (self.claims.num_objects,):
+            raise ValueError(
+                f"segment_lengths shape {lengths.shape} does not match "
+                f"{self.claims.num_objects} segments"
+            )
+        if len(self.profiles) != self.claims.num_users:
+            raise ValueError(
+                f"{len(self.profiles)} profiles for {self.claims.num_users} users"
+            )
+        object.__setattr__(self, "segment_lengths", lengths)
+
+    @property
+    def num_users(self) -> int:
+        return self.claims.num_users
+
+    @property
+    def num_segments(self) -> int:
+        return self.claims.num_objects
+
+    def as_synthetic(self) -> SyntheticDataset:
+        """View as a :class:`SyntheticDataset` (shared experiment code).
+
+        The "error variance" of each user is estimated empirically from
+        their residuals against ground truth.
+        """
+        residuals = np.where(
+            self.claims.mask,
+            self.claims.values - self.segment_lengths[None, :],
+            0.0,
+        )
+        counts = np.maximum(self.claims.observation_counts, 1)
+        variances = (residuals**2).sum(axis=1) / counts
+        return SyntheticDataset(
+            claims=self.claims,
+            ground_truth=self.segment_lengths,
+            error_variances=variances,
+            lambda1=None,
+        )
+
+
+def generate_segment_lengths(
+    num_segments: int = PAPER_NUM_SEGMENTS,
+    *,
+    min_length: float = 4.0,
+    max_length: float = 40.0,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """True hallway-segment lengths (metres).
+
+    Buildings mix short connector hallways with long main corridors; a
+    log-uniform draw between ``min_length`` and ``max_length`` gives the
+    long-tailed mix typical of office floorplans.
+    """
+    ensure_int(num_segments, "num_segments", minimum=1)
+    ensure_positive(min_length, "min_length")
+    if max_length <= min_length:
+        raise ValueError("max_length must exceed min_length")
+    (rng,) = spawn_generators(random_state, 1)
+    log_lengths = rng.uniform(
+        np.log(min_length), np.log(max_length), size=num_segments
+    )
+    return np.exp(log_lengths)
+
+
+def sample_walker_profiles(
+    num_users: int = PAPER_NUM_USERS,
+    *,
+    stride_bias_std: float = 0.06,
+    stride_jitter_scale: float = 0.03,
+    miscount_scale: float = 0.05,
+    random_state: RandomState = None,
+) -> tuple[WalkerProfile, ...]:
+    """Draw heterogeneous walking/sensing profiles.
+
+    Quality varies across users on three axes, each drawn independently:
+    stride misestimation (lognormal bias factor around 1), gait jitter,
+    and step-miscount scale (half-normal, so some users have near-perfect
+    counters and a minority are quite bad — the long tail that makes
+    weighting worthwhile).
+    """
+    ensure_int(num_users, "num_users", minimum=1)
+    ensure_positive(stride_bias_std, "stride_bias_std", strict=False)
+    ensure_positive(stride_jitter_scale, "stride_jitter_scale", strict=False)
+    ensure_positive(miscount_scale, "miscount_scale", strict=False)
+    (rng,) = spawn_generators(random_state, 1)
+    profiles = []
+    for _ in range(num_users):
+        true_stride = float(rng.normal(_MEAN_STRIDE_M, 0.05))
+        true_stride = max(0.4, min(1.1, true_stride))
+        bias_factor = float(np.exp(rng.normal(0.0, stride_bias_std)))
+        estimated = true_stride * bias_factor
+        jitter = abs(float(rng.normal(0.0, stride_jitter_scale)))
+        miscount = abs(float(rng.normal(0.0, miscount_scale)))
+        profiles.append(
+            WalkerProfile(
+                true_stride=true_stride,
+                estimated_stride=estimated,
+                stride_jitter=jitter,
+                miscount_rate=miscount,
+            )
+        )
+    return tuple(profiles)
+
+
+def generate_floorplan_dataset(
+    num_users: int = PAPER_NUM_USERS,
+    num_segments: int = PAPER_NUM_SEGMENTS,
+    *,
+    coverage: float = 1.0,
+    stride_bias_std: float = 0.06,
+    miscount_scale: float = 0.05,
+    random_state: RandomState = None,
+) -> FloorplanDataset:
+    """Simulate the full campaign: every user walks (a subset of) segments.
+
+    Parameters
+    ----------
+    coverage:
+        Probability a given user walked a given segment.  1.0 reproduces
+        a complete matrix; lower values model partial participation
+        (every segment keeps at least one walker).
+    """
+    ensure_in_range(coverage, "coverage", 0.0, 1.0, low_inclusive=False)
+    rng_len, rng_prof, rng_walk, rng_cov = spawn_generators(random_state, 4)
+    lengths = generate_segment_lengths(num_segments, random_state=rng_len)
+    profiles = sample_walker_profiles(
+        num_users,
+        stride_bias_std=stride_bias_std,
+        miscount_scale=miscount_scale,
+        random_state=rng_prof,
+    )
+
+    values = np.zeros((num_users, num_segments))
+    for s, profile in enumerate(profiles):
+        # Realised stride on each segment: user's true stride + gait jitter.
+        strides = profile.true_stride + rng_walk.normal(
+            0.0, profile.stride_jitter + 1e-9, size=num_segments
+        )
+        strides = np.maximum(strides, 0.3)
+        true_steps = lengths / strides
+        counted = true_steps * (
+            1.0 + rng_walk.normal(0.0, profile.miscount_rate + 1e-9, size=num_segments)
+        )
+        counted = np.maximum(np.round(counted), 1.0)
+        values[s] = profile.estimated_stride * counted
+
+    if coverage >= 1.0:
+        mask = np.ones((num_users, num_segments), dtype=bool)
+    else:
+        mask = rng_cov.random((num_users, num_segments)) < coverage
+        for n in range(num_segments):
+            if not mask[:, n].any():
+                mask[rng_cov.integers(num_users), n] = True
+        for s in range(num_users):
+            if not mask[s].any():
+                mask[s, rng_cov.integers(num_segments)] = True
+        values = np.where(mask, values, 0.0)
+
+    claims = ClaimMatrix(values=values, mask=mask)
+    return FloorplanDataset(
+        claims=claims, segment_lengths=lengths, profiles=profiles
+    )

@@ -1,0 +1,119 @@
+"""Dataset persistence: claim matrices and dataset bundles on disk.
+
+Formats:
+
+* ``.npz`` — lossless round-trip of :class:`ClaimMatrix` /
+  :class:`SyntheticDataset` (values, mask, ids, metadata);
+* ``.csv`` — interoperable long format ``user_id,object_id,value`` for
+  exchanging claims with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.synthetic import SyntheticDataset
+from repro.truthdiscovery.claims import ClaimMatrix
+
+PathLike = Union[str, Path]
+
+
+def save_claims_npz(path: PathLike, claims: ClaimMatrix) -> None:
+    """Write a :class:`ClaimMatrix` to ``path`` (.npz)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        values=claims.values,
+        mask=claims.mask,
+        user_ids=json.dumps(list(claims.user_ids)),
+        object_ids=json.dumps(list(claims.object_ids)),
+    )
+
+
+def load_claims_npz(path: PathLike) -> ClaimMatrix:
+    """Read a :class:`ClaimMatrix` written by :func:`save_claims_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        return ClaimMatrix(
+            values=data["values"],
+            mask=data["mask"],
+            user_ids=tuple(json.loads(str(data["user_ids"]))),
+            object_ids=tuple(json.loads(str(data["object_ids"]))),
+        )
+
+
+def save_dataset_npz(path: PathLike, dataset: SyntheticDataset) -> None:
+    """Write a :class:`SyntheticDataset` bundle to ``path`` (.npz)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        values=dataset.claims.values,
+        mask=dataset.claims.mask,
+        user_ids=json.dumps(list(dataset.claims.user_ids)),
+        object_ids=json.dumps(list(dataset.claims.object_ids)),
+        ground_truth=dataset.ground_truth,
+        error_variances=dataset.error_variances,
+        lambda1=np.array(
+            dataset.lambda1 if dataset.lambda1 is not None else np.nan
+        ),
+    )
+
+
+def load_dataset_npz(path: PathLike) -> SyntheticDataset:
+    """Read a :class:`SyntheticDataset` written by :func:`save_dataset_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        claims = ClaimMatrix(
+            values=data["values"],
+            mask=data["mask"],
+            user_ids=tuple(json.loads(str(data["user_ids"]))),
+            object_ids=tuple(json.loads(str(data["object_ids"]))),
+        )
+        lambda1 = float(data["lambda1"])
+        return SyntheticDataset(
+            claims=claims,
+            ground_truth=data["ground_truth"],
+            error_variances=data["error_variances"],
+            lambda1=None if np.isnan(lambda1) else lambda1,
+        )
+
+
+def save_claims_csv(path: PathLike, claims: ClaimMatrix) -> None:
+    """Write observed claims as ``user_id,object_id,value`` rows."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["user_id", "object_id", "value"])
+        for user_id, object_id, value in claims.to_records():
+            writer.writerow([user_id, object_id, repr(value)])
+
+
+def load_claims_csv(path: PathLike) -> ClaimMatrix:
+    """Read claims from :func:`save_claims_csv` output.
+
+    Ids are kept as strings (CSV has no type information); numeric ids
+    written by :func:`save_claims_csv` therefore round-trip as strings —
+    use the .npz format when id types matter.
+    """
+    path = Path(path)
+    records = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["user_id", "object_id", "value"]:
+            raise ValueError(
+                f"unexpected CSV header {header!r}; expected "
+                "['user_id', 'object_id', 'value']"
+            )
+        for row in reader:
+            if len(row) != 3:
+                raise ValueError(f"malformed CSV row: {row!r}")
+            records.append((row[0], row[1], float(row[2])))
+    if not records:
+        raise ValueError(f"no claims found in {path}")
+    return ClaimMatrix.from_records(records)

@@ -1,0 +1,259 @@
+"""Synthetic crowd sensing data (paper Section 5.1).
+
+The paper simulates 150 users with qualities drawn per Assumption 4.1 —
+error variance ``sigma_s^2 ~ Exp(lambda1)`` — providing claims on 30
+objects: ``x^s_n = truth_n + N(0, sigma_s^2)``.  This module generates
+exactly that, plus controlled variations used by ablations (explicit
+variance vectors, unreliable minorities, missing observations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_int,
+    ensure_positive,
+)
+
+#: Paper defaults (Section 5.1): "we simulate 150 users ... for 30 objects".
+PAPER_NUM_USERS = 150
+PAPER_NUM_OBJECTS = 30
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A generated campaign: claims, ground truth, and generation metadata.
+
+    Attributes
+    ----------
+    claims:
+        The original (pre-perturbation) claim matrix ``{x^s_n}``.
+    ground_truth:
+        ``(N,)`` true values ``x^truth_n``.
+    error_variances:
+        ``(S,)`` per-user error variances ``sigma_s^2`` actually used.
+    lambda1:
+        Exponential rate the variances were drawn from (None when the
+        variances were supplied explicitly).
+    """
+
+    claims: ClaimMatrix
+    ground_truth: np.ndarray
+    error_variances: np.ndarray = field(repr=False)
+    lambda1: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        truth = np.asarray(self.ground_truth, dtype=float)
+        if truth.shape != (self.claims.num_objects,):
+            raise ValueError(
+                f"ground_truth shape {truth.shape} does not match "
+                f"{self.claims.num_objects} objects"
+            )
+        variances = np.asarray(self.error_variances, dtype=float)
+        if variances.shape != (self.claims.num_users,):
+            raise ValueError(
+                f"error_variances shape {variances.shape} does not match "
+                f"{self.claims.num_users} users"
+            )
+        object.__setattr__(self, "ground_truth", truth)
+        object.__setattr__(self, "error_variances", variances)
+
+    @property
+    def num_users(self) -> int:
+        return self.claims.num_users
+
+    @property
+    def num_objects(self) -> int:
+        return self.claims.num_objects
+
+    def user_errors(self) -> np.ndarray:
+        """``(S, N)`` signed errors ``x^s_n - truth_n`` (0 where unobserved)."""
+        return np.where(
+            self.claims.mask,
+            self.claims.values - self.ground_truth[None, :],
+            0.0,
+        )
+
+
+def sample_error_variances(
+    lambda1: float, num_users: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Draw ``sigma_s^2 ~ Exp(lambda1)`` (Assumption 4.1's data-side twin)."""
+    ensure_positive(lambda1, "lambda1")
+    ensure_int(num_users, "num_users", minimum=1)
+    rng = as_generator(random_state)
+    return rng.exponential(scale=1.0 / lambda1, size=num_users)
+
+
+def generate_synthetic(
+    num_users: int = PAPER_NUM_USERS,
+    num_objects: int = PAPER_NUM_OBJECTS,
+    *,
+    lambda1: float = 4.0,
+    truth_sampler: Optional[Callable[[np.random.Generator, int], np.ndarray]] = None,
+    missing_rate: float = 0.0,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Generate a Section 5.1 style dataset.
+
+    Parameters
+    ----------
+    num_users, num_objects:
+        Campaign shape; defaults are the paper's 150 x 30.
+    lambda1:
+        Rate of the exponential distribution of user error variances.
+        Larger lambda1 = better average data quality (mean variance
+        1/lambda1).  The paper sweeps this in Figure 3.
+    truth_sampler:
+        Callable ``(rng, n) -> (n,) truths``; defaults to Uniform(0, 10).
+        The absolute truth scale does not affect original-vs-perturbed
+        MAE, but a non-degenerate spread keeps per-object normalisation
+        realistic.
+    missing_rate:
+        Probability each (user, object) observation is dropped.  Kept at
+        0 for paper experiments (the paper's matrix is complete); exposed
+        for sparsity ablations.  Guaranteed: every object keeps >= 1
+        observation, every user keeps >= 1 claim.
+    random_state:
+        Seed / generator. The dataset is a pure function of it.
+    """
+    ensure_int(num_users, "num_users", minimum=1)
+    ensure_int(num_objects, "num_objects", minimum=1)
+    ensure_positive(lambda1, "lambda1")
+    ensure_in_range(missing_rate, "missing_rate", 0.0, 1.0, high_inclusive=False)
+    rng_truth, rng_var, rng_err, rng_mask = spawn_generators(random_state, 4)
+
+    if truth_sampler is None:
+        truths = rng_truth.uniform(0.0, 10.0, size=num_objects)
+    else:
+        truths = np.asarray(truth_sampler(rng_truth, num_objects), dtype=float)
+        if truths.shape != (num_objects,):
+            raise ValueError(
+                f"truth_sampler must return shape ({num_objects},), got "
+                f"{truths.shape}"
+            )
+
+    variances = sample_error_variances(lambda1, num_users, rng_var)
+    errors = rng_err.standard_normal((num_users, num_objects)) * np.sqrt(
+        variances
+    )[:, None]
+    values = truths[None, :] + errors
+
+    mask = _sample_mask(num_users, num_objects, missing_rate, rng_mask)
+    values = np.where(mask, values, 0.0)
+    claims = ClaimMatrix(values=values, mask=mask)
+    return SyntheticDataset(
+        claims=claims,
+        ground_truth=truths,
+        error_variances=variances,
+        lambda1=lambda1,
+    )
+
+
+def generate_with_variances(
+    error_variances: Sequence[float],
+    num_objects: int = PAPER_NUM_OBJECTS,
+    *,
+    truths: Optional[Sequence[float]] = None,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Generate claims for explicitly-specified user variances.
+
+    Used by tests and the weight-comparison experiment, where controlled
+    quality levels are needed ("simulate 150 users with various qualities
+    by setting different sigma_s^2").
+    """
+    variances = np.asarray(error_variances, dtype=float)
+    if variances.ndim != 1 or variances.size == 0:
+        raise ValueError("error_variances must be a non-empty 1-D sequence")
+    if np.any(variances < 0):
+        raise ValueError("error_variances must be non-negative")
+    ensure_int(num_objects, "num_objects", minimum=1)
+    rng_truth, rng_err = spawn_generators(random_state, 2)
+    if truths is None:
+        truth_arr = rng_truth.uniform(0.0, 10.0, size=num_objects)
+    else:
+        truth_arr = np.asarray(truths, dtype=float)
+        if truth_arr.shape != (num_objects,):
+            raise ValueError(
+                f"truths must have shape ({num_objects},), got {truth_arr.shape}"
+            )
+    errors = rng_err.standard_normal((variances.size, num_objects)) * np.sqrt(
+        variances
+    )[:, None]
+    claims = ClaimMatrix(values=truth_arr[None, :] + errors)
+    return SyntheticDataset(
+        claims=claims,
+        ground_truth=truth_arr,
+        error_variances=variances,
+        lambda1=None,
+    )
+
+
+def generate_with_adversaries(
+    num_users: int = PAPER_NUM_USERS,
+    num_objects: int = PAPER_NUM_OBJECTS,
+    *,
+    lambda1: float = 4.0,
+    adversary_fraction: float = 0.1,
+    adversary_bias: float = 5.0,
+    random_state: RandomState = None,
+) -> SyntheticDataset:
+    """Reliable majority plus a biased ("intent to deceive") minority.
+
+    Section 1 motivates truth discovery with users who "submit noisy or
+    fake information ... or even the intent to deceive"; this generator
+    gives the ablation benches such a population: the first
+    ``floor(adversary_fraction * S)`` users add a constant bias to every
+    claim on top of their Gaussian error.
+    """
+    ensure_in_range(adversary_fraction, "adversary_fraction", 0.0, 1.0)
+    base = generate_synthetic(
+        num_users,
+        num_objects,
+        lambda1=lambda1,
+        random_state=random_state,
+    )
+    num_adversaries = int(num_users * adversary_fraction)
+    if num_adversaries == 0:
+        return base
+    values = base.claims.values.copy()
+    values[:num_adversaries] += adversary_bias
+    # Adversaries' effective error variance is shifted; record the bias^2
+    # as an additive proxy so weight-recovery tests have a reference.
+    variances = base.error_variances.copy()
+    variances[:num_adversaries] += adversary_bias**2
+    return SyntheticDataset(
+        claims=base.claims.with_values(values),
+        ground_truth=base.ground_truth,
+        error_variances=variances,
+        lambda1=None,
+    )
+
+
+def _sample_mask(
+    num_users: int,
+    num_objects: int,
+    missing_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Observation mask with per-object and per-user coverage guarantees."""
+    if missing_rate <= 0.0:
+        return np.ones((num_users, num_objects), dtype=bool)
+    mask = rng.random((num_users, num_objects)) >= missing_rate
+    # Guarantee every object has an observer and every user a claim —
+    # re-enable a uniformly chosen entry where coverage collapsed.
+    for n in range(num_objects):
+        if not mask[:, n].any():
+            mask[rng.integers(num_users), n] = True
+    for s in range(num_users):
+        if not mask[s].any():
+            mask[s, rng.integers(num_objects)] = True
+    return mask

@@ -1,0 +1,82 @@
+"""Experiment harness: regenerates every figure in the paper's evaluation.
+
+``run_experiment("fig2")`` (or the CLI: ``repro-experiments run fig2``)
+executes the corresponding sweep and returns a
+:class:`~repro.experiments.results.FigureResult` that renders as tables
+and ASCII charts.
+"""
+
+from typing import Callable
+
+from repro.experiments import ablations, extensions
+from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6, fig7, fig8
+from repro.experiments.results import FigureResult, Panel, Series
+from repro.experiments.runner import (
+    FULL,
+    QUICK,
+    Profile,
+    TrialStats,
+    UtilityPoint,
+    get_profile,
+    measure_utility,
+)
+
+EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "ablation-methods": ablations.methods_ablation,
+    "ablation-mechanisms": ablations.mechanisms_ablation,
+    "ablation-scaling": ablations.scaling_experiment,
+    "ablation-sparsity": ablations.sparsity_ablation,
+    "ext-privacy-audit": extensions.privacy_audit,
+    "ext-categorical-rr": extensions.categorical_rr,
+    "ext-theory-check": extensions.theory_check,
+    "ext-tradeoff-window": extensions.tradeoff_window,
+}
+
+
+def _fig2_with_catd(profile="quick", **kwargs):
+    """Figure 2's sweep under CATD — a third method-generality check
+    (the paper demonstrates CRH and GTM; CATD extends the claim)."""
+    return fig2.run(profile, method="catd", **kwargs)
+
+
+EXPERIMENTS["fig2-catd"] = _fig2_with_catd
+
+
+def run_experiment(name: str, profile="quick", **kwargs) -> FigureResult:
+    """Run one named experiment and return its figure result."""
+    try:
+        fn = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(profile, **kwargs)
+
+
+def available_experiments() -> list[str]:
+    """Sorted names of all runnable experiments."""
+    return sorted(EXPERIMENTS)
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "FULL",
+    "FigureResult",
+    "Panel",
+    "Profile",
+    "QUICK",
+    "Series",
+    "TrialStats",
+    "UtilityPoint",
+    "available_experiments",
+    "get_profile",
+    "measure_utility",
+    "run_experiment",
+]

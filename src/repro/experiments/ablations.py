@@ -1,0 +1,264 @@
+"""Ablation experiments for the design choices the paper argues for.
+
+* :func:`methods_ablation` — Section 3.2, bullet 2: weighted aggregation
+  (CRH/GTM/CATD) "provides better accuracy than traditional aggregation
+  methods, such as mean or median" under noise.  Measured as
+  ground-truth error of each method's aggregate on perturbed data.
+* :func:`mechanisms_ablation` — what the private-variance layer and the
+  Gaussian shape buy: the paper's mechanism vs fixed-variance Gaussian
+  vs Laplace, all matched at equal expected |noise|.
+* :func:`scaling_experiment` — Section 5.3's claim (citing CRH) that
+  running time grows linearly in the number of objects.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.synthetic import generate_synthetic, generate_with_adversaries
+from repro.experiments.results import FigureResult, Panel, Series
+from repro.experiments.runner import get_profile
+from repro.metrics.accuracy import mae
+from repro.privacy.mechanisms import (
+    ExponentialVarianceGaussianMechanism,
+    FixedGaussianMechanism,
+    LaplaceMechanism,
+)
+from repro.privacy.noise import lambda2_for_expected_noise
+from repro.truthdiscovery.crh import CRH
+from repro.truthdiscovery.registry import create_method
+from repro.utils.rng import derive_seed
+
+DEFAULT_METHODS = ("crh", "gtm", "catd", "mean", "median")
+
+
+def methods_ablation(
+    profile="quick",
+    *,
+    base_seed: int = 2020,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    adversary_fraction: float = 0.15,
+) -> FigureResult:
+    """Ground-truth error of each aggregation method vs noise level.
+
+    Uses the adversarial synthetic population (a biased minority), where
+    uniform averaging visibly suffers — the regime truth discovery is
+    built for.
+    """
+    profile = get_profile(profile)
+    dataset = generate_with_adversaries(
+        num_users=profile.num_users,
+        num_objects=profile.num_objects,
+        lambda1=4.0,
+        adversary_fraction=adversary_fraction,
+        random_state=derive_seed(base_seed, "ablation-methods-data"),
+    )
+    noise_targets = np.linspace(0.1, 1.0, profile.grid_points)
+
+    series = []
+    for name in methods:
+        errors = []
+        for target in noise_targets:
+            mechanism = ExponentialVarianceGaussianMechanism(
+                lambda2_for_expected_noise(float(target))
+            )
+            trial_errors = []
+            for trial in range(profile.num_trials):
+                seed = derive_seed(
+                    base_seed, "ablation-methods", name, f"{target:.3f}", trial
+                )
+                perturbed = mechanism.perturb(dataset.claims, random_state=seed)
+                result = create_method(name).fit(perturbed.perturbed)
+                trial_errors.append(mae(dataset.ground_truth, result.truths))
+            errors.append(float(np.mean(trial_errors)))
+        series.append(
+            Series(label=name, x=tuple(float(t) for t in noise_targets), y=tuple(errors))
+        )
+
+    return FigureResult(
+        figure_id="ablation-methods",
+        title="Aggregation Methods under Perturbation (ground-truth error)",
+        panels=(
+            Panel(
+                title="Ground-truth MAE",
+                x_label="target avg |noise|",
+                y_label="MAE vs ground truth",
+                series=tuple(series),
+            ),
+        ),
+        metadata={
+            "adversary_fraction": adversary_fraction,
+            "trials_per_point": profile.num_trials,
+            "profile": profile.name,
+        },
+    )
+
+
+def mechanisms_ablation(
+    profile="quick", *, base_seed: int = 2020
+) -> FigureResult:
+    """Original-vs-perturbed MAE for the three mechanisms at matched noise."""
+    profile = get_profile(profile)
+    dataset = generate_synthetic(
+        num_users=profile.num_users,
+        num_objects=profile.num_objects,
+        lambda1=4.0,
+        random_state=derive_seed(base_seed, "ablation-mechanisms-data"),
+    )
+    method = CRH()
+    original = method.fit(dataset.claims)
+    noise_targets = np.linspace(0.1, 1.0, profile.grid_points)
+
+    def build(name: str, magnitude: float):
+        if name == "exp-gaussian":
+            return ExponentialVarianceGaussianMechanism(
+                lambda2_for_expected_noise(magnitude)
+            )
+        if name == "fixed-gaussian":
+            return FixedGaussianMechanism.matching_expected_noise(magnitude)
+        return LaplaceMechanism.matching_expected_noise(magnitude)
+
+    series = []
+    for name in ("exp-gaussian", "fixed-gaussian", "laplace"):
+        maes = []
+        for target in noise_targets:
+            mechanism = build(name, float(target))
+            trial_maes = []
+            for trial in range(profile.num_trials):
+                seed = derive_seed(
+                    base_seed, "ablation-mechanisms", name, f"{target:.3f}", trial
+                )
+                perturbed = mechanism.perturb(dataset.claims, random_state=seed)
+                result = CRH().fit(perturbed.perturbed)
+                trial_maes.append(mae(original.truths, result.truths))
+            maes.append(float(np.mean(trial_maes)))
+        series.append(
+            Series(label=name, x=tuple(float(t) for t in noise_targets), y=tuple(maes))
+        )
+
+    return FigureResult(
+        figure_id="ablation-mechanisms",
+        title="Perturbation Mechanisms at Matched Expected Noise",
+        panels=(
+            Panel(
+                title="Original-vs-perturbed MAE",
+                x_label="target avg |noise|",
+                y_label="MAE",
+                series=tuple(series),
+            ),
+        ),
+        metadata={
+            "method": "crh",
+            "trials_per_point": profile.num_trials,
+            "profile": profile.name,
+        },
+    )
+
+
+def sparsity_ablation(
+    profile="quick", *, base_seed: int = 2020
+) -> FigureResult:
+    """Effect of matrix density on private aggregation quality.
+
+    Real campaigns are sparse (each user answers a subset of
+    micro-tasks).  Sweeps the missing rate at a fixed moderate noise
+    level and reports original-vs-perturbed MAE — the utility metric —
+    plus ground-truth MAE for context.  Expected: both degrade
+    gracefully as evidence thins, with no cliff.
+    """
+    profile = get_profile(profile)
+    missing_rates = (0.0, 0.2, 0.4, 0.6, 0.8)
+    mechanism_lambda2 = lambda2_for_expected_noise(0.5)
+    utility_mae, truth_mae = [], []
+    for missing in missing_rates:
+        dataset = generate_synthetic(
+            num_users=profile.num_users,
+            num_objects=profile.num_objects,
+            lambda1=4.0,
+            missing_rate=missing,
+            random_state=derive_seed(base_seed, "sparsity-data", f"{missing}"),
+        )
+        method = CRH(per_claim=True)
+        original = method.fit(dataset.claims)
+        mechanism = ExponentialVarianceGaussianMechanism(mechanism_lambda2)
+        u_trials, t_trials = [], []
+        for trial in range(profile.num_trials):
+            seed = derive_seed(base_seed, "sparsity", f"{missing}", trial)
+            perturbed = mechanism.perturb(dataset.claims, random_state=seed)
+            result = CRH(per_claim=True).fit(perturbed.perturbed)
+            u_trials.append(mae(original.truths, result.truths))
+            t_trials.append(mae(dataset.ground_truth, result.truths))
+        utility_mae.append(float(np.mean(u_trials)))
+        truth_mae.append(float(np.mean(t_trials)))
+
+    xs = tuple(float(m) for m in missing_rates)
+    return FigureResult(
+        figure_id="ablation-sparsity",
+        title="Effect of Missing Observations (fixed noise 0.5)",
+        panels=(
+            Panel(
+                title="MAE",
+                x_label="missing rate",
+                y_label="MAE",
+                series=(
+                    Series(label="vs unperturbed", x=xs, y=tuple(utility_mae)),
+                    Series(label="vs ground truth", x=xs, y=tuple(truth_mae)),
+                ),
+            ),
+        ),
+        metadata={
+            "lambda1": 4.0,
+            "target_noise": 0.5,
+            "trials_per_point": profile.num_trials,
+            "profile": profile.name,
+        },
+    )
+
+
+def scaling_experiment(
+    profile="quick", *, base_seed: int = 2020
+) -> FigureResult:
+    """CRH running time vs number of objects (expected: ~linear)."""
+    profile = get_profile(profile)
+    if profile.name == "quick":
+        object_counts = (50, 100, 200, 400)
+        num_users, repeats = 60, 3
+    else:
+        object_counts = (100, 300, 1000, 3000, 10000)
+        num_users, repeats = 150, 5
+    times = []
+    for num_objects in object_counts:
+        dataset = generate_synthetic(
+            num_users=num_users,
+            num_objects=num_objects,
+            lambda1=4.0,
+            random_state=derive_seed(base_seed, "scaling", num_objects),
+        )
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            CRH().fit(dataset.claims)
+            samples.append(time.perf_counter() - start)
+        times.append(float(np.median(samples)))
+
+    xs = tuple(float(n) for n in object_counts)
+    return FigureResult(
+        figure_id="ablation-scaling",
+        title="Running Time vs Number of Objects",
+        panels=(
+            Panel(
+                title="Running Time",
+                x_label="objects",
+                y_label="seconds",
+                series=(Series(label="crh", x=xs, y=tuple(times)),),
+            ),
+        ),
+        metadata={
+            "users": num_users,
+            "repeats": repeats,
+            "profile": profile.name,
+        },
+    )

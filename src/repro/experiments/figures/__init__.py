@@ -1,0 +1,5 @@
+"""Per-figure experiment definitions (one module per paper figure)."""
+
+from repro.experiments.figures import fig2, fig3, fig4, fig5, fig6, fig7, fig8
+
+__all__ = ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"]

@@ -1,0 +1,50 @@
+"""Figure 2 — utility-privacy trade-off on synthetic data with CRH.
+
+Paper setup (Section 5.1): 150 users with error variances from
+Exp(lambda1), 30 objects; the mechanism's lambda2 is swept (via the
+epsilon axis) for delta in {0.2, 0.3, 0.4, 0.5}; CRH aggregates.
+
+Expected shape: added noise decreases in epsilon; MAE decreases slowly
+and stays a small fraction (~1/10 in the paper) of the added noise.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import generate_synthetic
+from repro.experiments.figures.common import tradeoff_figure
+from repro.experiments.results import FigureResult
+from repro.experiments.runner import get_profile
+from repro.privacy.sensitivity import lemma47_bound
+from repro.utils.rng import derive_seed
+
+#: Error-variance rate for the synthetic campaign; mean error variance
+#: 1/4 (std 0.5) gives the mid-quality population of the paper's setup.
+DEFAULT_LAMBDA1 = 4.0
+
+#: Lemma 4.7 parameters used to size the public sensitivity bound.
+SENSITIVITY_B = 2.0
+SENSITIVITY_ETA = 0.9
+
+
+def run(profile="quick", *, base_seed: int = 2020, method: str = "crh") -> FigureResult:
+    """Regenerate Figure 2 (or its GTM twin when ``method='gtm'``)."""
+    profile = get_profile(profile)
+    dataset = generate_synthetic(
+        num_users=profile.num_users,
+        num_objects=profile.num_objects,
+        lambda1=DEFAULT_LAMBDA1,
+        random_state=derive_seed(base_seed, "fig2-data"),
+    )
+    sensitivity = lemma47_bound(
+        DEFAULT_LAMBDA1, b=SENSITIVITY_B, eta=SENSITIVITY_ETA
+    ).value
+    return tradeoff_figure(
+        figure_id="fig2" if method == "crh" else f"fig2-{method}",
+        title=f"Utility-Privacy Trade-off on Synthetic Dataset ({method.upper()})",
+        claims=dataset.claims,
+        method=method,
+        sensitivity=sensitivity,
+        profile=profile,
+        base_seed=derive_seed(base_seed, "fig2-sweep"),
+        metadata={"lambda1": DEFAULT_LAMBDA1},
+    )

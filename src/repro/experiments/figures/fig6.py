@@ -1,0 +1,60 @@
+"""Figure 6 — utility-privacy trade-off on the indoor floorplan dataset.
+
+The paper's real deployment (247 users, 129 hallway segments) is
+replaced by the simulator in :mod:`repro.datasets.floorplan` (see
+DESIGN.md, substitutions).  The sweep itself is identical to Figure 2's;
+the sensitivity bound is estimated from the data because no analytic
+lambda1 exists for walking errors: we use twice the mean per-segment
+claim standard deviation, a public quantity a server could release.
+
+Expected shape: same pattern as the synthetic figures — noise falls with
+epsilon, MAE stays a small fraction of the noise.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.floorplan import generate_floorplan_dataset
+from repro.experiments.figures.common import tradeoff_figure
+from repro.experiments.results import FigureResult
+from repro.experiments.runner import get_profile
+from repro.utils.rng import derive_seed
+
+
+def floorplan_shape(profile) -> tuple[int, int]:
+    """Campaign shape by profile: paper scale for full, reduced for quick."""
+    if profile.name == "quick":
+        return 80, 40
+    return 247, 129
+
+
+def estimate_sensitivity(claims) -> float:
+    """Public sensitivity bound for distance claims (metres).
+
+    Two standard deviations of same-segment disagreement covers ~95% of
+    the spread a single user's claim could move within, matching
+    Definition 4.6's "range of information claimed about the same
+    object".
+    """
+    return float(2.0 * claims.object_stds().mean())
+
+
+def run(profile="quick", *, base_seed: int = 2020, method: str = "crh") -> FigureResult:
+    """Regenerate Figure 6: the trade-off on (simulated) floorplan data."""
+    profile = get_profile(profile)
+    num_users, num_segments = floorplan_shape(profile)
+    dataset = generate_floorplan_dataset(
+        num_users=num_users,
+        num_segments=num_segments,
+        random_state=derive_seed(base_seed, "fig6-data"),
+    )
+    sensitivity = estimate_sensitivity(dataset.claims)
+    return tradeoff_figure(
+        figure_id="fig6",
+        title="Utility-Privacy Trade-off on Indoor Floorplan Dataset",
+        claims=dataset.claims,
+        method=method,
+        sensitivity=sensitivity,
+        profile=profile,
+        base_seed=derive_seed(base_seed, "fig6-sweep"),
+        metadata={"dataset": "floorplan-sim"},
+    )

@@ -1,0 +1,111 @@
+"""ASCII chart rendering for experiment results.
+
+Offline-friendly replacement for matplotlib: renders a panel's series on
+a character grid with axis ticks and a legend.  Good enough to check the
+*shape* claims the reproduction targets (monotonicity, orderings,
+plateaus) directly in terminal output and in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.results import Panel
+
+_MARKERS = "ox+*#@%&"
+
+
+def _ticks(lo: float, hi: float, count: int) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def ascii_chart(panel: Panel, *, width: int = 68, height: int = 14) -> str:
+    """Render ``panel`` as an ASCII chart.
+
+    Each series gets a marker character; overlapping points show the
+    later series' marker.  Axes are annotated with min/max ticks.
+    """
+    if width < 20 or height < 6:
+        raise ValueError("chart needs width >= 20 and height >= 6")
+
+    xs = [x for s in panel.series for x in s.x]
+    ys = [y for s in panel.series for y in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if math.isclose(y_lo, y_hi):
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, int(round((1.0 - frac) * (height - 1)))))
+
+    for idx, series in enumerate(panel.series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        points = sorted(zip(series.x, series.y))
+        # Connect consecutive points with linear interpolation so trends
+        # read as lines, then stamp the markers on top.
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            steps = max(abs(to_col(x1) - to_col(x0)), 1)
+            for step in range(steps + 1):
+                t = step / steps
+                xi = x0 + (x1 - x0) * t
+                yi = y0 + (y1 - y0) * t
+                r, c = to_row(yi), to_col(xi)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in points:
+            grid[to_row(y)][to_col(x)] = marker
+
+    y_lo_label = f"{y_lo:.3g}"
+    y_hi_label = f"{y_hi:.3g}"
+    gutter = max(len(y_lo_label), len(y_hi_label)) + 1
+
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_hi_label.rjust(gutter)
+        elif r == height - 1:
+            prefix = y_lo_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * (gutter + 1) + x_axis)
+    lines.append(" " * (gutter + 1) + f"x: {panel.x_label}   y: {panel.y_label}")
+
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}"
+        for i, s in enumerate(panel.series)
+    )
+    lines.append(" " * (gutter + 1) + f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values, *, width: int = 32) -> str:
+    """Single-line trend summary (used in terse reports)."""
+    glyphs = " .:-=+*#%@"
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if math.isclose(lo, hi):
+        return glyphs[5] * min(len(vals), width)
+    # Resample to width points.
+    out = []
+    n = min(width, len(vals))
+    for i in range(n):
+        src = int(i * (len(vals) - 1) / max(n - 1, 1))
+        frac = (vals[src] - lo) / (hi - lo)
+        out.append(glyphs[min(len(glyphs) - 1, int(frac * (len(glyphs) - 1)))])
+    return "".join(out)

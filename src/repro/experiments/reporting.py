@@ -1,0 +1,77 @@
+"""Text-table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.results import FigureResult, Panel
+
+
+def format_table(rows: Sequence[Mapping], *, float_format: str = "{:.4g}") -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    Columns are the union of keys in first-seen order; floats use
+    ``float_format``.
+    """
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    divider = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    ]
+    return "\n".join([header, divider, *body])
+
+
+def panel_table(panel: Panel, *, float_format: str = "{:.4g}") -> str:
+    """Wide-format table for a panel: one row per x, one column per series."""
+    all_x = sorted({x for s in panel.series for x in s.x})
+    rows = []
+    for x in all_x:
+        row: dict = {panel.x_label: x}
+        for series in panel.series:
+            lookup = dict(zip(series.x, series.y))
+            if x in lookup:
+                row[series.label] = lookup[x]
+        rows.append(row)
+    return format_table(rows, float_format=float_format)
+
+
+def figure_markdown(figure: FigureResult) -> str:
+    """Markdown table block for EXPERIMENTS.md."""
+    lines = [f"### {figure.figure_id}: {figure.title}", ""]
+    for key, value in figure.metadata.items():
+        lines.append(f"- {key}: {value}")
+    if figure.metadata:
+        lines.append("")
+    for panel in figure.panels:
+        lines.append(f"**{panel.title}** ({panel.y_label} vs {panel.x_label})")
+        lines.append("")
+        all_x = sorted({x for s in panel.series for x in s.x})
+        header = [panel.x_label] + [s.label for s in panel.series]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for x in all_x:
+            cells = [f"{x:.4g}"]
+            for series in panel.series:
+                lookup = dict(zip(series.x, series.y))
+                cells.append(f"{lookup[x]:.4g}" if x in lookup else "")
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Result containers for experiments: series, panels, figures.
+
+Every paper figure is reproduced as a :class:`FigureResult` — a set of
+panels, each holding named (x, y) series.  The containers know how to
+render themselves as text tables and ASCII charts, which is how the
+benchmark harness reports the regenerated figures (no plotting
+dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: paired x/y values."""
+
+    label: str
+    x: tuple
+    y: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+        if not self.x:
+            raise ValueError(f"series {self.label!r} is empty")
+        object.__setattr__(self, "x", tuple(float(v) for v in self.x))
+        object.__setattr__(self, "y", tuple(float(v) for v in self.y))
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One subplot: several series over shared axes."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: tuple
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError(f"panel {self.title!r} has no series")
+        labels = [s.label for s in self.series]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"panel {self.title!r} has duplicate series labels")
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in panel {self.title!r}")
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A reproduced figure: identity, panels, and provenance metadata."""
+
+    figure_id: str
+    title: str
+    panels: tuple
+    metadata: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.panels:
+            raise ValueError("figure needs at least one panel")
+
+    def panel(self, title: str) -> Panel:
+        for p in self.panels:
+            if p.title == title:
+                return p
+        raise KeyError(f"no panel {title!r} in {self.figure_id}")
+
+    def to_rows(self) -> list[dict]:
+        """Flatten into table rows: one row per (panel, series, point)."""
+        rows = []
+        for panel in self.panels:
+            for series in panel.series:
+                for x, y in zip(series.x, series.y):
+                    rows.append(
+                        {
+                            "figure": self.figure_id,
+                            "panel": panel.title,
+                            "series": series.label,
+                            panel.x_label: x,
+                            panel.y_label: y,
+                        }
+                    )
+        return rows
+
+    def render(self, *, width: int = 68, height: int = 14) -> str:
+        """Tables + ASCII charts for every panel."""
+        from repro.experiments.plotting import ascii_chart
+        from repro.experiments.reporting import panel_table
+
+        blocks = [f"=== {self.figure_id}: {self.title} ==="]
+        for key, value in self.metadata.items():
+            blocks.append(f"    {key}: {value}")
+        for panel in self.panels:
+            blocks.append("")
+            blocks.append(f"--- {panel.title} ---")
+            blocks.append(panel_table(panel))
+            blocks.append(ascii_chart(panel, width=width, height=height))
+        return "\n".join(blocks)

@@ -1,0 +1,153 @@
+"""Multi-trial experiment execution.
+
+Perturbation is random, so every reported point is averaged over
+independent trials with derived seeds.  :class:`TrialStats` carries the
+mean plus spread so tables can show confidence alongside the headline
+number.  A :class:`Profile` scales trial counts and grid densities so the
+same experiment code serves quick CI checks and full paper-quality runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.mechanism import PrivateTruthDiscovery
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.utils.rng import derive_seed
+from repro.utils.validation import ensure_int
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean/std/extremes of one measured quantity across trials."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "TrialStats":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError("need at least one trial value")
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            count=int(arr.size),
+        )
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scales experiment cost: grid density and trials per point.
+
+    ``quick`` keeps the full sweep structure at reduced cost so tests and
+    benchmark CI runs finish in seconds; ``full`` is the paper-quality
+    setting used for EXPERIMENTS.md numbers.
+    """
+
+    name: str
+    num_trials: int
+    grid_points: int
+    num_users: int
+    num_objects: int
+
+    def __post_init__(self) -> None:
+        ensure_int(self.num_trials, "num_trials", minimum=1)
+        ensure_int(self.grid_points, "grid_points", minimum=2)
+        ensure_int(self.num_users, "num_users", minimum=2)
+        ensure_int(self.num_objects, "num_objects", minimum=1)
+
+
+QUICK = Profile(name="quick", num_trials=3, grid_points=5, num_users=60, num_objects=15)
+FULL = Profile(
+    name="full", num_trials=10, grid_points=12, num_users=150, num_objects=30
+)
+
+_PROFILES = {"quick": QUICK, "full": FULL}
+
+
+def get_profile(name_or_profile) -> Profile:
+    """Resolve a profile by name ('quick' / 'full') or pass one through."""
+    if isinstance(name_or_profile, Profile):
+        return name_or_profile
+    try:
+        return _PROFILES[name_or_profile]
+    except KeyError:
+        raise KeyError(
+            f"unknown profile {name_or_profile!r}; available: "
+            f"{sorted(_PROFILES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class UtilityPoint:
+    """One averaged measurement of the original-vs-perturbed comparison."""
+
+    mae: TrialStats
+    noise: TrialStats
+    rmse: TrialStats
+    private_seconds: TrialStats
+    original_seconds: TrialStats
+
+
+def measure_utility(
+    claims: ClaimMatrix,
+    pipeline: PrivateTruthDiscovery,
+    *,
+    num_trials: int,
+    base_seed: int,
+    label: str = "",
+) -> UtilityPoint:
+    """Average the paper's utility comparison over ``num_trials`` seeds.
+
+    Trial ``i`` uses seed ``derive_seed(base_seed, label, i)`` so that
+    points in a sweep are independent but individually reproducible.
+    """
+    ensure_int(num_trials, "num_trials", minimum=1)
+    maes, noises, rmses, private_s, original_s = [], [], [], [], []
+    for trial in range(num_trials):
+        seed = derive_seed(base_seed, "utility", label, trial)
+        evaluation = pipeline.evaluate_utility(claims, random_state=seed)
+        maes.append(evaluation.accuracy.mae)
+        rmses.append(evaluation.accuracy.rmse)
+        noises.append(evaluation.average_absolute_noise)
+        private_s.append(evaluation.private_seconds)
+        original_s.append(evaluation.original_seconds)
+    return UtilityPoint(
+        mae=TrialStats.from_values(maes),
+        noise=TrialStats.from_values(noises),
+        rmse=TrialStats.from_values(rmses),
+        private_seconds=TrialStats.from_values(private_s),
+        original_seconds=TrialStats.from_values(original_s),
+    )
+
+
+def sweep(
+    values: Sequence,
+    point_fn: Callable[[object], tuple[float, float]],
+) -> tuple[tuple, tuple]:
+    """Evaluate ``point_fn`` over ``values``; returns (xs, ys) tuples.
+
+    Tiny helper keeping figure modules declarative; ``point_fn`` returns
+    ``(x, y)`` so non-identity x mappings (e.g. plotting measured noise
+    instead of the swept parameter) stay explicit.
+    """
+    xs, ys = [], []
+    for value in values:
+        x, y = point_fn(value)
+        xs.append(float(x))
+        ys.append(float(y))
+    return tuple(xs), tuple(ys)
+
+
+def epsilon_grid(profile: Profile, *, low: float = 0.25, high: float = 3.0) -> tuple:
+    """The epsilon sweep used by Figures 2/5/6 (paper x-axis: 0 to 3)."""
+    return tuple(np.linspace(low, high, profile.grid_points))

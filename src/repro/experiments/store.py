@@ -1,0 +1,127 @@
+"""Persistence for experiment results.
+
+Figures serialise to a stable JSON schema so that runs can be archived,
+diffed across code versions, and re-rendered without re-running sweeps
+(full-profile figures take minutes).  :class:`ResultStore` manages a
+directory of saved figures keyed by figure id.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.results import FigureResult, Panel, Series
+
+PathLike = Union[str, Path]
+
+_SCHEMA_VERSION = 1
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    """Serialise a figure to plain JSON-compatible types."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "metadata": {str(k): _jsonable(v) for k, v in figure.metadata.items()},
+        "panels": [
+            {
+                "title": panel.title,
+                "x_label": panel.x_label,
+                "y_label": panel.y_label,
+                "series": [
+                    {"label": s.label, "x": list(s.x), "y": list(s.y)}
+                    for s in panel.series
+                ],
+            }
+            for panel in figure.panels
+        ],
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureResult:
+    """Inverse of :func:`figure_to_dict`."""
+    version = payload.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    panels = tuple(
+        Panel(
+            title=p["title"],
+            x_label=p["x_label"],
+            y_label=p["y_label"],
+            series=tuple(
+                Series(label=s["label"], x=tuple(s["x"]), y=tuple(s["y"]))
+                for s in p["series"]
+            ),
+        )
+        for p in payload["panels"]
+    )
+    return FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        panels=panels,
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def save_figure(figure: FigureResult, path: PathLike) -> Path:
+    """Write one figure to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(figure_to_dict(figure), indent=2) + "\n")
+    return path
+
+
+def load_figure(path: PathLike) -> FigureResult:
+    """Read a figure written by :func:`save_figure`."""
+    payload = json.loads(Path(path).read_text())
+    return figure_from_dict(payload)
+
+
+class ResultStore:
+    """A directory of saved figures, keyed by figure id."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, figure_id: str) -> Path:
+        if not figure_id or "/" in figure_id:
+            raise ValueError(f"invalid figure id {figure_id!r}")
+        return self._dir / f"{figure_id}.json"
+
+    def put(self, figure: FigureResult) -> Path:
+        """Save (overwriting any previous run of the same figure)."""
+        return save_figure(figure, self._path(figure.figure_id))
+
+    def get(self, figure_id: str) -> FigureResult:
+        path = self._path(figure_id)
+        if not path.exists():
+            raise KeyError(
+                f"no saved result for {figure_id!r} in {self._dir} "
+                f"(available: {self.list()})"
+            )
+        return load_figure(path)
+
+    def list(self) -> list[str]:
+        """Sorted ids of all saved figures."""
+        return sorted(p.stem for p in self._dir.glob("*.json"))
+
+    def __contains__(self, figure_id: str) -> bool:
+        return self._path(figure_id).exists()
+
+
+def _jsonable(value):
+    """Coerce metadata values to JSON-compatible types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)

@@ -1,0 +1,33 @@
+"""Evaluation metrics: aggregation accuracy, weight quality, empirical privacy."""
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    mae,
+    max_abs_error,
+    relative_mae,
+    rmse,
+)
+from repro.metrics.empirical_privacy import (
+    EmpiricalEpsilonEstimate,
+    distinguishing_advantage,
+    empirical_epsilon,
+)
+from repro.metrics.weights import (
+    WeightComparison,
+    true_weights,
+    weight_rank_agreement,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "EmpiricalEpsilonEstimate",
+    "WeightComparison",
+    "distinguishing_advantage",
+    "empirical_epsilon",
+    "mae",
+    "max_abs_error",
+    "relative_mae",
+    "rmse",
+    "true_weights",
+    "weight_rank_agreement",
+]

@@ -1,0 +1,74 @@
+"""Aggregation accuracy metrics.
+
+The paper's utility metric is "the commonly used L1-norm distance, i.e.,
+the mean of absolute distance (MAE) on all objects" between the
+aggregates computed on original and on perturbed data (Section 5.1).
+RMSE and max error are included for richer reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d, ensure_same_shape
+
+
+def mae(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean absolute error between two aggregate vectors (the paper's MAE)."""
+    a = ensure_1d(a, "a")
+    b = ensure_1d(b, "b")
+    ensure_same_shape(a, b, "a/b")
+    return float(np.mean(np.abs(a - b)))
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    """Root mean squared error between two aggregate vectors."""
+    a = ensure_1d(a, "a")
+    b = ensure_1d(b, "b")
+    ensure_same_shape(a, b, "a/b")
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def max_abs_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Worst-case per-object absolute deviation."""
+    a = ensure_1d(a, "a")
+    b = ensure_1d(b, "b")
+    ensure_same_shape(a, b, "a/b")
+    return float(np.max(np.abs(a - b)))
+
+
+def relative_mae(a: np.ndarray, b: np.ndarray, *, floor: float = 1e-12) -> float:
+    """MAE normalised by the mean magnitude of ``a`` (scale-free)."""
+    a = ensure_1d(a, "a")
+    b = ensure_1d(b, "b")
+    ensure_same_shape(a, b, "a/b")
+    denom = max(float(np.mean(np.abs(a))), floor)
+    return float(np.mean(np.abs(a - b))) / denom
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """All accuracy metrics for one (reference, estimate) pair."""
+
+    mae: float
+    rmse: float
+    max_abs_error: float
+    relative_mae: float
+
+    @classmethod
+    def compare(cls, reference: np.ndarray, estimate: np.ndarray) -> "AccuracyReport":
+        """Compute every metric for ``estimate`` against ``reference``."""
+        return cls(
+            mae=mae(reference, estimate),
+            rmse=rmse(reference, estimate),
+            max_abs_error=max_abs_error(reference, estimate),
+            relative_mae=relative_mae(reference, estimate),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MAE={self.mae:.4g} RMSE={self.rmse:.4g} "
+            f"max={self.max_abs_error:.4g} relMAE={self.relative_mae:.4g}"
+        )

@@ -1,0 +1,104 @@
+"""Privacy substrate: perturbation mechanisms, LDP accounting, sensitivity.
+
+Implements the client side of the paper's Algorithm 2 (the
+exponential-variance Gaussian mechanism), the (epsilon, delta)-local-DP
+accounting of Section 4.2, the sensitivity definitions of Definition 4.6
+and Lemma 4.7, and baseline mechanisms for ablations.
+"""
+
+from repro.privacy.accountant import PrivacyAccountant, PrivacyEvent
+from repro.privacy.attacks import (
+    AttackReport,
+    LikelihoodRatioAttacker,
+    ThresholdAttacker,
+    audit_mechanism,
+    marginal_density,
+    theoretical_marginal_advantage,
+)
+from repro.privacy.ldp import (
+    LDPGuarantee,
+    epsilon_for_variance,
+    epsilon_of_mechanism,
+    guarantee_of_mechanism,
+    lambda2_for_epsilon,
+    laplace_epsilon,
+    marginal_laplace_epsilon,
+    strict_gaussian_epsilon,
+    variance_for_epsilon,
+)
+from repro.privacy.mechanisms import (
+    ExponentialVarianceGaussianMechanism,
+    FixedGaussianMechanism,
+    LaplaceMechanism,
+    NullMechanism,
+    PerturbationMechanism,
+    PerturbationResult,
+    create_mechanism,
+)
+from repro.privacy.noise import (
+    expected_absolute_noise,
+    gaussian_absolute_moment,
+    lambda2_for_expected_noise,
+    sample_exponential_variances,
+    sample_gaussian_noise,
+)
+from repro.privacy.randomized_response import (
+    CategoricalPerturbationResult,
+    PrivatePreferenceRandomizedResponse,
+    RandomizedResponseMechanism,
+    debias_vote_counts,
+    epsilon_for_keep_probability,
+    keep_probability,
+)
+from repro.privacy.sensitivity import (
+    SensitivityBound,
+    gamma_factor,
+    global_claim_range,
+    lemma47_bound,
+    normalized_sensitivity,
+    per_user_claim_range,
+)
+
+__all__ = [
+    "AttackReport",
+    "CategoricalPerturbationResult",
+    "ExponentialVarianceGaussianMechanism",
+    "LikelihoodRatioAttacker",
+    "PrivatePreferenceRandomizedResponse",
+    "RandomizedResponseMechanism",
+    "ThresholdAttacker",
+    "audit_mechanism",
+    "debias_vote_counts",
+    "epsilon_for_keep_probability",
+    "keep_probability",
+    "marginal_density",
+    "theoretical_marginal_advantage",
+    "FixedGaussianMechanism",
+    "LDPGuarantee",
+    "LaplaceMechanism",
+    "NullMechanism",
+    "PerturbationMechanism",
+    "PerturbationResult",
+    "PrivacyAccountant",
+    "PrivacyEvent",
+    "SensitivityBound",
+    "create_mechanism",
+    "epsilon_for_variance",
+    "epsilon_of_mechanism",
+    "expected_absolute_noise",
+    "gamma_factor",
+    "gaussian_absolute_moment",
+    "global_claim_range",
+    "guarantee_of_mechanism",
+    "lambda2_for_epsilon",
+    "lambda2_for_expected_noise",
+    "laplace_epsilon",
+    "marginal_laplace_epsilon",
+    "lemma47_bound",
+    "normalized_sensitivity",
+    "per_user_claim_range",
+    "sample_exponential_variances",
+    "sample_gaussian_noise",
+    "strict_gaussian_epsilon",
+    "variance_for_epsilon",
+]

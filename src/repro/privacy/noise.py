@@ -1,0 +1,84 @@
+"""Noise-sampling primitives used by the perturbation mechanisms.
+
+Separated from the mechanisms so theory cross-checks and tests can sample
+from exactly the same distributions the mechanisms use.
+
+Distributional facts used across the library (derived, and property-tested
+in ``tests/privacy/test_noise.py``):
+
+* variance draw ``v ~ Exp(lambda2)`` has density ``lambda2 * exp(-lambda2 v)``,
+  mean ``1/lambda2`` (paper, Assumption 4.1);
+* given ``v``, noise ``xi ~ N(0, v)`` has ``E|xi| = sqrt(2 v / pi)``;
+* marginally over ``v``, ``E|xi| = sqrt(2/pi) * E[sqrt(v)]
+  = sqrt(2/pi) * sqrt(pi)/(2 sqrt(lambda2)) = 1 / sqrt(2 lambda2)``.
+
+The last identity is what the experiment harness uses to translate the
+"Average of Added Noise" axis of Figures 2b/3b/4b/5b/6b into ``lambda2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import ensure_int, ensure_positive
+
+
+def sample_exponential_variances(
+    lambda2: float, count: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Draw ``count`` noise variances ``delta_s^2 ~ Exp(lambda2)``.
+
+    This is line 3 of Algorithm 2: each user samples their own private
+    variance from the exponential distribution with the server-released
+    hyper-parameter ``lambda2``.
+    """
+    ensure_positive(lambda2, "lambda2")
+    ensure_int(count, "count", minimum=0)
+    rng = as_generator(random_state)
+    # numpy parameterises exponential by the scale (mean) = 1/lambda2.
+    return rng.exponential(scale=1.0 / lambda2, size=count)
+
+
+def sample_gaussian_noise(
+    variances: np.ndarray,
+    num_objects: int,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Draw the ``(S, N)`` noise matrix ``xi^s_n ~ N(0, delta_s^2)``.
+
+    Row ``s`` uses the s-th entry of ``variances`` (Eq. 4).
+    """
+    variances = np.asarray(variances, dtype=float)
+    if variances.ndim != 1:
+        raise ValueError("variances must be 1-D (one entry per user)")
+    if np.any(variances < 0):
+        raise ValueError("variances must be non-negative")
+    ensure_int(num_objects, "num_objects", minimum=0)
+    rng = as_generator(random_state)
+    std = np.sqrt(variances)[:, None]
+    return rng.standard_normal((variances.size, num_objects)) * std
+
+
+def expected_absolute_noise(lambda2: float) -> float:
+    """Closed-form ``E|xi|`` of the paper's mechanism: ``1/sqrt(2 lambda2)``."""
+    ensure_positive(lambda2, "lambda2")
+    return 1.0 / math.sqrt(2.0 * lambda2)
+
+
+def lambda2_for_expected_noise(noise_magnitude: float) -> float:
+    """Inverse of :func:`expected_absolute_noise`.
+
+    Given a target average absolute noise ``m``, returns the ``lambda2``
+    whose mechanism produces it: ``lambda2 = 1 / (2 m^2)``.
+    """
+    ensure_positive(noise_magnitude, "noise_magnitude")
+    return 1.0 / (2.0 * noise_magnitude**2)
+
+
+def gaussian_absolute_moment(std: float) -> float:
+    """``E|Z|`` for ``Z ~ N(0, std^2)``: ``std * sqrt(2/pi)``."""
+    ensure_positive(std, "std", strict=False)
+    return std * math.sqrt(2.0 / math.pi)

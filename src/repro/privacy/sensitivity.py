@@ -1,0 +1,118 @@
+"""Sensitive information (paper Definition 4.6 and Lemma 4.7).
+
+The sensitivity of user ``s`` is the width of the range of values they
+might claim about one object:
+
+    Delta_s = max_{x1, x2} |x1 - x2|.
+
+Two views are provided:
+
+* **Empirical** estimators computed from observed data — what a deployed
+  system can measure (per-user claim range, or a global claim range for a
+  uniform public bound).
+* **Analytic** bound from Lemma 4.7 — with error variance drawn from
+  ``Exp(lambda1)``, the claim spread satisfies
+  ``Delta_s <= gamma_s / lambda1`` with probability at least
+  ``eta * (1 - 2 exp(-b^2/2) / b)`` where
+  ``gamma_s = b * sqrt(2 * ln(1/(1-eta)))``.
+
+Note (documented deviation): Lemma 4.7's chain uses
+``M = sqrt(ln(1/(1-eta)) / lambda1)`` and then writes ``M <=
+sqrt(ln(1/(1-eta))) / lambda1`` under the assumption ``lambda1 >= 1``.
+We implement the bound exactly as stated (``gamma_s / lambda1``) and
+expose ``holds_probability`` so callers can see the associated confidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class SensitivityBound:
+    """Lemma 4.7 output: a bound value and the probability it holds."""
+
+    value: float
+    holds_probability: float
+    b: float
+    eta: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("sensitivity bound must be non-negative")
+
+
+def gamma_factor(b: float, eta: float) -> float:
+    """``gamma_s = b * sqrt(2 * ln(1/(1-eta)))`` (Lemma 4.7)."""
+    ensure_positive(b, "b")
+    ensure_in_range(eta, "eta", 0.0, 1.0, low_inclusive=False, high_inclusive=False)
+    return b * math.sqrt(2.0 * math.log(1.0 / (1.0 - eta)))
+
+
+def lemma47_bound(lambda1: float, *, b: float = 3.0, eta: float = 0.95) -> SensitivityBound:
+    """Analytic sensitivity bound ``Delta_s <= gamma_s / lambda1``.
+
+    Parameters
+    ----------
+    lambda1:
+        Parameter of the exponential distribution of users' error
+        variances (Assumption 4.1's counterpart for the original data).
+    b:
+        Gaussian tail multiplier; the bound holds with the tail factor
+        ``1 - 2 exp(-b^2 / 2) / b``.
+    eta:
+        Confidence that a user's error std is below the exponential
+        quantile ``M``.
+    """
+    ensure_positive(lambda1, "lambda1")
+    gamma = gamma_factor(b, eta)
+    tail = 1.0 - 2.0 * math.exp(-(b**2) / 2.0) / b
+    probability = max(0.0, eta * tail)
+    return SensitivityBound(
+        value=gamma / lambda1, holds_probability=probability, b=b, eta=eta
+    )
+
+
+def per_user_claim_range(claims: ClaimMatrix) -> np.ndarray:
+    """Empirical ``Delta_s``: range (max - min) of each user's claims.
+
+    Users with a single observation get range 0; callers aggregating
+    should treat that as "no evidence", not "no sensitivity".
+    """
+    out = np.zeros(claims.num_users)
+    for s in range(claims.num_users):
+        vals = claims.claims_for_user(s)
+        if vals.size >= 2:
+            out[s] = float(vals.max() - vals.min())
+    return out
+
+
+def global_claim_range(claims: ClaimMatrix) -> float:
+    """Uniform public sensitivity: range of all observed claims.
+
+    A server that publishes one ``lambda2`` for everyone (Algorithm 2
+    line 3) sizes it against a single public bound; the global claim
+    range is the conservative choice.
+    """
+    observed = claims.observed_values()
+    return float(observed.max() - observed.min())
+
+
+def normalized_sensitivity(claims: ClaimMatrix) -> float:
+    """Global claim range divided by the mean per-object std.
+
+    A scale-free sensitivity useful when comparing datasets whose claims
+    live on different numeric scales (synthetic vs floorplan metres).
+    """
+    stds = claims.object_stds()
+    rng_ = global_claim_range(claims)
+    mean_std = float(stds.mean())
+    if mean_std <= 0:
+        return rng_
+    return rng_ / mean_std

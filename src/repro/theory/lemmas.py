@@ -1,0 +1,81 @@
+"""Supporting lemmas from the paper, implemented as checkable functions.
+
+* **Lemma 4.4** — for weights ``w_s = f(t_s)`` with ``f`` monotonically
+  decreasing, the weighted average of the ``t_s`` never exceeds their
+  unweighted average.  This is the pivot of the utility proof (it lets
+  the weighted double sum be bounded by the uniform one) and the formal
+  version of "truth discovery down-weights noisy users".  We expose both
+  the inequality check and the Chebyshev-sum decomposition used in
+  Appendix B, and property-test the lemma with hypothesis.
+
+* **Gaussian tail inequality** (used by Lemma 4.7):
+  ``Pr{|X| > b sqrt(2) sigma} <= 2 exp(-b^2/2) / b`` for
+  ``X ~ N(0, 2 sigma^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def weighted_average_bound_holds(
+    t: np.ndarray, f: Callable[[np.ndarray], np.ndarray], *, atol: float = 1e-9
+) -> bool:
+    """Check Lemma 4.4 for concrete values: weighted avg <= plain avg.
+
+    Parameters
+    ----------
+    t:
+        Per-user loss values ``t_s`` (non-negative not required).
+    f:
+        Monotonically decreasing weight function; must return positive
+        weights for the check to be meaningful.
+    """
+    t = ensure_1d(t, "t")
+    w = np.asarray(f(t), dtype=float)
+    if w.shape != t.shape:
+        raise ValueError("f must return one weight per t entry")
+    if np.any(w < 0) or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    weighted = float((w * t).sum() / w.sum())
+    plain = float(t.mean())
+    return weighted <= plain + atol
+
+
+def chebyshev_sum_gap(t: np.ndarray, w: np.ndarray) -> float:
+    """Appendix B's quantity ``S * sum w_s t_s - sum t_s * sum w_s``.
+
+    Lemma 4.4 asserts this is <= 0 whenever ``w`` is produced by a
+    decreasing function of ``t`` (a Chebyshev-sum inequality).  Returned
+    raw so tests can assert the sign.
+    """
+    t = ensure_1d(t, "t")
+    w = ensure_1d(w, "w")
+    if t.shape != w.shape:
+        raise ValueError("t and w must have the same length")
+    s = len(t)
+    return float(s * (w * t).sum() - t.sum() * w.sum())
+
+
+def gaussian_tail_bound(b: float) -> float:
+    """``2 exp(-b^2/2) / b`` — the tail mass bound used in Lemma 4.7."""
+    ensure_positive(b, "b")
+    return 2.0 * math.exp(-(b**2) / 2.0) / b
+
+
+def gaussian_tail_probability_exact(b: float) -> float:
+    """Exact ``Pr{|Z| > b}`` for standard normal Z (for bound-tightness
+    tests): ``2 * (1 - Phi(b))``."""
+    ensure_positive(b, "b")
+    return float(2.0 * (1.0 - 0.5 * (1.0 + math.erf(b / math.sqrt(2.0)))))
+
+
+def mean_absolute_gaussian(scale: float) -> float:
+    """Eq. 9: ``E|X| = sqrt(2/pi) * scale`` for ``X ~ N(0, scale^2)``."""
+    ensure_positive(scale, "scale", strict=False)
+    return math.sqrt(2.0 / math.pi) * scale

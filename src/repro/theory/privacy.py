@@ -1,0 +1,93 @@
+"""Privacy analysis (paper Section 4.2: Lemma 4.7 and Theorem 4.8).
+
+Theorem 4.8 lower-bounds the noise level ``c = lambda1/lambda2`` needed
+for (epsilon, delta)-LDP.  The chain is:
+
+1. Eq. 18: with realised noise variance ``y``, the Gaussian density-ratio
+   factor is ``exp(Delta_s^2 / (2y))``; it is at most ``e^eps`` iff
+   ``y >= Delta_s^2 / (2 eps)``.
+2. The variance is Exp(lambda2), so
+   ``Pr{y >= Delta_s^2/(2 eps)} = exp(-lambda2 Delta_s^2/(2 eps))``
+   must be >= 1 - delta, giving
+   ``c >= lambda1 Delta_s^2 / (2 eps ln(1/(1-delta)))``.
+3. Lemma 4.7 bounds ``Delta_s <= gamma_s / lambda1`` with
+   ``gamma_s = b sqrt(2 ln(1/(1-eta)))``, giving
+   ``c >= gamma_s^2 / (2 eps lambda1 ln(1/(1-delta)))``.
+
+The printed theorem omits ``eps`` (its ``eps = 1`` specialisation); both
+forms are exposed.  See DESIGN.md "Known typos".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.privacy.sensitivity import gamma_factor
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+def min_noise_level_from_sensitivity(
+    lambda1: float, sensitivity: float, epsilon: float, delta: float
+) -> float:
+    """Step-2 bound: ``c >= lambda1 Delta^2 / (2 eps ln(1/(1-delta)))``."""
+    ensure_positive(lambda1, "lambda1")
+    ensure_positive(sensitivity, "sensitivity", strict=False)
+    ensure_positive(epsilon, "epsilon")
+    ensure_in_range(delta, "delta", 0.0, 1.0, low_inclusive=False, high_inclusive=False)
+    return lambda1 * sensitivity**2 / (2.0 * epsilon * math.log(1.0 / (1.0 - delta)))
+
+
+def min_noise_level(
+    lambda1: float,
+    epsilon: float,
+    delta: float,
+    *,
+    b: float = 3.0,
+    eta: float = 0.95,
+) -> float:
+    """Theorem 4.8 bound with Lemma 4.7's sensitivity:
+
+    ``c >= gamma_s^2 / (2 eps lambda1 ln(1/(1-delta)))`` where
+    ``gamma_s = b sqrt(2 ln(1/(1-eta)))``.
+
+    Decreasing in ``lambda1`` (better data quality needs less noise) and
+    in ``epsilon``/``delta`` slack (weaker privacy needs less noise) —
+    matching the paper's discussion after the theorem.
+    """
+    ensure_positive(lambda1, "lambda1")
+    ensure_positive(epsilon, "epsilon")
+    ensure_in_range(delta, "delta", 0.0, 1.0, low_inclusive=False, high_inclusive=False)
+    gamma = gamma_factor(b, eta)
+    return gamma**2 / (2.0 * epsilon * lambda1 * math.log(1.0 / (1.0 - delta)))
+
+
+def min_noise_level_paper(
+    lambda1: float,
+    delta: float,
+    *,
+    b: float = 3.0,
+    eta: float = 0.95,
+) -> float:
+    """The bound exactly as printed in Theorem 4.8 (epsilon omitted).
+
+    Equals :func:`min_noise_level` evaluated at ``epsilon = 1``.
+    """
+    return min_noise_level(lambda1, 1.0, delta, b=b, eta=eta)
+
+
+def epsilon_from_noise_level(
+    lambda1: float,
+    c: float,
+    delta: float,
+    *,
+    b: float = 3.0,
+    eta: float = 0.95,
+) -> float:
+    """Invert Theorem 4.8: the epsilon achieved at noise level ``c``.
+
+    ``eps = gamma_s^2 / (2 c lambda1 ln(1/(1-delta)))``.  Used to label
+    experiment sweeps by their theoretical epsilon.
+    """
+    ensure_positive(c, "c")
+    gamma = gamma_factor(b, eta)
+    return gamma**2 / (2.0 * c * lambda1 * math.log(1.0 / (1.0 - delta)))

@@ -1,0 +1,188 @@
+"""Utility analysis (paper Section 4.1: Definition 4.2, Theorem 4.3, A.1).
+
+(alpha, beta)-utility (Def. 4.2): the probability that perturbation moves
+the aggregate by at least ``alpha`` (mean absolute over objects) is at
+most ``beta``.
+
+Theorem 4.3 gives two quantities, both implemented here:
+
+* ``max_noise_level`` — the largest noise level
+  ``c = E[noise var] / E[error var]`` for which (alpha, beta)-utility is
+  guaranteed:
+
+      C = lambda1 * sqrt(pi) * ( alpha^2 beta S^2 / (4 sqrt(2))
+                                 + alpha^2 sqrt(pi) / 8
+                                 + alpha + 2 / sqrt(pi) ) - 2        (Eq. 15)
+
+* ``alpha_threshold`` — the smallest alpha for which the guarantee can
+  hold at a given ``c``.  The proof requires
+  ``alpha > 2 sqrt(2/pi) * E[Y]``; we compute E[Y] from the derived
+  closed form (see :mod:`repro.theory.distributions`).  The paper's
+  printed alpha_{lambda,c} expression is kept as
+  ``alpha_threshold_paper`` for reference — it is real-valued only for
+  c < 1 and suffers from the OCR issues documented in DESIGN.md.
+
+Also implemented: the explicit Chebyshev bound on the failure
+probability (Eq. 13) and the Appendix A special case ``c = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.theory.distributions import PairDeviationDistribution
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_int,
+    ensure_positive,
+)
+
+
+def max_noise_level(
+    lambda1: float, alpha: float, beta: float, num_users: int
+) -> float:
+    """Theorem 4.3's upper bound ``C_{lambda1, alpha, beta, S}`` (Eq. 15).
+
+    The largest noise level ``c`` at which (alpha, beta)-utility is still
+    guaranteed.  Monotonically increasing in ``alpha``, ``beta``, ``S``
+    and ``lambda1`` — all four monotonicities are property-tested.
+    """
+    ensure_positive(lambda1, "lambda1")
+    ensure_positive(alpha, "alpha")
+    ensure_in_range(beta, "beta", 0.0, 1.0)
+    ensure_int(num_users, "num_users", minimum=1)
+    s = float(num_users)
+    inner = (
+        alpha**2 * beta * s**2 / (4.0 * math.sqrt(2.0))
+        + alpha**2 * math.sqrt(math.pi) / 8.0
+        + alpha
+        + 2.0 / math.sqrt(math.pi)
+    )
+    return lambda1 * math.sqrt(math.pi) * inner - 2.0
+
+
+def alpha_threshold(lambda1: float, c: float) -> float:
+    """Smallest admissible ``alpha`` at noise level ``c``.
+
+    From the proof of Theorem 4.3: the deterministic part of the bound
+    forces ``alpha > 2 sqrt(2/pi) E[Y]``, with ``Y`` the pairwise
+    deviation scale at ``(lambda1, lambda2 = lambda1/c)``.
+    """
+    ensure_positive(lambda1, "lambda1")
+    ensure_positive(c, "c")
+    dist = PairDeviationDistribution(lambda1=lambda1, lambda2=lambda1 / c)
+    return 2.0 * math.sqrt(2.0 / math.pi) * dist.mean()
+
+
+def alpha_threshold_paper(lambda1: float, c: float) -> float:
+    """The paper's printed ``alpha_{lambda, c}`` (Theorem 4.3 statement).
+
+    ``(2 sqrt(2) / sqrt(lambda1 (1 - c))) *
+    (3/4 - c (c + sqrt(c) + 1) / (sqrt(2) (1 + sqrt(c))))``
+
+    Only real-valued for ``c < 1``; retained verbatim for comparison
+    with :func:`alpha_threshold`.  Raises ``ValueError`` for c >= 1.
+    """
+    ensure_positive(lambda1, "lambda1")
+    ensure_positive(c, "c")
+    if c >= 1.0:
+        raise ValueError(
+            "the paper's printed alpha threshold is real-valued only for "
+            f"c < 1 (got c={c}); use alpha_threshold() instead"
+        )
+    lead = 2.0 * math.sqrt(2.0) / math.sqrt(lambda1 * (1.0 - c))
+    body = 0.75 - c * (c + math.sqrt(c) + 1.0) / (
+        math.sqrt(2.0) * (1.0 + math.sqrt(c))
+    )
+    return lead * body
+
+
+def alpha_threshold_c1(lambda1: float) -> float:
+    """Appendix A threshold for ``c = 1``: ``(15/8) sqrt(2 / lambda1)``.
+
+    Derived from ``E[Y] = (15/16) sqrt(pi/lambda1)`` via
+    ``alpha > 2 sqrt(2/pi) E[Y]``; the printed Theorem A.1 constant
+    drops a division by sqrt(lambda1) (see DESIGN.md).
+    """
+    ensure_positive(lambda1, "lambda1")
+    return (15.0 / 8.0) * math.sqrt(2.0 / lambda1)
+
+
+def utility_failure_bound(
+    lambda1: float, c: float, alpha: float, num_users: int
+) -> float:
+    """Eq. 13's explicit bound on ``Pr{mean |x* - xhat*| >= alpha}``.
+
+    ``16 sqrt(2/pi) Var(Y) / (S^2 alpha^2)`` plus 1 if the deterministic
+    condition ``2 sqrt(2/pi) E[Y] < alpha`` fails (the indicator term of
+    the proof: once the exponential distributions are fixed, that
+    probability is either 0 or 1).  Clipped to [0, 1].
+    """
+    ensure_positive(alpha, "alpha")
+    ensure_int(num_users, "num_users", minimum=1)
+    dist = PairDeviationDistribution(lambda1=lambda1, lambda2=lambda1 / c)
+    chebyshev = (
+        16.0
+        * math.sqrt(2.0 / math.pi)
+        * dist.variance()
+        / (num_users**2 * alpha**2)
+    )
+    indicator = 0.0 if alpha > 2.0 * math.sqrt(2.0 / math.pi) * dist.mean() else 1.0
+    return min(1.0, chebyshev + indicator)
+
+
+def utility_failure_bound_c1(
+    lambda1: float, alpha: float, num_users: int
+) -> float:
+    """Appendix A (Eq. 21) specialisation of :func:`utility_failure_bound`.
+
+    With ``c = 1``: ``Var(Y) = (3 - 225 pi / 256) / lambda1``, so the
+    Chebyshev term is ``16 sqrt(2/pi) (3 - 225 pi/256) / (lambda1 S^2
+    alpha^2)`` — which tends to 0 as S grows, giving Theorem A.1's
+    asymptotic utility.
+    """
+    ensure_positive(lambda1, "lambda1")
+    ensure_positive(alpha, "alpha")
+    ensure_int(num_users, "num_users", minimum=1)
+    var_y = (3.0 - 225.0 * math.pi / 256.0) / lambda1
+    chebyshev = 16.0 * math.sqrt(2.0 / math.pi) * var_y / (
+        num_users**2 * alpha**2
+    )
+    indicator = 0.0 if alpha > alpha_threshold_c1(lambda1) else 1.0
+    return min(1.0, chebyshev + indicator)
+
+
+def satisfies_utility(
+    lambda1: float,
+    c: float,
+    alpha: float,
+    beta: float,
+    num_users: int,
+) -> bool:
+    """Check Theorem 4.3's two conditions for (alpha, beta)-utility.
+
+    True when ``alpha`` exceeds the threshold at ``(lambda1, c)`` and
+    ``c`` does not exceed ``C_{lambda1, alpha, beta, S}``.
+    """
+    ensure_in_range(beta, "beta", 0.0, 1.0)
+    if alpha <= alpha_threshold(lambda1, c):
+        return False
+    return c <= max_noise_level(lambda1, alpha, beta, num_users)
+
+
+def min_alpha_for_beta(
+    lambda1: float, c: float, beta: float, num_users: int
+) -> float:
+    """Smallest alpha achieving failure bound <= beta at noise level c.
+
+    Combines the deterministic threshold with the Chebyshev term:
+    ``alpha >= max(threshold, sqrt(16 sqrt(2/pi) Var(Y) / (S^2 beta)))``.
+    Useful for plotting achievable (alpha, beta) frontiers.
+    """
+    ensure_in_range(beta, "beta", 0.0, 1.0, low_inclusive=False)
+    ensure_int(num_users, "num_users", minimum=1)
+    dist = PairDeviationDistribution(lambda1=lambda1, lambda2=lambda1 / c)
+    from_var = math.sqrt(
+        16.0 * math.sqrt(2.0 / math.pi) * dist.variance() / (num_users**2 * beta)
+    )
+    return max(alpha_threshold(lambda1, c), from_var)

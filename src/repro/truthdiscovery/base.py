@@ -1,0 +1,197 @@
+"""The general truth discovery framework (paper Algorithm 1).
+
+Every concrete method — CRH, GTM, CATD, and the naive baselines — plugs
+into the same two-step fixed-point loop:
+
+1. **Aggregation** (Eq. 1): with weights fixed, each truth is the
+   weight-normalised average of the claims on that object.
+2. **Weight estimation** (Eq. 2): with truths fixed, each user's weight is
+   a monotonically decreasing function of the total distance between their
+   claims and the truths.
+
+Subclasses override :meth:`estimate_weights` (and, for non-linear models
+such as GTM, :meth:`aggregate`).  The loop, convergence handling, masking,
+and bookkeeping live here exactly once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.convergence import (
+    ConvergenceCriterion,
+    default_criterion,
+)
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("truthdiscovery")
+
+
+@dataclass(frozen=True)
+class TruthDiscoveryResult:
+    """Outcome of one truth discovery run.
+
+    Attributes
+    ----------
+    truths:
+        ``(N,)`` aggregated results ``x*`` (Eq. 1 output at convergence).
+    weights:
+        ``(S,)`` final user weights ``w`` (normalised to sum to S so that
+        weight 1.0 means "average user"; scale does not affect Eq. 1).
+    iterations:
+        Number of aggregation/weight rounds executed.
+    converged:
+        True when the convergence criterion fired before its safety cap.
+    method:
+        Name of the producing method (for reports).
+    truth_history:
+        Truth vector after every iteration; useful for convergence plots.
+    """
+
+    truths: np.ndarray
+    weights: np.ndarray
+    iterations: int
+    converged: bool
+    method: str
+    truth_history: tuple = field(default=(), repr=False)
+
+    def weight_of(self, user_index: int) -> float:
+        """Weight of a single user by row index."""
+        return float(self.weights[user_index])
+
+
+def weighted_aggregate(claims: ClaimMatrix, weights: np.ndarray) -> np.ndarray:
+    """Eq. 1: per-object weighted average of observed claims.
+
+    ``x*_n = sum_s w_s x^s_n / sum_s w_s`` over the users who observed
+    object ``n``.  Weights must be non-negative with at least one positive
+    weight among the observers of every object.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (claims.num_users,):
+        raise ValueError(
+            f"weights must have shape ({claims.num_users},), got {weights.shape}"
+        )
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    w_masked = np.where(claims.mask, weights[:, None], 0.0)
+    denom = w_masked.sum(axis=0)
+    if np.any(denom <= 0):
+        # Total weight on an object collapsed to zero (all its observers got
+        # zero weight).  Fall back to a plain mean for those objects rather
+        # than dividing by zero: with no quality signal, uniform is the
+        # least-wrong prior.
+        bad = denom <= 0
+        uniform = claims.object_means()
+        w_masked = np.where(claims.mask, weights[:, None], 0.0)
+        num = (w_masked * claims.values).sum(axis=0)
+        out = np.where(bad, uniform, num / np.where(bad, 1.0, denom))
+        return out
+    return (w_masked * claims.values).sum(axis=0) / denom
+
+
+class TruthDiscoveryMethod(ABC):
+    """Abstract base: the Algorithm 1 loop with pluggable steps."""
+
+    #: Human-readable method name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(
+        self, convergence: Optional[ConvergenceCriterion] = None
+    ) -> None:
+        self._convergence = convergence if convergence is not None else default_criterion()
+
+    # -- steps ----------------------------------------------------------
+    def initial_weights(self, claims: ClaimMatrix) -> np.ndarray:
+        """Line 1 of Algorithm 1: uniform weights unless overridden."""
+        return np.ones(claims.num_users)
+
+    def aggregate(
+        self, claims: ClaimMatrix, weights: np.ndarray
+    ) -> np.ndarray:
+        """Aggregation step (Eq. 1).  GTM overrides with its posterior mean."""
+        return weighted_aggregate(claims, weights)
+
+    @abstractmethod
+    def estimate_weights(
+        self, claims: ClaimMatrix, truths: np.ndarray
+    ) -> np.ndarray:
+        """Weight estimation step (Eq. 2); must return non-negative (S,)."""
+
+    # -- loop -----------------------------------------------------------
+    def fit(
+        self, claims: ClaimMatrix, *, record_history: bool = False
+    ) -> TruthDiscoveryResult:
+        """Run the full iterative procedure on ``claims``.
+
+        Parameters
+        ----------
+        claims:
+            Input claim matrix (original or perturbed).
+        record_history:
+            When True, keep the truth vector after every iteration in
+            ``result.truth_history`` (memory scales with iterations x N).
+        """
+        if not isinstance(claims, ClaimMatrix):
+            claims = ClaimMatrix(np.asarray(claims, dtype=float))
+        self._convergence.reset()
+        weights = np.asarray(self.initial_weights(claims), dtype=float)
+        history: list[np.ndarray] = []
+        truths = self.aggregate(claims, weights)
+        iterations = 0
+        converged = False
+        while True:
+            iterations += 1
+            weights = np.asarray(
+                self.estimate_weights(claims, truths), dtype=float
+            )
+            self._validate_weights(weights, claims)
+            truths = self.aggregate(claims, weights)
+            if record_history:
+                history.append(truths.copy())
+            if self._convergence.update(truths, weights):
+                converged = not self._convergence.exhausted
+                break
+        weights = self._normalise(weights)
+        _LOGGER.debug(
+            "%s finished after %d iterations (converged=%s)",
+            self.name,
+            iterations,
+            converged,
+        )
+        return TruthDiscoveryResult(
+            truths=truths,
+            weights=weights,
+            iterations=iterations,
+            converged=converged,
+            method=self.name,
+            truth_history=tuple(history),
+        )
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _validate_weights(weights: np.ndarray, claims: ClaimMatrix) -> None:
+        if weights.shape != (claims.num_users,):
+            raise ValueError(
+                f"estimate_weights returned shape {weights.shape}, expected "
+                f"({claims.num_users},)"
+            )
+        if not np.all(np.isfinite(weights)):
+            raise ValueError("estimate_weights returned non-finite weights")
+        if np.any(weights < 0):
+            raise ValueError("estimate_weights returned negative weights")
+
+    @staticmethod
+    def _normalise(weights: np.ndarray) -> np.ndarray:
+        total = weights.sum()
+        if total <= 0:
+            return np.ones_like(weights)
+        return weights * (len(weights) / total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,265 @@
+"""Claim-matrix data model for continuous truth discovery.
+
+A crowd sensing campaign produces, for ``S`` users and ``N`` objects
+(micro-tasks), a matrix of continuous claims ``x[s, n]`` — the value the
+s-th user reports for the n-th object (paper, Section 2).  Real campaigns
+are sparse: not every user observes every object, so the matrix carries an
+observation mask.
+
+:class:`ClaimMatrix` is the single input type accepted by every truth
+discovery method and perturbation mechanism in this library.  It is
+immutable by convention — operations such as perturbation return new
+instances — which keeps the "original data vs perturbed data" comparison
+(the paper's utility metric) trivially safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ensure_2d, ensure_same_shape
+
+
+@dataclass(frozen=True)
+class ClaimMatrix:
+    """Dense S x N matrix of continuous claims plus observation mask.
+
+    Parameters
+    ----------
+    values:
+        ``(S, N)`` float array. Entries where ``mask`` is False are ignored
+        (their numeric content is irrelevant; by convention it is 0.0).
+    mask:
+        ``(S, N)`` boolean array; ``mask[s, n]`` is True iff user ``s``
+        observed object ``n``. ``None`` means fully observed.
+    user_ids / object_ids:
+        Optional stable identifiers, defaulting to ``range``.
+    """
+
+    values: np.ndarray
+    mask: Optional[np.ndarray] = None
+    user_ids: tuple = field(default=())
+    object_ids: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        values = ensure_2d(self.values, "values")
+        object.__setattr__(self, "values", values)
+        if self.mask is None:
+            mask = np.ones(values.shape, dtype=bool)
+        else:
+            mask = np.asarray(self.mask, dtype=bool)
+            ensure_same_shape(values, mask, "values/mask")
+        object.__setattr__(self, "mask", mask)
+        if not np.all(np.isfinite(values[mask])):
+            raise ValueError("observed claim values must be finite")
+        if not mask.any(axis=0).all():
+            missing = np.flatnonzero(~mask.any(axis=0))
+            raise ValueError(
+                f"every object needs at least one observation; objects "
+                f"{missing.tolist()} have none"
+            )
+        user_ids = self.user_ids or tuple(range(values.shape[0]))
+        object_ids = self.object_ids or tuple(range(values.shape[1]))
+        if len(user_ids) != values.shape[0]:
+            raise ValueError(
+                f"user_ids has {len(user_ids)} entries for {values.shape[0]} users"
+            )
+        if len(object_ids) != values.shape[1]:
+            raise ValueError(
+                f"object_ids has {len(object_ids)} entries for "
+                f"{values.shape[1]} objects"
+            )
+        object.__setattr__(self, "user_ids", tuple(user_ids))
+        object.__setattr__(self, "object_ids", tuple(object_ids))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        """Number of users ``S``."""
+        return self.values.shape[0]
+
+    @property
+    def num_objects(self) -> int:
+        """Number of objects (micro-tasks) ``N``."""
+        return self.values.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every user observed every object."""
+        return bool(self.mask.all())
+
+    @property
+    def observation_counts(self) -> np.ndarray:
+        """Per-user number of observed objects, shape ``(S,)``."""
+        return self.mask.sum(axis=1)
+
+    @property
+    def density(self) -> float:
+        """Fraction of observed (user, object) pairs."""
+        return float(self.mask.mean())
+
+    def observed_values(self) -> np.ndarray:
+        """Flat array of all observed claims (mask applied)."""
+        return self.values[self.mask]
+
+    def claims_for_object(self, n: int) -> np.ndarray:
+        """Observed claims for object ``n`` (variable length)."""
+        return self.values[self.mask[:, n], n]
+
+    def claims_for_user(self, s: int) -> np.ndarray:
+        """Observed claims made by user ``s`` (variable length)."""
+        return self.values[s, self.mask[s]]
+
+    # ------------------------------------------------------------------
+    # Construction / transformation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[tuple],
+        *,
+        user_ids: Optional[Sequence] = None,
+        object_ids: Optional[Sequence] = None,
+    ) -> "ClaimMatrix":
+        """Build from ``(user, object, value)`` triples.
+
+        Unknown users/objects are discovered in first-seen order unless
+        explicit id sequences are supplied. Duplicate (user, object) pairs
+        keep the last value, matching typical log-replay semantics.
+        """
+        records = list(records)
+        if not records:
+            raise ValueError("records must be non-empty")
+        if user_ids is None:
+            seen_users: dict = {}
+            for u, _o, _v in records:
+                seen_users.setdefault(u, len(seen_users))
+        else:
+            seen_users = {u: i for i, u in enumerate(user_ids)}
+        if object_ids is None:
+            seen_objects: dict = {}
+            for _u, o, _v in records:
+                seen_objects.setdefault(o, len(seen_objects))
+        else:
+            seen_objects = {o: i for i, o in enumerate(object_ids)}
+        values = np.zeros((len(seen_users), len(seen_objects)))
+        mask = np.zeros(values.shape, dtype=bool)
+        for u, o, v in records:
+            if u not in seen_users:
+                raise KeyError(f"unknown user id {u!r}")
+            if o not in seen_objects:
+                raise KeyError(f"unknown object id {o!r}")
+            values[seen_users[u], seen_objects[o]] = float(v)
+            mask[seen_users[u], seen_objects[o]] = True
+        return cls(
+            values=values,
+            mask=mask,
+            user_ids=tuple(seen_users),
+            object_ids=tuple(seen_objects),
+        )
+
+    def to_records(self) -> list[tuple]:
+        """Inverse of :meth:`from_records` (observed entries only)."""
+        out = []
+        for s in range(self.num_users):
+            for n in range(self.num_objects):
+                if self.mask[s, n]:
+                    out.append(
+                        (self.user_ids[s], self.object_ids[n], float(self.values[s, n]))
+                    )
+        return out
+
+    def with_values(self, values: np.ndarray) -> "ClaimMatrix":
+        """Return a copy with ``values`` replaced (mask and ids kept)."""
+        return ClaimMatrix(
+            values=np.asarray(values, dtype=float),
+            mask=self.mask.copy(),
+            user_ids=self.user_ids,
+            object_ids=self.object_ids,
+        )
+
+    def add(self, offsets: np.ndarray) -> "ClaimMatrix":
+        """Return a copy with ``offsets`` added to observed entries.
+
+        This is the primitive used by perturbation mechanisms (Eq. 4):
+        ``xhat = x + xi``. Unobserved entries stay zeroed.
+        """
+        offsets = np.asarray(offsets, dtype=float)
+        ensure_same_shape(self.values, offsets, "values/offsets")
+        new_values = np.where(self.mask, self.values + offsets, 0.0)
+        return self.with_values(new_values)
+
+    def subset_users(self, indices: Sequence[int]) -> "ClaimMatrix":
+        """Row subset (e.g. the first S' users for a user-count sweep)."""
+        idx = np.asarray(indices, dtype=int)
+        return ClaimMatrix(
+            values=self.values[idx],
+            mask=self.mask[idx],
+            user_ids=tuple(self.user_ids[i] for i in idx),
+            object_ids=self.object_ids,
+        )
+
+    def subset_objects(self, indices: Sequence[int]) -> "ClaimMatrix":
+        """Column subset."""
+        idx = np.asarray(indices, dtype=int)
+        return ClaimMatrix(
+            values=self.values[:, idx],
+            mask=self.mask[:, idx],
+            user_ids=self.user_ids,
+            object_ids=tuple(self.object_ids[i] for i in idx),
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics used by methods
+    # ------------------------------------------------------------------
+    def object_means(self) -> np.ndarray:
+        """Per-object mean of observed claims (the naive aggregate)."""
+        counts = self.mask.sum(axis=0)
+        sums = np.where(self.mask, self.values, 0.0).sum(axis=0)
+        return sums / counts
+
+    def object_stds(self, *, floor: float = 1e-12) -> np.ndarray:
+        """Per-object standard deviation of observed claims.
+
+        Used by CRH-style normalised distances so objects on different
+        scales contribute comparably.  Floored to avoid division by zero
+        on degenerate (constant) objects.
+        """
+        means = self.object_means()
+        counts = self.mask.sum(axis=0)
+        sq = np.where(self.mask, (self.values - means[None, :]) ** 2, 0.0)
+        var = sq.sum(axis=0) / counts
+        return np.sqrt(np.maximum(var, floor**2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClaimMatrix(users={self.num_users}, objects={self.num_objects}, "
+            f"density={self.density:.2f})"
+        )
+
+
+def stack_claims(matrices: Sequence[ClaimMatrix]) -> ClaimMatrix:
+    """Stack several claim matrices over users (same object set required)."""
+    if not matrices:
+        raise ValueError("need at least one matrix")
+    first = matrices[0]
+    for m in matrices[1:]:
+        if m.object_ids != first.object_ids:
+            raise ValueError("matrices must share the same object ids")
+    values = np.vstack([m.values for m in matrices])
+    mask = np.vstack([m.mask for m in matrices])
+    user_ids = tuple(uid for m in matrices for uid in m.user_ids)
+    if len(set(user_ids)) != len(user_ids):
+        user_ids = tuple(range(len(user_ids)))
+    return ClaimMatrix(
+        values=values, mask=mask, user_ids=user_ids, object_ids=first.object_ids
+    )

@@ -1,0 +1,182 @@
+"""Convergence criteria for the iterative truth discovery loop.
+
+The paper (Algorithm 1) allows "a threshold for the change of the
+aggregated results in two consecutive iterations or a predefined iteration
+number"; Section 5.3's efficiency study fixes the change threshold and
+measures how iteration count (hence running time) reacts to noise.  We
+implement both, plus a weight-change criterion, behind one interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_int, ensure_positive
+
+
+class ConvergenceCriterion(ABC):
+    """Decides when the aggregate/weight fixed-point iteration stops."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all state; called at the start of each ``fit``."""
+
+    @abstractmethod
+    def update(self, truths: np.ndarray, weights: np.ndarray) -> bool:
+        """Record one iteration; return True when iteration should stop."""
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the last stop was a safety cap, not real convergence."""
+        return False
+
+
+@dataclass
+class TruthChangeCriterion(ConvergenceCriterion):
+    """Stop when mean absolute change of truths falls below ``tolerance``.
+
+    This is the criterion the paper's efficiency experiment uses ("if the
+    change in aggregated results is smaller than a threshold, the
+    algorithm is terminated").  ``max_iterations`` is a safety valve so a
+    non-contracting configuration cannot loop forever.
+    """
+
+    tolerance: float = 1e-6
+    max_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.tolerance, "tolerance")
+        ensure_int(self.max_iterations, "max_iterations", minimum=1)
+        self._previous: np.ndarray | None = None
+        self._iterations = 0
+
+    def reset(self) -> None:
+        self._previous = None
+        self._iterations = 0
+        self._exhausted = False
+
+    def update(self, truths: np.ndarray, weights: np.ndarray) -> bool:
+        self._iterations += 1
+        if self._previous is None:
+            self._previous = truths.copy()
+            if self._iterations >= self.max_iterations:
+                self._exhausted = True
+                return True
+            return False
+        change = float(np.mean(np.abs(truths - self._previous)))
+        self._previous = truths.copy()
+        if change < self.tolerance:
+            return True
+        if self._iterations >= self.max_iterations:
+            self._exhausted = True
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return getattr(self, "_exhausted", False)
+
+    @property
+    def iterations(self) -> int:
+        return self._iterations
+
+
+@dataclass
+class FixedIterationsCriterion(ConvergenceCriterion):
+    """Stop after exactly ``iterations`` rounds (paper's alternative)."""
+
+    iterations: int = 10
+
+    def __post_init__(self) -> None:
+        ensure_int(self.iterations, "iterations", minimum=1)
+        self._done = 0
+
+    def reset(self) -> None:
+        self._done = 0
+
+    def update(self, truths: np.ndarray, weights: np.ndarray) -> bool:
+        self._done += 1
+        return self._done >= self.iterations
+
+
+@dataclass
+class WeightChangeCriterion(ConvergenceCriterion):
+    """Stop when the weight vector stabilises (L-inf change < tolerance).
+
+    Useful when the caller cares about user-quality estimates more than
+    truths (e.g. the Fig. 7 weight-comparison experiment).
+    """
+
+    tolerance: float = 1e-8
+    max_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.tolerance, "tolerance")
+        ensure_int(self.max_iterations, "max_iterations", minimum=1)
+        self._previous: np.ndarray | None = None
+        self._iterations = 0
+
+    def reset(self) -> None:
+        self._previous = None
+        self._iterations = 0
+        self._exhausted = False
+
+    def update(self, truths: np.ndarray, weights: np.ndarray) -> bool:
+        self._iterations += 1
+        if self._previous is None:
+            self._previous = weights.copy()
+            if self._iterations >= self.max_iterations:
+                self._exhausted = True
+                return True
+            return False
+        change = float(np.max(np.abs(weights - self._previous)))
+        self._previous = weights.copy()
+        if change < self.tolerance:
+            return True
+        if self._iterations >= self.max_iterations:
+            self._exhausted = True
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return getattr(self, "_exhausted", False)
+
+
+@dataclass
+class CombinedCriterion(ConvergenceCriterion):
+    """Stop when *any* of the wrapped criteria fires."""
+
+    criteria: tuple[ConvergenceCriterion, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.criteria:
+            raise ValueError("CombinedCriterion needs at least one criterion")
+
+    def reset(self) -> None:
+        self._fired_exhausted = False
+        for c in self.criteria:
+            c.reset()
+
+    def update(self, truths: np.ndarray, weights: np.ndarray) -> bool:
+        # Evaluate all (not short-circuit) so each keeps consistent state.
+        fired = [c.update(truths, weights) for c in self.criteria]
+        if any(fired):
+            # Converged if any firing criterion stopped for a real reason.
+            self._fired_exhausted = all(
+                c.exhausted for c, f in zip(self.criteria, fired) if f
+            )
+            return True
+        return False
+
+    @property
+    def exhausted(self) -> bool:
+        return getattr(self, "_fired_exhausted", False)
+
+
+def default_criterion() -> ConvergenceCriterion:
+    """The library default: truth change < 1e-6, capped at 200 iterations."""
+    return TruthChangeCriterion()

@@ -1,0 +1,60 @@
+"""Method registry: construct truth discovery methods by name.
+
+The experiment harness and CLI refer to methods by short names ("crh",
+"gtm", ...). The registry maps names to factories so configuration files
+stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.truthdiscovery.base import TruthDiscoveryMethod
+from repro.truthdiscovery.baselines import (
+    MeanAggregator,
+    MedianAggregator,
+    TrimmedMeanAggregator,
+)
+from repro.truthdiscovery.catd import CATD
+from repro.truthdiscovery.crh import CRH
+from repro.truthdiscovery.gtm import GTM, GTMWeightedAggregateOnly
+
+MethodFactory = Callable[..., TruthDiscoveryMethod]
+
+_FACTORIES: dict[str, MethodFactory] = {}
+
+
+def register_method(name: str, factory: MethodFactory) -> None:
+    """Register ``factory`` under ``name`` (error on duplicates)."""
+    if name in _FACTORIES:
+        raise ValueError(f"method {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def create_method(name: str, **kwargs) -> TruthDiscoveryMethod:
+    """Instantiate a registered method, forwarding ``kwargs``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown truth discovery method {name!r}; "
+            f"available: {available_methods()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_methods() -> list[str]:
+    """Sorted names of all registered methods."""
+    return sorted(_FACTORIES)
+
+
+for _name, _factory in {
+    "crh": CRH,
+    "gtm": GTM,
+    "gtm-noshrink": GTMWeightedAggregateOnly,
+    "catd": CATD,
+    "mean": MeanAggregator,
+    "median": MedianAggregator,
+    "trimmed_mean": TrimmedMeanAggregator,
+}.items():
+    register_method(_name, _factory)

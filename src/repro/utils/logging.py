@@ -1,0 +1,44 @@
+"""Library logging setup.
+
+The library never configures the root logger; it exposes namespaced
+loggers under ``repro.*`` and leaves handler policy to the application,
+per standard library-logging etiquette.  ``enable_console_logging`` is a
+convenience for scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("crh")`` -> logger named ``repro.crh``; passing a name that
+    already starts with ``repro`` returns it unchanged.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` logger (idempotent).
+
+    Returns the handler so callers can detach it later.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_console", False):
+            logger.setLevel(level)
+            return handler
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler._repro_console = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

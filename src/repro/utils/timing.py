@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers used by the efficiency experiments (Fig. 8)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.measure():
+    ...     _ = sum(range(1000))
+    >>> sw.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.total += elapsed
+            self.laps.append(elapsed)
+
+    @property
+    def count(self) -> int:
+        return len(self.laps)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.laps else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.laps.clear()
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> tuple[T, float]:
+    """Run ``fn`` once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

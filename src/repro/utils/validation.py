@@ -1,0 +1,97 @@
+"""Argument-validation helpers shared across the library.
+
+All validators raise ``ValueError``/``TypeError`` with messages naming the
+offending argument, so public API errors are actionable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def ensure_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative when not strict)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def ensure_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies inside the given (possibly open) range."""
+    value = float(value)
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if not low_inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+        if not high_inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def ensure_int(value: int, name: str, *, minimum: Optional[int] = None) -> int:
+    """Validate that ``value`` is an integer, optionally bounded below."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def ensure_1d(array: np.ndarray, name: str) -> np.ndarray:
+    """Coerce to a 1-D float array, rejecting other shapes."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def ensure_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Coerce to a 2-D float array, rejecting other shapes."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def ensure_same_shape(a: np.ndarray, b: np.ndarray, names: str) -> None:
+    """Validate two arrays share a shape; ``names`` names the pair."""
+    if np.shape(a) != np.shape(b):
+        raise ValueError(
+            f"{names} must have matching shapes, got {np.shape(a)} and {np.shape(b)}"
+        )
+
+
+def ensure_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate all entries are finite (NaN/inf rejected)."""
+    arr = np.asarray(array, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import generate_synthetic, generate_with_variances
+from repro.truthdiscovery.claims import ClaimMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_claims() -> ClaimMatrix:
+    """5 users x 4 objects, fully observed, hand-checkable values."""
+    values = np.array(
+        [
+            [1.0, 2.0, 3.0, 4.0],
+            [1.1, 2.1, 2.9, 4.2],
+            [0.9, 1.8, 3.1, 3.9],
+            [1.0, 2.0, 3.0, 4.0],
+            [5.0, 6.0, 7.0, 8.0],  # outlier user
+        ]
+    )
+    return ClaimMatrix(values=values)
+
+
+@pytest.fixture
+def sparse_claims() -> ClaimMatrix:
+    """4 users x 3 objects with missing observations."""
+    values = np.array(
+        [
+            [1.0, 0.0, 3.0],
+            [1.2, 2.0, 0.0],
+            [0.0, 2.2, 3.1],
+            [1.1, 2.1, 2.9],
+        ]
+    )
+    mask = np.array(
+        [
+            [True, False, True],
+            [True, True, False],
+            [False, True, True],
+            [True, True, True],
+        ]
+    )
+    return ClaimMatrix(values=values, mask=mask)
+
+
+@pytest.fixture
+def synthetic_dataset():
+    """Mid-size synthetic campaign with known ground truth."""
+    return generate_synthetic(
+        num_users=40, num_objects=12, lambda1=4.0, random_state=7
+    )
+
+
+@pytest.fixture
+def graded_quality_dataset():
+    """Users with strictly increasing error variances (quality ladder)."""
+    variances = np.linspace(0.01, 2.0, 12)
+    return generate_with_variances(variances, num_objects=25, random_state=11)

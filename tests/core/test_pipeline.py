@@ -1,0 +1,171 @@
+"""Tests for the core Algorithm 2 pipeline and its config/result types."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrivacyConfig
+from repro.core.mechanism import PrivateTruthDiscovery
+from repro.privacy.mechanisms import (
+    FixedGaussianMechanism,
+    NullMechanism,
+)
+from repro.truthdiscovery.crh import CRH
+
+
+class TestPrivacyConfig:
+    def test_from_lambda2(self):
+        config = PrivacyConfig.from_lambda2(2.0)
+        assert config.lambda2 == 2.0
+        assert config.epsilon is None
+
+    def test_from_privacy_target_round_trip(self):
+        config = PrivacyConfig.from_privacy_target(
+            epsilon=1.0, delta=0.3, sensitivity=1.5
+        )
+        from repro.privacy.ldp import epsilon_of_mechanism
+
+        assert epsilon_of_mechanism(config.lambda2, 1.5, 0.3) == pytest.approx(1.0)
+
+    def test_expected_noise_properties(self):
+        config = PrivacyConfig.from_lambda2(2.0)
+        assert config.expected_noise_variance == 0.5
+        assert config.expected_absolute_noise == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyConfig(lambda2=-1.0)
+        with pytest.raises(ValueError):
+            PrivacyConfig(lambda2=1.0, delta=1.0)
+
+
+class TestConstruction:
+    def test_requires_exactly_one_source(self, small_claims):
+        with pytest.raises(ValueError, match="exactly one"):
+            PrivateTruthDiscovery(method="crh")
+        with pytest.raises(ValueError, match="exactly one"):
+            PrivateTruthDiscovery(
+                method="crh",
+                lambda2=1.0,
+                config=PrivacyConfig.from_lambda2(1.0),
+            )
+
+    def test_method_by_instance(self, small_claims):
+        pipeline = PrivateTruthDiscovery(method=CRH(), lambda2=1.0)
+        outcome = pipeline.run(small_claims, random_state=0)
+        assert outcome.discovery.method == "crh"
+
+    def test_method_kwargs_with_instance_rejected(self):
+        with pytest.raises(ValueError, match="method_kwargs"):
+            PrivateTruthDiscovery(
+                method=CRH(), lambda2=1.0, distance="absolute"
+            )
+
+    def test_custom_mechanism(self, small_claims):
+        pipeline = PrivateTruthDiscovery(
+            method="crh", mechanism=FixedGaussianMechanism(variance=0.01)
+        )
+        outcome = pipeline.run(small_claims, random_state=0)
+        assert outcome.perturbation.mechanism == "fixed-gaussian"
+
+    def test_for_privacy_target(self, small_claims):
+        pipeline = PrivateTruthDiscovery.for_privacy_target(
+            epsilon=1.0, delta=0.3, sensitivity=1.0
+        )
+        outcome = pipeline.run(small_claims, random_state=0)
+        assert outcome.guarantee is not None
+        assert outcome.guarantee.epsilon == pytest.approx(1.0)
+        assert outcome.guarantee.delta == 0.3
+
+
+class TestRun:
+    def test_output_shapes(self, synthetic_dataset):
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=2.0)
+        outcome = pipeline.run(synthetic_dataset.claims, random_state=0)
+        assert outcome.truths.shape == (synthetic_dataset.num_objects,)
+        assert outcome.weights.shape == (synthetic_dataset.num_users,)
+        assert outcome.average_absolute_noise > 0
+
+    def test_deterministic(self, synthetic_dataset):
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=2.0)
+        a = pipeline.run(synthetic_dataset.claims, random_state=9)
+        b = pipeline.run(synthetic_dataset.claims, random_state=9)
+        np.testing.assert_array_equal(a.truths, b.truths)
+
+    def test_no_guarantee_without_target(self, synthetic_dataset):
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=2.0)
+        outcome = pipeline.run(synthetic_dataset.claims, random_state=0)
+        assert outcome.guarantee is None
+
+    def test_guarantee_method(self):
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=1.0)
+        g = pipeline.guarantee(sensitivity=1.0, delta=0.3)
+        assert g.epsilon == pytest.approx(1.0 / (2 * math.log(1 / 0.7)))
+
+    def test_works_with_all_methods(self, synthetic_dataset):
+        from repro.truthdiscovery.registry import available_methods
+
+        for name in available_methods():
+            pipeline = PrivateTruthDiscovery(method=name, lambda2=5.0)
+            outcome = pipeline.run(synthetic_dataset.claims, random_state=0)
+            assert np.isfinite(outcome.truths).all()
+
+
+class TestEvaluateUtility:
+    def test_mae_small_relative_to_noise(self, synthetic_dataset):
+        # The paper's headline: MAE a small fraction of the added noise.
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=1.0)
+        ev = pipeline.evaluate_utility(synthetic_dataset.claims, random_state=0)
+        assert ev.average_absolute_noise > 0.3
+        assert ev.mae < 0.5 * ev.average_absolute_noise
+
+    def test_null_mechanism_gives_zero_mae(self, synthetic_dataset):
+        pipeline = PrivateTruthDiscovery(
+            method="crh", mechanism=NullMechanism()
+        )
+        ev = pipeline.evaluate_utility(synthetic_dataset.claims, random_state=0)
+        assert ev.mae == 0.0
+        assert ev.average_absolute_noise == 0.0
+
+    def test_timings_recorded(self, synthetic_dataset):
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=2.0)
+        ev = pipeline.evaluate_utility(synthetic_dataset.claims, random_state=0)
+        assert ev.original_seconds > 0
+        assert ev.private_seconds > 0
+
+    def test_summary_string(self, synthetic_dataset):
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=2.0)
+        ev = pipeline.evaluate_utility(synthetic_dataset.claims, random_state=0)
+        assert "mae=" in ev.summary()
+
+    def test_more_noise_means_more_mae(self, synthetic_dataset):
+        noisy = PrivateTruthDiscovery(method="crh", lambda2=0.05)
+        quiet = PrivateTruthDiscovery(method="crh", lambda2=50.0)
+        maes = {}
+        for label, pipeline in (("noisy", noisy), ("quiet", quiet)):
+            values = [
+                pipeline.evaluate_utility(
+                    synthetic_dataset.claims, random_state=seed
+                ).mae
+                for seed in range(5)
+            ]
+            maes[label] = np.mean(values)
+        assert maes["noisy"] > maes["quiet"]
+
+    def test_weights_adjust_for_noisy_users(self, synthetic_dataset):
+        # The self-correction story (paper's Example in Sec 3.2): the user
+        # with the largest sampled noise variance should lose weight
+        # relative to their no-noise weight, on average.
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=0.3)
+        drops = []
+        for seed in range(10):
+            ev = pipeline.evaluate_utility(
+                synthetic_dataset.claims, random_state=seed
+            )
+            noisiest = int(np.argmax(ev.private.perturbation.noise_variances))
+            drops.append(
+                ev.original.weights[noisiest]
+                - ev.private.discovery.weights[noisiest]
+            )
+        assert np.mean(drops) > 0

@@ -1,0 +1,271 @@
+"""Tests for devices, the server, and the end-to-end campaign runtime."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsensing.campaign import CampaignSpec
+from repro.crowdsensing.device import SensorModel, UserDevice
+from repro.crowdsensing.faults import FaultModel, lossy
+from repro.crowdsensing.messages import TaskAssignment
+from repro.crowdsensing.runtime import build_devices, run_campaign
+from repro.crowdsensing.server import AggregationServer
+from repro.crowdsensing.transport import InProcessTransport
+
+
+def make_assignment(lambda2=1.0, objects=("o1", "o2")):
+    return TaskAssignment(
+        campaign_id="c1",
+        object_ids=tuple(objects),
+        lambda2=lambda2,
+        deadline=10.0,
+    )
+
+
+class TestDevice:
+    def test_submission_covers_observed_objects(self):
+        device = UserDevice("u1", {"o1": 1.0, "o2": 2.0}, random_state=0)
+        sub = device.handle_assignment(make_assignment())
+        assert sub.object_ids == ("o1", "o2")
+        assert len(sub.values) == 2
+        assert device.submissions_made == 1
+
+    def test_unobserved_objects_skipped(self):
+        device = UserDevice("u1", {"o1": 1.0}, random_state=0)
+        sub = device.handle_assignment(make_assignment(objects=("o1", "o9")))
+        assert sub.object_ids == ("o1",)
+
+    def test_silent_when_nothing_observed(self):
+        device = UserDevice("u1", {"oX": 1.0}, random_state=0)
+        assert device.handle_assignment(make_assignment()) is None
+        assert device.submissions_made == 0
+
+    def test_values_are_perturbed(self):
+        device = UserDevice("u1", {"o1": 1.0, "o2": 2.0}, random_state=0)
+        sub = device.handle_assignment(make_assignment(lambda2=0.5))
+        # with continuous noise, exact equality has probability zero
+        assert sub.values != (1.0, 2.0)
+
+    def test_noise_scales_with_lambda2(self):
+        # smaller lambda2 -> bigger sampled variances -> bigger deviations
+        observations = {f"o{i}": 0.0 for i in range(2000)}
+        dev_small = UserDevice("u", observations, random_state=1)
+        dev_large = UserDevice("u", observations, random_state=1)
+        sub_noisy = dev_small.handle_assignment(
+            TaskAssignment("c", tuple(observations), 0.01, 10.0)
+        )
+        sub_quiet = dev_large.handle_assignment(
+            TaskAssignment("c", tuple(observations), 100.0, 10.0)
+        )
+        assert np.abs(sub_noisy.values).mean() > np.abs(sub_quiet.values).mean()
+
+    def test_deterministic_per_seed(self):
+        a = UserDevice("u", {"o1": 1.0}, random_state=7).handle_assignment(
+            make_assignment(objects=("o1",))
+        )
+        b = UserDevice("u", {"o1": 1.0}, random_state=7).handle_assignment(
+            make_assignment(objects=("o1",))
+        )
+        assert a.values == b.values
+
+    def test_sense_constructor(self):
+        device = UserDevice.sense(
+            "u1",
+            {"o1": 5.0, "o2": 6.0},
+            SensorModel(error_std=0.1, bias=1.0),
+            random_state=0,
+        )
+        assert device.original_claim("o1") == pytest.approx(6.0, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="user_id"):
+            UserDevice("", {"o": 1.0})
+        with pytest.raises(ValueError, match="observations"):
+            UserDevice("u", {})
+
+
+class TestServer:
+    def test_node_id_prefix_enforced(self):
+        transport = InProcessTransport(random_state=0)
+        with pytest.raises(ValueError, match="server"):
+            AggregationServer(transport, node_id="aggregator")
+
+    def test_announce_and_collect(self):
+        transport = InProcessTransport(random_state=0)
+        server = AggregationServer(transport)
+        spec = CampaignSpec(
+            campaign_id="c1",
+            object_ids=("o1", "o2"),
+            lambda2=1.0,
+            min_contributors=2,
+        )
+        devices = [
+            UserDevice(f"u{i}", {"o1": 1.0 + i * 0.01, "o2": 2.0}, random_state=i)
+            for i in range(3)
+        ]
+        sent = server.announce_campaign(spec, [d.user_id for d in devices])
+        assert sent == 3
+        transport.drain_until_idle()
+        for device in devices:
+            for msg in transport.receive(device.user_id):
+                sub = device.handle_assignment(msg)
+                transport.send(device.user_id, server.node_id, sub)
+        transport.drain_until_idle()
+        assert server.collect() == 3
+        report = server.finalise(spec, assignments_sent=sent)
+        assert report.succeeded
+        assert report.truths.shape == (2,)
+        assert report.submissions_received == 3
+
+    def test_below_quorum_fails(self):
+        transport = InProcessTransport(random_state=0)
+        server = AggregationServer(transport)
+        spec = CampaignSpec(
+            campaign_id="c1",
+            object_ids=("o1",),
+            lambda2=1.0,
+            min_contributors=5,
+        )
+        server.announce_campaign(spec, ["u1"])
+        report = server.finalise(spec, assignments_sent=1)
+        assert not report.succeeded
+        assert report.truths is None
+
+    def test_duplicate_submissions_deduplicated(self):
+        transport = InProcessTransport(random_state=0)
+        server = AggregationServer(transport)
+        spec = CampaignSpec(
+            campaign_id="c1", object_ids=("o1",), lambda2=1.0, min_contributors=2
+        )
+        server.announce_campaign(spec, ["u1", "u2"])
+        from repro.crowdsensing.messages import ClaimSubmission
+
+        for value in (1.0, 1.5):  # u1 retries
+            transport.send(
+                "u1",
+                "server",
+                ClaimSubmission("c1", "u1", ("o1",), (value,)),
+            )
+        transport.send(
+            "u2", "server", ClaimSubmission("c1", "u2", ("o1",), (2.0,))
+        )
+        transport.drain_until_idle()
+        server.collect()
+        report = server.finalise(spec, assignments_sent=2)
+        assert report.submissions_received == 2  # deduplicated by user
+
+
+class TestCampaignSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(campaign_id="", object_ids=("o",), lambda2=1.0)
+        with pytest.raises(ValueError):
+            CampaignSpec(campaign_id="c", object_ids=(), lambda2=1.0)
+        with pytest.raises(ValueError, match="unique"):
+            CampaignSpec(campaign_id="c", object_ids=("o", "o"), lambda2=1.0)
+        with pytest.raises(ValueError):
+            CampaignSpec(
+                campaign_id="c", object_ids=("o",), lambda2=1.0, min_contributors=0
+            )
+
+
+class TestRuntime:
+    def _observations(self, num_users=20, num_objects=5, seed=0):
+        rng = np.random.default_rng(seed)
+        truths = rng.uniform(1.0, 5.0, num_objects)
+        return {
+            f"u{i}": {
+                f"o{j}": float(truths[j] + rng.normal(0, 0.2))
+                for j in range(num_objects)
+            }
+            for i in range(num_users)
+        }, truths
+
+    def test_full_round(self):
+        observations, truths = self._observations()
+        devices = build_devices(observations, random_state=0)
+        spec = CampaignSpec(
+            campaign_id="round-1",
+            object_ids=tuple(f"o{j}" for j in range(5)),
+            lambda2=5.0,
+            min_contributors=10,
+        )
+        report = run_campaign(spec, devices, random_state=1)
+        assert report.succeeded
+        assert report.submissions_received == 20
+        # aggregate lands near the true values despite perturbation
+        assert np.abs(report.truths - truths).mean() < 0.5
+
+    def test_no_user_to_user_messages(self):
+        observations, _ = self._observations(num_users=10)
+        devices = build_devices(observations, random_state=0)
+        spec = CampaignSpec(
+            campaign_id="r",
+            object_ids=tuple(f"o{j}" for j in range(5)),
+            lambda2=5.0,
+            min_contributors=2,
+        )
+        report = run_campaign(spec, devices, random_state=1)
+        assert report.user_to_user_messages == 0
+
+    def test_message_complexity_linear_in_users(self):
+        # Non-interactive protocol: assignments + submissions + results
+        # announcements = at most 3 messages per user.
+        observations, _ = self._observations(num_users=15)
+        devices = build_devices(observations, random_state=0)
+        spec = CampaignSpec(
+            campaign_id="r",
+            object_ids=tuple(f"o{j}" for j in range(5)),
+            lambda2=5.0,
+            min_contributors=2,
+        )
+        report = run_campaign(spec, devices, random_state=1)
+        assert report.messages_total <= 3 * len(devices)
+
+    def test_lossy_network_degrades_coverage_not_correctness(self):
+        observations, truths = self._observations(num_users=40)
+        devices = build_devices(observations, random_state=0)
+        spec = CampaignSpec(
+            campaign_id="r",
+            object_ids=tuple(f"o{j}" for j in range(5)),
+            lambda2=5.0,
+            min_contributors=5,
+        )
+        report = run_campaign(
+            spec, devices, fault_model=lossy(0.3), random_state=1
+        )
+        assert report.succeeded
+        assert report.submissions_received < 40
+        assert np.abs(report.truths - truths).mean() < 0.6
+
+    def test_straggler_misses_deadline(self):
+        observations, _ = self._observations(num_users=6)
+        devices = build_devices(observations, random_state=0)
+        spec = CampaignSpec(
+            campaign_id="r",
+            object_ids=tuple(f"o{j}" for j in range(5)),
+            lambda2=5.0,
+            deadline=1.0,
+            min_contributors=1,
+        )
+        fault = FaultModel(
+            base_latency=0.01,
+            latency_jitter=0.0,
+            straggler_probability=1.0,
+            straggler_penalty=100.0,
+        )
+        report = run_campaign(spec, devices, fault_model=fault, random_state=1)
+        # every message is a straggler -> nothing arrives by the deadline
+        assert not report.succeeded
+
+    def test_report_summary_strings(self):
+        observations, _ = self._observations(num_users=5)
+        devices = build_devices(observations, random_state=0)
+        spec = CampaignSpec(
+            campaign_id="r",
+            object_ids=tuple(f"o{j}" for j in range(5)),
+            lambda2=5.0,
+            min_contributors=2,
+        )
+        report = run_campaign(spec, devices, random_state=1)
+        assert "campaign r" in report.summary()
+        assert report.coverage == pytest.approx(1.0)

@@ -1,0 +1,201 @@
+"""Tests for protocol messages and the in-process transport."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsensing.faults import RELIABLE, FaultModel, lossy
+from repro.crowdsensing.messages import (
+    AggregateAnnouncement,
+    ClaimSubmission,
+    Envelope,
+    TaskAssignment,
+    from_wire,
+    to_wire,
+)
+from repro.crowdsensing.transport import InProcessTransport
+
+
+class TestMessages:
+    def test_assignment_round_trip(self):
+        msg = TaskAssignment(
+            campaign_id="c1",
+            object_ids=("o1", "o2"),
+            lambda2=1.5,
+            deadline=10.0,
+        )
+        assert from_wire(to_wire(msg)) == msg
+
+    def test_submission_round_trip(self):
+        msg = ClaimSubmission(
+            campaign_id="c1",
+            user_id="u1",
+            object_ids=("o1",),
+            values=(3.25,),
+        )
+        assert from_wire(to_wire(msg)) == msg
+
+    def test_announcement_round_trip(self):
+        msg = AggregateAnnouncement(
+            campaign_id="c1",
+            object_ids=("o1",),
+            truths=(4.0,),
+            num_contributors=5,
+        )
+        assert from_wire(to_wire(msg)) == msg
+
+    def test_submission_has_no_variance_field(self):
+        # The privacy boundary: the wire schema cannot leak delta_s^2.
+        msg = ClaimSubmission(
+            campaign_id="c", user_id="u", object_ids=("o",), values=(1.0,)
+        )
+        wire = to_wire(msg)
+        assert "variance" not in wire
+        assert "noise" not in wire
+
+    def test_submission_length_mismatch(self):
+        with pytest.raises(ValueError, match="object ids"):
+            ClaimSubmission(
+                campaign_id="c",
+                user_id="u",
+                object_ids=("a", "b"),
+                values=(1.0,),
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown message kind"):
+            from_wire('{"kind": "mystery"}')
+
+    def test_envelope_time_ordering(self):
+        with pytest.raises(ValueError, match="precede"):
+            Envelope(
+                sender="a",
+                recipient="b",
+                payload=None,
+                send_time=2.0,
+                deliver_time=1.0,
+            )
+
+
+class TestFaultModel:
+    def test_reliable_never_drops(self):
+        rng = np.random.default_rng(0)
+        assert not any(RELIABLE.should_drop(rng) for _ in range(1000))
+
+    def test_drop_probability_respected(self):
+        model = lossy(0.5)
+        rng = np.random.default_rng(0)
+        drops = sum(model.should_drop(rng) for _ in range(10_000))
+        assert 4500 < drops < 5500
+
+    def test_latency_at_least_base(self):
+        model = FaultModel(base_latency=0.5, latency_jitter=0.1)
+        rng = np.random.default_rng(0)
+        assert all(model.sample_latency(rng) >= 0.5 for _ in range(100))
+
+    def test_straggler_penalty(self):
+        model = FaultModel(
+            base_latency=0.01,
+            latency_jitter=0.0,
+            straggler_probability=1.0,
+            straggler_penalty=5.0,
+        )
+        rng = np.random.default_rng(0)
+        assert model.sample_latency(rng) >= 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(base_latency=-1.0)
+
+
+class TestTransport:
+    def test_send_and_deliver(self):
+        transport = InProcessTransport(random_state=0)
+        msg = TaskAssignment(
+            campaign_id="c", object_ids=("o",), lambda2=1.0, deadline=5.0
+        )
+        assert transport.send("server", "u1", msg)
+        assert transport.in_flight == 1
+        transport.drain_until_idle()
+        inbox = transport.receive("u1")
+        assert inbox == [msg]
+        assert transport.in_flight == 0
+
+    def test_delivery_respects_clock(self):
+        transport = InProcessTransport(
+            fault_model=FaultModel(base_latency=1.0, latency_jitter=0.0),
+            random_state=0,
+        )
+        msg = TaskAssignment(
+            campaign_id="c", object_ids=("o",), lambda2=1.0, deadline=5.0
+        )
+        transport.send("server", "u1", msg)
+        transport.advance_to(0.5)
+        assert transport.receive("u1") == []
+        transport.advance_to(1.5)
+        assert transport.receive("u1") == [msg]
+
+    def test_clock_cannot_go_backwards(self):
+        transport = InProcessTransport(random_state=0)
+        transport.advance_to(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            transport.advance_to(1.0)
+
+    def test_self_send_rejected(self):
+        transport = InProcessTransport(random_state=0)
+        with pytest.raises(ValueError, match="itself"):
+            transport.send("a", "a", None)
+
+    def test_drops_counted(self):
+        transport = InProcessTransport(fault_model=lossy(1.0), random_state=0)
+        msg = TaskAssignment(
+            campaign_id="c", object_ids=("o",), lambda2=1.0, deadline=5.0
+        )
+        assert not transport.send("server", "u1", msg)
+        assert transport.stats.dropped == 1
+        assert transport.stats.sent == 1
+        transport.drain_until_idle()
+        assert transport.receive("u1") == []
+
+    def test_ordered_delivery_by_time(self):
+        transport = InProcessTransport(
+            fault_model=FaultModel(base_latency=0.1, latency_jitter=0.0),
+            random_state=0,
+        )
+        m1 = TaskAssignment(
+            campaign_id="c1", object_ids=("o",), lambda2=1.0, deadline=5.0
+        )
+        m2 = TaskAssignment(
+            campaign_id="c2", object_ids=("o",), lambda2=1.0, deadline=5.0
+        )
+        transport.send("server", "u", m1)
+        transport.send("server", "u", m2)
+        transport.drain_until_idle()
+        inbox = transport.receive("u")
+        assert [m.campaign_id for m in inbox] == ["c1", "c2"]
+
+    def test_peek_is_non_destructive(self):
+        transport = InProcessTransport(random_state=0)
+        msg = TaskAssignment(
+            campaign_id="c", object_ids=("o",), lambda2=1.0, deadline=5.0
+        )
+        transport.send("server", "u", msg)
+        transport.drain_until_idle()
+        assert transport.peek("u") == [msg]
+        assert transport.receive("u") == [msg]
+
+    def test_user_to_user_counter(self):
+        transport = InProcessTransport(random_state=0)
+        msg = ClaimSubmission(
+            campaign_id="c", user_id="u1", object_ids=("o",), values=(1.0,)
+        )
+        transport.send("u1", "server", msg)
+        assert transport.user_to_user_messages() == 0
+        transport.send("u1", "u2", msg)
+        assert transport.user_to_user_messages() == 1
+
+    def test_unserialisable_payload_fails_fast(self):
+        transport = InProcessTransport(random_state=0)
+        with pytest.raises(Exception):
+            transport.send("server", "u", object())

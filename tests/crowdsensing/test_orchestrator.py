@@ -1,0 +1,157 @@
+"""Tests for the multi-round campaign orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsensing.campaign import CampaignSpec
+from repro.crowdsensing.orchestrator import (
+    BudgetPolicy,
+    CampaignOrchestrator,
+)
+from repro.crowdsensing.runtime import build_devices
+from repro.privacy.ldp import LDPGuarantee, guarantee_of_mechanism
+
+
+def make_devices(num_users=20, num_objects=4, seed=0):
+    rng = np.random.default_rng(seed)
+    truths = rng.uniform(1.0, 5.0, num_objects)
+    observations = {
+        f"u{i:02d}": {
+            f"o{j}": float(truths[j] + rng.normal(0, 0.2))
+            for j in range(num_objects)
+        }
+        for i in range(num_users)
+    }
+    return build_devices(observations, random_state=seed), truths
+
+
+def make_spec(campaign_id, lambda2=2.0, min_contributors=5):
+    return CampaignSpec(
+        campaign_id=campaign_id,
+        object_ids=tuple(f"o{j}" for j in range(4)),
+        lambda2=lambda2,
+        min_contributors=min_contributors,
+    )
+
+
+class TestBudgetPolicy:
+    def test_allows_within_cap(self):
+        policy = BudgetPolicy(epsilon_cap=2.0, delta_cap=0.5)
+        spent = LDPGuarantee(1.0, 0.2)
+        assert policy.allows(spent, LDPGuarantee(1.0, 0.3))
+        assert not policy.allows(spent, LDPGuarantee(1.1, 0.1))
+        assert not policy.allows(spent, LDPGuarantee(0.5, 0.4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPolicy(epsilon_cap=0.0)
+        with pytest.raises(ValueError):
+            BudgetPolicy(epsilon_cap=1.0, delta_cap=0.0)
+
+
+class TestOrchestrator:
+    def test_single_round(self):
+        devices, _truths = make_devices()
+        orch = CampaignOrchestrator(
+            devices,
+            sensitivity=1.0,
+            delta=0.3,
+            policy=BudgetPolicy(epsilon_cap=100.0),
+            random_state=0,
+        )
+        report = orch.run_schedule([make_spec("r1")])
+        assert report.num_rounds == 1
+        assert report.rounds[0].succeeded
+        assert report.excluded_by_round[0] == []
+
+    def test_budget_charged_to_contributors(self):
+        devices, _truths = make_devices()
+        orch = CampaignOrchestrator(
+            devices,
+            sensitivity=1.0,
+            delta=0.3,
+            policy=BudgetPolicy(epsilon_cap=100.0),
+            random_state=0,
+        )
+        orch.run_schedule([make_spec("r1")])
+        per_round = guarantee_of_mechanism(2.0, 1.0, 0.3)
+        spent = orch.accountant.composed_guarantee("u00")
+        assert spent.epsilon == pytest.approx(per_round.epsilon)
+
+    def test_budget_exhaustion_excludes_users(self):
+        devices, _truths = make_devices()
+        per_round = guarantee_of_mechanism(2.0, 1.0, 0.3)
+        # cap allows exactly two rounds
+        cap = per_round.epsilon * 2 + 1e-9
+        orch = CampaignOrchestrator(
+            devices,
+            sensitivity=1.0,
+            delta=0.3,
+            policy=BudgetPolicy(epsilon_cap=cap),
+            random_state=0,
+        )
+        report = orch.run_schedule(
+            [make_spec(f"r{i}") for i in range(3)]
+        )
+        assert report.rounds[0].succeeded
+        assert report.rounds[1].succeeded
+        # third round: everyone over budget -> skipped
+        assert not report.rounds[2].succeeded
+        assert len(report.excluded_by_round[2]) == len(devices)
+
+    def test_remaining_budget(self):
+        devices, _truths = make_devices()
+        orch = CampaignOrchestrator(
+            devices,
+            sensitivity=1.0,
+            delta=0.3,
+            policy=BudgetPolicy(epsilon_cap=10.0, delta_cap=1.0),
+            random_state=0,
+        )
+        orch.run_schedule([make_spec("r1")])
+        per_round = guarantee_of_mechanism(2.0, 1.0, 0.3)
+        remaining = orch.remaining_budget("u00")
+        assert remaining.epsilon == pytest.approx(10.0 - per_round.epsilon)
+
+    def test_rounds_are_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            devices, _truths = make_devices()
+            orch = CampaignOrchestrator(
+                devices,
+                sensitivity=1.0,
+                delta=0.3,
+                policy=BudgetPolicy(epsilon_cap=100.0),
+                random_state=77,
+            )
+            report = orch.run_schedule([make_spec("r1")])
+            results.append(report.rounds[0].truths)
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_aggregates_stay_accurate(self):
+        devices, truths = make_devices(num_users=40)
+        orch = CampaignOrchestrator(
+            devices,
+            sensitivity=1.0,
+            delta=0.3,
+            policy=BudgetPolicy(epsilon_cap=100.0),
+            random_state=0,
+        )
+        report = orch.run_schedule(
+            [make_spec(f"r{i}", lambda2=5.0) for i in range(3)]
+        )
+        for round_report in report.successful_rounds():
+            assert np.abs(round_report.truths - truths).mean() < 0.5
+
+    def test_validation(self):
+        devices, _truths = make_devices(num_users=2)
+        with pytest.raises(ValueError, match="at least one device"):
+            CampaignOrchestrator(
+                [], sensitivity=1.0, delta=0.3,
+                policy=BudgetPolicy(epsilon_cap=1.0),
+            )
+        with pytest.raises(ValueError, match="delta"):
+            CampaignOrchestrator(
+                devices, sensitivity=1.0, delta=1.0,
+                policy=BudgetPolicy(epsilon_cap=1.0),
+            )

@@ -1,0 +1,156 @@
+"""Tests for the indoor floorplan simulator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.floorplan import (
+    PAPER_NUM_SEGMENTS,
+    PAPER_NUM_USERS,
+    FloorplanDataset,
+    WalkerProfile,
+    generate_floorplan_dataset,
+    generate_segment_lengths,
+    sample_walker_profiles,
+)
+
+
+class TestSegmentLengths:
+    def test_within_bounds(self):
+        lengths = generate_segment_lengths(200, random_state=0)
+        assert (lengths >= 4.0).all()
+        assert (lengths <= 40.0).all()
+
+    def test_deterministic(self):
+        a = generate_segment_lengths(50, random_state=1)
+        b = generate_segment_lengths(50, random_state=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_custom_bounds(self):
+        lengths = generate_segment_lengths(
+            30, min_length=2.0, max_length=8.0, random_state=0
+        )
+        assert (lengths >= 2.0).all() and (lengths <= 8.0).all()
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError, match="exceed"):
+            generate_segment_lengths(10, min_length=5.0, max_length=5.0)
+
+
+class TestWalkerProfiles:
+    def test_count_and_validity(self):
+        profiles = sample_walker_profiles(40, random_state=0)
+        assert len(profiles) == 40
+        for p in profiles:
+            assert 0.4 <= p.true_stride <= 1.1
+            assert p.estimated_stride > 0
+            assert p.stride_jitter >= 0
+            assert p.miscount_rate >= 0
+
+    def test_heterogeneous_quality(self):
+        profiles = sample_walker_profiles(100, random_state=0)
+        miscounts = [p.miscount_rate for p in profiles]
+        assert np.std(miscounts) > 0
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WalkerProfile(
+                true_stride=0.0,
+                estimated_stride=0.7,
+                stride_jitter=0.0,
+                miscount_rate=0.0,
+            )
+
+
+class TestDataset:
+    def test_paper_shape_constants(self):
+        assert PAPER_NUM_USERS == 247
+        assert PAPER_NUM_SEGMENTS == 129
+
+    def test_generation_shape(self):
+        ds = generate_floorplan_dataset(
+            num_users=30, num_segments=20, random_state=0
+        )
+        assert ds.num_users == 30
+        assert ds.num_segments == 20
+        assert ds.claims.is_complete
+
+    def test_deterministic(self):
+        a = generate_floorplan_dataset(num_users=10, num_segments=8, random_state=5)
+        b = generate_floorplan_dataset(num_users=10, num_segments=8, random_state=5)
+        np.testing.assert_array_equal(a.claims.values, b.claims.values)
+
+    def test_claims_positive_distances(self):
+        ds = generate_floorplan_dataset(
+            num_users=30, num_segments=20, random_state=0
+        )
+        assert (ds.claims.values[ds.claims.mask] > 0).all()
+
+    def test_claims_near_true_lengths(self):
+        ds = generate_floorplan_dataset(
+            num_users=50, num_segments=30, random_state=1
+        )
+        relative_error = np.abs(
+            ds.claims.values - ds.segment_lengths[None, :]
+        ) / ds.segment_lengths[None, :]
+        # walking estimates are within tens of percent, mostly much closer
+        assert np.median(relative_error) < 0.15
+        assert relative_error.mean() < 0.3
+
+    def test_user_quality_heterogeneous(self):
+        ds = generate_floorplan_dataset(
+            num_users=60, num_segments=40, random_state=2
+        )
+        per_user_err = np.abs(
+            ds.claims.values - ds.segment_lengths[None, :]
+        ).mean(axis=1)
+        assert per_user_err.max() > 2 * per_user_err.min()
+
+    def test_partial_coverage(self):
+        ds = generate_floorplan_dataset(
+            num_users=20, num_segments=15, coverage=0.5, random_state=3
+        )
+        assert 0.3 < ds.claims.density < 0.75
+        assert ds.claims.mask.any(axis=0).all()
+        assert ds.claims.mask.any(axis=1).all()
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            generate_floorplan_dataset(coverage=0.0)
+
+    def test_as_synthetic_view(self):
+        ds = generate_floorplan_dataset(
+            num_users=15, num_segments=10, random_state=4
+        )
+        view = ds.as_synthetic()
+        np.testing.assert_array_equal(view.ground_truth, ds.segment_lengths)
+        assert view.error_variances.shape == (15,)
+        assert (view.error_variances >= 0).all()
+
+    def test_dataset_validation(self):
+        ds = generate_floorplan_dataset(
+            num_users=5, num_segments=4, random_state=0
+        )
+        with pytest.raises(ValueError, match="segment_lengths"):
+            FloorplanDataset(
+                claims=ds.claims,
+                segment_lengths=np.ones(3),
+                profiles=ds.profiles,
+            )
+        with pytest.raises(ValueError, match="profiles"):
+            FloorplanDataset(
+                claims=ds.claims,
+                segment_lengths=ds.segment_lengths,
+                profiles=ds.profiles[:-1],
+            )
+
+    def test_crh_recovers_lengths(self):
+        # End-to-end sanity: truth discovery on simulated walks lands near
+        # the measured lengths (the paper's aggregation target).
+        from repro.truthdiscovery.crh import CRH
+
+        ds = generate_floorplan_dataset(
+            num_users=80, num_segments=25, random_state=6
+        )
+        result = CRH().fit(ds.claims)
+        rel = np.abs(result.truths - ds.segment_lengths) / ds.segment_lengths
+        assert np.median(rel) < 0.05

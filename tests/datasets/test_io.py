@@ -1,0 +1,102 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_claims_csv,
+    load_claims_npz,
+    load_dataset_npz,
+    save_claims_csv,
+    save_claims_npz,
+    save_dataset_npz,
+)
+from repro.datasets.synthetic import generate_synthetic
+from repro.truthdiscovery.claims import ClaimMatrix
+
+
+class TestNpzClaims:
+    def test_round_trip_dense(self, small_claims, tmp_path):
+        path = tmp_path / "claims.npz"
+        save_claims_npz(path, small_claims)
+        loaded = load_claims_npz(path)
+        np.testing.assert_array_equal(loaded.values, small_claims.values)
+        np.testing.assert_array_equal(loaded.mask, small_claims.mask)
+        assert loaded.user_ids == small_claims.user_ids
+
+    def test_round_trip_sparse(self, sparse_claims, tmp_path):
+        path = tmp_path / "claims.npz"
+        save_claims_npz(path, sparse_claims)
+        loaded = load_claims_npz(path)
+        np.testing.assert_array_equal(loaded.mask, sparse_claims.mask)
+
+    def test_string_ids_preserved(self, tmp_path):
+        cm = ClaimMatrix.from_records(
+            [("alice", "hall-1", 3.5), ("bob", "hall-1", 3.7)]
+        )
+        path = tmp_path / "c.npz"
+        save_claims_npz(path, cm)
+        loaded = load_claims_npz(path)
+        assert loaded.user_ids == ("alice", "bob")
+        assert loaded.object_ids == ("hall-1",)
+
+
+class TestNpzDataset:
+    def test_round_trip(self, tmp_path):
+        ds = generate_synthetic(num_users=12, num_objects=6, random_state=0)
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(path, ds)
+        loaded = load_dataset_npz(path)
+        np.testing.assert_array_equal(loaded.claims.values, ds.claims.values)
+        np.testing.assert_array_equal(loaded.ground_truth, ds.ground_truth)
+        np.testing.assert_array_equal(
+            loaded.error_variances, ds.error_variances
+        )
+        assert loaded.lambda1 == ds.lambda1
+
+    def test_none_lambda1_round_trips(self, tmp_path):
+        from repro.datasets.synthetic import generate_with_variances
+
+        ds = generate_with_variances([0.1, 0.2], num_objects=3, random_state=0)
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(path, ds)
+        assert load_dataset_npz(path).lambda1 is None
+
+
+class TestCsv:
+    def test_round_trip_values(self, tmp_path):
+        cm = ClaimMatrix.from_records(
+            [("a", "x", 1.25), ("b", "x", -3.5), ("a", "y", 0.001)]
+        )
+        path = tmp_path / "claims.csv"
+        save_claims_csv(path, cm)
+        loaded = load_claims_csv(path)
+        original = {(u, o): v for u, o, v in cm.to_records()}
+        rebuilt = {(u, o): v for u, o, v in loaded.to_records()}
+        assert original == rebuilt
+
+    def test_float_precision_preserved(self, tmp_path):
+        value = 1.0 / 3.0
+        cm = ClaimMatrix.from_records([("a", "x", value), ("b", "x", 1.0)])
+        path = tmp_path / "c.csv"
+        save_claims_csv(path, cm)
+        loaded = load_claims_csv(path)
+        assert loaded.values[0, 0] == value  # repr round-trip is exact
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("who,what,how\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_claims_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,object_id,value\na,x\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_claims_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("user_id,object_id,value\n")
+        with pytest.raises(ValueError, match="no claims"):
+            load_claims_csv(path)

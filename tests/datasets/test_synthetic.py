@@ -1,0 +1,172 @@
+"""Tests for the Section 5.1 synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    PAPER_NUM_OBJECTS,
+    PAPER_NUM_USERS,
+    SyntheticDataset,
+    generate_synthetic,
+    generate_with_adversaries,
+    generate_with_variances,
+    sample_error_variances,
+)
+from repro.truthdiscovery.claims import ClaimMatrix
+
+
+class TestGenerateSynthetic:
+    def test_paper_defaults(self):
+        ds = generate_synthetic(random_state=0)
+        assert ds.num_users == PAPER_NUM_USERS == 150
+        assert ds.num_objects == PAPER_NUM_OBJECTS == 30
+
+    def test_deterministic(self):
+        a = generate_synthetic(num_users=20, num_objects=5, random_state=3)
+        b = generate_synthetic(num_users=20, num_objects=5, random_state=3)
+        np.testing.assert_array_equal(a.claims.values, b.claims.values)
+        np.testing.assert_array_equal(a.ground_truth, b.ground_truth)
+
+    def test_seed_changes_data(self):
+        a = generate_synthetic(num_users=20, num_objects=5, random_state=3)
+        b = generate_synthetic(num_users=20, num_objects=5, random_state=4)
+        assert not np.allclose(a.claims.values, b.claims.values)
+
+    def test_error_variances_follow_exponential(self):
+        ds = generate_synthetic(
+            num_users=100_000, num_objects=1, lambda1=4.0, random_state=0
+        )
+        assert ds.error_variances.mean() == pytest.approx(0.25, rel=0.02)
+
+    def test_claims_centred_on_truth(self):
+        ds = generate_synthetic(
+            num_users=5000, num_objects=3, lambda1=4.0, random_state=1
+        )
+        residual = (ds.claims.values - ds.ground_truth[None, :]).mean()
+        assert abs(residual) < 0.05
+
+    def test_per_user_error_scale_matches_variance(self):
+        ds = generate_synthetic(
+            num_users=5, num_objects=20_000, lambda1=1.0, random_state=2
+        )
+        errors = ds.user_errors()
+        for s in range(5):
+            assert errors[s].std() == pytest.approx(
+                np.sqrt(ds.error_variances[s]), rel=0.05
+            )
+
+    def test_custom_truth_sampler(self):
+        ds = generate_synthetic(
+            num_users=5,
+            num_objects=4,
+            truth_sampler=lambda rng, n: np.full(n, 42.0),
+            random_state=0,
+        )
+        np.testing.assert_array_equal(ds.ground_truth, np.full(4, 42.0))
+
+    def test_truth_sampler_shape_checked(self):
+        with pytest.raises(ValueError, match="truth_sampler"):
+            generate_synthetic(
+                num_users=5,
+                num_objects=4,
+                truth_sampler=lambda rng, n: np.zeros(n + 1),
+                random_state=0,
+            )
+
+    def test_missing_rate(self):
+        ds = generate_synthetic(
+            num_users=50, num_objects=20, missing_rate=0.3, random_state=0
+        )
+        assert 0.6 < ds.claims.density < 0.8
+        # coverage guarantees
+        assert ds.claims.mask.any(axis=0).all()
+        assert ds.claims.mask.any(axis=1).all()
+
+    def test_high_missing_rate_keeps_coverage(self):
+        ds = generate_synthetic(
+            num_users=10, num_objects=10, missing_rate=0.95, random_state=0
+        )
+        assert ds.claims.mask.any(axis=0).all()
+        assert ds.claims.mask.any(axis=1).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_synthetic(num_users=0)
+        with pytest.raises(ValueError):
+            generate_synthetic(lambda1=0.0)
+        with pytest.raises(ValueError):
+            generate_synthetic(missing_rate=1.0)
+
+
+class TestGenerateWithVariances:
+    def test_explicit_variances_stored(self):
+        variances = [0.1, 0.5, 2.0]
+        ds = generate_with_variances(variances, num_objects=10, random_state=0)
+        np.testing.assert_array_equal(ds.error_variances, variances)
+        assert ds.lambda1 is None
+
+    def test_explicit_truths(self):
+        ds = generate_with_variances(
+            [0.1, 0.2], num_objects=3, truths=[1.0, 2.0, 3.0], random_state=0
+        )
+        np.testing.assert_array_equal(ds.ground_truth, [1.0, 2.0, 3.0])
+
+    def test_zero_variance_user_is_exact(self):
+        ds = generate_with_variances(
+            [0.0, 1.0], num_objects=8, random_state=0
+        )
+        np.testing.assert_allclose(ds.claims.values[0], ds.ground_truth)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_with_variances([])
+        with pytest.raises(ValueError):
+            generate_with_variances([-1.0])
+        with pytest.raises(ValueError, match="truths"):
+            generate_with_variances([0.1], num_objects=2, truths=[1.0])
+
+
+class TestAdversaries:
+    def test_bias_applied_to_minority(self):
+        ds = generate_with_adversaries(
+            num_users=20,
+            num_objects=50,
+            adversary_fraction=0.25,
+            adversary_bias=10.0,
+            random_state=0,
+        )
+        errors = ds.claims.values - ds.ground_truth[None, :]
+        assert errors[:5].mean() == pytest.approx(10.0, abs=0.5)
+        assert abs(errors[5:].mean()) < 0.5
+
+    def test_zero_fraction_is_clean(self):
+        base = generate_with_adversaries(
+            num_users=10, num_objects=5, adversary_fraction=0.0, random_state=1
+        )
+        assert isinstance(base, SyntheticDataset)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            generate_with_adversaries(adversary_fraction=1.5)
+
+
+class TestHelpers:
+    def test_sample_error_variances(self):
+        v = sample_error_variances(2.0, 10, random_state=0)
+        assert v.shape == (10,)
+        assert (v > 0).all()
+
+    def test_dataset_validation(self):
+        claims = ClaimMatrix(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="ground_truth"):
+            SyntheticDataset(
+                claims=claims,
+                ground_truth=np.zeros(2),
+                error_variances=np.zeros(2),
+            )
+        with pytest.raises(ValueError, match="error_variances"):
+            SyntheticDataset(
+                claims=claims,
+                ground_truth=np.zeros(3),
+                error_variances=np.zeros(3),
+            )

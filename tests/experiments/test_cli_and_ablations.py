@@ -1,0 +1,85 @@
+"""Tests for the CLI and the ablation experiments."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.ablations import (
+    mechanisms_ablation,
+    methods_ablation,
+    scaling_experiment,
+)
+from repro.experiments.runner import Profile
+
+TINY = Profile(name="quick", num_trials=2, grid_points=3, num_users=24, num_objects=8)
+
+
+class TestAblations:
+    def test_methods_ablation_structure(self):
+        result = methods_ablation(TINY, base_seed=3)
+        labels = {s.label for s in result.panels[0].series}
+        assert {"crh", "gtm", "catd", "mean", "median"} <= labels
+
+    def test_weighted_beats_mean_under_adversaries(self):
+        result = methods_ablation(TINY, base_seed=3, adversary_fraction=0.25)
+        panel = result.panels[0]
+        crh = panel.series_by_label("crh").y
+        mean = panel.series_by_label("mean").y
+        # averaged across the noise grid, CRH should beat plain averaging
+        assert sum(crh) < sum(mean)
+
+    def test_mechanisms_ablation_structure(self):
+        result = mechanisms_ablation(TINY, base_seed=3)
+        labels = {s.label for s in result.panels[0].series}
+        assert labels == {"exp-gaussian", "fixed-gaussian", "laplace"}
+
+    def test_scaling_monotone(self):
+        result = scaling_experiment(TINY, base_seed=3)
+        times = result.panels[0].series[0].y
+        # larger problems cannot be systematically faster end-to-end
+        assert times[-1] > times[0] * 0.5
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig8" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fig3_quick(self, capsys, monkeypatch):
+        # Patch the quick profile lookup to the tiny one to keep CI fast.
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setitem(runner_mod._PROFILES, "quick", TINY)
+        assert main(["run", "fig3", "--profile", "quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "legend" in out
+
+    def test_run_markdown_output(self, capsys, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setitem(runner_mod._PROFILES, "quick", TINY)
+        assert main(["run", "fig3", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### fig3" in out
+        assert "|" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verbose_flag(self, capsys, monkeypatch):
+        import logging
+
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setitem(runner_mod._PROFILES, "quick", TINY)
+        assert main(["-v", "run", "fig3"]) == 0
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_console", False):
+                logger.removeHandler(handler)

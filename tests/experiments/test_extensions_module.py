@@ -1,0 +1,69 @@
+"""Tests for the extension experiments module."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.extensions import (
+    categorical_rr,
+    privacy_audit,
+    theory_check,
+    tradeoff_window,
+)
+from repro.experiments.runner import Profile
+
+TINY = Profile(name="quick", num_trials=2, grid_points=3, num_users=24, num_objects=8)
+
+
+class TestPrivacyAudit:
+    def test_structure(self):
+        result = privacy_audit(TINY, base_seed=1)
+        labels = {s.label for s in result.panels[0].series}
+        assert labels == {
+            "threshold", "marginal-lr", "known-variance-lr", "theory",
+        }
+
+    def test_accuracy_decreases_with_noise(self):
+        result = privacy_audit(TINY, base_seed=1)
+        theory = result.panels[0].series_by_label("theory").y
+        # lambda2 grid is increasing => noise decreasing => accuracy up
+        assert all(a <= b for a, b in zip(theory, theory[1:]))
+
+
+class TestCategoricalRR:
+    def test_structure_and_shape(self):
+        result = categorical_rr(TINY, base_seed=1)
+        panel = result.panels[0]
+        assert {s.label for s in panel.series} == {
+            "majority", "weighted-voting", "accuracy-em",
+        }
+        for series in panel.series:
+            assert series.y[-1] <= series.y[0] + 1e-9
+
+
+class TestTheoryCheck:
+    def test_bound_dominates_empirical(self):
+        result = theory_check(TINY, base_seed=1)
+        panel = result.panels[0]
+        empirical = panel.series_by_label("empirical").y
+        bound = panel.series_by_label("theorem bound").y
+        for emp, thm in zip(empirical, bound):
+            assert emp <= thm + 1e-9
+
+
+class TestTradeoffWindow:
+    def test_bounds_monotone(self):
+        result = tradeoff_window(TINY, base_seed=1)
+        panel = result.panels[0]
+        c_min = panel.series_by_label("c_min (privacy, Thm 4.8)").y
+        c_max = panel.series_by_label("c_max (utility, Thm 4.3)").y
+        assert all(a > b for a, b in zip(c_min, c_min[1:]))
+        assert all(a < b for a, b in zip(c_max, c_max[1:]))
+
+    def test_knife_edge_recorded(self):
+        result = tradeoff_window(TINY, base_seed=1)
+        knife = float(result.metadata["knife_edge_lambda1"])
+        assert 0.01 < knife < 10.0
+
+    def test_registered(self):
+        result = run_experiment("ext-tradeoff-window", TINY, base_seed=1)
+        assert result.figure_id == "ext-tradeoff-window"

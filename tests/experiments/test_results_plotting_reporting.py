@@ -1,0 +1,143 @@
+"""Tests for experiment result containers, ASCII plotting, and reporting."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, sparkline
+from repro.experiments.reporting import (
+    figure_markdown,
+    format_table,
+    panel_table,
+)
+from repro.experiments.results import FigureResult, Panel, Series
+
+
+@pytest.fixture
+def panel():
+    return Panel(
+        title="test",
+        x_label="x",
+        y_label="y",
+        series=(
+            Series(label="a", x=(1.0, 2.0, 3.0), y=(1.0, 4.0, 9.0)),
+            Series(label="b", x=(1.0, 2.0, 3.0), y=(2.0, 3.0, 4.0)),
+        ),
+    )
+
+
+@pytest.fixture
+def figure(panel):
+    return FigureResult(
+        figure_id="figX",
+        title="Test Figure",
+        panels=(panel,),
+        metadata={"note": "unit-test"},
+    )
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="x values"):
+            Series(label="s", x=(1.0,), y=(1.0, 2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series(label="s", x=(), y=())
+
+    def test_values_coerced_to_float(self):
+        s = Series(label="s", x=(1,), y=(2,))
+        assert isinstance(s.x[0], float)
+
+
+class TestPanel:
+    def test_duplicate_labels_rejected(self):
+        s = Series(label="a", x=(1.0,), y=(1.0,))
+        with pytest.raises(ValueError, match="duplicate"):
+            Panel(title="p", x_label="x", y_label="y", series=(s, s))
+
+    def test_series_by_label(self, panel):
+        assert panel.series_by_label("a").y == (1.0, 4.0, 9.0)
+        with pytest.raises(KeyError):
+            panel.series_by_label("zzz")
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            Panel(title="p", x_label="x", y_label="y", series=())
+
+
+class TestFigureResult:
+    def test_panel_lookup(self, figure):
+        assert figure.panel("test").title == "test"
+        with pytest.raises(KeyError):
+            figure.panel("missing")
+
+    def test_to_rows(self, figure):
+        rows = figure.to_rows()
+        assert len(rows) == 6  # 2 series x 3 points
+        assert rows[0]["figure"] == "figX"
+        assert rows[0]["x"] == 1.0
+
+    def test_render_contains_everything(self, figure):
+        text = figure.render()
+        assert "figX" in text
+        assert "unit-test" in text
+        assert "legend" in text
+
+    def test_empty_panels_rejected(self):
+        with pytest.raises(ValueError):
+            FigureResult(figure_id="f", title="t", panels=())
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_labels(self, panel):
+        chart = ascii_chart(panel, width=40, height=10)
+        assert "o" in chart and "x" in chart
+        assert "x: x" in chart
+        assert "legend" in chart
+
+    def test_handles_constant_series(self):
+        p = Panel(
+            title="flat",
+            x_label="x",
+            y_label="y",
+            series=(Series(label="c", x=(1.0, 2.0), y=(5.0, 5.0)),),
+        )
+        chart = ascii_chart(p)
+        assert "o" in chart
+
+    def test_size_validation(self, panel):
+        with pytest.raises(ValueError):
+            ascii_chart(panel, width=5, height=10)
+
+    def test_sparkline(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+        assert sparkline([]) == ""
+        assert len(set(sparkline([2, 2, 2]))) == 1
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "longer"}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_union_of_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        table = format_table(rows)
+        assert "a" in table and "b" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_panel_table_wide_format(self, panel):
+        table = panel_table(panel)
+        assert "a" in table and "b" in table
+        assert "1" in table and "9" in table
+
+    def test_figure_markdown(self, figure):
+        md = figure_markdown(figure)
+        assert "### figX" in md
+        assert "| x | a | b |" in md
+        assert "unit-test" in md

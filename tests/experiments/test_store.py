@@ -1,0 +1,128 @@
+"""Tests for the experiment result store and CLI save/show."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.results import FigureResult, Panel, Series
+from repro.experiments.store import (
+    ResultStore,
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    save_figure,
+)
+
+
+@pytest.fixture
+def figure():
+    return FigureResult(
+        figure_id="figX",
+        title="Saved Figure",
+        panels=(
+            Panel(
+                title="p1",
+                x_label="x",
+                y_label="y",
+                series=(
+                    Series(label="a", x=(1.0, 2.0), y=(3.0, 4.0)),
+                    Series(label="b", x=(1.0, 2.0), y=(5.0, 6.0)),
+                ),
+            ),
+        ),
+        metadata={"trials": 3, "note": "hello", "nested": {"k": (1, 2)}},
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self, figure):
+        rebuilt = figure_from_dict(figure_to_dict(figure))
+        assert rebuilt.figure_id == figure.figure_id
+        assert rebuilt.title == figure.title
+        assert rebuilt.panel("p1").series_by_label("a").y == (3.0, 4.0)
+        assert rebuilt.metadata["trials"] == 3
+
+    def test_dict_is_json_compatible(self, figure):
+        json.dumps(figure_to_dict(figure))  # must not raise
+
+    def test_non_jsonable_metadata_stringified(self):
+        fig = FigureResult(
+            figure_id="f",
+            title="t",
+            panels=(
+                Panel(
+                    title="p",
+                    x_label="x",
+                    y_label="y",
+                    series=(Series(label="s", x=(1.0,), y=(1.0,)),),
+                ),
+            ),
+            metadata={"obj": object()},
+        )
+        payload = figure_to_dict(fig)
+        assert isinstance(payload["metadata"]["obj"], str)
+
+    def test_schema_version_checked(self, figure):
+        payload = figure_to_dict(figure)
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            figure_from_dict(payload)
+
+    def test_file_round_trip(self, figure, tmp_path):
+        path = save_figure(figure, tmp_path / "sub" / "fig.json")
+        assert path.exists()
+        loaded = load_figure(path)
+        assert loaded.figure_id == "figX"
+
+
+class TestResultStore:
+    def test_put_get_list(self, figure, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(figure)
+        assert store.list() == ["figX"]
+        assert "figX" in store
+        loaded = store.get("figX")
+        assert loaded.title == "Saved Figure"
+
+    def test_get_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(KeyError, match="no saved result"):
+            store.get("nope")
+
+    def test_put_overwrites(self, figure, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(figure)
+        updated = FigureResult(
+            figure_id="figX",
+            title="Updated",
+            panels=figure.panels,
+        )
+        store.put(updated)
+        assert store.get("figX").title == "Updated"
+
+    def test_invalid_id_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store._path("../escape")
+
+
+class TestCliIntegration:
+    def test_run_with_save_then_show(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.runner as runner_mod
+        from repro.experiments.runner import Profile
+
+        tiny = Profile(
+            name="quick", num_trials=2, grid_points=3, num_users=24, num_objects=8
+        )
+        monkeypatch.setitem(runner_mod._PROFILES, "quick", tiny)
+        store_dir = str(tmp_path / "store")
+        assert main(["run", "fig3", "--save", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["show", "fig3", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "legend" in out
+
+    def test_show_missing_result(self, tmp_path, capsys):
+        assert main(["show", "fig2", "--store", str(tmp_path)]) == 2
+        assert "no saved result" in capsys.readouterr().err

@@ -1,0 +1,178 @@
+"""End-to-end integration tests crossing all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import PrivateTruthDiscovery
+from repro.crowdsensing.campaign import CampaignSpec
+from repro.crowdsensing.runtime import build_devices, run_campaign
+from repro.datasets.floorplan import generate_floorplan_dataset
+from repro.datasets.synthetic import generate_synthetic
+from repro.metrics.accuracy import mae
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.ldp import lambda2_for_epsilon
+from repro.privacy.sensitivity import lemma47_bound
+from repro.theory.tradeoff import (
+    choose_noise_level,
+    lambda2_for_noise_level,
+    noise_level_window,
+)
+from repro.truthdiscovery.crh import CRH
+
+
+class TestPaperStoryline:
+    """The full Algorithm 2 narrative, numerically."""
+
+    def test_utility_with_theory_driven_lambda2(self):
+        # 1. Characterise the data: lambda1 = 4 (mean error var 0.25).
+        lambda1 = 4.0
+        dataset = generate_synthetic(
+            num_users=150, num_objects=30, lambda1=lambda1, random_state=0
+        )
+        # 2. Pick noise level from the trade-off window.
+        window = noise_level_window(
+            lambda1=lambda1,
+            alpha=1.0,
+            beta=0.2,
+            num_users=150,
+            epsilon=1.0,
+            delta=0.3,
+        )
+        assert window.feasible
+        c = choose_noise_level(window)
+        lambda2 = lambda2_for_noise_level(lambda1, c)
+        # 3. Run Algorithm 2 and check the utility definition directly.
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=lambda2)
+        maes = [
+            pipeline.evaluate_utility(dataset.claims, random_state=s).mae
+            for s in range(10)
+        ]
+        # (alpha, beta)-utility with alpha=1.0, beta=0.2: at most ~2/10
+        # runs may exceed alpha; empirically all should be far below.
+        assert np.mean([m >= 1.0 for m in maes]) <= 0.2
+        assert np.mean(maes) < 0.5
+
+    def test_privacy_accounting_through_pipeline(self):
+        lambda1 = 4.0
+        sensitivity = lemma47_bound(lambda1, b=2.0, eta=0.9).value
+        pipeline = PrivateTruthDiscovery.for_privacy_target(
+            epsilon=1.0, delta=0.3, sensitivity=sensitivity
+        )
+        dataset = generate_synthetic(
+            num_users=60, num_objects=10, lambda1=lambda1, random_state=1
+        )
+        outcome = pipeline.run(dataset.claims, random_state=2)
+        acct = PrivacyAccountant()
+        acct.record_for_all(
+            range(dataset.num_users), outcome.guarantee, mechanism="exp-gaussian"
+        )
+        worst = acct.worst_case()
+        assert worst.epsilon == pytest.approx(1.0)
+        assert worst.delta == pytest.approx(0.3)
+
+    def test_noise_tolerance_headline(self):
+        """Paper abstract: aggregated results do not deviate much 'even
+        when large noise is added' — noise ~ claim scale, MAE << noise."""
+        dataset = generate_synthetic(
+            num_users=150, num_objects=30, lambda1=4.0, random_state=3
+        )
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=0.5)  # E|noise| = 1
+        ev = pipeline.evaluate_utility(dataset.claims, random_state=4)
+        assert ev.average_absolute_noise > 0.8
+        assert ev.mae < 0.25 * ev.average_absolute_noise
+
+
+class TestFloorplanPipeline:
+    def test_private_aggregation_still_recovers_lengths(self):
+        dataset = generate_floorplan_dataset(
+            num_users=100, num_segments=30, random_state=5
+        )
+        pipeline = PrivateTruthDiscovery(method="crh", lambda2=1.0)
+        outcome = pipeline.run(dataset.claims, random_state=6)
+        rel = np.abs(outcome.truths - dataset.segment_lengths) / dataset.segment_lengths
+        assert np.median(rel) < 0.08
+
+    def test_gtm_and_crh_agree_on_floorplan(self):
+        dataset = generate_floorplan_dataset(
+            num_users=60, num_segments=20, random_state=7
+        )
+        crh_truths = PrivateTruthDiscovery(method="crh", lambda2=2.0).run(
+            dataset.claims, random_state=8
+        ).truths
+        gtm_truths = PrivateTruthDiscovery(method="gtm", lambda2=2.0).run(
+            dataset.claims, random_state=8
+        ).truths
+        assert mae(crh_truths, gtm_truths) < 1.0
+
+
+class TestSimulatedSystemMatchesDirectPipeline:
+    def test_campaign_aggregate_close_to_direct_crh(self):
+        """The message-passing system must compute the same kind of result
+        as calling the library directly on the same observations."""
+        rng = np.random.default_rng(10)
+        num_users, num_objects = 30, 6
+        truths = rng.uniform(2.0, 8.0, num_objects)
+        observations = {
+            f"u{i:02d}": {
+                f"o{j}": float(truths[j] + rng.normal(0, 0.3))
+                for j in range(num_objects)
+            }
+            for i in range(num_users)
+        }
+        object_ids = tuple(f"o{j}" for j in range(num_objects))
+        spec = CampaignSpec(
+            campaign_id="c",
+            object_ids=object_ids,
+            lambda2=20.0,  # light noise for a tight comparison
+            min_contributors=10,
+        )
+        devices = build_devices(observations, random_state=11)
+        report = run_campaign(spec, devices, random_state=12)
+        assert report.succeeded
+
+        # Direct computation on the *original* observations.
+        from repro.truthdiscovery.claims import ClaimMatrix
+
+        records = [
+            (u, o, v) for u, objs in observations.items() for o, v in objs.items()
+        ]
+        claims = ClaimMatrix.from_records(
+            records, user_ids=sorted(observations), object_ids=object_ids
+        )
+        direct = CRH().fit(claims)
+        assert mae(report.truths, direct.truths) < 0.2
+
+    def test_epsilon_sweep_through_campaigns(self):
+        """Chained campaigns with decreasing epsilon: noisier submissions,
+        still-reasonable aggregates, composed budget tracked."""
+        rng = np.random.default_rng(13)
+        truths = rng.uniform(2.0, 8.0, 4)
+        observations = {
+            f"u{i:02d}": {
+                f"o{j}": float(truths[j] + rng.normal(0, 0.2)) for j in range(4)
+            }
+            for i in range(25)
+        }
+        acct = PrivacyAccountant()
+        sensitivity, delta = 1.0, 0.3
+        for round_idx, epsilon in enumerate((2.0, 1.0)):
+            lambda2 = lambda2_for_epsilon(epsilon, sensitivity, delta)
+            spec = CampaignSpec(
+                campaign_id=f"round-{round_idx}",
+                object_ids=tuple(f"o{j}" for j in range(4)),
+                lambda2=lambda2,
+                min_contributors=10,
+            )
+            devices = build_devices(observations, random_state=100 + round_idx)
+            report = run_campaign(spec, devices, random_state=200 + round_idx)
+            assert report.succeeded
+            from repro.privacy.ldp import LDPGuarantee
+
+            acct.record_for_all(
+                report.contributors,
+                LDPGuarantee(epsilon=epsilon, delta=delta),
+                label=spec.campaign_id,
+            )
+        composed = acct.composed_guarantee("u00")
+        assert composed.epsilon == pytest.approx(3.0)
+        assert composed.delta == pytest.approx(0.6)

@@ -1,0 +1,77 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Examples are the first code users copy; a broken example is a broken
+library.  Each script exposes ``main()``, which we import by path and
+execute with stdout captured, asserting on its key output lines.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    scripts = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert scripts == [
+        "air_quality_monitoring",
+        "crowd_labeling",
+        "crowdsensing_protocol",
+        "indoor_floorplan",
+        "privacy_budget_planner",
+        "quickstart",
+        "streaming_monitoring",
+    ]
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "average |added noise|" in out
+    assert "utility loss is" in out
+
+
+def test_indoor_floorplan(capsys):
+    out = run_example("indoor_floorplan", capsys)
+    assert "247 walkers, 129 segments" in out
+    assert "median error" in out
+
+
+def test_air_quality_monitoring(capsys):
+    out = run_example("air_quality_monitoring", capsys)
+    assert "ground-truth MAE by aggregator" in out
+    assert "adversarial" in out
+
+
+def test_crowdsensing_protocol(capsys):
+    out = run_example("crowdsensing_protocol", capsys)
+    assert "0 user-to-user" in out
+    assert "per-user guarantee" in out
+
+
+def test_privacy_budget_planner(capsys):
+    out = run_example("privacy_budget_planner", capsys)
+    assert "noise-level window" in out
+    assert "empirical check" in out
+
+
+def test_crowd_labeling(capsys):
+    out = run_example("crowd_labeling", capsys)
+    assert "randomized response" in out
+    assert "private-preference RR" in out
+
+
+def test_streaming_monitoring(capsys):
+    out = run_example("streaming_monitoring", capsys)
+    assert "incident!" in out
+    assert "final MAE" in out

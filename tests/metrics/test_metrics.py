@@ -1,0 +1,170 @@
+"""Tests for accuracy metrics, weight comparison, and empirical privacy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    mae,
+    max_abs_error,
+    relative_mae,
+    rmse,
+)
+from repro.metrics.empirical_privacy import (
+    distinguishing_advantage,
+    empirical_epsilon,
+)
+from repro.metrics.weights import (
+    WeightComparison,
+    true_weights,
+    weight_rank_agreement,
+)
+from repro.privacy.mechanisms import (
+    ExponentialVarianceGaussianMechanism,
+    FixedGaussianMechanism,
+    NullMechanism,
+)
+from repro.truthdiscovery.crh import CRH
+
+
+class TestAccuracy:
+    def test_mae_exact(self):
+        assert mae(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == 1.5
+
+    def test_rmse_exact(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            math.sqrt(12.5)
+        )
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.5, 5.0])) == 3.0
+
+    def test_relative_mae(self):
+        assert relative_mae(np.array([2.0, 2.0]), np.array([3.0, 3.0])) == 0.5
+
+    def test_identical_vectors_zero(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert mae(v, v) == 0.0
+        assert rmse(v, v) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae(np.zeros(2), np.zeros(3))
+
+    def test_rmse_at_least_mae(self, rng):
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert rmse(a, b) >= mae(a, b)
+
+    def test_report_compare(self):
+        report = AccuracyReport.compare(
+            np.array([1.0, 2.0]), np.array([1.5, 2.5])
+        )
+        assert report.mae == 0.5
+        assert report.max_abs_error == 0.5
+        assert "MAE" in str(report)
+
+
+class TestWeights:
+    def test_true_weights_normalised(self, graded_quality_dataset):
+        w = true_weights(
+            CRH(),
+            graded_quality_dataset.claims,
+            graded_quality_dataset.ground_truth,
+        )
+        assert w.mean() == pytest.approx(1.0)
+
+    def test_true_weights_order_matches_quality(self, graded_quality_dataset):
+        w = true_weights(
+            CRH(),
+            graded_quality_dataset.claims,
+            graded_quality_dataset.ground_truth,
+        )
+        # variances increase with index; true weights must trend down
+        assert w[:3].mean() > w[-3:].mean()
+
+    def test_true_weights_shape_validated(self, graded_quality_dataset):
+        with pytest.raises(ValueError):
+            true_weights(
+                CRH(), graded_quality_dataset.claims, np.zeros(3)
+            )
+
+    def test_comparison_perfect_correlation(self):
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        cmp = WeightComparison.compare(w, w * 2.0)
+        assert cmp.pearson == pytest.approx(1.0)
+        assert cmp.spearman == pytest.approx(1.0)
+
+    def test_comparison_anti_correlation(self):
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        cmp = WeightComparison.compare(w, -w)
+        assert cmp.pearson == pytest.approx(-1.0)
+
+    def test_comparison_constant_input(self):
+        cmp = WeightComparison.compare(np.ones(5), np.arange(5.0))
+        assert cmp.pearson == 0.0
+
+    def test_comparison_needs_two(self):
+        with pytest.raises(ValueError):
+            WeightComparison.compare(np.ones(1), np.ones(1))
+
+    def test_rank_agreement_perfect(self):
+        w = np.arange(20.0)
+        assert weight_rank_agreement(w, w, top_k=5) == 1.0
+
+    def test_rank_agreement_disjoint(self):
+        est = np.arange(20.0)
+        true = -np.arange(20.0)
+        assert weight_rank_agreement(est, true, top_k=5) == 0.0
+
+    def test_rank_agreement_k_capped(self):
+        w = np.arange(3.0)
+        assert weight_rank_agreement(w, w, top_k=10) == 1.0
+
+
+class TestEmpiricalPrivacy:
+    def test_null_mechanism_fully_distinguishable(self):
+        adv = distinguishing_advantage(
+            NullMechanism(), 0.0, 1.0, num_samples=500, random_state=0
+        )
+        assert adv == pytest.approx(1.0)
+
+    def test_noise_reduces_advantage(self):
+        quiet = FixedGaussianMechanism(variance=0.001)
+        loud = FixedGaussianMechanism(variance=25.0)
+        adv_quiet = distinguishing_advantage(
+            quiet, 0.0, 1.0, num_samples=2000, random_state=0
+        )
+        adv_loud = distinguishing_advantage(
+            loud, 0.0, 1.0, num_samples=2000, random_state=0
+        )
+        assert adv_loud < adv_quiet
+        assert adv_loud < 0.65
+
+    def test_empirical_epsilon_bounded_by_theory(self):
+        # Fixed Gaussian with variance y: density-ratio bound inside the
+        # bulk is eps = Delta^2/(2y) + interval slack; the empirical scan
+        # should land in that ballpark, not far above.
+        y, delta_gap = 4.0, 1.0
+        mech = FixedGaussianMechanism(variance=y)
+        est = empirical_epsilon(
+            mech, 0.0, delta_gap, num_samples=8000, random_state=0
+        )
+        assert est.epsilon < 1.5  # theory: bulk ratio ~ Delta^2/2y = 0.125
+
+    def test_empirical_epsilon_grows_with_separation(self):
+        mech = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+        near = empirical_epsilon(mech, 0.0, 0.2, num_samples=4000, random_state=0)
+        far = empirical_epsilon(mech, 0.0, 5.0, num_samples=4000, random_state=0)
+        assert far.epsilon > near.epsilon
+
+    def test_excluded_mass_reported(self):
+        mech = FixedGaussianMechanism(variance=1.0)
+        est = empirical_epsilon(mech, 0.0, 1.0, num_samples=2000, random_state=0)
+        assert 0.0 <= est.excluded_mass <= 1.0
+
+    def test_validation(self):
+        mech = NullMechanism()
+        with pytest.raises(ValueError):
+            empirical_epsilon(mech, 0.0, 1.0, num_samples=10)

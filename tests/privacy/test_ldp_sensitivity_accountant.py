@@ -1,0 +1,197 @@
+"""Tests for LDP accounting, sensitivity, and the accountant."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.ldp import (
+    LDPGuarantee,
+    epsilon_for_variance,
+    epsilon_of_mechanism,
+    guarantee_of_mechanism,
+    lambda2_for_epsilon,
+    laplace_epsilon,
+    strict_gaussian_epsilon,
+    variance_for_epsilon,
+)
+from repro.privacy.sensitivity import (
+    gamma_factor,
+    global_claim_range,
+    lemma47_bound,
+    normalized_sensitivity,
+    per_user_claim_range,
+)
+from repro.truthdiscovery.claims import ClaimMatrix
+
+
+class TestLDPGuarantee:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LDPGuarantee(epsilon=-1.0, delta=0.1)
+        with pytest.raises(ValueError):
+            LDPGuarantee(epsilon=1.0, delta=1.5)
+
+    def test_dominance(self):
+        strong = LDPGuarantee(epsilon=0.5, delta=0.1)
+        weak = LDPGuarantee(epsilon=1.0, delta=0.2)
+        assert strong.is_stronger_than(weak)
+        assert not weak.is_stronger_than(strong)
+
+
+class TestConversions:
+    def test_epsilon_for_variance(self):
+        # eps = Delta^2 / (2y)
+        assert epsilon_for_variance(2.0, 2.0) == pytest.approx(1.0)
+
+    def test_variance_epsilon_round_trip(self):
+        y = variance_for_epsilon(0.7, 1.5)
+        assert epsilon_for_variance(y, 1.5) == pytest.approx(0.7)
+
+    def test_epsilon_of_mechanism_formula(self):
+        eps = epsilon_of_mechanism(lambda2=2.0, sensitivity=1.0, delta=0.5)
+        assert eps == pytest.approx(2.0 / (2.0 * math.log(2.0)))
+
+    def test_lambda2_round_trip(self):
+        lam = lambda2_for_epsilon(epsilon=1.2, sensitivity=0.8, delta=0.3)
+        assert epsilon_of_mechanism(lam, 0.8, 0.3) == pytest.approx(1.2)
+
+    def test_more_noise_means_smaller_epsilon(self):
+        # smaller lambda2 => bigger noise => stronger privacy
+        eps_hi = epsilon_of_mechanism(2.0, 1.0, 0.3)
+        eps_lo = epsilon_of_mechanism(0.5, 1.0, 0.3)
+        assert eps_lo < eps_hi
+
+    def test_larger_delta_means_smaller_epsilon(self):
+        eps_small_delta = epsilon_of_mechanism(1.0, 1.0, 0.2)
+        eps_big_delta = epsilon_of_mechanism(1.0, 1.0, 0.5)
+        assert eps_big_delta < eps_small_delta
+
+    def test_variance_threshold_probability(self):
+        # By construction, P(variance >= Delta^2/(2 eps)) = 1 - delta.
+        lam, delta, sens = 1.3, 0.25, 1.1
+        eps = epsilon_of_mechanism(lam, sens, delta)
+        threshold = variance_for_epsilon(eps, sens)
+        rng = np.random.default_rng(0)
+        draws = rng.exponential(1.0 / lam, size=400_000)
+        assert (draws >= threshold).mean() == pytest.approx(1 - delta, abs=0.005)
+
+    def test_guarantee_of_mechanism(self):
+        g = guarantee_of_mechanism(1.0, 1.0, 0.3)
+        assert isinstance(g, LDPGuarantee)
+        assert g.delta == 0.3
+
+    def test_strict_gaussian_epsilon(self):
+        eps = strict_gaussian_epsilon(noise_std=2.0, sensitivity=1.0, delta=0.05)
+        assert eps == pytest.approx(math.sqrt(2 * math.log(25.0)) / 2.0)
+
+    def test_laplace_epsilon(self):
+        assert laplace_epsilon(scale=0.5, sensitivity=1.0) == pytest.approx(2.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            epsilon_of_mechanism(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            epsilon_of_mechanism(1.0, 1.0, 1.0)
+
+
+class TestSensitivity:
+    def test_gamma_factor_formula(self):
+        gamma = gamma_factor(b=3.0, eta=0.95)
+        assert gamma == pytest.approx(3.0 * math.sqrt(2 * math.log(20.0)))
+
+    def test_lemma47_bound_inverse_in_lambda1(self):
+        b1 = lemma47_bound(1.0).value
+        b4 = lemma47_bound(4.0).value
+        assert b4 == pytest.approx(b1 / 4.0)
+
+    def test_lemma47_probability_in_unit_interval(self):
+        bound = lemma47_bound(2.0, b=3.0, eta=0.95)
+        assert 0.0 <= bound.holds_probability <= 1.0
+
+    def test_lemma47_probability_formula(self):
+        bound = lemma47_bound(2.0, b=3.0, eta=0.9)
+        tail = 1.0 - 2.0 * math.exp(-4.5) / 3.0
+        assert bound.holds_probability == pytest.approx(0.9 * tail)
+
+    def test_lemma47_empirical_coverage(self):
+        # Monte Carlo: with sigma^2 ~ Exp(lambda1) and x1,x2 ~ N(truth,
+        # sigma^2), |x1 - x2| <= gamma/lambda1 should hold with at least
+        # the stated probability.
+        lambda1, b, eta = 1.5, 3.0, 0.95
+        bound = lemma47_bound(lambda1, b=b, eta=eta)
+        rng = np.random.default_rng(42)
+        n = 200_000
+        sigma2 = rng.exponential(1.0 / lambda1, size=n)
+        gaps = np.abs(rng.standard_normal(n) - rng.standard_normal(n)) * np.sqrt(
+            sigma2
+        )
+        coverage = (gaps <= bound.value).mean()
+        assert coverage >= bound.holds_probability
+
+    def test_per_user_claim_range(self, sparse_claims):
+        ranges = per_user_claim_range(sparse_claims)
+        assert ranges.shape == (4,)
+        assert ranges[0] == pytest.approx(2.0)  # claims 1.0 and 3.0
+
+    def test_single_claim_user_range_zero(self):
+        values = np.array([[1.0, 0.0], [2.0, 5.0]])
+        mask = np.array([[True, False], [True, True]])
+        ranges = per_user_claim_range(ClaimMatrix(values, mask=mask))
+        assert ranges[0] == 0.0
+
+    def test_global_claim_range(self, small_claims):
+        assert global_claim_range(small_claims) == pytest.approx(8.0 - 0.9)
+
+    def test_normalized_sensitivity_positive(self, small_claims):
+        assert normalized_sensitivity(small_claims) > 0
+
+
+class TestAccountant:
+    def test_single_event(self):
+        acct = PrivacyAccountant()
+        acct.record("u1", LDPGuarantee(1.0, 0.1), mechanism="exp-gaussian")
+        g = acct.composed_guarantee("u1")
+        assert g.epsilon == 1.0
+        assert g.delta == 0.1
+
+    def test_basic_composition_adds(self):
+        acct = PrivacyAccountant()
+        acct.record("u1", LDPGuarantee(1.0, 0.1))
+        acct.record("u1", LDPGuarantee(0.5, 0.05))
+        g = acct.composed_guarantee("u1")
+        assert g.epsilon == pytest.approx(1.5)
+        assert g.delta == pytest.approx(0.15)
+
+    def test_delta_capped_at_one(self):
+        acct = PrivacyAccountant()
+        for _ in range(5):
+            acct.record("u1", LDPGuarantee(0.1, 0.4))
+        assert acct.composed_guarantee("u1").delta == 1.0
+
+    def test_unknown_user_has_perfect_privacy(self):
+        acct = PrivacyAccountant()
+        g = acct.composed_guarantee("ghost")
+        assert g.epsilon == 0.0 and g.delta == 0.0
+
+    def test_record_for_all(self):
+        acct = PrivacyAccountant()
+        acct.record_for_all(["a", "b"], LDPGuarantee(1.0, 0.1), label="round1")
+        assert acct.num_events == 2
+        assert len(acct.events_for("a")) == 1
+
+    def test_worst_case(self):
+        acct = PrivacyAccountant()
+        acct.record("a", LDPGuarantee(1.0, 0.1))
+        acct.record("b", LDPGuarantee(2.0, 0.1))
+        assert acct.worst_case().epsilon == 2.0
+
+    def test_worst_case_empty(self):
+        assert PrivacyAccountant().worst_case().epsilon == 0.0
+
+    def test_reset(self):
+        acct = PrivacyAccountant()
+        acct.record("a", LDPGuarantee(1.0, 0.1))
+        acct.reset()
+        assert acct.num_events == 0

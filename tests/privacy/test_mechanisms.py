@@ -1,0 +1,165 @@
+"""Tests for perturbation mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.mechanisms import (
+    ExponentialVarianceGaussianMechanism,
+    FixedGaussianMechanism,
+    LaplaceMechanism,
+    NullMechanism,
+    create_mechanism,
+)
+from repro.truthdiscovery.claims import ClaimMatrix
+
+
+@pytest.fixture
+def claims():
+    rng = np.random.default_rng(0)
+    return ClaimMatrix(rng.normal(10.0, 1.0, size=(30, 20)))
+
+
+class TestExponentialVarianceGaussian:
+    def test_output_shape_and_mask(self, sparse_claims):
+        mech = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+        result = mech.perturb(sparse_claims, random_state=0)
+        assert result.perturbed.shape == sparse_claims.shape
+        np.testing.assert_array_equal(result.perturbed.mask, sparse_claims.mask)
+        # unobserved entries remain zero (never perturbed)
+        assert result.perturbed.values[0, 1] == 0.0
+        assert result.noise[0, 1] == 0.0
+
+    def test_perturbed_equals_original_plus_noise(self, claims):
+        mech = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+        result = mech.perturb(claims, random_state=1)
+        np.testing.assert_allclose(
+            result.perturbed.values, claims.values + result.noise
+        )
+
+    def test_deterministic_given_seed(self, claims):
+        mech = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+        a = mech.perturb(claims, random_state=5)
+        b = mech.perturb(claims, random_state=5)
+        np.testing.assert_array_equal(a.noise, b.noise)
+        np.testing.assert_array_equal(a.noise_variances, b.noise_variances)
+
+    def test_different_seeds_differ(self, claims):
+        mech = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+        a = mech.perturb(claims, random_state=1)
+        b = mech.perturb(claims, random_state=2)
+        assert not np.allclose(a.noise, b.noise)
+
+    def test_per_user_variance_distribution(self):
+        # Over many users, sampled variances follow Exp(lambda2).
+        claims = ClaimMatrix(np.zeros((50_000, 1)))
+        mech = ExponentialVarianceGaussianMechanism(lambda2=2.0)
+        result = mech.perturb(claims, random_state=0)
+        assert result.noise_variances.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_row_noise_matches_sampled_variance(self):
+        claims = ClaimMatrix(np.zeros((3, 50_000)))
+        mech = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+        result = mech.perturb(claims, random_state=0)
+        for s in range(3):
+            assert result.noise[s].std() == pytest.approx(
+                math.sqrt(result.noise_variances[s]), rel=0.05
+            )
+
+    def test_expected_noise_magnitude(self):
+        mech = ExponentialVarianceGaussianMechanism(lambda2=2.0)
+        assert mech.expected_noise_magnitude() == pytest.approx(0.5)
+
+    def test_average_absolute_noise_tracks_expectation(self):
+        claims = ClaimMatrix(np.zeros((3000, 10)))
+        mech = ExponentialVarianceGaussianMechanism(lambda2=2.0)
+        result = mech.perturb(claims, random_state=0)
+        assert result.average_absolute_noise == pytest.approx(0.5, rel=0.1)
+
+    def test_guarantee(self):
+        mech = ExponentialVarianceGaussianMechanism(lambda2=1.0)
+        g = mech.guarantee(sensitivity=1.0, delta=0.3)
+        assert g.delta == 0.3
+        assert g.epsilon == pytest.approx(1.0 / (2.0 * math.log(1 / 0.7)))
+
+    def test_for_epsilon_round_trip(self):
+        mech = ExponentialVarianceGaussianMechanism.for_epsilon(
+            epsilon=1.5, sensitivity=2.0, delta=0.2
+        )
+        g = mech.guarantee(sensitivity=2.0, delta=0.2)
+        assert g.epsilon == pytest.approx(1.5)
+
+    def test_invalid_lambda2(self):
+        with pytest.raises(ValueError):
+            ExponentialVarianceGaussianMechanism(lambda2=-1.0)
+
+
+class TestFixedGaussian:
+    def test_constant_variance(self, claims):
+        mech = FixedGaussianMechanism(variance=0.25)
+        result = mech.perturb(claims, random_state=0)
+        assert (result.noise_variances == 0.25).all()
+
+    def test_matching_expected_noise(self):
+        mech = FixedGaussianMechanism.matching_expected_noise(0.7)
+        assert mech.expected_noise_magnitude() == pytest.approx(0.7)
+
+    def test_strict_guarantee_positive(self):
+        mech = FixedGaussianMechanism(variance=1.0)
+        g = mech.guarantee(sensitivity=0.5, delta=0.1)
+        assert g.epsilon > 0
+
+    def test_empirical_noise_scale(self):
+        claims = ClaimMatrix(np.zeros((100, 1000)))
+        mech = FixedGaussianMechanism(variance=4.0)
+        result = mech.perturb(claims, random_state=0)
+        assert result.noise.std() == pytest.approx(2.0, rel=0.05)
+
+
+class TestLaplace:
+    def test_expected_noise_is_scale(self):
+        assert LaplaceMechanism(scale=0.3).expected_noise_magnitude() == 0.3
+
+    def test_empirical_absolute_mean(self):
+        claims = ClaimMatrix(np.zeros((100, 1000)))
+        mech = LaplaceMechanism(scale=0.5)
+        result = mech.perturb(claims, random_state=0)
+        assert np.abs(result.noise).mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_pure_epsilon_guarantee(self):
+        g = LaplaceMechanism(scale=0.5).guarantee(sensitivity=1.0)
+        assert g.epsilon == pytest.approx(2.0)
+        assert g.delta == 0.0
+
+
+class TestNullMechanism:
+    def test_identity(self, claims):
+        result = NullMechanism().perturb(claims, random_state=0)
+        np.testing.assert_array_equal(result.perturbed.values, claims.values)
+        assert result.average_absolute_noise == 0.0
+        assert result.max_absolute_noise == 0.0
+
+    def test_guarantee_is_vacuous(self):
+        g = NullMechanism().guarantee(1.0, 0.1)
+        assert math.isinf(g.epsilon)
+
+
+class TestFactory:
+    def test_create_each(self):
+        assert isinstance(
+            create_mechanism("exp-gaussian", lambda2=1.0),
+            ExponentialVarianceGaussianMechanism,
+        )
+        assert isinstance(
+            create_mechanism("fixed-gaussian", variance=1.0),
+            FixedGaussianMechanism,
+        )
+        assert isinstance(
+            create_mechanism("laplace", scale=1.0), LaplaceMechanism
+        )
+        assert isinstance(create_mechanism("null"), NullMechanism)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown mechanism"):
+            create_mechanism("nope")

@@ -1,0 +1,88 @@
+"""Tests for noise primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.noise import (
+    expected_absolute_noise,
+    gaussian_absolute_moment,
+    lambda2_for_expected_noise,
+    sample_exponential_variances,
+    sample_gaussian_noise,
+)
+
+
+class TestExponentialVariances:
+    def test_shape(self):
+        v = sample_exponential_variances(2.0, 100, random_state=0)
+        assert v.shape == (100,)
+        assert (v > 0).all()
+
+    def test_mean_matches_rate(self):
+        v = sample_exponential_variances(2.0, 200_000, random_state=0)
+        assert v.mean() == pytest.approx(0.5, rel=0.02)
+
+    def test_deterministic(self):
+        a = sample_exponential_variances(1.0, 10, random_state=3)
+        b = sample_exponential_variances(1.0, 10, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            sample_exponential_variances(0.0, 10)
+
+    def test_zero_count(self):
+        assert sample_exponential_variances(1.0, 0).size == 0
+
+
+class TestGaussianNoise:
+    def test_shape(self):
+        noise = sample_gaussian_noise(np.array([1.0, 4.0]), 5, random_state=0)
+        assert noise.shape == (2, 5)
+
+    def test_per_row_scale(self):
+        variances = np.array([0.01, 100.0])
+        noise = sample_gaussian_noise(variances, 50_000, random_state=0)
+        assert noise[0].std() == pytest.approx(0.1, rel=0.05)
+        assert noise[1].std() == pytest.approx(10.0, rel=0.05)
+
+    def test_zero_variance_row_is_zero(self):
+        noise = sample_gaussian_noise(np.array([0.0, 1.0]), 100, random_state=0)
+        np.testing.assert_array_equal(noise[0], np.zeros(100))
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_gaussian_noise(np.array([-1.0]), 5)
+
+    def test_2d_variances_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            sample_gaussian_noise(np.ones((2, 2)), 5)
+
+
+class TestClosedForms:
+    def test_expected_absolute_noise_formula(self):
+        assert expected_absolute_noise(2.0) == pytest.approx(0.5)
+        assert expected_absolute_noise(0.5) == pytest.approx(1.0)
+
+    def test_expected_absolute_noise_monte_carlo(self):
+        # E|xi| with delta^2 ~ Exp(lambda2), xi ~ N(0, delta^2).
+        rng = np.random.default_rng(0)
+        lam = 1.7
+        variances = rng.exponential(1.0 / lam, size=400_000)
+        noise = rng.standard_normal(400_000) * np.sqrt(variances)
+        assert np.abs(noise).mean() == pytest.approx(
+            expected_absolute_noise(lam), rel=0.01
+        )
+
+    def test_lambda2_inversion(self):
+        for magnitude in (0.1, 0.5, 1.0, 2.0):
+            lam = lambda2_for_expected_noise(magnitude)
+            assert expected_absolute_noise(lam) == pytest.approx(magnitude)
+
+    def test_gaussian_absolute_moment(self):
+        assert gaussian_absolute_moment(1.0) == pytest.approx(
+            math.sqrt(2.0 / math.pi)
+        )
+        assert gaussian_absolute_moment(0.0) == 0.0

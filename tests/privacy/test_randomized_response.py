@@ -1,0 +1,175 @@
+"""Tests for the randomized-response extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.randomized_response import (
+    PrivatePreferenceRandomizedResponse,
+    RandomizedResponseMechanism,
+    debias_vote_counts,
+    epsilon_for_keep_probability,
+    keep_probability,
+)
+from repro.truthdiscovery.categorical import (
+    CategoricalClaimMatrix,
+    WeightedVoting,
+    generate_categorical_dataset,
+)
+
+
+class TestKeepProbability:
+    def test_formula(self):
+        assert keep_probability(math.log(3), 3) == pytest.approx(0.6)
+
+    def test_inverse(self):
+        for eps in (0.3, 1.0, 2.5):
+            p = keep_probability(eps, 4)
+            assert epsilon_for_keep_probability(p, 4) == pytest.approx(eps)
+
+    def test_monotone_in_epsilon(self):
+        assert keep_probability(2.0, 3) > keep_probability(0.5, 3)
+
+    def test_approaches_chance_at_zero(self):
+        assert keep_probability(1e-9, 5) == pytest.approx(0.2, abs=1e-6)
+
+    def test_below_chance_rejected(self):
+        with pytest.raises(ValueError, match="chance"):
+            epsilon_for_keep_probability(0.2, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            keep_probability(-1.0, 3)
+        with pytest.raises(ValueError):
+            keep_probability(1.0, 1)
+
+
+class TestRandomizedResponseMechanism:
+    def test_flip_rate_matches_theory(self):
+        claims, _t, _a = generate_categorical_dataset(
+            200, 200, 4, random_state=0
+        )
+        eps = 1.0
+        result = RandomizedResponseMechanism(eps).perturb(claims, random_state=1)
+        expected_flip = 1.0 - keep_probability(eps, 4)
+        assert result.flip_rate == pytest.approx(expected_flip, abs=0.01)
+
+    def test_labels_stay_in_range(self):
+        claims, _t, _a = generate_categorical_dataset(30, 30, 3, random_state=0)
+        result = RandomizedResponseMechanism(0.5).perturb(claims, random_state=1)
+        assert result.perturbed.labels.min() >= 0
+        assert result.perturbed.labels.max() < 3
+
+    def test_flips_change_labels(self):
+        # A flip always lands on a *different* label.
+        claims, _t, _a = generate_categorical_dataset(50, 50, 4, random_state=0)
+        result = RandomizedResponseMechanism(1.0).perturb(claims, random_state=2)
+        changed = result.perturbed.labels != claims.labels
+        np.testing.assert_array_equal(
+            changed[claims.mask], result.flipped[claims.mask]
+        )
+
+    def test_deterministic(self):
+        claims, _t, _a = generate_categorical_dataset(20, 10, 3, random_state=0)
+        a = RandomizedResponseMechanism(1.0).perturb(claims, random_state=9)
+        b = RandomizedResponseMechanism(1.0).perturb(claims, random_state=9)
+        np.testing.assert_array_equal(a.perturbed.labels, b.perturbed.labels)
+
+    def test_pure_ldp_guarantee(self):
+        g = RandomizedResponseMechanism(1.5).guarantee()
+        assert g.epsilon == 1.5
+        assert g.delta == 0.0
+
+    def test_mask_respected(self):
+        labels = np.array([[0, 1], [1, 0]])
+        mask = np.array([[True, False], [True, True]])
+        claims = CategoricalClaimMatrix(labels=labels, num_categories=2, mask=mask)
+        result = RandomizedResponseMechanism(0.1).perturb(claims, random_state=0)
+        assert result.perturbed.labels[0, 1] == labels[0, 1]  # untouched
+
+    def test_density_ratio_is_bounded(self):
+        # Empirical check of Def 4.5 on the discrete domain: report
+        # probabilities for two different inputs differ by <= e^eps.
+        eps, k = 1.2, 4
+        p = keep_probability(eps, k)
+        q = (1 - p) / (k - 1)
+        for output in range(k):
+            for x1 in range(k):
+                for x2 in range(k):
+                    p1 = p if output == x1 else q
+                    p2 = p if output == x2 else q
+                    assert p1 <= math.exp(eps) * p2 + 1e-12
+
+
+class TestPrivatePreference:
+    def test_per_user_epsilons_above_floor(self):
+        claims, _t, _a = generate_categorical_dataset(100, 10, 3, random_state=0)
+        mech = PrivatePreferenceRandomizedResponse(epsilon_floor=0.5, rate=2.0)
+        result = mech.perturb(claims, random_state=1)
+        assert (result.epsilons >= 0.5).all()
+        assert result.epsilons.std() > 0  # genuinely heterogeneous
+
+    def test_epsilon_distribution(self):
+        claims, _t, _a = generate_categorical_dataset(5000, 2, 3, random_state=0)
+        mech = PrivatePreferenceRandomizedResponse(epsilon_floor=0.5, rate=2.0)
+        result = mech.perturb(claims, random_state=1)
+        assert result.epsilons.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_high_probability_guarantee(self):
+        mech = PrivatePreferenceRandomizedResponse(epsilon_floor=0.5, rate=2.0)
+        g = mech.guarantee(delta=0.05)
+        assert g.epsilon == pytest.approx(0.5 + math.log(20) / 2.0)
+        assert g.delta == 0.05
+
+    def test_guarantee_empirically_holds(self):
+        mech = PrivatePreferenceRandomizedResponse(epsilon_floor=0.5, rate=2.0)
+        claims, _t, _a = generate_categorical_dataset(
+            20_000, 1, 3, random_state=0
+        )
+        result = mech.perturb(claims, random_state=3)
+        g = mech.guarantee(delta=0.05)
+        exceed = (result.epsilons > g.epsilon).mean()
+        assert exceed <= 0.06
+
+    def test_invalid_delta(self):
+        mech = PrivatePreferenceRandomizedResponse(epsilon_floor=0.5, rate=2.0)
+        with pytest.raises(ValueError):
+            mech.guarantee(delta=0.0)
+
+
+class TestDebias:
+    def test_unbiased_recovery(self):
+        # Large-sample: debiased counts approximate the true counts.
+        claims, truths, _a = generate_categorical_dataset(
+            3000, 5, 3, accuracy_low=0.95, accuracy_high=0.99, random_state=0
+        )
+        eps = 0.8
+        perturbed = RandomizedResponseMechanism(eps).perturb(
+            claims, random_state=1
+        )
+        raw = perturbed.perturbed.vote_counts()
+        debiased = debias_vote_counts(raw, eps, 3)
+        recovered = debiased.argmax(axis=1)
+        np.testing.assert_array_equal(recovered, truths)
+
+    def test_clipped_at_zero(self):
+        counts = np.array([[100.0, 0.0, 0.0]])
+        debiased = debias_vote_counts(counts, 0.5, 3)
+        assert (debiased >= 0).all()
+
+
+class TestEndToEndCategoricalPipeline:
+    def test_weighted_voting_survives_rr(self):
+        claims, truths, _a = generate_categorical_dataset(
+            150, 50, 3, accuracy_low=0.7, accuracy_high=0.95, random_state=0
+        )
+        perturbed = RandomizedResponseMechanism(1.5).perturb(
+            claims, random_state=1
+        )
+        clean_err = (WeightedVoting().fit(claims).truths != truths).mean()
+        private_err = (
+            WeightedVoting().fit(perturbed.perturbed).truths != truths
+        ).mean()
+        assert clean_err <= 0.02
+        assert private_err <= 0.25  # degraded but far above chance (0.67)

@@ -1,0 +1,86 @@
+"""Property-based tests for aggregation invariants (all TD methods)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.truthdiscovery.base import weighted_aggregate
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.registry import available_methods, create_method
+
+claim_matrices = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=8),
+    ),
+    elements=st.floats(
+        min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(claim_matrices)
+@settings(max_examples=60, deadline=None)
+@pytest.mark.parametrize("method_name", sorted(available_methods()))
+def test_truths_inside_claim_envelope(method_name, values):
+    """Every method's truths lie within the per-object claim range."""
+    claims = ClaimMatrix(values)
+    result = create_method(method_name).fit(claims)
+    lo = values.min(axis=0)
+    hi = values.max(axis=0)
+    span = np.maximum(hi - lo, 1.0)
+    # GTM shrinks toward the per-object mean which stays inside; allow a
+    # tiny numerical margin proportional to the span.
+    assert (result.truths >= lo - 1e-6 * span).all()
+    assert (result.truths <= hi + 1e-6 * span).all()
+
+
+@given(claim_matrices)
+@settings(max_examples=60, deadline=None)
+@pytest.mark.parametrize("method_name", sorted(available_methods()))
+def test_weights_finite_nonnegative_mean_one(method_name, values):
+    claims = ClaimMatrix(values)
+    result = create_method(method_name).fit(claims)
+    assert np.isfinite(result.weights).all()
+    assert (result.weights >= 0).all()
+    assert result.weights.mean() == pytest.approx(1.0)
+
+
+@given(
+    claim_matrices,
+    st.floats(min_value=-100.0, max_value=100.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_crh_translation_equivariance(values, shift):
+    """Shifting every claim by a constant shifts CRH truths by it."""
+    claims = ClaimMatrix(values)
+    shifted = ClaimMatrix(values + shift)
+    base = create_method("crh").fit(claims).truths
+    moved = create_method("crh").fit(shifted).truths
+    np.testing.assert_allclose(moved, base + shift, rtol=1e-6, atol=1e-6)
+
+
+@given(claim_matrices, st.floats(min_value=0.01, max_value=50.0))
+@settings(max_examples=60, deadline=None)
+def test_weighted_aggregate_scale_equivariance(values, scale):
+    """Scaling claims scales the Eq. 1 aggregate (weights fixed)."""
+    claims = ClaimMatrix(values)
+    weights = np.linspace(1.0, 2.0, claims.num_users)
+    base = weighted_aggregate(claims, weights)
+    scaled = weighted_aggregate(ClaimMatrix(values * scale), weights)
+    np.testing.assert_allclose(scaled, base * scale, rtol=1e-9, atol=1e-9)
+
+
+@given(claim_matrices)
+@settings(max_examples=60, deadline=None)
+def test_user_permutation_invariance(values):
+    """Reordering users must not change CRH truths."""
+    claims = ClaimMatrix(values)
+    perm = np.random.default_rng(0).permutation(claims.num_users)
+    permuted = ClaimMatrix(values[perm])
+    a = create_method("crh").fit(claims).truths
+    b = create_method("crh").fit(permuted).truths
+    np.testing.assert_allclose(a, b, rtol=1e-8, atol=1e-8)

@@ -1,0 +1,112 @@
+"""Property-based tests for the categorical extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.privacy.randomized_response import (
+    RandomizedResponseMechanism,
+    debias_vote_counts,
+    keep_probability,
+)
+from repro.truthdiscovery.categorical import (
+    AccuracyEM,
+    CategoricalClaimMatrix,
+    MajorityVoting,
+    WeightedVoting,
+)
+
+
+@st.composite
+def categorical_claims(draw):
+    num_users = draw(st.integers(min_value=2, max_value=15))
+    num_objects = draw(st.integers(min_value=1, max_value=10))
+    k = draw(st.integers(min_value=2, max_value=5))
+    labels = draw(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=(num_users, num_objects),
+            elements=st.integers(min_value=0, max_value=k - 1),
+        )
+    )
+    return CategoricalClaimMatrix(labels=labels, num_categories=k)
+
+
+@given(categorical_claims())
+@settings(max_examples=60, deadline=None)
+@pytest.mark.parametrize("method_cls", [MajorityVoting, WeightedVoting, AccuracyEM])
+def test_truths_are_valid_labels(method_cls, claims):
+    result = method_cls().fit(claims)
+    assert result.truths.shape == (claims.num_objects,)
+    assert (result.truths >= 0).all()
+    assert (result.truths < claims.num_categories).all()
+
+
+@given(categorical_claims())
+@settings(max_examples=60, deadline=None)
+@pytest.mark.parametrize("method_cls", [MajorityVoting, WeightedVoting, AccuracyEM])
+def test_weights_finite_nonnegative(method_cls, claims):
+    result = method_cls().fit(claims)
+    assert np.isfinite(result.weights).all()
+    assert (result.weights >= 0).all()
+
+
+@given(categorical_claims())
+@settings(max_examples=60, deadline=None)
+def test_unanimous_labels_recovered(claims):
+    """If every user agrees everywhere, every method returns that labelling."""
+    unanimous = claims.with_labels(
+        np.tile(claims.labels[:1], (claims.num_users, 1))
+    )
+    for method_cls in (MajorityVoting, WeightedVoting, AccuracyEM):
+        result = method_cls().fit(unanimous)
+        np.testing.assert_array_equal(result.truths, unanimous.labels[0])
+
+
+@given(
+    categorical_claims(),
+    st.floats(min_value=0.05, max_value=5.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_rr_preserves_shape_and_range(claims, epsilon, seed):
+    result = RandomizedResponseMechanism(epsilon).perturb(
+        claims, random_state=seed
+    )
+    assert result.perturbed.labels.shape == claims.labels.shape
+    assert (result.perturbed.labels >= 0).all()
+    assert (result.perturbed.labels < claims.num_categories).all()
+    # flips recorded iff the label changed (on observed entries)
+    changed = result.perturbed.labels != claims.labels
+    np.testing.assert_array_equal(
+        changed[claims.mask], result.flipped[claims.mask]
+    )
+
+
+@given(
+    st.floats(min_value=0.05, max_value=5.0),
+    st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=100)
+def test_keep_probability_above_chance(epsilon, k):
+    p = keep_probability(epsilon, k)
+    assert 1.0 / k < p < 1.0
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.floats(min_value=0.1, max_value=4.0),
+)
+@settings(max_examples=60)
+def test_debias_is_exact_inverse_in_expectation(k, epsilon):
+    """debias(E[observed counts]) == true counts, exactly."""
+    rng = np.random.default_rng(0)
+    true_counts = rng.integers(0, 50, size=(3, k)).astype(float)
+    p = keep_probability(epsilon, k)
+    q = (1.0 - p) / (k - 1)
+    totals = true_counts.sum(axis=1, keepdims=True)
+    expected_observed = true_counts * p + (totals - true_counts) * q
+    recovered = debias_vote_counts(expected_observed, epsilon, k)
+    np.testing.assert_allclose(recovered, true_counts, atol=1e-9)

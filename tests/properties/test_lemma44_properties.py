@@ -1,0 +1,62 @@
+"""Property-based tests for Lemma 4.4 (the utility proof's pivot).
+
+For any losses t and any monotonically decreasing weight function f,
+the f-weighted average of t never exceeds the unweighted average.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.theory.lemmas import chebyshev_sum_gap, weighted_average_bound_holds
+
+losses = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=2, max_value=40),
+    elements=st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(losses)
+@settings(max_examples=200)
+def test_lemma44_reciprocal_weights(t):
+    assert weighted_average_bound_holds(t, lambda x: 1.0 / (1.0 + x))
+
+
+@given(losses)
+@settings(max_examples=200)
+def test_lemma44_exponential_weights(t):
+    # exp(-x) underflows to 0 for large x; shift into a safe range while
+    # keeping monotonicity.
+    scale = max(float(np.max(t)), 1.0)
+    assert weighted_average_bound_holds(t, lambda x: np.exp(-x / scale))
+
+
+@given(losses)
+@settings(max_examples=200)
+def test_lemma44_crh_style_log_weights(t):
+    # CRH's -log(share) weights, floored like the implementation.
+    def crh_weights(x):
+        x = np.maximum(x, 1e-8)
+        shares = np.clip(x / x.sum(), 1e-300, 1.0 - 1e-12)
+        return -np.log(shares)
+
+    assert weighted_average_bound_holds(t, crh_weights)
+
+
+@given(losses, st.floats(min_value=0.1, max_value=5.0))
+@settings(max_examples=200)
+def test_lemma44_power_law_weights(t, power):
+    assert weighted_average_bound_holds(
+        t, lambda x: (1.0 + x) ** (-power)
+    )
+
+
+@given(losses)
+@settings(max_examples=200)
+def test_chebyshev_gap_nonpositive_for_decreasing_weights(t):
+    w = 1.0 / (1.0 + t)
+    assert chebyshev_sum_gap(t, w) <= 1e-6 * max(1.0, float(np.abs(t).max()))

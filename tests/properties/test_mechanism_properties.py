@@ -1,0 +1,91 @@
+"""Property-based tests for the perturbation mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.privacy.ldp import epsilon_for_variance, epsilon_of_mechanism, lambda2_for_epsilon
+from repro.privacy.mechanisms import ExponentialVarianceGaussianMechanism
+from repro.truthdiscovery.claims import ClaimMatrix
+
+claim_matrices = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+    ),
+    elements=st.floats(
+        min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@given(
+    claim_matrices,
+    st.floats(min_value=0.01, max_value=100.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=80, deadline=None)
+def test_perturbation_is_additive_and_consistent(values, lambda2, seed):
+    claims = ClaimMatrix(values)
+    mech = ExponentialVarianceGaussianMechanism(lambda2)
+    result = mech.perturb(claims, random_state=seed)
+    np.testing.assert_allclose(
+        result.perturbed.values, claims.values + result.noise
+    )
+    assert result.noise_variances.shape == (claims.num_users,)
+    assert (result.noise_variances > 0).all()
+
+
+@given(
+    claim_matrices,
+    st.floats(min_value=0.01, max_value=100.0),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_perturbation_deterministic_in_seed(values, lambda2, seed):
+    claims = ClaimMatrix(values)
+    mech = ExponentialVarianceGaussianMechanism(lambda2)
+    a = mech.perturb(claims, random_state=seed)
+    b = mech.perturb(claims, random_state=seed)
+    np.testing.assert_array_equal(a.noise, b.noise)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=50.0),
+    st.floats(min_value=0.01, max_value=50.0),
+    st.floats(min_value=0.001, max_value=0.999),
+)
+@settings(max_examples=200)
+def test_epsilon_lambda2_inversion(epsilon, sensitivity, delta):
+    lam = lambda2_for_epsilon(epsilon, sensitivity, delta)
+    assert epsilon_of_mechanism(lam, sensitivity, delta) == pytest.approx(
+        epsilon, rel=1e-9
+    )
+
+
+@given(
+    st.floats(min_value=0.001, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=200)
+def test_eq18_density_ratio_on_valid_region(variance, sensitivity):
+    """Eq. 18's pointwise bound: with x1 < x2, the Gaussian density ratio
+    p(x | x1) / p(x | x2) is within exp(Delta^2 / 2y) for all outputs
+    x >= x1 (the bound's valid half-line; the opposite tail is what the
+    delta slack of the (eps, delta) definition absorbs)."""
+    x1, x2 = 0.0, sensitivity
+    eps = epsilon_for_variance(variance, sensitivity) if sensitivity > 0 else 0.0
+    xs = np.linspace(x1, x2 + 5 * np.sqrt(variance), 25)
+    log_ratio = ((xs - x2) ** 2 - (xs - x1) ** 2) / (2 * variance)
+    assert (log_ratio <= eps + 1e-9).all()
+
+
+@given(st.floats(min_value=0.01, max_value=100.0))
+@settings(max_examples=100)
+def test_expected_noise_monotone_in_lambda2(lambda2):
+    mech_a = ExponentialVarianceGaussianMechanism(lambda2)
+    mech_b = ExponentialVarianceGaussianMechanism(lambda2 * 2.0)
+    assert mech_b.expected_noise_magnitude() < mech_a.expected_noise_magnitude()

@@ -1,0 +1,114 @@
+"""Property-based tests for the streaming engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.truthdiscovery.streaming import ClaimBatch, StreamingCRH
+
+
+@st.composite
+def batch_sequences(draw):
+    num_users = draw(st.integers(min_value=2, max_value=8))
+    num_objects = draw(st.integers(min_value=1, max_value=5))
+    num_batches = draw(st.integers(min_value=1, max_value=4))
+    batches = []
+    for b in range(num_batches):
+        size = draw(st.integers(min_value=1, max_value=12))
+        users = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_users - 1),
+                min_size=size, max_size=size,
+            )
+        )
+        objects = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_objects - 1),
+                min_size=size, max_size=size,
+            )
+        )
+        values = draw(
+            st.lists(
+                st.floats(
+                    min_value=-1e3, max_value=1e3,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                min_size=size, max_size=size,
+            )
+        )
+        batches.append(
+            ClaimBatch(
+                users=np.array(users),
+                objects=np.array(objects),
+                values=np.array(values),
+            )
+        )
+    return num_users, num_objects, batches
+
+
+@given(batch_sequences())
+@settings(max_examples=60, deadline=None)
+def test_truths_within_observed_range(params):
+    """Seen objects' truths stay inside the global observed value range."""
+    num_users, num_objects, batches = params
+    stream = StreamingCRH(num_users=num_users, num_objects=num_objects)
+    all_values = np.concatenate([b.values for b in batches])
+    for batch in batches:
+        stream.ingest(batch)
+    seen = stream.seen_objects
+    truths = stream.truths[seen]
+    assert (truths >= all_values.min() - 1e-6).all()
+    assert (truths <= all_values.max() + 1e-6).all()
+
+
+@given(batch_sequences())
+@settings(max_examples=60, deadline=None)
+def test_weights_finite_nonnegative(params):
+    num_users, num_objects, batches = params
+    stream = StreamingCRH(num_users=num_users, num_objects=num_objects)
+    for batch in batches:
+        stream.ingest(batch)
+    assert np.isfinite(stream.weights).all()
+    assert (stream.weights >= 0).all()
+
+
+@given(batch_sequences())
+@settings(max_examples=40, deadline=None)
+def test_unseen_objects_never_move(params):
+    num_users, num_objects, batches = params
+    stream = StreamingCRH(num_users=num_users, num_objects=num_objects)
+    for batch in batches:
+        stream.ingest(batch)
+    unseen = ~stream.seen_objects
+    assert (stream.truths[unseen] == 0.0).all()
+
+
+@given(batch_sequences())
+@settings(max_examples=40, deadline=None)
+def test_ingest_is_deterministic(params):
+    num_users, num_objects, batches = params
+    streams = []
+    for _ in range(2):
+        s = StreamingCRH(num_users=num_users, num_objects=num_objects)
+        for batch in batches:
+            s.ingest(batch)
+        streams.append(s)
+    np.testing.assert_array_equal(streams[0].truths, streams[1].truths)
+    np.testing.assert_array_equal(streams[0].weights, streams[1].weights)
+
+
+@given(
+    st.floats(min_value=-100, max_value=100),
+    st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=60)
+def test_constant_stream_returns_constant(value, num_users):
+    stream = StreamingCRH(num_users=num_users, num_objects=1)
+    batch = ClaimBatch(
+        users=np.arange(num_users),
+        objects=np.zeros(num_users, dtype=int),
+        values=np.full(num_users, value),
+    )
+    stream.ingest(batch)
+    assert stream.truths[0] == pytest.approx(value, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Property-based tests tying the theory module together."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.distributions import PairDeviationDistribution
+from repro.theory.privacy import epsilon_from_noise_level, min_noise_level
+from repro.theory.tradeoff import noise_level_window
+from repro.theory.utility import (
+    alpha_threshold,
+    max_noise_level,
+    utility_failure_bound,
+)
+
+rates = st.floats(min_value=0.05, max_value=50.0)
+probs = st.floats(min_value=0.01, max_value=0.99)
+
+
+@given(rates, rates)
+@settings(max_examples=150, deadline=None)
+def test_distribution_moments_consistent(lambda1, lambda2):
+    """Closed-form mean matches quadrature for arbitrary rates."""
+    dist = PairDeviationDistribution(lambda1, lambda2)
+    assert dist.mean() == pytest.approx(dist.mean_numeric(), rel=1e-5)
+    assert dist.variance() >= 0
+    # Jensen: E[Y]^2 <= E[Y^2]
+    assert dist.mean() ** 2 <= dist.mean_square() + 1e-12
+
+
+@given(rates, st.floats(min_value=0.05, max_value=20.0))
+@settings(max_examples=150)
+def test_alpha_threshold_monotone_in_c(lambda1, c):
+    """More noise raises the achievable-alpha floor."""
+    assert alpha_threshold(lambda1, c * 1.5) > alpha_threshold(lambda1, c)
+
+
+@given(
+    rates,
+    st.floats(min_value=0.01, max_value=10.0),
+    probs,
+    st.integers(min_value=2, max_value=10_000),
+)
+@settings(max_examples=150)
+def test_max_noise_level_monotonicities(lambda1, alpha, beta, s):
+    """Eq. 15's bound increases in every generosity direction."""
+    base = max_noise_level(lambda1, alpha, beta, s)
+    assert max_noise_level(lambda1 * 2, alpha, beta, s) > base
+    assert max_noise_level(lambda1, alpha * 2, beta, s) > base
+    assert max_noise_level(lambda1, alpha, min(beta * 2, 1.0), s) >= base
+    assert max_noise_level(lambda1, alpha, beta, s * 2) > base
+
+
+@given(rates, st.floats(min_value=0.05, max_value=5.0), probs)
+@settings(max_examples=150)
+def test_privacy_bound_inversion(lambda1, epsilon, delta):
+    """epsilon_from_noise_level inverts min_noise_level exactly."""
+    c = min_noise_level(lambda1, epsilon, delta)
+    recovered = epsilon_from_noise_level(lambda1, c, delta)
+    assert recovered == pytest.approx(epsilon, rel=1e-9)
+
+
+@given(rates, st.floats(min_value=0.05, max_value=5.0), probs)
+@settings(max_examples=100)
+def test_privacy_bound_antitone_in_epsilon(lambda1, epsilon, delta):
+    assert min_noise_level(lambda1, epsilon * 2, delta) < min_noise_level(
+        lambda1, epsilon, delta
+    )
+
+
+@given(
+    rates,
+    st.floats(min_value=0.1, max_value=10.0),
+    probs,
+    st.integers(min_value=2, max_value=1000),
+    st.floats(min_value=0.05, max_value=5.0),
+    probs,
+)
+@settings(max_examples=150)
+def test_window_consistency(lambda1, alpha, beta, s, epsilon, delta):
+    """The window is exactly the intersection of the two theorem bounds."""
+    window = noise_level_window(lambda1, alpha, beta, s, epsilon, delta)
+    assert window.c_max == pytest.approx(
+        max_noise_level(lambda1, alpha, beta, s)
+    )
+    assert window.c_min == pytest.approx(min_noise_level(lambda1, epsilon, delta))
+    assert window.feasible == (window.c_min <= window.c_max and window.c_max > 0)
+
+
+@given(rates, st.floats(min_value=0.05, max_value=5.0), st.integers(min_value=2, max_value=10_000))
+@settings(max_examples=100, deadline=None)
+def test_failure_bound_in_unit_interval(lambda1, c, s):
+    alpha = alpha_threshold(lambda1, c) * 1.5
+    bound = utility_failure_bound(lambda1, c, alpha, s)
+    assert 0.0 <= bound <= 1.0

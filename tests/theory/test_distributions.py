@@ -1,0 +1,124 @@
+"""Tests for the pair-deviation distribution (proof machinery of Thm 4.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.distributions import (
+    PairDeviationDistribution,
+    expected_pairwise_gap,
+    pair_deviation_from_noise_level,
+)
+
+
+class TestDensity:
+    @pytest.mark.parametrize("lambda1,lambda2", [(4.0, 2.0), (1.0, 3.0), (2.0, 2.0)])
+    def test_normalised(self, lambda1, lambda2):
+        dist = PairDeviationDistribution(lambda1, lambda2)
+        assert dist.normalisation_numeric() == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_paper_h_for_c_not_1(self):
+        # Paper: h(y) = 2 l1^2 l2/(l2-l1) y^3 e^{-l1 y^2}
+        #             - 2 l1^2 l2/(l2-l1)^2 (y e^{-l1 y^2} - y e^{-l2 y^2})
+        l1, l2 = 4.0, 1.5
+        dist = PairDeviationDistribution(l1, l2)
+        y = np.linspace(0.05, 3.0, 50)
+        paper = 2 * l1**2 * l2 / (l2 - l1) * y**3 * np.exp(-l1 * y**2) - (
+            2 * l1**2 * l2 / (l2 - l1) ** 2
+        ) * (y * np.exp(-l1 * y**2) - y * np.exp(-l2 * y**2))
+        np.testing.assert_allclose(dist.pdf_y(y), paper, rtol=1e-10)
+
+    def test_matches_appendix_h_for_c_1(self):
+        # Appendix A: h'(y) = lambda1^3 y^5 e^{-lambda1 y^2}
+        l1 = 2.5
+        dist = PairDeviationDistribution(l1, l1)
+        y = np.linspace(0.05, 3.0, 50)
+        np.testing.assert_allclose(
+            dist.pdf_y(y), l1**3 * y**5 * np.exp(-l1 * y**2), rtol=1e-10
+        )
+
+    def test_zero_below_origin(self):
+        dist = PairDeviationDistribution(1.0, 1.0)
+        assert dist.pdf_y(np.array([-1.0, 0.0]))[0] == 0.0
+        assert dist.pdf_t(np.array([-1.0]))[0] == 0.0
+
+
+class TestMoments:
+    @pytest.mark.parametrize(
+        "lambda1,lambda2",
+        [(4.0, 2.0), (1.0, 3.0), (2.0, 2.0), (10.0, 0.5), (0.7, 0.7)],
+    )
+    def test_mean_matches_quadrature(self, lambda1, lambda2):
+        dist = PairDeviationDistribution(lambda1, lambda2)
+        assert dist.mean() == pytest.approx(dist.mean_numeric(), rel=1e-7)
+
+    @pytest.mark.parametrize("lambda1,lambda2", [(4.0, 2.0), (2.0, 2.0)])
+    def test_mean_square_matches_quadrature(self, lambda1, lambda2):
+        dist = PairDeviationDistribution(lambda1, lambda2)
+        assert dist.mean_square() == pytest.approx(
+            dist.mean_square_numeric(), rel=1e-7
+        )
+
+    def test_mean_square_paper_formula(self):
+        # E(Y^2) = (2 lambda2 + lambda1) / (lambda1 lambda2)
+        l1, l2 = 3.0, 1.2
+        dist = PairDeviationDistribution(l1, l2)
+        assert dist.mean_square() == pytest.approx((2 * l2 + l1) / (l1 * l2))
+
+    def test_c1_mean_closed_form(self):
+        # E(Y) = (15/16) sqrt(pi / lambda1) at c = 1.
+        l1 = 2.0
+        dist = PairDeviationDistribution(l1, l1)
+        assert dist.mean() == pytest.approx(
+            15.0 * math.sqrt(math.pi) / (16.0 * math.sqrt(l1))
+        )
+
+    def test_c1_mean_square_is_3_over_lambda1(self):
+        dist = PairDeviationDistribution(2.0, 2.0)
+        assert dist.mean_square() == pytest.approx(1.5)
+
+    def test_variance_positive(self):
+        for l1, l2 in [(4.0, 2.0), (1.0, 1.0), (0.5, 5.0)]:
+            assert PairDeviationDistribution(l1, l2).variance() > 0
+
+    def test_continuity_near_equal_rates(self):
+        # The closed form must not blow up as lambda2 -> lambda1.
+        l1 = 3.0
+        exact = PairDeviationDistribution(l1, l1).mean()
+        near = PairDeviationDistribution(l1, l1 * (1 + 1e-5)).mean()
+        assert near == pytest.approx(exact, rel=1e-3)
+
+    def test_monte_carlo_agreement(self):
+        dist = PairDeviationDistribution(4.0, 1.0)
+        samples = dist.sample(400_000, random_state=0)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.01)
+        assert (samples**2).mean() == pytest.approx(dist.mean_square(), rel=0.01)
+
+
+class TestHelpers:
+    def test_noise_level_roundtrip(self):
+        dist = pair_deviation_from_noise_level(4.0, c=2.0)
+        assert dist.lambda2 == pytest.approx(2.0)
+        assert dist.noise_level == pytest.approx(2.0)
+
+    def test_expected_pairwise_gap_eq10(self):
+        # Eq. 10: mean |x - xhat| = sqrt(2/pi) E[Y]; verify Monte Carlo.
+        lambda1, c = 4.0, 1.5
+        gap = expected_pairwise_gap(lambda1, c)
+        rng = np.random.default_rng(1)
+        n = 300_000
+        s2a = rng.exponential(1 / lambda1, n)
+        s2b = rng.exponential(1 / lambda1, n)
+        d2 = rng.exponential(c / lambda1, n)
+        diffs = rng.standard_normal(n) * np.sqrt(s2a + s2b + d2)
+        assert np.abs(diffs).mean() == pytest.approx(gap, rel=0.01)
+
+    def test_more_noise_bigger_gap(self):
+        assert expected_pairwise_gap(4.0, 3.0) > expected_pairwise_gap(4.0, 0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PairDeviationDistribution(0.0, 1.0)
+        with pytest.raises(ValueError):
+            pair_deviation_from_noise_level(1.0, 0.0)

@@ -1,0 +1,177 @@
+"""Tests for Theorem 4.8, Theorem 4.9 (trade-off), and the lemmas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.lemmas import (
+    chebyshev_sum_gap,
+    gaussian_tail_bound,
+    gaussian_tail_probability_exact,
+    mean_absolute_gaussian,
+    weighted_average_bound_holds,
+)
+from repro.theory.privacy import (
+    epsilon_from_noise_level,
+    min_noise_level,
+    min_noise_level_from_sensitivity,
+    min_noise_level_paper,
+)
+from repro.theory.tradeoff import (
+    choose_noise_level,
+    lambda2_for_noise_level,
+    matched_lambda1,
+    noise_level_window,
+)
+
+
+class TestTheorem48:
+    def test_formula(self):
+        # c >= gamma^2 / (2 eps lambda1 ln(1/(1-delta)))
+        lambda1, eps, delta, b, eta = 2.0, 1.0, 0.3, 3.0, 0.95
+        gamma = b * math.sqrt(2 * math.log(1 / (1 - eta)))
+        expected = gamma**2 / (2 * eps * lambda1 * math.log(1 / (1 - delta)))
+        assert min_noise_level(lambda1, eps, delta, b=b, eta=eta) == pytest.approx(
+            expected
+        )
+
+    def test_paper_form_is_epsilon_1(self):
+        assert min_noise_level_paper(2.0, 0.3) == pytest.approx(
+            min_noise_level(2.0, 1.0, 0.3)
+        )
+
+    def test_stronger_privacy_needs_more_noise(self):
+        # Paper: "Smaller eps and delta ... ask for a bigger bound".
+        assert min_noise_level(2.0, 0.5, 0.3) > min_noise_level(2.0, 2.0, 0.3)
+        assert min_noise_level(2.0, 1.0, 0.1) > min_noise_level(2.0, 1.0, 0.5)
+
+    def test_better_data_needs_less_noise(self):
+        # Paper: "The bigger lambda1 ... less noise is required".
+        assert min_noise_level(8.0, 1.0, 0.3) < min_noise_level(1.0, 1.0, 0.3)
+
+    def test_sensitivity_form(self):
+        lambda1, sens, eps, delta = 2.0, 1.5, 1.0, 0.3
+        expected = lambda1 * sens**2 / (2 * eps * math.log(1 / (1 - delta)))
+        assert min_noise_level_from_sensitivity(
+            lambda1, sens, eps, delta
+        ) == pytest.approx(expected)
+
+    def test_epsilon_inversion(self):
+        lambda1, delta = 2.0, 0.3
+        c = min_noise_level(lambda1, 1.3, delta)
+        assert epsilon_from_noise_level(lambda1, c, delta) == pytest.approx(1.3)
+
+    def test_mechanism_level_guarantee_monte_carlo(self):
+        # End-to-end: choose c via Theorem 4.8, map to lambda2, and check
+        # that the variance exceeds the Eq. 18 threshold with prob >= 1-delta.
+        lambda1, eps, delta = 2.0, 1.0, 0.3
+        sens = 0.8
+        c = min_noise_level_from_sensitivity(lambda1, sens, eps, delta)
+        lambda2 = lambda2_for_noise_level(lambda1, c)
+        threshold = sens**2 / (2 * eps)
+        rng = np.random.default_rng(0)
+        draws = rng.exponential(1.0 / lambda2, size=400_000)
+        assert (draws >= threshold).mean() >= (1 - delta) - 0.005
+
+
+class TestTradeoff:
+    def test_window_feasible_for_generous_parameters(self):
+        window = noise_level_window(
+            lambda1=4.0, alpha=1.0, beta=0.2, num_users=500,
+            epsilon=1.0, delta=0.3,
+        )
+        assert window.feasible
+        assert window.c_min < window.c_max
+
+    def test_window_infeasible_for_harsh_privacy(self):
+        window = noise_level_window(
+            lambda1=0.05, alpha=0.01, beta=0.0, num_users=2,
+            epsilon=1e-6, delta=0.01,
+        )
+        assert not window.feasible
+
+    def test_contains(self):
+        window = noise_level_window(
+            lambda1=4.0, alpha=1.0, beta=0.2, num_users=500,
+            epsilon=1.0, delta=0.3,
+        )
+        mid = choose_noise_level(window)
+        assert window.contains(mid)
+        assert not window.contains(window.c_max * 2)
+
+    def test_choose_noise_level_none_when_infeasible(self):
+        window = noise_level_window(
+            lambda1=0.05, alpha=0.01, beta=0.0, num_users=2,
+            epsilon=1e-6, delta=0.01,
+        )
+        assert choose_noise_level(window) is None
+
+    def test_matched_lambda1_closes_window(self):
+        # At the knife-edge lambda1 the two bounds coincide (Eq. 19).
+        alpha, beta, s, eps, delta = 0.5, 0.1, 100, 1.0, 0.3
+        lambda1 = matched_lambda1(alpha, beta, s, eps, delta)
+        window = noise_level_window(lambda1, alpha, beta, s, eps, delta)
+        assert window.c_min == pytest.approx(window.c_max, rel=1e-6)
+
+    def test_matched_lambda1_raises_when_always_open(self):
+        with pytest.raises(ValueError, match="already open"):
+            matched_lambda1(
+                10.0, 0.9, 10_000, 100.0, 0.9, bracket=(1.0, 100.0)
+            )
+
+    def test_lambda2_for_noise_level(self):
+        assert lambda2_for_noise_level(4.0, 2.0) == pytest.approx(2.0)
+
+    def test_window_dataclass_width(self):
+        window = noise_level_window(
+            lambda1=4.0, alpha=1.0, beta=0.2, num_users=500,
+            epsilon=1.0, delta=0.3,
+        )
+        assert window.width == pytest.approx(window.c_max - window.c_min)
+
+
+class TestLemma44:
+    def test_holds_for_decreasing_f(self):
+        t = np.array([1.0, 2.0, 5.0, 0.3])
+        assert weighted_average_bound_holds(t, lambda x: 1.0 / (x + 1.0))
+
+    def test_holds_for_exp_decay(self):
+        t = np.linspace(0, 10, 25)
+        assert weighted_average_bound_holds(t, lambda x: np.exp(-x))
+
+    def test_violated_for_increasing_f(self):
+        t = np.array([1.0, 2.0, 5.0])
+        assert not weighted_average_bound_holds(t, lambda x: x + 1.0)
+
+    def test_equality_for_constant_f(self):
+        t = np.array([1.0, 2.0, 3.0])
+        assert weighted_average_bound_holds(t, lambda x: np.ones_like(x))
+
+    def test_chebyshev_gap_sign(self):
+        t = np.array([0.5, 1.5, 3.0, 7.0])
+        w = 1.0 / (t + 0.1)
+        assert chebyshev_sum_gap(t, w) <= 0
+        assert chebyshev_sum_gap(t, t.copy()) >= 0  # increasing weights
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError, match="same length"):
+            chebyshev_sum_gap(np.ones(3), np.ones(4))
+
+    def test_bad_weights_rejected(self):
+        t = np.array([1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_average_bound_holds(t, lambda x: -np.ones_like(x))
+
+
+class TestGaussianHelpers:
+    def test_tail_bound_dominates_exact(self):
+        for b in (1.0, 2.0, 3.0):
+            assert gaussian_tail_bound(b) >= gaussian_tail_probability_exact(b)
+
+    def test_mean_absolute_gaussian_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        samples = np.abs(rng.normal(0.0, 2.5, size=400_000))
+        assert samples.mean() == pytest.approx(
+            mean_absolute_gaussian(2.5), rel=0.01
+        )

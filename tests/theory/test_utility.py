@@ -1,0 +1,162 @@
+"""Tests for Theorem 4.3 / Appendix A utility bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.utility import (
+    alpha_threshold,
+    alpha_threshold_c1,
+    alpha_threshold_paper,
+    max_noise_level,
+    min_alpha_for_beta,
+    satisfies_utility,
+    utility_failure_bound,
+    utility_failure_bound_c1,
+)
+
+
+class TestMaxNoiseLevel:
+    def test_eq15_formula(self):
+        lambda1, alpha, beta, s = 2.0, 0.5, 0.1, 100
+        expected = (
+            lambda1
+            * math.sqrt(math.pi)
+            * (
+                alpha**2 * beta * s**2 / (4 * math.sqrt(2))
+                + alpha**2 * math.sqrt(math.pi) / 8
+                + alpha
+                + 2 / math.sqrt(math.pi)
+            )
+            - 2
+        )
+        assert max_noise_level(lambda1, alpha, beta, s) == pytest.approx(expected)
+
+    def test_monotone_in_users(self):
+        # Paper: "the upper bound of c increases with ... S".
+        values = [max_noise_level(2.0, 0.5, 0.1, s) for s in (10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_monotone_in_alpha(self):
+        values = [max_noise_level(2.0, a, 0.1, 100) for a in (0.1, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_monotone_in_beta(self):
+        values = [max_noise_level(2.0, 0.5, b, 100) for b in (0.01, 0.1, 0.5)]
+        assert values == sorted(values)
+
+    def test_monotone_in_lambda1(self):
+        # Paper: "a larger lambda1 ... can tolerate more noise".
+        values = [max_noise_level(l, 0.5, 0.1, 100) for l in (0.5, 2.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_noise_level(-1.0, 0.5, 0.1, 10)
+        with pytest.raises(ValueError):
+            max_noise_level(1.0, 0.5, 1.5, 10)
+        with pytest.raises(ValueError):
+            max_noise_level(1.0, 0.5, 0.1, 0)
+
+
+class TestAlphaThreshold:
+    def test_equals_2sqrt2pi_expected_y(self):
+        from repro.theory.distributions import PairDeviationDistribution
+
+        lambda1, c = 4.0, 0.5
+        dist = PairDeviationDistribution(lambda1, lambda1 / c)
+        assert alpha_threshold(lambda1, c) == pytest.approx(
+            2 * math.sqrt(2 / math.pi) * dist.mean()
+        )
+
+    def test_increases_with_noise_level(self):
+        values = [alpha_threshold(4.0, c) for c in (0.2, 1.0, 3.0)]
+        assert values == sorted(values)
+
+    def test_decreases_with_lambda1(self):
+        assert alpha_threshold(8.0, 1.0) < alpha_threshold(1.0, 1.0)
+
+    def test_c1_specialisation_consistent(self):
+        # alpha_threshold at c=1 equals the Appendix A closed form.
+        lambda1 = 3.0
+        assert alpha_threshold(lambda1, 1.0) == pytest.approx(
+            alpha_threshold_c1(lambda1), rel=1e-9
+        )
+
+    def test_c1_closed_form(self):
+        assert alpha_threshold_c1(2.0) == pytest.approx((15 / 8) * math.sqrt(1.0))
+
+    def test_paper_form_real_only_below_1(self):
+        value = alpha_threshold_paper(4.0, 0.5)
+        assert np.isfinite(value)
+        with pytest.raises(ValueError, match="c < 1"):
+            alpha_threshold_paper(4.0, 1.5)
+
+
+class TestFailureBound:
+    def test_indicator_fires_below_threshold(self):
+        lambda1, c = 4.0, 1.0
+        small_alpha = alpha_threshold(lambda1, c) * 0.5
+        assert utility_failure_bound(lambda1, c, small_alpha, 100) == 1.0
+
+    def test_chebyshev_term_above_threshold(self):
+        lambda1, c, s = 4.0, 1.0, 100
+        alpha = alpha_threshold(lambda1, c) * 2.0
+        bound = utility_failure_bound(lambda1, c, alpha, s)
+        assert 0.0 <= bound < 1.0
+
+    def test_vanishes_with_many_users(self):
+        lambda1, c = 4.0, 1.0
+        alpha = alpha_threshold(lambda1, c) * 2.0
+        b_small = utility_failure_bound(lambda1, c, alpha, 10)
+        b_large = utility_failure_bound(lambda1, c, alpha, 10_000)
+        assert b_large < b_small
+        assert b_large < 1e-4
+
+    def test_c1_specialisation_matches_general(self):
+        lambda1, s = 3.0, 50
+        alpha = alpha_threshold_c1(lambda1) * 1.5
+        general = utility_failure_bound(lambda1, 1.0, alpha, s)
+        special = utility_failure_bound_c1(lambda1, alpha, s)
+        assert special == pytest.approx(general, rel=1e-6)
+
+    def test_theorem_a1_limit(self):
+        # lim_{S -> inf} Pr{...} = 0 for alpha above the threshold.
+        lambda1 = 2.0
+        alpha = alpha_threshold_c1(lambda1) * 1.01
+        assert utility_failure_bound_c1(lambda1, alpha, 10**6) < 1e-9
+
+
+class TestSatisfiesUtility:
+    def test_requires_alpha_above_threshold(self):
+        lambda1, c = 4.0, 0.5
+        alpha_bad = alpha_threshold(lambda1, c) * 0.9
+        assert not satisfies_utility(lambda1, c, alpha_bad, 0.5, 100)
+
+    def test_requires_c_below_bound(self):
+        lambda1, beta, s = 4.0, 0.1, 100
+        c_ok = 0.5
+        alpha = alpha_threshold(lambda1, c_ok) * 1.5
+        c_max = max_noise_level(lambda1, alpha, beta, s)
+        assert c_ok <= c_max  # sanity: generous parameters open the window
+        assert satisfies_utility(lambda1, c_ok, alpha, beta, s)
+        assert not satisfies_utility(lambda1, c_max * 1.1, alpha, beta, s)
+
+
+class TestMinAlphaForBeta:
+    def test_at_least_threshold(self):
+        lambda1, c = 4.0, 1.0
+        alpha = min_alpha_for_beta(lambda1, c, beta=0.5, num_users=1000)
+        assert alpha >= alpha_threshold(lambda1, c)
+
+    def test_small_beta_needs_larger_alpha(self):
+        a_loose = min_alpha_for_beta(4.0, 1.0, beta=0.5, num_users=10)
+        a_tight = min_alpha_for_beta(4.0, 1.0, beta=1e-4, num_users=10)
+        assert a_tight >= a_loose
+
+    def test_respects_bound(self):
+        lambda1, c, beta, s = 4.0, 1.0, 0.2, 50
+        alpha = min_alpha_for_beta(lambda1, c, beta=beta, num_users=s)
+        assert utility_failure_bound(lambda1, c, alpha * 1.001, s) <= beta + 1e-9

@@ -1,0 +1,127 @@
+"""Tests for the Algorithm 1 framework (weighted_aggregate + fit loop)."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.base import (
+    TruthDiscoveryMethod,
+    weighted_aggregate,
+)
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.convergence import FixedIterationsCriterion
+
+
+class TestWeightedAggregate:
+    def test_uniform_weights_give_mean(self, small_claims):
+        truths = weighted_aggregate(small_claims, np.ones(5))
+        np.testing.assert_allclose(truths, small_claims.object_means())
+
+    def test_weight_concentration_selects_user(self, small_claims):
+        weights = np.array([0.0, 0.0, 0.0, 1.0, 0.0])
+        truths = weighted_aggregate(small_claims, weights)
+        np.testing.assert_allclose(truths, small_claims.values[3])
+
+    def test_eq1_formula_exact(self):
+        claims = ClaimMatrix(np.array([[1.0], [3.0]]))
+        truths = weighted_aggregate(claims, np.array([3.0, 1.0]))
+        np.testing.assert_allclose(truths, [(3 * 1 + 1 * 3) / 4])
+
+    def test_scale_invariance(self, small_claims):
+        w = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        a = weighted_aggregate(small_claims, w)
+        b = weighted_aggregate(small_claims, w * 7.5)
+        np.testing.assert_allclose(a, b)
+
+    def test_mask_respected(self, sparse_claims):
+        truths = weighted_aggregate(sparse_claims, np.ones(4))
+        np.testing.assert_allclose(truths[0], np.mean([1.0, 1.2, 1.1]))
+
+    def test_negative_weights_rejected(self, small_claims):
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_aggregate(small_claims, np.array([1, 1, 1, 1, -1.0]))
+
+    def test_wrong_shape_rejected(self, small_claims):
+        with pytest.raises(ValueError, match="weights must have shape"):
+            weighted_aggregate(small_claims, np.ones(3))
+
+    def test_zero_total_weight_falls_back_to_mean(self):
+        # Both observers of object 1 have zero weight -> uniform fallback.
+        values = np.array([[1.0, 4.0], [2.0, 6.0], [3.0, 0.0]])
+        mask = np.array([[True, True], [True, True], [True, False]])
+        claims = ClaimMatrix(values, mask=mask)
+        truths = weighted_aggregate(claims, np.array([0.0, 0.0, 1.0]))
+        assert truths[0] == 3.0  # only user 3 has weight on object 0
+        assert truths[1] == 5.0  # fallback mean of 4, 6
+
+
+class _ConstantWeightMethod(TruthDiscoveryMethod):
+    """Test double: fixed weights, one iteration."""
+
+    name = "constant"
+
+    def __init__(self, weights):
+        super().__init__(convergence=FixedIterationsCriterion(iterations=1))
+        self._weights = np.asarray(weights, dtype=float)
+
+    def estimate_weights(self, claims, truths):
+        return self._weights
+
+
+class _BadWeightMethod(TruthDiscoveryMethod):
+    name = "bad"
+
+    def __init__(self, weights):
+        super().__init__(convergence=FixedIterationsCriterion(iterations=1))
+        self._weights = weights
+
+    def estimate_weights(self, claims, truths):
+        return np.asarray(self._weights, dtype=float)
+
+
+class TestFitLoop:
+    def test_result_fields(self, small_claims):
+        result = _ConstantWeightMethod(np.ones(5)).fit(small_claims)
+        assert result.truths.shape == (4,)
+        assert result.weights.shape == (5,)
+        assert result.iterations == 1
+        assert result.converged
+        assert result.method == "constant"
+
+    def test_weights_normalised_to_mean_one(self, small_claims):
+        result = _ConstantWeightMethod(np.full(5, 17.0)).fit(small_claims)
+        np.testing.assert_allclose(result.weights, np.ones(5))
+
+    def test_accepts_raw_ndarray(self):
+        result = _ConstantWeightMethod(np.ones(2)).fit(
+            np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+        np.testing.assert_allclose(result.truths, [2.0, 3.0])
+
+    def test_record_history(self, small_claims):
+        result = _ConstantWeightMethod(np.ones(5)).fit(
+            small_claims, record_history=True
+        )
+        assert len(result.truth_history) == result.iterations
+
+    def test_history_off_by_default(self, small_claims):
+        result = _ConstantWeightMethod(np.ones(5)).fit(small_claims)
+        assert result.truth_history == ()
+
+    def test_nan_weights_rejected(self, small_claims):
+        method = _BadWeightMethod([1, 1, np.nan, 1, 1])
+        with pytest.raises(ValueError, match="non-finite"):
+            method.fit(small_claims)
+
+    def test_negative_weights_rejected(self, small_claims):
+        method = _BadWeightMethod([1, 1, -1, 1, 1])
+        with pytest.raises(ValueError, match="negative"):
+            method.fit(small_claims)
+
+    def test_wrong_shape_weights_rejected(self, small_claims):
+        method = _BadWeightMethod([1, 1])
+        with pytest.raises(ValueError, match="returned shape"):
+            method.fit(small_claims)
+
+    def test_weight_of_accessor(self, small_claims):
+        result = _ConstantWeightMethod(np.ones(5)).fit(small_claims)
+        assert result.weight_of(2) == pytest.approx(1.0)

@@ -1,0 +1,136 @@
+"""Tests for CATD, the naive baselines, and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.baselines import (
+    MeanAggregator,
+    MedianAggregator,
+    TrimmedMeanAggregator,
+)
+from repro.truthdiscovery.catd import CATD
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.registry import (
+    available_methods,
+    create_method,
+    register_method,
+)
+
+
+class TestCATD:
+    def test_converges(self, synthetic_dataset):
+        result = CATD().fit(synthetic_dataset.claims)
+        assert result.converged
+
+    def test_reliable_user_gets_higher_weight(self, graded_quality_dataset):
+        result = CATD().fit(graded_quality_dataset.claims)
+        s = graded_quality_dataset.num_users
+        q = s // 4
+        assert result.weights[:q].mean() > result.weights[-q:].mean()
+
+    def test_confidence_shrinks_low_count_users(self):
+        # Two users with identical per-claim error, one with 4x the claims:
+        # chi2 quantile grows with df, so the prolific user gets a higher
+        # weight per unit distance.
+        values = np.array(
+            [
+                [1.1, 2.1, 3.1, 4.1, 1.1, 2.1, 3.1, 4.1],
+                [1.1, 2.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                [1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0],
+            ]
+        )
+        mask = np.ones_like(values, dtype=bool)
+        mask[1, 2:] = False
+        claims = ClaimMatrix(values, mask=mask)
+        truths = np.array([1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0])
+        weights = CATD().estimate_weights(claims, truths)
+        # same per-claim squared error (0.01); the 8-claim user has
+        # 4x the total distance but a much larger chi2 quantile.
+        per_distance_0 = weights[0] * 8 * 0.01
+        per_distance_1 = weights[1] * 2 * 0.01
+        assert per_distance_0 > per_distance_1
+
+    def test_invalid_significance(self):
+        with pytest.raises(ValueError):
+            CATD(significance=0.0)
+        with pytest.raises(ValueError):
+            CATD(significance=1.0)
+
+    def test_ground_truth_accuracy(self, synthetic_dataset):
+        result = CATD().fit(synthetic_dataset.claims)
+        error = np.abs(result.truths - synthetic_dataset.ground_truth).mean()
+        assert error < 0.25
+
+
+class TestBaselines:
+    def test_mean_matches_object_means(self, small_claims):
+        result = MeanAggregator().fit(small_claims)
+        np.testing.assert_allclose(result.truths, small_claims.object_means())
+
+    def test_mean_single_iteration(self, small_claims):
+        result = MeanAggregator().fit(small_claims)
+        assert result.iterations == 1
+
+    def test_median_exact(self, small_claims):
+        result = MedianAggregator().fit(small_claims)
+        expected = np.median(small_claims.values, axis=0)
+        np.testing.assert_allclose(result.truths, expected)
+
+    def test_median_robust_to_outlier(self, small_claims):
+        # User 5 claims 5.0 on object 0 where others claim ~1.0.
+        mean_t = MeanAggregator().fit(small_claims).truths[0]
+        median_t = MedianAggregator().fit(small_claims).truths[0]
+        assert abs(median_t - 1.0) < abs(mean_t - 1.0)
+
+    def test_median_sparse(self, sparse_claims):
+        result = MedianAggregator().fit(sparse_claims)
+        np.testing.assert_allclose(result.truths[0], 1.1)
+
+    def test_trimmed_mean_between_mean_and_median(self, small_claims):
+        mean_t = MeanAggregator().fit(small_claims).truths[0]
+        median_t = MedianAggregator().fit(small_claims).truths[0]
+        trimmed = TrimmedMeanAggregator(trim=0.25).fit(small_claims).truths[0]
+        lo, hi = sorted((mean_t, median_t))
+        assert lo - 1e-9 <= trimmed <= hi + 1e-9
+
+    def test_trimmed_mean_zero_trim_is_mean(self, small_claims):
+        trimmed = TrimmedMeanAggregator(trim=0.0).fit(small_claims)
+        np.testing.assert_allclose(
+            trimmed.truths, small_claims.object_means()
+        )
+
+    def test_trim_bounds(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim=0.5)
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim=-0.1)
+
+    def test_uniform_weights(self, small_claims):
+        for cls in (MeanAggregator, MedianAggregator):
+            result = cls().fit(small_claims)
+            np.testing.assert_allclose(result.weights, np.ones(5))
+
+
+class TestRegistry:
+    def test_all_expected_methods(self):
+        names = available_methods()
+        for expected in ("crh", "gtm", "catd", "mean", "median", "trimmed_mean"):
+            assert expected in names
+
+    def test_create_by_name(self, small_claims):
+        for name in available_methods():
+            method = create_method(name)
+            result = method.fit(small_claims)
+            assert np.isfinite(result.truths).all()
+
+    def test_kwargs_forwarded(self):
+        method = create_method("crh", distance="absolute")
+        assert method is not None
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError, match="unknown truth discovery method"):
+            create_method("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_method("crh", lambda: None)

@@ -1,0 +1,174 @@
+"""Tests for the categorical truth discovery extension."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.categorical import (
+    AccuracyEM,
+    CategoricalClaimMatrix,
+    MajorityVoting,
+    WeightedVoting,
+    generate_categorical_dataset,
+)
+
+
+@pytest.fixture
+def labelled_campaign():
+    return generate_categorical_dataset(
+        num_users=50, num_objects=40, num_categories=4, random_state=0
+    )
+
+
+class TestCategoricalClaimMatrix:
+    def test_basic(self):
+        cm = CategoricalClaimMatrix(
+            labels=np.array([[0, 1], [1, 1]]), num_categories=2
+        )
+        assert cm.num_users == 2
+        assert cm.num_objects == 2
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError, match="labels must lie"):
+            CategoricalClaimMatrix(
+                labels=np.array([[0, 3]]), num_categories=2
+            )
+
+    def test_rejects_float_labels(self):
+        with pytest.raises(ValueError, match="integers"):
+            CategoricalClaimMatrix(
+                labels=np.array([[0.5, 1.0]]), num_categories=2
+            )
+
+    def test_rejects_unobserved_object(self):
+        with pytest.raises(ValueError, match="at least one observation"):
+            CategoricalClaimMatrix(
+                labels=np.array([[0, 0]]),
+                num_categories=2,
+                mask=np.array([[True, False]]),
+            )
+
+    def test_vote_counts_unweighted(self):
+        cm = CategoricalClaimMatrix(
+            labels=np.array([[0, 1], [0, 0], [1, 1]]), num_categories=2
+        )
+        counts = cm.vote_counts()
+        np.testing.assert_array_equal(counts, [[2, 1], [1, 2]])
+
+    def test_vote_counts_weighted(self):
+        cm = CategoricalClaimMatrix(
+            labels=np.array([[0], [1]]), num_categories=2
+        )
+        counts = cm.vote_counts(np.array([3.0, 1.0]))
+        np.testing.assert_array_equal(counts, [[3.0, 1.0]])
+
+    def test_vote_counts_respect_mask(self):
+        cm = CategoricalClaimMatrix(
+            labels=np.array([[0, 0], [1, 0]]),
+            num_categories=2,
+            mask=np.array([[True, True], [False, True]]),
+        )
+        counts = cm.vote_counts()
+        np.testing.assert_array_equal(counts, [[1, 0], [2, 0]])
+
+
+class TestMajorityVoting:
+    def test_plurality(self):
+        cm = CategoricalClaimMatrix(
+            labels=np.array([[0], [0], [1]]), num_categories=2
+        )
+        result = MajorityVoting().fit(cm)
+        assert result.truths[0] == 0
+        np.testing.assert_allclose(result.posteriors[0], [2 / 3, 1 / 3])
+
+    def test_good_recovery_on_clean_data(self, labelled_campaign):
+        claims, truths, _acc = labelled_campaign
+        result = MajorityVoting().fit(claims)
+        assert (result.truths != truths).mean() < 0.05
+
+
+class TestWeightedVoting:
+    def test_recovers_truth(self, labelled_campaign):
+        claims, truths, _acc = labelled_campaign
+        result = WeightedVoting().fit(claims)
+        assert (result.truths != truths).mean() < 0.05
+        assert result.converged
+
+    def test_weights_track_accuracy(self, labelled_campaign):
+        claims, _truths, accuracies = labelled_campaign
+        result = WeightedVoting().fit(claims)
+        corr = np.corrcoef(result.weights, accuracies)[0, 1]
+        assert corr > 0.5
+
+    def test_beats_majority_with_bad_annotators(self):
+        # Half the users answer nearly randomly; weighting should win.
+        claims, truths, _acc = generate_categorical_dataset(
+            num_users=30,
+            num_objects=60,
+            num_categories=3,
+            accuracy_low=0.34,
+            accuracy_high=0.99,
+            random_state=5,
+        )
+        wv_err = (WeightedVoting().fit(claims).truths != truths).mean()
+        mv_err = (MajorityVoting().fit(claims).truths != truths).mean()
+        assert wv_err <= mv_err
+
+    def test_deterministic(self, labelled_campaign):
+        claims, _t, _a = labelled_campaign
+        a = WeightedVoting().fit(claims)
+        b = WeightedVoting().fit(claims)
+        np.testing.assert_array_equal(a.truths, b.truths)
+
+
+class TestAccuracyEM:
+    def test_recovers_truth(self, labelled_campaign):
+        claims, truths, _acc = labelled_campaign
+        result = AccuracyEM().fit(claims)
+        assert (result.truths != truths).mean() < 0.05
+        assert result.converged
+
+    def test_posteriors_are_distributions(self, labelled_campaign):
+        claims, _t, _a = labelled_campaign
+        result = AccuracyEM().fit(claims)
+        np.testing.assert_allclose(result.posteriors.sum(axis=1), 1.0)
+        assert (result.posteriors >= 0).all()
+
+    def test_weights_track_accuracy(self, labelled_campaign):
+        claims, _truths, accuracies = labelled_campaign
+        result = AccuracyEM().fit(claims)
+        corr = np.corrcoef(result.weights, accuracies)[0, 1]
+        assert corr > 0.5
+
+    def test_sparse_input(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=(10, 8))
+        mask = rng.random((10, 8)) < 0.7
+        for n in range(8):
+            if not mask[:, n].any():
+                mask[0, n] = True
+        claims = CategoricalClaimMatrix(
+            labels=labels, num_categories=3, mask=mask
+        )
+        result = AccuracyEM().fit(claims)
+        assert result.truths.shape == (8,)
+
+
+class TestGenerator:
+    def test_shapes(self, labelled_campaign):
+        claims, truths, accuracies = labelled_campaign
+        assert claims.num_users == 50
+        assert truths.shape == (40,)
+        assert accuracies.shape == (50,)
+
+    def test_deterministic(self):
+        a = generate_categorical_dataset(10, 5, 3, random_state=1)
+        b = generate_categorical_dataset(10, 5, 3, random_state=1)
+        np.testing.assert_array_equal(a[0].labels, b[0].labels)
+
+    def test_accuracy_realised(self):
+        claims, truths, accuracies = generate_categorical_dataset(
+            5, 5000, 4, accuracy_low=0.6, accuracy_high=0.9, random_state=2
+        )
+        for s in range(5):
+            realised = (claims.labels[s] == truths).mean()
+            assert realised == pytest.approx(accuracies[s], abs=0.03)

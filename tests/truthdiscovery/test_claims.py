@@ -1,0 +1,173 @@
+"""Tests for the ClaimMatrix data model."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.claims import ClaimMatrix, stack_claims
+
+
+class TestConstruction:
+    def test_basic_shape(self, small_claims):
+        assert small_claims.shape == (5, 4)
+        assert small_claims.num_users == 5
+        assert small_claims.num_objects == 4
+
+    def test_default_mask_complete(self, small_claims):
+        assert small_claims.is_complete
+        assert small_claims.density == 1.0
+
+    def test_default_ids(self, small_claims):
+        assert small_claims.user_ids == (0, 1, 2, 3, 4)
+        assert small_claims.object_ids == (0, 1, 2, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            ClaimMatrix(np.zeros(3))
+
+    def test_rejects_nan_in_observed(self):
+        values = np.array([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(ValueError, match="finite"):
+            ClaimMatrix(values)
+
+    def test_nan_allowed_in_masked_entries(self):
+        values = np.array([[1.0, np.nan], [2.0, 3.0]])
+        mask = np.array([[True, False], [True, True]])
+        cm = ClaimMatrix(values, mask=mask)
+        assert cm.density == 0.75
+
+    def test_rejects_fully_unobserved_object(self):
+        values = np.zeros((2, 2))
+        mask = np.array([[True, False], [True, False]])
+        with pytest.raises(ValueError, match="at least one observation"):
+            ClaimMatrix(values, mask=mask)
+
+    def test_rejects_mismatched_mask(self):
+        with pytest.raises(ValueError, match="matching shapes"):
+            ClaimMatrix(np.zeros((2, 2)), mask=np.ones((3, 2), dtype=bool))
+
+    def test_rejects_wrong_id_counts(self):
+        with pytest.raises(ValueError, match="user_ids"):
+            ClaimMatrix(np.zeros((2, 2)), user_ids=("a",))
+        with pytest.raises(ValueError, match="object_ids"):
+            ClaimMatrix(np.zeros((2, 2)), object_ids=("x",))
+
+
+class TestAccessors:
+    def test_observed_values(self, sparse_claims):
+        assert sparse_claims.observed_values().size == 9
+
+    def test_claims_for_object_respects_mask(self, sparse_claims):
+        col = sparse_claims.claims_for_object(0)
+        np.testing.assert_allclose(col, [1.0, 1.2, 1.1])
+
+    def test_claims_for_user_respects_mask(self, sparse_claims):
+        row = sparse_claims.claims_for_user(0)
+        np.testing.assert_allclose(row, [1.0, 3.0])
+
+    def test_observation_counts(self, sparse_claims):
+        np.testing.assert_array_equal(
+            sparse_claims.observation_counts, [2, 2, 2, 3]
+        )
+
+    def test_object_means(self, small_claims):
+        means = small_claims.object_means()
+        np.testing.assert_allclose(means[0], np.mean([1.0, 1.1, 0.9, 1.0, 5.0]))
+
+    def test_object_stds_positive(self, small_claims):
+        assert (small_claims.object_stds() > 0).all()
+
+    def test_object_stds_floor_on_constant_object(self):
+        cm = ClaimMatrix(np.ones((3, 2)))
+        stds = cm.object_stds()
+        assert (stds > 0).all()
+        assert (stds < 1e-6).all()
+
+
+class TestRecords:
+    def test_round_trip(self, sparse_claims):
+        # from_records discovers ids in first-seen order, which may permute
+        # columns; compare as record sets, which is the true invariant.
+        records = sparse_claims.to_records()
+        rebuilt = ClaimMatrix.from_records(records)
+        assert sorted(rebuilt.to_records()) == sorted(records)
+        assert rebuilt.mask.sum() == sparse_claims.mask.sum()
+
+    def test_round_trip_with_explicit_ids(self, sparse_claims):
+        records = sparse_claims.to_records()
+        rebuilt = ClaimMatrix.from_records(
+            records,
+            user_ids=sparse_claims.user_ids,
+            object_ids=sparse_claims.object_ids,
+        )
+        np.testing.assert_allclose(
+            rebuilt.values[rebuilt.mask],
+            sparse_claims.values[sparse_claims.mask],
+        )
+        np.testing.assert_array_equal(rebuilt.mask, sparse_claims.mask)
+
+    def test_from_records_discovers_ids(self):
+        cm = ClaimMatrix.from_records(
+            [("alice", "obj1", 1.0), ("bob", "obj1", 2.0), ("alice", "obj2", 3.0)]
+        )
+        assert cm.user_ids == ("alice", "bob")
+        assert cm.object_ids == ("obj1", "obj2")
+        assert not cm.mask[1, 1]  # bob never observed obj2
+
+    def test_from_records_duplicate_keeps_last(self):
+        cm = ClaimMatrix.from_records(
+            [("a", "x", 1.0), ("b", "x", 5.0), ("a", "x", 2.0)]
+        )
+        assert cm.values[0, 0] == 2.0
+
+    def test_from_records_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ClaimMatrix.from_records([])
+
+    def test_from_records_unknown_user_rejected(self):
+        with pytest.raises(KeyError, match="unknown user"):
+            ClaimMatrix.from_records(
+                [("a", "x", 1.0), ("b", "x", 1.0)], user_ids=["a"]
+            )
+
+
+class TestTransformations:
+    def test_add_offsets(self, small_claims):
+        offsets = np.ones(small_claims.shape)
+        shifted = small_claims.add(offsets)
+        np.testing.assert_allclose(shifted.values, small_claims.values + 1.0)
+        # original is untouched (immutability by convention)
+        assert small_claims.values[0, 0] == 1.0
+
+    def test_add_keeps_unobserved_zero(self, sparse_claims):
+        shifted = sparse_claims.add(np.full(sparse_claims.shape, 10.0))
+        assert shifted.values[0, 1] == 0.0  # masked entry
+        assert shifted.values[0, 0] == 11.0
+
+    def test_with_values_shape_checked(self, small_claims):
+        with pytest.raises(ValueError):
+            small_claims.with_values(np.zeros((2, 2)))
+
+    def test_subset_users(self, small_claims):
+        sub = small_claims.subset_users([0, 2])
+        assert sub.num_users == 2
+        assert sub.user_ids == (0, 2)
+        np.testing.assert_allclose(sub.values[1], small_claims.values[2])
+
+    def test_subset_objects(self, small_claims):
+        sub = small_claims.subset_objects([1, 3])
+        assert sub.num_objects == 2
+        assert sub.object_ids == (1, 3)
+
+    def test_stack_claims(self, small_claims):
+        stacked = stack_claims([small_claims, small_claims])
+        assert stacked.num_users == 10
+        assert stacked.num_objects == 4
+
+    def test_stack_requires_same_objects(self, small_claims):
+        other = small_claims.subset_objects([0, 1])
+        with pytest.raises(ValueError, match="same object ids"):
+            stack_claims([small_claims, other])
+
+    def test_stack_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack_claims([])

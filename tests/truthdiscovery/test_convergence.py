@@ -1,0 +1,120 @@
+"""Tests for convergence criteria."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.convergence import (
+    CombinedCriterion,
+    FixedIterationsCriterion,
+    TruthChangeCriterion,
+    WeightChangeCriterion,
+    default_criterion,
+)
+
+W = np.ones(3)
+
+
+class TestTruthChange:
+    def test_stops_when_stable(self):
+        crit = TruthChangeCriterion(tolerance=1e-3)
+        crit.reset()
+        assert not crit.update(np.array([1.0, 2.0]), W)
+        assert crit.update(np.array([1.0, 2.0]), W)
+        assert not crit.exhausted
+
+    def test_keeps_going_while_moving(self):
+        crit = TruthChangeCriterion(tolerance=1e-6)
+        crit.reset()
+        assert not crit.update(np.array([1.0]), W)
+        assert not crit.update(np.array([2.0]), W)
+        assert not crit.update(np.array([3.0]), W)
+
+    def test_max_iterations_cap_sets_exhausted(self):
+        crit = TruthChangeCriterion(tolerance=1e-12, max_iterations=3)
+        crit.reset()
+        stopped = False
+        for i in range(5):
+            if crit.update(np.array([float(i)]), W):
+                stopped = True
+                break
+        assert stopped
+        assert crit.exhausted
+        assert crit.iterations == 3
+
+    def test_reset_clears_state(self):
+        crit = TruthChangeCriterion(tolerance=1e-3)
+        crit.reset()
+        crit.update(np.array([1.0]), W)
+        crit.update(np.array([1.0]), W)
+        crit.reset()
+        assert not crit.update(np.array([1.0]), W)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TruthChangeCriterion(tolerance=0.0)
+        with pytest.raises(ValueError):
+            TruthChangeCriterion(max_iterations=0)
+
+
+class TestFixedIterations:
+    def test_stops_exactly(self):
+        crit = FixedIterationsCriterion(iterations=3)
+        crit.reset()
+        assert not crit.update(np.zeros(1), W)
+        assert not crit.update(np.zeros(1), W)
+        assert crit.update(np.zeros(1), W)
+        assert not crit.exhausted  # fixed count is convergence by design
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedIterationsCriterion(iterations=0)
+
+
+class TestWeightChange:
+    def test_stops_on_stable_weights(self):
+        crit = WeightChangeCriterion(tolerance=1e-6)
+        crit.reset()
+        truths = np.zeros(2)
+        assert not crit.update(truths, np.array([1.0, 2.0]))
+        assert crit.update(truths, np.array([1.0, 2.0]))
+
+    def test_linf_metric(self):
+        crit = WeightChangeCriterion(tolerance=0.5)
+        crit.reset()
+        truths = np.zeros(2)
+        assert not crit.update(truths, np.array([1.0, 1.0]))
+        # max change 0.6 > 0.5 -> keep going
+        assert not crit.update(truths, np.array([1.0, 1.6]))
+        # max change 0.4 < 0.5 -> stop
+        assert crit.update(truths, np.array([1.0, 2.0]))
+
+
+class TestCombined:
+    def test_any_fires(self):
+        crit = CombinedCriterion(
+            criteria=(
+                TruthChangeCriterion(tolerance=1e-12),
+                FixedIterationsCriterion(iterations=2),
+            )
+        )
+        crit.reset()
+        assert not crit.update(np.array([1.0]), W)
+        assert crit.update(np.array([2.0]), W)
+        assert not crit.exhausted
+
+    def test_exhaustion_propagates(self):
+        crit = CombinedCriterion(
+            criteria=(TruthChangeCriterion(tolerance=1e-12, max_iterations=2),)
+        )
+        crit.reset()
+        crit.update(np.array([1.0]), W)
+        assert crit.update(np.array([2.0]), W)
+        assert crit.exhausted
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedCriterion(criteria=())
+
+
+def test_default_criterion_is_truth_change():
+    assert isinstance(default_criterion(), TruthChangeCriterion)

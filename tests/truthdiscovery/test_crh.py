@@ -1,0 +1,95 @@
+"""Tests for CRH."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.convergence import TruthChangeCriterion
+from repro.truthdiscovery.crh import CRH
+
+
+class TestWeights:
+    def test_reliable_user_gets_higher_weight(self, graded_quality_dataset):
+        result = CRH().fit(graded_quality_dataset.claims)
+        # variances strictly increase with user index; the best quartile
+        # must collectively outweigh the worst quartile.
+        s = graded_quality_dataset.num_users
+        q = s // 4
+        assert result.weights[:q].mean() > result.weights[-q:].mean()
+
+    def test_eq3_log_share_formula(self):
+        # Two users with known distances; verify the -log share directly.
+        claims = ClaimMatrix(np.array([[1.0], [2.0]]))
+        method = CRH(distance="squared", distance_floor=1e-12)
+        truths = np.array([1.0 + 1e-4])  # small offset avoids the floor
+        weights = method.estimate_weights(claims, truths)
+        d = np.array([(1.0 - truths[0]) ** 2, (2.0 - truths[0]) ** 2])
+        expected = -np.log(d / d.sum())
+        np.testing.assert_allclose(weights, expected, rtol=1e-6)
+
+    def test_weights_positive(self, synthetic_dataset):
+        result = CRH().fit(synthetic_dataset.claims)
+        assert (result.weights > 0).all()
+
+    def test_perfect_agreement_handled(self):
+        # All users identical: distances hit the floor; weights equal.
+        claims = ClaimMatrix(np.tile([[1.0, 2.0, 3.0]], (4, 1)))
+        result = CRH().fit(claims)
+        np.testing.assert_allclose(result.weights, np.ones(4))
+        np.testing.assert_allclose(result.truths, [1.0, 2.0, 3.0])
+
+
+class TestFit:
+    def test_converges(self, synthetic_dataset):
+        result = CRH().fit(synthetic_dataset.claims)
+        assert result.converged
+        assert result.iterations < 200
+
+    def test_truths_close_to_ground_truth(self, synthetic_dataset):
+        result = CRH().fit(synthetic_dataset.claims)
+        error = np.abs(result.truths - synthetic_dataset.ground_truth).mean()
+        # 40 users with mean error variance 0.25 -> MAE well under 0.2.
+        assert error < 0.2
+
+    def test_beats_plain_mean_with_outliers(self, graded_quality_dataset):
+        claims = graded_quality_dataset.claims
+        truth = graded_quality_dataset.ground_truth
+        crh_err = np.abs(CRH().fit(claims).truths - truth).mean()
+        mean_err = np.abs(claims.object_means() - truth).mean()
+        assert crh_err <= mean_err * 1.05  # at least on par, usually better
+
+    def test_deterministic(self, synthetic_dataset):
+        a = CRH().fit(synthetic_dataset.claims)
+        b = CRH().fit(synthetic_dataset.claims)
+        np.testing.assert_array_equal(a.truths, b.truths)
+
+    def test_sparse_input(self, sparse_claims):
+        result = CRH().fit(sparse_claims)
+        assert result.truths.shape == (3,)
+        assert np.isfinite(result.truths).all()
+
+    def test_per_claim_mode(self, sparse_claims):
+        result = CRH(per_claim=True).fit(sparse_claims)
+        assert np.isfinite(result.weights).all()
+
+    def test_custom_distance(self, synthetic_dataset):
+        result = CRH(distance="absolute").fit(synthetic_dataset.claims)
+        assert result.converged
+
+    def test_tight_tolerance_more_iterations(self, synthetic_dataset):
+        loose = CRH(convergence=TruthChangeCriterion(tolerance=1e-2)).fit(
+            synthetic_dataset.claims
+        )
+        tight = CRH(convergence=TruthChangeCriterion(tolerance=1e-10)).fit(
+            synthetic_dataset.claims
+        )
+        assert tight.iterations >= loose.iterations
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            CRH(distance_floor=0.0)
+
+    def test_single_object(self):
+        claims = ClaimMatrix(np.array([[1.0], [1.2], [0.8]]))
+        result = CRH().fit(claims)
+        assert 0.8 <= result.truths[0] <= 1.2

@@ -1,0 +1,141 @@
+"""Tests for distance functions."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.distance import (
+    absolute_distance,
+    available_distances,
+    get_distance,
+    mean_distance_per_claim,
+    normalized_absolute_distance,
+    normalized_squared_distance,
+    register_distance,
+    squared_distance,
+)
+
+
+@pytest.fixture
+def claims():
+    return ClaimMatrix(np.array([[1.0, 2.0], [3.0, 4.0], [1.0, 2.0]]))
+
+
+class TestRegistry:
+    def test_known_distances_registered(self):
+        names = available_distances()
+        for expected in (
+            "squared",
+            "absolute",
+            "normalized_squared",
+            "normalized_absolute",
+        ):
+            assert expected in names
+
+    def test_get_by_name(self):
+        assert get_distance("squared") is squared_distance
+
+    def test_get_passes_callable_through(self):
+        fn = lambda c, t: np.zeros(c.num_users)  # noqa: E731
+        assert get_distance(fn) is fn
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown distance"):
+            get_distance("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_distance("squared")(squared_distance)
+
+
+class TestDistances:
+    def test_squared_exact(self, claims):
+        truths = np.array([1.0, 2.0])
+        d = squared_distance(claims, truths)
+        np.testing.assert_allclose(d, [0.0, 8.0, 0.0])
+
+    def test_absolute_exact(self, claims):
+        truths = np.array([1.0, 2.0])
+        d = absolute_distance(claims, truths)
+        np.testing.assert_allclose(d, [0.0, 4.0, 0.0])
+
+    def test_normalized_squared_scales_by_std(self, claims):
+        truths = np.array([1.0, 2.0])
+        stds = claims.object_stds()
+        d = normalized_squared_distance(claims, truths)
+        expected = (3.0 - 1.0) ** 2 / stds[0] + (4.0 - 2.0) ** 2 / stds[1]
+        np.testing.assert_allclose(d[1], expected)
+
+    def test_normalized_absolute_matches_manual(self, claims):
+        truths = np.array([1.0, 2.0])
+        stds = claims.object_stds()
+        d = normalized_absolute_distance(claims, truths)
+        expected = 2.0 / stds[0] + 2.0 / stds[1]
+        np.testing.assert_allclose(d[1], expected)
+
+    def test_mask_respected(self):
+        values = np.array([[1.0, 99.0], [2.0, 3.0]])
+        mask = np.array([[True, False], [True, True]])
+        cm = ClaimMatrix(values, mask=mask)
+        d = absolute_distance(cm, np.array([1.0, 3.0]))
+        np.testing.assert_allclose(d, [0.0, 1.0])
+
+    def test_wrong_truths_shape(self, claims):
+        with pytest.raises(ValueError, match="truths must have shape"):
+            squared_distance(claims, np.zeros(3))
+
+    def test_mean_distance_per_claim(self):
+        values = np.array([[1.0, 2.0], [5.0, 0.0]])
+        mask = np.array([[True, True], [True, False]])
+        cm = ClaimMatrix(values, mask=mask)
+        per_claim = mean_distance_per_claim(cm, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(per_claim, [0.0, 4.0])
+
+
+class TestHuber:
+    def test_quadratic_in_the_bulk(self, claims):
+        from repro.truthdiscovery.distance import huber_distance
+
+        truths = claims.object_means()
+        stds = claims.object_stds()
+        # All residuals within 1.5 std -> huber equals half the squared
+        # z-score sum.
+        z = np.abs(claims.values - truths[None, :]) / stds[None, :]
+        assert (z <= 1.5).all()
+        expected = 0.5 * (z**2).sum(axis=1)
+        np.testing.assert_allclose(
+            huber_distance(claims, truths), expected, rtol=1e-9
+        )
+
+    def test_linear_in_the_tails(self):
+        from repro.truthdiscovery.distance import huber_distance
+
+        # One extreme outlier: huber must grow linearly, i.e. much slower
+        # than the squared distance.
+        base = np.array([[0.0], [1.0], [2.0]])
+        far = np.array([[0.0], [1.0], [200.0]])
+        truths = np.array([1.0])
+        h_base = huber_distance(ClaimMatrix(base), truths)[2]
+        h_far = huber_distance(ClaimMatrix(far), truths)[2]
+        sq_ratio = ((200.0 - 1.0) / (2.0 - 1.0)) ** 2
+        assert h_far / h_base < sq_ratio / 10
+
+    def test_registered_and_usable_by_crh(self, claims):
+        from repro.truthdiscovery.crh import CRH
+        from repro.truthdiscovery.distance import available_distances
+
+        assert "huber" in available_distances()
+        result = CRH(distance="huber").fit(claims)
+        assert np.isfinite(result.truths).all()
+
+    def test_huber_crh_robust_to_outlier_user(self):
+        from repro.truthdiscovery.crh import CRH
+
+        rng = np.random.default_rng(0)
+        truths = rng.uniform(0, 10, 20)
+        values = truths[None, :] + rng.normal(0, 0.2, (12, 20))
+        values[0] += 50.0  # catastrophically broken sensor
+        claims = ClaimMatrix(values)
+        result = CRH(distance="huber").fit(claims)
+        assert np.abs(result.truths - truths).mean() < 0.5
+        assert result.weights[0] < result.weights[1:].mean()

@@ -1,0 +1,92 @@
+"""Tests for GTM."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.gtm import GTM, GTMWeightedAggregateOnly
+
+
+class TestFit:
+    def test_converges(self, synthetic_dataset):
+        result = GTM().fit(synthetic_dataset.claims)
+        assert result.converged
+
+    def test_truths_close_to_ground_truth(self, synthetic_dataset):
+        result = GTM().fit(synthetic_dataset.claims)
+        error = np.abs(result.truths - synthetic_dataset.ground_truth).mean()
+        assert error < 0.2
+
+    def test_truths_on_data_scale(self, synthetic_dataset):
+        # Standardisation must be undone: truths near the claim range.
+        result = GTM().fit(synthetic_dataset.claims)
+        observed = synthetic_dataset.claims.observed_values()
+        assert result.truths.min() >= observed.min() - 1.0
+        assert result.truths.max() <= observed.max() + 1.0
+
+    def test_reliable_user_gets_higher_weight(self, graded_quality_dataset):
+        result = GTM().fit(graded_quality_dataset.claims)
+        s = graded_quality_dataset.num_users
+        q = s // 4
+        assert result.weights[:q].mean() > result.weights[-q:].mean()
+
+    def test_weights_positive(self, synthetic_dataset):
+        result = GTM().fit(synthetic_dataset.claims)
+        assert (result.weights > 0).all()
+
+    def test_deterministic(self, synthetic_dataset):
+        a = GTM().fit(synthetic_dataset.claims)
+        b = GTM().fit(synthetic_dataset.claims)
+        np.testing.assert_array_equal(a.truths, b.truths)
+
+    def test_sparse_input(self, sparse_claims):
+        result = GTM().fit(sparse_claims)
+        assert np.isfinite(result.truths).all()
+
+    def test_history_destandardised(self, synthetic_dataset):
+        result = GTM().fit(synthetic_dataset.claims, record_history=True)
+        assert len(result.truth_history) == result.iterations
+        # History entries live on the data scale, like the final truths.
+        last = result.truth_history[-1]
+        np.testing.assert_allclose(last, result.truths)
+
+    def test_identical_claims(self):
+        claims = ClaimMatrix(np.tile([[4.0, 5.0]], (3, 1)))
+        result = GTM().fit(claims)
+        np.testing.assert_allclose(result.truths, [4.0, 5.0], atol=1e-6)
+
+
+class TestPriors:
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            GTM(prior_variance=0.0)
+        with pytest.raises(ValueError):
+            GTM(alpha=-1.0)
+        with pytest.raises(ValueError):
+            GTM(beta=0.0)
+
+    def test_strong_prior_shrinks_toward_prior_mean(self):
+        # In standardised space the prior mean is 0 = per-object mean.
+        claims = ClaimMatrix(
+            np.array([[1.0, 5.0], [2.0, 6.0], [9.0, 13.0]])
+        )
+        weak = GTM(prior_variance=100.0).fit(claims)
+        strong = GTM(prior_variance=1e-4).fit(claims)
+        means = claims.object_means()
+        # Strong prior pins truths at the object means.
+        assert np.abs(strong.truths - means).sum() < np.abs(
+            weak.truths - means
+        ).sum() + 1e-9
+
+
+class TestNoShrinkVariant:
+    def test_runs_and_converges(self, synthetic_dataset):
+        result = GTMWeightedAggregateOnly().fit(synthetic_dataset.claims)
+        assert result.converged
+        assert result.method == "gtm-noshrink"
+
+    def test_truths_are_weighted_averages(self, small_claims):
+        result = GTMWeightedAggregateOnly().fit(small_claims)
+        lo = small_claims.values.min(axis=0)
+        hi = small_claims.values.max(axis=0)
+        assert ((result.truths >= lo) & (result.truths <= hi)).all()

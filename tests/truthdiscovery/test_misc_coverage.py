@@ -1,0 +1,91 @@
+"""Coverage for smaller branches across the truth discovery substrate."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.claims import ClaimMatrix, stack_claims
+from repro.truthdiscovery.crh import CRH
+from repro.truthdiscovery.gtm import GTM
+
+
+class TestStackClaims:
+    def test_duplicate_user_ids_renumbered(self, small_claims):
+        # Stacking the same matrix twice duplicates user ids; the stack
+        # falls back to positional ids.
+        stacked = stack_claims([small_claims, small_claims])
+        assert stacked.user_ids == tuple(range(10))
+
+    def test_distinct_user_ids_preserved(self):
+        a = ClaimMatrix(np.ones((2, 2)), user_ids=("a1", "a2"))
+        b = ClaimMatrix(np.ones((2, 2)), user_ids=("b1", "b2"))
+        stacked = stack_claims([a, b])
+        assert stacked.user_ids == ("a1", "a2", "b1", "b2")
+
+    def test_single_matrix(self, small_claims):
+        stacked = stack_claims([small_claims])
+        np.testing.assert_array_equal(stacked.values, small_claims.values)
+
+
+class TestClaimMatrixEdges:
+    def test_single_user_single_object(self):
+        cm = ClaimMatrix(np.array([[3.0]]))
+        assert cm.num_users == 1
+        assert cm.object_means()[0] == 3.0
+
+    def test_repr(self, small_claims):
+        text = repr(small_claims)
+        assert "users=5" in text
+        assert "objects=4" in text
+
+    def test_subset_preserves_mask(self, sparse_claims):
+        sub = sparse_claims.subset_users([0, 3])
+        np.testing.assert_array_equal(sub.mask[0], sparse_claims.mask[0])
+        np.testing.assert_array_equal(sub.mask[1], sparse_claims.mask[3])
+
+    def test_with_values_keeps_ids(self):
+        cm = ClaimMatrix(
+            np.ones((2, 2)), user_ids=("u", "v"), object_ids=("x", "y")
+        )
+        updated = cm.with_values(np.zeros((2, 2)))
+        assert updated.user_ids == ("u", "v")
+        assert updated.object_ids == ("x", "y")
+
+
+class TestMethodEdges:
+    def test_crh_two_users_one_object(self):
+        claims = ClaimMatrix(np.array([[1.0], [2.0]]))
+        result = CRH().fit(claims)
+        assert 1.0 <= result.truths[0] <= 2.0
+
+    def test_crh_handles_huge_scale(self):
+        rng = np.random.default_rng(0)
+        claims = ClaimMatrix(rng.normal(1e9, 1e6, size=(10, 5)))
+        result = CRH().fit(claims)
+        assert np.isfinite(result.truths).all()
+
+    def test_crh_handles_tiny_scale(self):
+        rng = np.random.default_rng(0)
+        claims = ClaimMatrix(rng.normal(1e-9, 1e-12, size=(10, 5)))
+        result = CRH().fit(claims)
+        assert np.isfinite(result.truths).all()
+
+    def test_gtm_two_users(self):
+        claims = ClaimMatrix(np.array([[1.0, 2.0], [1.2, 2.2]]))
+        result = GTM().fit(claims)
+        assert np.isfinite(result.truths).all()
+
+    def test_method_reuse_is_safe(self, synthetic_dataset):
+        # Fitting twice with the same instance must give the same answer
+        # (convergence state is reset per fit).
+        method = CRH()
+        a = method.fit(synthetic_dataset.claims)
+        b = method.fit(synthetic_dataset.claims)
+        np.testing.assert_array_equal(a.truths, b.truths)
+        assert a.iterations == b.iterations
+
+    def test_negative_values_supported(self):
+        rng = np.random.default_rng(1)
+        truths = rng.uniform(-100, -50, 8)
+        claims = ClaimMatrix(truths[None, :] + rng.normal(0, 1, (20, 8)))
+        result = CRH().fit(claims)
+        assert np.abs(result.truths - truths).mean() < 1.0

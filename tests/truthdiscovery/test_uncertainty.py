@@ -1,0 +1,105 @@
+"""Tests for bootstrap uncertainty quantification."""
+
+import numpy as np
+import pytest
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.crh import CRH
+from repro.truthdiscovery.uncertainty import bootstrap_truths
+
+
+class TestBootstrapTruths:
+    def test_intervals_bracket_point(self, synthetic_dataset):
+        intervals = bootstrap_truths(
+            CRH, synthetic_dataset.claims, num_resamples=50, random_state=0
+        )
+        assert (intervals.lower <= intervals.point + 1e-9).all()
+        assert (intervals.point <= intervals.upper + 1e-9).all()
+
+    def test_coverage_of_ground_truth(self, synthetic_dataset):
+        intervals = bootstrap_truths(
+            CRH,
+            synthetic_dataset.claims,
+            num_resamples=200,
+            confidence=0.95,
+            random_state=0,
+        )
+        coverage = intervals.contains(synthetic_dataset.ground_truth).mean()
+        # Nominal 95% with 12 objects: allow generous finite-sample slack.
+        assert coverage >= 0.7
+
+    def test_deterministic(self, synthetic_dataset):
+        a = bootstrap_truths(
+            CRH, synthetic_dataset.claims, num_resamples=30, random_state=5
+        )
+        b = bootstrap_truths(
+            CRH, synthetic_dataset.claims, num_resamples=30, random_state=5
+        )
+        np.testing.assert_array_equal(a.lower, b.lower)
+
+    def test_more_users_narrower_intervals(self):
+        from repro.datasets.synthetic import generate_synthetic
+
+        small = generate_synthetic(num_users=15, num_objects=10, random_state=1)
+        large = generate_synthetic(num_users=150, num_objects=10, random_state=1)
+        w_small = bootstrap_truths(
+            CRH, small.claims, num_resamples=80, random_state=2
+        ).width.mean()
+        w_large = bootstrap_truths(
+            CRH, large.claims, num_resamples=80, random_state=2
+        ).width.mean()
+        assert w_large < w_small
+
+    def test_perturbation_widens_intervals(self, synthetic_dataset):
+        from repro.privacy.mechanisms import ExponentialVarianceGaussianMechanism
+
+        clean = bootstrap_truths(
+            CRH, synthetic_dataset.claims, num_resamples=80, random_state=3
+        )
+        perturbed_claims = ExponentialVarianceGaussianMechanism(0.5).perturb(
+            synthetic_dataset.claims, random_state=4
+        ).perturbed
+        noisy = bootstrap_truths(
+            CRH, perturbed_claims, num_resamples=80, random_state=3
+        )
+        assert noisy.width.mean() > clean.width.mean()
+
+    def test_standard_errors_positive(self, synthetic_dataset):
+        intervals = bootstrap_truths(
+            CRH, synthetic_dataset.claims, num_resamples=30, random_state=0
+        )
+        assert (intervals.standard_errors() > 0).all()
+
+    def test_contains_shape_validated(self, synthetic_dataset):
+        intervals = bootstrap_truths(
+            CRH, synthetic_dataset.claims, num_resamples=20, random_state=0
+        )
+        with pytest.raises(ValueError):
+            intervals.contains(np.zeros(3))
+
+    def test_samples_shape(self, synthetic_dataset):
+        intervals = bootstrap_truths(
+            CRH, synthetic_dataset.claims, num_resamples=25, random_state=0
+        )
+        assert intervals.samples.shape == (25, synthetic_dataset.num_objects)
+
+    def test_validation(self, synthetic_dataset):
+        with pytest.raises(ValueError):
+            bootstrap_truths(CRH, synthetic_dataset.claims, num_resamples=5)
+        with pytest.raises(ValueError):
+            bootstrap_truths(
+                CRH, synthetic_dataset.claims, num_resamples=20, confidence=1.0
+            )
+
+    def test_too_sparse_matrix_raises(self):
+        # Object 1 observed by exactly one user: most resamples miss it.
+        values = np.array([[1.0, 5.0], [2.0, 0.0], [1.5, 0.0]])
+        mask = np.array([[True, True], [True, False], [True, False]])
+        claims = ClaimMatrix(values, mask=mask)
+        # With one observer out of three users, a redraw usually succeeds
+        # eventually; force failure determinism by checking the error
+        # path only when it actually triggers.
+        try:
+            bootstrap_truths(CRH, claims, num_resamples=10, random_state=0)
+        except RuntimeError as exc:
+            assert "too sparse" in str(exc)

@@ -1,0 +1,120 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ensure_1d,
+    ensure_2d,
+    ensure_finite,
+    ensure_in_range,
+    ensure_int,
+    ensure_positive,
+    ensure_probability,
+    ensure_same_shape,
+)
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            ensure_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert ensure_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_positive(float("inf"), "x")
+
+
+class TestEnsureProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert ensure_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            ensure_probability(value, "p")
+
+
+class TestEnsureInRange:
+    def test_inclusive_bounds(self):
+        assert ensure_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert ensure_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError, match="must be > 1"):
+            ensure_in_range(1.0, "x", 1.0, 2.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError, match="must be < 2"):
+            ensure_in_range(2.0, "x", 1.0, 2.0, high_inclusive=False)
+
+    def test_no_bounds_accepts_anything_finite(self):
+        assert ensure_in_range(-1e9, "x") == -1e9
+
+
+class TestEnsureInt:
+    def test_accepts_int(self):
+        assert ensure_int(5, "n") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert ensure_int(np.int32(4), "n") == 4
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ensure_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            ensure_int(5.0, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ensure_int(0, "n", minimum=1)
+
+
+class TestArrayValidators:
+    def test_ensure_1d(self):
+        out = ensure_1d([1, 2, 3], "v")
+        assert out.shape == (3,)
+
+    def test_ensure_1d_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            ensure_1d(np.zeros((2, 2)), "v")
+
+    def test_ensure_2d(self):
+        out = ensure_2d([[1, 2], [3, 4]], "m")
+        assert out.shape == (2, 2)
+
+    def test_ensure_2d_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            ensure_2d([1, 2], "m")
+
+    def test_ensure_same_shape_passes(self):
+        ensure_same_shape(np.zeros(3), np.ones(3), "a/b")
+
+    def test_ensure_same_shape_fails(self):
+        with pytest.raises(ValueError, match="matching shapes"):
+            ensure_same_shape(np.zeros(3), np.ones(4), "a/b")
+
+    def test_ensure_finite_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_finite(np.array([1.0, np.nan]), "v")
+
+    def test_ensure_finite_passes(self):
+        out = ensure_finite(np.array([1.0, 2.0]), "v")
+        assert out.tolist() == [1.0, 2.0]
