@@ -1,0 +1,51 @@
+"""Ingestion-service throughput — the ISSUE-1 acceptance benchmark.
+
+Measures the service's bulk columnar path and per-submission path
+against the classic per-message ``AggregationServer``, plus the
+streaming-vs-batch agreement RMSE, and persists the summary as
+``results/BENCH_service.json``.
+
+Targets (single process, 4 shards):
+
+* bulk path >= 100k claims/sec;
+* bulk path >= 10x the per-message baseline;
+* streaming truths within 1e-3 RMSE of a full CRH refit on the same
+  dense data.
+
+Run directly (the file name keeps it out of the default tier-1
+collection):  ``PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py -s``
+"""
+
+import json
+from pathlib import Path
+
+from repro.service.bench import format_summary, run_service_bench
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def test_service_throughput(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_service_bench(),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_service.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(format_summary(report))
+
+    assert report["bulk"]["claims_per_sec"] >= 100_000, (
+        f"bulk ingestion too slow: "
+        f"{report['bulk']['claims_per_sec']:,.0f} claims/s"
+    )
+    assert report["speedup_bulk_vs_baseline"] >= 10.0, (
+        f"bulk path only {report['speedup_bulk_vs_baseline']:.1f}x "
+        f"the per-message baseline"
+    )
+    assert report["streaming_vs_batch_rmse"] <= 1e-3, (
+        f"streaming diverged from batch CRH: "
+        f"RMSE {report['streaming_vs_batch_rmse']:.2e}"
+    )

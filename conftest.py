@@ -1,0 +1,40 @@
+"""Repo-level pytest configuration.
+
+Registers the ``slow`` marker and gates it behind ``--runslow`` (or
+``REPRO_RUN_SLOW=1``) so the tier-1 suite stays fast: heavy service /
+throughput tests opt in with ``@pytest.mark.slow`` and are skipped by
+default.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked 'slow' (heavy service/throughput tests)",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: heavy test, skipped unless --runslow or REPRO_RUN_SLOW=1",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if config.getoption("--runslow") or os.environ.get("REPRO_RUN_SLOW") == "1":
+        return
+    skip_slow = pytest.mark.skip(
+        reason="slow test: pass --runslow (or set REPRO_RUN_SLOW=1)"
+    )
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

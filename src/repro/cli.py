@@ -5,7 +5,10 @@ Subcommands
 * ``list`` — show available experiments;
 * ``run NAME [--profile quick|full] [--seed N] [--markdown]`` — run one
   experiment and print its tables/charts;
-* ``all [--profile ...]`` — run every experiment in sequence.
+* ``all [--profile ...]`` — run every experiment in sequence;
+* ``service-bench [--claims N] [--shards N] [--json PATH]`` — benchmark
+  the high-throughput claim-ingestion service against the per-message
+  server baseline.
 """
 
 from __future__ import annotations
@@ -40,6 +43,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     all_p = sub.add_parser("all", help="run every experiment")
     _add_run_options(all_p)
+
+    bench_p = sub.add_parser(
+        "service-bench",
+        help="benchmark the claim-ingestion service vs the classic server",
+    )
+    bench_p.add_argument(
+        "--claims",
+        type=int,
+        default=400_000,
+        help="claims through the bulk columnar path (default 400k)",
+    )
+    bench_p.add_argument(
+        "--submission-claims",
+        type=int,
+        default=80_000,
+        help="claims through the per-submission path (default 80k)",
+    )
+    bench_p.add_argument(
+        "--baseline-claims",
+        type=int,
+        default=20_000,
+        help="claims through the per-message baseline (default 20k)",
+    )
+    bench_p.add_argument(
+        "--shards", type=int, default=4, help="service shard count"
+    )
+    bench_p.add_argument(
+        "--batch", type=int, default=2048, help="micro-batch size in claims"
+    )
+    bench_p.add_argument(
+        "--seed", type=int, default=2020, help="load-generator seed"
+    )
+    bench_p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full summary as JSON to this path",
+    )
 
     show_p = sub.add_parser("show", help="render a previously saved result")
     show_p.add_argument("name", help="figure id saved in the store")
@@ -114,6 +155,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _maybe_save(result, args.save)
             _print_result(result, args.markdown)
             print()
+        return 0
+
+    if args.command == "service-bench":
+        import json
+
+        from repro.service.bench import format_summary, run_service_bench
+
+        report = run_service_bench(
+            total_claims=args.claims,
+            submission_claims=args.submission_claims,
+            baseline_claims=args.baseline_claims,
+            num_shards=args.shards,
+            max_batch=args.batch,
+            seed=args.seed,
+        )
+        print(format_summary(report))
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json}", file=sys.stderr)
         return 0
 
     if args.command == "show":

@@ -15,7 +15,10 @@ transport, so protocol-level tests are exact.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.service.ingest import IngestService
 
 from repro.crowdsensing.campaign import CampaignReport, CampaignSpec
 from repro.crowdsensing.device import UserDevice
@@ -47,6 +50,7 @@ def run_campaign(
     fault_model: FaultModel = RELIABLE,
     transport: Optional[InProcessTransport] = None,
     random_state: RandomState = None,
+    service: Optional["IngestService"] = None,
 ) -> CampaignReport:
     """Run one campaign end to end and return its report.
 
@@ -61,12 +65,16 @@ def run_campaign(
     transport:
         Supply an existing transport to chain multiple campaigns over
         one network (stats accumulate); default builds a fresh one.
+    service:
+        Optional ingestion service; when given, the server delegates
+        campaign storage and aggregation to its sharded micro-batching
+        pipeline (``repro.service``) instead of the in-memory path.
     """
     if transport is None:
         transport = InProcessTransport(
             fault_model=fault_model, random_state=random_state
         )
-    server = AggregationServer(transport)
+    server = AggregationServer(transport, service=service)
 
     user_ids = [d.user_id for d in devices]
     assignments_sent = server.announce_campaign(spec, user_ids)

@@ -5,11 +5,26 @@ It assigns tasks, collects submissions until the campaign deadline, runs
 truth discovery on whatever arrived, and publishes the aggregate.  It
 never sees noise variances or original values — by construction, those
 fields do not exist in the message schema.
+
+Two storage/aggregation backends share the protocol logic:
+
+* the classic in-memory path files submissions per campaign and fits the
+  configured method once at finalise (claim assembly is vectorised via
+  :meth:`ClaimMatrix.from_submissions`);
+* when constructed with ``service=``, campaigns are delegated to a
+  :class:`repro.service.ingest.IngestService` — submissions stream into
+  sharded columnar micro-batches and finalise reads an incremental
+  snapshot instead of refitting (see ``repro.service.adapter``).
+
+Campaigns are *closed* by finalise: submissions that arrive afterwards
+(stragglers, duplicates, replays) are counted and logged per campaign
+rather than silently dropped, so late traffic is observable under load
+via :attr:`AggregationServer.late_submission_counts`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -24,14 +39,34 @@ from repro.truthdiscovery.claims import ClaimMatrix
 from repro.truthdiscovery.registry import create_method
 from repro.utils.logging import get_logger
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.service.ingest import IngestService
+
 _LOGGER = get_logger("crowdsensing.server")
 
 
 class AggregationServer:
-    """Server-side of the crowd sensing protocol."""
+    """Server-side of the crowd sensing protocol.
+
+    Parameters
+    ----------
+    transport:
+        The message transport to announce/collect over.
+    node_id:
+        Transport identity; must keep the ``server`` prefix so the
+        transport can audit user-to-user traffic.
+    service:
+        Optional :class:`~repro.service.ingest.IngestService`; when
+        given, campaign storage and aggregation run on the sharded
+        micro-batching pipeline instead of in-memory lists.
+    """
 
     def __init__(
-        self, transport: InProcessTransport, *, node_id: str = "server"
+        self,
+        transport: InProcessTransport,
+        *,
+        node_id: str = "server",
+        service: Optional["IngestService"] = None,
     ) -> None:
         if not node_id.startswith("server"):
             raise ValueError(
@@ -41,13 +76,42 @@ class AggregationServer:
         self.node_id = node_id
         self._transport = transport
         self._submissions: dict[str, list[ClaimSubmission]] = {}
+        self._closed: set[str] = set()
+        self._late_counts: dict[str, int] = {}
+        self._unknown_counts: dict[str, int] = {}
+        self._adapter = None
+        if service is not None:
+            from repro.service.adapter import ServiceCampaignAdapter
+
+            self._adapter = ServiceCampaignAdapter(service)
 
     # ------------------------------------------------------------------
+    @property
+    def uses_service(self) -> bool:
+        """True when campaigns run on the ingestion-service backend."""
+        return self._adapter is not None
+
+    @property
+    def late_submission_counts(self) -> dict[str, int]:
+        """Per-campaign submissions that arrived after finalise closed it."""
+        return dict(self._late_counts)
+
+    @property
+    def unknown_submission_counts(self) -> dict[str, int]:
+        """Submissions received for campaigns never announced here."""
+        return dict(self._unknown_counts)
+
     def announce_campaign(
         self, spec: CampaignSpec, user_ids: list[str]
     ) -> int:
         """Send the task assignment to every user; returns the send count."""
         self._submissions[spec.campaign_id] = []
+        self._closed.discard(spec.campaign_id)
+        # A fresh round starts with a clean late-arrival counter;
+        # round N's stragglers must not show up against round N+1.
+        self._late_counts.pop(spec.campaign_id, None)
+        if self._adapter is not None:
+            self._adapter.register(spec, user_ids)
         assignment = TaskAssignment(
             campaign_id=spec.campaign_id,
             object_ids=tuple(spec.object_ids),
@@ -63,23 +127,62 @@ class AggregationServer:
         )
         return sent
 
-    def collect(self) -> int:
-        """Drain the server inbox, filing submissions; returns the count."""
-        count = 0
+    def collect(self) -> dict[str, int]:
+        """Drain the server inbox, filing submissions.
+
+        Returns the number of accepted submissions per campaign.  Late
+        submissions (for campaigns already finalised) and submissions
+        for unknown campaigns are logged and counted — never silently
+        dropped — but excluded from the returned counts.
+        """
+        counts: dict[str, int] = {}
         for message in self._transport.receive(self.node_id):
-            if isinstance(message, ClaimSubmission):
-                bucket = self._submissions.get(message.campaign_id)
-                if bucket is None:
-                    _LOGGER.warning(
-                        "submission for unknown campaign %s ignored",
-                        message.campaign_id,
-                    )
+            if not isinstance(message, ClaimSubmission):
+                continue
+            campaign_id = message.campaign_id
+            if campaign_id in self._closed:
+                self._late_counts[campaign_id] = (
+                    self._late_counts.get(campaign_id, 0) + 1
+                )
+                _LOGGER.warning(
+                    "late submission from %s for closed campaign %s "
+                    "(%d late so far)",
+                    message.user_id,
+                    campaign_id,
+                    self._late_counts[campaign_id],
+                )
+                continue
+            bucket = self._submissions.get(campaign_id)
+            if bucket is None:
+                self._unknown_counts[campaign_id] = (
+                    self._unknown_counts.get(campaign_id, 0) + 1
+                )
+                _LOGGER.warning(
+                    "submission for unknown campaign %s ignored",
+                    campaign_id,
+                )
+                continue
+            if self._adapter is not None:
+                result = self._adapter.offer(message)
+                if not result.ok:
                     continue
+            else:
                 bucket.append(message)
-                count += 1
-        return count
+            counts[campaign_id] = counts.get(campaign_id, 0) + 1
+        return counts
 
     def submissions_for(self, campaign_id: str) -> list[ClaimSubmission]:
+        """Submissions filed for a campaign (classic backend only).
+
+        The service backend streams submissions into columnar batches
+        and does not retain message bodies; failing loudly beats
+        silently reporting an empty inbox.
+        """
+        if self._adapter is not None:
+            raise RuntimeError(
+                "submission bodies are not retained on the service "
+                "backend; inspect the service's snapshots/stats instead"
+            )
         return list(self._submissions.get(campaign_id, []))
 
     # ------------------------------------------------------------------
@@ -91,54 +194,61 @@ class AggregationServer:
         announce: bool = True,
     ) -> CampaignReport:
         """Aggregate the collected submissions for ``spec`` (Algorithm 2
-        line 6) and optionally publish the result."""
-        submissions = self._submissions.get(spec.campaign_id, [])
-        # Deduplicate by user (keep the last submission, e.g. a retry).
-        latest: dict[str, ClaimSubmission] = {}
-        for sub in submissions:
-            latest[sub.user_id] = sub
-        contributors = tuple(sorted(latest))
+        line 6), close the campaign, and optionally publish the result."""
+        if self._adapter is not None:
+            truths, weights, contributors = self._adapter.finalise(spec)
+            num_received = len(contributors)
+        else:
+            submissions = self._submissions.get(spec.campaign_id, [])
+            # Deduplicate by user (keep the last submission, e.g. a retry).
+            latest: dict[str, ClaimSubmission] = {}
+            for sub in submissions:
+                latest[sub.user_id] = sub
+            contributors = tuple(sorted(latest))
+            num_received = len(latest)
 
-        truths: Optional[np.ndarray] = None
-        weights: Optional[np.ndarray] = None
-        if len(latest) >= spec.min_contributors:
-            records = [
-                (sub.user_id, obj, val)
-                for sub in latest.values()
-                for obj, val in zip(sub.object_ids, sub.values)
-            ]
-            claims = ClaimMatrix.from_records(
-                records,
-                user_ids=contributors,
-                object_ids=spec.object_ids,
-            )
-            method = create_method(spec.method)
-            result = method.fit(claims)
-            truths = result.truths
-            weights = result.weights
+            truths = weights = None
+            if num_received >= spec.min_contributors:
+                claims = ClaimMatrix.from_submissions(
+                    (latest[user] for user in contributors),
+                    user_ids=contributors,
+                    object_ids=spec.object_ids,
+                )
+                method = create_method(spec.method)
+                result = method.fit(claims)
+                truths = result.truths
+                weights = result.weights
+
+        self._closed.add(spec.campaign_id)
+        if truths is not None:
             if announce:
                 announcement = AggregateAnnouncement(
                     campaign_id=spec.campaign_id,
                     object_ids=tuple(spec.object_ids),
                     truths=tuple(float(t) for t in truths),
-                    num_contributors=len(latest),
+                    num_contributors=num_received,
                 )
                 for user_id in contributors:
                     self._transport.send(self.node_id, user_id, announcement)
-        else:
+        elif num_received < spec.min_contributors:
             _LOGGER.warning(
                 "campaign %s failed: %d contributors < %d required",
                 spec.campaign_id,
-                len(latest),
+                num_received,
                 spec.min_contributors,
             )
+        else:
+            # Quorum was met but the backend still withheld the result
+            # (service path: incomplete object coverage — the adapter
+            # already logged the specific cause).
+            _LOGGER.warning("campaign %s failed", spec.campaign_id)
 
         return CampaignReport(
             spec=spec,
             truths=truths,
             weights=weights,
             contributors=contributors,
-            submissions_received=len(latest),
+            submissions_received=num_received,
             assignments_sent=assignments_sent,
             completed_at=self._transport.now,
             messages_total=self._transport.stats.sent,

@@ -1,0 +1,66 @@
+"""High-throughput claim-ingestion service (serving-layer subsystem).
+
+The paper's protocol assumes a cloud server absorbing perturbed claims
+from large crowds; this package is that server's serving layer, built
+for rate rather than for protocol fidelity (which lives in
+``repro.crowdsensing``):
+
+* :class:`IngestService` — the front door: validation, privacy-budget
+  admission (:class:`BudgetLedger`), campaign sharding
+  (:func:`shard_for`), bounded queues with reject/drop-oldest overflow
+  policies;
+* :class:`MicroBatcher` — columnar micro-batches: accepted claims live
+  in NumPy index/value arrays, never per-claim Python objects;
+* :class:`StreamingAggregator` / :class:`FullRefitAggregator` —
+  incremental truth discovery per campaign, streaming CRH for large
+  campaigns with a pluggable full-refit fallback;
+* :class:`TruthSnapshot` — immutable read-side truth/weight views,
+  queryable at any time mid-stream;
+* :class:`ServiceCampaignAdapter` — runs the existing crowdsensing
+  protocol on top of the service;
+* :class:`LoadGenerator` and :func:`run_service_bench` — synthetic
+  traffic and the throughput benchmark behind ``repro service-bench``.
+"""
+
+from repro.service.aggregator import (
+    FullRefitAggregator,
+    IncrementalAggregator,
+    StreamingAggregator,
+    make_aggregator,
+)
+from repro.service.adapter import ServiceCampaignAdapter
+from repro.service.batcher import MicroBatcher
+from repro.service.bench import run_service_bench, streaming_agreement_rmse
+from repro.service.ingest import (
+    IngestResult,
+    IngestService,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.service.ledger import AdmissionDecision, BudgetLedger
+from repro.service.loadgen import ColumnChunk, LoadGenerator
+from repro.service.shard import CampaignState, Shard, shard_for
+from repro.service.snapshot import TruthSnapshot
+
+__all__ = [
+    "AdmissionDecision",
+    "BudgetLedger",
+    "CampaignState",
+    "ColumnChunk",
+    "FullRefitAggregator",
+    "IncrementalAggregator",
+    "IngestResult",
+    "IngestService",
+    "LoadGenerator",
+    "MicroBatcher",
+    "ServiceCampaignAdapter",
+    "ServiceConfig",
+    "ServiceStats",
+    "Shard",
+    "StreamingAggregator",
+    "TruthSnapshot",
+    "make_aggregator",
+    "run_service_bench",
+    "shard_for",
+    "streaming_agreement_rmse",
+]

@@ -1,0 +1,113 @@
+"""Bridge between the crowdsensing protocol layer and the service.
+
+:class:`ServiceCampaignAdapter` lets the existing
+:class:`~repro.crowdsensing.server.AggregationServer` delegate its
+storage and aggregation to an :class:`~repro.service.ingest.IngestService`
+without changing the protocol: ``announce_campaign`` registers the
+campaign on its shard, every collected submission is offered to the
+service instead of being filed in a Python list, and ``finalise`` reads
+a :class:`~repro.service.snapshot.TruthSnapshot` instead of refitting
+from scratch.
+
+Semantics differ from the classic in-memory path in one documented way:
+the service aggregates *streams*, so a user's retried submission counts
+as additional evidence rather than replacing the original (the classic
+path keeps only the last submission per user).  Campaigns that need
+exactly-once semantics should keep the classic path or deduplicate
+upstream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.crowdsensing.campaign import CampaignSpec
+from repro.crowdsensing.messages import ClaimSubmission
+from repro.service.ingest import IngestResult, IngestService
+from repro.service.snapshot import TruthSnapshot
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("service.adapter")
+
+
+class ServiceCampaignAdapter:
+    """Runs crowdsensing campaigns on top of an ingestion service."""
+
+    def __init__(self, service: IngestService) -> None:
+        self._service = service
+
+    @property
+    def service(self) -> IngestService:
+        return self._service
+
+    # ------------------------------------------------------------------
+    def register(
+        self, spec: CampaignSpec, user_ids: Sequence[str]
+    ) -> None:
+        """Create service-side state for an announced campaign.
+
+        Re-announcing a known campaign starts a fresh round: the old
+        aggregator state is discarded, matching the classic server,
+        whose ``announce_campaign`` resets the submission bucket.
+        """
+        if self._service.has_campaign(spec.campaign_id):
+            self._service.unregister_campaign(spec.campaign_id)
+        self._service.register_campaign(
+            spec.campaign_id,
+            spec.object_ids,
+            max_users=max(len(user_ids), 1),
+            user_ids=tuple(user_ids),
+            method=spec.method,
+        )
+
+    def offer(self, submission: ClaimSubmission) -> IngestResult:
+        """Feed one collected submission into the service."""
+        result = self._service.submit(submission)
+        if not result.ok:
+            _LOGGER.warning(
+                "service rejected submission from %s for %s: %s",
+                submission.user_id,
+                submission.campaign_id,
+                result.reason,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def finalise(
+        self, spec: CampaignSpec
+    ) -> tuple[Optional[np.ndarray], Optional[np.ndarray], tuple]:
+        """Flush the campaign and return (truths, weights, contributors).
+
+        Truths/weights are ``None`` when fewer than
+        ``spec.min_contributors`` distinct users contributed claims —
+        the same quorum rule the classic path applies.  A campaign that
+        was never announced finalises as failed (empty contributor
+        set), matching the classic path's empty-bucket behaviour.
+        """
+        if not self._service.has_campaign(spec.campaign_id):
+            return None, None, ()
+        snapshot = self._service.snapshot(spec.campaign_id)
+        contributors = tuple(sorted(snapshot.weights_by_user))
+        if len(contributors) < spec.min_contributors:
+            return None, None, contributors
+        if not snapshot.seen_objects.all():
+            # The classic path fails loudly when an object has no
+            # claims; the service path must not publish the aggregator's
+            # 0.0 placeholders as truths either.  Fail the campaign.
+            _LOGGER.warning(
+                "campaign %s failed: %d of %d objects received no claims",
+                spec.campaign_id,
+                int((~snapshot.seen_objects).sum()),
+                len(spec.object_ids),
+            )
+            return None, None, contributors
+        weights = np.array(
+            [snapshot.weights_by_user[u] for u in contributors], dtype=float
+        )
+        return snapshot.truths.copy(), weights, contributors
+
+    def snapshot(self, campaign_id: str) -> TruthSnapshot:
+        """Live mid-campaign view (what the classic path cannot offer)."""
+        return self._service.snapshot(campaign_id)

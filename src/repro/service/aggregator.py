@@ -1,0 +1,288 @@
+"""Incremental aggregation backends for the ingestion service.
+
+Two interchangeable backends sit behind every campaign:
+
+* :class:`StreamingAggregator` — wraps
+  :class:`~repro.truthdiscovery.streaming.StreamingCRH`.  Micro-batches
+  are appended to cheap columnar staging arrays; the O(S x N) refinement
+  sweeps only run once ``refine_every`` claims have accumulated (or a
+  reader asks for fresh truths), which keeps per-batch cost near the
+  cost of a memcpy while bounding staleness.
+* :class:`FullRefitAggregator` — retains all claims columnarly and
+  refits a registered batch method (CRH, GTM, ...) from scratch, lazily
+  and only when the result is actually read.  The right choice for
+  small campaigns, where a full refit is cheaper than maintaining
+  streaming statistics, and for methods with no streaming counterpart.
+
+Both expose the same surface (``ingest`` / ``truths`` / ``weights`` /
+counters), so shards treat them uniformly; :func:`make_aggregator`
+picks a backend from the campaign's size.
+
+Semantics note: the streaming backend applies its decay once per
+``refine_every`` ingested claims — not per micro-batch, and not on
+read-forced refreshes, so polling a campaign cannot change its
+forgetting rate — and counts duplicate (user, object) claims as
+repeated evidence; the full-refit backend keeps the last
+claim per (user, object), matching ``ClaimMatrix.from_records``.  With
+``decay=1.0`` and duplicate-free dense input the two agree to within
+iteration tolerance (asserted by the service benchmark).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.registry import create_method
+from repro.truthdiscovery.streaming import ClaimBatch, StreamingCRH
+from repro.utils.validation import ensure_int
+
+
+class IncrementalAggregator(ABC):
+    """Common surface of the per-campaign aggregation backends."""
+
+    def __init__(self, num_users: int, num_objects: int) -> None:
+        self._num_users = ensure_int(num_users, "num_users", minimum=1)
+        self._num_objects = ensure_int(num_objects, "num_objects", minimum=1)
+        self.claims_ingested = 0
+        self.batches_ingested = 0
+
+    @property
+    def num_users(self) -> int:
+        return self._num_users
+
+    @property
+    def num_objects(self) -> int:
+        return self._num_objects
+
+    @abstractmethod
+    def ingest(self, batch: ClaimBatch) -> None:
+        """Absorb one micro-batch (cheap; heavy work may be deferred)."""
+
+    @abstractmethod
+    def refresh(self) -> None:
+        """Force deferred work so ``truths``/``weights`` are current."""
+
+    @abstractmethod
+    def truths(self) -> np.ndarray:
+        """Current ``(N,)`` truths (0.0 for never-seen objects)."""
+
+    @abstractmethod
+    def weights(self) -> np.ndarray:
+        """Current ``(S,)`` user weights (1.0 for silent users)."""
+
+    @abstractmethod
+    def seen_objects(self) -> np.ndarray:
+        """``(N,)`` mask of objects with at least one ingested claim."""
+
+
+class StreamingAggregator(IncrementalAggregator):
+    """StreamingCRH behind a staging buffer with deferred refinement.
+
+    Parameters
+    ----------
+    decay:
+        Exponential forgetting per refinement (1.0 = never forget).
+    refine_sweeps:
+        CRH sweeps per refinement; raise it when truths must track the
+        batch fixed point closely (see the service benchmark).
+    refine_every:
+        Staged claims that trigger a refinement.  Larger values trade
+        read staleness for throughput.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_objects: int,
+        *,
+        decay: float = 1.0,
+        refine_sweeps: int = 2,
+        refine_every: int = 8192,
+    ) -> None:
+        super().__init__(num_users, num_objects)
+        self._crh = StreamingCRH(
+            num_users,
+            num_objects,
+            decay=decay,
+            refine_sweeps=refine_sweeps,
+        )
+        self._refine_every = ensure_int(refine_every, "refine_every", minimum=1)
+        self._staged: list[ClaimBatch] = []
+        self._staged_claims = 0
+        # Decay is scheduled by claim count, not by refinement count:
+        # read-forced refreshes fold claims without forgetting, so how
+        # often a campaign is polled cannot change its decay rate.
+        self._claims_since_decay = 0
+
+    def ingest(self, batch: ClaimBatch) -> None:
+        self._staged.append(batch)
+        self._staged_claims += batch.size
+        self._claims_since_decay += batch.size
+        self.claims_ingested += batch.size
+        self.batches_ingested += 1
+        if self._staged_claims >= self._refine_every:
+            self.refresh()
+
+    def refresh(self) -> None:
+        if not self._staged:
+            return
+        if len(self._staged) == 1:
+            merged = self._staged[0]
+        else:
+            merged = ClaimBatch(
+                users=np.concatenate([b.users for b in self._staged]),
+                objects=np.concatenate([b.objects for b in self._staged]),
+                values=np.concatenate([b.values for b in self._staged]),
+            )
+        self._staged.clear()
+        self._staged_claims = 0
+        # One forgetting step per full refine_every window of claims —
+        # a refresh covering several windows' worth applies decay**k.
+        steps = self._claims_since_decay // self._refine_every
+        self._claims_since_decay -= steps * self._refine_every
+        self._crh.ingest(merged, decay_steps=steps)
+
+    def truths(self) -> np.ndarray:
+        self.refresh()
+        return self._crh.truths
+
+    def weights(self) -> np.ndarray:
+        self.refresh()
+        return self._crh.weights
+
+    def seen_objects(self) -> np.ndarray:
+        self.refresh()
+        return self._crh.seen_objects
+
+
+class FullRefitAggregator(IncrementalAggregator):
+    """Retain all claims, refit a batch method lazily on read.
+
+    Parameters
+    ----------
+    method:
+        Registry name of the batch method to refit ("crh", "gtm", ...).
+    method_kwargs:
+        Forwarded to the registry factory on every refit.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_objects: int,
+        *,
+        method: str = "crh",
+        **method_kwargs,
+    ) -> None:
+        super().__init__(num_users, num_objects)
+        self._method = method
+        self._method_kwargs = dict(method_kwargs)
+        self._users: list[np.ndarray] = []
+        self._objects: list[np.ndarray] = []
+        self._values: list[np.ndarray] = []
+        self._dirty = False
+        self._truths = np.zeros(num_objects)
+        self._weights = np.ones(num_users)
+        self._seen = np.zeros(num_objects, dtype=bool)
+
+    def ingest(self, batch: ClaimBatch) -> None:
+        self._users.append(batch.users)
+        self._objects.append(batch.objects)
+        self._values.append(batch.values)
+        self.claims_ingested += batch.size
+        self.batches_ingested += 1
+        self._dirty = True
+
+    def refresh(self) -> None:
+        if not self._dirty:
+            return
+        users = np.concatenate(self._users)
+        objects = np.concatenate(self._objects)
+        values = np.concatenate(self._values)
+        # Refit on the active sub-rectangle only: silent users and unseen
+        # objects would violate ClaimMatrix's coverage invariant.
+        active_users = np.unique(users)
+        seen_objects = np.unique(objects)
+        claims = ClaimMatrix.from_columns(
+            np.searchsorted(active_users, users),
+            np.searchsorted(seen_objects, objects),
+            values,
+            user_ids=tuple(int(u) for u in active_users),
+            object_ids=tuple(int(o) for o in seen_objects),
+        )
+        result = create_method(self._method, **self._method_kwargs).fit(claims)
+        self._truths = np.zeros(self._num_objects)
+        self._truths[seen_objects] = result.truths
+        self._weights = np.ones(self._num_users)
+        self._weights[active_users] = result.weights
+        self._seen = np.zeros(self._num_objects, dtype=bool)
+        self._seen[seen_objects] = True
+        self._dirty = False
+
+    def truths(self) -> np.ndarray:
+        self.refresh()
+        return self._truths.copy()
+
+    def weights(self) -> np.ndarray:
+        self.refresh()
+        return self._weights.copy()
+
+    def seen_objects(self) -> np.ndarray:
+        self.refresh()
+        return self._seen.copy()
+
+
+def make_aggregator(
+    num_users: int,
+    num_objects: int,
+    *,
+    kind: str = "auto",
+    method: str = "crh",
+    decay: float = 1.0,
+    refine_sweeps: int = 2,
+    refine_every: int = 8192,
+    full_refit_max_cells: int = 4096,
+    **method_kwargs,
+) -> IncrementalAggregator:
+    """Build an aggregation backend for one campaign.
+
+    ``kind`` is ``"streaming"``, ``"full"``, or ``"auto"`` — auto picks
+    the full-refit backend when the campaign's dense state (S x N cells)
+    is at most ``full_refit_max_cells``, and streaming otherwise.  Any
+    non-CRH ``method`` forces the full-refit backend (StreamingCRH has
+    no GTM/CATD counterpart).  ``decay < 1`` forces the streaming
+    backend (and errors on ``"full"``): the full-refit backend retains
+    every claim forever and silently ignoring the configured forgetting
+    rate would make two same-config campaigns diverge by size alone.
+    """
+    if kind not in ("auto", "streaming", "full"):
+        raise ValueError(f"unknown aggregator kind {kind!r}")
+    if kind == "auto":
+        small = num_users * num_objects <= full_refit_max_cells
+        if decay < 1.0:
+            kind = "streaming"
+        else:
+            kind = "full" if (small or method != "crh") else "streaming"
+    if kind == "full":
+        if decay < 1.0:
+            raise ValueError(
+                "the full-refit backend cannot forget (decay < 1 "
+                "requires the streaming backend)"
+            )
+        return FullRefitAggregator(
+            num_users, num_objects, method=method, **method_kwargs
+        )
+    if method != "crh":
+        raise ValueError(
+            f"streaming backend only supports 'crh', got {method!r}"
+        )
+    return StreamingAggregator(
+        num_users,
+        num_objects,
+        decay=decay,
+        refine_sweeps=refine_sweeps,
+        refine_every=refine_every,
+    )

@@ -1,0 +1,339 @@
+"""Throughput/latency measurement harness for the ingestion service.
+
+Shared by the ``repro service-bench`` CLI subcommand and
+``benchmarks/bench_service_throughput.py``.  Three measured paths:
+
+* **bulk** — pre-resolved columnar chunks through
+  ``IngestService.submit_columns`` (the gateway hot path);
+* **submissions** — protocol-shaped ``ClaimSubmission`` objects through
+  ``IngestService.submit`` (the crowdsensing adapter path);
+* **baseline** — the classic per-message ``AggregationServer``:
+  JSON-serialised transport, per-object submission lists, one full
+  truth-discovery fit at finalise.
+
+Traffic is materialised before the clock starts, so the numbers measure
+ingestion and aggregation only.  The harness also runs a dense
+streaming-vs-batch agreement check (RMSE between the service's
+incremental truths and a from-scratch CRH refit on identical claims).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.crowdsensing.campaign import CampaignSpec
+from repro.crowdsensing.server import AggregationServer
+from repro.crowdsensing.transport import InProcessTransport
+from repro.service.ingest import IngestService, ServiceConfig
+from repro.service.loadgen import LoadGenerator
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.crh import CRH
+
+
+def _percentile_ms(latencies: np.ndarray, q: float) -> float:
+    if latencies.size == 0:
+        return 0.0
+    return float(np.percentile(latencies, q) * 1e3)
+
+
+def _bench_bulk(
+    *,
+    total_claims: int,
+    num_campaigns: int,
+    users_per_campaign: int,
+    objects_per_campaign: int,
+    num_shards: int,
+    max_batch: int,
+    chunk_size: int,
+    seed: int,
+) -> dict:
+    config = ServiceConfig(num_shards=num_shards, max_batch=max_batch)
+    service = IngestService(config)
+    chunks = []
+    per_campaign = max(total_claims // num_campaigns, 1)
+    for c in range(num_campaigns):
+        gen = LoadGenerator(
+            f"bulk-c{c}",
+            num_users=users_per_campaign,
+            num_objects=objects_per_campaign,
+            random_state=seed + c,
+        )
+        service.register_campaign(
+            gen.campaign_id,
+            gen.object_ids,
+            max_users=users_per_campaign,
+            user_ids=gen.user_ids,
+        )
+        chunks.extend(gen.column_chunks(per_campaign, chunk_size=chunk_size))
+
+    start = time.perf_counter()
+    for i, chunk in enumerate(chunks):
+        service.submit_columns(
+            chunk.campaign_id, chunk.user_slots, chunk.object_slots,
+            chunk.values,
+        )
+        if i % 16 == 15:
+            service.pump()
+    service.flush()
+    elapsed = time.perf_counter() - start
+
+    accepted = service.stats.claims_accepted
+    lats = service.batch_latencies()
+    return {
+        "claims": int(accepted),
+        "seconds": elapsed,
+        "claims_per_sec": accepted / max(elapsed, 1e-9),
+        "batches": int(lats.size),
+        "batch_latency_p50_ms": _percentile_ms(lats, 50),
+        "batch_latency_p99_ms": _percentile_ms(lats, 99),
+        "stats": service.stats.as_dict(),
+    }
+
+
+def _bench_submissions(
+    *,
+    total_claims: int,
+    users_per_campaign: int,
+    objects_per_campaign: int,
+    claims_per_submission: int,
+    num_shards: int,
+    max_batch: int,
+    seed: int,
+) -> dict:
+    config = ServiceConfig(num_shards=num_shards, max_batch=max_batch)
+    service = IngestService(config)
+    gen = LoadGenerator(
+        "subs-c0",
+        num_users=users_per_campaign,
+        num_objects=objects_per_campaign,
+        claims_per_submission=claims_per_submission,
+        random_state=seed,
+    )
+    service.register_campaign(
+        gen.campaign_id,
+        gen.object_ids,
+        max_users=users_per_campaign,
+        user_ids=gen.user_ids,
+    )
+    num_submissions = max(total_claims // claims_per_submission, 1)
+    submissions = gen.submissions(num_submissions)
+
+    start = time.perf_counter()
+    for i, sub in enumerate(submissions):
+        service.submit(sub)
+        if i % 1024 == 1023:
+            service.pump()
+    service.flush()
+    elapsed = time.perf_counter() - start
+
+    accepted = service.stats.claims_accepted
+    lats = service.batch_latencies()
+    return {
+        "claims": int(accepted),
+        "seconds": elapsed,
+        "claims_per_sec": accepted / max(elapsed, 1e-9),
+        "batches": int(lats.size),
+        "batch_latency_p50_ms": _percentile_ms(lats, 50),
+        "batch_latency_p99_ms": _percentile_ms(lats, 99),
+    }
+
+
+def _bench_baseline(
+    *,
+    total_claims: int,
+    users_per_campaign: int,
+    objects_per_campaign: int,
+    claims_per_submission: int,
+    seed: int,
+) -> dict:
+    gen = LoadGenerator(
+        "base-c0",
+        num_users=users_per_campaign,
+        num_objects=objects_per_campaign,
+        claims_per_submission=claims_per_submission,
+        random_state=seed,
+    )
+    num_submissions = max(total_claims // claims_per_submission, 1)
+    submissions = gen.submissions(num_submissions)
+    spec = CampaignSpec(
+        campaign_id=gen.campaign_id,
+        object_ids=gen.object_ids,
+        lambda2=1.0,
+        deadline=1e9,
+        min_contributors=1,
+    )
+    transport = InProcessTransport(random_state=seed)
+    server = AggregationServer(transport)
+
+    start = time.perf_counter()
+    sent = server.announce_campaign(spec, list(gen.user_ids))
+    transport.drain_until_idle()
+    for sub in submissions:
+        transport.send(sub.user_id, server.node_id, sub)
+    transport.drain_until_idle()
+    server.collect()
+    server.finalise(spec, assignments_sent=sent, announce=False)
+    elapsed = time.perf_counter() - start
+
+    claims = num_submissions * claims_per_submission
+    return {
+        "claims": int(claims),
+        "seconds": elapsed,
+        "claims_per_sec": claims / max(elapsed, 1e-9),
+    }
+
+
+def streaming_agreement_rmse(
+    *,
+    num_users: int = 60,
+    num_objects: int = 40,
+    refine_sweeps: int = 40,
+    seed: int = 2020,
+) -> float:
+    """RMSE between service streaming truths and a full CRH refit.
+
+    Uses a dense, duplicate-free round (every user claims every object
+    once) so both estimators see identical evidence, and the raw
+    squared-distance CRH whose fixed point StreamingCRH shares.
+    """
+    config = ServiceConfig(
+        num_shards=1,
+        max_batch=256,
+        refine_sweeps=refine_sweeps,
+        refine_every=10**9,  # refine once, at snapshot time
+    )
+    service = IngestService(config)
+    gen = LoadGenerator(
+        "dense-c0",
+        num_users=num_users,
+        num_objects=num_objects,
+        random_state=seed,
+    )
+    service.register_campaign(
+        gen.campaign_id,
+        gen.object_ids,
+        max_users=num_users,
+        user_ids=gen.user_ids,
+        aggregator="streaming",
+    )
+    round_subs = gen.dense_round()
+    for sub in round_subs:
+        service.submit(sub)
+    snapshot = service.snapshot(gen.campaign_id)
+
+    claims = ClaimMatrix.from_submissions(
+        round_subs, user_ids=gen.user_ids, object_ids=gen.object_ids
+    )
+    reference = CRH(distance="squared").fit(claims)
+    return float(
+        np.sqrt(np.mean((snapshot.truths - reference.truths) ** 2))
+    )
+
+
+def run_service_bench(
+    *,
+    total_claims: int = 400_000,
+    submission_claims: int = 80_000,
+    baseline_claims: int = 20_000,
+    num_shards: int = 4,
+    num_campaigns: int = 8,
+    users_per_campaign: int = 200,
+    objects_per_campaign: int = 48,
+    claims_per_submission: int = 8,
+    max_batch: int = 2048,
+    chunk_size: int = 2048,
+    seed: int = 2020,
+) -> dict:
+    """Run all measured paths and return a JSON-serialisable summary."""
+    bulk = _bench_bulk(
+        total_claims=total_claims,
+        num_campaigns=num_campaigns,
+        users_per_campaign=users_per_campaign,
+        objects_per_campaign=objects_per_campaign,
+        num_shards=num_shards,
+        max_batch=max_batch,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
+    submissions = _bench_submissions(
+        total_claims=submission_claims,
+        users_per_campaign=users_per_campaign,
+        objects_per_campaign=objects_per_campaign,
+        claims_per_submission=claims_per_submission,
+        num_shards=num_shards,
+        max_batch=max_batch,
+        seed=seed,
+    )
+    baseline = _bench_baseline(
+        total_claims=baseline_claims,
+        users_per_campaign=users_per_campaign,
+        objects_per_campaign=objects_per_campaign,
+        claims_per_submission=claims_per_submission,
+        seed=seed,
+    )
+    rmse = streaming_agreement_rmse(seed=seed)
+    return {
+        "config": {
+            "total_claims": total_claims,
+            "submission_claims": submission_claims,
+            "baseline_claims": baseline_claims,
+            "num_shards": num_shards,
+            "num_campaigns": num_campaigns,
+            "users_per_campaign": users_per_campaign,
+            "objects_per_campaign": objects_per_campaign,
+            "claims_per_submission": claims_per_submission,
+            "max_batch": max_batch,
+            "chunk_size": chunk_size,
+            "seed": seed,
+        },
+        "bulk": bulk,
+        "submissions": submissions,
+        "baseline": baseline,
+        "speedup_bulk_vs_baseline": (
+            bulk["claims_per_sec"] / max(baseline["claims_per_sec"], 1e-9)
+        ),
+        "speedup_submissions_vs_baseline": (
+            submissions["claims_per_sec"]
+            / max(baseline["claims_per_sec"], 1e-9)
+        ),
+        "streaming_vs_batch_rmse": rmse,
+    }
+
+
+def format_summary(report: dict) -> str:
+    """Human-readable rendering of :func:`run_service_bench` output."""
+    lines = [
+        "service ingestion benchmark",
+        "---------------------------",
+        (
+            f"bulk path:        {report['bulk']['claims_per_sec']:>12,.0f}"
+            f" claims/s  ({report['bulk']['claims']:,} claims, "
+            f"{report['bulk']['batches']} batches)"
+        ),
+        (
+            f"submission path:  "
+            f"{report['submissions']['claims_per_sec']:>12,.0f}"
+            f" claims/s  ({report['submissions']['claims']:,} claims)"
+        ),
+        (
+            f"baseline server:  {report['baseline']['claims_per_sec']:>12,.0f}"
+            f" claims/s  ({report['baseline']['claims']:,} claims)"
+        ),
+        (
+            f"speedup:          "
+            f"{report['speedup_bulk_vs_baseline']:.1f}x bulk, "
+            f"{report['speedup_submissions_vs_baseline']:.1f}x submissions"
+        ),
+        (
+            f"batch latency:    "
+            f"p50 {report['bulk']['batch_latency_p50_ms']:.3f} ms, "
+            f"p99 {report['bulk']['batch_latency_p99_ms']:.3f} ms"
+        ),
+        (
+            f"streaming vs batch CRH RMSE: "
+            f"{report['streaming_vs_batch_rmse']:.2e}"
+        ),
+    ]
+    return "\n".join(lines)

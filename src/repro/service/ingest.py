@@ -1,0 +1,472 @@
+"""The claim-ingestion service: validation, admission, routing, pumping.
+
+:class:`IngestService` is the front door of the high-throughput path.
+One call-flow per claim source:
+
+* ``submit(claim_submission)`` — the protocol path: one
+  :class:`~repro.crowdsensing.messages.ClaimSubmission` at a time, as
+  the crowdsensing server receives them off the wire;
+* ``submit_columns(campaign_id, user_slots, object_slots, values)`` —
+  the bulk path: aligned index/value columns, zero per-claim Python
+  objects (gateways that already decode to arrays use this).
+
+Every submission is validated (known campaign, known objects, finite
+values), admission-controlled against the optional
+:class:`~repro.service.ledger.BudgetLedger`, resolved to integer
+user/object slots, and queued on the owning shard.  ``pump()`` moves
+queued work into micro-batchers and incremental aggregators;
+``snapshot(campaign_id)`` returns fresh truths at any time.
+
+The service is single-threaded by design — shards are a state
+partition, not threads — so callers control when aggregation work
+happens (after each drain, on a timer, ...).  See ROADMAP
+"Architecture" for the multi-process evolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.crowdsensing.messages import ClaimSubmission
+from repro.privacy.ldp import LDPGuarantee
+from repro.service.aggregator import make_aggregator
+from repro.service.ledger import BudgetLedger
+from repro.service.shard import CampaignState, Shard, shard_for
+from repro.service.snapshot import TruthSnapshot
+from repro.utils.logging import get_logger
+from repro.utils.validation import ensure_in_range, ensure_int
+
+_LOGGER = get_logger("service.ingest")
+
+#: Accepted overflow policies for full shard queues.
+OVERFLOW_POLICIES = ("reject", "drop_oldest")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the ingestion service (validated on construction)."""
+
+    num_shards: int = 4
+    max_batch: int = 1024
+    queue_capacity: int = 65536
+    overflow: str = "reject"
+    decay: float = 1.0
+    refine_sweeps: int = 2
+    refine_every: int = 8192
+    full_refit_max_cells: int = 4096
+
+    def __post_init__(self) -> None:
+        ensure_int(self.num_shards, "num_shards", minimum=1)
+        ensure_int(self.max_batch, "max_batch", minimum=1)
+        ensure_int(self.queue_capacity, "queue_capacity", minimum=1)
+        ensure_int(self.refine_sweeps, "refine_sweeps", minimum=1)
+        ensure_int(self.refine_every, "refine_every", minimum=1)
+        ensure_in_range(self.decay, "decay", 0.0, 1.0, low_inclusive=False)
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, "
+                f"got {self.overflow!r}"
+            )
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one submit call: claims accepted, or why not."""
+
+    accepted: int
+    rejected: int = 0
+    reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.rejected == 0
+
+
+@dataclass
+class ServiceStats:
+    """Running counters across the whole service (all shards)."""
+
+    submissions: int = 0
+    claims_accepted: int = 0
+    rejected_unknown_campaign: int = 0
+    rejected_unknown_object: int = 0
+    rejected_invalid_value: int = 0
+    rejected_capacity: int = 0
+    rejected_budget: int = 0
+    rejected_overflow: int = 0
+
+    @property
+    def claims_rejected(self) -> int:
+        """All refused claims — accepted + rejected == submitted claims.
+
+        Backpressure refusals (``rejected_overflow``) are included: the
+        caller was told to back off and should retry.  Claims shed by
+        ``drop_oldest`` eviction after acceptance are *not* rejections;
+        see ``Shard.items_dropped`` / ``Shard.claims_dropped``.
+        """
+        return (
+            self.rejected_unknown_campaign
+            + self.rejected_unknown_object
+            + self.rejected_invalid_value
+            + self.rejected_capacity
+            + self.rejected_budget
+            + self.rejected_overflow
+        )
+
+    def as_dict(self) -> dict:
+        """Counters as a flat JSON-friendly mapping (benchmark output)."""
+        return {
+            "submissions": self.submissions,
+            "claims_accepted": self.claims_accepted,
+            "claims_rejected": self.claims_rejected,
+            "rejected_unknown_campaign": self.rejected_unknown_campaign,
+            "rejected_unknown_object": self.rejected_unknown_object,
+            "rejected_invalid_value": self.rejected_invalid_value,
+            "rejected_capacity": self.rejected_capacity,
+            "rejected_budget": self.rejected_budget,
+            "rejected_overflow": self.rejected_overflow,
+        }
+
+
+class IngestService:
+    """Sharded, micro-batched claim-ingestion pipeline.
+
+    Parameters
+    ----------
+    config:
+        Service tuning; defaults to :class:`ServiceConfig`'s defaults
+        (4 shards, 1024-claim micro-batches, rejecting overflow).
+    ledger:
+        Optional privacy-budget admission control.  Campaigns registered
+        with a per-submission ``cost`` charge it on every accepted
+        submission; exhausted users are rejected with reason
+        ``"budget"``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        ledger: Optional[BudgetLedger] = None,
+    ) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        self._ledger = ledger
+        self._shards = [
+            Shard(i, queue_capacity=self._config.queue_capacity)
+            for i in range(self._config.num_shards)
+        ]
+        self._campaign_shard: dict[str, Shard] = {}
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    @property
+    def ledger(self) -> Optional[BudgetLedger]:
+        return self._ledger
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def campaign_ids(self) -> list[str]:
+        return sorted(self._campaign_shard)
+
+    def has_campaign(self, campaign_id: str) -> bool:
+        """O(1) registration check (``campaign_ids`` sorts every call)."""
+        return campaign_id in self._campaign_shard
+
+    def shard_of(self, campaign_id: str) -> int:
+        """Shard index owning ``campaign_id`` (registered or not)."""
+        return shard_for(campaign_id, len(self._shards))
+
+    # ------------------------------------------------------------------
+    def register_campaign(
+        self,
+        campaign_id: str,
+        object_ids: Sequence,
+        *,
+        max_users: int,
+        user_ids: Optional[Sequence[str]] = None,
+        method: str = "crh",
+        aggregator: str = "auto",
+        cost: Optional[LDPGuarantee] = None,
+        **method_kwargs,
+    ) -> int:
+        """Create campaign state on its shard; returns the shard index.
+
+        ``max_users`` caps the user-slot table (claims from additional
+        distinct users are rejected with reason ``"capacity"``).
+        ``cost`` is the per-submission privacy charge applied through
+        the service's ledger, if one is configured.
+        """
+        if campaign_id in self._campaign_shard:
+            raise ValueError(f"campaign {campaign_id!r} already registered")
+        ensure_int(max_users, "max_users", minimum=1)
+        cfg = self._config
+        state = CampaignState(
+            campaign_id,
+            object_ids,
+            capacity=max_users,
+            user_ids=user_ids,
+            cost=cost,
+            max_batch=cfg.max_batch,
+            aggregator=make_aggregator(
+                max_users,
+                len(tuple(object_ids)),
+                kind=aggregator,
+                method=method,
+                decay=cfg.decay,
+                refine_sweeps=cfg.refine_sweeps,
+                refine_every=cfg.refine_every,
+                full_refit_max_cells=cfg.full_refit_max_cells,
+                **method_kwargs,
+            ),
+        )
+        shard = self._shards[self.shard_of(campaign_id)]
+        shard.register(state)
+        self._campaign_shard[campaign_id] = shard
+        _LOGGER.debug(
+            "campaign %s registered on shard %d (%d objects, <=%d users)",
+            campaign_id,
+            shard.index,
+            len(state.object_ids),
+            max_users,
+        )
+        return shard.index
+
+    def unregister_campaign(self, campaign_id: str) -> None:
+        """Drop a campaign's state from its shard.
+
+        Work items still queued for the campaign are skipped (dropped
+        unprocessed) at pump time; ledger charges are not refunded —
+        privacy budget spent on released data stays spent.
+        """
+        shard = self._campaign_shard.pop(campaign_id, None)
+        if shard is None:
+            raise KeyError(f"campaign {campaign_id!r} not registered")
+        del shard.campaigns[campaign_id]
+
+    def campaign_state(self, campaign_id: str) -> CampaignState:
+        """The shard-side state of a campaign (read-mostly; for tests)."""
+        shard = self._campaign_shard.get(campaign_id)
+        if shard is None:
+            raise KeyError(f"campaign {campaign_id!r} not registered")
+        return shard.campaigns[campaign_id]
+
+    # ------------------------------------------------------------------
+    def submit(self, submission: ClaimSubmission) -> IngestResult:
+        """Validate, admit, and queue one protocol submission."""
+        stats = self.stats
+        stats.submissions += 1
+        n = len(submission.values)
+        shard = self._campaign_shard.get(submission.campaign_id)
+        if shard is None:
+            stats.rejected_unknown_campaign += n
+            return IngestResult(0, n, "unknown-campaign")
+        state = shard.campaigns[submission.campaign_id]
+        object_slots = state.object_slots(submission.object_ids)
+        if object_slots is None:
+            stats.rejected_unknown_object += n
+            return IngestResult(0, n, "unknown-object")
+        values = np.asarray(submission.values, dtype=float)
+        if not np.isfinite(values).all():
+            stats.rejected_invalid_value += n
+            return IngestResult(0, n, "invalid-value")
+        # Peek capacity without consuming a slot: rejected traffic must
+        # not exhaust the campaign's user table.
+        slot = state.user_index.get(submission.user_id)
+        if slot is None and len(state.user_table) >= state.capacity:
+            stats.rejected_capacity += n
+            return IngestResult(0, n, "capacity")
+        if self._config.overflow == "reject" and not shard.has_room:
+            # Backpressure fires before the budget charge: a submission
+            # the queue refuses must not spend the user's epsilon.
+            stats.rejected_overflow += n
+            return IngestResult(0, n, "overflow")
+        if state.cost is not None and self._ledger is not None:
+            decision = self._ledger.admit(
+                submission.user_id,
+                state.cost,
+                label=submission.campaign_id,
+            )
+            if not decision.admitted:
+                stats.rejected_budget += n
+                return IngestResult(0, n, "budget")
+        if slot is None:
+            slot = state.user_slot(submission.user_id)
+        user_slots = np.full(n, slot, dtype=np.int64)
+        return self._enqueue(shard, state, user_slots, object_slots, values)
+
+    def submit_columns(
+        self,
+        campaign_id: str,
+        user_slots: np.ndarray,
+        object_slots: np.ndarray,
+        values: np.ndarray,
+    ) -> IngestResult:
+        """Queue a pre-resolved columnar chunk (the bulk hot path).
+
+        ``user_slots``/``object_slots`` are integer indices into the
+        campaign's user-slot table and object universe; whole-chunk
+        validation is vectorised and the chunk is accepted or rejected
+        atomically.  Budget admission treats every bulk claim as an
+        independent release: each distinct user is charged the campaign
+        cost composed over their claim count in the chunk, and any user
+        without headroom rejects the whole chunk (charging no one).
+        """
+        stats = self.stats
+        stats.submissions += 1
+        shard = self._campaign_shard.get(campaign_id)
+        values = np.asarray(values, dtype=float)
+        n = values.size
+        if shard is None:
+            stats.rejected_unknown_campaign += n
+            return IngestResult(0, n, "unknown-campaign")
+        state = shard.campaigns[campaign_id]
+        user_slots = np.asarray(user_slots, dtype=np.int64)
+        object_slots = np.asarray(object_slots, dtype=np.int64)
+        if not (user_slots.shape == object_slots.shape == values.shape):
+            raise ValueError("user/object/value columns must share a shape")
+        if values.ndim != 1:
+            # Reject here: a multi-dimensional chunk would only blow up
+            # later inside pump(), poisoning the whole shard queue.
+            raise ValueError("claim columns must be 1-D arrays")
+        if n == 0:
+            return IngestResult(0, 0, "")
+        if (object_slots.min() < 0
+                or object_slots.max() >= len(state.object_ids)):
+            stats.rejected_unknown_object += n
+            return IngestResult(0, n, "unknown-object")
+        if user_slots.min() < 0 or user_slots.max() >= state.capacity:
+            stats.rejected_capacity += n
+            return IngestResult(0, n, "capacity")
+        if not np.isfinite(values).all():
+            stats.rejected_invalid_value += n
+            return IngestResult(0, n, "invalid-value")
+        if self._config.overflow == "reject" and not shard.has_room:
+            # As in submit(): refuse before charging anyone's budget.
+            stats.rejected_overflow += n
+            return IngestResult(0, n, "overflow")
+        if state.cost is not None and self._ledger is not None:
+            # Two-phase atomic admission: resolve each distinct slot to
+            # its (possibly prospective) user id, check every user's
+            # headroom first, and only then charge — so a rejected
+            # chunk spends no one's budget.  Unlike the protocol path
+            # (one submission = one release under a shared variance
+            # draw), each bulk claim is an independent release, so a
+            # user is charged ``cost`` composed over their claim count
+            # in the chunk — merging submissions into chunks cannot
+            # under-charge.
+            unique_slots, claim_counts = np.unique(
+                user_slots, return_counts=True
+            )
+            chunk_charges = [
+                (
+                    state.user_table[s]
+                    if s < len(state.user_table)
+                    else f"slot:{s}",
+                    LDPGuarantee(
+                        epsilon=state.cost.epsilon * int(c),
+                        delta=min(state.cost.delta * int(c), 1.0),
+                    ),
+                )
+                for s, c in zip(unique_slots, claim_counts)
+            ]
+            for user_id, charge in chunk_charges:
+                if not self._ledger.can_admit(user_id, charge):
+                    stats.rejected_budget += n
+                    _LOGGER.debug(
+                        "chunk for %s rejected: %s out of budget",
+                        campaign_id,
+                        user_id,
+                    )
+                    return IngestResult(0, n, "budget")
+            for user_id, charge in chunk_charges:
+                decision = self._ledger.admit(
+                    user_id, charge, label=campaign_id
+                )
+                if not decision.admitted:  # pragma: no cover - invariant
+                    # Cannot happen while slots map to distinct users
+                    # (can_admit passed above); never swallow a failed
+                    # charge for accepted claims.
+                    raise RuntimeError(
+                        f"budget charge failed after admission check "
+                        f"for {user_id!r}"
+                    )
+        # Columnar callers address users by slot; make sure the slots
+        # exist in the id table so snapshots can name contributors.  The
+        # "slot:" namespace cannot collide with protocol user ids that
+        # were (or will be) assigned through user_slot() — register
+        # explicit user_ids to get real names in snapshots.
+        if len(state.user_table) <= int(user_slots.max()):
+            for i in range(len(state.user_table), int(user_slots.max()) + 1):
+                state.user_slot(f"slot:{i}")
+        return self._enqueue(shard, state, user_slots, object_slots, values)
+
+    # ------------------------------------------------------------------
+    def pump(self) -> int:
+        """Move queued work through batchers into aggregators."""
+        return sum(shard.pump() for shard in self._shards)
+
+    def flush(self) -> int:
+        """Pump everything, then force partial batches and refinements."""
+        moved = self.pump()
+        for shard in self._shards:
+            shard.flush()
+        return moved
+
+    def snapshot(self, campaign_id: str) -> TruthSnapshot:
+        """Fresh read-side view of one campaign.
+
+        Forces only that campaign's partial batch and refinement;
+        co-sharded campaigns are pumped but not refined.
+        """
+        shard = self._campaign_shard.get(campaign_id)
+        if shard is None:
+            raise KeyError(f"campaign {campaign_id!r} not registered")
+        shard.flush_campaign(campaign_id)
+        return shard.campaigns[campaign_id].snapshot()
+
+    # ------------------------------------------------------------------
+    def queue_depths(self) -> list[int]:
+        """Per-shard queued work items (observability)."""
+        return [shard.queue_depth for shard in self._shards]
+
+    def batch_latencies(self) -> np.ndarray:
+        """All recorded per-batch aggregation latencies, in seconds."""
+        lats = [
+            lat for shard in self._shards for lat in shard.batch_latencies
+        ]
+        return np.asarray(lats, dtype=float)
+
+    # ------------------------------------------------------------------
+    def _enqueue(
+        self,
+        shard: Shard,
+        state: CampaignState,
+        user_slots: np.ndarray,
+        object_slots: np.ndarray,
+        values: np.ndarray,
+    ) -> IngestResult:
+        n = values.size
+        queued = shard.enqueue(
+            (state, user_slots, object_slots, values),
+            overflow=self._config.overflow,
+        )
+        if not queued:
+            self.stats.rejected_overflow += n
+            return IngestResult(0, n, "overflow")
+        self.stats.claims_accepted += n
+        return IngestResult(n)
+    # NOTE: under "drop_oldest" an *evicted* item's claims stay in the
+    # service-level ``claims_accepted`` (they were admitted, then shed —
+    # visible via ``Shard.items_dropped``), but per-campaign contributor
+    # accounting happens at pump time, so shed claims never count toward
+    # contributors or quorum.

@@ -1,0 +1,170 @@
+"""Per-user privacy-budget ledger for admission control.
+
+The :class:`~repro.privacy.accountant.PrivacyAccountant` answers "what
+has this user spent?" by scanning its event log — fine for audits,
+too slow to consult on every submission of a high-rate stream.  The
+:class:`BudgetLedger` keeps a running (epsilon, delta) total per user
+so admission is an O(1) dict lookup, while still (optionally) recording
+every admitted release into a wrapped accountant so the audit trail and
+the fast path can never disagree about what was spent.
+
+Admission uses basic composition, matching the accountant: a release is
+admitted iff the user's composed epsilon and delta would both stay
+within the ledger's caps.  Denied releases spend nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.ldp import LDPGuarantee
+from repro.utils.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one ledger check.
+
+    ``admitted`` is the verdict; ``reason`` is empty when admitted and a
+    short machine-readable tag (``"epsilon-exhausted"`` /
+    ``"delta-exhausted"``) otherwise.  ``remaining_epsilon`` reflects the
+    state *after* the charge when admitted, before it when denied.
+    """
+
+    admitted: bool
+    reason: str
+    remaining_epsilon: float
+
+
+class BudgetLedger:
+    """Admission control against per-user (epsilon, delta) caps.
+
+    Parameters
+    ----------
+    epsilon_cap:
+        Maximum composed epsilon any single user may spend.
+    delta_cap:
+        Maximum composed delta (basic composition sums deltas too).
+    accountant:
+        Optional audit-trail accountant; every *admitted* charge is also
+        recorded there.  Pass ``None`` on hot paths that only need the
+        running totals.
+    """
+
+    def __init__(
+        self,
+        epsilon_cap: float,
+        *,
+        delta_cap: float = 1.0,
+        accountant: Optional[PrivacyAccountant] = None,
+    ) -> None:
+        self._epsilon_cap = ensure_positive(epsilon_cap, "epsilon_cap")
+        self._delta_cap = ensure_in_range(delta_cap, "delta_cap", 0.0, 1.0)
+        self._accountant = accountant
+        self._spent_epsilon: dict[Hashable, float] = {}
+        self._spent_delta: dict[Hashable, float] = {}
+        self.admitted = 0
+        self.denied = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def epsilon_cap(self) -> float:
+        return self._epsilon_cap
+
+    @property
+    def accountant(self) -> Optional[PrivacyAccountant]:
+        """The wrapped audit accountant (None when running ledger-only)."""
+        return self._accountant
+
+    def spent(self, user_id: Hashable) -> LDPGuarantee:
+        """Composed guarantee charged so far for ``user_id``."""
+        return LDPGuarantee(
+            epsilon=self._spent_epsilon.get(user_id, 0.0),
+            delta=min(self._spent_delta.get(user_id, 0.0), 1.0),
+        )
+
+    def remaining_epsilon(self, user_id: Hashable) -> float:
+        return self._epsilon_cap - self._spent_epsilon.get(user_id, 0.0)
+
+    # ------------------------------------------------------------------
+    def can_admit(self, user_id: Hashable, guarantee: LDPGuarantee) -> bool:
+        """Would :meth:`admit` succeed?  Checks both caps, spends nothing.
+
+        Lets callers admission-check a whole group before charging
+        anyone (atomic multi-user admission on the bulk path).
+        """
+        eps = self._spent_epsilon.get(user_id, 0.0)
+        if eps + guarantee.epsilon > self._epsilon_cap + 1e-12:
+            return False
+        delta = self._spent_delta.get(user_id, 0.0)
+        return delta + guarantee.delta <= self._delta_cap + 1e-15
+
+    def admit(
+        self,
+        user_id: Hashable,
+        guarantee: LDPGuarantee,
+        *,
+        mechanism: str = "",
+        label: str = "",
+    ) -> AdmissionDecision:
+        """Charge ``guarantee`` to ``user_id`` if it fits under the caps."""
+        eps = self._spent_epsilon.get(user_id, 0.0)
+        new_eps = eps + guarantee.epsilon
+        if new_eps > self._epsilon_cap + 1e-12:
+            self.denied += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="epsilon-exhausted",
+                remaining_epsilon=self._epsilon_cap - eps,
+            )
+        delta = self._spent_delta.get(user_id, 0.0)
+        new_delta = delta + guarantee.delta
+        if new_delta > self._delta_cap + 1e-15:
+            self.denied += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="delta-exhausted",
+                remaining_epsilon=self._epsilon_cap - eps,
+            )
+        self._spent_epsilon[user_id] = new_eps
+        self._spent_delta[user_id] = new_delta
+        self.admitted += 1
+        if self._accountant is not None:
+            self._accountant.record(
+                user_id, guarantee, mechanism=mechanism, label=label
+            )
+        return AdmissionDecision(
+            admitted=True,
+            reason="",
+            remaining_epsilon=self._epsilon_cap - new_eps,
+        )
+
+    # ------------------------------------------------------------------
+    def worst_case(self) -> LDPGuarantee:
+        """Elementwise-worst composed guarantee across all charged users.
+
+        Takes the maximum epsilon and the maximum delta independently
+        (possibly from different users), so the result bounds *every*
+        user's composed guarantee — a single-user maximum under a
+        lexicographic order would understate delta whenever the
+        biggest epsilon-spender is not the biggest delta-spender.
+        """
+        if not self._spent_epsilon:
+            return LDPGuarantee(epsilon=0.0, delta=0.0)
+        return LDPGuarantee(
+            epsilon=max(self._spent_epsilon.values()),
+            delta=min(max(self._spent_delta.values(), default=0.0), 1.0),
+        )
+
+    @property
+    def num_users(self) -> int:
+        """Users with at least one admitted charge."""
+        return len(self._spent_epsilon)
+
+    def reset(self) -> None:
+        self._spent_epsilon.clear()
+        self._spent_delta.clear()
+        self.admitted = 0
+        self.denied = 0

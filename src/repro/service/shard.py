@@ -1,0 +1,274 @@
+"""Campaign sharding: state partitioning for the ingestion service.
+
+Campaign state (id tables, micro-batcher, aggregator) is partitioned
+across N shards by a stable hash of the campaign id, so every claim for
+a campaign lands on the same shard and shards share nothing.  Within
+one process this bounds each pump step's working set; the same routing
+function lets a deployment split shards across worker processes without
+re-partitioning (see ROADMAP "Architecture").
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import deque
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.service.aggregator import IncrementalAggregator
+from repro.service.batcher import MicroBatcher
+from repro.service.snapshot import TruthSnapshot
+from repro.privacy.ldp import LDPGuarantee
+
+
+def shard_for(campaign_id: str, num_shards: int) -> int:
+    """Deterministic, platform-stable shard index for a campaign.
+
+    Uses CRC32 rather than :func:`hash` so routing survives process
+    restarts and ``PYTHONHASHSEED`` (claims must never migrate between
+    shards mid-campaign).
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return zlib.crc32(campaign_id.encode("utf-8")) % num_shards
+
+
+class CampaignState:
+    """Everything one shard holds for one campaign."""
+
+    __slots__ = (
+        "campaign_id",
+        "object_ids",
+        "object_index",
+        "user_table",
+        "user_index",
+        "capacity",
+        "cost",
+        "batcher",
+        "aggregator",
+        "claims_accepted",
+        "claims_by_slot",
+        "_object_cache",
+    )
+
+    def __init__(
+        self,
+        campaign_id: str,
+        object_ids: Sequence,
+        *,
+        capacity: int,
+        aggregator: IncrementalAggregator,
+        max_batch: int,
+        user_ids: Optional[Sequence[str]] = None,
+        cost: Optional[LDPGuarantee] = None,
+    ) -> None:
+        self.campaign_id = campaign_id
+        self.object_ids = tuple(object_ids)
+        self.object_index = {o: i for i, o in enumerate(self.object_ids)}
+        if len(self.object_index) != len(self.object_ids):
+            raise ValueError("object_ids must be unique")
+        self.capacity = capacity
+        self.user_table: list[str] = list(user_ids or [])
+        if len(self.user_table) > capacity:
+            raise ValueError(
+                f"{len(self.user_table)} pre-registered users exceed "
+                f"capacity {capacity}"
+            )
+        self.user_index = {u: i for i, u in enumerate(self.user_table)}
+        if len(self.user_index) != len(self.user_table):
+            # Two slots sharing one identity would let bulk admission
+            # charge a user once for two slots' worth of claims.
+            raise ValueError("user_ids must be unique")
+        self.cost = cost
+        self.batcher = MicroBatcher(max_batch)
+        self.aggregator = aggregator
+        self.claims_accepted = 0
+        self.claims_by_slot = np.zeros(capacity, dtype=np.int64)
+        # Submissions typically reuse the same object_ids tuple; cache the
+        # tuple -> index-array translation so the hot path never re-maps.
+        self._object_cache: dict[tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def user_slot(self, user_id: str) -> int:
+        """Slot for ``user_id``, assigning the next free one; -1 if full."""
+        slot = self.user_index.get(user_id)
+        if slot is not None:
+            return slot
+        if len(self.user_table) >= self.capacity:
+            return -1
+        slot = len(self.user_table)
+        self.user_table.append(user_id)
+        self.user_index[user_id] = slot
+        return slot
+
+    #: Cap on distinct object-id tuples cached per campaign; workloads
+    #: where every submission picks a fresh random subset would
+    #: otherwise grow the cache linearly with stream length.
+    _OBJECT_CACHE_LIMIT = 1024
+
+    def object_slots(self, object_ids: tuple) -> Optional[np.ndarray]:
+        """Index array for an object-id tuple; None when any id is unknown."""
+        cached = self._object_cache.get(object_ids)
+        if cached is not None:
+            return cached
+        try:
+            slots = np.fromiter(
+                (self.object_index[o] for o in object_ids),
+                dtype=np.int64,
+                count=len(object_ids),
+            )
+        except KeyError:
+            return None
+        if len(self._object_cache) < self._OBJECT_CACHE_LIMIT:
+            self._object_cache[object_ids] = slots
+        return slots
+
+    def contributors(self) -> dict[str, float]:
+        """Current weight for every user with at least one accepted claim.
+
+        Pre-registered users that never submitted are excluded, so the
+        mapping doubles as the campaign's contributor set.
+        """
+        weights = self.aggregator.weights()
+        return {
+            u: float(weights[i])
+            for i, u in enumerate(self.user_table)
+            if self.claims_by_slot[i] > 0
+        }
+
+    def snapshot(self) -> TruthSnapshot:
+        """Immutable read-side view of the campaign's current state."""
+        return TruthSnapshot(
+            campaign_id=self.campaign_id,
+            object_ids=self.object_ids,
+            truths=self.aggregator.truths(),
+            seen_objects=self.aggregator.seen_objects(),
+            weights_by_user=self.contributors(),
+            claims_ingested=self.aggregator.claims_ingested,
+            batches_ingested=self.aggregator.batches_ingested,
+            pending_claims=self.batcher.pending,
+        )
+
+
+class Shard:
+    """One shard: a bounded work queue plus the campaigns routed to it.
+
+    Work items are pre-validated at ingress (admission, id resolution),
+    so the pump loop is pure array movement: drain items into the
+    campaign's micro-batcher, feed completed batches to the aggregator,
+    and record per-batch service latency for the benchmark's p50/p99.
+    """
+
+    #: Retained per-batch latency samples (a bounded window: the list
+    #: would otherwise grow forever in a long-running service).
+    LATENCY_WINDOW = 4096
+
+    def __init__(self, index: int, *, queue_capacity: int) -> None:
+        self.index = index
+        self._queue_capacity = queue_capacity
+        self._queue: list[tuple] = []
+        self._head = 0
+        self.campaigns: dict[str, CampaignState] = {}
+        self.batch_latencies: deque[float] = deque(maxlen=self.LATENCY_WINDOW)
+        self.items_dropped = 0
+        self.claims_dropped = 0
+        self.claims_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue) - self._head
+
+    @property
+    def has_room(self) -> bool:
+        return self.queue_depth < self._queue_capacity
+
+    def register(self, state: CampaignState) -> None:
+        self.campaigns[state.campaign_id] = state
+
+    def enqueue(self, item: tuple, *, overflow: str) -> bool:
+        """Queue one work item; apply ``overflow`` policy when full.
+
+        Returns True when the item was queued.  Under ``"drop_oldest"``
+        the oldest queued item is evicted to make room (the new item is
+        always queued); under ``"reject"`` the new item is refused.
+        """
+        if self.queue_depth >= self._queue_capacity:
+            if overflow == "reject":
+                return False
+            # drop_oldest: evict the head of the queue.
+            evicted = self._queue[self._head]
+            self._head += 1
+            self.items_dropped += 1
+            self.claims_dropped += len(evicted[3])
+            self._compact()
+        self._queue.append(item)
+        return True
+
+    def pump(self) -> int:
+        """Drain the queue into batchers/aggregators; return claims moved."""
+        moved = 0
+        queue, head = self._queue, self._head
+        while head < len(queue):
+            state, user_slots, object_slots, values = queue[head]
+            head += 1
+            if self.campaigns.get(state.campaign_id) is not state:
+                # The campaign was unregistered (or re-registered fresh)
+                # after this item was queued; drop it unprocessed.
+                continue
+            for batch in state.batcher.add_columns(
+                user_slots, object_slots, values
+            ):
+                self._ingest(state, batch)
+            n = len(values)
+            # Contributor accounting happens here — when claims actually
+            # reach the batcher — so items shed by drop_oldest eviction
+            # never inflate a campaign's contributor set or quorum.
+            state.claims_accepted += n
+            if n and (user_slots == user_slots[0]).all():
+                # Per-submission items carry a single user.
+                state.claims_by_slot[user_slots[0]] += n
+            else:
+                state.claims_by_slot += np.bincount(
+                    user_slots, minlength=state.capacity
+                )
+            moved += n
+        self._queue = []
+        self._head = 0
+        self.claims_processed += moved
+        return moved
+
+    def flush(self) -> None:
+        """Pump, then push every partial batch into its aggregator."""
+        self.pump()
+        for state in self.campaigns.values():
+            self._flush_state(state)
+
+    def flush_campaign(self, campaign_id: str) -> None:
+        """Pump, then flush/refine only one campaign.
+
+        Snapshot reads use this so polling one campaign does not force
+        refinements (or full refits) of every co-sharded campaign.
+        """
+        self.pump()
+        self._flush_state(self.campaigns[campaign_id])
+
+    # ------------------------------------------------------------------
+    def _flush_state(self, state: CampaignState) -> None:
+        tail = state.batcher.flush()
+        if tail is not None:
+            self._ingest(state, tail)
+        state.aggregator.refresh()
+
+    def _ingest(self, state: CampaignState, batch) -> None:
+        start = time.perf_counter()
+        state.aggregator.ingest(batch)
+        self.batch_latencies.append(time.perf_counter() - start)
+
+    def _compact(self) -> None:
+        # Reclaim the consumed prefix once it dominates the list.
+        if self._head > 4096 and self._head * 2 > len(self._queue):
+            del self._queue[: self._head]
+            self._head = 0

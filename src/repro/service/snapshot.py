@@ -1,0 +1,99 @@
+"""Read-side views of the ingestion service's aggregation state.
+
+The write path (queues, batchers, shards) never hands out references to
+its mutable buffers.  Readers instead receive a :class:`TruthSnapshot` —
+an immutable copy of one campaign's current truths, weights, and
+ingestion counters — so a dashboard or the crowdsensing adapter can poll
+fresh aggregates at any time without racing the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TruthSnapshot:
+    """One campaign's aggregation state at a point in the ingest stream.
+
+    Attributes
+    ----------
+    campaign_id:
+        The campaign this snapshot describes.
+    object_ids:
+        The campaign's object universe; ``truths[i]`` corresponds to
+        ``object_ids[i]``.
+    truths:
+        ``(N,)`` current aggregated values.  Objects with no retained
+        claims hold 0.0; consult ``seen_objects`` before trusting them.
+    seen_objects:
+        ``(N,)`` boolean mask — True where at least one claim has been
+        aggregated for the object.
+    weights_by_user:
+        Current reliability weight for every user that has contributed
+        at least one accepted claim.
+    claims_ingested:
+        Accepted claims aggregated so far (excludes queued/pending).
+    batches_ingested:
+        Micro-batches the campaign's aggregator has absorbed.
+    pending_claims:
+        Claims accepted but still sitting in the campaign's partial
+        micro-batch (not yet visible in ``truths``).
+    """
+
+    campaign_id: str
+    object_ids: tuple
+    truths: np.ndarray
+    seen_objects: np.ndarray
+    weights_by_user: Mapping[str, float] = field(default_factory=dict)
+    claims_ingested: int = 0
+    batches_ingested: int = 0
+    pending_claims: int = 0
+
+    def __post_init__(self) -> None:
+        truths = np.asarray(self.truths, dtype=float)
+        seen = np.asarray(self.seen_objects, dtype=bool)
+        if truths.shape != (len(self.object_ids),):
+            raise ValueError(
+                f"truths has shape {truths.shape} for "
+                f"{len(self.object_ids)} objects"
+            )
+        if seen.shape != truths.shape:
+            raise ValueError("seen_objects must match truths in shape")
+        truths.setflags(write=False)
+        seen.setflags(write=False)
+        object.__setattr__(self, "truths", truths)
+        object.__setattr__(self, "seen_objects", seen)
+        object.__setattr__(self, "weights_by_user", dict(self.weights_by_user))
+
+    @property
+    def num_contributors(self) -> int:
+        """Users with at least one aggregated claim."""
+        return len(self.weights_by_user)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the object universe with at least one claim."""
+        if len(self.object_ids) == 0:
+            return 0.0
+        return float(self.seen_objects.mean())
+
+    def truth_for(self, object_id) -> float:
+        """Current truth for one object id (KeyError if unknown)."""
+        try:
+            index = self.object_ids.index(object_id)
+        except ValueError:
+            raise KeyError(f"unknown object id {object_id!r}") from None
+        return float(self.truths[index])
+
+    def summary(self) -> str:
+        """One-line human summary (for logs and examples)."""
+        return (
+            f"campaign {self.campaign_id}: {self.claims_ingested} claims "
+            f"in {self.batches_ingested} batches from "
+            f"{self.num_contributors} users, coverage {self.coverage:.0%}"
+            + (f", {self.pending_claims} pending" if self.pending_claims else "")
+        )

@@ -167,6 +167,115 @@ class ClaimMatrix:
             object_ids=tuple(seen_objects),
         )
 
+    @classmethod
+    def from_columns(
+        cls,
+        user_index: np.ndarray,
+        object_index: np.ndarray,
+        values: np.ndarray,
+        *,
+        user_ids: Sequence,
+        object_ids: Sequence,
+    ) -> "ClaimMatrix":
+        """Build from aligned claim columns of integer indices.
+
+        ``user_index[i]``/``object_index[i]`` locate claim ``i`` inside
+        ``user_ids``/``object_ids``.  Duplicate (user, object) pairs keep
+        the last value, matching :meth:`from_records`.  This is the
+        vectorised constructor the ingestion service's columnar buffers
+        feed; it performs two fancy-indexed assignments instead of a
+        Python loop over claims.
+        """
+        user_ids = tuple(user_ids)
+        object_ids = tuple(object_ids)
+        u = np.asarray(user_index, dtype=np.int64)
+        o = np.asarray(object_index, dtype=np.int64)
+        v = np.asarray(values, dtype=float)
+        if not (u.shape == o.shape == v.shape) or u.ndim != 1:
+            raise ValueError("claim columns must be aligned 1-D arrays")
+        if u.size == 0:
+            raise ValueError("claim columns must be non-empty")
+        if u.min() < 0 or u.max() >= len(user_ids):
+            raise ValueError("user_index out of range for user_ids")
+        if o.min() < 0 or o.max() >= len(object_ids):
+            raise ValueError("object_index out of range for object_ids")
+        matrix = np.zeros((len(user_ids), len(object_ids)))
+        mask = np.zeros(matrix.shape, dtype=bool)
+        matrix[u, o] = v
+        mask[u, o] = True
+        return cls(
+            values=matrix, mask=mask, user_ids=user_ids, object_ids=object_ids
+        )
+
+    @classmethod
+    def from_submissions(
+        cls,
+        submissions: Iterable,
+        *,
+        user_ids: Optional[Sequence] = None,
+        object_ids: Optional[Sequence] = None,
+    ) -> "ClaimMatrix":
+        """Build from submission-shaped objects without a per-claim loop.
+
+        Each submission must expose ``user_id``, ``object_ids`` and
+        ``values`` (e.g. :class:`repro.crowdsensing.messages.ClaimSubmission`).
+        Ids are discovered in first-seen order unless supplied; a later
+        submission's claim on the same (user, object) wins, so feeding
+        deduplicated-by-user submissions reproduces the aggregation
+        server's keep-the-latest semantics.
+        """
+        subs = list(submissions)
+        if not subs:
+            raise ValueError("submissions must be non-empty")
+        if user_ids is None:
+            u_index: dict = {}
+            for sub in subs:
+                u_index.setdefault(sub.user_id, len(u_index))
+        else:
+            u_index = {u: i for i, u in enumerate(user_ids)}
+        if object_ids is None:
+            o_index: dict = {}
+            for sub in subs:
+                for o in sub.object_ids:
+                    o_index.setdefault(o, len(o_index))
+        else:
+            o_index = {o: i for i, o in enumerate(object_ids)}
+        counts = np.empty(len(subs), dtype=np.int64)
+        for i, sub in enumerate(subs):
+            if len(sub.object_ids) != len(sub.values):
+                raise ValueError(
+                    f"submission {i} has {len(sub.object_ids)} object ids "
+                    f"for {len(sub.values)} values"
+                )
+            counts[i] = len(sub.values)
+        total = int(counts.sum())
+        try:
+            users = np.repeat(
+                np.fromiter(
+                    (u_index[sub.user_id] for sub in subs),
+                    dtype=np.int64,
+                    count=len(subs),
+                ),
+                counts,
+            )
+            objects = np.fromiter(
+                (o_index[o] for sub in subs for o in sub.object_ids),
+                dtype=np.int64,
+                count=total,
+            )
+        except KeyError as exc:
+            raise KeyError(f"unknown user or object id {exc.args[0]!r}") from None
+        values = np.fromiter(
+            (v for sub in subs for v in sub.values), dtype=float, count=total
+        )
+        return cls.from_columns(
+            users,
+            objects,
+            values,
+            user_ids=tuple(u_index),
+            object_ids=tuple(o_index),
+        )
+
     def to_records(self) -> list[tuple]:
         """Inverse of :meth:`from_records` (observed entries only)."""
         out = []

@@ -131,15 +131,28 @@ class StreamingCRH:
         return self._seen_objects.copy()
 
     # ------------------------------------------------------------------
-    def ingest(self, batch: ClaimBatch) -> np.ndarray:
-        """Absorb one batch and return the refreshed truths."""
+    def ingest(
+        self, batch: ClaimBatch, *, decay_steps: int = 1
+    ) -> np.ndarray:
+        """Absorb one batch and return the refreshed truths.
+
+        ``decay_steps`` is how many forgetting steps precede the fold:
+        0 folds the claims in without forgetting (for callers whose
+        batch boundaries are dictated by reads rather than the decay
+        schedule), k > 1 applies ``decay**k`` (for callers that batch
+        several decay windows' worth of claims into one ingest).
+        """
+        if decay_steps < 0:
+            raise ValueError(f"decay_steps must be >= 0, got {decay_steps}")
         if batch.users.max() >= self._num_users or batch.users.min() < 0:
             raise ValueError("batch user index out of range")
         if batch.objects.max() >= self._num_objects or batch.objects.min() < 0:
             raise ValueError("batch object index out of range")
         # Forget, then fold the new claims into the retained cells.
-        self._value_sum *= self._decay
-        self._value_weight *= self._decay
+        if decay_steps:
+            factor = self._decay**decay_steps
+            self._value_sum *= factor
+            self._value_weight *= factor
         np.add.at(self._value_sum, (batch.users, batch.objects), batch.values)
         np.add.at(self._value_weight, (batch.users, batch.objects), 1.0)
         self._seen_objects |= np.bincount(

@@ -110,7 +110,7 @@ class TestServer:
                 sub = device.handle_assignment(msg)
                 transport.send(device.user_id, server.node_id, sub)
         transport.drain_until_idle()
-        assert server.collect() == 3
+        assert server.collect() == {"c1": 3}
         report = server.finalise(spec, assignments_sent=sent)
         assert report.succeeded
         assert report.truths.shape == (2,)

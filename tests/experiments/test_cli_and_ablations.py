@@ -49,6 +49,27 @@ class TestCli:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_service_bench_quick(self, capsys, tmp_path):
+        out_json = tmp_path / "bench.json"
+        code = main(
+            [
+                "service-bench",
+                "--claims", "20000",
+                "--submission-claims", "4000",
+                "--baseline-claims", "2000",
+                "--json", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bulk path:" in out and "claims/s" in out
+        assert "streaming vs batch CRH RMSE" in out
+        import json
+
+        report = json.loads(out_json.read_text())
+        assert report["bulk"]["claims"] > 0
+        assert report["streaming_vs_batch_rmse"] < 1e-3
+
     def test_run_fig3_quick(self, capsys, monkeypatch):
         # Patch the quick profile lookup to the tiny one to keep CI fast.
         import repro.experiments.runner as runner_mod

@@ -28,6 +28,7 @@ def test_examples_directory_complete():
         "air_quality_monitoring",
         "crowd_labeling",
         "crowdsensing_protocol",
+        "high_throughput_service",
         "indoor_floorplan",
         "privacy_budget_planner",
         "quickstart",
@@ -51,6 +52,14 @@ def test_air_quality_monitoring(capsys):
     out = run_example("air_quality_monitoring", capsys)
     assert "ground-truth MAE by aggregator" in out
     assert "adversarial" in out
+
+
+def test_high_throughput_service(capsys):
+    out = run_example("high_throughput_service", capsys)
+    assert "claims rejected over budget" in out
+    assert "worst-case composed guarantee" in out
+    assert "bulk path:" in out and "claims/s" in out
+    assert "micro-batch latency" in out
 
 
 def test_crowdsensing_protocol(capsys):

@@ -1,0 +1,228 @@
+"""Aggregation-backend tests: streaming/full parity and backend choice."""
+
+import numpy as np
+import pytest
+
+from repro.service.aggregator import (
+    FullRefitAggregator,
+    StreamingAggregator,
+    make_aggregator,
+)
+from repro.service.loadgen import LoadGenerator
+from repro.truthdiscovery.claims import ClaimMatrix
+from repro.truthdiscovery.crh import CRH
+from repro.truthdiscovery.streaming import ClaimBatch
+
+
+def dense_batch(rng, num_users, num_objects, truths):
+    users = np.repeat(np.arange(num_users), num_objects)
+    objects = np.tile(np.arange(num_objects), num_users)
+    values = truths[objects] + rng.normal(0.0, 0.4, size=objects.size)
+    return ClaimBatch(users=users, objects=objects, values=values)
+
+
+class TestStreamingVsBatchAgreement:
+    def test_dense_campaign_matches_full_crh_refit(self):
+        """Streaming truths must match a from-scratch CRH fit (tolerance)."""
+        rng = np.random.default_rng(11)
+        num_users, num_objects = 40, 25
+        truths = rng.uniform(0.0, 10.0, size=num_objects)
+        batch = dense_batch(rng, num_users, num_objects, truths)
+
+        streaming = StreamingAggregator(
+            num_users, num_objects, decay=1.0, refine_sweeps=40
+        )
+        streaming.ingest(batch)
+
+        claims = ClaimMatrix.from_columns(
+            batch.users, batch.objects, batch.values,
+            user_ids=tuple(range(num_users)),
+            object_ids=tuple(range(num_objects)),
+        )
+        reference = CRH(distance="squared").fit(claims)
+
+        rmse = float(np.sqrt(np.mean(
+            (streaming.truths() - reference.truths) ** 2
+        )))
+        assert rmse <= 1e-3
+
+    def test_incremental_batches_reach_same_fixed_point(self):
+        rng = np.random.default_rng(23)
+        num_users, num_objects = 30, 12
+        truths = rng.uniform(0.0, 5.0, size=num_objects)
+        batch = dense_batch(rng, num_users, num_objects, truths)
+
+        streamed = StreamingAggregator(
+            num_users, num_objects, decay=1.0, refine_sweeps=30,
+            refine_every=10**9,
+        )
+        # Same claims, delivered in 6 interleaved micro-batches.
+        for part in range(6):
+            sl = slice(part, None, 6)
+            streamed.ingest(ClaimBatch(
+                users=batch.users[sl],
+                objects=batch.objects[sl],
+                values=batch.values[sl],
+            ))
+        full = FullRefitAggregator(
+            num_users, num_objects, method="crh", distance="squared"
+        )
+        full.ingest(batch)
+        np.testing.assert_allclose(
+            streamed.truths(), full.truths(), atol=1e-3
+        )
+
+
+class TestDecaySchedule:
+    def test_reads_do_not_change_forgetting(self):
+        """Polling truths after every batch must not alter the decay
+        schedule relative to an unpolled twin stream."""
+        rng = np.random.default_rng(3)
+        truths = rng.uniform(0.0, 5.0, size=6)
+        batches = [dense_batch(rng, 8, 6, truths) for _ in range(4)]
+        # High sweep count so both sides converge to the fixed point of
+        # their retained statistics — which the fix makes identical.
+        polled = StreamingAggregator(
+            8, 6, decay=0.5, refine_sweeps=30, refine_every=10**6
+        )
+        quiet = StreamingAggregator(
+            8, 6, decay=0.5, refine_sweeps=30, refine_every=10**6
+        )
+        for batch in batches:
+            polled.ingest(batch)
+            polled.truths()  # read-forced refresh
+            quiet.ingest(batch)
+        np.testing.assert_allclose(
+            polled.truths(), quiet.truths(), atol=1e-6
+        )
+
+    def test_multi_window_refresh_compounds_decay(self):
+        """A refresh spanning k refine windows applies decay**k, so old
+        claims are not over-retained under chunky arrivals."""
+        from repro.truthdiscovery.streaming import StreamingCRH
+
+        def build():
+            crh = StreamingCRH(2, 1, decay=0.5, refine_sweeps=5)
+            crh.ingest(ClaimBatch(
+                users=np.array([0]), objects=np.array([0]),
+                values=np.array([8.0]),
+            ))
+            return crh
+
+        new_batch = ClaimBatch(
+            users=np.array([1]), objects=np.array([0]),
+            values=np.array([0.0]),
+        )
+        one_step = build().ingest(new_batch, decay_steps=1)
+        three_steps = build().ingest(new_batch, decay_steps=3)
+        # More forgetting steps discount the old claim (8.0) harder, so
+        # the truth lands closer to the fresh claim (0.0).
+        assert three_steps[0] < one_step[0]
+        # Zero steps folds without forgetting at all.
+        no_step = build().ingest(new_batch, decay_steps=0)
+        assert one_step[0] < no_step[0]
+
+
+class TestFullRefitAggregator:
+    def test_lazy_refit_and_partial_coverage(self):
+        agg = FullRefitAggregator(num_users=5, num_objects=4)
+        agg.ingest(ClaimBatch(
+            users=np.array([0, 1]), objects=np.array([1, 1]),
+            values=np.array([2.0, 4.0]),
+        ))
+        assert agg.claims_ingested == 2
+        truths = agg.truths()
+        assert truths[1] == pytest.approx(3.0, abs=1e-6)
+        # Unseen objects report 0.0 and are flagged unseen.
+        seen = agg.seen_objects()
+        assert list(seen) == [False, True, False, False]
+        assert truths[0] == 0.0
+        # Silent users keep weight 1.
+        weights = agg.weights()
+        assert weights[4] == 1.0
+
+    def test_duplicate_claims_keep_last(self):
+        agg = FullRefitAggregator(num_users=2, num_objects=1)
+        agg.ingest(ClaimBatch(
+            users=np.array([0, 1, 0]), objects=np.array([0, 0, 0]),
+            values=np.array([1.0, 5.0, 3.0]),
+        ))
+        truths = agg.truths()
+        # User 0's later claim (3.0) replaced the earlier 1.0.
+        assert 3.0 <= truths[0] <= 5.0
+
+
+class TestMakeAggregator:
+    def test_auto_small_campaign_full_refit(self):
+        agg = make_aggregator(10, 10, kind="auto", full_refit_max_cells=128)
+        assert isinstance(agg, FullRefitAggregator)
+
+    def test_auto_large_campaign_streams(self):
+        agg = make_aggregator(100, 100, kind="auto", full_refit_max_cells=128)
+        assert isinstance(agg, StreamingAggregator)
+
+    def test_non_crh_method_forces_full_refit(self):
+        agg = make_aggregator(
+            100, 100, kind="auto", method="gtm", full_refit_max_cells=128
+        )
+        assert isinstance(agg, FullRefitAggregator)
+
+    def test_decay_forces_streaming_backend(self):
+        # Forgetting cannot silently switch off for small campaigns.
+        agg = make_aggregator(
+            10, 10, kind="auto", decay=0.9, full_refit_max_cells=128
+        )
+        assert isinstance(agg, StreamingAggregator)
+        with pytest.raises(ValueError, match="cannot forget"):
+            make_aggregator(10, 10, kind="full", decay=0.9)
+
+    def test_streaming_with_non_crh_method_rejected(self):
+        with pytest.raises(ValueError, match="only supports 'crh'"):
+            make_aggregator(10, 10, kind="streaming", method="gtm")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregator kind"):
+            make_aggregator(10, 10, kind="sideways")
+
+
+class TestLoadGenerator:
+    def test_deterministic_given_seed(self):
+        a = LoadGenerator(
+            "c", num_users=10, num_objects=6, claims_per_submission=3,
+            random_state=5,
+        )
+        b = LoadGenerator(
+            "c", num_users=10, num_objects=6, claims_per_submission=3,
+            random_state=5,
+        )
+        np.testing.assert_array_equal(a.truths, b.truths)
+        subs_a, subs_b = a.submissions(4), b.submissions(4)
+        assert [s.values for s in subs_a] == [s.values for s in subs_b]
+
+    def test_submission_shape_and_object_subset(self):
+        gen = LoadGenerator(
+            "c", num_users=10, num_objects=6, claims_per_submission=3,
+            random_state=5,
+        )
+        (sub,) = gen.submissions(1)
+        assert len(sub.object_ids) == 3
+        assert len(set(sub.object_ids)) == 3  # without replacement
+        assert set(sub.object_ids) <= set(gen.object_ids)
+
+    def test_column_chunks_total(self):
+        gen = LoadGenerator(
+            "c", num_users=4, num_objects=4, claims_per_submission=2,
+            random_state=5,
+        )
+        chunks = list(gen.column_chunks(1000, chunk_size=300))
+        assert [c.size for c in chunks] == [300, 300, 300, 100]
+
+    def test_dense_round_covers_everything_once(self):
+        gen = LoadGenerator(
+            "c", num_users=3, num_objects=4, claims_per_submission=4,
+            random_state=5,
+        )
+        subs = gen.dense_round()
+        assert len(subs) == 3
+        assert all(sub.object_ids == gen.object_ids for sub in subs)
+        assert len({sub.user_id for sub in subs}) == 3

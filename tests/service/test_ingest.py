@@ -1,0 +1,298 @@
+"""Ingestion-service tests: validation, admission, backpressure, reads."""
+
+import numpy as np
+import pytest
+
+from repro.crowdsensing.messages import ClaimSubmission
+from repro.privacy.ldp import LDPGuarantee
+from repro.service.ingest import IngestService, ServiceConfig
+from repro.service.ledger import BudgetLedger
+
+
+def make_service(**overrides) -> IngestService:
+    defaults = dict(num_shards=2, max_batch=8, queue_capacity=16)
+    defaults.update(overrides)
+    ledger = defaults.pop("ledger", None)
+    return IngestService(ServiceConfig(**defaults), ledger=ledger)
+
+
+def sub(campaign="c1", user="u1", objects=("o0", "o1"), values=(1.0, 2.0)):
+    return ClaimSubmission(
+        campaign_id=campaign, user_id=user,
+        object_ids=tuple(objects), values=tuple(values),
+    )
+
+
+class TestValidationAndAdmission:
+    def test_unknown_campaign_rejected(self):
+        service = make_service()
+        result = service.submit(sub())
+        assert not result.ok and result.reason == "unknown-campaign"
+        assert service.stats.rejected_unknown_campaign == 2
+
+    def test_unknown_object_rejected(self):
+        service = make_service()
+        service.register_campaign("c1", ("o0", "o1"), max_users=4)
+        result = service.submit(sub(objects=("o0", "oX")))
+        assert result.reason == "unknown-object"
+
+    def test_non_finite_value_rejected(self):
+        service = make_service()
+        service.register_campaign("c1", ("o0", "o1"), max_users=4)
+        result = service.submit(sub(values=(1.0, float("nan"))))
+        assert result.reason == "invalid-value"
+        assert service.stats.rejected_invalid_value == 2
+
+    def test_huge_finite_values_accepted(self):
+        # Finiteness is per-value: individually finite claims whose sum
+        # overflows must not be rejected.
+        service = make_service()
+        service.register_campaign("c1", ("o0", "o1"), max_users=4)
+        assert service.submit(sub(values=(1e308, 1e308))).ok
+
+    def test_capacity_rejection_after_slots_exhausted(self):
+        service = make_service()
+        service.register_campaign("c1", ("o0", "o1"), max_users=2)
+        assert service.submit(sub(user="u1")).ok
+        assert service.submit(sub(user="u2")).ok
+        assert service.submit(sub(user="u1")).ok  # known user: fine
+        result = service.submit(sub(user="u3"))
+        assert result.reason == "capacity"
+        assert service.stats.rejected_capacity == 2
+
+    def test_budget_denial(self):
+        ledger = BudgetLedger(epsilon_cap=1.5)
+        service = make_service(ledger=ledger)
+        cost = LDPGuarantee(epsilon=1.0, delta=0.0)
+        service.register_campaign("c1", ("o0", "o1"), max_users=4, cost=cost)
+        assert service.submit(sub(user="u1")).ok
+        result = service.submit(sub(user="u1"))
+        assert result.reason == "budget"
+        assert service.stats.rejected_budget == 2
+        # Another user still has budget.
+        assert service.submit(sub(user="u2")).ok
+
+    def test_no_ledger_means_no_budget_control(self):
+        service = make_service()  # no ledger
+        cost = LDPGuarantee(epsilon=1.0, delta=0.0)
+        service.register_campaign("c1", ("o0", "o1"), max_users=4, cost=cost)
+        for _ in range(5):
+            assert service.submit(sub(user="u1")).ok
+
+    def test_duplicate_registration_rejected(self):
+        service = make_service()
+        service.register_campaign("c1", ("o0",), max_users=2)
+        with pytest.raises(ValueError, match="already registered"):
+            service.register_campaign("c1", ("o0",), max_users=2)
+
+
+class TestBackpressure:
+    def test_reject_policy_refuses_when_queue_full(self):
+        service = make_service(num_shards=1, queue_capacity=2, overflow="reject")
+        service.register_campaign("c1", ("o0", "o1"), max_users=8)
+        assert service.submit(sub(user="u1")).ok
+        assert service.submit(sub(user="u2")).ok
+        result = service.submit(sub(user="u3"))
+        assert not result.ok and result.reason == "overflow"
+        assert service.stats.rejected_overflow == 2
+        # Pumping drains the queue and restores headroom.
+        service.pump()
+        assert service.queue_depths() == [0]
+        assert service.submit(sub(user="u3")).ok
+
+    def test_overflow_rejection_spends_no_budget(self):
+        ledger = BudgetLedger(epsilon_cap=10.0)
+        service = make_service(
+            num_shards=1, queue_capacity=1, overflow="reject", ledger=ledger
+        )
+        cost = LDPGuarantee(epsilon=1.0, delta=0.0)
+        service.register_campaign("c1", ("o0", "o1"), max_users=8, cost=cost)
+        assert service.submit(sub(user="u1")).ok
+        result = service.submit(sub(user="u2"))
+        assert result.reason == "overflow"
+        # The refused submission must not have charged u2's budget.
+        assert ledger.spent("u2").epsilon == 0.0
+        assert ledger.spent("u1").epsilon == pytest.approx(1.0)
+        # Bulk path: same guarantee.
+        result = service.submit_columns(
+            "c1", np.array([3]), np.array([0]), np.array([1.0])
+        )
+        assert result.reason == "overflow"
+        assert ledger.admitted == 1 and ledger.denied == 0
+
+    def test_drop_oldest_policy_sheds_head_of_queue(self):
+        service = make_service(
+            num_shards=1, queue_capacity=2, overflow="drop_oldest", max_batch=4
+        )
+        service.register_campaign("c1", ("o0",), max_users=8)
+        for i in range(5):
+            result = service.submit(sub(user=f"u{i}", objects=("o0",),
+                                        values=(float(i),)))
+            assert result.ok  # drop_oldest always accepts the newest
+        service.flush()
+        snap = service.snapshot("c1")
+        # The three oldest items were shed; the two newest survived.
+        assert snap.claims_ingested == 2
+        assert service._shards[0].items_dropped == 3
+        assert service._shards[0].claims_dropped == 3
+        # Shed users never became contributors (quorum integrity).
+        assert set(snap.weights_by_user) == {"u3", "u4"}
+
+
+class TestBulkColumns:
+    def test_round_trip_and_counts(self):
+        service = make_service(num_shards=2, max_batch=16)
+        service.register_campaign("c1", ("o0", "o1", "o2"), max_users=4)
+        result = service.submit_columns(
+            "c1",
+            np.array([0, 1, 2, 0]),
+            np.array([0, 1, 2, 2]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        assert result.ok and result.accepted == 4
+        service.flush()
+        snap = service.snapshot("c1")
+        assert snap.claims_ingested == 4
+        assert snap.num_contributors == 3
+        assert snap.coverage == 1.0
+
+    def test_multidimensional_columns_rejected_up_front(self):
+        service = make_service()
+        service.register_campaign("c1", ("o0", "o1"), max_users=2)
+        with pytest.raises(ValueError, match="1-D"):
+            service.submit_columns(
+                "c1",
+                np.array([[0, 1]]),
+                np.array([[0, 1]]),
+                np.array([[1.0, 2.0]]),
+            )
+        # The shard queue stays clean: later traffic pumps fine.
+        assert service.submit_columns(
+            "c1", np.array([0]), np.array([0]), np.array([1.0])
+        ).ok
+        assert service.snapshot("c1").claims_ingested == 1
+
+    def test_out_of_range_slots_rejected_atomically(self):
+        service = make_service()
+        service.register_campaign("c1", ("o0",), max_users=2)
+        result = service.submit_columns(
+            "c1", np.array([0, 5]), np.array([0, 0]), np.array([1.0, 2.0])
+        )
+        assert result.reason == "capacity" and result.rejected == 2
+        result = service.submit_columns(
+            "c1", np.array([0, 1]), np.array([0, 3]), np.array([1.0, 2.0])
+        )
+        assert result.reason == "unknown-object"
+
+    def test_bulk_budget_admission_is_atomic(self):
+        ledger = BudgetLedger(epsilon_cap=1.0)
+        service = make_service(ledger=ledger)
+        cost = LDPGuarantee(epsilon=0.6, delta=0.0)
+        service.register_campaign("c1", ("o0",), max_users=4, cost=cost)
+        # Exhaust slot 1's user.
+        assert service.submit_columns(
+            "c1", np.array([1]), np.array([0]), np.array([1.0])
+        ).ok
+        # Mixed chunk: slot 0 has headroom, slot 1 does not.
+        result = service.submit_columns(
+            "c1", np.array([0, 1]), np.array([0, 0]), np.array([1.0, 2.0])
+        )
+        assert result.reason == "budget"
+        # Atomicity: the fresh user was not charged by the failed chunk.
+        state = service.campaign_state("c1")
+        assert ledger.spent(state.user_table[0]).epsilon == 0.0
+
+    def test_rejected_traffic_does_not_consume_user_slots(self):
+        ledger = BudgetLedger(epsilon_cap=0.5)
+        service = make_service(ledger=ledger)
+        cost = LDPGuarantee(epsilon=1.0, delta=0.0)  # never admissible
+        service.register_campaign("c1", ("o0", "o1"), max_users=2, cost=cost)
+        for i in range(5):
+            assert service.submit(sub(user=f"u{i}")).reason == "budget"
+        # Budget-rejected users must not have filled the 2-slot table.
+        assert len(service.campaign_state("c1").user_table) == 0
+
+    def test_bulk_budget_charges_per_claim(self):
+        """Merging submissions into one chunk must not under-charge:
+        each bulk claim is an independent release."""
+        ledger = BudgetLedger(epsilon_cap=1.0)
+        service = make_service(ledger=ledger)
+        cost = LDPGuarantee(epsilon=0.4, delta=0.0)
+        service.register_campaign("c1", ("o0", "o1"), max_users=4, cost=cost)
+        result = service.submit_columns(
+            "c1",
+            np.array([0, 0, 1]),
+            np.array([0, 1, 0]),
+            np.ones(3),
+        )
+        assert result.ok
+        state = service.campaign_state("c1")
+        assert ledger.spent(state.user_table[0]).epsilon == pytest.approx(0.8)
+        assert ledger.spent(state.user_table[1]).epsilon == pytest.approx(0.4)
+        # User 0 has 0.2 headroom left: one more claim (0.4) is denied.
+        result = service.submit_columns(
+            "c1", np.array([0]), np.array([0]), np.array([1.0])
+        )
+        assert result.reason == "budget"
+        # A two-claim chunk for user 1 (0.8 composed on top of 0.4
+        # spent) exceeds the cap; a single claim (0.4) still fits.
+        assert service.submit_columns(
+            "c1", np.array([1, 1]), np.array([0, 1]), np.ones(2)
+        ).reason == "budget"
+        assert service.submit_columns(
+            "c1", np.array([1]), np.array([1]), np.array([1.0])
+        ).ok
+
+
+class TestSnapshots:
+    def test_snapshot_is_read_only_and_fresh(self):
+        service = make_service(num_shards=1, max_batch=4)
+        service.register_campaign("c1", ("o0", "o1"), max_users=4)
+        service.submit(sub(user="u1", values=(1.0, 3.0)))
+        snap = service.snapshot("c1")  # forces flush
+        assert snap.claims_ingested == 2
+        assert snap.truth_for("o0") == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            snap.truths[0] = 99.0
+        with pytest.raises(KeyError):
+            snap.truth_for("missing")
+
+    def test_snapshot_does_not_force_cosharded_refinement(self):
+        service = make_service(num_shards=1, max_batch=64)
+        service.register_campaign("a", ("o0",), max_users=4)
+        service.register_campaign("b", ("o0",), max_users=4)
+        service.submit(sub(campaign="a", objects=("o0",), values=(1.0,)))
+        service.submit(sub(campaign="b", objects=("o0",), values=(2.0,)))
+        service.snapshot("a")
+        # b's claims were pumped into its batcher but not flushed/refined.
+        assert service.campaign_state("b").batcher.pending == 1
+        assert service.snapshot("b").truth_for("o0") == pytest.approx(2.0)
+
+    def test_snapshot_unknown_campaign(self):
+        service = make_service()
+        with pytest.raises(KeyError):
+            service.snapshot("nope")
+
+    def test_truths_converge_to_ground_truth(self):
+        rng = np.random.default_rng(7)
+        service = make_service(num_shards=2, max_batch=64, queue_capacity=128)
+        truths = np.array([2.0, 5.0, 8.0])
+        service.register_campaign("c1", ("o0", "o1", "o2"), max_users=50)
+        for u in range(50):
+            values = truths + rng.normal(0.0, 0.3, size=3)
+            service.submit(
+                sub(user=f"u{u}", objects=("o0", "o1", "o2"),
+                    values=tuple(float(v) for v in values))
+            )
+        snap = service.snapshot("c1")
+        np.testing.assert_allclose(snap.truths, truths, atol=0.25)
+        assert snap.num_contributors == 50
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServiceConfig(overflow="panic")
+    with pytest.raises(ValueError):
+        ServiceConfig(num_shards=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(decay=0.0)

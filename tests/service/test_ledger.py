@@ -1,0 +1,83 @@
+"""Budget-ledger admission control tests."""
+
+import pytest
+
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.ldp import LDPGuarantee
+from repro.service.ledger import BudgetLedger
+
+RELEASE = LDPGuarantee(epsilon=1.0, delta=0.05)
+
+
+class TestBudgetLedger:
+    def test_admits_until_epsilon_cap(self):
+        ledger = BudgetLedger(epsilon_cap=2.5)
+        assert ledger.admit("u1", RELEASE).admitted
+        assert ledger.admit("u1", RELEASE).admitted
+        denial = ledger.admit("u1", RELEASE)
+        assert not denial.admitted
+        assert denial.reason == "epsilon-exhausted"
+        assert denial.remaining_epsilon == pytest.approx(0.5)
+        assert ledger.admitted == 2 and ledger.denied == 1
+
+    def test_denial_spends_nothing(self):
+        ledger = BudgetLedger(epsilon_cap=1.5)
+        ledger.admit("u1", RELEASE)
+        ledger.admit("u1", RELEASE)  # denied
+        assert ledger.spent("u1").epsilon == pytest.approx(1.0)
+        # A smaller release still fits afterwards.
+        assert ledger.admit("u1", LDPGuarantee(0.5, 0.0)).admitted
+
+    def test_delta_cap_enforced(self):
+        ledger = BudgetLedger(epsilon_cap=100.0, delta_cap=0.08)
+        assert ledger.admit("u1", RELEASE).admitted
+        denial = ledger.admit("u1", RELEASE)
+        assert not denial.admitted
+        assert denial.reason == "delta-exhausted"
+
+    def test_per_user_isolation(self):
+        ledger = BudgetLedger(epsilon_cap=1.0)
+        assert ledger.admit("u1", RELEASE).admitted
+        assert not ledger.admit("u1", RELEASE).admitted
+        assert ledger.admit("u2", RELEASE).admitted
+        assert ledger.num_users == 2
+
+    def test_wrapped_accountant_records_admitted_only(self):
+        accountant = PrivacyAccountant()
+        ledger = BudgetLedger(epsilon_cap=1.0, accountant=accountant)
+        ledger.admit("u1", RELEASE, mechanism="exp-gauss", label="c1")
+        ledger.admit("u1", RELEASE)  # denied, must not be recorded
+        assert accountant.num_events == 1
+        composed = accountant.composed_guarantee("u1")
+        assert composed.epsilon == pytest.approx(ledger.spent("u1").epsilon)
+
+    def test_worst_case_tracks_heaviest_spender(self):
+        ledger = BudgetLedger(epsilon_cap=10.0)
+        ledger.admit("light", LDPGuarantee(0.5, 0.0))
+        for _ in range(3):
+            ledger.admit("heavy", RELEASE)
+        assert ledger.worst_case().epsilon == pytest.approx(3.0)
+
+    def test_worst_case_is_elementwise_over_users(self):
+        # Biggest epsilon- and delta-spenders differ: the bound must
+        # cover both, not just the lexicographic max user.
+        ledger = BudgetLedger(epsilon_cap=10.0)
+        ledger.admit("eps-heavy", LDPGuarantee(1.0, 0.0))
+        ledger.admit("delta-heavy", LDPGuarantee(0.9, 0.8))
+        worst = ledger.worst_case()
+        assert worst.epsilon == pytest.approx(1.0)
+        assert worst.delta == pytest.approx(0.8)
+
+    def test_can_admit_previews_without_spending(self):
+        ledger = BudgetLedger(epsilon_cap=1.0)
+        assert ledger.can_admit("u1", RELEASE)
+        assert ledger.spent("u1").epsilon == 0.0  # preview spent nothing
+        ledger.admit("u1", RELEASE)
+        assert not ledger.can_admit("u1", RELEASE)
+
+    def test_reset(self):
+        ledger = BudgetLedger(epsilon_cap=1.0)
+        ledger.admit("u1", RELEASE)
+        ledger.reset()
+        assert ledger.num_users == 0
+        assert ledger.admit("u1", RELEASE).admitted

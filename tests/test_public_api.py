@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.experiments",
     "repro.metrics",
     "repro.privacy",
+    "repro.service",
     "repro.theory",
     "repro.truthdiscovery",
     "repro.utils",

@@ -1,5 +1,7 @@
 """Tests for the ClaimMatrix data model."""
 
+from collections import namedtuple
+
 import numpy as np
 import pytest
 
@@ -171,3 +173,74 @@ class TestTransformations:
     def test_stack_empty_rejected(self):
         with pytest.raises(ValueError):
             stack_claims([])
+
+
+Sub = namedtuple("Sub", "user_id object_ids values")
+"""Minimal submission-shaped record for from_submissions tests."""
+
+
+class TestColumnConstruction:
+    def test_from_columns_round_trip(self):
+        cm = ClaimMatrix.from_columns(
+            np.array([0, 0, 1]),
+            np.array([0, 1, 1]),
+            np.array([1.0, 2.0, 3.0]),
+            user_ids=("a", "b"),
+            object_ids=("x", "y"),
+        )
+        assert cm.user_ids == ("a", "b")
+        assert cm.values[0, 1] == 2.0
+        assert not cm.mask[1, 0]
+        assert cm.density == pytest.approx(0.75)
+
+    def test_from_columns_duplicates_keep_last(self):
+        cm = ClaimMatrix.from_columns(
+            np.array([0, 0]),
+            np.array([0, 0]),
+            np.array([1.0, 9.0]),
+            user_ids=("a",),
+            object_ids=("x",),
+        )
+        assert cm.values[0, 0] == 9.0
+
+    def test_from_columns_validates_ranges(self):
+        with pytest.raises(ValueError, match="user_index out of range"):
+            ClaimMatrix.from_columns(
+                np.array([2]), np.array([0]), np.array([1.0]),
+                user_ids=("a",), object_ids=("x",),
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            ClaimMatrix.from_columns(
+                np.array([], dtype=int), np.array([], dtype=int),
+                np.array([]), user_ids=("a",), object_ids=("x",),
+            )
+
+    def test_from_submissions_matches_from_records(self):
+        subs = [
+            Sub("a", ("x", "y"), (1.0, 2.0)),
+            Sub("b", ("y", "z"), (3.0, 4.0)),
+        ]
+        via_subs = ClaimMatrix.from_submissions(subs)
+        via_records = ClaimMatrix.from_records(
+            [(s.user_id, o, v) for s in subs
+             for o, v in zip(s.object_ids, s.values)]
+        )
+        np.testing.assert_array_equal(via_subs.values, via_records.values)
+        np.testing.assert_array_equal(via_subs.mask, via_records.mask)
+        assert via_subs.user_ids == via_records.user_ids
+        assert via_subs.object_ids == via_records.object_ids
+
+    def test_from_submissions_explicit_ids_and_unknowns(self):
+        with pytest.raises(KeyError, match="unknown user or object"):
+            ClaimMatrix.from_submissions(
+                [Sub("ghost", ("x",), (1.0,))],
+                user_ids=("a",), object_ids=("x",),
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            ClaimMatrix.from_submissions([])
+
+    def test_from_submissions_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="object ids .* values"):
+            ClaimMatrix.from_submissions(
+                [Sub("a", ("x", "y", "z"), (1.0, 2.0))]
+            )
