@@ -1,0 +1,52 @@
+"""Durable ingestion cost and recovery — the ISSUE-2 acceptance benchmark.
+
+Measures write-ahead-logged bulk ingest against the unlogged PR-1
+baseline for every fsync policy, plus crash-recovery speed (full replay
+and checkpoint + suffix), and persists the summary as
+``results/BENCH_durability.json``.
+
+Targets (single process, 4 shards, tmpfs-or-better disk):
+
+* WAL-on bulk ingest under ``fsync=batch`` retains >= 50% of the
+  unlogged throughput;
+* recovery replays at >= 100k claims/sec;
+* recovered truths match the live run's bit-for-bit.
+
+Run directly (the file name keeps it out of the default tier-1
+collection):  ``PYTHONPATH=src python -m pytest benchmarks/bench_durability.py -s``
+"""
+
+import json
+from pathlib import Path
+
+from repro.durable import format_durability_summary, run_durability_bench
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def test_durability(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_durability_bench(),
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_durability.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print()
+    print(format_durability_summary(report))
+
+    batch = report["logged"]["batch"]
+    assert batch["retention_vs_unlogged"] >= 0.5, (
+        f"write-ahead logging too expensive: fsync=batch retains only "
+        f"{batch['retention_vs_unlogged']:.0%} of unlogged throughput"
+    )
+    for kind, metrics in report["recovery"].items():
+        assert metrics["truths_match_bitwise"], (
+            f"{kind} recovery diverged from the live run"
+        )
+    replay = report["recovery"]["replay_only"]
+    assert replay["claims_per_sec"] >= 100_000, (
+        f"recovery too slow: {replay['claims_per_sec']:,.0f} claims/s"
+    )

@@ -6,9 +6,13 @@ Subcommands
 * ``run NAME [--profile quick|full] [--seed N] [--markdown]`` — run one
   experiment and print its tables/charts;
 * ``all [--profile ...]`` — run every experiment in sequence;
-* ``service-bench [--claims N] [--shards N] [--json PATH]`` — benchmark
-  the high-throughput claim-ingestion service against the per-message
-  server baseline.
+* ``service-bench [--claims N] [--shards N] [--output PATH]`` —
+  benchmark the high-throughput claim-ingestion service against the
+  per-message server baseline;
+* ``durable-bench [--smoke] [--output PATH]`` — measure write-ahead
+  logging cost (per fsync policy) and crash-recovery speed;
+* ``recover DIR [--campaign ID] [--checkpoint]`` — rebuild service
+  state from a durability directory and report what was recovered.
 """
 
 from __future__ import annotations
@@ -75,11 +79,71 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--seed", type=int, default=2020, help="load-generator seed"
     )
-    bench_p.add_argument(
-        "--json",
+    _add_output_option(bench_p, "results/BENCH_service.json")
+
+    durable_p = sub.add_parser(
+        "durable-bench",
+        help="measure write-ahead logging cost and crash-recovery speed",
+    )
+    durable_p.add_argument(
+        "--claims",
+        type=int,
+        default=200_000,
+        help="claims through each measured run (default 200k)",
+    )
+    durable_p.add_argument(
+        "--always-claims",
+        type=int,
+        default=None,
+        help="claims for the fsync=always run (default claims/10)",
+    )
+    durable_p.add_argument(
+        "--shards", type=int, default=4, help="service shard count"
+    )
+    durable_p.add_argument(
+        "--batch", type=int, default=2048, help="micro-batch size in claims"
+    )
+    durable_p.add_argument(
+        "--seed", type=int, default=2020, help="load-generator seed"
+    )
+    durable_p.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="durability directory to use (default: a temp dir, removed "
+        "afterwards)",
+    )
+    durable_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload exercising every code path (CI smoke test)",
+    )
+    _add_output_option(durable_p, "results/BENCH_durability.json")
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="rebuild service state from a durability directory",
+    )
+    recover_p.add_argument(
+        "directory", help="durability directory (WAL segments + checkpoints)"
+    )
+    recover_p.add_argument(
+        "--campaign",
+        metavar="ID",
+        default=None,
+        help="also print the recovered truths of one campaign",
+    )
+    recover_p.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a post-recovery checkpoint (bounds the next replay "
+        "and retires covered WAL segments)",
+    )
+    recover_p.add_argument(
+        "--output",
         metavar="PATH",
         default=None,
-        help="also write the full summary as JSON to this path",
+        help="write the recovery report as JSON to this path",
     )
 
     show_p = sub.add_parser("show", help="render a previously saved result")
@@ -94,6 +158,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _add_output_option(
+    parser: argparse.ArgumentParser, default: str
+) -> None:
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=default,
+        help=f"write the full summary as JSON to this path "
+        f"(default {default}); pass '-' to skip writing",
+    )
+
+
+def _write_output(report: dict, output: Optional[str]) -> None:
+    if output is None or output == "-":
+        return
+    import json
+    import os
+
+    parent = os.path.dirname(output)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {output}", file=sys.stderr)
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -158,8 +249,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "service-bench":
-        import json
-
         from repro.service.bench import format_summary, run_service_bench
 
         report = run_service_bench(
@@ -171,10 +260,64 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
         )
         print(format_summary(report))
-        if args.json is not None:
-            with open(args.json, "w", encoding="utf-8") as fh:
-                json.dump(report, fh, indent=2, sort_keys=True)
-            print(f"wrote {args.json}", file=sys.stderr)
+        _write_output(report, args.output)
+        return 0
+
+    if args.command == "durable-bench":
+        from repro.durable import (
+            format_durability_summary,
+            run_durability_bench,
+        )
+
+        report = run_durability_bench(
+            total_claims=args.claims,
+            always_claims=args.always_claims,
+            num_shards=args.shards,
+            max_batch=args.batch,
+            seed=args.seed,
+            directory=args.dir,
+            smoke=args.smoke,
+        )
+        print(format_durability_summary(report))
+        _write_output(report, args.output)
+        return 0
+
+    if args.command == "recover":
+        from repro.durable import (
+            CheckpointError,
+            RecordError,
+            RecoveryError,
+            RecoveryManager,
+            WalError,
+        )
+
+        try:
+            recovered = RecoveryManager(args.directory).recover(
+                resume=args.checkpoint
+            )
+        except (CheckpointError, RecordError, RecoveryError, WalError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(recovered.report.summary())
+        for campaign_id in recovered.service.campaign_ids:
+            print(recovered.service.snapshot(campaign_id).summary())
+        if args.campaign is not None:
+            if not recovered.service.has_campaign(args.campaign):
+                print(
+                    f"campaign {args.campaign!r} not in the recovered "
+                    f"state",
+                    file=sys.stderr,
+                )
+                return 2
+            snapshot = recovered.service.snapshot(args.campaign)
+            for object_id, truth, seen in zip(
+                snapshot.object_ids, snapshot.truths, snapshot.seen_objects
+            ):
+                marker = "" if seen else "  (no claims)"
+                print(f"  {object_id}: {truth:.6g}{marker}")
+        if recovered.durability is not None:
+            recovered.durability.close()
+        _write_output(recovered.report.as_dict(), args.output)
         return 0
 
     if args.command == "show":

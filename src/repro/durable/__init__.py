@@ -1,0 +1,76 @@
+"""Durable ingestion: write-ahead log, checkpoints, crash recovery.
+
+The serving layer (:mod:`repro.service`) holds campaign state in
+memory; this package makes that state survive a crash:
+
+* :class:`WriteAheadLog` — segmented, CRC-checked, append-only log of
+  every accepted micro-batch (plus campaign registrations, user-slot
+  assignments, and privacy-budget charges), with ``never`` / ``batch``
+  / ``always`` fsync policies, segment rotation, and retention;
+* :class:`CheckpointStore` — atomic snapshots of per-campaign
+  aggregator state and the :class:`~repro.service.ledger.BudgetLedger`,
+  bounding how much log a restart must replay;
+* :class:`DurabilityManager` — the hook an
+  :class:`~repro.service.ingest.IngestService` attaches
+  (``durability=``): it logs each flushed micro-batch *before* the
+  aggregator sees it and drives group commit and automatic
+  checkpoints;
+* :class:`RecoveryManager` — rebuilds the service after a crash from
+  the latest valid checkpoint plus the log suffix, truncating any torn
+  tail, with bit-for-bit identical truths on the replayed batches;
+* :class:`WorkItem` — the serialisable work-item format the log (and a
+  future multi-process shard deployment) moves around;
+* :func:`run_durability_bench` — the logged-vs-unlogged throughput and
+  recovery-time benchmark behind ``repro durable-bench``.
+"""
+
+from repro.durable.bench import format_durability_summary, run_durability_bench
+from repro.durable.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+)
+from repro.durable.manager import (
+    DurabilityConfig,
+    DurabilityManager,
+    FORMAT_VERSION,
+)
+from repro.durable.records import RecordError, WalRecord, WorkItem
+from repro.durable.recovery import (
+    RecoveredService,
+    RecoveryError,
+    RecoveryManager,
+    RecoveryReport,
+)
+from repro.durable.wal import (
+    FSYNC_POLICIES,
+    WalCorruptionError,
+    WalError,
+    WalScan,
+    WriteAheadLog,
+    read_wal,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "FORMAT_VERSION",
+    "FSYNC_POLICIES",
+    "RecordError",
+    "RecoveredService",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryReport",
+    "WalCorruptionError",
+    "WalError",
+    "WalRecord",
+    "WalScan",
+    "WorkItem",
+    "WriteAheadLog",
+    "format_durability_summary",
+    "read_wal",
+    "run_durability_bench",
+]

@@ -1,0 +1,199 @@
+"""Atomic checkpoint storage for the durable ingestion subsystem.
+
+A checkpoint captures everything needed to rebuild the service without
+replaying the whole log: per-campaign aggregator state, user tables and
+claim counters, the privacy-budget ledger, and the LSN up to which the
+write-ahead log is covered.
+
+Storage format: one ``.npz`` file per checkpoint, written to a
+temporary name and atomically renamed into place (a crash mid-write
+leaves at most a ``*.tmp`` orphan, never a half checkpoint under the
+real name).  The checkpoint payload is an arbitrary JSON-able dict in
+which NumPy arrays may appear anywhere; arrays are hoisted out into
+binary npz entries and replaced by ``{"__nd__": key}`` placeholders in
+the JSON manifest, so bulk state (the streaming CRH cell statistics)
+stays binary and bit-exact while the structure stays readable.
+
+Loading walks checkpoints newest-first and silently skips unreadable
+files, so a torn checkpoint can never block recovery — it just falls
+back to the previous one plus a longer log replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.durable.wal import _fsync_dir
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("durable.checkpoint")
+
+CHECKPOINT_PREFIX = "ckpt-"
+CHECKPOINT_SUFFIX = ".npz"
+_ARRAY_KEY = "__nd__"
+_MANIFEST_KEY = "manifest"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or decoded."""
+
+
+def _hoist_arrays(obj, arrays: dict, path: str):
+    """Replace ndarrays in ``obj`` with placeholders; collect them."""
+    if isinstance(obj, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = obj
+        return {_ARRAY_KEY: key}
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        if _ARRAY_KEY in obj:
+            raise CheckpointError(
+                f"payload dict at {path!r} uses the reserved key "
+                f"{_ARRAY_KEY!r}"
+            )
+        return {
+            str(k): _hoist_arrays(v, arrays, f"{path}.{k}")
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [
+            _hoist_arrays(v, arrays, f"{path}[{i}]")
+            for i, v in enumerate(obj)
+        ]
+    return obj
+
+
+def _lower_arrays(obj, npz):
+    """Inverse of :func:`_hoist_arrays` against a loaded npz mapping."""
+    if isinstance(obj, dict):
+        if set(obj.keys()) == {_ARRAY_KEY}:
+            return npz[obj[_ARRAY_KEY]]
+        return {k: _lower_arrays(v, npz) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_lower_arrays(v, npz) for v in obj]
+    return obj
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One loaded checkpoint: covered LSN plus the state payload."""
+
+    lsn: int
+    payload: dict
+    path: Optional[Path] = None
+
+
+class CheckpointStore:
+    """Reads and writes the checkpoints of one durability directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live (shared with the WAL segments).
+    keep:
+        Completed checkpoints to retain; older ones are pruned after
+        each successful save.  At least 1.
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], *, keep: int = 3
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self._dir = Path(directory)
+        self._keep = keep
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def paths(self) -> list[Path]:
+        """Checkpoint files, oldest first."""
+        if not self._dir.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self._dir.iterdir()
+            if p.name.startswith(CHECKPOINT_PREFIX)
+            and p.name.endswith(CHECKPOINT_SUFFIX)
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, lsn: int, payload: dict) -> Path:
+        """Persist one checkpoint atomically; prune old ones."""
+        if lsn < 0:
+            raise ValueError(f"lsn must be >= 0, got {lsn}")
+        self._dir.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        manifest = _hoist_arrays(payload, arrays, "payload")
+        try:
+            manifest_json = json.dumps(
+                {"lsn": lsn, "payload": manifest}, sort_keys=True
+            )
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint payload is not JSON-serialisable: {exc}"
+            ) from exc
+        path = self._dir / f"{CHECKPOINT_PREFIX}{lsn:020d}{CHECKPOINT_SUFFIX}"
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **{_MANIFEST_KEY: np.array(manifest_json)}, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        # The rename itself must survive power loss, or the crash
+        # silently rolls back to the previous checkpoint.
+        _fsync_dir(self._dir)
+        self._prune()
+        _LOGGER.debug("checkpoint saved at lsn %d (%s)", lsn, path.name)
+        return path
+
+    def load(self, path: Path) -> Checkpoint:
+        """Decode one checkpoint file (raises :class:`CheckpointError`)."""
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                manifest = json.loads(str(npz[_MANIFEST_KEY][()]))
+                payload = _lower_arrays(manifest["payload"], npz)
+                lsn = int(manifest["lsn"])
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            zipfile.BadZipFile,
+            json.JSONDecodeError,
+        ) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {path.name}: {exc}"
+            ) from exc
+        return Checkpoint(lsn=lsn, payload=payload, path=path)
+
+    def load_latest(self) -> Optional[Checkpoint]:
+        """Newest readable checkpoint, or None.
+
+        Unreadable files (torn by a crash, bit rot) are skipped with a
+        warning; recovery then replays a longer WAL suffix instead.
+        """
+        for path in reversed(self.paths()):
+            try:
+                return self.load(path)
+            except CheckpointError as exc:
+                _LOGGER.warning("skipping %s: %s", path.name, exc)
+        return None
+
+    # ------------------------------------------------------------------
+    def _prune(self) -> None:
+        paths = self.paths()
+        for stale in paths[: max(len(paths) - self._keep, 0)]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - race with manual cleanup
+                pass

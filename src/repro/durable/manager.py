@@ -1,0 +1,408 @@
+"""The durability hook wiring the ingestion service to WAL + checkpoints.
+
+:class:`DurabilityManager` is the single object the service layer talks
+to.  The contract mirrors the ingest pipeline's own events:
+
+* ``bind(service)`` — called once when a service attaches; records the
+  service configuration and ledger caps so recovery can rebuild the
+  same service from an empty directory;
+* ``log_register`` / ``log_unregister`` — campaign lifecycle;
+* ``log_batch`` — called by a shard for *every* micro-batch immediately
+  before it reaches the aggregator; this is the write-ahead property:
+  a batch is never aggregated without first being in the log buffer
+  (and, under ``fsync="always"``, on disk);
+* ``log_charge`` — every admitted privacy-budget charge, so spent
+  epsilon survives a restart (the safe direction: charges for claims
+  that never became durable stay spent);
+* ``after_pump`` — the group-commit point: syncs the log under the
+  ``batch`` fsync policy and triggers automatic checkpoints.
+
+The manager also keeps *shadow counters* per campaign — claims and
+per-slot claim counts at logged-batch granularity.  Live
+``CampaignState`` counters advance at pump time and include claims
+still buffered in a micro-batcher; checkpoints must not include those
+(their batches, if they survive, appear later in the log), so the
+shadow counters are what checkpoints store and what recovery restores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.durable import records as rec
+from repro.durable.checkpoint import CheckpointStore
+from repro.durable.wal import FSYNC_POLICIES, WriteAheadLog
+from repro.privacy.ldp import LDPGuarantee
+from repro.utils.logging import get_logger
+from repro.utils.validation import ensure_int
+
+_LOGGER = get_logger("durable.manager")
+
+#: On-disk layout version stamped into CONFIG records and checkpoints.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tuning knobs of the durability subsystem.
+
+    Parameters
+    ----------
+    directory:
+        Where WAL segments and checkpoints live.
+    fsync:
+        ``"never"`` / ``"batch"`` / ``"always"`` — see
+        :mod:`repro.durable.wal`.
+    max_segment_bytes:
+        WAL segment rotation threshold.
+    checkpoint_every_claims:
+        Automatic checkpoint cadence in logged claims (0 disables
+        automatic checkpoints; call :meth:`DurabilityManager.checkpoint`
+        manually).
+    keep_checkpoints:
+        Completed checkpoints retained on disk.
+    """
+
+    directory: Union[str, Path]
+    fsync: str = "batch"
+    max_segment_bytes: int = 64 * 1024 * 1024
+    checkpoint_every_claims: int = 0
+    keep_checkpoints: int = 3
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        ensure_int(self.max_segment_bytes, "max_segment_bytes", minimum=64)
+        ensure_int(
+            self.checkpoint_every_claims,
+            "checkpoint_every_claims",
+            minimum=0,
+        )
+        ensure_int(self.keep_checkpoints, "keep_checkpoints", minimum=1)
+
+
+@dataclass
+class _ShadowCounters:
+    """Per-campaign counters at logged-batch granularity."""
+
+    claims: int = 0
+    by_slot: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+
+class DurabilityManager:
+    """Write-ahead logging and checkpointing for one ingestion service.
+
+    Parameters
+    ----------
+    config:
+        A :class:`DurabilityConfig`, or a bare directory path to use
+        the default policies.
+    start_lsn:
+        First LSN to assign; recovery passes ``last recovered LSN + 1``
+        when resuming into an existing directory.
+    """
+
+    def __init__(
+        self,
+        config: Union[DurabilityConfig, str, Path],
+        *,
+        start_lsn: int = 1,
+    ) -> None:
+        if not isinstance(config, DurabilityConfig):
+            config = DurabilityConfig(directory=config)
+        self._config = config
+        self._wal = WriteAheadLog(
+            config.directory,
+            fsync=config.fsync,
+            max_segment_bytes=config.max_segment_bytes,
+            start_lsn=start_lsn,
+        )
+        self._checkpoints = CheckpointStore(
+            config.directory, keep=config.keep_checkpoints
+        )
+        self._service = None
+        self._specs: dict[str, dict] = {}
+        self._shadow: dict[str, _ShadowCounters] = {}
+        self._users_synced: dict[str, int] = {}
+        self._claims_since_checkpoint = 0
+        self.claims_logged = 0
+        self.batches_logged = 0
+        self.charges_logged = 0
+        self.checkpoints_written = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> DurabilityConfig:
+        return self._config
+
+    @property
+    def directory(self) -> Path:
+        return self._wal.directory
+
+    @property
+    def last_lsn(self) -> int:
+        return self._wal.last_lsn
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def checkpoints(self) -> CheckpointStore:
+        return self._checkpoints
+
+    @property
+    def known_campaigns(self) -> set:
+        """Campaign ids this manager has registration specs for."""
+        return set(self._specs)
+
+    # ------------------------------------------------------------------
+    def bind(self, service) -> None:
+        """Attach to an :class:`~repro.service.ingest.IngestService`.
+
+        Writes a CONFIG record so a log replayed from scratch knows how
+        to rebuild the service (shard count, batch size, ledger caps).
+        """
+        from dataclasses import asdict
+
+        self._service = service
+        ledger = service.ledger
+        self._wal.append(
+            rec.CONFIG,
+            rec.encode_json_payload(
+                {
+                    "version": FORMAT_VERSION,
+                    "service_config": asdict(service.config),
+                    "ledger": (
+                        None
+                        if ledger is None
+                        else {
+                            "epsilon_cap": ledger.epsilon_cap,
+                            "delta_cap": ledger.delta_cap,
+                        }
+                    ),
+                }
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def log_register(self, spec: dict) -> int:
+        """Persist a campaign registration; returns the record's LSN.
+
+        The record is written (and synced) before any bookkeeping
+        mutates: if the spec fails to encode, the caller aborts its
+        registration and this manager must not be left tracking a
+        campaign the service never created.
+        """
+        campaign_id = spec["campaign_id"]
+        lsn = self._wal.append(rec.REGISTER, rec.encode_json_payload(spec))
+        # Control-plane records are rare and must not sit in a buffer: a
+        # crash must never replay claims into a campaign whose
+        # registration (or removal) it forgot.
+        self._wal.sync()
+        self._specs[campaign_id] = spec
+        self._shadow[campaign_id] = _ShadowCounters(
+            claims=0,
+            by_slot=np.zeros(int(spec["max_users"]), dtype=np.int64),
+        )
+        self._users_synced[campaign_id] = len(spec.get("user_ids") or [])
+        return lsn
+
+    def log_unregister(self, campaign_id: str) -> int:
+        lsn = self._wal.append(
+            rec.UNREGISTER,
+            rec.encode_json_payload({"campaign_id": campaign_id}),
+        )
+        self._wal.sync()
+        self._specs.pop(campaign_id, None)
+        self._shadow.pop(campaign_id, None)
+        self._users_synced.pop(campaign_id, None)
+        return lsn
+
+    def log_batch(self, state, batch) -> int:
+        """Log one micro-batch about to be aggregated; returns its LSN.
+
+        ``state`` is the owning
+        :class:`~repro.service.shard.CampaignState`; new user-slot
+        assignments since the last logged batch are written first (as a
+        USERS record at a lower LSN), so any batch that survives a
+        crash can name its contributors on replay.
+        """
+        campaign_id = state.campaign_id
+        synced = self._users_synced.get(campaign_id, 0)
+        # Read the length once and slice only up to it: producers may
+        # append to the table while we log, and re-reading its length
+        # after the slice would mark those late users synced without
+        # ever writing them.  (The bounded slice also keeps this hot
+        # path O(new users), not O(table).)
+        table_len = len(state.user_table)
+        if table_len > synced:
+            self._wal.append(
+                rec.USERS,
+                rec.encode_json_payload(
+                    {
+                        "campaign_id": campaign_id,
+                        "start": synced,
+                        "user_ids": list(
+                            state.user_table[synced:table_len]
+                        ),
+                    }
+                ),
+            )
+            self._users_synced[campaign_id] = table_len
+        item = rec.WorkItem(
+            campaign_id=campaign_id,
+            user_slots=batch.users,
+            object_slots=batch.objects,
+            values=batch.values,
+        )
+        lsn = self._wal.append(rec.BATCH, item.to_bytes())
+        shadow = self._shadow.get(campaign_id)
+        if shadow is not None:
+            shadow.claims += batch.size
+            shadow.by_slot += np.bincount(
+                batch.users, minlength=shadow.by_slot.size
+            )
+        self.claims_logged += batch.size
+        self.batches_logged += 1
+        self._claims_since_checkpoint += batch.size
+        return lsn
+
+    def log_refresh(self, campaign_id: str) -> int:
+        """Persist a read-forced refresh (its timing affects truths)."""
+        return self._wal.append(
+            rec.REFRESH,
+            rec.encode_json_payload({"campaign_id": campaign_id}),
+        )
+
+    def log_charge(
+        self, user_id, guarantee: LDPGuarantee, *, label: str = ""
+    ) -> int:
+        """Persist one admitted privacy-budget charge."""
+        self.charges_logged += 1
+        return self._wal.append(
+            rec.CHARGE,
+            rec.encode_json_payload(
+                {
+                    "user_id": user_id,
+                    "epsilon": guarantee.epsilon,
+                    "delta": guarantee.delta,
+                    "label": label,
+                }
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Force the log to disk (up to the fsync policy)."""
+        self._wal.sync()
+
+    def after_pump(self) -> None:
+        """Group-commit point, called by the service after each pump."""
+        self._wal.sync()
+        self.maybe_checkpoint()
+
+    def maybe_checkpoint(self) -> Optional[Path]:
+        """Checkpoint when the automatic cadence says so."""
+        every = self._config.checkpoint_every_claims
+        if every > 0 and self._claims_since_checkpoint >= every:
+            return self.checkpoint()
+        return None
+
+    def checkpoint(self) -> Path:
+        """Snapshot the bound service's durable state; prune the log.
+
+        The checkpoint covers every record up to the current last LSN:
+        aggregator state is captured *after* those batches were
+        aggregated (logging and aggregation are adjacent and
+        synchronous), shadow counters match the logged batches exactly,
+        and the ledger holds every charge logged so far.  WAL segments
+        fully below the checkpoint are deleted.
+        """
+        from dataclasses import asdict
+
+        if self._service is None:
+            raise RuntimeError(
+                "no service bound; checkpoint() needs bind() first"
+            )
+        service = self._service
+        ledger = service.ledger
+        campaigns = []
+        for campaign_id, spec in sorted(list(self._specs.items())):
+            state = service.campaign_state(campaign_id)
+            shadow = self._shadow[campaign_id]
+            campaigns.append(
+                {
+                    "spec": spec,
+                    "user_table": list(state.user_table),
+                    "claims_accepted": shadow.claims,
+                    "claims_by_slot": shadow.by_slot.copy(),
+                    "aggregator": state.aggregator.state_dict(),
+                }
+            )
+        # The ledger snapshot and the covered log position are read
+        # under the ledger lock — the same lock producers hold across
+        # (admit + log_charge) — so every charge is either in these
+        # records (LSN at or below the position) or strictly after the
+        # position and replayed from the suffix.  Never both, never
+        # neither.
+        if ledger is None:
+            ledger_state = None
+            self._wal.sync()
+            lsn = self._wal.last_lsn
+        else:
+            with ledger.lock:
+                ledger_state = {
+                    "epsilon_cap": ledger.epsilon_cap,
+                    "delta_cap": ledger.delta_cap,
+                    "records": ledger.to_records(),
+                }
+                lsn = self._wal.last_lsn
+            # Frames at or below the captured position must be durable
+            # before the checkpoint claims to cover them.
+            self._wal.sync()
+        payload = {
+            "version": FORMAT_VERSION,
+            "service_config": asdict(service.config),
+            "ledger": ledger_state,
+            "campaigns": campaigns,
+        }
+        path = self._checkpoints.save(lsn, payload)
+        self._wal.retain(lsn)
+        self._claims_since_checkpoint = 0
+        self.checkpoints_written += 1
+        _LOGGER.debug(
+            "checkpoint at lsn %d covering %d campaign(s)",
+            lsn,
+            len(campaigns),
+        )
+        return path
+
+    def close(self) -> None:
+        """Flush and close the log (the directory stays recoverable)."""
+        self._wal.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def seed_recovered_state(
+        self,
+        *,
+        specs: dict[str, dict],
+        shadows: dict[str, "_ShadowCounters"],
+        users_synced: dict[str, int],
+    ) -> None:
+        """Adopt recovered campaign bookkeeping (used when resuming)."""
+        self._specs = dict(specs)
+        self._shadow = dict(shadows)
+        self._users_synced = dict(users_synced)

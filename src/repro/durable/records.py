@@ -1,0 +1,213 @@
+"""Serialisable record formats for the durable ingestion subsystem.
+
+Everything the write-ahead log persists is one of a small set of typed
+records.  The hot-path record — an accepted micro-batch — is encoded as
+:class:`WorkItem`, a compact columnar binary layout (no JSON, no
+pickle); the low-rate control records (campaign registration, ledger
+charges, user-table growth, service configuration) are UTF-8 JSON.
+
+:class:`WorkItem` doubles as the service's serialisable work-item
+format: it is exactly one shard work item — ``(campaign_id,
+user_slots, object_slots, values)`` — so the same encoding can carry
+items across a process or RPC boundary (the ROADMAP's multi-process
+shard evolution) as well as onto disk.
+
+Binary layout of a :class:`WorkItem` (all little-endian)::
+
+    u16  campaign-id byte length
+    ...  campaign id (UTF-8)
+    u8   flags (bit 0: slot columns are i32 instead of i64)
+    u32  claim count n
+    n *  i64/i32 user slots
+    n *  i64/i32 object slots
+    n *  f64 values
+
+Slot columns are written as i32 whenever they fit (they almost always
+do — slots index bounded user tables and object universes), which cuts
+the log to 16 bytes per claim; values are always f64 so replayed
+aggregation is bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Record types.  Values are stable on-disk identifiers — never renumber.
+
+#: Service configuration + ledger caps, written once per attach (JSON).
+CONFIG = 1
+#: Campaign registration spec (JSON).
+REGISTER = 2
+#: Campaign removal (JSON).
+UNREGISTER = 3
+#: New user-slot assignments for a campaign (JSON).
+USERS = 4
+#: One accepted micro-batch (binary :class:`WorkItem`).
+BATCH = 5
+#: One admitted privacy-budget charge (JSON).
+CHARGE = 6
+#: A read-forced aggregator refresh (JSON); replayed so the streaming
+#: backend folds staged claims at the same points it did live.
+REFRESH = 7
+
+RECORD_TYPES = (CONFIG, REGISTER, UNREGISTER, USERS, BATCH, CHARGE, REFRESH)
+
+_JSON_TYPES = frozenset(
+    (CONFIG, REGISTER, UNREGISTER, USERS, CHARGE, REFRESH)
+)
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+#: WorkItem flag: slot columns encoded as i32.
+_FLAG_NARROW_SLOTS = 0x01
+
+
+class RecordError(ValueError):
+    """A record payload failed to encode or decode."""
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One serialisable shard work item: a campaign's claim columns."""
+
+    campaign_id: str
+    user_slots: np.ndarray
+    object_slots: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        user_slots = np.asarray(self.user_slots, dtype=np.int64)
+        object_slots = np.asarray(self.object_slots, dtype=np.int64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if not (user_slots.shape == object_slots.shape == values.shape):
+            raise ValueError("work-item columns must share a shape")
+        if user_slots.ndim != 1:
+            raise ValueError("work-item columns must be 1-D")
+        if user_slots.size == 0:
+            raise ValueError("work item must carry at least one claim")
+        object.__setattr__(self, "user_slots", user_slots)
+        object.__setattr__(self, "object_slots", object_slots)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def size(self) -> int:
+        return self.values.size
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Columnar binary encoding (see the module docstring)."""
+        cid = self.campaign_id.encode("utf-8")
+        if len(cid) > 0xFFFF:
+            raise RecordError(
+                f"campaign id of {len(cid)} bytes exceeds the 64KiB limit"
+            )
+        # Slots are non-negative small integers in practice; narrow them
+        # to i32 when they fit to halve the index bytes on disk.
+        narrow = (
+            self.user_slots.max(initial=0) < 2**31
+            and self.object_slots.max(initial=0) < 2**31
+            and self.user_slots.min(initial=0) >= -(2**31)
+            and self.object_slots.min(initial=0) >= -(2**31)
+        )
+        slot_dtype = "<i4" if narrow else "<i8"
+        parts = [
+            _U16.pack(len(cid)),
+            cid,
+            _U8.pack(_FLAG_NARROW_SLOTS if narrow else 0),
+            _U32.pack(self.size),
+            np.ascontiguousarray(
+                self.user_slots.astype(slot_dtype, copy=False)
+            ).tobytes(),
+            np.ascontiguousarray(
+                self.object_slots.astype(slot_dtype, copy=False)
+            ).tobytes(),
+            np.ascontiguousarray(self.values, dtype="<f8").tobytes(),
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "WorkItem":
+        """Decode :meth:`to_bytes` output.
+
+        The value column is a read-only view into ``payload`` (no copy
+        on the recovery path); callers that need to mutate it must
+        copy.
+        """
+        try:
+            (cid_len,) = _U16.unpack_from(payload, 0)
+            offset = _U16.size
+            cid = payload[offset:offset + cid_len].decode("utf-8")
+            offset += cid_len
+            (flags,) = _U8.unpack_from(payload, offset)
+            offset += _U8.size
+            (n,) = _U32.unpack_from(payload, offset)
+            offset += _U32.size
+            slot_dtype = (
+                "<i4" if flags & _FLAG_NARROW_SLOTS else "<i8"
+            )
+            slot_bytes = 4 if flags & _FLAG_NARROW_SLOTS else 8
+            expected = offset + n * (2 * slot_bytes + 8)
+            if len(payload) != expected:
+                raise RecordError(
+                    f"work item of {n} claims needs {expected} bytes, "
+                    f"got {len(payload)}"
+                )
+            user_slots = np.frombuffer(payload, dtype=slot_dtype, count=n,
+                                       offset=offset)
+            offset += n * slot_bytes
+            object_slots = np.frombuffer(payload, dtype=slot_dtype, count=n,
+                                         offset=offset)
+            offset += n * slot_bytes
+            values = np.frombuffer(payload, dtype="<f8", count=n,
+                                   offset=offset)
+        except (struct.error, UnicodeDecodeError, ValueError) as exc:
+            if isinstance(exc, RecordError):
+                raise
+            raise RecordError(f"malformed work item: {exc}") from exc
+        return cls(
+            campaign_id=cid,
+            user_slots=user_slots,
+            object_slots=object_slots,
+            values=values,
+        )
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded write-ahead-log entry."""
+
+    lsn: int
+    rtype: int
+    payload: bytes
+
+    def decode(self):
+        """Typed view of the payload: a :class:`WorkItem` or a dict."""
+        if self.rtype == BATCH:
+            return WorkItem.from_bytes(self.payload)
+        if self.rtype in _JSON_TYPES:
+            try:
+                return json.loads(self.payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise RecordError(
+                    f"malformed JSON record (type {self.rtype}): {exc}"
+                ) from exc
+        raise RecordError(f"unknown record type {self.rtype}")
+
+
+def encode_json_payload(obj: dict) -> bytes:
+    """Compact UTF-8 JSON encoding for control records."""
+    try:
+        return json.dumps(
+            obj, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise RecordError(
+            f"record payload is not JSON-serialisable: {exc}"
+        ) from exc

@@ -1,0 +1,413 @@
+"""Crash recovery: rebuild an ingestion service from its durability dir.
+
+:class:`RecoveryManager` performs the standard WAL recovery protocol:
+
+1. load the newest readable checkpoint (unreadable ones are skipped);
+2. rebuild the service — configuration, campaigns, user tables,
+   aggregator state, privacy-budget ledger — from the checkpoint (or,
+   with no checkpoint, from the log's CONFIG/REGISTER records);
+3. replay the log suffix (records with LSN above the checkpoint's) in
+   order: registrations, user-slot assignments, micro-batches straight
+   into the campaign aggregators, and ledger charges;
+4. truncate any torn tail left by the crash.
+
+Replay feeds each logged batch through the same
+``IncrementalAggregator.ingest`` call the live shard used, so the
+recovered aggregation state is a pure function of the logged batch
+sequence — bit-for-bit identical to a service that ingested exactly
+those batches.  Claims that were accepted but still buffered in a
+micro-batcher at crash time were never logged and are lost; their
+budget charges, which *were* logged at admission, stay spent (the
+privacy-safe direction).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.durable import records as rec
+from repro.durable.checkpoint import Checkpoint, CheckpointStore
+from repro.durable.manager import (
+    DurabilityConfig,
+    DurabilityManager,
+    _ShadowCounters,
+)
+from repro.durable.wal import WalScan, read_wal
+from repro.privacy.ldp import LDPGuarantee
+from repro.truthdiscovery.streaming import ClaimBatch
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("durable.recovery")
+
+
+class RecoveryError(RuntimeError):
+    """The durability directory cannot be turned back into a service."""
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass did (for logs, tests, and the CLI)."""
+
+    directory: str
+    checkpoint_lsn: int = 0
+    last_lsn: int = 0
+    records_replayed: int = 0
+    registers_replayed: int = 0
+    batches_replayed: int = 0
+    claims_replayed: int = 0
+    charges_replayed: int = 0
+    batches_skipped: int = 0
+    truncated_bytes: int = 0
+    campaigns: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (CLI / benchmark output)."""
+        return {
+            "directory": self.directory,
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "last_lsn": self.last_lsn,
+            "records_replayed": self.records_replayed,
+            "registers_replayed": self.registers_replayed,
+            "batches_replayed": self.batches_replayed,
+            "claims_replayed": self.claims_replayed,
+            "charges_replayed": self.charges_replayed,
+            "batches_skipped": self.batches_skipped,
+            "truncated_bytes": self.truncated_bytes,
+            "campaigns": list(self.campaigns),
+            "seconds": self.seconds,
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human rendering."""
+        return (
+            f"recovered {len(self.campaigns)} campaign(s) from "
+            f"{self.directory}: checkpoint at lsn {self.checkpoint_lsn}, "
+            f"replayed {self.batches_replayed} batch(es) / "
+            f"{self.claims_replayed} claim(s) / "
+            f"{self.charges_replayed} charge(s) up to lsn {self.last_lsn}"
+            + (
+                f", truncated {self.truncated_bytes} torn byte(s)"
+                if self.truncated_bytes
+                else ""
+            )
+            + f" in {self.seconds * 1e3:.1f} ms"
+        )
+
+
+@dataclass
+class RecoveredService:
+    """A rebuilt service plus the recovery report (and optional logger)."""
+
+    service: "IngestService"  # noqa: F821 - forward ref, see recover()
+    report: RecoveryReport
+    durability: Optional[DurabilityManager] = None
+
+
+class RecoveryManager:
+    """Rebuilds :class:`~repro.service.ingest.IngestService` state.
+
+    Parameters
+    ----------
+    directory:
+        The durability directory a :class:`DurabilityManager` wrote.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._dir = Path(directory)
+
+    # ------------------------------------------------------------------
+    def recover(
+        self,
+        *,
+        config=None,
+        accountant=None,
+        resume: bool = False,
+        durability_config: Optional[DurabilityConfig] = None,
+        repair: bool = True,
+    ) -> RecoveredService:
+        """Run the full recovery protocol; returns the rebuilt service.
+
+        Parameters
+        ----------
+        config:
+            Optional :class:`~repro.service.ingest.ServiceConfig`
+            override; by default the persisted configuration is used.
+        accountant:
+            Optional audit accountant to wire into the recovered
+            ledger (event history is not persisted, only totals).
+        resume:
+            When true, attach a fresh :class:`DurabilityManager` to the
+            recovered service (continuing LSNs after the recovered
+            tail) and write a post-recovery checkpoint so old segments
+            can be retired.
+        durability_config:
+            Policies for the resumed manager (defaults to this
+            directory with default policies).  Ignored unless
+            ``resume``.
+        repair:
+            Truncate a torn WAL tail in place (disable for read-only
+            inspection of a damaged directory).
+        """
+        from repro.service.ingest import IngestService, ServiceConfig
+
+        start = time.perf_counter()
+        if not self._dir.is_dir():
+            raise RecoveryError(f"no durability directory at {self._dir}")
+        checkpoint = CheckpointStore(self._dir).load_latest()
+        after_lsn = checkpoint.lsn if checkpoint is not None else 0
+        scan = read_wal(self._dir, after_lsn=after_lsn, repair=repair)
+        if scan.first_lsn > after_lsn + 1:
+            # The log's oldest surviving record sits beyond what the
+            # checkpoint covers: records in between are gone (e.g. the
+            # newest checkpoint was lost after retention already pruned
+            # the segments it covered).  Replaying past the gap would
+            # silently drop claims and budget charges.
+            raise RecoveryError(
+                f"log gap: checkpoint covers up to lsn {after_lsn} but "
+                f"the oldest surviving record is lsn {scan.first_lsn}; "
+                f"records in between are lost"
+            )
+        report = RecoveryReport(
+            directory=str(self._dir),
+            checkpoint_lsn=after_lsn,
+            last_lsn=max(scan.last_lsn, after_lsn),
+            truncated_bytes=scan.truncated_bytes,
+        )
+
+        service_config, ledger = self._bootstrap(
+            checkpoint, scan, accountant
+        )
+        if config is not None:
+            service_config = config
+        if service_config is None:
+            service_config = ServiceConfig()
+        service = IngestService(service_config, ledger=ledger)
+
+        specs: dict[str, dict] = {}
+        if checkpoint is not None:
+            self._restore_checkpoint(service, checkpoint, specs)
+        self._replay(service, scan, specs, report)
+        report.campaigns = service.campaign_ids
+        report.seconds = time.perf_counter() - start
+        _LOGGER.info("%s", report.summary())
+
+        durability = None
+        if resume:
+            durability = self._resume(
+                service, specs, report, durability_config
+            )
+        return RecoveredService(
+            service=service, report=report, durability=durability
+        )
+
+    # ------------------------------------------------------------------
+    def _bootstrap(self, checkpoint, scan, accountant):
+        """Service config + ledger from checkpoint or CONFIG record."""
+        from repro.service.ingest import ServiceConfig
+        from repro.service.ledger import BudgetLedger
+
+        if checkpoint is not None:
+            payload = checkpoint.payload
+            service_config = ServiceConfig(**payload["service_config"])
+            ledger_state = payload.get("ledger")
+            ledger = None
+            if ledger_state is not None:
+                ledger = BudgetLedger.from_records(
+                    ledger_state["records"],
+                    epsilon_cap=ledger_state["epsilon_cap"],
+                    delta_cap=ledger_state["delta_cap"],
+                    accountant=accountant,
+                )
+            return service_config, ledger
+        for record in scan.records:
+            if record.rtype == rec.CONFIG:
+                body = record.decode()
+                service_config = ServiceConfig(**body["service_config"])
+                caps = body.get("ledger")
+                ledger = None
+                if caps is not None:
+                    ledger = BudgetLedger(
+                        caps["epsilon_cap"],
+                        delta_cap=caps["delta_cap"],
+                        accountant=accountant,
+                    )
+                return service_config, ledger
+        return None, None
+
+    def _restore_checkpoint(
+        self, service, checkpoint: Checkpoint, specs: dict
+    ) -> None:
+        for entry in checkpoint.payload.get("campaigns", []):
+            spec = entry["spec"]
+            campaign_id = spec["campaign_id"]
+            self._register_from_spec(service, spec)
+            specs[campaign_id] = spec
+            state = service.campaign_state(campaign_id)
+            user_table = list(entry["user_table"])
+            if len(user_table) > state.capacity:
+                raise RecoveryError(
+                    f"checkpointed user table for {campaign_id!r} exceeds "
+                    f"capacity {state.capacity}"
+                )
+            state.user_table = user_table
+            state.user_index = {u: i for i, u in enumerate(user_table)}
+            by_slot = np.asarray(
+                entry["claims_by_slot"], dtype=np.int64
+            ).copy()
+            if by_slot.shape != (state.capacity,):
+                raise RecoveryError(
+                    f"checkpointed claim counters for {campaign_id!r} have "
+                    f"shape {by_slot.shape}, expected ({state.capacity},)"
+                )
+            state.claims_by_slot = by_slot
+            state.claims_accepted = int(entry["claims_accepted"])
+            state.aggregator.load_state(entry["aggregator"])
+
+    def _replay(
+        self, service, scan: WalScan, specs: dict, report: RecoveryReport
+    ) -> None:
+        for record in scan.records:
+            if record.rtype == rec.CONFIG:
+                continue
+            report.records_replayed += 1
+            if record.rtype == rec.REGISTER:
+                spec = record.decode()
+                self._register_from_spec(service, spec)
+                specs[spec["campaign_id"]] = spec
+                report.registers_replayed += 1
+            elif record.rtype == rec.UNREGISTER:
+                campaign_id = record.decode()["campaign_id"]
+                if service.has_campaign(campaign_id):
+                    service.unregister_campaign(campaign_id)
+                specs.pop(campaign_id, None)
+            elif record.rtype == rec.USERS:
+                self._replay_users(service, record.decode())
+            elif record.rtype == rec.REFRESH:
+                campaign_id = record.decode()["campaign_id"]
+                if service.has_campaign(campaign_id):
+                    state = service.campaign_state(campaign_id)
+                    state.aggregator.refresh()
+            elif record.rtype == rec.BATCH:
+                self._replay_batch(service, record.decode(), report)
+            elif record.rtype == rec.CHARGE:
+                body = record.decode()
+                if service.ledger is not None:
+                    service.ledger.record_spent(
+                        body["user_id"],
+                        LDPGuarantee(
+                            epsilon=body["epsilon"], delta=body["delta"]
+                        ),
+                    )
+                report.charges_replayed += 1
+
+    def _replay_users(self, service, body: dict) -> None:
+        campaign_id = body["campaign_id"]
+        if not service.has_campaign(campaign_id):
+            return
+        state = service.campaign_state(campaign_id)
+        for offset, user_id in enumerate(body["user_ids"]):
+            slot = int(body["start"]) + offset
+            if slot < len(state.user_table):
+                # The checkpointed user table already covers this slot
+                # (it is captured live and may run ahead of the log).
+                continue
+            if slot != len(state.user_table):
+                raise RecoveryError(
+                    f"user-table gap for {campaign_id!r}: record starts at "
+                    f"slot {slot}, table has {len(state.user_table)}"
+                )
+            state.user_table.append(user_id)
+            state.user_index[user_id] = slot
+
+    def _replay_batch(
+        self, service, item: rec.WorkItem, report: RecoveryReport
+    ) -> None:
+        if not service.has_campaign(item.campaign_id):
+            # A batch for a campaign the log never registered (or that
+            # a later checkpoint no longer knows): nothing to feed.
+            report.batches_skipped += 1
+            _LOGGER.warning(
+                "skipping logged batch for unknown campaign %r",
+                item.campaign_id,
+            )
+            return
+        state = service.campaign_state(item.campaign_id)
+        top_slot = int(item.user_slots.max())
+        if top_slot >= state.capacity:
+            raise RecoveryError(
+                f"logged batch for {item.campaign_id!r} references slot "
+                f"{top_slot} beyond capacity {state.capacity}"
+            )
+        # Belt and braces: a USERS record always precedes its batch in
+        # the log, but placeholder ids keep replay total if one is lost.
+        state.ensure_placeholder_slots(top_slot)
+        state.aggregator.ingest(
+            ClaimBatch(
+                users=item.user_slots,
+                objects=item.object_slots,
+                values=item.values,
+            )
+        )
+        state.claims_accepted += item.size
+        state.claims_by_slot += np.bincount(
+            item.user_slots, minlength=state.capacity
+        )
+        report.batches_replayed += 1
+        report.claims_replayed += item.size
+
+    def _resume(
+        self, service, specs, report, durability_config
+    ) -> DurabilityManager:
+        if durability_config is None:
+            durability_config = DurabilityConfig(directory=self._dir)
+        manager = DurabilityManager(
+            durability_config, start_lsn=report.last_lsn + 1
+        )
+        shadows = {}
+        users_synced = {}
+        for campaign_id in specs:
+            state = service.campaign_state(campaign_id)
+            shadows[campaign_id] = _ShadowCounters(
+                claims=state.claims_accepted,
+                by_slot=state.claims_by_slot.copy(),
+            )
+            users_synced[campaign_id] = len(state.user_table)
+        manager.seed_recovered_state(
+            specs=specs, shadows=shadows, users_synced=users_synced
+        )
+        service.attach_durability(manager)
+        # A fresh checkpoint bounds the next crash's replay and lets
+        # retention drop the pre-crash segments.
+        manager.checkpoint()
+        return manager
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _register_from_spec(service, spec: dict) -> None:
+        cost = spec.get("cost")
+        if service.has_campaign(spec["campaign_id"]):
+            raise RecoveryError(
+                f"duplicate registration for {spec['campaign_id']!r} in log"
+            )
+        service.register_campaign(
+            spec["campaign_id"],
+            list(spec["object_ids"]),
+            max_users=int(spec["max_users"]),
+            user_ids=spec.get("user_ids") or None,
+            method=spec.get("method", "crh"),
+            aggregator=spec.get("aggregator", "auto"),
+            cost=(
+                None
+                if cost is None
+                else LDPGuarantee(
+                    epsilon=cost["epsilon"], delta=cost["delta"]
+                )
+            ),
+            **(spec.get("method_kwargs") or {}),
+        )

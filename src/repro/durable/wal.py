@@ -1,0 +1,447 @@
+"""Segmented, CRC-checked, append-only write-ahead log.
+
+The log is a directory of segment files named ``wal-<first-lsn>.seg``
+(zero-padded so lexicographic order is LSN order).  Each segment starts
+with an 8-byte magic and holds a sequence of frames::
+
+    u32  body length
+    u32  CRC-32 of the body
+    ...  body = u8 record type | u64 LSN | payload
+
+LSNs (log sequence numbers) are assigned by the writer, strictly
+increasing across segments; checkpoints reference them to mark how much
+of the log they cover, and recovery replays only records with larger
+LSNs.
+
+Durability policy (``fsync=``):
+
+* ``"never"`` — frames are flushed to the OS at sync points but never
+  fsynced: survives process crashes, not power loss;
+* ``"batch"`` — group commit: :meth:`WriteAheadLog.sync` (called by the
+  service after each pump) flushes and fsyncs once per group;
+* ``"always"`` — every appended frame is flushed and fsynced before
+  :meth:`WriteAheadLog.append` returns.
+
+Reading tolerates a torn tail — a partial frame or CRC mismatch at the
+end of the *last* segment, the signature of a crash mid-write — by
+truncating it (``repair=True``).  The same damage in an earlier segment
+is real corruption and raises :class:`WalCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.durable.records import RECORD_TYPES, WalRecord
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("durable.wal")
+
+SEGMENT_MAGIC = b"RPWAL001"
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".seg"
+
+#: Accepted values for the writer's ``fsync`` policy.
+FSYNC_POLICIES = ("never", "batch", "always")
+
+_FRAME_HEADER = struct.Struct("<II")  # body length, CRC-32
+_BODY_HEADER = struct.Struct("<BQ")  # record type, LSN
+
+#: Hard ceiling on a single frame body; anything larger in a file is
+#: treated as corruption rather than an allocation request.
+MAX_BODY_BYTES = 1 << 30
+
+_fdatasync = getattr(os, "fdatasync", os.fsync)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make a create/rename in ``directory`` itself durable.
+
+    File data reaches the disk via fdatasync, but a freshly created
+    file's *directory entry* needs its own fsync or power loss can
+    leave the data unreachable.  Best-effort: platforms that cannot
+    fsync a directory just skip it.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+class WalError(RuntimeError):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruptionError(WalError):
+    """The log is damaged somewhere recovery cannot safely skip."""
+
+
+def segment_path(directory: Path, first_lsn: int) -> Path:
+    return directory / f"{SEGMENT_PREFIX}{first_lsn:020d}{SEGMENT_SUFFIX}"
+
+
+def list_segments(directory: Union[str, Path]) -> list[Path]:
+    """Segment files in LSN order (empty when the directory is fresh)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p
+        for p in directory.iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+        and p.name.endswith(SEGMENT_SUFFIX)
+    )
+
+
+def _segment_first_lsn(path: Path) -> int:
+    stem = path.name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError as exc:
+        raise WalCorruptionError(
+            f"segment {path.name} has a malformed name"
+        ) from exc
+
+
+class WriteAheadLog:
+    """Appender for a WAL directory.
+
+    Parameters
+    ----------
+    directory:
+        Log directory (created if missing).  A writer never appends
+        into pre-existing segments: its first append starts a fresh
+        segment, which keeps resuming after recovery trivially safe.
+    fsync:
+        Durability policy; see the module docstring.
+    max_segment_bytes:
+        Rotation threshold; a segment is sealed once it reaches this
+        size and the next append opens a new one.
+    start_lsn:
+        First LSN this writer assigns (``last recovered LSN + 1`` when
+        resuming).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        fsync: str = "batch",
+        max_segment_bytes: int = 64 * 1024 * 1024,
+        start_lsn: int = 1,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if max_segment_bytes < len(SEGMENT_MAGIC) + _FRAME_HEADER.size:
+            raise ValueError(
+                f"max_segment_bytes {max_segment_bytes} cannot hold a frame"
+            )
+        if start_lsn < 1:
+            raise ValueError(f"start_lsn must be >= 1, got {start_lsn}")
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        existing = list_segments(self._dir)
+        if existing:
+            last = existing[-1]
+            floor = _segment_first_lsn(last) - 1
+            data = last.read_bytes()
+            if data.startswith(SEGMENT_MAGIC):
+                for _offset, _body_start, body in _iter_frames(data):
+                    _rtype, lsn = _BODY_HEADER.unpack_from(body, 0)
+                    floor = lsn
+            if start_lsn <= floor:
+                raise WalError(
+                    f"start_lsn {start_lsn} collides with existing records "
+                    f"up to lsn {floor} in {last.name}; recover first"
+                )
+        self._fsync = fsync
+        self._max_segment_bytes = max_segment_bytes
+        self._next_lsn = start_lsn
+        self._fh = None
+        self._segment_bytes = 0
+        self._dirty = False
+        # Appends arrive from producer threads (budget charges) as well
+        # as the pump thread (batches); one lock keeps LSNs monotonic
+        # and frames contiguous.
+        self._io_lock = threading.Lock()
+        self.bytes_written = 0
+        self.records_written = 0
+        self.syncs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def fsync_policy(self) -> str:
+        return self._fsync
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        """Highest LSN assigned so far (``start_lsn - 1`` when none)."""
+        return self._next_lsn - 1
+
+    # ------------------------------------------------------------------
+    def append(self, rtype: int, payload: bytes) -> int:
+        """Write one record; returns its LSN.
+
+        Under ``fsync="always"`` the record is durable on return; under
+        the other policies it becomes durable at the next :meth:`sync`.
+        """
+        if rtype not in RECORD_TYPES:
+            raise ValueError(f"unknown record type {rtype}")
+        if len(payload) + _BODY_HEADER.size > MAX_BODY_BYTES:
+            raise WalError(
+                f"record body of {len(payload)} bytes is too large"
+            )
+        with self._io_lock:
+            body = _BODY_HEADER.pack(rtype, self._next_lsn) + payload
+            frame = (
+                _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+            )
+            if (
+                self._fh is not None
+                and self._segment_bytes + len(frame)
+                > self._max_segment_bytes
+                and self._segment_bytes > len(SEGMENT_MAGIC)
+            ):
+                self._seal()
+            if self._fh is None:
+                self._open_segment()
+            self._fh.write(frame)
+            self._segment_bytes += len(frame)
+            self.bytes_written += len(frame)
+            self.records_written += 1
+            self._dirty = True
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            if self._fsync == "always":
+                self._flush(force_fsync=True)
+        return lsn
+
+    def sync(self) -> None:
+        """Group-commit point: flush (and fsync unless ``never``)."""
+        with self._io_lock:
+            if not self._dirty:
+                return
+            self._flush(force_fsync=self._fsync != "never")
+            self.syncs += 1
+
+    def retain(self, lsn: int) -> list[Path]:
+        """Delete sealed segments fully covered by a checkpoint at ``lsn``.
+
+        A segment is removable when the *next* segment starts at or
+        below ``lsn + 1`` — every record it holds then has an LSN
+        ``<= lsn``.  The active segment is never removed.  Returns the
+        deleted paths.
+        """
+        segments = list_segments(self._dir)
+        removed: list[Path] = []
+        for current, successor in zip(segments, segments[1:]):
+            if _segment_first_lsn(successor) <= lsn + 1:
+                current.unlink()
+                removed.append(current)
+            else:
+                break
+        if removed:
+            _LOGGER.debug(
+                "retention at lsn %d removed %d segment(s)", lsn, len(removed)
+            )
+        return removed
+
+    def close(self) -> None:
+        with self._io_lock:
+            if self._fh is not None:
+                self._flush(force_fsync=self._fsync != "never")
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _open_segment(self) -> None:
+        path = segment_path(self._dir, self._next_lsn)
+        if path.exists():
+            # A frame-less leftover (crash between rotation and the
+            # first frame surviving) carries no records and may be
+            # replaced; anything with content is a real collision.
+            if path.stat().st_size > len(SEGMENT_MAGIC):
+                raise WalError(f"segment {path.name} already exists")
+        self._fh = open(path, "wb")
+        self._fh.write(SEGMENT_MAGIC)
+        self._segment_bytes = len(SEGMENT_MAGIC)
+        if self._fsync != "never":
+            # The new directory entry must survive power loss too, or
+            # every "durable" frame in this segment is unreachable.
+            self._fh.flush()
+            _fdatasync(self._fh.fileno())
+            _fsync_dir(self._dir)
+
+    def _seal(self) -> None:
+        self._flush(force_fsync=self._fsync != "never")
+        self._fh.close()
+        self._fh = None
+        self._segment_bytes = 0
+
+    def _flush(self, *, force_fsync: bool) -> None:
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if force_fsync:
+            # fdatasync skips the metadata flush (mtime etc.) where the
+            # platform offers it; the file length change that matters
+            # for replay is part of the data journal either way.
+            _fdatasync(self._fh.fileno())
+        self._dirty = False
+
+
+# ---------------------------------------------------------------------------
+# Reading.
+
+
+@dataclass
+class WalScan:
+    """Outcome of one full log read."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    segments: int = 0
+    truncated_bytes: int = 0
+    truncated_segment: Optional[str] = None
+    first_lsn: int = 0
+    last_lsn: int = 0
+
+    @property
+    def torn_tail(self) -> bool:
+        return self.truncated_bytes > 0
+
+
+def _iter_frames(data: bytes) -> Iterator[tuple[int, int, bytes]]:
+    """Yield ``(offset, body_offset, body)`` for intact frames.
+
+    Stops at the first malformed frame; the caller decides whether that
+    is a torn tail or corruption based on which segment it is.
+    """
+    offset = len(SEGMENT_MAGIC)
+    size = len(data)
+    while offset < size:
+        if offset + _FRAME_HEADER.size > size:
+            break
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        body_start = offset + _FRAME_HEADER.size
+        if length < _BODY_HEADER.size or length > MAX_BODY_BYTES:
+            break
+        if body_start + length > size:
+            break
+        body = data[body_start:body_start + length]
+        if zlib.crc32(body) != crc:
+            break
+        yield offset, body_start, body
+        offset = body_start + length
+
+
+def read_wal(
+    directory: Union[str, Path],
+    *,
+    after_lsn: int = 0,
+    repair: bool = True,
+) -> WalScan:
+    """Read every intact record with LSN ``> after_lsn``, in order.
+
+    A torn tail on the final segment is truncated in place when
+    ``repair`` is true (so a subsequent writer restart cannot be
+    confused by it) and reported in the returned :class:`WalScan`.
+    Damage anywhere else raises :class:`WalCorruptionError`.
+    """
+    segments = list_segments(directory)
+    scan = WalScan(segments=len(segments))
+    expected_lsn: Optional[int] = None
+    for index, path in enumerate(segments):
+        is_last = index == len(segments) - 1
+        data = path.read_bytes()
+        if len(data) < len(SEGMENT_MAGIC) or not data.startswith(
+            SEGMENT_MAGIC
+        ):
+            if is_last and len(data) < len(SEGMENT_MAGIC):
+                # Crash between segment creation and the magic landing.
+                scan.truncated_bytes += len(data)
+                scan.truncated_segment = path.name
+                if repair:
+                    path.unlink()
+                break
+            raise WalCorruptionError(f"segment {path.name} has a bad header")
+        consumed = len(SEGMENT_MAGIC)
+        frames = 0
+        for offset, body_start, body in _iter_frames(data):
+            rtype, lsn = _BODY_HEADER.unpack_from(body, 0)
+            if expected_lsn is not None and lsn != expected_lsn + 1:
+                # Contiguity, not just monotonicity: a gap means
+                # records were lost (a deleted or skipped segment) and
+                # replaying past it would silently produce wrong state.
+                raise WalCorruptionError(
+                    f"LSN gap in {path.name}: got {lsn} after "
+                    f"{expected_lsn}"
+                )
+            expected_lsn = lsn
+            if scan.first_lsn == 0:
+                scan.first_lsn = lsn
+            scan.last_lsn = lsn
+            consumed = body_start + len(body)
+            frames += 1
+            if lsn > after_lsn:
+                scan.records.append(
+                    WalRecord(
+                        lsn=lsn,
+                        rtype=rtype,
+                        payload=body[_BODY_HEADER.size:],
+                    )
+                )
+        if consumed < len(data):
+            if not is_last:
+                raise WalCorruptionError(
+                    f"corrupt frame mid-log in {path.name} "
+                    f"(offset {consumed})"
+                )
+            scan.truncated_bytes = len(data) - consumed
+            scan.truncated_segment = path.name
+        if is_last and repair:
+            if frames == 0:
+                # No intact frame survived: the whole segment is noise
+                # (crash right after rotation).  Remove it so a resumed
+                # writer can reuse the LSN range it claims in its name.
+                path.unlink()
+                if scan.truncated_bytes:
+                    _LOGGER.warning(
+                        "removed frame-less torn segment %s", path.name
+                    )
+            elif scan.truncated_bytes:
+                with open(path, "rb+") as fh:
+                    fh.truncate(consumed)
+                _LOGGER.warning(
+                    "truncated torn tail of %s: %d byte(s) dropped",
+                    path.name,
+                    scan.truncated_bytes,
+                )
+    return scan

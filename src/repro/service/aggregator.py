@@ -65,6 +65,18 @@ class IncrementalAggregator(ABC):
     def refresh(self) -> None:
         """Force deferred work so ``truths``/``weights`` are current."""
 
+    @property
+    def refresh_changes_state(self) -> bool:
+        """Whether a refresh *now* would alter future aggregate values.
+
+        Durability uses this to decide if a read-forced refresh must be
+        write-ahead logged: the streaming backend folds staged claims
+        with sweep timing that depends on when refreshes happen, while
+        the full-refit backend recomputes from all retained claims and
+        is timing-independent (never logged).
+        """
+        return False
+
     @abstractmethod
     def truths(self) -> np.ndarray:
         """Current ``(N,)`` truths (0.0 for never-seen objects)."""
@@ -76,6 +88,21 @@ class IncrementalAggregator(ABC):
     @abstractmethod
     def seen_objects(self) -> np.ndarray:
         """``(N,)`` mask of objects with at least one ingested claim."""
+
+    @abstractmethod
+    def state_dict(self) -> dict:
+        """Complete serialisable state (for durable checkpoints).
+
+        ``load_state`` on a freshly constructed aggregator of the same
+        configuration restores the stream bit-for-bit — including work
+        the backend has deferred (staged batches, retained claims), so
+        checkpointing never forces a refinement and cannot perturb the
+        stream relative to an uncheckpointed run.
+        """
+
+    @abstractmethod
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this aggregator."""
 
 
 class StreamingAggregator(IncrementalAggregator):
@@ -126,6 +153,10 @@ class StreamingAggregator(IncrementalAggregator):
         if self._staged_claims >= self._refine_every:
             self.refresh()
 
+    @property
+    def refresh_changes_state(self) -> bool:
+        return bool(self._staged)
+
     def refresh(self) -> None:
         if not self._staged:
             return
@@ -156,6 +187,56 @@ class StreamingAggregator(IncrementalAggregator):
     def seen_objects(self) -> np.ndarray:
         self.refresh()
         return self._crh.seen_objects
+
+    def state_dict(self) -> dict:
+        # Array form: the cell statistics dominate the state and go
+        # straight into binary checkpoint entries.
+        crh = self._crh.snapshot(arrays=True)
+        if self._staged:
+            staged_users = np.concatenate([b.users for b in self._staged])
+            staged_objects = np.concatenate([b.objects for b in self._staged])
+            staged_values = np.concatenate([b.values for b in self._staged])
+        else:
+            staged_users = np.empty(0, dtype=np.int64)
+            staged_objects = np.empty(0, dtype=np.int64)
+            staged_values = np.empty(0, dtype=float)
+        return {
+            "kind": "streaming",
+            "claims_ingested": self.claims_ingested,
+            "batches_ingested": self.batches_ingested,
+            "refine_every": self._refine_every,
+            "claims_since_decay": self._claims_since_decay,
+            "staged_users": staged_users,
+            "staged_objects": staged_objects,
+            "staged_values": staged_values,
+            "crh": crh,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != "streaming":
+            raise ValueError(
+                f"state is for a {state.get('kind')!r} backend, "
+                f"not 'streaming'"
+            )
+        self._crh.restore(state["crh"])
+        self._refine_every = ensure_int(
+            state["refine_every"], "refine_every", minimum=1
+        )
+        self._claims_since_decay = int(state["claims_since_decay"])
+        self.claims_ingested = int(state["claims_ingested"])
+        self.batches_ingested = int(state["batches_ingested"])
+        users = np.asarray(state["staged_users"], dtype=np.int64)
+        objects = np.asarray(state["staged_objects"], dtype=np.int64)
+        values = np.asarray(state["staged_values"], dtype=float)
+        # Staged batches are merged at refresh regardless of their
+        # original boundaries, so restoring them as one batch is exact.
+        if users.size:
+            self._staged = [
+                ClaimBatch(users=users, objects=objects, values=values)
+            ]
+        else:
+            self._staged = []
+        self._staged_claims = int(users.size)
 
 
 class FullRefitAggregator(IncrementalAggregator):
@@ -233,6 +314,45 @@ class FullRefitAggregator(IncrementalAggregator):
     def seen_objects(self) -> np.ndarray:
         self.refresh()
         return self._seen.copy()
+
+    def state_dict(self) -> dict:
+        if self._users:
+            users = np.concatenate(self._users)
+            objects = np.concatenate(self._objects)
+            values = np.concatenate(self._values)
+        else:
+            users = np.empty(0, dtype=np.int64)
+            objects = np.empty(0, dtype=np.int64)
+            values = np.empty(0, dtype=float)
+        return {
+            "kind": "full",
+            "claims_ingested": self.claims_ingested,
+            "batches_ingested": self.batches_ingested,
+            "users": users,
+            "objects": objects,
+            "values": values,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != "full":
+            raise ValueError(
+                f"state is for a {state.get('kind')!r} backend, not 'full'"
+            )
+        users = np.asarray(state["users"], dtype=np.int64)
+        objects = np.asarray(state["objects"], dtype=np.int64)
+        values = np.asarray(state["values"], dtype=float)
+        self.claims_ingested = int(state["claims_ingested"])
+        self.batches_ingested = int(state["batches_ingested"])
+        if users.size:
+            self._users = [users]
+            self._objects = [objects]
+            self._values = [values]
+            # The refit is deterministic in the retained claims, so the
+            # lazy recompute reproduces the checkpointed results exactly.
+            self._dirty = True
+        else:
+            self._users, self._objects, self._values = [], [], []
+            self._dirty = False
 
 
 def make_aggregator(

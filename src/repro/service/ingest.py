@@ -144,6 +144,13 @@ class IngestService:
         with a per-submission ``cost`` charge it on every accepted
         submission; exhausted users are rejected with reason
         ``"budget"``.
+    durability:
+        Optional :class:`~repro.durable.manager.DurabilityManager`.
+        When set, every registration, admitted budget charge, and
+        flushed micro-batch is written ahead to an append-only log and
+        the service's state can be rebuilt after a crash with
+        :class:`~repro.durable.recovery.RecoveryManager`.  Attach it at
+        construction (before registering campaigns).
     """
 
     def __init__(
@@ -151,15 +158,19 @@ class IngestService:
         config: Optional[ServiceConfig] = None,
         *,
         ledger: Optional[BudgetLedger] = None,
+        durability=None,
     ) -> None:
         self._config = config if config is not None else ServiceConfig()
         self._ledger = ledger
+        self._durability = None
         self._shards = [
             Shard(i, queue_capacity=self._config.queue_capacity)
             for i in range(self._config.num_shards)
         ]
         self._campaign_shard: dict[str, Shard] = {}
         self.stats = ServiceStats()
+        if durability is not None:
+            self.attach_durability(durability)
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +180,32 @@ class IngestService:
     @property
     def ledger(self) -> Optional[BudgetLedger]:
         return self._ledger
+
+    @property
+    def durability(self):
+        """The attached durability manager (None when running volatile)."""
+        return self._durability
+
+    def attach_durability(self, durability) -> None:
+        """Wire a durability manager into the pipeline.
+
+        Every already-registered campaign must be known to the manager
+        (true for a fresh service, and for recovery, which seeds the
+        manager from the recovered state) — otherwise those campaigns
+        could never be checkpointed or replayed.
+        """
+        if self._durability is not None:
+            raise RuntimeError("a durability manager is already attached")
+        missing = set(self._campaign_shard) - durability.known_campaigns
+        if missing:
+            raise ValueError(
+                f"campaigns registered before durability was attached: "
+                f"{sorted(missing)}; attach durability first"
+            )
+        self._durability = durability
+        for shard in self._shards:
+            shard.durability = durability
+        durability.bind(self)
 
     @property
     def num_shards(self) -> int:
@@ -209,6 +246,7 @@ class IngestService:
         if campaign_id in self._campaign_shard:
             raise ValueError(f"campaign {campaign_id!r} already registered")
         ensure_int(max_users, "max_users", minimum=1)
+        object_ids = tuple(object_ids)
         cfg = self._config
         state = CampaignState(
             campaign_id,
@@ -219,7 +257,7 @@ class IngestService:
             max_batch=cfg.max_batch,
             aggregator=make_aggregator(
                 max_users,
-                len(tuple(object_ids)),
+                len(object_ids),
                 kind=aggregator,
                 method=method,
                 decay=cfg.decay,
@@ -229,6 +267,28 @@ class IngestService:
                 **method_kwargs,
             ),
         )
+        if self._durability is not None:
+            # Log the registration before claims can reference it.  The
+            # spec must round-trip through JSON, so durable campaigns
+            # need JSON-representable object ids and method kwargs.
+            self._durability.log_register(
+                {
+                    "campaign_id": campaign_id,
+                    "object_ids": list(object_ids),
+                    "max_users": max_users,
+                    "user_ids": (
+                        None if user_ids is None else list(user_ids)
+                    ),
+                    "method": method,
+                    "aggregator": aggregator,
+                    "cost": (
+                        None
+                        if cost is None
+                        else {"epsilon": cost.epsilon, "delta": cost.delta}
+                    ),
+                    "method_kwargs": dict(method_kwargs),
+                }
+            )
         shard = self._shards[self.shard_of(campaign_id)]
         shard.register(state)
         self._campaign_shard[campaign_id] = shard
@@ -252,6 +312,8 @@ class IngestService:
         if shard is None:
             raise KeyError(f"campaign {campaign_id!r} not registered")
         del shard.campaigns[campaign_id]
+        if self._durability is not None:
+            self._durability.log_unregister(campaign_id)
 
     def campaign_state(self, campaign_id: str) -> CampaignState:
         """The shard-side state of a campaign (read-mostly; for tests)."""
@@ -285,24 +347,60 @@ class IngestService:
         if slot is None and len(state.user_table) >= state.capacity:
             stats.rejected_capacity += n
             return IngestResult(0, n, "capacity")
-        if self._config.overflow == "reject" and not shard.has_room:
+        reserved = False
+        if self._config.overflow == "reject":
             # Backpressure fires before the budget charge: a submission
-            # the queue refuses must not spend the user's epsilon.
-            stats.rejected_overflow += n
-            return IngestResult(0, n, "overflow")
+            # the queue refuses must not spend the user's epsilon.  The
+            # reservation (not a bare has_room peek) keeps that true
+            # under concurrent producers.
+            if not shard.try_reserve():
+                stats.rejected_overflow += n
+                return IngestResult(0, n, "overflow")
+            reserved = True
         if state.cost is not None and self._ledger is not None:
-            decision = self._ledger.admit(
-                submission.user_id,
-                state.cost,
-                label=submission.campaign_id,
-            )
+            # Admission and its write-ahead charge record form one
+            # atomic section under the ledger lock, so a concurrent
+            # checkpoint (which snapshots the ledger and the log
+            # position under the same lock) sees either both or
+            # neither — a charge can never fall between a checkpoint's
+            # ledger records and its replayed log suffix.
+            with self._ledger.lock:
+                decision = self._ledger.admit(
+                    submission.user_id,
+                    state.cost,
+                    label=submission.campaign_id,
+                )
+                if decision.admitted and self._durability is not None:
+                    # Charges are logged at admission, not at
+                    # aggregation: if the claims are lost in a crash
+                    # before their batch becomes durable, the budget
+                    # stays spent (safe side).
+                    self._durability.log_charge(
+                        submission.user_id,
+                        state.cost,
+                        label=submission.campaign_id,
+                    )
             if not decision.admitted:
+                if reserved:
+                    shard.cancel_reservation()
                 stats.rejected_budget += n
                 return IngestResult(0, n, "budget")
         if slot is None:
             slot = state.user_slot(submission.user_id)
+            if slot < 0:
+                # Concurrent submitters filled the user table between
+                # the capacity peek and the assignment.  The budget
+                # charge (if any) stands — over-charging is the safe
+                # direction — but the claims are refused.
+                if reserved:
+                    shard.cancel_reservation()
+                stats.rejected_capacity += n
+                return IngestResult(0, n, "capacity")
         user_slots = np.full(n, slot, dtype=np.int64)
-        return self._enqueue(shard, state, user_slots, object_slots, values)
+        return self._enqueue(
+            shard, state, user_slots, object_slots, values,
+            reserved=reserved,
+        )
 
     def submit_columns(
         self,
@@ -350,10 +448,14 @@ class IngestService:
         if not np.isfinite(values).all():
             stats.rejected_invalid_value += n
             return IngestResult(0, n, "invalid-value")
-        if self._config.overflow == "reject" and not shard.has_room:
-            # As in submit(): refuse before charging anyone's budget.
-            stats.rejected_overflow += n
-            return IngestResult(0, n, "overflow")
+        reserved = False
+        if self._config.overflow == "reject":
+            # As in submit(): refuse before charging anyone's budget,
+            # atomically against concurrent producers.
+            if not shard.try_reserve():
+                stats.rejected_overflow += n
+                return IngestResult(0, n, "overflow")
+            reserved = True
         if state.cost is not None and self._ledger is not None:
             # Two-phase atomic admission: resolve each distinct slot to
             # its (possibly prospective) user id, check every user's
@@ -379,47 +481,81 @@ class IngestService:
                 )
                 for s, c in zip(unique_slots, claim_counts)
             ]
-            for user_id, charge in chunk_charges:
-                if not self._ledger.can_admit(user_id, charge):
-                    stats.rejected_budget += n
-                    _LOGGER.debug(
-                        "chunk for %s rejected: %s out of budget",
-                        campaign_id,
-                        user_id,
-                    )
-                    return IngestResult(0, n, "budget")
-            for user_id, charge in chunk_charges:
-                decision = self._ledger.admit(
-                    user_id, charge, label=campaign_id
+            # The whole check-then-charge sequence holds the ledger
+            # lock: concurrent producers cannot admit against the same
+            # headroom between our check and our charge, and a
+            # concurrent checkpoint sees the chunk's charges and their
+            # log records together or not at all.
+            with self._ledger.lock:
+                rejected_user = None
+                for user_id, charge in chunk_charges:
+                    if not self._ledger.can_admit(user_id, charge):
+                        rejected_user = user_id
+                        break
+                if rejected_user is None:
+                    for user_id, charge in chunk_charges:
+                        decision = self._ledger.admit(
+                            user_id, charge, label=campaign_id
+                        )
+                        if (
+                            decision.admitted
+                            and self._durability is not None
+                        ):
+                            self._durability.log_charge(
+                                user_id, charge, label=campaign_id
+                            )
+                        if not decision.admitted:  # pragma: no cover
+                            # Cannot happen while slots map to distinct
+                            # users (can_admit passed above, under the
+                            # same lock hold); never swallow a failed
+                            # charge for accepted claims.
+                            raise RuntimeError(
+                                f"budget charge failed after admission "
+                                f"check for {user_id!r}"
+                            )
+            if rejected_user is not None:
+                if reserved:
+                    shard.cancel_reservation()
+                stats.rejected_budget += n
+                _LOGGER.debug(
+                    "chunk for %s rejected: %s out of budget",
+                    campaign_id,
+                    rejected_user,
                 )
-                if not decision.admitted:  # pragma: no cover - invariant
-                    # Cannot happen while slots map to distinct users
-                    # (can_admit passed above); never swallow a failed
-                    # charge for accepted claims.
-                    raise RuntimeError(
-                        f"budget charge failed after admission check "
-                        f"for {user_id!r}"
-                    )
+                return IngestResult(0, n, "budget")
         # Columnar callers address users by slot; make sure the slots
         # exist in the id table so snapshots can name contributors.  The
         # "slot:" namespace cannot collide with protocol user ids that
         # were (or will be) assigned through user_slot() — register
         # explicit user_ids to get real names in snapshots.
-        if len(state.user_table) <= int(user_slots.max()):
-            for i in range(len(state.user_table), int(user_slots.max()) + 1):
-                state.user_slot(f"slot:{i}")
-        return self._enqueue(shard, state, user_slots, object_slots, values)
+        top_slot = int(user_slots.max())
+        if len(state.user_table) <= top_slot:
+            state.ensure_placeholder_slots(top_slot)
+        return self._enqueue(
+            shard, state, user_slots, object_slots, values,
+            reserved=reserved,
+        )
 
     # ------------------------------------------------------------------
     def pump(self) -> int:
-        """Move queued work through batchers into aggregators."""
-        return sum(shard.pump() for shard in self._shards)
+        """Move queued work through batchers into aggregators.
+
+        With durability attached this is also the group-commit point:
+        batches logged during the pump are synced (under the ``batch``
+        fsync policy) and automatic checkpoints fire here.
+        """
+        moved = sum(shard.pump() for shard in self._shards)
+        if self._durability is not None:
+            self._durability.after_pump()
+        return moved
 
     def flush(self) -> int:
         """Pump everything, then force partial batches and refinements."""
         moved = self.pump()
         for shard in self._shards:
             shard.flush()
+        if self._durability is not None:
+            self._durability.after_pump()
         return moved
 
     def snapshot(self, campaign_id: str) -> TruthSnapshot:
@@ -432,6 +568,10 @@ class IngestService:
         if shard is None:
             raise KeyError(f"campaign {campaign_id!r} not registered")
         shard.flush_campaign(campaign_id)
+        if self._durability is not None:
+            # The read may have forced a tail batch into the log; make
+            # it durable before handing out truths derived from it.
+            self._durability.sync()
         return shard.campaigns[campaign_id].snapshot()
 
     # ------------------------------------------------------------------
@@ -454,11 +594,14 @@ class IngestService:
         user_slots: np.ndarray,
         object_slots: np.ndarray,
         values: np.ndarray,
+        *,
+        reserved: bool = False,
     ) -> IngestResult:
         n = values.size
         queued = shard.enqueue(
             (state, user_slots, object_slots, values),
             overflow=self._config.overflow,
+            reserved=reserved,
         )
         if not queued:
             self.stats.rejected_overflow += n

@@ -15,6 +15,7 @@ within the ledger's caps.  Denied releases spend nothing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
@@ -65,6 +66,15 @@ class BudgetLedger:
         self._accountant = accountant
         self._spent_epsilon: dict[Hashable, float] = {}
         self._spent_delta: dict[Hashable, float] = {}
+        #: Serialises every read-modify-write of the spent totals.  The
+        #: ledger is the budget authority for the (multi-producer)
+        #: ingest path: an unlocked check-then-charge could admit two
+        #: concurrent releases against the same remaining headroom.
+        #: Re-entrant so callers can compose several calls into one
+        #: atomic section (``with ledger.lock: ...``) — e.g. the bulk
+        #: path's check-all-then-charge-all, or admission plus its
+        #: write-ahead charge record.
+        self.lock = threading.RLock()
         self.admitted = 0
         self.denied = 0
 
@@ -72,6 +82,10 @@ class BudgetLedger:
     @property
     def epsilon_cap(self) -> float:
         return self._epsilon_cap
+
+    @property
+    def delta_cap(self) -> float:
+        return self._delta_cap
 
     @property
     def accountant(self) -> Optional[PrivacyAccountant]:
@@ -93,13 +107,15 @@ class BudgetLedger:
         """Would :meth:`admit` succeed?  Checks both caps, spends nothing.
 
         Lets callers admission-check a whole group before charging
-        anyone (atomic multi-user admission on the bulk path).
+        anyone (atomic multi-user admission on the bulk path — hold
+        ``ledger.lock`` across the whole check-then-charge sequence).
         """
-        eps = self._spent_epsilon.get(user_id, 0.0)
-        if eps + guarantee.epsilon > self._epsilon_cap + 1e-12:
-            return False
-        delta = self._spent_delta.get(user_id, 0.0)
-        return delta + guarantee.delta <= self._delta_cap + 1e-15
+        with self.lock:
+            eps = self._spent_epsilon.get(user_id, 0.0)
+            if eps + guarantee.epsilon > self._epsilon_cap + 1e-12:
+                return False
+            delta = self._spent_delta.get(user_id, 0.0)
+            return delta + guarantee.delta <= self._delta_cap + 1e-15
 
     def admit(
         self,
@@ -110,36 +126,116 @@ class BudgetLedger:
         label: str = "",
     ) -> AdmissionDecision:
         """Charge ``guarantee`` to ``user_id`` if it fits under the caps."""
-        eps = self._spent_epsilon.get(user_id, 0.0)
-        new_eps = eps + guarantee.epsilon
-        if new_eps > self._epsilon_cap + 1e-12:
-            self.denied += 1
+        with self.lock:
+            eps = self._spent_epsilon.get(user_id, 0.0)
+            new_eps = eps + guarantee.epsilon
+            if new_eps > self._epsilon_cap + 1e-12:
+                self.denied += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    reason="epsilon-exhausted",
+                    remaining_epsilon=self._epsilon_cap - eps,
+                )
+            delta = self._spent_delta.get(user_id, 0.0)
+            new_delta = delta + guarantee.delta
+            if new_delta > self._delta_cap + 1e-15:
+                self.denied += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    reason="delta-exhausted",
+                    remaining_epsilon=self._epsilon_cap - eps,
+                )
+            self._spent_epsilon[user_id] = new_eps
+            self._spent_delta[user_id] = new_delta
+            self.admitted += 1
+            if self._accountant is not None:
+                self._accountant.record(
+                    user_id, guarantee, mechanism=mechanism, label=label
+                )
             return AdmissionDecision(
-                admitted=False,
-                reason="epsilon-exhausted",
-                remaining_epsilon=self._epsilon_cap - eps,
+                admitted=True,
+                reason="",
+                remaining_epsilon=self._epsilon_cap - new_eps,
             )
-        delta = self._spent_delta.get(user_id, 0.0)
-        new_delta = delta + guarantee.delta
-        if new_delta > self._delta_cap + 1e-15:
-            self.denied += 1
-            return AdmissionDecision(
-                admitted=False,
-                reason="delta-exhausted",
-                remaining_epsilon=self._epsilon_cap - eps,
+
+    def record_spent(
+        self, user_id: Hashable, guarantee: LDPGuarantee
+    ) -> None:
+        """Re-apply an already-admitted charge without re-checking caps.
+
+        Crash recovery replays the write-ahead log's charge records
+        through this method: the charges were admitted before the crash
+        and the data they covered was released, so they must be restored
+        verbatim even if the composed total now sits above the cap
+        (future :meth:`admit` calls will then deny, which is the safe
+        direction).  Not for use on the live admission path.
+        """
+        with self.lock:
+            self._spent_epsilon[user_id] = (
+                self._spent_epsilon.get(user_id, 0.0) + guarantee.epsilon
             )
-        self._spent_epsilon[user_id] = new_eps
-        self._spent_delta[user_id] = new_delta
-        self.admitted += 1
-        if self._accountant is not None:
-            self._accountant.record(
-                user_id, guarantee, mechanism=mechanism, label=label
+            self._spent_delta[user_id] = (
+                self._spent_delta.get(user_id, 0.0) + guarantee.delta
             )
-        return AdmissionDecision(
-            admitted=True,
-            reason="",
-            remaining_epsilon=self._epsilon_cap - new_eps,
+            self.admitted += 1
+            if self._accountant is not None:
+                self._accountant.record(
+                    user_id, guarantee, mechanism="", label="recovered"
+                )
+
+    # ------------------------------------------------------------------
+    def to_records(self) -> list[dict]:
+        """Spent-budget state as JSON-friendly per-user records.
+
+        Each record carries one user's composed totals; together with
+        the caps this is the ledger's full durable state (the
+        admitted/denied counters are observability, not state, and are
+        not exported).  User ids must be JSON-serialisable for the
+        records to survive a round-trip through a checkpoint file.
+        """
+        with self.lock:
+            return [
+                {
+                    "user_id": user_id,
+                    "epsilon": eps,
+                    "delta": self._spent_delta.get(user_id, 0.0),
+                }
+                for user_id, eps in sorted(
+                    self._spent_epsilon.items(), key=lambda kv: str(kv[0])
+                )
+            ]
+
+    @classmethod
+    def from_records(
+        cls,
+        records: list[dict],
+        *,
+        epsilon_cap: float,
+        delta_cap: float = 1.0,
+        accountant: Optional[PrivacyAccountant] = None,
+    ) -> "BudgetLedger":
+        """Rebuild a ledger from :meth:`to_records` output.
+
+        Spent totals are restored verbatim — even above the caps (a
+        restart must never hand exhausted users fresh budget), in which
+        case the user's next :meth:`admit` is denied.
+        """
+        ledger = cls(
+            epsilon_cap, delta_cap=delta_cap, accountant=accountant
         )
+        for record in records:
+            user_id = record["user_id"]
+            eps = float(record["epsilon"])
+            delta = float(record["delta"])
+            if eps < 0 or delta < 0:
+                raise ValueError(
+                    f"negative spent budget in record for {user_id!r}"
+                )
+            if user_id in ledger._spent_epsilon:
+                raise ValueError(f"duplicate record for user {user_id!r}")
+            ledger._spent_epsilon[user_id] = eps
+            ledger._spent_delta[user_id] = delta
+        return ledger
 
     # ------------------------------------------------------------------
     def worst_case(self) -> LDPGuarantee:
@@ -151,12 +247,15 @@ class BudgetLedger:
         lexicographic order would understate delta whenever the
         biggest epsilon-spender is not the biggest delta-spender.
         """
-        if not self._spent_epsilon:
-            return LDPGuarantee(epsilon=0.0, delta=0.0)
-        return LDPGuarantee(
-            epsilon=max(self._spent_epsilon.values()),
-            delta=min(max(self._spent_delta.values(), default=0.0), 1.0),
-        )
+        with self.lock:
+            if not self._spent_epsilon:
+                return LDPGuarantee(epsilon=0.0, delta=0.0)
+            return LDPGuarantee(
+                epsilon=max(self._spent_epsilon.values()),
+                delta=min(
+                    max(self._spent_delta.values(), default=0.0), 1.0
+                ),
+            )
 
     @property
     def num_users(self) -> int:
@@ -164,7 +263,8 @@ class BudgetLedger:
         return len(self._spent_epsilon)
 
     def reset(self) -> None:
-        self._spent_epsilon.clear()
-        self._spent_delta.clear()
-        self.admitted = 0
-        self.denied = 0
+        with self.lock:
+            self._spent_epsilon.clear()
+            self._spent_delta.clear()
+            self.admitted = 0
+            self.denied = 0

@@ -10,6 +10,7 @@ re-partitioning (see ROADMAP "Architecture").
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from collections import deque
@@ -50,6 +51,7 @@ class CampaignState:
         "aggregator",
         "claims_accepted",
         "claims_by_slot",
+        "user_lock",
         "_object_cache",
     )
 
@@ -86,22 +88,50 @@ class CampaignState:
         self.aggregator = aggregator
         self.claims_accepted = 0
         self.claims_by_slot = np.zeros(capacity, dtype=np.int64)
+        # Guards user_table/user_index growth: slots are assigned on the
+        # (possibly multi-threaded) submit path, and a torn check-then-
+        # append would give two slots one identity — which would let
+        # bulk admission under-charge privacy budget.
+        self.user_lock = threading.Lock()
         # Submissions typically reuse the same object_ids tuple; cache the
         # tuple -> index-array translation so the hot path never re-maps.
         self._object_cache: dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def user_slot(self, user_id: str) -> int:
-        """Slot for ``user_id``, assigning the next free one; -1 if full."""
+        """Slot for ``user_id``, assigning the next free one; -1 if full.
+
+        Thread-safe: concurrent submitters for the same new user get
+        the same slot.
+        """
         slot = self.user_index.get(user_id)
         if slot is not None:
             return slot
-        if len(self.user_table) >= self.capacity:
-            return -1
-        slot = len(self.user_table)
-        self.user_table.append(user_id)
-        self.user_index[user_id] = slot
-        return slot
+        with self.user_lock:
+            slot = self.user_index.get(user_id)
+            if slot is not None:
+                return slot
+            if len(self.user_table) >= self.capacity:
+                return -1
+            slot = len(self.user_table)
+            self.user_table.append(user_id)
+            self.user_index[user_id] = slot
+            return slot
+
+    def ensure_placeholder_slots(self, top_slot: int) -> None:
+        """Name every slot up to ``top_slot`` (``"slot:N"`` placeholders).
+
+        The bulk path addresses users by slot index; this keeps the id
+        table covering them so snapshots can name contributors.  Safe
+        under concurrent callers — the extension happens in one locked
+        sweep.
+        """
+        with self.user_lock:
+            while len(self.user_table) <= top_slot:
+                slot = len(self.user_table)
+                user_id = f"slot:{slot}"
+                self.user_table.append(user_id)
+                self.user_index[user_id] = slot
 
     #: Cap on distinct object-id tuples cached per campaign; workloads
     #: where every submission picks a fresh random subset would
@@ -159,19 +189,35 @@ class Shard:
     so the pump loop is pure array movement: drain items into the
     campaign's micro-batcher, feed completed batches to the aggregator,
     and record per-batch service latency for the benchmark's p50/p99.
+
+    A shard is single-consumer (one thread pumps) but safely
+    multi-producer: enqueue and the pump's queue takeover run under a
+    per-shard lock, so concurrent submitters cannot corrupt the queue
+    or the drop accounting.  Campaign state itself is only ever touched
+    by the pumping thread.
+
+    When a durability hook is set (``shard.durability``), every
+    micro-batch is appended to the write-ahead log immediately before
+    it reaches the aggregator, and read-forced refreshes are logged so
+    crash recovery can reproduce their timing.
     """
 
     #: Retained per-batch latency samples (a bounded window: the list
     #: would otherwise grow forever in a long-running service).
     LATENCY_WINDOW = 4096
 
-    def __init__(self, index: int, *, queue_capacity: int) -> None:
+    def __init__(
+        self, index: int, *, queue_capacity: int, durability=None
+    ) -> None:
         self.index = index
         self._queue_capacity = queue_capacity
         self._queue: list[tuple] = []
         self._head = 0
+        self._lock = threading.Lock()
+        self._reserved = 0
         self.campaigns: dict[str, CampaignState] = {}
         self.batch_latencies: deque[float] = deque(maxlen=self.LATENCY_WINDOW)
+        self.durability = durability
         self.items_dropped = 0
         self.claims_dropped = 0
         self.claims_processed = 0
@@ -183,37 +229,77 @@ class Shard:
 
     @property
     def has_room(self) -> bool:
-        return self.queue_depth < self._queue_capacity
+        return self.queue_depth + self._reserved < self._queue_capacity
 
     def register(self, state: CampaignState) -> None:
         self.campaigns[state.campaign_id] = state
 
-    def enqueue(self, item: tuple, *, overflow: str) -> bool:
+    def try_reserve(self) -> bool:
+        """Atomically claim one queue slot for a later ``enqueue``.
+
+        The reject-overflow path must decide *before* charging privacy
+        budget whether the queue will take the item; a bare has_room
+        check can be invalidated by a concurrent producer between the
+        check and the enqueue, which would spend epsilon on a refused
+        submission.  A reservation cannot be stolen.
+        """
+        with self._lock:
+            if (
+                len(self._queue) - self._head + self._reserved
+                >= self._queue_capacity
+            ):
+                return False
+            self._reserved += 1
+            return True
+
+    def cancel_reservation(self) -> None:
+        """Release a reservation whose submission was refused later."""
+        with self._lock:
+            self._reserved -= 1
+
+    def enqueue(
+        self, item: tuple, *, overflow: str, reserved: bool = False
+    ) -> bool:
         """Queue one work item; apply ``overflow`` policy when full.
 
         Returns True when the item was queued.  Under ``"drop_oldest"``
         the oldest queued item is evicted to make room (the new item is
-        always queued); under ``"reject"`` the new item is refused.
+        always queued); under ``"reject"`` the new item is refused
+        unless the caller holds a reservation (``reserved=True``),
+        which guarantees room.  Safe to call from multiple producer
+        threads.
         """
-        if self.queue_depth >= self._queue_capacity:
-            if overflow == "reject":
-                return False
-            # drop_oldest: evict the head of the queue.
-            evicted = self._queue[self._head]
-            self._head += 1
-            self.items_dropped += 1
-            self.claims_dropped += len(evicted[3])
-            self._compact()
-        self._queue.append(item)
-        return True
+        with self._lock:
+            if reserved:
+                self._reserved -= 1
+            elif (
+                self.queue_depth + self._reserved >= self._queue_capacity
+            ):
+                if overflow == "reject":
+                    return False
+                # drop_oldest: evict the head of the queue.
+                evicted = self._queue[self._head]
+                self._head += 1
+                self.items_dropped += 1
+                self.claims_dropped += len(evicted[3])
+                self._compact()
+            self._queue.append(item)
+            return True
 
     def pump(self) -> int:
-        """Drain the queue into batchers/aggregators; return claims moved."""
+        """Drain the queue into batchers/aggregators; return claims moved.
+
+        Takes over the queued items under the lock, then processes them
+        outside it, so producers are blocked only for the swap (items
+        they enqueue mid-pump wait for the next pump).
+        """
+        with self._lock:
+            queue, head = self._queue, self._head
+            self._queue = []
+            self._head = 0
         moved = 0
-        queue, head = self._queue, self._head
-        while head < len(queue):
-            state, user_slots, object_slots, values = queue[head]
-            head += 1
+        for item in queue[head:] if head else queue:
+            state, user_slots, object_slots, values = item
             if self.campaigns.get(state.campaign_id) is not state:
                 # The campaign was unregistered (or re-registered fresh)
                 # after this item was queued; drop it unprocessed.
@@ -235,8 +321,6 @@ class Shard:
                     user_slots, minlength=state.capacity
                 )
             moved += n
-        self._queue = []
-        self._head = 0
         self.claims_processed += moved
         return moved
 
@@ -260,10 +344,24 @@ class Shard:
         tail = state.batcher.flush()
         if tail is not None:
             self._ingest(state, tail)
+        if (
+            self.durability is not None
+            and state.aggregator.refresh_changes_state
+        ):
+            # Read-forced refreshes change when the streaming backend
+            # folds its staged claims; logging them lets recovery replay
+            # the exact same refinement timing.  Refreshes with nothing
+            # staged (and the timing-independent full-refit backend)
+            # need no record.
+            self.durability.log_refresh(state.campaign_id)
         state.aggregator.refresh()
 
     def _ingest(self, state: CampaignState, batch) -> None:
         start = time.perf_counter()
+        if self.durability is not None:
+            # The write-ahead property: the batch is in the log before
+            # the aggregator ever sees it.
+            self.durability.log_batch(state, batch)
         state.aggregator.ingest(batch)
         self.batch_latencies.append(time.perf_counter() - start)
 

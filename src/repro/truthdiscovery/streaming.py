@@ -203,11 +203,84 @@ class StreamingCRH:
         self._weights = weights
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Serializable summary of the stream state (for checkpointing)."""
+    def snapshot(self, *, arrays: bool = False) -> dict:
+        """Full serialisable stream state (the checkpoint format).
+
+        By default the dict is JSON-friendly (nested lists of Python
+        floats, which round-trip float64 exactly); ``arrays=True``
+        keeps the bulk entries as ndarray copies instead — the right
+        shape for binary checkpoint stores, which would otherwise pay
+        an O(S x N) list round-trip per checkpoint.  Either form
+        carries everything :meth:`restore` / :meth:`from_snapshot` need
+        to resume the stream bit-for-bit: the retained sufficient
+        statistics (``value_sum`` / ``value_weight``), the derived
+        truths/weights, and the construction parameters.
+        """
+        convert = (
+            (lambda a: a.copy()) if arrays else (lambda a: a.tolist())
+        )
         return {
+            "num_users": self._num_users,
+            "num_objects": self._num_objects,
+            "decay": self._decay,
+            "refine_sweeps": self._sweeps,
             "batches": self._batches,
-            "truths": self._truths.tolist(),
-            "weights": self._weights.tolist(),
-            "seen_objects": self._seen_objects.tolist(),
+            "truths": convert(self._truths),
+            "weights": convert(self._weights),
+            "seen_objects": convert(self._seen_objects),
+            "value_sum": convert(self._value_sum),
+            "value_weight": convert(self._value_weight),
         }
+
+    def restore(self, snapshot: dict) -> None:
+        """Overwrite this stream's state from a :meth:`snapshot` dict.
+
+        The snapshot must describe the same ``(num_users, num_objects)``
+        universe; decay and sweep settings are taken from the snapshot
+        so a restored stream forgets at the checkpointed rate.  Array
+        entries may be lists (JSON round-trip) or ndarrays.
+        """
+        num_users = ensure_int(snapshot["num_users"], "num_users", minimum=1)
+        num_objects = ensure_int(
+            snapshot["num_objects"], "num_objects", minimum=1
+        )
+        if (num_users, num_objects) != (self._num_users, self._num_objects):
+            raise ValueError(
+                f"snapshot is for a ({num_users}, {num_objects}) universe; "
+                f"this stream is ({self._num_users}, {self._num_objects})"
+            )
+        shape = (num_users, num_objects)
+        value_sum = np.asarray(snapshot["value_sum"], dtype=float)
+        value_weight = np.asarray(snapshot["value_weight"], dtype=float)
+        truths = np.asarray(snapshot["truths"], dtype=float)
+        weights = np.asarray(snapshot["weights"], dtype=float)
+        seen = np.asarray(snapshot["seen_objects"], dtype=bool)
+        if value_sum.shape != shape or value_weight.shape != shape:
+            raise ValueError("snapshot cell statistics have the wrong shape")
+        if (truths.shape != (num_objects,) or seen.shape != (num_objects,)
+                or weights.shape != (num_users,)):
+            raise ValueError("snapshot vectors have the wrong shape")
+        self._decay = ensure_in_range(
+            snapshot["decay"], "decay", 0.0, 1.0, low_inclusive=False
+        )
+        self._sweeps = ensure_int(
+            snapshot["refine_sweeps"], "refine_sweeps", minimum=1
+        )
+        self._batches = ensure_int(snapshot["batches"], "batches", minimum=0)
+        self._value_sum = value_sum.copy()
+        self._value_weight = value_weight.copy()
+        self._truths = truths.copy()
+        self._weights = weights.copy()
+        self._seen_objects = seen.copy()
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "StreamingCRH":
+        """Rebuild a stream from a :meth:`snapshot` dict (checkpoint load)."""
+        stream = cls(
+            num_users=int(snapshot["num_users"]),
+            num_objects=int(snapshot["num_objects"]),
+            decay=float(snapshot["decay"]),
+            refine_sweeps=int(snapshot["refine_sweeps"]),
+        )
+        stream.restore(snapshot)
+        return stream

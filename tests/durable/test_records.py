@@ -1,0 +1,107 @@
+"""Record/work-item encoding tests for the durable subsystem."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.durable import records as rec
+from repro.durable.records import RecordError, WalRecord, WorkItem
+
+
+def make_item(n=5, campaign_id="camp-0", wide=False):
+    rng = np.random.default_rng(7)
+    high = 2**40 if wide else 100
+    return WorkItem(
+        campaign_id=campaign_id,
+        user_slots=rng.integers(0, high, size=n),
+        object_slots=rng.integers(0, high, size=n),
+        values=rng.normal(size=n),
+    )
+
+
+class TestWorkItem:
+    def test_round_trip(self):
+        item = make_item()
+        back = WorkItem.from_bytes(item.to_bytes())
+        assert back.campaign_id == item.campaign_id
+        np.testing.assert_array_equal(back.user_slots, item.user_slots)
+        np.testing.assert_array_equal(back.object_slots, item.object_slots)
+        # Values must survive bit-for-bit, not approximately.
+        assert back.values.tobytes() == item.values.tobytes()
+
+    def test_round_trip_wide_slots(self):
+        # Slots beyond i32 fall back to the wide encoding transparently.
+        item = make_item(wide=True)
+        back = WorkItem.from_bytes(item.to_bytes())
+        np.testing.assert_array_equal(back.user_slots, item.user_slots)
+        np.testing.assert_array_equal(back.object_slots, item.object_slots)
+
+    def test_narrow_encoding_is_smaller(self):
+        narrow = make_item(n=100).to_bytes()
+        wide = make_item(n=100, wide=True).to_bytes()
+        assert len(narrow) < len(wide)
+
+    def test_unicode_campaign_id(self):
+        item = make_item(campaign_id="luftqualität-α")
+        assert WorkItem.from_bytes(item.to_bytes()).campaign_id == (
+            "luftqualität-α"
+        )
+
+    def test_decoded_arrays_match_dtype(self):
+        back = WorkItem.from_bytes(make_item().to_bytes())
+        assert back.user_slots.dtype == np.int64
+        assert back.values.dtype == np.float64
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one claim"):
+            WorkItem("c", np.array([]), np.array([]), np.array([]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            WorkItem("c", np.arange(3), np.arange(2), np.arange(3.0))
+
+    def test_truncated_payload_raises(self):
+        payload = make_item().to_bytes()
+        with pytest.raises(RecordError):
+            WorkItem.from_bytes(payload[:-3])
+
+    def test_garbage_payload_raises(self):
+        with pytest.raises(RecordError):
+            WorkItem.from_bytes(b"\xff\xff definitely not a work item")
+
+
+class TestWalRecord:
+    def test_batch_decode(self):
+        item = make_item()
+        record = WalRecord(lsn=9, rtype=rec.BATCH, payload=item.to_bytes())
+        decoded = record.decode()
+        assert isinstance(decoded, WorkItem)
+        assert decoded.campaign_id == item.campaign_id
+
+    def test_json_decode(self):
+        body = {"campaign_id": "c1", "max_users": 4}
+        record = WalRecord(
+            lsn=1,
+            rtype=rec.REGISTER,
+            payload=rec.encode_json_payload(body),
+        )
+        assert record.decode() == body
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(RecordError, match="unknown record type"):
+            WalRecord(lsn=1, rtype=99, payload=b"{}").decode()
+
+    def test_malformed_json_raises(self):
+        record = WalRecord(lsn=1, rtype=rec.CHARGE, payload=b"{nope")
+        with pytest.raises(RecordError, match="malformed JSON"):
+            record.decode()
+
+    def test_encode_json_payload_rejects_unserialisable(self):
+        with pytest.raises(RecordError, match="not JSON-serialisable"):
+            rec.encode_json_payload({"oops": object()})
+
+    def test_json_payload_is_compact_and_sorted(self):
+        payload = rec.encode_json_payload({"b": 1, "a": 2})
+        assert payload == b'{"a":2,"b":1}'
+        assert json.loads(payload) == {"a": 2, "b": 1}

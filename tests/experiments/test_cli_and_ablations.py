@@ -57,7 +57,7 @@ class TestCli:
                 "--claims", "20000",
                 "--submission-claims", "4000",
                 "--baseline-claims", "2000",
-                "--json", str(out_json),
+                "--output", str(out_json),
             ]
         )
         assert code == 0
@@ -69,6 +69,85 @@ class TestCli:
         report = json.loads(out_json.read_text())
         assert report["bulk"]["claims"] > 0
         assert report["streaming_vs_batch_rmse"] < 1e-3
+
+    def test_durable_bench_smoke(self, capsys, tmp_path):
+        out_json = tmp_path / "durable.json"
+        code = main(
+            ["durable-bench", "--smoke", "--output", str(out_json)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durability benchmark" in out
+        assert "fsync=batch" in out
+        import json
+
+        report = json.loads(out_json.read_text())
+        assert report["unlogged"]["claims"] > 0
+        assert report["recovery"]["replay_only"]["truths_match_bitwise"]
+        assert report["recovery"]["checkpointed"]["truths_match_bitwise"]
+
+    def test_recover_command(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.durable import DurabilityManager
+        from repro.service.ingest import IngestService, ServiceConfig
+
+        wal_dir = tmp_path / "wal"
+        manager = DurabilityManager(wal_dir)
+        service = IngestService(
+            ServiceConfig(num_shards=1, max_batch=32), durability=manager
+        )
+        service.register_campaign("cli-c0", ["a", "b"], max_users=4)
+        rng = np.random.default_rng(0)
+        service.submit_columns(
+            "cli-c0",
+            rng.integers(0, 4, size=64),
+            rng.integers(0, 2, size=64),
+            rng.normal(size=64),
+        )
+        service.flush()
+        manager.close()
+
+        out_json = tmp_path / "report.json"
+        code = main(
+            [
+                "recover", str(wal_dir),
+                "--campaign", "cli-c0",
+                "--output", str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered 1 campaign(s)" in out
+        assert "campaign cli-c0" in out
+        import json
+
+        report = json.loads(out_json.read_text())
+        assert report["claims_replayed"] == 64
+
+    def test_recover_missing_directory_errors(self, capsys, tmp_path):
+        code = main(["recover", str(tmp_path / "absent")])
+        assert code == 2
+        assert "no durability directory" in capsys.readouterr().err
+
+    def test_recover_corrupt_log_errors_cleanly(self, capsys, tmp_path):
+        # Mid-log damage must exit 2 with a message, not a traceback.
+        from repro.durable import records as rec
+        from repro.durable.wal import WriteAheadLog, list_segments
+
+        with WriteAheadLog(tmp_path, max_segment_bytes=128) as wal:
+            for i in range(6):
+                wal.append(
+                    rec.REFRESH,
+                    rec.encode_json_payload({"campaign_id": f"c{i}"}),
+                )
+        first = list_segments(tmp_path)[0]
+        data = bytearray(first.read_bytes())
+        data[-1] ^= 0xFF
+        first.write_bytes(bytes(data))
+        code = main(["recover", str(tmp_path)])
+        assert code == 2
+        assert "corrupt frame mid-log" in capsys.readouterr().err
 
     def test_run_fig3_quick(self, capsys, monkeypatch):
         # Patch the quick profile lookup to the tiny one to keep CI fast.

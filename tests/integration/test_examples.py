@@ -28,6 +28,7 @@ def test_examples_directory_complete():
         "air_quality_monitoring",
         "crowd_labeling",
         "crowdsensing_protocol",
+        "durable_service",
         "high_throughput_service",
         "indoor_floorplan",
         "privacy_budget_planner",
@@ -60,6 +61,14 @@ def test_high_throughput_service(capsys):
     assert "worst-case composed guarantee" in out
     assert "bulk path:" in out and "claims/s" in out
     assert "micro-batch latency" in out
+
+
+def test_durable_service(capsys):
+    out = run_example("durable_service", capsys)
+    assert "crash: service process killed mid-stream" in out
+    assert "truths bit-for-bit identical to the doomed service: True" in out
+    assert "recovered privacy spend" in out
+    assert "RMSE vs ground truth" in out
 
 
 def test_crowdsensing_protocol(capsys):

@@ -112,3 +112,33 @@ def test_constant_stream_returns_constant(value, num_users):
     )
     stream.ingest(batch)
     assert stream.truths[0] == pytest.approx(value, abs=1e-9)
+
+
+@given(batch_sequences(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_snapshot_restore_round_trip_is_exact(params, split_at):
+    """The ISSUE-2 checkpoint property: snapshot mid-stream, rebuild a
+    stream from it, continue both with the same batches — every
+    retained statistic and derived value stays bit-for-bit equal."""
+    num_users, num_objects, batches = params
+    split_at = min(split_at, len(batches))
+    original = StreamingCRH(num_users=num_users, num_objects=num_objects)
+    for batch in batches[:split_at]:
+        original.ingest(batch)
+
+    snapshot = original.snapshot()
+    # Checkpoints pass through JSON; the round-trip must stay exact.
+    import json
+
+    restored = StreamingCRH.from_snapshot(json.loads(json.dumps(snapshot)))
+
+    for batch in batches[split_at:]:
+        original.ingest(batch)
+        restored.ingest(batch)
+    assert restored.truths.tobytes() == original.truths.tobytes()
+    assert restored.weights.tobytes() == original.weights.tobytes()
+    np.testing.assert_array_equal(
+        restored.seen_objects, original.seen_objects
+    )
+    assert restored.batches_ingested == original.batches_ingested
+    assert restored.snapshot() == original.snapshot()

@@ -81,3 +81,104 @@ class TestBudgetLedger:
         ledger.reset()
         assert ledger.num_users == 0
         assert ledger.admit("u1", RELEASE).admitted
+
+
+class TestLedgerSerialisation:
+    def test_round_trip_preserves_spend(self):
+        ledger = BudgetLedger(epsilon_cap=2.0, delta_cap=0.2)
+        ledger.admit("u1", RELEASE)
+        ledger.admit("u2", LDPGuarantee(0.25, 0.0))
+        records = ledger.to_records()
+        restored = BudgetLedger.from_records(
+            records, epsilon_cap=2.0, delta_cap=0.2
+        )
+        for user in ("u1", "u2"):
+            assert restored.spent(user) == ledger.spent(user)
+        assert restored.num_users == 2
+
+    def test_records_are_json_friendly(self):
+        import json
+
+        ledger = BudgetLedger(epsilon_cap=2.0)
+        ledger.admit("u1", RELEASE)
+        round_tripped = json.loads(json.dumps(ledger.to_records()))
+        restored = BudgetLedger.from_records(round_tripped, epsilon_cap=2.0)
+        assert restored.spent("u1") == ledger.spent("u1")
+
+    def test_recovered_ledger_refuses_over_budget_users(self):
+        # The ISSUE-2 satellite: spent state survives a restart and an
+        # exhausted user stays exhausted.
+        ledger = BudgetLedger(epsilon_cap=2.0)
+        ledger.admit("u1", RELEASE)
+        ledger.admit("u1", RELEASE)  # 2.0 spent: exactly at the cap
+        restored = BudgetLedger.from_records(
+            ledger.to_records(), epsilon_cap=2.0
+        )
+        denial = restored.admit("u1", RELEASE)
+        assert not denial.admitted
+        assert denial.reason == "epsilon-exhausted"
+        # A fresh user is unaffected.
+        assert restored.admit("u9", RELEASE).admitted
+
+    def test_restore_above_cap_is_kept_not_clamped(self):
+        restored = BudgetLedger.from_records(
+            [{"user_id": "u1", "epsilon": 5.0, "delta": 0.0}],
+            epsilon_cap=2.0,
+        )
+        assert restored.spent("u1").epsilon == pytest.approx(5.0)
+        assert not restored.admit("u1", LDPGuarantee(0.01, 0.0)).admitted
+
+    def test_duplicate_records_rejected(self):
+        records = [
+            {"user_id": "u1", "epsilon": 1.0, "delta": 0.0},
+            {"user_id": "u1", "epsilon": 0.5, "delta": 0.0},
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            BudgetLedger.from_records(records, epsilon_cap=2.0)
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            BudgetLedger.from_records(
+                [{"user_id": "u1", "epsilon": -1.0, "delta": 0.0}],
+                epsilon_cap=2.0,
+            )
+
+    def test_record_spent_bypasses_caps(self):
+        ledger = BudgetLedger(epsilon_cap=1.0)
+        ledger.record_spent("u1", LDPGuarantee(3.0, 0.0))
+        assert ledger.spent("u1").epsilon == pytest.approx(3.0)
+        assert not ledger.admit("u1", LDPGuarantee(0.1, 0.0)).admitted
+
+
+class TestLedgerConcurrency:
+    def test_concurrent_admits_never_oversubscribe_the_cap(self):
+        import threading
+
+        charge = LDPGuarantee(epsilon=0.1, delta=0.0)
+        ledger = BudgetLedger(epsilon_cap=1.0)  # room for exactly 10
+        admitted = []
+
+        def worker():
+            wins = 0
+            for _ in range(10):
+                if ledger.admit("u1", charge).admitted:
+                    wins += 1
+            admitted.append(wins)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        # A torn read-modify-write would either lose a charge (spent <
+        # admitted * 0.1) or admit past the cap (sum > 10).
+        assert sum(admitted) == 10
+        assert ledger.spent("u1").epsilon == pytest.approx(1.0)
+
+    def test_lock_composes_for_atomic_sections(self):
+        ledger = BudgetLedger(epsilon_cap=1.0)
+        with ledger.lock:  # re-entrant: inner calls must not deadlock
+            assert ledger.can_admit("u1", RELEASE)
+            assert ledger.admit("u1", RELEASE).admitted
+        assert ledger.spent("u1").epsilon == pytest.approx(1.0)

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.crowdsensing",
     "repro.datasets",
+    "repro.durable",
     "repro.experiments",
     "repro.metrics",
     "repro.privacy",

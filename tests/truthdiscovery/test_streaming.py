@@ -130,3 +130,76 @@ class TestStreamingCRH:
             StreamingCRH(num_users=2, num_objects=2, decay=0.0)
         with pytest.raises(ValueError):
             StreamingCRH(num_users=2, num_objects=2, refine_sweeps=0)
+
+
+class TestSnapshotRestore:
+    def make_populated(self, decay=0.9, sweeps=3, seed=11):
+        rng = np.random.default_rng(seed)
+        stream = StreamingCRH(
+            num_users=6, num_objects=4, decay=decay, refine_sweeps=sweeps
+        )
+        for _ in range(5):
+            stream.ingest(
+                ClaimBatch(
+                    users=rng.integers(0, 6, 20),
+                    objects=rng.integers(0, 4, 20),
+                    values=rng.normal(size=20),
+                )
+            )
+        return stream
+
+    def test_snapshot_carries_full_state(self):
+        stream = self.make_populated()
+        snapshot = stream.snapshot()
+        assert snapshot["num_users"] == 6
+        assert snapshot["decay"] == 0.9
+        assert len(snapshot["value_sum"]) == 6
+        assert len(snapshot["value_sum"][0]) == 4
+
+    def test_restore_overwrites_in_place(self):
+        stream = self.make_populated()
+        snapshot = stream.snapshot()
+        other = StreamingCRH(num_users=6, num_objects=4)
+        other.restore(snapshot)
+        np.testing.assert_array_equal(other.truths, stream.truths)
+        np.testing.assert_array_equal(other.weights, stream.weights)
+        assert other.batches_ingested == stream.batches_ingested
+
+    def test_from_snapshot_accepts_arrays(self):
+        stream = self.make_populated()
+        snapshot = stream.snapshot()
+        snapshot["value_sum"] = np.asarray(snapshot["value_sum"])
+        restored = StreamingCRH.from_snapshot(snapshot)
+        assert restored.snapshot() == stream.snapshot()
+
+    def test_restore_rejects_wrong_universe(self):
+        snapshot = self.make_populated().snapshot()
+        other = StreamingCRH(num_users=3, num_objects=4)
+        with pytest.raises(ValueError, match="universe"):
+            other.restore(snapshot)
+
+    def test_restore_rejects_wrong_shapes(self):
+        snapshot = self.make_populated().snapshot()
+        snapshot["value_sum"] = [[0.0] * 3] * 6  # 6x3, not 6x4
+        other = StreamingCRH(num_users=6, num_objects=4)
+        with pytest.raises(ValueError, match="shape"):
+            other.restore(snapshot)
+
+    def test_restored_stream_forgets_at_snapshot_rate(self):
+        stream = self.make_populated(decay=0.5)
+        restored = StreamingCRH.from_snapshot(stream.snapshot())
+        batch = ClaimBatch(users=[0], objects=[0], values=[1.0])
+        stream.ingest(batch)
+        restored.ingest(batch)
+        np.testing.assert_array_equal(restored.truths, stream.truths)
+
+    def test_snapshot_arrays_form_matches_list_form(self):
+        stream = self.make_populated()
+        as_lists = stream.snapshot()
+        as_arrays = stream.snapshot(arrays=True)
+        assert isinstance(as_arrays["value_sum"], np.ndarray)
+        np.testing.assert_array_equal(
+            as_arrays["value_sum"], np.asarray(as_lists["value_sum"])
+        )
+        restored = StreamingCRH.from_snapshot(as_arrays)
+        assert restored.snapshot() == as_lists
