@@ -1,0 +1,248 @@
+"""Bench-regression gate: compare a fresh bench JSON against a baseline.
+
+CI runs the smoke benchmarks (``repro service-bench --smoke`` /
+``repro durable-bench --smoke``) on every PR and feeds the fresh JSON
+through this script next to the committed ``results/BENCH_*_smoke.json``
+baselines.  A throughput metric that drops below
+``baseline * (1 - tolerance)`` — or a quality metric that degrades past
+its bound — fails the job, so a PR that halves the hot path can no
+longer land silently.
+
+Metric classes:
+
+* ``higher`` — throughput-style: fresh must be at least
+  ``baseline * (1 - tolerance)``;
+* ``lower`` — cost/error-style: fresh must be at most
+  ``max(baseline * (1 + tolerance), floor)``.  The floor keeps
+  near-zero baselines (an RMSE of 1e-9) from turning float noise into
+  failures — only degradation past an absolute bound matters;
+* ``flag`` — boolean invariants (recovered truths bitwise-equal,
+  multi-process truths bitwise-equal): any ``False`` fails regardless
+  of tolerance.
+
+Metrics missing from either file are reported and skipped (smoke and
+full runs do not share every section), but comparing two files with
+*no* common metric is an error — that means the wrong baseline was
+wired up.
+
+Exit codes: 0 all compared metrics pass, 1 regression, 2 usage error.
+
+Usage::
+
+    python benchmarks/check_regression.py --kind service \
+        --baseline results/BENCH_service_smoke.json \
+        --fresh /tmp/fresh.json [--tolerance 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Default relative tolerance: CI runners are noisy, shared, and slower
+#: than dev machines; 40% catches "halved the hot path" while riding
+#: out scheduler jitter.
+DEFAULT_TOLERANCE = 0.40
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One comparable value inside a bench report."""
+
+    path: str
+    direction: str  # "higher" | "lower" | "flag"
+    floor: float = 0.0  # absolute bound for "lower" metrics
+
+
+SERVICE_METRICS = (
+    Metric("bulk.claims_per_sec", "higher"),
+    Metric("bulk_workers.claims_per_sec", "higher"),
+    Metric("submissions.claims_per_sec", "higher"),
+    # The agreement RMSE is machine-independent: degradation past 1e-3
+    # means the streaming aggregation itself changed, not the runner.
+    Metric("streaming_vs_batch_rmse", "lower", floor=1e-3),
+    Metric("workers_truths_match_bitwise", "flag"),
+)
+
+DURABILITY_METRICS = (
+    Metric("unlogged.claims_per_sec", "higher"),
+    Metric("logged.never.claims_per_sec", "higher"),
+    Metric("logged.batch.claims_per_sec", "higher"),
+    Metric("recovery.replay_only.claims_per_sec", "higher"),
+    # ~16 B/claim today; alarm only past 24 B/claim so narrow-slot
+    # jitter cannot trip it.
+    Metric("logged.batch.bytes_per_claim", "lower", floor=24.0),
+    Metric("recovery.replay_only.truths_match_bitwise", "flag"),
+    Metric("recovery.checkpointed.truths_match_bitwise", "flag"),
+)
+
+KINDS = {"service": SERVICE_METRICS, "durability": DURABILITY_METRICS}
+
+
+def lookup(report: dict, path: str):
+    """Resolve a dotted path inside a nested dict (None when absent)."""
+    node = report
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing one metric."""
+
+    metric: Metric
+    baseline: object
+    fresh: object
+    ok: Optional[bool]  # None = skipped
+    note: str = ""
+
+
+def compare_metric(
+    metric: Metric, baseline: dict, fresh: dict, tolerance: float
+) -> Comparison:
+    """Compare one metric between two reports."""
+    base_value = lookup(baseline, metric.path)
+    fresh_value = lookup(fresh, metric.path)
+    if base_value is None or fresh_value is None:
+        side = "baseline" if base_value is None else "fresh report"
+        return Comparison(
+            metric, base_value, fresh_value, None,
+            f"missing from {side}; skipped",
+        )
+    if metric.direction == "flag":
+        ok = bool(fresh_value)
+        return Comparison(
+            metric, base_value, fresh_value, ok,
+            "" if ok else "invariant is False",
+        )
+    base_value = float(base_value)
+    fresh_value = float(fresh_value)
+    if metric.direction == "higher":
+        if base_value <= 0.0:
+            return Comparison(
+                metric, base_value, fresh_value, None,
+                "baseline is not positive; skipped",
+            )
+        bound = base_value * (1.0 - tolerance)
+        ok = fresh_value >= bound
+        note = "" if ok else (
+            f"{fresh_value:,.0f} < {bound:,.0f} "
+            f"(= baseline {base_value:,.0f} - {tolerance:.0%})"
+        )
+        return Comparison(metric, base_value, fresh_value, ok, note)
+    if metric.direction == "lower":
+        bound = max(base_value * (1.0 + tolerance), metric.floor)
+        ok = fresh_value <= bound
+        note = "" if ok else (
+            f"{fresh_value:g} > {bound:g} "
+            f"(= max(baseline {base_value:g} + {tolerance:.0%}, "
+            f"floor {metric.floor:g}))"
+        )
+        return Comparison(metric, base_value, fresh_value, ok, note)
+    raise ValueError(f"unknown metric direction {metric.direction!r}")
+
+
+def check_regression(
+    baseline: dict,
+    fresh: dict,
+    *,
+    kind: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[Comparison]:
+    """Compare every known metric; raises ValueError on bad inputs."""
+    if kind not in KINDS:
+        raise ValueError(
+            f"kind must be one of {sorted(KINDS)}, got {kind!r}"
+        )
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    results = [
+        compare_metric(metric, baseline, fresh, tolerance)
+        for metric in KINDS[kind]
+    ]
+    if all(c.ok is None for c in results):
+        raise ValueError(
+            "no metric exists in both reports — wrong baseline for "
+            f"kind {kind!r}?"
+        )
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a fresh bench report regresses vs a "
+        "committed baseline",
+    )
+    parser.add_argument(
+        "--kind", required=True, choices=sorted(KINDS),
+        help="which bench report layout to compare",
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON path"
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly measured JSON path"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative drop/degradation (default "
+        f"{DEFAULT_TOLERANCE:.0%}, sized for CI-runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = []
+    for label, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                reports.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {label} report {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        results = check_regression(
+            reports[0], reports[1], kind=args.kind, tolerance=args.tolerance
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    failed = 0
+    for comparison in results:
+        metric = comparison.metric
+        if comparison.ok is None:
+            status = "SKIP"
+        elif comparison.ok:
+            status = "ok"
+        else:
+            status = "FAIL"
+            failed += 1
+        detail = f"  [{comparison.note}]" if comparison.note else ""
+        print(
+            f"{status:>4}  {metric.path:<45} "
+            f"baseline={comparison.baseline!r:>16} "
+            f"fresh={comparison.fresh!r:>16}{detail}"
+        )
+    if failed:
+        print(
+            f"{failed} metric(s) regressed beyond {args.tolerance:.0%} "
+            f"tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no regression beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,6 @@ weighted voting.
 Run:  python examples/crowd_labeling.py
 """
 
-import numpy as np
 
 from repro.privacy.randomized_response import (
     PrivatePreferenceRandomizedResponse,

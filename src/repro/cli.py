@@ -79,6 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--seed", type=int, default=2020, help="load-generator seed"
     )
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="also run the bulk path with N shard-worker processes and "
+        "compare against the in-process run (default 0: in-process only)",
+    )
+    bench_p.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="multiprocessing start method for --workers (default spawn)",
+    )
+    bench_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload exercising every code path (CI smoke test)",
+    )
     _add_output_option(bench_p, "results/BENCH_service.json")
 
     durable_p = sub.add_parser(
@@ -258,6 +276,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_shards=args.shards,
             max_batch=args.batch,
             seed=args.seed,
+            workers=args.workers,
+            start_method=args.start_method,
+            smoke=args.smoke,
         )
         print(format_summary(report))
         _write_output(report, args.output)

@@ -17,9 +17,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
-if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.service.ingest import IngestService
-
 from repro.crowdsensing.campaign import CampaignReport, CampaignSpec
 from repro.crowdsensing.device import UserDevice
 from repro.crowdsensing.faults import RELIABLE, FaultModel
@@ -27,6 +24,9 @@ from repro.crowdsensing.messages import TaskAssignment
 from repro.crowdsensing.server import AggregationServer
 from repro.crowdsensing.transport import InProcessTransport
 from repro.utils.rng import RandomState, spawn_generators
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.service.ingest import IngestService
 
 
 def build_devices(

@@ -27,6 +27,7 @@ from repro.service.aggregator import (
     IncrementalAggregator,
     StreamingAggregator,
     make_aggregator,
+    resolve_backend,
 )
 from repro.service.adapter import ServiceCampaignAdapter
 from repro.service.batcher import MicroBatcher
@@ -60,6 +61,7 @@ __all__ = [
     "StreamingAggregator",
     "TruthSnapshot",
     "make_aggregator",
+    "resolve_backend",
     "run_service_bench",
     "shard_for",
     "streaming_agreement_rmse",

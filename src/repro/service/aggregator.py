@@ -355,6 +355,43 @@ class FullRefitAggregator(IncrementalAggregator):
             self._dirty = False
 
 
+def resolve_backend(
+    num_users: int,
+    num_objects: int,
+    *,
+    kind: str = "auto",
+    method: str = "crh",
+    decay: float = 1.0,
+    full_refit_max_cells: int = 4096,
+) -> str:
+    """Resolve ``kind`` to the concrete backend a campaign will run.
+
+    This is :func:`make_aggregator`'s selection logic, split out so a
+    caller that is *not* constructing the backend locally — the
+    multi-process proxy, which must mirror the worker-side backend's
+    behaviour — resolves to exactly the same choice, including the same
+    configuration errors.
+    """
+    if kind not in ("auto", "streaming", "full"):
+        raise ValueError(f"unknown aggregator kind {kind!r}")
+    if kind == "auto":
+        small = num_users * num_objects <= full_refit_max_cells
+        if decay < 1.0:
+            kind = "streaming"
+        else:
+            kind = "full" if (small or method != "crh") else "streaming"
+    if kind == "full" and decay < 1.0:
+        raise ValueError(
+            "the full-refit backend cannot forget (decay < 1 "
+            "requires the streaming backend)"
+        )
+    if kind == "streaming" and method != "crh":
+        raise ValueError(
+            f"streaming backend only supports 'crh', got {method!r}"
+        )
+    return kind
+
+
 def make_aggregator(
     num_users: int,
     num_objects: int,
@@ -378,26 +415,17 @@ def make_aggregator(
     every claim forever and silently ignoring the configured forgetting
     rate would make two same-config campaigns diverge by size alone.
     """
-    if kind not in ("auto", "streaming", "full"):
-        raise ValueError(f"unknown aggregator kind {kind!r}")
-    if kind == "auto":
-        small = num_users * num_objects <= full_refit_max_cells
-        if decay < 1.0:
-            kind = "streaming"
-        else:
-            kind = "full" if (small or method != "crh") else "streaming"
+    kind = resolve_backend(
+        num_users,
+        num_objects,
+        kind=kind,
+        method=method,
+        decay=decay,
+        full_refit_max_cells=full_refit_max_cells,
+    )
     if kind == "full":
-        if decay < 1.0:
-            raise ValueError(
-                "the full-refit backend cannot forget (decay < 1 "
-                "requires the streaming backend)"
-            )
         return FullRefitAggregator(
             num_users, num_objects, method=method, **method_kwargs
-        )
-    if method != "crh":
-        raise ValueError(
-            f"streaming backend only supports 'crh', got {method!r}"
         )
     return StreamingAggregator(
         num_users,

@@ -19,6 +19,8 @@ incremental truths and a from-scratch CRH refit on identical claims).
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 
 import numpy as np
@@ -48,10 +50,22 @@ def _bench_bulk(
     max_batch: int,
     chunk_size: int,
     seed: int,
-) -> dict:
+    workers: int = 0,
+    start_method: str = "spawn",
+) -> tuple[dict, dict]:
+    """One bulk-path run; returns (metrics, final truths per campaign).
+
+    With ``workers > 0`` the clock covers ``sync_workers()`` too, so
+    multi-process throughput counts *aggregated* claims — not frames
+    parked in a pipe — and is directly comparable to the in-process
+    run.  The final truths are snapshotted outside the clock; the
+    caller uses them for the single- vs multi-process bitwise check.
+    """
     config = ServiceConfig(num_shards=num_shards, max_batch=max_batch)
-    service = IngestService(config)
-    chunks = []
+    service = IngestService(config, workers=workers,
+                            start_method=start_method)
+    per_campaign_chunks = []
+    generators = []
     per_campaign = max(total_claims // num_campaigns, 1)
     for c in range(num_campaigns):
         gen = LoadGenerator(
@@ -60,13 +74,25 @@ def _bench_bulk(
             num_objects=objects_per_campaign,
             random_state=seed + c,
         )
+        generators.append(gen)
         service.register_campaign(
             gen.campaign_id,
             gen.object_ids,
             max_users=users_per_campaign,
             user_ids=gen.user_ids,
         )
-        chunks.extend(gen.column_chunks(per_campaign, chunk_size=chunk_size))
+        per_campaign_chunks.append(
+            list(gen.column_chunks(per_campaign, chunk_size=chunk_size))
+        )
+    # Interleave arrivals round-robin across campaigns, the way real
+    # traffic mixes — campaign-sequential replay would keep exactly one
+    # shard (and so one worker) busy at a time.
+    chunks = [
+        chunk
+        for group in itertools.zip_longest(*per_campaign_chunks)
+        for chunk in group
+        if chunk is not None
+    ]
 
     start = time.perf_counter()
     for i, chunk in enumerate(chunks):
@@ -77,10 +103,16 @@ def _bench_bulk(
         if i % 16 == 15:
             service.pump()
     service.flush()
+    service.sync_workers()
     elapsed = time.perf_counter() - start
 
+    truths = {
+        gen.campaign_id: service.snapshot(gen.campaign_id).truths
+        for gen in generators
+    }
     accepted = service.stats.claims_accepted
     lats = service.batch_latencies()
+    service.close()
     return {
         "claims": int(accepted),
         "seconds": elapsed,
@@ -88,8 +120,9 @@ def _bench_bulk(
         "batches": int(lats.size),
         "batch_latency_p50_ms": _percentile_ms(lats, 50),
         "batch_latency_p99_ms": _percentile_ms(lats, 99),
+        "workers": workers,
         "stats": service.stats.as_dict(),
-    }
+    }, truths
 
 
 def _bench_submissions(
@@ -245,9 +278,23 @@ def run_service_bench(
     max_batch: int = 2048,
     chunk_size: int = 2048,
     seed: int = 2020,
+    workers: int = 0,
+    start_method: str = "spawn",
+    smoke: bool = False,
 ) -> dict:
-    """Run all measured paths and return a JSON-serialisable summary."""
-    bulk = _bench_bulk(
+    """Run all measured paths and return a JSON-serialisable summary.
+
+    ``workers > 0`` adds a multi-process bulk run over the *same*
+    chunk sequence next to the in-process one, plus a bitwise
+    truth-agreement check between the two.  ``smoke`` shrinks every
+    workload to a few thousand claims so CI can exercise the full code
+    path (including the worker spawn path) in seconds.
+    """
+    if smoke:
+        total_claims = min(total_claims, 24_000)
+        submission_claims = min(submission_claims, 8_000)
+        baseline_claims = min(baseline_claims, 4_000)
+    bulk, bulk_truths = _bench_bulk(
         total_claims=total_claims,
         num_campaigns=num_campaigns,
         users_per_campaign=users_per_campaign,
@@ -257,6 +304,25 @@ def run_service_bench(
         chunk_size=chunk_size,
         seed=seed,
     )
+    bulk_workers = None
+    workers_match = None
+    if workers > 0:
+        bulk_workers, worker_truths = _bench_bulk(
+            total_claims=total_claims,
+            num_campaigns=num_campaigns,
+            users_per_campaign=users_per_campaign,
+            objects_per_campaign=objects_per_campaign,
+            num_shards=num_shards,
+            max_batch=max_batch,
+            chunk_size=chunk_size,
+            seed=seed,
+            workers=workers,
+            start_method=start_method,
+        )
+        workers_match = all(
+            np.array_equal(bulk_truths[cid], worker_truths[cid])
+            for cid in bulk_truths
+        )
     submissions = _bench_submissions(
         total_claims=submission_claims,
         users_per_campaign=users_per_campaign,
@@ -274,7 +340,7 @@ def run_service_bench(
         seed=seed,
     )
     rmse = streaming_agreement_rmse(seed=seed)
-    return {
+    report = {
         "config": {
             "total_claims": total_claims,
             "submission_claims": submission_claims,
@@ -287,6 +353,8 @@ def run_service_bench(
             "max_batch": max_batch,
             "chunk_size": chunk_size,
             "seed": seed,
+            "workers": workers,
+            "smoke": smoke,
         },
         "bulk": bulk,
         "submissions": submissions,
@@ -300,6 +368,21 @@ def run_service_bench(
         ),
         "streaming_vs_batch_rmse": rmse,
     }
+    if bulk_workers is not None:
+        report["bulk_workers"] = bulk_workers
+        report["speedup_workers_vs_single"] = bulk_workers[
+            "claims_per_sec"
+        ] / max(bulk["claims_per_sec"], 1e-9)
+        report["workers_truths_match_bitwise"] = bool(workers_match)
+        # Worker processes can only beat the single process when the
+        # hardware can actually run them in parallel; record what was
+        # available so readers can judge the speedup number.
+        try:
+            cpus = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-POSIX
+            cpus = os.cpu_count() or 1
+        report["available_cpus"] = cpus
+    return report
 
 
 def format_summary(report: dict) -> str:
@@ -317,6 +400,17 @@ def format_summary(report: dict) -> str:
             f"{report['submissions']['claims_per_sec']:>12,.0f}"
             f" claims/s  ({report['submissions']['claims']:,} claims)"
         ),
+    ]
+    if "bulk_workers" in report:
+        bw = report["bulk_workers"]
+        lines.append(
+            f"bulk, {bw['workers']} workers: "
+            f"{bw['claims_per_sec']:>12,.0f}"
+            f" claims/s  ({report['speedup_workers_vs_single']:.2f}x "
+            f"single-process, truths bitwise "
+            f"{'equal' if report['workers_truths_match_bitwise'] else 'DIFFER'})"
+        )
+    lines += [
         (
             f"baseline server:  {report['baseline']['claims_per_sec']:>12,.0f}"
             f" claims/s  ({report['baseline']['claims']:,} claims)"

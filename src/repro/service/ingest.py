@@ -19,8 +19,11 @@ queued work into micro-batchers and incremental aggregators;
 
 The service is single-threaded by design — shards are a state
 partition, not threads — so callers control when aggregation work
-happens (after each drain, on a timer, ...).  See ROADMAP
-"Architecture" for the multi-process evolution.
+happens (after each drain, on a timer, ...).  With ``workers=N`` the
+aggregation half of each pump moves into shard-worker processes
+(:mod:`repro.workers`): ``pump()`` then ships completed micro-batches
+over a pipe and returns, while the workers aggregate concurrently —
+validation, admission, and durability logging stay in this process.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ import numpy as np
 
 from repro.crowdsensing.messages import ClaimSubmission
 from repro.privacy.ldp import LDPGuarantee
-from repro.service.aggregator import make_aggregator
+from repro.service.aggregator import make_aggregator, resolve_backend
 from repro.service.ledger import BudgetLedger
 from repro.service.shard import CampaignState, Shard, shard_for
 from repro.service.snapshot import TruthSnapshot
@@ -151,6 +154,20 @@ class IngestService:
         the service's state can be rebuilt after a crash with
         :class:`~repro.durable.recovery.RecoveryManager`.  Attach it at
         construction (before registering campaigns).
+    workers:
+        ``0`` (default) keeps every shard in-process.  ``N >= 1``
+        starts a :class:`~repro.workers.pool.WorkerPool` of N processes,
+        each owning a contiguous range of shards: campaign aggregators
+        live in the workers (as
+        :class:`~repro.workers.handles.RemoteAggregator` proxies
+        parent-side), while validation, admission, queues,
+        micro-batching, and durability logging stay here.  Call
+        :meth:`close` (or use the service as a context manager) to shut
+        the pool down.
+    start_method:
+        ``multiprocessing`` start method for the pool (``"spawn"`` by
+        default — safe on every supported platform and Python
+        3.10–3.13; ``"fork"`` starts faster on POSIX).
     """
 
     def __init__(
@@ -159,6 +176,8 @@ class IngestService:
         *,
         ledger: Optional[BudgetLedger] = None,
         durability=None,
+        workers: int = 0,
+        start_method: str = "spawn",
     ) -> None:
         self._config = config if config is not None else ServiceConfig()
         self._ledger = ledger
@@ -169,6 +188,19 @@ class IngestService:
         ]
         self._campaign_shard: dict[str, Shard] = {}
         self.stats = ServiceStats()
+        self._pool = None
+        if workers:
+            ensure_int(workers, "workers", minimum=0)
+            from dataclasses import asdict
+
+            from repro.workers.pool import WorkerPool
+
+            self._pool = WorkerPool(
+                self._config.num_shards,
+                workers,
+                asdict(self._config),
+                start_method=start_method,
+            )
         if durability is not None:
             self.attach_durability(durability)
 
@@ -212,6 +244,16 @@ class IngestService:
         return len(self._shards)
 
     @property
+    def num_workers(self) -> int:
+        """Worker processes behind the shards (0 = fully in-process)."""
+        return 0 if self._pool is None else self._pool.num_workers
+
+    @property
+    def worker_pool(self):
+        """The attached worker pool (None when running in-process)."""
+        return self._pool
+
+    @property
     def campaign_ids(self) -> list[str]:
         return sorted(self._campaign_shard)
 
@@ -248,6 +290,7 @@ class IngestService:
         ensure_int(max_users, "max_users", minimum=1)
         object_ids = tuple(object_ids)
         cfg = self._config
+        shard_index = self.shard_of(campaign_id)
         state = CampaignState(
             campaign_id,
             object_ids,
@@ -255,16 +298,14 @@ class IngestService:
             user_ids=user_ids,
             cost=cost,
             max_batch=cfg.max_batch,
-            aggregator=make_aggregator(
+            aggregator=self._build_aggregator(
+                campaign_id,
+                shard_index,
                 max_users,
                 len(object_ids),
-                kind=aggregator,
+                aggregator_kind=aggregator,
                 method=method,
-                decay=cfg.decay,
-                refine_sweeps=cfg.refine_sweeps,
-                refine_every=cfg.refine_every,
-                full_refit_max_cells=cfg.full_refit_max_cells,
-                **method_kwargs,
+                method_kwargs=method_kwargs,
             ),
         )
         if self._durability is not None:
@@ -289,7 +330,21 @@ class IngestService:
                     "method_kwargs": dict(method_kwargs),
                 }
             )
-        shard = self._shards[self.shard_of(campaign_id)]
+        if self._pool is not None:
+            # The worker must know the campaign before any batch frame
+            # can reference it (frames are processed strictly in order,
+            # so sending the registration first is sufficient).
+            self._pool.handle_for(shard_index).register(
+                {
+                    "campaign_id": campaign_id,
+                    "num_users": max_users,
+                    "num_objects": len(object_ids),
+                    "method": method,
+                    "aggregator": aggregator,
+                    "method_kwargs": dict(method_kwargs),
+                }
+            )
+        shard = self._shards[shard_index]
         shard.register(state)
         self._campaign_shard[campaign_id] = shard
         _LOGGER.debug(
@@ -314,6 +369,8 @@ class IngestService:
         del shard.campaigns[campaign_id]
         if self._durability is not None:
             self._durability.log_unregister(campaign_id)
+        if self._pool is not None:
+            self._pool.handle_for(shard.index).unregister(campaign_id)
 
     def campaign_state(self, campaign_id: str) -> CampaignState:
         """The shard-side state of a campaign (read-mostly; for tests)."""
@@ -321,6 +378,54 @@ class IngestService:
         if shard is None:
             raise KeyError(f"campaign {campaign_id!r} not registered")
         return shard.campaigns[campaign_id]
+
+    def _build_aggregator(
+        self,
+        campaign_id: str,
+        shard_index: int,
+        num_users: int,
+        num_objects: int,
+        *,
+        aggregator_kind: str,
+        method: str,
+        method_kwargs: dict,
+    ):
+        cfg = self._config
+        if self._pool is None:
+            return make_aggregator(
+                num_users,
+                num_objects,
+                kind=aggregator_kind,
+                method=method,
+                decay=cfg.decay,
+                refine_sweeps=cfg.refine_sweeps,
+                refine_every=cfg.refine_every,
+                full_refit_max_cells=cfg.full_refit_max_cells,
+                **method_kwargs,
+            )
+        from repro.workers.handles import RemoteAggregator
+
+        # Resolve the backend with the exact same rules the worker-side
+        # make_aggregator call will apply, so the proxy's bookkeeping
+        # (refresh_changes_state) mirrors the real backend — and so a
+        # bad configuration fails here, with a local traceback, not as
+        # a remote worker error.
+        backend = resolve_backend(
+            num_users,
+            num_objects,
+            kind=aggregator_kind,
+            method=method,
+            decay=cfg.decay,
+            full_refit_max_cells=cfg.full_refit_max_cells,
+        )
+        return RemoteAggregator(
+            self._pool.handle_for(shard_index),
+            campaign_id,
+            num_users,
+            num_objects,
+            backend=backend,
+            refine_every=cfg.refine_every,
+        )
 
     # ------------------------------------------------------------------
     def submit(self, submission: ClaimSubmission) -> IngestResult:
@@ -544,6 +649,10 @@ class IngestService:
         batches logged during the pump are synced (under the ``batch``
         fsync policy) and automatic checkpoints fire here.
         """
+        if self._pool is not None:
+            # Surface a crashed worker as a clear error now, not as a
+            # broken pipe halfway through shipping this pump's batches.
+            self._pool.check()
         moved = sum(shard.pump() for shard in self._shards)
         if self._durability is not None:
             self._durability.after_pump()
@@ -573,6 +682,34 @@ class IngestService:
             # it durable before handing out truths derived from it.
             self._durability.sync()
         return shard.campaigns[campaign_id].snapshot()
+
+    def sync_workers(self) -> None:
+        """Barrier: return once workers aggregated every shipped batch.
+
+        In-process mode this is a no-op (pump already aggregated
+        synchronously).  Benchmarks call it before stopping the clock
+        so multi-process throughput counts finished aggregation, not
+        frames parked in a pipe.
+        """
+        if self._pool is not None:
+            self._pool.sync()
+
+    def close(self) -> None:
+        """Shut down the worker pool (if any); idempotent.
+
+        Queued-but-unpumped work is dropped, exactly like abandoning an
+        in-process service.  A durability manager attached to the
+        service is *not* closed here — its WAL may outlive the service
+        for recovery.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "IngestService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def queue_depths(self) -> list[int]:

@@ -1,0 +1,163 @@
+"""The worker pool: process lifecycle and shard-to-worker placement.
+
+A :class:`WorkerPool` spawns N worker processes and assigns each a
+contiguous range of the service's shards (contiguous ranges keep
+placement trivially describable and make the future multi-node split a
+table lookup).  Startup is a handshake: each worker receives a
+``CONFIG`` frame (the service configuration, as the same JSON record
+the write-ahead log stores) and must answer ``READY`` — a worker that
+dies importing NumPy or decoding the config is reported with its
+traceback instead of hanging the parent.
+
+The pool defaults to the ``spawn`` start method: it is the only method
+available everywhere Python 3.10–3.13 runs, it cannot inherit locks or
+buffered state from a threaded parent, and it forces the frame protocol
+to carry everything a worker needs (which is exactly what a future
+socket transport requires).  Tests that need fast startup on POSIX can
+pass ``start_method="fork"``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.durable import records as rec
+from repro.utils.logging import get_logger
+from repro.utils.validation import ensure_int
+from repro.workers import protocol as proto
+from repro.workers.handles import WorkerHandle
+from repro.workers.worker import worker_main
+
+_LOGGER = get_logger("workers.pool")
+
+#: Start methods the pool accepts (``forkserver`` adds nothing here).
+START_METHODS = ("spawn", "fork", "forkserver")
+
+
+def shard_ranges(num_shards: int, num_workers: int) -> list[tuple[int, int]]:
+    """Split ``num_shards`` into ``num_workers`` contiguous ``(lo, hi)``
+    half-open ranges, sizes differing by at most one."""
+    ensure_int(num_shards, "num_shards", minimum=1)
+    ensure_int(num_workers, "num_workers", minimum=1)
+    if num_workers > num_shards:
+        raise ValueError(
+            f"{num_workers} workers cannot each own a shard range of "
+            f"{num_shards} shard(s); use workers <= num_shards"
+        )
+    base, extra = divmod(num_shards, num_workers)
+    ranges = []
+    lo = 0
+    for w in range(num_workers):
+        hi = lo + base + (1 if w < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+class WorkerPool:
+    """N shard-worker processes behind one ingestion service.
+
+    Parameters
+    ----------
+    num_shards:
+        The service's shard count (placement domain).
+    num_workers:
+        Worker processes to spawn (``1 <= num_workers <= num_shards``).
+    config_payload:
+        JSON-serialisable service configuration, sent to every worker
+        as its first (``CONFIG``) frame.
+    start_method:
+        ``multiprocessing`` start method; ``"spawn"`` by default (see
+        the module docstring).
+    ready_timeout:
+        Seconds to wait for each worker's READY handshake (spawning
+        interpreters and importing NumPy on a cold CI runner is slow).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        num_workers: int,
+        config_payload: dict,
+        *,
+        start_method: str = "spawn",
+        ready_timeout: float = 120.0,
+    ) -> None:
+        if start_method not in START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {START_METHODS}, "
+                f"got {start_method!r}"
+            )
+        self._closed = False
+        self.handles: list[WorkerHandle] = []
+        self._by_shard: list[WorkerHandle] = []
+        ctx = multiprocessing.get_context(start_method)
+        ranges = shard_ranges(num_shards, num_workers)
+        config_frame = rec.encode_json_payload(config_payload)
+        try:
+            for worker_id, (lo, hi) in enumerate(ranges):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, worker_id, (lo, hi)),
+                    name=f"repro-shard-worker-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handle = WorkerHandle(
+                    worker_id, (lo, hi), process, parent_conn
+                )
+                self.handles.append(handle)
+                handle.send(rec.CONFIG, config_frame)
+            # Handshake after every process is launched, so slow spawns
+            # overlap instead of serialising.
+            for handle in self.handles:
+                handle.expect(proto.READY, timeout=ready_timeout)
+        except BaseException:
+            self.close()
+            raise
+        for handle in self.handles:
+            lo, hi = handle.shard_range
+            self._by_shard.extend([handle] * (hi - lo))
+        _LOGGER.debug(
+            "worker pool up: %d worker(s) over %d shard(s) via %s",
+            num_workers,
+            num_shards,
+            start_method,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self.handles)
+
+    def handle_for(self, shard_index: int) -> WorkerHandle:
+        """The handle owning ``shard_index``."""
+        return self._by_shard[shard_index]
+
+    def check(self) -> None:
+        """Probe every worker for crashes (cheap; called per pump)."""
+        for handle in self.handles:
+            handle.check()
+
+    def sync(self) -> None:
+        """Barrier across all workers: every shipped frame is processed."""
+        for handle in self.handles:
+            handle.sync()
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut every worker down cleanly; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.handles:
+            handle.shutdown(timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+

@@ -1,0 +1,138 @@
+"""Wire protocol between the ingest process and its shard workers.
+
+Everything that crosses the process boundary is a *frame*::
+
+    u32  length of everything after this field (little-endian)
+    u8   frame type
+    ...  payload
+
+Frames travel over a ``multiprocessing`` duplex pipe today, but the
+explicit length prefix keeps them self-describing, so the same encoding
+can move to raw sockets (the ROADMAP's multi-node follow-on) without a
+format change.
+
+The data plane reuses :mod:`repro.durable.records` wholesale: a claim
+batch crosses as a :class:`~repro.durable.records.WorkItem` under the
+``BATCH`` record type, and campaign lifecycle / service configuration
+cross as the same JSON control records (``CONFIG`` / ``REGISTER`` /
+``UNREGISTER`` / ``REFRESH``) the write-ahead log stores.  Worker-only
+control frames (snapshot and state RPCs, the readiness handshake,
+shutdown) use a disjoint type range so the two namespaces can never
+collide.
+
+RPC payloads that carry aggregator state — arbitrary nested dicts with
+NumPy arrays at the leaves — are encoded with the same
+array-hoisting-into-npz scheme the checkpoint store uses
+(:func:`pack_state` / :func:`unpack_state`), so remote snapshots are
+bit-exact, pickle-free, and byte-compatible with checkpoint payloads.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import numpy as np
+
+from repro.durable.checkpoint import _hoist_arrays, _lower_arrays
+from repro.durable.records import RecordError
+
+# ---------------------------------------------------------------------------
+# Frame types.  1..31 is reserved for repro.durable.records record types
+# (CONFIG/REGISTER/UNREGISTER/BATCH/REFRESH cross the pipe unchanged);
+# worker-only control frames start at 32.
+
+#: Snapshot RPC: request one campaign's truths/weights/counters.
+SNAPSHOT_REQ = 32
+#: Snapshot RPC response (``pack_state`` payload).
+SNAPSHOT_RESP = 33
+#: State RPC: request one campaign aggregator's full ``state_dict``.
+STATE_REQ = 34
+#: State RPC response (``pack_state`` payload).
+STATE_RESP = 35
+#: Restore a previously captured ``state_dict`` into a worker aggregator.
+LOAD_STATE = 36
+#: Barrier: ask the worker to acknowledge once all prior frames are done.
+SYNC_REQ = 37
+#: Barrier acknowledgement.
+SYNC_RESP = 38
+#: Worker -> parent: startup handshake completed.
+READY = 40
+#: Worker -> parent: the worker failed; payload carries the traceback.
+ERROR = 41
+#: Parent -> worker: drain and exit cleanly.
+SHUTDOWN = 42
+
+_HEADER = struct.Struct("<IB")
+
+
+class ProtocolError(RecordError):
+    """A frame failed to encode or decode."""
+
+
+def encode_frame(rtype: int, payload: bytes) -> bytes:
+    """One length-prefixed frame as bytes."""
+    if not 0 < rtype < 256:
+        raise ProtocolError(f"frame type must fit a u8, got {rtype}")
+    return _HEADER.pack(len(payload) + 1, rtype) + payload
+
+
+def decode_frame(frame: bytes) -> tuple[int, bytes]:
+    """Inverse of :func:`encode_frame`; validates the length prefix."""
+    try:
+        length, rtype = _HEADER.unpack_from(frame, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"truncated frame header: {exc}") from exc
+    if len(frame) != _HEADER.size - 1 + length:
+        raise ProtocolError(
+            f"frame declares {length} bytes after the length field, "
+            f"got {len(frame) - (_HEADER.size - 1)}"
+        )
+    return rtype, frame[_HEADER.size:]
+
+
+def send_frame(conn, rtype: int, payload: bytes = b"") -> None:
+    """Write one frame to a ``multiprocessing`` connection."""
+    conn.send_bytes(encode_frame(rtype, payload))
+
+
+def recv_frame(conn) -> tuple[int, bytes]:
+    """Read one frame from a ``multiprocessing`` connection.
+
+    Raises ``EOFError`` when the peer has gone away, exactly like the
+    underlying connection does.
+    """
+    return decode_frame(conn.recv_bytes())
+
+
+# ---------------------------------------------------------------------------
+# State payloads: nested dicts with NumPy arrays at the leaves, encoded
+# as an in-memory npz with a JSON manifest (the checkpoint layout).
+
+_MANIFEST_KEY = "manifest"
+
+
+def pack_state(payload: dict) -> bytes:
+    """Encode a dict-with-arrays payload (snapshot / state RPCs)."""
+    arrays: dict[str, np.ndarray] = {}
+    manifest = _hoist_arrays(payload, arrays, "payload")
+    try:
+        manifest_json = json.dumps(manifest, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"state payload is not JSON-serialisable: {exc}"
+        ) from exc
+    buf = io.BytesIO()
+    np.savez(buf, **{_MANIFEST_KEY: np.array(manifest_json)}, **arrays)
+    return buf.getvalue()
+
+
+def unpack_state(blob: bytes) -> dict:
+    """Inverse of :func:`pack_state`."""
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+            manifest = json.loads(str(npz[_MANIFEST_KEY][()]))
+            return _lower_arrays(manifest, npz)
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed state payload: {exc}") from exc

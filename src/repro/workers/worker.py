@@ -1,0 +1,216 @@
+"""The shard-worker process: aggregation off the ingest process's back.
+
+:func:`worker_main` is the (spawn-safe, module-level) entrypoint of one
+worker process.  A worker owns a contiguous range of shards: every
+campaign routed to those shards lives here as an
+:class:`~repro.service.aggregator.IncrementalAggregator` built by the
+exact same :func:`~repro.service.aggregator.make_aggregator` call the
+in-process service would have made, so given the same micro-batch and
+refresh sequence its truths are bit-for-bit identical to a
+single-process run.
+
+The parent keeps everything else — validation, admission, user-slot
+tables, bounded queues, micro-batching, durability logging — and ships
+each completed micro-batch as a :class:`~repro.durable.records.WorkItem`
+frame.  Frames are processed strictly in order, which is what makes the
+snapshot/state RPCs consistent: by the time a request is answered, every
+batch sent before it has been aggregated.
+
+Protocol (see :mod:`repro.workers.protocol`):
+
+* first frame must be ``CONFIG`` (the service configuration); the
+  worker answers ``READY`` — the startup handshake;
+* ``REGISTER`` / ``UNREGISTER`` — campaign lifecycle (the same JSON
+  payloads the write-ahead log stores);
+* ``BATCH`` — one micro-batch, aggregated immediately;
+* ``REFRESH`` — fold deferred work for one campaign (read-forced
+  refreshes keep their single-process timing);
+* ``SNAPSHOT_REQ`` / ``STATE_REQ`` / ``LOAD_STATE`` — read and restore
+  aggregator state;
+* ``SYNC_REQ`` — barrier; ``SHUTDOWN`` — clean exit.
+
+Any exception is reported back as an ``ERROR`` frame carrying the full
+traceback before the process exits nonzero, so the parent can raise a
+useful error instead of a bare broken pipe.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import traceback
+
+import numpy as np
+
+from repro.durable import records as rec
+from repro.truthdiscovery.streaming import ClaimBatch
+from repro.workers import protocol as proto
+
+
+class _WorkerRuntime:
+    """State and dispatch loop of one worker process."""
+
+    def __init__(self, conn, worker_id: int, shard_range: tuple) -> None:
+        self._conn = conn
+        self.worker_id = worker_id
+        self.shard_range = tuple(shard_range)
+        self._config: dict = {}
+        self._aggregators: dict = {}
+        self.claims_aggregated = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        rtype, payload = proto.recv_frame(self._conn)
+        if rtype != rec.CONFIG:
+            raise proto.ProtocolError(
+                f"worker {self.worker_id} expected a CONFIG frame first, "
+                f"got type {rtype}"
+            )
+        self._config = json.loads(payload.decode("utf-8"))
+        proto.send_frame(self._conn, proto.READY, b"")
+        while True:
+            try:
+                rtype, payload = proto.recv_frame(self._conn)
+            except EOFError:
+                # Parent went away without a SHUTDOWN; nothing left to
+                # serve.
+                return
+            if rtype == proto.SHUTDOWN:
+                return
+            self._dispatch(rtype, payload)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, rtype: int, payload: bytes) -> None:
+        if rtype == rec.BATCH:
+            self._on_batch(rec.WorkItem.from_bytes(payload))
+        elif rtype == rec.REFRESH:
+            self._aggregator(self._json(payload)["campaign_id"]).refresh()
+        elif rtype == rec.REGISTER:
+            self._on_register(self._json(payload))
+        elif rtype == rec.UNREGISTER:
+            self._aggregators.pop(self._json(payload)["campaign_id"], None)
+        elif rtype == proto.SNAPSHOT_REQ:
+            self._on_snapshot(self._json(payload)["campaign_id"])
+        elif rtype == proto.STATE_REQ:
+            self._on_state(self._json(payload)["campaign_id"])
+        elif rtype == proto.LOAD_STATE:
+            body = proto.unpack_state(payload)
+            self._aggregator(body["campaign_id"]).load_state(body["state"])
+        elif rtype == proto.SYNC_REQ:
+            proto.send_frame(self._conn, proto.SYNC_RESP, payload)
+        else:
+            raise proto.ProtocolError(
+                f"worker {self.worker_id} received unknown frame type "
+                f"{rtype}"
+            )
+
+    def _json(self, payload: bytes) -> dict:
+        return json.loads(payload.decode("utf-8"))
+
+    def _aggregator(self, campaign_id: str):
+        try:
+            return self._aggregators[campaign_id]
+        except KeyError:
+            raise proto.ProtocolError(
+                f"worker {self.worker_id} has no campaign "
+                f"{campaign_id!r} (shards {self.shard_range})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _on_register(self, spec: dict) -> None:
+        from repro.service.aggregator import make_aggregator
+
+        campaign_id = spec["campaign_id"]
+        if campaign_id in self._aggregators:
+            raise proto.ProtocolError(
+                f"campaign {campaign_id!r} already registered on "
+                f"worker {self.worker_id}"
+            )
+        cfg = self._config
+        self._aggregators[campaign_id] = make_aggregator(
+            int(spec["num_users"]),
+            int(spec["num_objects"]),
+            kind=spec.get("aggregator", "auto"),
+            method=spec.get("method", "crh"),
+            decay=float(cfg.get("decay", 1.0)),
+            refine_sweeps=int(cfg.get("refine_sweeps", 2)),
+            refine_every=int(cfg.get("refine_every", 8192)),
+            full_refit_max_cells=int(cfg.get("full_refit_max_cells", 4096)),
+            **(spec.get("method_kwargs") or {}),
+        )
+
+    def _on_batch(self, item: rec.WorkItem) -> None:
+        aggregator = self._aggregator(item.campaign_id)
+        # Copy out of the frame buffer: decoded columns are read-only
+        # views, and downstream aggregation must own writable int64/f64
+        # arrays exactly like the single-process path hands it.
+        aggregator.ingest(
+            ClaimBatch(
+                users=np.array(item.user_slots, dtype=np.int64),
+                objects=np.array(item.object_slots, dtype=np.int64),
+                values=np.array(item.values, dtype=float),
+            )
+        )
+        self.claims_aggregated += item.size
+
+    def _on_snapshot(self, campaign_id: str) -> None:
+        aggregator = self._aggregator(campaign_id)
+        payload = proto.pack_state(
+            {
+                "campaign_id": campaign_id,
+                "truths": aggregator.truths(),
+                "weights": aggregator.weights(),
+                "seen_objects": aggregator.seen_objects(),
+                "claims_ingested": aggregator.claims_ingested,
+                "batches_ingested": aggregator.batches_ingested,
+            }
+        )
+        proto.send_frame(self._conn, proto.SNAPSHOT_RESP, payload)
+
+    def _on_state(self, campaign_id: str) -> None:
+        aggregator = self._aggregator(campaign_id)
+        payload = proto.pack_state(
+            {
+                "campaign_id": campaign_id,
+                "state": aggregator.state_dict(),
+            }
+        )
+        proto.send_frame(self._conn, proto.STATE_RESP, payload)
+
+
+def worker_main(conn, worker_id: int, shard_range: tuple) -> None:
+    """Process entrypoint: serve frames until SHUTDOWN or parent exit.
+
+    Must stay a module-level function with picklable arguments so the
+    ``spawn`` start method (the default on macOS/Windows and from
+    Python 3.14 on Linux) can import and call it.
+    """
+    runtime = _WorkerRuntime(conn, worker_id, shard_range)
+    try:
+        runtime.run()
+    except Exception:
+        reported = False
+        try:
+            proto.send_frame(
+                conn,
+                proto.ERROR,
+                rec.encode_json_payload(
+                    {
+                        "worker_id": worker_id,
+                        "traceback": traceback.format_exc(),
+                    }
+                ),
+            )
+            reported = True
+        except (OSError, ValueError):
+            pass  # parent already gone; exit code still says "failed"
+        if not reported:
+            raise
+        # The parent holds the full traceback; exit nonzero without
+        # spraying it on stderr a second time.
+        sys.exit(1)
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - double close on teardown
+            pass

@@ -1,0 +1,202 @@
+"""Unit tests for the CI bench-regression gate."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = (
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", _MODULE_PATH
+)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression)
+_spec.loader.exec_module(check_regression)
+
+
+def service_report(
+    *,
+    bulk=3_000_000.0,
+    workers=1_600_000.0,
+    submissions=450_000.0,
+    rmse=1.4e-9,
+    bitwise=True,
+):
+    return {
+        "bulk": {"claims_per_sec": bulk},
+        "bulk_workers": {"claims_per_sec": workers},
+        "submissions": {"claims_per_sec": submissions},
+        "streaming_vs_batch_rmse": rmse,
+        "workers_truths_match_bitwise": bitwise,
+    }
+
+
+def durability_report(*, batch=2_500_000.0, bitwise=True, bytes_per=16.1):
+    return {
+        "unlogged": {"claims_per_sec": 6_000_000.0},
+        "logged": {
+            "never": {"claims_per_sec": 4_000_000.0},
+            "batch": {
+                "claims_per_sec": batch,
+                "bytes_per_claim": bytes_per,
+            },
+        },
+        "recovery": {
+            "replay_only": {
+                "claims_per_sec": 3_500_000.0,
+                "truths_match_bitwise": bitwise,
+            },
+            "checkpointed": {
+                "claims_per_sec": 0.0,
+                "truths_match_bitwise": True,
+            },
+        },
+    }
+
+
+def failures(results):
+    return [c.metric.path for c in results if c.ok is False]
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        results = check_regression.check_regression(
+            service_report(), service_report(), kind="service"
+        )
+        assert not failures(results)
+
+    def test_throughput_below_tolerance_fails(self):
+        fresh = service_report(bulk=3_000_000.0 * 0.5)
+        results = check_regression.check_regression(
+            service_report(), fresh, kind="service", tolerance=0.4
+        )
+        assert failures(results) == ["bulk.claims_per_sec"]
+
+    def test_throughput_within_tolerance_passes(self):
+        fresh = service_report(bulk=3_000_000.0 * 0.7)
+        results = check_regression.check_regression(
+            service_report(), fresh, kind="service", tolerance=0.4
+        )
+        assert not failures(results)
+
+    def test_rmse_noise_below_floor_passes(self):
+        # 100x the (near-zero) baseline but far under the 1e-3 floor.
+        fresh = service_report(rmse=1.4e-7)
+        results = check_regression.check_regression(
+            service_report(), fresh, kind="service"
+        )
+        assert not failures(results)
+
+    def test_rmse_past_floor_fails(self):
+        fresh = service_report(rmse=5e-3)
+        results = check_regression.check_regression(
+            service_report(), fresh, kind="service"
+        )
+        assert failures(results) == ["streaming_vs_batch_rmse"]
+
+    def test_bitwise_flag_false_fails_regardless_of_tolerance(self):
+        fresh = service_report(bitwise=False)
+        results = check_regression.check_regression(
+            service_report(), fresh, kind="service", tolerance=0.99
+        )
+        assert failures(results) == ["workers_truths_match_bitwise"]
+
+    def test_missing_sections_are_skipped(self):
+        base = service_report()
+        fresh = service_report()
+        del base["bulk_workers"]
+        results = check_regression.check_regression(
+            base, fresh, kind="service"
+        )
+        skipped = [c.metric.path for c in results if c.ok is None]
+        assert "bulk_workers.claims_per_sec" in skipped
+        assert not failures(results)
+
+    def test_zero_baseline_is_skipped_not_divided(self):
+        results = check_regression.check_regression(
+            durability_report(), durability_report(), kind="durability"
+        )
+        by_path = {c.metric.path: c for c in results}
+        # recovery.checkpointed replays nothing in smoke runs.
+        assert (
+            by_path["recovery.checkpointed.truths_match_bitwise"].ok
+            is True
+        )
+
+    def test_no_common_metric_is_an_error(self):
+        with pytest.raises(ValueError):
+            check_regression.check_regression(
+                {"x": 1}, {"y": 2}, kind="service"
+            )
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            check_regression.check_regression(
+                service_report(), service_report(), kind="service",
+                tolerance=1.5,
+            )
+
+    def test_durability_bytes_per_claim_guard(self):
+        fresh = durability_report(bytes_per=30.0)
+        results = check_regression.check_regression(
+            durability_report(), fresh, kind="durability"
+        )
+        assert failures(results) == ["logged.batch.bytes_per_claim"]
+
+
+class TestCli:
+    def write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", service_report())
+        fresh = self.write(tmp_path, "fresh.json", service_report())
+        code = check_regression.main(
+            ["--kind", "service", "--baseline", base, "--fresh", fresh]
+        )
+        assert code == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_doctored_throughput(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", service_report())
+        fresh = self.write(
+            tmp_path, "fresh.json", service_report(bulk=100.0)
+        )
+        code = check_regression.main(
+            ["--kind", "service", "--baseline", base, "--fresh", fresh]
+        )
+        assert code == 1
+        out = capsys.readouterr()
+        assert "FAIL" in out.out
+        assert "regressed" in out.err
+
+    def test_exit_two_on_unreadable_input(self, tmp_path):
+        base = self.write(tmp_path, "base.json", service_report())
+        code = check_regression.main(
+            [
+                "--kind", "service",
+                "--baseline", base,
+                "--fresh", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 2
+
+    def test_committed_smoke_baselines_self_compare(self):
+        """The baselines CI diffs against must pass against themselves."""
+        results_dir = _MODULE_PATH.parent.parent / "results"
+        for kind, name in (
+            ("service", "BENCH_service_smoke.json"),
+            ("durability", "BENCH_durability_smoke.json"),
+        ):
+            path = str(results_dir / name)
+            assert check_regression.main(
+                ["--kind", kind, "--baseline", path, "--fresh", path]
+            ) == 0

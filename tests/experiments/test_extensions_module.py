@@ -1,6 +1,5 @@
 """Tests for the extension experiments module."""
 
-import pytest
 
 from repro.experiments import run_experiment
 from repro.experiments.extensions import (

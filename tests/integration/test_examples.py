@@ -31,6 +31,7 @@ def test_examples_directory_complete():
         "durable_service",
         "high_throughput_service",
         "indoor_floorplan",
+        "multiprocess_workers",
         "privacy_budget_planner",
         "quickstart",
         "streaming_monitoring",
@@ -69,6 +70,13 @@ def test_durable_service(capsys):
     assert "truths bit-for-bit identical to the doomed service: True" in out
     assert "recovered privacy spend" in out
     assert "RMSE vs ground truth" in out
+
+
+def test_multiprocess_workers(capsys):
+    out = run_example("multiprocess_workers", capsys)
+    assert "truths identical across modes" in out
+    assert "caught: WorkerHandle(" in out
+    assert "bit-for-bit" in out
 
 
 def test_crowdsensing_protocol(capsys):

@@ -1,6 +1,5 @@
 """Property-based tests tying the theory module together."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

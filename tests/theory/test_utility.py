@@ -49,7 +49,9 @@ class TestMaxNoiseLevel:
 
     def test_monotone_in_lambda1(self):
         # Paper: "a larger lambda1 ... can tolerate more noise".
-        values = [max_noise_level(l, 0.5, 0.1, 100) for l in (0.5, 2.0, 8.0)]
+        values = [
+            max_noise_level(lam, 0.5, 0.1, 100) for lam in (0.5, 2.0, 8.0)
+        ]
         assert values == sorted(values)
 
     def test_validation(self):

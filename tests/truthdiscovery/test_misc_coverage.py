@@ -1,7 +1,6 @@
 """Coverage for smaller branches across the truth discovery substrate."""
 
 import numpy as np
-import pytest
 
 from repro.truthdiscovery.claims import ClaimMatrix, stack_claims
 from repro.truthdiscovery.crh import CRH

@@ -1,0 +1,119 @@
+"""Frame and state-payload encoding tests for the worker protocol."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.durable import records as rec
+from repro.workers import protocol as proto
+from repro.workers.pool import shard_ranges
+
+
+class TestFrames:
+    @pytest.mark.parametrize(
+        "rtype",
+        [rec.CONFIG, rec.BATCH, proto.SNAPSHOT_REQ, proto.ERROR,
+         proto.SHUTDOWN],
+    )
+    def test_roundtrip(self, rtype):
+        payload = b"\x00\x01payload\xff" * 3
+        got_type, got_payload = proto.decode_frame(
+            proto.encode_frame(rtype, payload)
+        )
+        assert got_type == rtype
+        assert got_payload == payload
+
+    def test_empty_payload(self):
+        assert proto.decode_frame(proto.encode_frame(proto.READY, b"")) == (
+            proto.READY,
+            b"",
+        )
+
+    def test_length_prefix_matches_payload(self):
+        frame = proto.encode_frame(rec.BATCH, b"abc")
+        # u32 length counts the type byte plus the payload.
+        assert int.from_bytes(frame[:4], "little") == 4
+
+    def test_truncated_frame_rejected(self):
+        frame = proto.encode_frame(rec.BATCH, b"abcdef")
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_frame(frame[:-2])
+
+    def test_oversized_frame_rejected(self):
+        frame = proto.encode_frame(rec.BATCH, b"abc") + b"xx"
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_frame(frame)
+
+    def test_bad_rtype_rejected(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.encode_frame(300, b"")
+
+    def test_worker_types_disjoint_from_record_types(self):
+        worker_types = {
+            proto.SNAPSHOT_REQ, proto.SNAPSHOT_RESP, proto.STATE_REQ,
+            proto.STATE_RESP, proto.LOAD_STATE, proto.SYNC_REQ,
+            proto.SYNC_RESP, proto.READY, proto.ERROR, proto.SHUTDOWN,
+        }
+        assert not worker_types & set(rec.RECORD_TYPES)
+
+    def test_over_pipe(self):
+        parent, child = multiprocessing.get_context("fork").Pipe()
+        proto.send_frame(parent, rec.REFRESH, b"{}")
+        assert proto.recv_frame(child) == (rec.REFRESH, b"{}")
+        parent.close()
+        child.close()
+
+
+class TestStatePayloads:
+    def test_roundtrip_nested_arrays(self):
+        payload = {
+            "campaign_id": "c/one",
+            "counts": {"claims": 12, "batches": 3},
+            "truths": np.linspace(0.0, 1.0, 7),
+            "nested": [
+                {"a": np.arange(5, dtype=np.int64)},
+                {"b": np.array([True, False])},
+            ],
+            "nothing": None,
+        }
+        out = proto.unpack_state(proto.pack_state(payload))
+        assert out["campaign_id"] == "c/one"
+        assert out["counts"] == {"claims": 12, "batches": 3}
+        np.testing.assert_array_equal(out["truths"], payload["truths"])
+        np.testing.assert_array_equal(
+            out["nested"][0]["a"], payload["nested"][0]["a"]
+        )
+        assert out["nested"][1]["b"].dtype == bool
+        assert out["nothing"] is None
+
+    def test_bitwise_float_fidelity(self):
+        values = np.array([0.1 + 0.2, 1e-300, np.nextafter(1.0, 2.0)])
+        out = proto.unpack_state(proto.pack_state({"v": values}))
+        assert out["v"].tobytes() == values.tobytes()
+
+    def test_unserialisable_payload_raises(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.pack_state({"bad": object()})
+
+    def test_malformed_blob_raises(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.unpack_state(b"not an npz")
+
+
+class TestShardRanges:
+    def test_even_split(self):
+        assert shard_ranges(4, 2) == [(0, 2), (2, 4)]
+
+    def test_uneven_split_is_contiguous_and_complete(self):
+        ranges = shard_ranges(7, 3)
+        assert ranges == [(0, 3), (3, 5), (5, 7)]
+        covered = [s for lo, hi in ranges for s in range(lo, hi)]
+        assert covered == list(range(7))
+
+    def test_one_worker_takes_all(self):
+        assert shard_ranges(5, 1) == [(0, 5)]
+
+    def test_more_workers_than_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_ranges(2, 3)

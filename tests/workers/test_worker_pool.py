@@ -1,0 +1,331 @@
+"""End-to-end tests for the multi-process shard-worker pool.
+
+``fork`` keeps most of these fast on POSIX; the dedicated spawn test
+plus the CI smoke job cover the portable startup path.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.durable import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryManager,
+)
+from repro.durable import records as rec
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.ldp import LDPGuarantee
+from repro.service import (
+    BudgetLedger,
+    IngestService,
+    LoadGenerator,
+    ServiceConfig,
+)
+from repro.workers import WorkerCrashedError, WorkerError
+from repro.workers.handles import RemoteAggregator
+
+
+def make_service(workers, *, start_method="fork", num_shards=4, **overrides):
+    defaults = dict(num_shards=num_shards, max_batch=512)
+    defaults.update(overrides)
+    ledger = defaults.pop("ledger", None)
+    durability = defaults.pop("durability", None)
+    return IngestService(
+        ServiceConfig(**defaults),
+        ledger=ledger,
+        durability=durability,
+        workers=workers,
+        start_method=start_method,
+    )
+
+
+def stream_campaigns(service, *, num_campaigns=4, claims=12_000, seed=11):
+    """Register campaigns, stream identical bulk traffic, return snapshots."""
+    generators = []
+    per_campaign = []
+    for c in range(num_campaigns):
+        gen = LoadGenerator(
+            f"wp-c{c}", num_users=40, num_objects=24, random_state=seed + c
+        )
+        service.register_campaign(
+            gen.campaign_id,
+            gen.object_ids,
+            max_users=40,
+            user_ids=gen.user_ids,
+        )
+        generators.append(gen)
+        per_campaign.append(
+            list(
+                gen.column_chunks(
+                    max(claims // num_campaigns, 1), chunk_size=768
+                )
+            )
+        )
+    chunks = [c for group in zip(*per_campaign) for c in group]
+    for i, chunk in enumerate(chunks):
+        service.submit_columns(
+            chunk.campaign_id,
+            chunk.user_slots,
+            chunk.object_slots,
+            chunk.values,
+        )
+        if i % 4 == 3:
+            service.pump()
+    service.flush()
+    return {
+        gen.campaign_id: service.snapshot(gen.campaign_id)
+        for gen in generators
+    }
+
+
+class TestBitwiseAgreement:
+    def test_bulk_truths_match_single_process_bitwise(self):
+        with make_service(0) as single:
+            expected = stream_campaigns(single)
+        with make_service(2) as multi:
+            got = stream_campaigns(multi)
+        for cid, snap in expected.items():
+            other = got[cid]
+            assert np.array_equal(snap.truths, other.truths)
+            assert np.array_equal(snap.seen_objects, other.seen_objects)
+            assert snap.weights_by_user == other.weights_by_user
+            assert snap.claims_ingested == other.claims_ingested
+            assert snap.batches_ingested == other.batches_ingested
+
+    def test_one_worker_per_shard(self):
+        with make_service(0, num_shards=2) as single:
+            expected = stream_campaigns(single, num_campaigns=3)
+        with make_service(2, num_shards=2) as multi:
+            got = stream_campaigns(multi, num_campaigns=3)
+        for cid, snap in expected.items():
+            assert np.array_equal(snap.truths, got[cid].truths)
+
+    def test_submission_path_matches(self):
+        def run(workers):
+            service = make_service(workers, max_batch=64)
+            gen = LoadGenerator(
+                "wp-subs", num_users=30, num_objects=12,
+                claims_per_submission=4, random_state=5,
+            )
+            service.register_campaign(
+                gen.campaign_id, gen.object_ids, max_users=30,
+                user_ids=gen.user_ids,
+            )
+            for i, sub in enumerate(gen.submissions(600)):
+                service.submit(sub)
+                if i % 50 == 49:
+                    service.pump()
+            snap = service.snapshot(gen.campaign_id)
+            service.close()
+            return snap
+
+        a, b = run(0), run(2)
+        assert np.array_equal(a.truths, b.truths)
+        assert a.weights_by_user == b.weights_by_user
+
+    def test_spawn_start_method_end_to_end(self):
+        with make_service(0, num_shards=2) as single:
+            expected = stream_campaigns(single, num_campaigns=2,
+                                        claims=4_000)
+        with make_service(2, num_shards=2, start_method="spawn") as multi:
+            got = stream_campaigns(multi, num_campaigns=2, claims=4_000)
+        for cid, snap in expected.items():
+            assert np.array_equal(snap.truths, got[cid].truths)
+
+
+class TestServiceSurface:
+    def test_remote_campaigns_use_proxy_aggregators(self):
+        with make_service(2) as service:
+            gen = LoadGenerator(
+                "wp-proxy", num_users=30, num_objects=20, random_state=1
+            )
+            service.register_campaign(
+                gen.campaign_id, gen.object_ids, max_users=30
+            )
+            state = service.campaign_state(gen.campaign_id)
+            assert isinstance(state.aggregator, RemoteAggregator)
+            assert service.num_workers == 2
+
+    def test_mid_stream_snapshot_counts_pending(self):
+        with make_service(1, max_batch=512) as service:
+            gen = LoadGenerator(
+                "wp-pending", num_users=20, num_objects=10, random_state=2
+            )
+            service.register_campaign(
+                gen.campaign_id, gen.object_ids, max_users=20,
+                user_ids=gen.user_ids,
+            )
+            chunk = next(gen.column_chunks(100, chunk_size=100))
+            service.submit_columns(
+                chunk.campaign_id, chunk.user_slots, chunk.object_slots,
+                chunk.values,
+            )
+            snap = service.snapshot(gen.campaign_id)
+            # snapshot() flushes the campaign: everything is aggregated.
+            assert snap.claims_ingested == 100
+            assert snap.pending_claims == 0
+
+    def test_budget_ledger_admission_stays_parent_side(self):
+        ledger = BudgetLedger(
+            epsilon_cap=1.0, accountant=PrivacyAccountant()
+        )
+        with make_service(2, ledger=ledger) as service:
+            gen = LoadGenerator(
+                "wp-budget", num_users=10, num_objects=6,
+                claims_per_submission=2, random_state=3,
+            )
+            service.register_campaign(
+                gen.campaign_id,
+                gen.object_ids,
+                max_users=10,
+                user_ids=gen.user_ids,
+                cost=LDPGuarantee(epsilon=0.6, delta=0.0),
+            )
+            subs = gen.submissions(40)
+            results = [service.submit(s) for s in subs]
+            assert any(r.reason == "budget" for r in results)
+            service.flush()
+            snap = service.snapshot(gen.campaign_id)
+            assert snap.claims_ingested == sum(
+                r.accepted for r in results
+            )
+
+    def test_unregister_drops_remote_campaign(self):
+        with make_service(1) as service:
+            gen = LoadGenerator(
+                "wp-unreg", num_users=10, num_objects=6,
+                claims_per_submission=2, random_state=4,
+            )
+            service.register_campaign(
+                gen.campaign_id, gen.object_ids, max_users=10
+            )
+            service.unregister_campaign(gen.campaign_id)
+            service.worker_pool.sync()
+            # Re-registering must work (worker state dropped too).
+            service.register_campaign(
+                gen.campaign_id, gen.object_ids, max_users=10
+            )
+            service.worker_pool.sync()
+
+    def test_workers_capped_by_shards(self):
+        with pytest.raises(ValueError):
+            make_service(5, num_shards=4)
+
+
+class TestLifecycle:
+    def test_clean_shutdown_exits_zero(self):
+        service = make_service(2)
+        processes = [
+            h.process for h in service.worker_pool.handles
+        ]
+        service.close()
+        for process in processes:
+            assert process.exitcode == 0
+        # close() is idempotent.
+        service.close()
+
+    def test_killed_worker_raises_clear_error(self):
+        service = make_service(2)
+        try:
+            gen = LoadGenerator(
+                "wp-crash", num_users=10, num_objects=6,
+                claims_per_submission=2, random_state=6,
+            )
+            service.register_campaign(
+                gen.campaign_id, gen.object_ids, max_users=10
+            )
+            victim = service.worker_pool.handle_for(
+                service.shard_of(gen.campaign_id)
+            )
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.process.join(timeout=10)
+            deadline = time.monotonic() + 10
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                while time.monotonic() < deadline:
+                    for chunk in gen.column_chunks(512, chunk_size=256):
+                        service.submit_columns(
+                            chunk.campaign_id,
+                            chunk.user_slots,
+                            chunk.object_slots,
+                            chunk.values,
+                        )
+                    service.pump()
+            assert "worker" in str(excinfo.value)
+        finally:
+            service.close()
+
+    def test_remote_failure_surfaces_traceback(self):
+        service = make_service(1)
+        try:
+            handle = service.worker_pool.handles[0]
+            handle.send(rec.BATCH, b"garbage bytes")
+            with pytest.raises(WorkerError) as excinfo:
+                handle.sync()
+            assert "Traceback" in str(excinfo.value)
+        finally:
+            service.close()
+
+
+class TestDurabilityIntegration:
+    def test_checkpoint_from_remote_state_and_recovery(self, tmp_path):
+        durability = DurabilityManager(
+            DurabilityConfig(directory=tmp_path, fsync="never")
+        )
+        service = make_service(2, durability=durability)
+        try:
+            gen = LoadGenerator(
+                "wp-durable", num_users=40, num_objects=24, random_state=8
+            )
+            service.register_campaign(
+                gen.campaign_id, gen.object_ids, max_users=40,
+                user_ids=gen.user_ids,
+            )
+            chunks = list(gen.column_chunks(20_000, chunk_size=1024))
+            for chunk in chunks[:10]:
+                service.submit_columns(
+                    chunk.campaign_id, chunk.user_slots,
+                    chunk.object_slots, chunk.values,
+                )
+            service.pump()
+            # state_dict crosses the process boundary here.
+            durability.checkpoint()
+            for chunk in chunks[10:]:
+                service.submit_columns(
+                    chunk.campaign_id, chunk.user_slots,
+                    chunk.object_slots, chunk.values,
+                )
+            service.flush()
+            live = service.snapshot(gen.campaign_id)
+            durability.close()
+        finally:
+            service.close()
+
+        recovered = RecoveryManager(tmp_path).recover()
+        snap = recovered.service.snapshot(gen.campaign_id)
+        assert recovered.report.checkpoint_lsn > 0
+        assert np.array_equal(live.truths, snap.truths)
+        assert live.weights_by_user == snap.weights_by_user
+
+    def test_workers_match_durable_single_process_run(self, tmp_path):
+        def run(workers, directory):
+            durability = DurabilityManager(
+                DurabilityConfig(directory=directory, fsync="never")
+            )
+            service = make_service(workers, durability=durability)
+            try:
+                snaps = stream_campaigns(
+                    service, num_campaigns=2, claims=6_000
+                )
+            finally:
+                durability.close()
+                service.close()
+            return snaps
+
+        a = run(0, tmp_path / "single")
+        b = run(2, tmp_path / "workers")
+        for cid in a:
+            assert np.array_equal(a[cid].truths, b[cid].truths)
