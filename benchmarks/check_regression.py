@@ -16,6 +16,12 @@ Metric classes:
   ``max(baseline * (1 + tolerance), floor)``.  The floor keeps
   near-zero baselines (an RMSE of 1e-9) from turning float noise into
   failures — only degradation past an absolute bound matters;
+* ``at_least`` — absolute ratio bound: fresh must be at least
+  ``floor``, independent of the baseline.  For metrics that are a
+  ratio of two single timing samples (the streaming-vs-full read
+  speedup), a baseline-relative bound would gate on runner jitter;
+  the absolute floor only trips when the structural relationship
+  inverts;
 * ``flag`` — boolean invariants (recovered truths bitwise-equal,
   multi-process truths bitwise-equal): any ``False`` fails regardless
   of tolerance.
@@ -61,10 +67,28 @@ SERVICE_METRICS = (
     Metric("bulk.claims_per_sec", "higher"),
     Metric("bulk_workers.claims_per_sec", "higher"),
     Metric("submissions.claims_per_sec", "higher"),
-    # The agreement RMSE is machine-independent: degradation past 1e-3
+    # The agreement RMSEs are machine-independent: degradation past 1e-3
     # means the streaming aggregation itself changed, not the runner.
     Metric("streaming_vs_batch_rmse", "lower", floor=1e-3),
     Metric("workers_truths_match_bitwise", "flag"),
+) + tuple(
+    metric
+    for method in ("crh", "gtm", "catd")
+    for metric in (
+        # Hard invariant per streaming backend: its truths must keep
+        # matching the batch refit on dense data.
+        Metric(
+            f"methods.{method}.streaming_vs_batch_rmse", "lower", floor=1e-3
+        ),
+        # The whole point of the streaming backends: snapshot reads
+        # must stay decisively cheaper than an O(total-claims) full
+        # refit.  Timing ratios gate against an absolute floor, not
+        # the baseline (runner jitter dwarfs a relative bound), and on
+        # the *mean* speedup — num_reads + 1 samples per backend —
+        # rather than the single-sample final read, so one scheduler
+        # stall on a millisecond-scale read cannot fail the gate.
+        Metric(f"methods.{method}.read_speedup_mean", "at_least", floor=1.5),
+    )
 )
 
 DURABILITY_METRICS = (
@@ -143,6 +167,12 @@ def compare_metric(
             f"{fresh_value:g} > {bound:g} "
             f"(= max(baseline {base_value:g} + {tolerance:.0%}, "
             f"floor {metric.floor:g}))"
+        )
+        return Comparison(metric, base_value, fresh_value, ok, note)
+    if metric.direction == "at_least":
+        ok = fresh_value >= metric.floor
+        note = "" if ok else (
+            f"{fresh_value:g} < absolute floor {metric.floor:g}"
         )
         return Comparison(metric, base_value, fresh_value, ok, note)
     raise ValueError(f"unknown metric direction {metric.direction!r}")

@@ -6,9 +6,10 @@ Subcommands
 * ``run NAME [--profile quick|full] [--seed N] [--markdown]`` — run one
   experiment and print its tables/charts;
 * ``all [--profile ...]`` — run every experiment in sequence;
-* ``service-bench [--claims N] [--shards N] [--output PATH]`` —
-  benchmark the high-throughput claim-ingestion service against the
-  per-message server baseline;
+* ``service-bench [--claims N] [--shards N] [--method crh|gtm|catd]
+  [--output PATH]`` — benchmark the high-throughput claim-ingestion
+  service against the per-message server baseline, plus the per-method
+  streaming-vs-full-refit read-latency comparison;
 * ``durable-bench [--smoke] [--output PATH]`` — measure write-ahead
   logging cost (per fsync policy) and crash-recovery speed;
 * ``recover DIR [--campaign ID] [--checkpoint]`` — rebuild service
@@ -78,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--seed", type=int, default=2020, help="load-generator seed"
+    )
+    bench_p.add_argument(
+        "--method",
+        choices=("crh", "gtm", "catd"),
+        default="crh",
+        help="truth-discovery method the bulk/submission campaigns run "
+        "(default crh); every choice has a streaming backend",
+    )
+    bench_p.add_argument(
+        "--read-claims",
+        type=int,
+        default=1_000_000,
+        help="claims per campaign in the per-method streaming-vs-full-"
+        "refit read benchmark (default 1M)",
     )
     bench_p.add_argument(
         "--workers",
@@ -276,6 +291,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_shards=args.shards,
             max_batch=args.batch,
             seed=args.seed,
+            method=args.method,
+            read_claims=args.read_claims,
             workers=args.workers,
             start_method=args.start_method,
             smoke=args.smoke,

@@ -43,7 +43,11 @@ from repro.utils.validation import ensure_int
 _LOGGER = get_logger("durable.manager")
 
 #: On-disk layout version stamped into CONFIG records and checkpoints.
-FORMAT_VERSION = 1
+#: v1: REGISTER records could store aggregator="auto" (recovery
+#: re-applies the v1 auto rule for them).  v2: registrations persist
+#: the resolved backend kind, so replay is independent of the
+#: auto-selection rules in force at recovery time.
+FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)

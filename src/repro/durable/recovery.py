@@ -395,13 +395,43 @@ class RecoveryManager:
             raise RecoveryError(
                 f"duplicate registration for {spec['campaign_id']!r} in log"
             )
+        from repro.service.aggregator import _streaming_unsupported_kwargs
+
+        method = spec.get("method", "crh")
+        aggregator = spec.get("aggregator", "auto")
+        method_kwargs = dict(spec.get("method_kwargs") or {})
+        if aggregator == "auto":
+            # Format-v1 logs stored the unresolved kind; since then the
+            # auto rule changed (GTM/CATD now stream at scale) and
+            # registration persists the resolved kind instead.  Replay
+            # must rebuild the backend the live v1 service actually ran
+            # — the checkpointed aggregator state and the logged-batch
+            # semantics both depend on it — so re-apply the v1 rule
+            # here: stream only large plain-CRH campaigns (v1 never
+            # considered method kwargs).
+            config = service.config
+            cells = int(spec["max_users"]) * len(spec["object_ids"])
+            if config.decay < 1.0:
+                aggregator = "streaming"
+            elif cells <= config.full_refit_max_cells or method != "crh":
+                aggregator = "full"
+            else:
+                aggregator = "streaming"
+        if aggregator == "streaming":
+            # v1 never forwarded method kwargs into its streaming
+            # backend, so v1 logs can pair a streaming campaign with
+            # batch-only knobs; drop what the estimator cannot accept,
+            # exactly as the v1 construction did.  v2 registrations
+            # validated this up front and carry nothing unsupported.
+            for key in _streaming_unsupported_kwargs(method, method_kwargs):
+                method_kwargs.pop(key)
         service.register_campaign(
             spec["campaign_id"],
             list(spec["object_ids"]),
             max_users=int(spec["max_users"]),
             user_ids=spec.get("user_ids") or None,
-            method=spec.get("method", "crh"),
-            aggregator=spec.get("aggregator", "auto"),
+            method=method,
+            aggregator=aggregator,
             cost=(
                 None
                 if cost is None
@@ -409,5 +439,5 @@ class RecoveryManager:
                     epsilon=cost["epsilon"], delta=cost["delta"]
                 )
             ),
-            **(spec.get("method_kwargs") or {}),
+            **method_kwargs,
         )

@@ -12,8 +12,9 @@ for rate rather than for protocol fidelity (which lives in
 * :class:`MicroBatcher` — columnar micro-batches: accepted claims live
   in NumPy index/value arrays, never per-claim Python objects;
 * :class:`StreamingAggregator` / :class:`FullRefitAggregator` —
-  incremental truth discovery per campaign, streaming CRH for large
-  campaigns with a pluggable full-refit fallback;
+  incremental truth discovery per campaign: streaming CRH/GTM/CATD
+  sufficient statistics for campaigns at scale (O(S x N) reads), a
+  full-refit fallback for tiny campaigns and unstreamable methods;
 * :class:`TruthSnapshot` — immutable read-side truth/weight views,
   queryable at any time mid-stream;
 * :class:`ServiceCampaignAdapter` — runs the existing crowdsensing
@@ -31,7 +32,11 @@ from repro.service.aggregator import (
 )
 from repro.service.adapter import ServiceCampaignAdapter
 from repro.service.batcher import MicroBatcher
-from repro.service.bench import run_service_bench, streaming_agreement_rmse
+from repro.service.bench import (
+    bench_method_reads,
+    run_service_bench,
+    streaming_agreement_rmse,
+)
 from repro.service.ingest import (
     IngestResult,
     IngestService,
@@ -60,6 +65,7 @@ __all__ = [
     "Shard",
     "StreamingAggregator",
     "TruthSnapshot",
+    "bench_method_reads",
     "make_aggregator",
     "resolve_backend",
     "run_service_bench",

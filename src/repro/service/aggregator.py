@@ -2,21 +2,46 @@
 
 Two interchangeable backends sit behind every campaign:
 
-* :class:`StreamingAggregator` — wraps
-  :class:`~repro.truthdiscovery.streaming.StreamingCRH`.  Micro-batches
-  are appended to cheap columnar staging arrays; the O(S x N) refinement
-  sweeps only run once ``refine_every`` claims have accumulated (or a
-  reader asks for fresh truths), which keeps per-batch cost near the
-  cost of a memcpy while bounding staleness.
+* :class:`StreamingAggregator` — wraps a streaming
+  sufficient-statistics estimator from
+  :mod:`repro.truthdiscovery.streaming` (:class:`StreamingCRH`,
+  :class:`StreamingGTM`, or :class:`StreamingCATD`, chosen by the
+  campaign's ``method``).  Micro-batches are appended to cheap columnar
+  staging arrays; the O(S x N) refinement sweeps only run once
+  ``refine_every`` claims have accumulated (or a reader asks for fresh
+  truths), which keeps per-batch cost near the cost of a memcpy while
+  bounding staleness.  Reads are O(S x N) regardless of how many
+  claims the campaign has ever ingested.
 * :class:`FullRefitAggregator` — retains all claims columnarly and
-  refits a registered batch method (CRH, GTM, ...) from scratch, lazily
-  and only when the result is actually read.  The right choice for
-  small campaigns, where a full refit is cheaper than maintaining
-  streaming statistics, and for methods with no streaming counterpart.
+  refits a registered batch method from scratch, lazily and only when
+  the result is actually read — an O(total claims) read path.  The
+  right choice for small campaigns, where a full refit is cheaper than
+  maintaining streaming statistics, and the *only* choice for methods
+  with no streaming counterpart (baselines, ablation variants).
 
-Both expose the same surface (``ingest`` / ``truths`` / ``weights`` /
-counters), so shards treat them uniformly; :func:`make_aggregator`
-picks a backend from the campaign's size.
+Backend selection (:func:`resolve_backend`, used by
+:func:`make_aggregator` and mirrored by the multi-process proxy):
+
+* ``kind="streaming"`` / ``kind="full"`` force a backend; forcing
+  streaming for a method without a streaming estimator is an error, as
+  is forcing full-refit with ``decay < 1`` (it cannot forget).
+* ``kind="auto"`` picks full-refit only for tiny campaigns (dense
+  state of at most ``full_refit_max_cells`` cells), for methods absent
+  from :data:`~repro.truthdiscovery.streaming.STREAMING_ESTIMATORS`,
+  and for campaigns whose ``method_kwargs`` carry batch-only fitting
+  knobs the streaming estimator cannot honour (``convergence``,
+  ``distance``, ...); every plain CRH/GTM/CATD campaign at scale
+  streams.  ``decay < 1`` always forces streaming: the full-refit
+  backend retains every claim forever and silently ignoring the
+  configured forgetting rate would make two same-config campaigns
+  diverge by size alone.
+
+Both backends expose the same surface (``ingest`` / ``truths`` /
+``weights`` / counters), so shards treat them uniformly.  Each also
+counts its deferred-work cost — ``refreshes`` and ``refresh_seconds``
+— so the service benchmark can show what a read actually pays per
+backend (the streaming-vs-full read-latency comparison in
+``repro service-bench``).
 
 Semantics note: the streaming backend applies its decay once per
 ``refine_every`` ingested claims — not per micro-batch, and not on
@@ -25,18 +50,25 @@ forgetting rate — and counts duplicate (user, object) claims as
 repeated evidence; the full-refit backend keeps the last
 claim per (user, object), matching ``ClaimMatrix.from_records``.  With
 ``decay=1.0`` and duplicate-free dense input the two agree to within
-iteration tolerance (asserted by the service benchmark).
+iteration tolerance for every streaming-capable method (asserted by
+the service benchmark's per-method RMSE section).
 """
 
 from __future__ import annotations
 
+import inspect
+import time
 from abc import ABC, abstractmethod
+from typing import Optional
 
 import numpy as np
 
 from repro.truthdiscovery.claims import ClaimMatrix
 from repro.truthdiscovery.registry import create_method
-from repro.truthdiscovery.streaming import ClaimBatch, StreamingCRH
+from repro.truthdiscovery.streaming import (
+    STREAMING_ESTIMATORS,
+    ClaimBatch,
+)
 from repro.utils.validation import ensure_int
 
 
@@ -48,6 +80,12 @@ class IncrementalAggregator(ABC):
         self._num_objects = ensure_int(num_objects, "num_objects", minimum=1)
         self.claims_ingested = 0
         self.batches_ingested = 0
+        #: Refreshes that actually did deferred work (refinement folds
+        #: for the streaming backend, full refits for the full-refit
+        #: backend), and the seconds they cost.  Process-local
+        #: observability — not part of :meth:`state_dict`.
+        self.refreshes = 0
+        self.refresh_seconds = 0.0
 
     @property
     def num_users(self) -> int:
@@ -106,18 +144,26 @@ class IncrementalAggregator(ABC):
 
 
 class StreamingAggregator(IncrementalAggregator):
-    """StreamingCRH behind a staging buffer with deferred refinement.
+    """A streaming estimator behind a staging buffer with deferred refinement.
 
     Parameters
     ----------
+    method:
+        Registry name of the estimator ("crh", "gtm", "catd") — must
+        have a streaming counterpart in
+        :data:`~repro.truthdiscovery.streaming.STREAMING_ESTIMATORS`.
     decay:
         Exponential forgetting per refinement (1.0 = never forget).
     refine_sweeps:
-        CRH sweeps per refinement; raise it when truths must track the
+        Refinement sweeps per fold; raise it when truths must track the
         batch fixed point closely (see the service benchmark).
     refine_every:
         Staged claims that trigger a refinement.  Larger values trade
         read staleness for throughput.
+    method_kwargs:
+        Forwarded to the streaming estimator's constructor (the same
+        names the batch method accepts, e.g. GTM's priors or CATD's
+        ``significance``).
     """
 
     def __init__(
@@ -125,16 +171,27 @@ class StreamingAggregator(IncrementalAggregator):
         num_users: int,
         num_objects: int,
         *,
+        method: str = "crh",
         decay: float = 1.0,
         refine_sweeps: int = 2,
         refine_every: int = 8192,
+        **method_kwargs,
     ) -> None:
         super().__init__(num_users, num_objects)
-        self._crh = StreamingCRH(
+        try:
+            estimator_cls = STREAMING_ESTIMATORS[method]
+        except KeyError:
+            raise ValueError(
+                f"no streaming estimator for method {method!r}; "
+                f"available: {sorted(STREAMING_ESTIMATORS)}"
+            ) from None
+        self._method = method
+        self._stream = estimator_cls(
             num_users,
             num_objects,
             decay=decay,
             refine_sweeps=refine_sweeps,
+            **method_kwargs,
         )
         self._refine_every = ensure_int(refine_every, "refine_every", minimum=1)
         self._staged: list[ClaimBatch] = []
@@ -143,6 +200,10 @@ class StreamingAggregator(IncrementalAggregator):
         # read-forced refreshes fold claims without forgetting, so how
         # often a campaign is polled cannot change its decay rate.
         self._claims_since_decay = 0
+
+    @property
+    def method(self) -> str:
+        return self._method
 
     def ingest(self, batch: ClaimBatch) -> None:
         self._staged.append(batch)
@@ -160,6 +221,7 @@ class StreamingAggregator(IncrementalAggregator):
     def refresh(self) -> None:
         if not self._staged:
             return
+        start = time.perf_counter()
         if len(self._staged) == 1:
             merged = self._staged[0]
         else:
@@ -174,24 +236,26 @@ class StreamingAggregator(IncrementalAggregator):
         # a refresh covering several windows' worth applies decay**k.
         steps = self._claims_since_decay // self._refine_every
         self._claims_since_decay -= steps * self._refine_every
-        self._crh.ingest(merged, decay_steps=steps)
+        self._stream.ingest(merged, decay_steps=steps)
+        self.refreshes += 1
+        self.refresh_seconds += time.perf_counter() - start
 
     def truths(self) -> np.ndarray:
         self.refresh()
-        return self._crh.truths
+        return self._stream.truths
 
     def weights(self) -> np.ndarray:
         self.refresh()
-        return self._crh.weights
+        return self._stream.weights
 
     def seen_objects(self) -> np.ndarray:
         self.refresh()
-        return self._crh.seen_objects
+        return self._stream.seen_objects
 
     def state_dict(self) -> dict:
         # Array form: the cell statistics dominate the state and go
         # straight into binary checkpoint entries.
-        crh = self._crh.snapshot(arrays=True)
+        stream = self._stream.snapshot(arrays=True)
         if self._staged:
             staged_users = np.concatenate([b.users for b in self._staged])
             staged_objects = np.concatenate([b.objects for b in self._staged])
@@ -202,6 +266,7 @@ class StreamingAggregator(IncrementalAggregator):
             staged_values = np.empty(0, dtype=float)
         return {
             "kind": "streaming",
+            "method": self._method,
             "claims_ingested": self.claims_ingested,
             "batches_ingested": self.batches_ingested,
             "refine_every": self._refine_every,
@@ -209,7 +274,7 @@ class StreamingAggregator(IncrementalAggregator):
             "staged_users": staged_users,
             "staged_objects": staged_objects,
             "staged_values": staged_values,
-            "crh": crh,
+            "stream": stream,
         }
 
     def load_state(self, state: dict) -> None:
@@ -218,7 +283,18 @@ class StreamingAggregator(IncrementalAggregator):
                 f"state is for a {state.get('kind')!r} backend, "
                 f"not 'streaming'"
             )
-        self._crh.restore(state["crh"])
+        # Pre-ISSUE-4 checkpoints carry no "method" entry and store the
+        # estimator snapshot under "crh" (CRH was the only streaming
+        # backend); accept both spellings so existing durability
+        # directories keep recovering.
+        method = state.get("method", "crh")
+        if method != self._method:
+            raise ValueError(
+                f"state is for a {method!r} stream, this campaign runs "
+                f"{self._method!r}"
+            )
+        stream_state = state["stream"] if "stream" in state else state["crh"]
+        self._stream.restore(stream_state)
         self._refine_every = ensure_int(
             state["refine_every"], "refine_every", minimum=1
         )
@@ -269,6 +345,10 @@ class FullRefitAggregator(IncrementalAggregator):
         self._weights = np.ones(num_users)
         self._seen = np.zeros(num_objects, dtype=bool)
 
+    @property
+    def method(self) -> str:
+        return self._method
+
     def ingest(self, batch: ClaimBatch) -> None:
         self._users.append(batch.users)
         self._objects.append(batch.objects)
@@ -280,6 +360,7 @@ class FullRefitAggregator(IncrementalAggregator):
     def refresh(self) -> None:
         if not self._dirty:
             return
+        start = time.perf_counter()
         users = np.concatenate(self._users)
         objects = np.concatenate(self._objects)
         values = np.concatenate(self._values)
@@ -302,6 +383,8 @@ class FullRefitAggregator(IncrementalAggregator):
         self._seen = np.zeros(self._num_objects, dtype=bool)
         self._seen[seen_objects] = True
         self._dirty = False
+        self.refreshes += 1
+        self.refresh_seconds += time.perf_counter() - start
 
     def truths(self) -> np.ndarray:
         self.refresh()
@@ -355,6 +438,22 @@ class FullRefitAggregator(IncrementalAggregator):
             self._dirty = False
 
 
+def _streaming_unsupported_kwargs(method: str, method_kwargs: dict) -> list:
+    """Kwargs the method's streaming estimator cannot accept.
+
+    Batch methods take fitting knobs (``convergence``, ``distance``,
+    ...) that have no streaming counterpart; a campaign registered
+    with them must stay on the full-refit backend rather than crash —
+    or, worse, have the knob silently dropped.
+    """
+    estimator_cls = STREAMING_ESTIMATORS.get(method)
+    if estimator_cls is None:
+        return sorted(method_kwargs)
+    accepted = set(inspect.signature(estimator_cls.__init__).parameters)
+    accepted -= {"self", "num_users", "num_objects", "decay", "refine_sweeps"}
+    return sorted(set(method_kwargs) - accepted)
+
+
 def resolve_backend(
     num_users: int,
     num_objects: int,
@@ -363,6 +462,7 @@ def resolve_backend(
     method: str = "crh",
     decay: float = 1.0,
     full_refit_max_cells: int = 4096,
+    method_kwargs: Optional[dict] = None,
 ) -> str:
     """Resolve ``kind`` to the concrete backend a campaign will run.
 
@@ -370,24 +470,36 @@ def resolve_backend(
     caller that is *not* constructing the backend locally — the
     multi-process proxy, which must mirror the worker-side backend's
     behaviour — resolves to exactly the same choice, including the same
-    configuration errors.
+    configuration errors.  Pass the campaign's ``method_kwargs`` so
+    batch-only fitting knobs route to the full-refit backend (the
+    mirror must see them too, or parent and worker could pick
+    different backends).
     """
     if kind not in ("auto", "streaming", "full"):
         raise ValueError(f"unknown aggregator kind {kind!r}")
+    unsupported = _streaming_unsupported_kwargs(method, method_kwargs or {})
+    streamable = method in STREAMING_ESTIMATORS and not unsupported
     if kind == "auto":
         small = num_users * num_objects <= full_refit_max_cells
         if decay < 1.0:
             kind = "streaming"
         else:
-            kind = "full" if (small or method != "crh") else "streaming"
+            kind = "streaming" if (streamable and not small) else "full"
     if kind == "full" and decay < 1.0:
         raise ValueError(
             "the full-refit backend cannot forget (decay < 1 "
             "requires the streaming backend)"
         )
-    if kind == "streaming" and method != "crh":
+    if kind == "streaming" and not streamable:
+        if method in STREAMING_ESTIMATORS:
+            raise ValueError(
+                f"streaming {method!r} does not accept "
+                f"{unsupported} (batch-only fitting knobs need the "
+                f"full-refit backend)"
+            )
         raise ValueError(
-            f"streaming backend only supports 'crh', got {method!r}"
+            f"no streaming estimator for method {method!r}; "
+            f"available: {sorted(STREAMING_ESTIMATORS)}"
         )
     return kind
 
@@ -406,14 +518,13 @@ def make_aggregator(
 ) -> IncrementalAggregator:
     """Build an aggregation backend for one campaign.
 
-    ``kind`` is ``"streaming"``, ``"full"``, or ``"auto"`` — auto picks
-    the full-refit backend when the campaign's dense state (S x N cells)
-    is at most ``full_refit_max_cells``, and streaming otherwise.  Any
-    non-CRH ``method`` forces the full-refit backend (StreamingCRH has
-    no GTM/CATD counterpart).  ``decay < 1`` forces the streaming
-    backend (and errors on ``"full"``): the full-refit backend retains
-    every claim forever and silently ignoring the configured forgetting
-    rate would make two same-config campaigns diverge by size alone.
+    ``kind`` is ``"streaming"``, ``"full"``, or ``"auto"`` — see the
+    module docstring for the selection rules.  ``method_kwargs`` reach
+    whichever backend is built: streaming estimators accept their
+    batch counterpart's model hyper-parameters (GTM's priors, CATD's
+    ``significance``), while batch-only fitting knobs (``convergence``,
+    ``distance``, ...) keep an ``"auto"`` campaign on the full-refit
+    backend and are an error with ``kind="streaming"``.
     """
     kind = resolve_backend(
         num_users,
@@ -422,6 +533,7 @@ def make_aggregator(
         method=method,
         decay=decay,
         full_refit_max_cells=full_refit_max_cells,
+        method_kwargs=method_kwargs,
     )
     if kind == "full":
         return FullRefitAggregator(
@@ -430,7 +542,9 @@ def make_aggregator(
     return StreamingAggregator(
         num_users,
         num_objects,
+        method=method,
         decay=decay,
         refine_sweeps=refine_sweeps,
         refine_every=refine_every,
+        **method_kwargs,
     )

@@ -11,10 +11,22 @@ Shared by the ``repro service-bench`` CLI subcommand and
   JSON-serialised transport, per-object submission lists, one full
   truth-discovery fit at finalise.
 
+The bulk and submission paths run the truth-discovery ``method`` under
+test (``--method`` on the CLI; CRH, GTM, or CATD), so the whole
+pipeline — including the multi-process worker comparison and its
+bitwise check — exercises that method's streaming backend.
+
+A fourth, per-method section (:func:`bench_method_reads`) compares the
+*read path* of the streaming and full-refit backends on one large
+campaign: identical traffic into both, periodic snapshot reads along
+the stream, and a final read on the fully loaded campaign.  The
+full-refit backend pays O(total claims) per dirty read; the streaming
+backends answer from O(S x N) sufficient statistics — the section
+reports the measured per-read latencies, the speedup, and the dense
+streaming-vs-batch agreement RMSE for the method.
+
 Traffic is materialised before the clock starts, so the numbers measure
-ingestion and aggregation only.  The harness also runs a dense
-streaming-vs-batch agreement check (RMSE between the service's
-incremental truths and a from-scratch CRH refit on identical claims).
+ingestion and aggregation only.
 """
 
 from __future__ import annotations
@@ -31,7 +43,14 @@ from repro.crowdsensing.transport import InProcessTransport
 from repro.service.ingest import IngestService, ServiceConfig
 from repro.service.loadgen import LoadGenerator
 from repro.truthdiscovery.claims import ClaimMatrix
-from repro.truthdiscovery.crh import CRH
+from repro.truthdiscovery.registry import create_method
+from repro.truthdiscovery.streaming import STREAMING_ESTIMATORS
+
+#: Reference-fit kwargs per method for the agreement check.  The
+#: streaming CRH estimator shares the *squared*-distance CRH fixed
+#: point (not the default per-object-normalised distance); GTM and
+#: CATD defaults already match their streaming counterparts.
+_REFERENCE_KWARGS = {"crh": {"distance": "squared"}}
 
 
 def _percentile_ms(latencies: np.ndarray, q: float) -> float:
@@ -50,6 +69,7 @@ def _bench_bulk(
     max_batch: int,
     chunk_size: int,
     seed: int,
+    method: str = "crh",
     workers: int = 0,
     start_method: str = "spawn",
 ) -> tuple[dict, dict]:
@@ -80,6 +100,7 @@ def _bench_bulk(
             gen.object_ids,
             max_users=users_per_campaign,
             user_ids=gen.user_ids,
+            method=method,
         )
         per_campaign_chunks.append(
             list(gen.column_chunks(per_campaign, chunk_size=chunk_size))
@@ -134,6 +155,7 @@ def _bench_submissions(
     num_shards: int,
     max_batch: int,
     seed: int,
+    method: str = "crh",
 ) -> dict:
     config = ServiceConfig(num_shards=num_shards, max_batch=max_batch)
     service = IngestService(config)
@@ -149,6 +171,7 @@ def _bench_submissions(
         gen.object_ids,
         max_users=users_per_campaign,
         user_ids=gen.user_ids,
+        method=method,
     )
     num_submissions = max(total_claims // claims_per_submission, 1)
     submissions = gen.submissions(num_submissions)
@@ -220,16 +243,18 @@ def _bench_baseline(
 
 def streaming_agreement_rmse(
     *,
+    method: str = "crh",
     num_users: int = 60,
     num_objects: int = 40,
     refine_sweeps: int = 40,
     seed: int = 2020,
 ) -> float:
-    """RMSE between service streaming truths and a full CRH refit.
+    """RMSE between service streaming truths and a full batch refit.
 
     Uses a dense, duplicate-free round (every user claims every object
-    once) so both estimators see identical evidence, and the raw
-    squared-distance CRH whose fixed point StreamingCRH shares.
+    once) so both estimators see identical evidence; the batch
+    reference is the registry ``method`` (with the squared-distance
+    variant for CRH, whose fixed point StreamingCRH shares).
     """
     config = ServiceConfig(
         num_shards=1,
@@ -239,7 +264,7 @@ def streaming_agreement_rmse(
     )
     service = IngestService(config)
     gen = LoadGenerator(
-        "dense-c0",
+        f"dense-{method}-c0",
         num_users=num_users,
         num_objects=num_objects,
         random_state=seed,
@@ -249,6 +274,7 @@ def streaming_agreement_rmse(
         gen.object_ids,
         max_users=num_users,
         user_ids=gen.user_ids,
+        method=method,
         aggregator="streaming",
     )
     round_subs = gen.dense_round()
@@ -259,10 +285,109 @@ def streaming_agreement_rmse(
     claims = ClaimMatrix.from_submissions(
         round_subs, user_ids=gen.user_ids, object_ids=gen.object_ids
     )
-    reference = CRH(distance="squared").fit(claims)
+    reference = create_method(
+        method, **_REFERENCE_KWARGS.get(method, {})
+    ).fit(claims)
     return float(
         np.sqrt(np.mean((snapshot.truths - reference.truths) ** 2))
     )
+
+
+def bench_method_reads(
+    *,
+    method: str,
+    total_claims: int = 1_000_000,
+    num_users: int = 400,
+    num_objects: int = 64,
+    num_reads: int = 16,
+    max_batch: int = 2048,
+    chunk_size: int = 2048,
+    seed: int = 2020,
+) -> dict:
+    """Streaming vs full-refit read-path comparison for one method.
+
+    Streams identical traffic into two single-shard services — one
+    forced onto the streaming backend, one onto full-refit — taking
+    ``num_reads`` snapshot reads spread along the stream plus a final
+    read on the fully loaded campaign.  Every read lands on a dirty
+    aggregator (claims arrived since the previous read), so the full
+    backend pays its real refit each time.  Returns per-backend read
+    latencies, the streaming-over-full speedups, and the dense
+    streaming-vs-batch agreement RMSE.
+    """
+    gen = LoadGenerator(
+        f"reads-{method}",
+        num_users=num_users,
+        num_objects=num_objects,
+        random_state=seed,
+    )
+    chunks = list(gen.column_chunks(total_claims, chunk_size=chunk_size))
+    read_interval = max(len(chunks) // max(num_reads, 1), 1)
+    sections = {}
+    for backend in ("streaming", "full"):
+        config = ServiceConfig(num_shards=1, max_batch=max_batch)
+        service = IngestService(config)
+        service.register_campaign(
+            gen.campaign_id,
+            gen.object_ids,
+            max_users=num_users,
+            user_ids=gen.user_ids,
+            method=method,
+            aggregator=backend,
+        )
+        read_seconds = []
+        start = time.perf_counter()
+        for i, chunk in enumerate(chunks):
+            service.submit_columns(
+                chunk.campaign_id, chunk.user_slots, chunk.object_slots,
+                chunk.values,
+            )
+            if i % 8 == 7:
+                service.pump()
+            # Interim reads along the stream; never on the last chunk,
+            # so the final read below always measures a dirty read of
+            # the whole campaign.
+            if (i + 1) % read_interval == 0 and i + 1 < len(chunks):
+                t0 = time.perf_counter()
+                service.snapshot(gen.campaign_id)
+                read_seconds.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        service.snapshot(gen.campaign_id)
+        final_read = time.perf_counter() - t0
+        elapsed = time.perf_counter() - start
+        state = service.campaign_state(gen.campaign_id)
+        reads = np.asarray(read_seconds + [final_read])
+        sections[backend] = {
+            "claims": int(service.stats.claims_accepted),
+            "reads": int(reads.size),
+            "read_ms_mean": float(reads.mean() * 1e3),
+            "read_ms_max": float(reads.max() * 1e3),
+            "final_read_ms": final_read * 1e3,
+            "wall_seconds": elapsed,
+            "aggregator_refreshes": int(state.aggregator.refreshes),
+            "aggregator_refresh_seconds": float(
+                state.aggregator.refresh_seconds
+            ),
+            "snapshot_read_seconds": service.stats.snapshot_read_seconds,
+        }
+    streaming, full = sections["streaming"], sections["full"]
+    return {
+        "method": method,
+        "claims": total_claims,
+        "num_users": num_users,
+        "num_objects": num_objects,
+        "streaming": streaming,
+        "full": full,
+        "read_speedup_mean": (
+            full["read_ms_mean"] / max(streaming["read_ms_mean"], 1e-9)
+        ),
+        "read_speedup_final": (
+            full["final_read_ms"] / max(streaming["final_read_ms"], 1e-9)
+        ),
+        "streaming_vs_batch_rmse": streaming_agreement_rmse(
+            method=method, seed=seed
+        ),
+    }
 
 
 def run_service_bench(
@@ -278,22 +403,38 @@ def run_service_bench(
     max_batch: int = 2048,
     chunk_size: int = 2048,
     seed: int = 2020,
+    method: str = "crh",
+    read_methods: tuple = ("crh", "gtm", "catd"),
+    read_claims: int = 1_000_000,
+    num_reads: int = 16,
     workers: int = 0,
     start_method: str = "spawn",
     smoke: bool = False,
 ) -> dict:
     """Run all measured paths and return a JSON-serialisable summary.
 
+    ``method`` is the truth-discovery method the bulk and submission
+    campaigns run (any streaming-capable method: CRH, GTM, or CATD).
     ``workers > 0`` adds a multi-process bulk run over the *same*
     chunk sequence next to the in-process one, plus a bitwise
-    truth-agreement check between the two.  ``smoke`` shrinks every
-    workload to a few thousand claims so CI can exercise the full code
-    path (including the worker spawn path) in seconds.
+    truth-agreement check between the two.  ``read_methods`` selects
+    the per-method streaming-vs-full-refit read benchmarks
+    (:func:`bench_method_reads`, ``read_claims`` claims each).
+    ``smoke`` shrinks every workload to a few thousand claims so CI
+    can exercise the full code path (including the worker spawn path)
+    in seconds.
     """
+    if method not in STREAMING_ESTIMATORS:
+        raise ValueError(
+            f"method must be streaming-capable "
+            f"({sorted(STREAMING_ESTIMATORS)}), got {method!r}"
+        )
     if smoke:
         total_claims = min(total_claims, 24_000)
         submission_claims = min(submission_claims, 8_000)
         baseline_claims = min(baseline_claims, 4_000)
+        read_claims = min(read_claims, 30_000)
+        num_reads = min(num_reads, 4)
     bulk, bulk_truths = _bench_bulk(
         total_claims=total_claims,
         num_campaigns=num_campaigns,
@@ -303,6 +444,7 @@ def run_service_bench(
         max_batch=max_batch,
         chunk_size=chunk_size,
         seed=seed,
+        method=method,
     )
     bulk_workers = None
     workers_match = None
@@ -316,6 +458,7 @@ def run_service_bench(
             max_batch=max_batch,
             chunk_size=chunk_size,
             seed=seed,
+            method=method,
             workers=workers,
             start_method=start_method,
         )
@@ -331,6 +474,7 @@ def run_service_bench(
         num_shards=num_shards,
         max_batch=max_batch,
         seed=seed,
+        method=method,
     )
     baseline = _bench_baseline(
         total_claims=baseline_claims,
@@ -339,7 +483,24 @@ def run_service_bench(
         claims_per_submission=claims_per_submission,
         seed=seed,
     )
-    rmse = streaming_agreement_rmse(seed=seed)
+    methods = {
+        m: bench_method_reads(
+            method=m,
+            total_claims=read_claims,
+            num_reads=num_reads,
+            max_batch=max_batch,
+            chunk_size=chunk_size,
+            seed=seed,
+        )
+        for m in read_methods
+    }
+    # The per-method section already ran the dense agreement check for
+    # every read method; only recompute when the bench method was
+    # excluded from read_methods.
+    if method in methods:
+        rmse = methods[method]["streaming_vs_batch_rmse"]
+    else:
+        rmse = streaming_agreement_rmse(method=method, seed=seed)
     report = {
         "config": {
             "total_claims": total_claims,
@@ -353,6 +514,10 @@ def run_service_bench(
             "max_batch": max_batch,
             "chunk_size": chunk_size,
             "seed": seed,
+            "method": method,
+            "read_methods": list(read_methods),
+            "read_claims": read_claims,
+            "num_reads": num_reads,
             "workers": workers,
             "smoke": smoke,
         },
@@ -367,6 +532,7 @@ def run_service_bench(
             / max(baseline["claims_per_sec"], 1e-9)
         ),
         "streaming_vs_batch_rmse": rmse,
+        "methods": methods,
     }
     if bulk_workers is not None:
         report["bulk_workers"] = bulk_workers
@@ -426,8 +592,30 @@ def format_summary(report: dict) -> str:
             f"p99 {report['bulk']['batch_latency_p99_ms']:.3f} ms"
         ),
         (
-            f"streaming vs batch CRH RMSE: "
-            f"{report['streaming_vs_batch_rmse']:.2e}"
+            f"streaming vs batch {report['config'].get('method', 'crh')} "
+            f"RMSE: {report['streaming_vs_batch_rmse']:.2e}"
         ),
     ]
+    for name, section in report.get("methods", {}).items():
+        lines += [
+            "",
+            (
+                f"read path [{name}], {section['claims']:,} claims, "
+                f"{section['streaming']['reads']} reads:"
+            ),
+            (
+                f"  streaming: mean {section['streaming']['read_ms_mean']:.3f} ms, "
+                f"final {section['streaming']['final_read_ms']:.3f} ms"
+            ),
+            (
+                f"  full refit: mean {section['full']['read_ms_mean']:.3f} ms, "
+                f"final {section['full']['final_read_ms']:.3f} ms"
+            ),
+            (
+                f"  speedup: {section['read_speedup_mean']:.1f}x mean, "
+                f"{section['read_speedup_final']:.1f}x final; "
+                f"streaming vs batch RMSE "
+                f"{section['streaming_vs_batch_rmse']:.2e}"
+            ),
+        ]
     return "\n".join(lines)

@@ -28,6 +28,7 @@ validation, admission, and durability logging stay in this process.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -100,6 +101,14 @@ class ServiceStats:
     rejected_capacity: int = 0
     rejected_budget: int = 0
     rejected_overflow: int = 0
+    #: Read-path observability: completed ``snapshot()`` calls and the
+    #: wall seconds they cost end-to-end (pump + deferred aggregation +
+    #: view construction).  Together with each aggregator's
+    #: ``refreshes`` / ``refresh_seconds`` counters this makes the
+    #: streaming-vs-full-refit read cost visible in production, not
+    #: just in the benchmark.
+    snapshot_reads: int = 0
+    snapshot_read_seconds: float = 0.0
 
     @property
     def claims_rejected(self) -> int:
@@ -131,6 +140,8 @@ class ServiceStats:
             "rejected_capacity": self.rejected_capacity,
             "rejected_budget": self.rejected_budget,
             "rejected_overflow": self.rejected_overflow,
+            "snapshot_reads": self.snapshot_reads,
+            "snapshot_read_seconds": self.snapshot_read_seconds,
         }
 
 
@@ -290,6 +301,21 @@ class IngestService:
         ensure_int(max_users, "max_users", minimum=1)
         object_ids = tuple(object_ids)
         cfg = self._config
+        # Resolve "auto" to the concrete backend once, up front: the
+        # durable REGISTER record and the worker spec both persist the
+        # *resolved* kind, so replaying them is immune to future
+        # changes in the auto-selection rules (a logged campaign's
+        # backend — and therefore its aggregation semantics — is fixed
+        # at registration time).
+        aggregator = resolve_backend(
+            max_users,
+            len(object_ids),
+            kind=aggregator,
+            method=method,
+            decay=cfg.decay,
+            full_refit_max_cells=cfg.full_refit_max_cells,
+            method_kwargs=method_kwargs,
+        )
         shard_index = self.shard_of(campaign_id)
         state = CampaignState(
             campaign_id,
@@ -405,25 +431,17 @@ class IngestService:
             )
         from repro.workers.handles import RemoteAggregator
 
-        # Resolve the backend with the exact same rules the worker-side
-        # make_aggregator call will apply, so the proxy's bookkeeping
-        # (refresh_changes_state) mirrors the real backend — and so a
-        # bad configuration fails here, with a local traceback, not as
-        # a remote worker error.
-        backend = resolve_backend(
-            num_users,
-            num_objects,
-            kind=aggregator_kind,
-            method=method,
-            decay=cfg.decay,
-            full_refit_max_cells=cfg.full_refit_max_cells,
-        )
+        # register_campaign resolved "auto" to the concrete kind before
+        # calling here (a bad configuration already failed there, with
+        # a local traceback), and the worker spec carries the same
+        # resolved kind — so the proxy's bookkeeping
+        # (refresh_changes_state) mirrors the real backend exactly.
         return RemoteAggregator(
             self._pool.handle_for(shard_index),
             campaign_id,
             num_users,
             num_objects,
-            backend=backend,
+            backend=aggregator_kind,
             refine_every=cfg.refine_every,
         )
 
@@ -676,12 +694,16 @@ class IngestService:
         shard = self._campaign_shard.get(campaign_id)
         if shard is None:
             raise KeyError(f"campaign {campaign_id!r} not registered")
+        start = time.perf_counter()
         shard.flush_campaign(campaign_id)
         if self._durability is not None:
             # The read may have forced a tail batch into the log; make
             # it durable before handing out truths derived from it.
             self._durability.sync()
-        return shard.campaigns[campaign_id].snapshot()
+        snapshot = shard.campaigns[campaign_id].snapshot()
+        self.stats.snapshot_reads += 1
+        self.stats.snapshot_read_seconds += time.perf_counter() - start
+        return snapshot
 
     def sync_workers(self) -> None:
         """Barrier: return once workers aggregated every shipped batch.

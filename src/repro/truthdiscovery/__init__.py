@@ -45,7 +45,14 @@ from repro.truthdiscovery.registry import (
     create_method,
     register_method,
 )
-from repro.truthdiscovery.streaming import ClaimBatch, StreamingCRH
+from repro.truthdiscovery.streaming import (
+    STREAMING_ESTIMATORS,
+    ClaimBatch,
+    StreamingCATD,
+    StreamingCRH,
+    StreamingEstimator,
+    StreamingGTM,
+)
 from repro.truthdiscovery.uncertainty import TruthIntervals, bootstrap_truths
 
 __all__ = [
@@ -56,7 +63,11 @@ __all__ = [
     "CategoricalResult",
     "ClaimBatch",
     "MajorityVoting",
+    "STREAMING_ESTIMATORS",
+    "StreamingCATD",
     "StreamingCRH",
+    "StreamingEstimator",
+    "StreamingGTM",
     "WeightedVoting",
     "generate_categorical_dataset",
     "ClaimMatrix",

@@ -27,6 +27,8 @@ def service_report(
     submissions=450_000.0,
     rmse=1.4e-9,
     bitwise=True,
+    method_rmse=3.2e-8,
+    read_speedup=4.0,
 ):
     return {
         "bulk": {"claims_per_sec": bulk},
@@ -34,6 +36,14 @@ def service_report(
         "submissions": {"claims_per_sec": submissions},
         "streaming_vs_batch_rmse": rmse,
         "workers_truths_match_bitwise": bitwise,
+        "methods": {
+            method: {
+                "streaming_vs_batch_rmse": method_rmse,
+                "read_speedup_final": read_speedup,
+                "read_speedup_mean": read_speedup,
+            }
+            for method in ("crh", "gtm", "catd")
+        },
     }
 
 
@@ -106,6 +116,31 @@ class TestCompare:
             service_report(), fresh, kind="service", tolerance=0.99
         )
         assert failures(results) == ["workers_truths_match_bitwise"]
+
+    def test_method_rmse_past_floor_fails(self):
+        results = check_regression.check_regression(
+            service_report(),
+            service_report(method_rmse=2e-3),
+            kind="service",
+        )
+        assert "methods.gtm.streaming_vs_batch_rmse" in failures(results)
+
+    def test_read_speedup_gates_on_absolute_floor_only(self):
+        # Jitter relative to the baseline is fine as long as the
+        # streaming read stays structurally cheaper than the refit...
+        results = check_regression.check_regression(
+            service_report(read_speedup=40.0),
+            service_report(read_speedup=1.8),
+            kind="service",
+        )
+        assert failures(results) == []
+        # ...but a speedup collapsing toward 1x trips the floor.
+        results = check_regression.check_regression(
+            service_report(),
+            service_report(read_speedup=1.05),
+            kind="service",
+        )
+        assert "methods.crh.read_speedup_mean" in failures(results)
 
     def test_missing_sections_are_skipped(self):
         base = service_report()

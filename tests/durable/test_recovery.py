@@ -9,6 +9,7 @@ from repro.durable import (
     RecoveryError,
     RecoveryManager,
 )
+from repro.durable import records as rec
 from repro.durable.wal import list_segments
 from repro.privacy.ldp import LDPGuarantee
 from repro.service.ingest import IngestService, ServiceConfig
@@ -40,13 +41,14 @@ def make_traffic(total_chunks=24, seed=5):
     return gen, chunks
 
 
-def register(service, gen, cost=None):
+def register(service, gen, cost=None, **kwargs):
     service.register_campaign(
         gen.campaign_id,
         gen.object_ids,
         max_users=NUM_USERS,
         user_ids=gen.user_ids,
         cost=cost,
+        **kwargs,
     )
 
 
@@ -110,6 +112,126 @@ class TestKillAndRecover:
         np.testing.assert_array_equal(
             final.seen_objects, ref_final.seen_objects
         )
+        recovered.durability.close()
+
+    def test_register_record_persists_resolved_backend(self, tmp_path):
+        """REGISTER records store the resolved backend kind, never
+        "auto": replay must rebuild the same backend even if the
+        auto-selection rules change between write and recovery."""
+        from repro.durable.wal import read_wal
+        from repro.service.aggregator import StreamingAggregator
+
+        big = LoadGenerator(
+            "recov-auto", num_users=200, num_objects=48, random_state=3
+        )
+        service, manager = durable_service(tmp_path)
+        service.register_campaign(
+            big.campaign_id,
+            big.object_ids,
+            max_users=200,
+            user_ids=big.user_ids,
+            method="gtm",
+            aggregator="auto",
+        )
+        live_kind = type(
+            service.campaign_state(big.campaign_id).aggregator
+        )
+        assert live_kind is StreamingAggregator
+        manager.sync()
+        specs = [
+            r.decode()
+            for r in read_wal(tmp_path).records
+            if r.rtype == rec.REGISTER
+        ]
+        assert specs[0]["aggregator"] == "streaming"
+        del service, manager
+
+        recovered = RecoveryManager(tmp_path).recover()
+        state = recovered.service.campaign_state(big.campaign_id)
+        assert type(state.aggregator) is live_kind
+
+    def test_legacy_auto_spec_replays_with_v1_rule(self, tmp_path):
+        """Format-v1 REGISTER records stored aggregator="auto"; replay
+        must resolve them with the v1 rule (only large plain-CRH
+        campaigns streamed) so the rebuilt backend matches the state
+        the v1 service checkpointed and the semantics it served."""
+        from repro.service.aggregator import (
+            FullRefitAggregator,
+            StreamingAggregator,
+        )
+        from repro.service.ingest import IngestService
+
+        service = IngestService(service_config())
+        legacy_spec = {
+            "campaign_id": "legacy-gtm",
+            "object_ids": [f"o{i}" for i in range(48)],
+            "max_users": 200,  # 9600 cells: streams under the NEW rule
+            "user_ids": None,
+            "method": "gtm",
+            "aggregator": "auto",
+            "cost": None,
+            "method_kwargs": {},
+        }
+        RecoveryManager._register_from_spec(service, legacy_spec)
+        state = service.campaign_state("legacy-gtm")
+        assert isinstance(state.aggregator, FullRefitAggregator)
+        # Large plain CRH streamed in v1 — that must survive too, and
+        # v1 silently dropped batch-only kwargs on its streaming path,
+        # so a spec carrying them must replay (kwargs dropped again)
+        # rather than fail the whole directory.
+        RecoveryManager._register_from_spec(
+            service,
+            {
+                **legacy_spec,
+                "campaign_id": "legacy-crh",
+                "method": "crh",
+                "method_kwargs": {"distance": "squared"},
+            },
+        )
+        state = service.campaign_state("legacy-crh")
+        assert isinstance(state.aggregator, StreamingAggregator)
+
+    @pytest.mark.parametrize("method", ["gtm", "catd"])
+    def test_streaming_method_campaign_recovers_bitwise(
+        self, tmp_path, method
+    ):
+        """ISSUE-4: crash recovery must reproduce the GTM/CATD
+        streaming backends bit-for-bit, through both the checkpointed
+        state (moment statistics in the npz) and WAL suffix replay."""
+        kwargs = dict(method=method, aggregator="streaming")
+        gen, chunks = make_traffic(total_chunks=12)
+        crash_at = 8
+
+        reference = IngestService(service_config())
+        register(reference, gen, **kwargs)
+        feed(reference, chunks[:crash_at])
+        ref_mid = reference.snapshot(gen.campaign_id)
+        feed(reference, chunks[crash_at:])
+        reference.flush()
+        ref_final = reference.snapshot(gen.campaign_id)
+
+        crashed, manager = durable_service(tmp_path)
+        register(crashed, gen, **kwargs)
+        feed(crashed, chunks[:4])
+        # Checkpoint mid-stream so recovery exercises the snapshot
+        # restore path for the moment statistics, then keep streaming
+        # so the WAL-replay path is exercised too.
+        manager.checkpoint()
+        feed(crashed, chunks[4:crash_at])
+        del crashed, manager  # the "kill"
+
+        recovered = RecoveryManager(tmp_path).recover(resume=True)
+        service = recovered.service
+        mid = service.snapshot(gen.campaign_id)
+        assert mid.truths.tobytes() == ref_mid.truths.tobytes()
+        assert mid.weights_by_user == ref_mid.weights_by_user
+
+        feed(service, chunks[crash_at:])
+        service.flush()
+        final = service.snapshot(gen.campaign_id)
+        assert final.truths.tobytes() == ref_final.truths.tobytes()
+        assert final.claims_ingested == ref_final.claims_ingested
+        assert final.weights_by_user == ref_final.weights_by_user
         recovered.durability.close()
 
     def test_recovery_is_idempotent(self, tmp_path):

@@ -1,0 +1,260 @@
+"""Property-based tests for the GTM/CATD streaming estimators.
+
+Mirrors ``test_streaming_properties.py`` (the StreamingCRH suite) for
+the two ISSUE-4 backends: range/finiteness/determinism invariants plus
+the checkpoint contract — ``snapshot()``/``restore()`` carry the full
+sufficient statistics bit-for-bit through a JSON round-trip, including
+degenerate narrow universes and statistics that have overflowed to
+inf.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.truthdiscovery.streaming import (
+    ClaimBatch,
+    StreamingCATD,
+    StreamingGTM,
+)
+
+BACKENDS = [StreamingGTM, StreamingCATD]
+
+
+@st.composite
+def batch_sequences(draw):
+    # min 1 user/object: the narrow-slot degenerate universes must keep
+    # round-tripping (single-user CATD, single-object GTM standardisation).
+    num_users = draw(st.integers(min_value=1, max_value=8))
+    num_objects = draw(st.integers(min_value=1, max_value=5))
+    num_batches = draw(st.integers(min_value=1, max_value=4))
+    batches = []
+    for _ in range(num_batches):
+        size = draw(st.integers(min_value=1, max_value=12))
+        users = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_users - 1),
+                min_size=size, max_size=size,
+            )
+        )
+        objects = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_objects - 1),
+                min_size=size, max_size=size,
+            )
+        )
+        values = draw(
+            st.lists(
+                st.floats(
+                    min_value=-1e3, max_value=1e3,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                min_size=size, max_size=size,
+            )
+        )
+        batches.append(
+            ClaimBatch(
+                users=np.array(users),
+                objects=np.array(objects),
+                values=np.array(values),
+            )
+        )
+    return num_users, num_objects, batches
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(params=batch_sequences())
+@settings(max_examples=40, deadline=None)
+def test_truths_within_observed_range(backend, params):
+    """Seen objects' truths stay inside the global observed value range
+    (GTM shrinks toward the per-object mean, CATD averages claims; both
+    are convex in the observed values)."""
+    num_users, num_objects, batches = params
+    stream = backend(num_users=num_users, num_objects=num_objects)
+    all_values = np.concatenate([b.values for b in batches])
+    for batch in batches:
+        stream.ingest(batch)
+    seen = stream.seen_objects
+    truths = stream.truths[seen]
+    span = max(float(all_values.max() - all_values.min()), 1.0)
+    assert (truths >= all_values.min() - 1e-6 * span).all()
+    assert (truths <= all_values.max() + 1e-6 * span).all()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(params=batch_sequences())
+@settings(max_examples=40, deadline=None)
+def test_weights_finite_nonnegative(backend, params):
+    num_users, num_objects, batches = params
+    stream = backend(num_users=num_users, num_objects=num_objects)
+    for batch in batches:
+        stream.ingest(batch)
+    assert np.isfinite(stream.weights).all()
+    assert (stream.weights >= 0).all()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(params=batch_sequences())
+@settings(max_examples=30, deadline=None)
+def test_unseen_objects_never_move(backend, params):
+    num_users, num_objects, batches = params
+    stream = backend(num_users=num_users, num_objects=num_objects)
+    for batch in batches:
+        stream.ingest(batch)
+    unseen = ~stream.seen_objects
+    assert (stream.truths[unseen] == 0.0).all()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(params=batch_sequences())
+@settings(max_examples=30, deadline=None)
+def test_ingest_is_deterministic(backend, params):
+    num_users, num_objects, batches = params
+    streams = []
+    for _ in range(2):
+        s = backend(num_users=num_users, num_objects=num_objects)
+        for batch in batches:
+            s.ingest(batch)
+        streams.append(s)
+    np.testing.assert_array_equal(streams[0].truths, streams[1].truths)
+    np.testing.assert_array_equal(streams[0].weights, streams[1].weights)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    value=st.floats(min_value=-100, max_value=100),
+    num_users=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_constant_stream_returns_constant(backend, value, num_users):
+    stream = backend(num_users=num_users, num_objects=1)
+    batch = ClaimBatch(
+        users=np.arange(num_users),
+        objects=np.zeros(num_users, dtype=int),
+        values=np.full(num_users, value),
+    )
+    stream.ingest(batch)
+    assert stream.truths[0] == pytest.approx(value, abs=1e-6)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(params=batch_sequences(), split_at=st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_snapshot_restore_round_trip_is_exact(backend, params, split_at):
+    """The checkpoint property, extended to GTM/CATD: snapshot
+    mid-stream, rebuild a stream from it, continue both with the same
+    batches — every retained statistic and derived value stays
+    bit-for-bit equal."""
+    num_users, num_objects, batches = params
+    split_at = min(split_at, len(batches))
+    original = backend(num_users=num_users, num_objects=num_objects)
+    for batch in batches[:split_at]:
+        original.ingest(batch)
+
+    snapshot = original.snapshot()
+    # Checkpoints pass through JSON; the round-trip must stay exact.
+    restored = backend.from_snapshot(json.loads(json.dumps(snapshot)))
+
+    for batch in batches[split_at:]:
+        original.ingest(batch)
+        restored.ingest(batch)
+    assert restored.truths.tobytes() == original.truths.tobytes()
+    assert restored.weights.tobytes() == original.weights.tobytes()
+    np.testing.assert_array_equal(
+        restored.seen_objects, original.seen_objects
+    )
+    assert restored.batches_ingested == original.batches_ingested
+    assert restored.snapshot() == original.snapshot()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_snapshot_restore_preserves_inf_statistics(backend):
+    """Finite-but-huge claims overflow the squared-sum statistics to
+    inf (and derived values to nan); the checkpoint round-trip must
+    carry such degenerate statistics rather than reject or launder
+    them.  The binary ``arrays=True`` form (what npz checkpoints
+    store) is bit-for-bit; the JSON form is exact up to NaN identity
+    (JSON canonicalises NaN's sign bit)."""
+    stream = backend(num_users=3, num_objects=2)
+    with np.errstate(over="ignore", invalid="ignore"):
+        stream.ingest(ClaimBatch(
+            users=np.array([0, 1, 2]),
+            objects=np.array([0, 1, 0]),
+            values=np.array([1e200, -1e200, 2.0]),
+        ))
+    assert np.isinf(stream.snapshot(arrays=True)["sumsq"]).any()
+
+    binary = backend.from_snapshot(stream.snapshot(arrays=True))
+    for name, array in binary.snapshot(arrays=True).items():
+        reference = stream.snapshot(arrays=True)[name]
+        if isinstance(array, np.ndarray):
+            assert array.tobytes() == reference.tobytes(), name
+        else:
+            assert array == reference, name
+
+    via_json = backend.from_snapshot(
+        json.loads(json.dumps(stream.snapshot()))
+    )
+    for name, array in via_json.snapshot(arrays=True).items():
+        reference = stream.snapshot(arrays=True)[name]
+        if isinstance(array, np.ndarray) and array.dtype.kind == "f":
+            np.testing.assert_array_equal(array, reference, err_msg=name)
+        elif isinstance(array, np.ndarray):
+            assert array.tobytes() == reference.tobytes(), name
+        else:
+            assert array == reference, name
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_restore_rejects_other_kind(backend):
+    stream = backend(num_users=2, num_objects=2)
+    other = (
+        StreamingCATD if backend is StreamingGTM else StreamingGTM
+    )(num_users=2, num_objects=2)
+    with pytest.raises(ValueError, match="stream"):
+        stream.restore(other.snapshot())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rejected_snapshot_leaves_stream_untouched(backend):
+    """A corrupt snapshot must not tear the live estimator: after a
+    failed restore every statistic, derived value, and parameter is
+    exactly what it was."""
+    stream = backend(num_users=3, num_objects=2, decay=0.8)
+    stream.ingest(ClaimBatch(
+        users=np.array([0, 1]), objects=np.array([0, 1]),
+        values=np.array([1.0, 2.0]),
+    ))
+    before = stream.snapshot(arrays=True)
+
+    bad = stream.snapshot()
+    bad["alpha" if backend is StreamingGTM else "significance"] = -1.0
+    with pytest.raises(ValueError):
+        stream.restore(bad)
+    missing = stream.snapshot()
+    missing.pop("prior_mean" if backend is StreamingGTM else "significance")
+    with pytest.raises((ValueError, KeyError)):
+        stream.restore(missing)
+
+    after = stream.snapshot(arrays=True)
+    for name, value in after.items():
+        if isinstance(value, np.ndarray):
+            assert value.tobytes() == before[name].tobytes(), name
+        else:
+            assert value == before[name], name
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_hyperparameters_survive_round_trip(backend):
+    if backend is StreamingGTM:
+        stream = StreamingGTM(2, 2, alpha=3.5, beta=0.25, prior_variance=2.0)
+        keys = ("alpha", "beta", "prior_variance")
+    else:
+        stream = StreamingCATD(2, 2, significance=0.2, distance_floor=1e-6)
+        keys = ("significance", "distance_floor")
+    restored = backend.from_snapshot(stream.snapshot())
+    for key in keys:
+        assert restored.snapshot()[key] == stream.snapshot()[key]

@@ -11,6 +11,7 @@ from repro.service.aggregator import (
 from repro.service.loadgen import LoadGenerator
 from repro.truthdiscovery.claims import ClaimMatrix
 from repro.truthdiscovery.crh import CRH
+from repro.truthdiscovery.registry import create_method
 from repro.truthdiscovery.streaming import ClaimBatch
 
 
@@ -71,6 +72,144 @@ class TestStreamingVsBatchAgreement:
         np.testing.assert_allclose(
             streamed.truths(), full.truths(), atol=1e-3
         )
+
+
+class TestStreamingMethodParity:
+    """Streaming GTM/CATD must agree with their batch refits."""
+
+    @pytest.mark.parametrize("method", ["gtm", "catd"])
+    def test_dense_campaign_matches_batch_refit(self, method):
+        rng = np.random.default_rng(17)
+        num_users, num_objects = 40, 25
+        truths = rng.uniform(0.0, 10.0, size=num_objects)
+        batch = dense_batch(rng, num_users, num_objects, truths)
+
+        streaming = StreamingAggregator(
+            num_users, num_objects, method=method, decay=1.0,
+            refine_sweeps=40,
+        )
+        streaming.ingest(batch)
+
+        claims = ClaimMatrix.from_columns(
+            batch.users, batch.objects, batch.values,
+            user_ids=tuple(range(num_users)),
+            object_ids=tuple(range(num_objects)),
+        )
+        reference = create_method(method).fit(claims)
+
+        rmse = float(np.sqrt(np.mean(
+            (streaming.truths() - reference.truths) ** 2
+        )))
+        assert rmse <= 1e-3
+        np.testing.assert_allclose(
+            streaming.weights(), reference.weights, atol=1e-3
+        )
+
+    @pytest.mark.parametrize("method", ["gtm", "catd"])
+    def test_incremental_batches_reach_same_fixed_point(self, method):
+        rng = np.random.default_rng(29)
+        num_users, num_objects = 30, 12
+        truths = rng.uniform(0.0, 5.0, size=num_objects)
+        batch = dense_batch(rng, num_users, num_objects, truths)
+
+        streamed = StreamingAggregator(
+            num_users, num_objects, method=method, decay=1.0,
+            refine_sweeps=30, refine_every=10**9,
+        )
+        for part in range(6):
+            sl = slice(part, None, 6)
+            streamed.ingest(ClaimBatch(
+                users=batch.users[sl],
+                objects=batch.objects[sl],
+                values=batch.values[sl],
+            ))
+        whole = StreamingAggregator(
+            num_users, num_objects, method=method, decay=1.0,
+            refine_sweeps=30, refine_every=10**9,
+        )
+        whole.ingest(batch)
+        np.testing.assert_allclose(
+            streamed.truths(), whole.truths(), atol=1e-3
+        )
+
+    @pytest.mark.parametrize("method", ["gtm", "catd"])
+    def test_state_dict_round_trip_bitwise(self, method):
+        rng = np.random.default_rng(41)
+        num_users, num_objects = 12, 7
+        truths = rng.uniform(0.0, 5.0, size=num_objects)
+        original = StreamingAggregator(
+            num_users, num_objects, method=method, refine_every=30
+        )
+        batches = [
+            dense_batch(rng, num_users, num_objects, truths)
+            for _ in range(3)
+        ]
+        original.ingest(batches[0])
+        original.ingest(batches[1])
+
+        restored = StreamingAggregator(
+            num_users, num_objects, method=method, refine_every=30
+        )
+        restored.load_state(original.state_dict())
+        original.ingest(batches[2])
+        restored.ingest(batches[2])
+        assert original.truths().tobytes() == restored.truths().tobytes()
+        assert original.weights().tobytes() == restored.weights().tobytes()
+
+    def test_load_state_accepts_pre_issue4_crh_state(self):
+        """Checkpoints written before the multi-method refactor have no
+        "method" entry and keep the estimator snapshot under "crh";
+        they must keep restoring bit-for-bit."""
+        rng = np.random.default_rng(5)
+        truths = rng.uniform(0.0, 5.0, size=6)
+        original = StreamingAggregator(8, 6, refine_every=30)
+        original.ingest(dense_batch(rng, 8, 6, truths))
+        state = original.state_dict()
+        legacy = dict(state)
+        legacy.pop("method")
+        legacy["crh"] = dict(legacy.pop("stream"))
+        legacy["crh"].pop("kind")  # pre-refactor snapshots had no kind
+        restored = StreamingAggregator(8, 6, refine_every=30)
+        restored.load_state(legacy)
+        assert restored.truths().tobytes() == original.truths().tobytes()
+
+    def test_load_state_rejects_method_mismatch(self):
+        gtm = StreamingAggregator(4, 3, method="gtm")
+        catd = StreamingAggregator(4, 3, method="catd")
+        with pytest.raises(ValueError, match="'gtm' stream"):
+            catd.load_state(gtm.state_dict())
+
+    def test_unknown_streaming_method_rejected(self):
+        with pytest.raises(ValueError, match="no streaming estimator"):
+            StreamingAggregator(4, 3, method="median")
+
+
+class TestRefreshCounters:
+    def test_streaming_counts_refinements(self):
+        rng = np.random.default_rng(3)
+        truths = rng.uniform(0.0, 5.0, size=6)
+        agg = StreamingAggregator(8, 6, refine_every=10**9)
+        agg.ingest(dense_batch(rng, 8, 6, truths))
+        assert agg.refreshes == 0
+        agg.truths()
+        assert agg.refreshes == 1
+        assert agg.refresh_seconds > 0.0
+        # A clean read does no deferred work.
+        agg.truths()
+        assert agg.refreshes == 1
+
+    def test_full_refit_counts_refits(self):
+        rng = np.random.default_rng(3)
+        truths = rng.uniform(0.0, 5.0, size=6)
+        agg = FullRefitAggregator(8, 6)
+        agg.ingest(dense_batch(rng, 8, 6, truths))
+        agg.truths()
+        agg.truths()
+        assert agg.refreshes == 1
+        agg.ingest(dense_batch(rng, 8, 6, truths))
+        agg.truths()
+        assert agg.refreshes == 2
+        assert agg.refresh_seconds > 0.0
 
 
 class TestDecaySchedule:
@@ -161,11 +300,54 @@ class TestMakeAggregator:
         agg = make_aggregator(100, 100, kind="auto", full_refit_max_cells=128)
         assert isinstance(agg, StreamingAggregator)
 
-    def test_non_crh_method_forces_full_refit(self):
+    @pytest.mark.parametrize("method", ["gtm", "catd"])
+    def test_streamable_methods_stream_at_scale(self, method):
         agg = make_aggregator(
-            100, 100, kind="auto", method="gtm", full_refit_max_cells=128
+            100, 100, kind="auto", method=method, full_refit_max_cells=128
+        )
+        assert isinstance(agg, StreamingAggregator)
+        assert agg.method == method
+
+    @pytest.mark.parametrize("method", ["gtm", "catd"])
+    def test_streamable_methods_full_refit_when_small(self, method):
+        agg = make_aggregator(
+            10, 10, kind="auto", method=method, full_refit_max_cells=128
         )
         assert isinstance(agg, FullRefitAggregator)
+
+    def test_unstreamable_method_forces_full_refit(self):
+        agg = make_aggregator(
+            100, 100, kind="auto", method="median", full_refit_max_cells=128
+        )
+        assert isinstance(agg, FullRefitAggregator)
+
+    def test_batch_only_kwargs_keep_full_refit(self):
+        """Fitting knobs the streaming estimators cannot honour
+        (convergence, distance, ...) must keep an auto campaign on the
+        full-refit backend instead of crashing — pre-ISSUE-4
+        registrations with such kwargs stay valid."""
+        agg = make_aggregator(
+            100, 100, kind="auto", method="catd", convergence=None,
+            full_refit_max_cells=128,
+        )
+        assert isinstance(agg, FullRefitAggregator)
+        agg = make_aggregator(
+            100, 100, kind="auto", method="crh", distance="squared",
+            full_refit_max_cells=128,
+        )
+        assert isinstance(agg, FullRefitAggregator)
+        # Model hyper-parameters shared with the batch method stream.
+        agg = make_aggregator(
+            100, 100, kind="auto", method="gtm", alpha=3.0,
+            full_refit_max_cells=128,
+        )
+        assert isinstance(agg, StreamingAggregator)
+
+    def test_batch_only_kwargs_rejected_when_streaming_forced(self):
+        with pytest.raises(ValueError, match="batch-only fitting knobs"):
+            make_aggregator(
+                10, 10, kind="streaming", method="catd", convergence=None
+            )
 
     def test_decay_forces_streaming_backend(self):
         # Forgetting cannot silently switch off for small campaigns.
@@ -176,9 +358,9 @@ class TestMakeAggregator:
         with pytest.raises(ValueError, match="cannot forget"):
             make_aggregator(10, 10, kind="full", decay=0.9)
 
-    def test_streaming_with_non_crh_method_rejected(self):
-        with pytest.raises(ValueError, match="only supports 'crh'"):
-            make_aggregator(10, 10, kind="streaming", method="gtm")
+    def test_streaming_with_unstreamable_method_rejected(self):
+        with pytest.raises(ValueError, match="no streaming estimator"):
+            make_aggregator(10, 10, kind="streaming", method="median")
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown aggregator kind"):

@@ -273,6 +273,22 @@ class TestSnapshots:
         with pytest.raises(KeyError):
             service.snapshot("nope")
 
+    def test_snapshot_reads_are_counted(self):
+        service = make_service()
+        service.register_campaign("c1", ("o0",), max_users=4)
+        service.submit(sub(user="u1", objects=("o0",), values=(1.0,)))
+        assert service.stats.snapshot_reads == 0
+        service.snapshot("c1")
+        service.snapshot("c1")
+        assert service.stats.snapshot_reads == 2
+        assert service.stats.snapshot_read_seconds > 0.0
+        as_dict = service.stats.as_dict()
+        assert as_dict["snapshot_reads"] == 2
+        # A failed read (unknown campaign) counts nothing.
+        with pytest.raises(KeyError):
+            service.snapshot("nope")
+        assert service.stats.snapshot_reads == 2
+
     def test_truths_converge_to_ground_truth(self):
         rng = np.random.default_rng(7)
         service = make_service(num_shards=2, max_batch=64, queue_capacity=128)

@@ -25,6 +25,48 @@ class TestClaimBatch:
         assert batch.size == 2
         np.testing.assert_array_equal(batch.users, [0, 1])
 
+    def test_from_records_ndarray_fast_path_matches_tuple_path(self):
+        """An (n, 3) table takes the columnar path; results must be
+        identical to the per-tuple transpose, including int exactness
+        of the index columns."""
+        rng = np.random.default_rng(7)
+        rows = [
+            (int(u), int(o), float(v))
+            for u, o, v in zip(
+                rng.integers(0, 50, size=200),
+                rng.integers(0, 20, size=200),
+                rng.normal(size=200),
+            )
+        ]
+        batch = ClaimBatch.from_records(np.array(rows, dtype=float))
+        reference = ClaimBatch.from_records(rows)
+        assert batch.users.tobytes() == reference.users.tobytes()
+        assert batch.objects.tobytes() == reference.objects.tobytes()
+        assert batch.values.tobytes() == reference.values.tobytes()
+        assert batch.users.dtype == np.int64
+
+    def test_from_records_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            ClaimBatch.from_records([(1, 2), (3, 4, 5, 6)])
+
+    def test_from_records_accepts_ndarray_table(self):
+        table = np.array([[0, 1, 2.5], [1, 0, 3.5], [0, 0, -1.0]])
+        batch = ClaimBatch.from_records(table)
+        np.testing.assert_array_equal(batch.users, [0, 1, 0])
+        np.testing.assert_array_equal(batch.objects, [1, 0, 0])
+        np.testing.assert_array_equal(batch.values, [2.5, 3.5, -1.0])
+        with pytest.raises(ValueError, match=r"shape \(n, 3\)"):
+            ClaimBatch.from_records(np.zeros((2, 4)))
+        with pytest.raises(ValueError, match="non-empty"):
+            ClaimBatch.from_records(np.zeros((0, 3)))
+
+    def test_from_records_accepts_generators_and_mixed_rows(self):
+        batch = ClaimBatch.from_records(
+            (u, o, v) for u, o, v in [(0, 0, 1.0), (np.int64(1), 1, 2)]
+        )
+        assert batch.size == 2
+        np.testing.assert_array_equal(batch.values, [1.0, 2.0])
+
     def test_validation(self):
         with pytest.raises(ValueError, match="share a shape"):
             ClaimBatch(users=[0, 1], objects=[0], values=[1.0])

@@ -43,7 +43,9 @@ def make_service(workers, *, start_method="fork", num_shards=4, **overrides):
     )
 
 
-def stream_campaigns(service, *, num_campaigns=4, claims=12_000, seed=11):
+def stream_campaigns(
+    service, *, num_campaigns=4, claims=12_000, seed=11, **register_kwargs
+):
     """Register campaigns, stream identical bulk traffic, return snapshots."""
     generators = []
     per_campaign = []
@@ -56,6 +58,7 @@ def stream_campaigns(service, *, num_campaigns=4, claims=12_000, seed=11):
             gen.object_ids,
             max_users=40,
             user_ids=gen.user_ids,
+            **register_kwargs,
         )
         generators.append(gen)
         per_campaign.append(
@@ -126,6 +129,27 @@ class TestBitwiseAgreement:
         a, b = run(0), run(2)
         assert np.array_equal(a.truths, b.truths)
         assert a.weights_by_user == b.weights_by_user
+
+    @pytest.mark.parametrize("method", ["gtm", "catd"])
+    def test_streaming_method_campaigns_match_bitwise(self, method):
+        """ISSUE-4: the non-CRH streaming backends must stay bitwise
+        identical across the process boundary (aggregator="streaming"
+        forces streaming — these campaigns are below the auto
+        threshold)."""
+        kwargs = dict(method=method, aggregator="streaming")
+        with make_service(0) as single:
+            expected = stream_campaigns(
+                single, num_campaigns=3, claims=6_000, **kwargs
+            )
+        with make_service(2) as multi:
+            got = stream_campaigns(
+                multi, num_campaigns=3, claims=6_000, **kwargs
+            )
+        for cid, snap in expected.items():
+            other = got[cid]
+            assert np.array_equal(snap.truths, other.truths)
+            assert snap.weights_by_user == other.weights_by_user
+            assert snap.claims_ingested == other.claims_ingested
 
     def test_spawn_start_method_end_to_end(self):
         with make_service(0, num_shards=2) as single:
