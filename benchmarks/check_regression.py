@@ -95,12 +95,47 @@ DURABILITY_METRICS = (
     Metric("unlogged.claims_per_sec", "higher"),
     Metric("logged.never.claims_per_sec", "higher"),
     Metric("logged.batch.claims_per_sec", "higher"),
+    Metric("logged.always.claims_per_sec", "higher"),
+    Metric("logged_async.never.claims_per_sec", "higher"),
+    Metric("logged_async.batch.claims_per_sec", "higher"),
+    Metric("logged_async.always.claims_per_sec", "higher"),
     Metric("recovery.replay_only.claims_per_sec", "higher"),
-    # ~16 B/claim today; alarm only past 24 B/claim so narrow-slot
-    # jitter cannot trip it.
-    Metric("logged.batch.bytes_per_claim", "lower", floor=24.0),
+    # ~12 B/claim today (u16 slots); alarm only past 20 B/claim so an
+    # encoding-width regression trips but jitter cannot.
+    Metric("logged.batch.bytes_per_claim", "lower", floor=20.0),
+    # Logged-throughput retention floors per fsync mode.  Each is a
+    # ratio of two same-run, same-machine measurements, so an absolute
+    # floor gates the structural relationship (how much of the
+    # unlogged rate survives logging) rather than runner speed; the
+    # floors sit far below dev-box values because CI smoke runs are
+    # tiny and 1-2 vCPU runners leave the background writer no core.
+    Metric("logged.never.retention_vs_unlogged", "at_least", floor=0.30),
+    Metric("logged.batch.retention_vs_unlogged", "at_least", floor=0.20),
+    Metric(
+        "logged_async.never.retention_vs_unlogged", "at_least", floor=0.30
+    ),
+    Metric(
+        "logged_async.batch.retention_vs_unlogged", "at_least", floor=0.25
+    ),
+    Metric(
+        "logged_async.always.retention_vs_unlogged", "at_least", floor=0.15
+    ),
+    # The durable-ack headline: grouped background syncs must stay
+    # ahead of one synchronous fdatasync per frame.  Full runs sit
+    # well above 2x; the floor is sized for smoke workloads, where a
+    # handful of records leaves grouping little to amortise.
+    Metric(
+        "logged_async.always.speedup_vs_sync_always", "at_least", floor=1.1
+    ),
+    # Hard bitwise-recovery invariants: replay-only, checkpoint+suffix,
+    # the async-commit log, and the post-compaction log must all
+    # rebuild the live service's truths exactly.
     Metric("recovery.replay_only.truths_match_bitwise", "flag"),
     Metric("recovery.checkpointed.truths_match_bitwise", "flag"),
+    Metric("recovery.async_commit.truths_match_bitwise", "flag"),
+    Metric("compaction.recovery.truths_match_bitwise", "flag"),
+    # Compaction must actually reclaim space on a checkpointed log.
+    Metric("compaction.shrunk", "flag"),
 )
 
 KINDS = {"service": SERVICE_METRICS, "durability": DURABILITY_METRICS}

@@ -11,9 +11,13 @@ Subcommands
   service against the per-message server baseline, plus the per-method
   streaming-vs-full-refit read-latency comparison;
 * ``durable-bench [--smoke] [--output PATH]`` — measure write-ahead
-  logging cost (per fsync policy) and crash-recovery speed;
+  logging cost (per fsync policy, synchronous and async commit),
+  commit-latency percentiles, compaction, and crash-recovery speed;
 * ``recover DIR [--campaign ID] [--checkpoint]`` — rebuild service
-  state from a durability directory and report what was recovered.
+  state from a durability directory and report what was recovered;
+* ``compact DIR [--checkpoint-lsn N]`` — rewrite a durability
+  directory's write-ahead log down to its live records (claim-granular
+  retention; requires a checkpoint covering the dropped records).
 """
 
 from __future__ import annotations
@@ -147,11 +151,41 @@ def build_parser() -> argparse.ArgumentParser:
         "afterwards)",
     )
     durable_p.add_argument(
+        "--always-batch",
+        type=int,
+        default=256,
+        help="micro-batch size for the fsync=always runs (default 256; "
+        "per-record durability is measured at its fine-grained "
+        "operating point)",
+    )
+    durable_p.add_argument(
         "--smoke",
         action="store_true",
         help="tiny workload exercising every code path (CI smoke test)",
     )
     _add_output_option(durable_p, "results/BENCH_durability.json")
+
+    compact_p = sub.add_parser(
+        "compact",
+        help="rewrite a durability directory's WAL down to live records",
+    )
+    compact_p.add_argument(
+        "directory", help="durability directory (WAL segments + checkpoints)"
+    )
+    compact_p.add_argument(
+        "--checkpoint-lsn",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checkpoint LSN the rewrite assumes (default: the newest "
+        "readable checkpoint); values no checkpoint covers are refused",
+    )
+    compact_p.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the compaction report as JSON to this path",
+    )
 
     recover_p = sub.add_parser(
         "recover",
@@ -312,12 +346,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             always_claims=args.always_claims,
             num_shards=args.shards,
             max_batch=args.batch,
+            always_max_batch=args.always_batch,
             seed=args.seed,
             directory=args.dir,
             smoke=args.smoke,
         )
         print(format_durability_summary(report))
         _write_output(report, args.output)
+        return 0
+
+    if args.command == "compact":
+        from repro.durable import WalError, compact_directory
+
+        try:
+            report = compact_directory(
+                args.directory, checkpoint_lsn=args.checkpoint_lsn
+            )
+        except WalError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(report.summary())
+        _write_output(report.as_dict(), args.output)
         return 0
 
     if args.command == "recover":

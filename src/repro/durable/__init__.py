@@ -6,7 +6,23 @@ memory; this package makes that state survive a crash:
 * :class:`WriteAheadLog` — segmented, CRC-checked, append-only log of
   every accepted micro-batch (plus campaign registrations, user-slot
   assignments, and privacy-budget charges), with ``never`` / ``batch``
-  / ``always`` fsync policies, segment rotation, and retention;
+  / ``always`` fsync policies, segment rotation, and retention.  With
+  ``async_commit`` a background writer thread owns all write+fsync
+  work: appends stage frames in a double-buffered queue, the writer
+  commits them in groups (one write + one fdatasync each), and the
+  monotone ``durable_lsn`` watermark plus ``wait_durable(lsn)`` give
+  callers a durable-ack primitive — ``always`` means "acknowledged
+  after durable" via grouped syncs instead of one fdatasync per frame,
+  and ``batch`` group-commit latency leaves the ingest thread
+  entirely;
+* :func:`compact_directory` /
+  :meth:`~repro.durable.manager.DurabilityManager.compact` —
+  claim-granular log compaction: rewrite the live records (the
+  post-checkpoint suffix, current registrations, all budget charges)
+  into fresh segments behind an atomic temp-dir + rename +
+  directory-fsync swap, so disk usage is bounded by live state rather
+  than segment boundaries; a crash at any point mid-swap is rolled
+  forward or back on the next open;
 * :class:`CheckpointStore` — atomic snapshots of per-campaign
   aggregator state and the :class:`~repro.service.ledger.BudgetLedger`,
   bounding how much log a restart must replay;
@@ -17,11 +33,13 @@ memory; this package makes that state survive a crash:
   checkpoints;
 * :class:`RecoveryManager` — rebuilds the service after a crash from
   the latest valid checkpoint plus the log suffix, truncating any torn
-  tail, with bit-for-bit identical truths on the replayed batches;
-* :class:`WorkItem` — the serialisable work-item format the log (and a
-  future multi-process shard deployment) moves around;
-* :func:`run_durability_bench` — the logged-vs-unlogged throughput and
-  recovery-time benchmark behind ``repro durable-bench``.
+  tail, with bit-for-bit identical truths on the replayed batches
+  (including after async-commit crashes and mid-compaction crashes);
+* :class:`WorkItem` — the serialisable work-item format the log (and
+  the multi-process shard workers) move around;
+* :func:`run_durability_bench` — the logged-vs-unlogged throughput,
+  commit-latency, compaction, and recovery benchmark behind
+  ``repro durable-bench``.
 """
 
 from repro.durable.bench import format_durability_summary, run_durability_bench
@@ -29,6 +47,11 @@ from repro.durable.checkpoint import (
     Checkpoint,
     CheckpointError,
     CheckpointStore,
+)
+from repro.durable.compaction import (
+    CompactionInterrupted,
+    CompactionReport,
+    compact_directory,
 )
 from repro.durable.manager import (
     DurabilityConfig,
@@ -48,13 +71,17 @@ from repro.durable.wal import (
     WalError,
     WalScan,
     WriteAheadLog,
+    load_compaction_manifest,
     read_wal,
+    repair_compaction,
 )
 
 __all__ = [
     "Checkpoint",
     "CheckpointError",
     "CheckpointStore",
+    "CompactionInterrupted",
+    "CompactionReport",
     "DurabilityConfig",
     "DurabilityManager",
     "FORMAT_VERSION",
@@ -70,7 +97,10 @@ __all__ = [
     "WalScan",
     "WorkItem",
     "WriteAheadLog",
+    "compact_directory",
     "format_durability_summary",
+    "load_compaction_manifest",
     "read_wal",
+    "repair_compaction",
     "run_durability_bench",
 ]

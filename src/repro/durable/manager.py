@@ -15,7 +15,14 @@ to.  The contract mirrors the ingest pipeline's own events:
   epsilon survives a restart (the safe direction: charges for claims
   that never became durable stay spent);
 * ``after_pump`` — the group-commit point: syncs the log under the
-  ``batch`` fsync policy and triggers automatic checkpoints.
+  ``batch`` fsync policy and triggers automatic checkpoints.  With
+  ``async_commit`` enabled the write+fsync work runs on the WAL's
+  background writer thread instead: ``after_pump`` just *requests* a
+  group commit under ``batch``/``never`` (no commit latency on the
+  ingest thread), and under ``always`` waits on the durable-ack
+  watermark (``wait_durable``) so a completed pump still guarantees
+  its batches are on disk — grouped syncs instead of one fdatasync
+  per frame.
 
 The manager also keeps *shadow counters* per campaign — claims and
 per-slot claim counts at logged-batch granularity.  Live
@@ -69,6 +76,12 @@ class DurabilityConfig:
         manually).
     keep_checkpoints:
         Completed checkpoints retained on disk.
+    async_commit:
+        Run WAL write+fsync on a background writer thread (see
+        :mod:`repro.durable.wal`): ``after_pump`` becomes non-blocking
+        under ``batch``/``never`` and a grouped durable-ack under
+        ``always``.  Control records (registrations, checkpoints) and
+        read-path syncs still block until durable.
     """
 
     directory: Union[str, Path]
@@ -76,6 +89,7 @@ class DurabilityConfig:
     max_segment_bytes: int = 64 * 1024 * 1024
     checkpoint_every_claims: int = 0
     keep_checkpoints: int = 3
+    async_commit: bool = False
 
     def __post_init__(self) -> None:
         if self.fsync not in FSYNC_POLICIES:
@@ -126,6 +140,7 @@ class DurabilityManager:
             fsync=config.fsync,
             max_segment_bytes=config.max_segment_bytes,
             start_lsn=start_lsn,
+            async_commit=config.async_commit,
         )
         self._checkpoints = CheckpointStore(
             config.directory, keep=config.keep_checkpoints
@@ -134,6 +149,12 @@ class DurabilityManager:
         self._specs: dict[str, dict] = {}
         self._shadow: dict[str, _ShadowCounters] = {}
         self._users_synced: dict[str, int] = {}
+        # Hot-path encoding caches, derived from the spec once per
+        # registration: the length-prefixed campaign-id header, and
+        # whether every slot the campaign can ever emit fits u16 (then
+        # log_batch takes the fast columnar encoder).
+        self._cid_prefix: dict[str, bytes] = {}
+        self._u16_slots: dict[str, bool] = {}
         self._claims_since_checkpoint = 0
         self.claims_logged = 0
         self.batches_logged = 0
@@ -216,7 +237,15 @@ class DurabilityManager:
             by_slot=np.zeros(int(spec["max_users"]), dtype=np.int64),
         )
         self._users_synced[campaign_id] = len(spec.get("user_ids") or [])
+        self._seed_encoding_cache(campaign_id, spec)
         return lsn
+
+    def _seed_encoding_cache(self, campaign_id: str, spec: dict) -> None:
+        self._cid_prefix[campaign_id] = rec.campaign_id_prefix(campaign_id)
+        self._u16_slots[campaign_id] = (
+            int(spec["max_users"]) <= 0x10000
+            and len(spec["object_ids"]) <= 0x10000
+        )
 
     def log_unregister(self, campaign_id: str) -> int:
         lsn = self._wal.append(
@@ -227,6 +256,8 @@ class DurabilityManager:
         self._specs.pop(campaign_id, None)
         self._shadow.pop(campaign_id, None)
         self._users_synced.pop(campaign_id, None)
+        self._cid_prefix.pop(campaign_id, None)
+        self._u16_slots.pop(campaign_id, None)
         return lsn
 
     def log_batch(self, state, batch) -> int:
@@ -260,13 +291,27 @@ class DurabilityManager:
                 ),
             )
             self._users_synced[campaign_id] = table_len
-        item = rec.WorkItem(
-            campaign_id=campaign_id,
-            user_slots=batch.users,
-            object_slots=batch.objects,
-            values=batch.values,
-        )
-        lsn = self._wal.append(rec.BATCH, item.to_bytes())
+        if self._u16_slots.get(campaign_id):
+            # Fast path: slots are bounded by the campaign's capacity
+            # and object universe (validated at ingress), so the u16
+            # encoding and the cached id prefix apply to every batch —
+            # no per-batch width detection, column re-validation, or
+            # payload serialisation (the value column is handed to the
+            # log as a buffer and written directly).
+            payload = rec.encode_batch_parts(
+                self._cid_prefix[campaign_id],
+                batch.users,
+                batch.objects,
+                batch.values,
+            )
+        else:
+            payload = rec.WorkItem(
+                campaign_id=campaign_id,
+                user_slots=batch.users,
+                object_slots=batch.objects,
+                values=batch.values,
+            ).to_bytes()
+        lsn = self._wal.append(rec.BATCH, payload)
         shadow = self._shadow.get(campaign_id)
         if shadow is not None:
             shadow.claims += batch.size
@@ -304,12 +349,32 @@ class DurabilityManager:
 
     # ------------------------------------------------------------------
     def sync(self) -> None:
-        """Force the log to disk (up to the fsync policy)."""
+        """Force the log to disk (up to the fsync policy); blocking."""
         self._wal.sync()
 
+    @property
+    def durable_lsn(self) -> int:
+        """The WAL's durable-ack watermark (see :class:`WriteAheadLog`)."""
+        return self._wal.durable_lsn
+
+    def wait_durable(self, lsn: int, *, timeout=None) -> bool:
+        """Block until records up to ``lsn`` are durable (durable-ack)."""
+        return self._wal.wait_durable(lsn, timeout=timeout)
+
     def after_pump(self) -> None:
-        """Group-commit point, called by the service after each pump."""
-        self._wal.sync()
+        """Group-commit point, called by the service after each pump.
+
+        Synchronous commit: one blocking flush+fsync (the ``batch``
+        policy's group commit).  Async commit: ``batch``/``never`` just
+        request a background group commit and return — commit latency
+        leaves the ingest thread entirely — while ``always`` waits on
+        the durable-ack watermark, so the pump acknowledges its batches
+        only once they are on disk (grouped syncs, not one per frame).
+        """
+        if self._config.async_commit and self._config.fsync != "always":
+            self._wal.request_sync()
+        else:
+            self._wal.sync()
         self.maybe_checkpoint()
 
     def maybe_checkpoint(self) -> Optional[Path]:
@@ -388,8 +453,23 @@ class DurabilityManager:
         )
         return path
 
+    def compact(self, *, checkpoint_first: bool = True):
+        """Rewrite the log down to live records; returns the report.
+
+        A fresh checkpoint is written first by default, so the rewrite
+        retires everything the service has already aggregated — the
+        claim-granular replacement for segment retention.  Appends are
+        blocked for the duration (the WAL quiesces its writer thread);
+        see :mod:`repro.durable.compaction` for the crash-safety
+        protocol.
+        """
+        if checkpoint_first and self._service is not None:
+            self.checkpoint()
+        return self._wal.compact()
+
     def close(self) -> None:
-        """Flush and close the log (the directory stays recoverable)."""
+        """Drain, flush, and close the log (the directory stays
+        recoverable)."""
         self._wal.close()
 
     def __enter__(self) -> "DurabilityManager":
@@ -410,3 +490,5 @@ class DurabilityManager:
         self._specs = dict(specs)
         self._shadow = dict(shadows)
         self._users_synced = dict(users_synced)
+        for campaign_id, spec in self._specs.items():
+            self._seed_encoding_cache(campaign_id, spec)

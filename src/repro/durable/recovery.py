@@ -18,7 +18,17 @@ sequence — bit-for-bit identical to a service that ingested exactly
 those batches.  Claims that were accepted but still buffered in a
 micro-batcher at crash time were never logged and are lost; their
 budget charges, which *were* logged at admission, stay spent (the
-privacy-safe direction).
+privacy-safe direction).  Under ``async_commit`` the same applies one
+level down: records staged for the background writer but never
+committed (beyond the durable-ack watermark) are a lost *suffix* —
+everything at or below the watermark replays.
+
+Compacted logs (see :mod:`repro.durable.compaction`) recover through
+the same protocol — an interrupted compaction swap is rolled forward
+or back by ``read_wal`` before replay — with one extra guard: a
+compacted log requires a checkpoint covering the records compaction
+dropped, and recovery refuses (rather than silently rebuilding wrong
+truths) when every such checkpoint is unreadable.
 """
 
 from __future__ import annotations
@@ -162,6 +172,27 @@ class RecoveryManager:
         checkpoint = CheckpointStore(self._dir).load_latest()
         after_lsn = checkpoint.lsn if checkpoint is not None else 0
         scan = read_wal(self._dir, after_lsn=after_lsn, repair=repair)
+        if scan.compaction_lsn > after_lsn:
+            # Compaction dropped records at or below its checkpoint LSN
+            # on the promise that a checkpoint covering them exists.
+            # Without one, replaying the compacted log would silently
+            # rebuild wrong truths (the dropped batches are gone).
+            raise RecoveryError(
+                f"log was compacted against a checkpoint at lsn "
+                f"{scan.compaction_lsn} but the newest readable "
+                f"checkpoint covers only lsn {after_lsn}; the records "
+                f"compaction dropped cannot be replayed"
+            )
+        if scan.retired_gap_end > after_lsn:
+            # Same promise, made by segment retention after a
+            # compaction: the pruned post-compaction segments were
+            # covered by a checkpoint when retain() dropped them.
+            raise RecoveryError(
+                f"segment retention pruned records up to lsn "
+                f"{scan.retired_gap_end} but the newest readable "
+                f"checkpoint covers only lsn {after_lsn}; the retired "
+                f"records cannot be replayed"
+            )
         if scan.first_lsn > after_lsn + 1:
             # The log's oldest surviving record sits beyond what the
             # checkpoint covers: records in between are gone (e.g. the

@@ -13,6 +13,9 @@ increasing across segments; checkpoints reference them to mark how much
 of the log they cover, and recovery replays only records with larger
 LSNs.
 
+Commit semantics
+----------------
+
 Durability policy (``fsync=``):
 
 * ``"never"`` — frames are flushed to the OS at sync points but never
@@ -22,18 +25,74 @@ Durability policy (``fsync=``):
 * ``"always"`` — every appended frame is flushed and fsynced before
   :meth:`WriteAheadLog.append` returns.
 
+With ``async_commit=True`` the write+fsync work leaves the appending
+thread entirely: :meth:`WriteAheadLog.append` stages ``(type, LSN,
+payload)`` in an in-memory buffer and returns; a dedicated background
+writer thread builds the frames and drains staged records in groups —
+one batched write plus (under ``batch``/``always``) one ``fdatasync``
+per group.  Groups form at sync points (:meth:`WriteAheadLog.sync` /
+:meth:`WriteAheadLog.request_sync` / :meth:`WriteAheadLog.wait_durable`)
+and whenever the staged bytes cross a high-water mark, which bounds
+staging memory and keeps the writer draining in the background between
+sync points.  Durability is tracked by a monotone watermark,
+:attr:`WriteAheadLog.durable_lsn`, and acknowledged through
+:meth:`WriteAheadLog.wait_durable`:
+
+* ``always`` + async — callers *ack after durable*: a sync point
+  commits everything staged since the last one in a handful of grouped
+  syncs and blocks until the watermark passes, instead of paying one
+  synchronous fdatasync per appended frame.  The per-record guarantee
+  becomes "durable before the caller's next sync point acknowledges
+  it" — the ingestion service acks at every pump;
+* ``batch`` + async — :meth:`WriteAheadLog.request_sync` (the service's
+  pump hook) is non-blocking: it schedules a group commit and returns,
+  so group-commit latency disappears from the ingest thread;
+* ``never`` + async — groups are written and flushed without fsync.
+
+Writer-thread IO failures are sticky: they surface as
+:class:`WalError` on the next ``append``/``sync``/``wait_durable``/
+``close`` call.  ``close()`` drains every staged frame before
+returning.  Every mode records per-group commit latencies
+(:attr:`WriteAheadLog.commit_latencies`, plus ``groups_committed`` /
+``commit_seconds`` accumulators) for observability.
+
+Compaction
+----------
+
+:func:`repro.durable.compaction.compact_directory` (or
+:meth:`WriteAheadLog.compact` on a live writer) rewrites the log's
+*live* records into fresh segments under a ``compacted/``
+subdirectory, committed by an atomic temp-dir + rename +
+directory-fsync swap with a ``MANIFEST.json`` commit point.  The
+manifest records the checkpoint LSN the rewrite assumed
+(``checkpoint_lsn``): records at or below it may legitimately be
+missing from a compacted log (their state lives in the checkpoint), so
+:func:`read_wal` enforces LSN contiguity only above that floor and
+:class:`~repro.durable.recovery.RecoveryManager` refuses to replay a
+compacted log without a checkpoint covering it.
+:func:`repair_compaction` rolls a crash-interrupted swap forward (the
+temp generation's manifest is complete) or back (it is not) and is run
+automatically by :func:`read_wal` and the :class:`WriteAheadLog`
+constructor.
+
 Reading tolerates a torn tail — a partial frame or CRC mismatch at the
-end of the *last* segment, the signature of a crash mid-write — by
-truncating it (``repair=True``).  The same damage in an earlier segment
-is real corruption and raises :class:`WalCorruptionError`.
+end of the *last* top-level segment, the signature of a crash mid-write
+— by truncating it (``repair=True``).  The same damage in an earlier
+segment or in a compacted segment (those are fully fsynced before the
+swap commits) is real corruption and raises
+:class:`WalCorruptionError`.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import shutil
 import struct
 import threading
+import time
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Union
@@ -47,6 +106,15 @@ SEGMENT_MAGIC = b"RPWAL001"
 SEGMENT_PREFIX = "wal-"
 SEGMENT_SUFFIX = ".seg"
 
+#: Subdirectory holding the committed compacted generation.
+COMPACT_DIRNAME = "compacted"
+#: Staging directory a compaction writes into before the atomic swap.
+COMPACT_TMP_DIRNAME = "compact.tmp"
+#: Where the previous generation is parked during the swap.
+COMPACT_OLD_DIRNAME = "compact.old"
+#: The compacted generation's commit point (see repair_compaction).
+COMPACT_MANIFEST = "MANIFEST.json"
+
 #: Accepted values for the writer's ``fsync`` policy.
 FSYNC_POLICIES = ("never", "batch", "always")
 
@@ -58,6 +126,14 @@ _BODY_HEADER = struct.Struct("<BQ")  # record type, LSN
 MAX_BODY_BYTES = 1 << 30
 
 _fdatasync = getattr(os, "fdatasync", os.fsync)
+
+
+def _buffer_len(part) -> int:
+    """Byte length of a payload part (len() of a typed memoryview is
+    its element count, not its size)."""
+    if isinstance(part, memoryview):
+        return part.nbytes
+    return len(part)
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -93,7 +169,7 @@ def segment_path(directory: Path, first_lsn: int) -> Path:
 
 
 def list_segments(directory: Union[str, Path]) -> list[Path]:
-    """Segment files in LSN order (empty when the directory is fresh)."""
+    """Top-level segment files in LSN order (compacted ones excluded)."""
     directory = Path(directory)
     if not directory.is_dir():
         return []
@@ -115,6 +191,138 @@ def _segment_first_lsn(path: Path) -> int:
         ) from exc
 
 
+# ---------------------------------------------------------------------------
+# Compaction manifests and crash repair.  The rewrite itself lives in
+# repro.durable.compaction (it needs record semantics); the on-disk swap
+# protocol and its repair live here because every reader and writer must
+# agree on them before touching a directory.
+
+
+def _read_manifest_file(path: Path) -> Optional[dict]:
+    """Parsed, structurally valid manifest at ``path``; None otherwise."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(manifest, dict):
+        return None
+    try:
+        manifest["checkpoint_lsn"] = int(manifest["checkpoint_lsn"])
+        manifest["last_lsn"] = int(manifest["last_lsn"])
+        manifest["segments"] = [str(s) for s in manifest["segments"]]
+        manifest["retired"] = [str(s) for s in manifest["retired"]]
+    except (KeyError, TypeError, ValueError):
+        return None
+    return manifest
+
+
+def load_compaction_manifest(
+    directory: Union[str, Path]
+) -> Optional[dict]:
+    """The committed compacted generation's manifest (None when absent).
+
+    A ``compacted/`` directory without a readable manifest is
+    corruption: the manifest is written and fsynced before the swap
+    commits, so it cannot be legitimately missing.
+    """
+    comp = Path(directory) / COMPACT_DIRNAME
+    if not comp.is_dir():
+        return None
+    manifest = _read_manifest_file(comp / COMPACT_MANIFEST)
+    if manifest is None:
+        raise WalCorruptionError(
+            f"compacted generation {comp} has a missing or malformed "
+            f"{COMPACT_MANIFEST}"
+        )
+    return manifest
+
+
+def _cleanup_after_commit(directory: Path, manifest: dict) -> None:
+    """Finish a committed swap: drop retired segments and the old gen."""
+    removed = False
+    for name in manifest["retired"]:
+        stale = directory / name
+        if stale.exists():
+            stale.unlink()
+            removed = True
+    old = directory / COMPACT_OLD_DIRNAME
+    if old.is_dir():
+        shutil.rmtree(old)
+        removed = True
+    if removed:
+        _fsync_dir(directory)
+
+
+def _commit_compaction(directory: Path, *, crash=None) -> None:
+    """Swap a fully written temp generation into place and clean up.
+
+    Re-entrant from any crash point: :func:`repair_compaction` resumes
+    here whenever a complete temp generation exists.  ``crash`` is a
+    test-only fault hook called with the name of each crash point.
+    """
+    tmp = directory / COMPACT_TMP_DIRNAME
+    cur = directory / COMPACT_DIRNAME
+    old = directory / COMPACT_OLD_DIRNAME
+    if cur.is_dir():
+        if old.is_dir():
+            # Garbage from an even earlier interrupted swap; the
+            # current generation superseded it (rule: cur + old
+            # coexisting means the swap that created cur completed).
+            shutil.rmtree(old)
+        os.rename(cur, old)
+        _fsync_dir(directory)
+    if crash is not None:
+        crash("after-old-rename")
+    os.rename(tmp, cur)
+    if crash is not None:
+        crash("after-rename")
+    _fsync_dir(directory)
+    manifest = load_compaction_manifest(directory)
+    _cleanup_after_commit(directory, manifest)
+
+
+def repair_compaction(directory: Union[str, Path]) -> None:
+    """Roll an interrupted compaction forward or back (idempotent).
+
+    The commit point is the temp generation's manifest: segments are
+    written and fsynced *before* the manifest, so a complete manifest
+    means the new generation is durable and the swap is resumed (roll
+    forward); an absent or torn manifest means the attempt never
+    committed and is discarded (roll back, restoring the previous
+    generation if the crash landed mid-rename).  Safe to call on any
+    directory, compacted or not.
+    """
+    directory = Path(directory)
+    tmp = directory / COMPACT_TMP_DIRNAME
+    cur = directory / COMPACT_DIRNAME
+    old = directory / COMPACT_OLD_DIRNAME
+    if tmp.is_dir():
+        if _read_manifest_file(tmp / COMPACT_MANIFEST) is not None:
+            _LOGGER.warning(
+                "resuming interrupted compaction swap in %s", directory
+            )
+            _commit_compaction(directory)
+            return
+        _LOGGER.warning(
+            "discarding uncommitted compaction attempt in %s", directory
+        )
+        shutil.rmtree(tmp)
+    if cur.is_dir():
+        # The committed generation is authoritative; finish any
+        # interrupted cleanup behind it.
+        _cleanup_after_commit(directory, load_compaction_manifest(directory))
+    elif old.is_dir():
+        # Crash after the old generation was moved aside but before a
+        # complete replacement existed: the old generation is still the
+        # truth.
+        _LOGGER.warning(
+            "rolling back interrupted compaction swap in %s", directory
+        )
+        os.rename(old, cur)
+        _fsync_dir(directory)
+
+
 class WriteAheadLog:
     """Appender for a WAL directory.
 
@@ -132,6 +340,14 @@ class WriteAheadLog:
     start_lsn:
         First LSN this writer assigns (``last recovered LSN + 1`` when
         resuming).
+    async_commit:
+        Move write+fsync work onto a background writer thread (see the
+        module docstring).  ``append()`` then stages frames and
+        returns; durability is acknowledged via :attr:`durable_lsn` /
+        :meth:`wait_durable`, and ``close()`` drains.
+    commit_latency_window:
+        Per-group commit-latency samples retained in
+        :attr:`commit_latencies` (a bounded deque).
     """
 
     def __init__(
@@ -141,6 +357,8 @@ class WriteAheadLog:
         fsync: str = "batch",
         max_segment_bytes: int = 64 * 1024 * 1024,
         start_lsn: int = 1,
+        async_commit: bool = False,
+        commit_latency_window: int = 4096,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
@@ -154,20 +372,25 @@ class WriteAheadLog:
             raise ValueError(f"start_lsn must be >= 1, got {start_lsn}")
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
+        repair_compaction(self._dir)
+        floor = 0
+        manifest = load_compaction_manifest(self._dir)
+        if manifest is not None:
+            floor = manifest["last_lsn"]
         existing = list_segments(self._dir)
         if existing:
             last = existing[-1]
-            floor = _segment_first_lsn(last) - 1
+            floor = max(floor, _segment_first_lsn(last) - 1)
             data = last.read_bytes()
             if data.startswith(SEGMENT_MAGIC):
                 for _offset, _body_start, body in _iter_frames(data):
                     _rtype, lsn = _BODY_HEADER.unpack_from(body, 0)
-                    floor = lsn
-            if start_lsn <= floor:
-                raise WalError(
-                    f"start_lsn {start_lsn} collides with existing records "
-                    f"up to lsn {floor} in {last.name}; recover first"
-                )
+                    floor = max(floor, lsn)
+        if start_lsn <= floor:
+            raise WalError(
+                f"start_lsn {start_lsn} collides with existing records "
+                f"up to lsn {floor} in {self._dir}; recover first"
+            )
         self._fsync = fsync
         self._max_segment_bytes = max_segment_bytes
         self._next_lsn = start_lsn
@@ -176,11 +399,48 @@ class WriteAheadLog:
         self._dirty = False
         # Appends arrive from producer threads (budget charges) as well
         # as the pump thread (batches); one lock keeps LSNs monotonic
-        # and frames contiguous.
+        # and frames contiguous.  In async mode it doubles as the
+        # producer barrier compact() takes to quiesce appends.
         self._io_lock = threading.Lock()
         self.bytes_written = 0
         self.records_written = 0
         self.syncs = 0
+        #: Wall seconds of each group commit (write + flush + fsync),
+        #: newest last; bounded so long-running services stay O(1).
+        self.commit_latencies: deque[float] = deque(
+            maxlen=commit_latency_window
+        )
+        self.groups_committed = 0
+        self.commit_seconds = 0.0
+        self._durable_lsn = start_lsn - 1
+        self._closed = False
+        self._async = bool(async_commit)
+        self._writer_error: Optional[BaseException] = None
+        if self._async:
+            self._commit_cv = threading.Condition()
+            # Double-buffered staging: producers fill one record list
+            # while the writer drains the other; the two lists swap at
+            # each group boundary so neither side ever copies.  Frame
+            # construction (headers, CRC, concatenation) happens on the
+            # writer thread — the appending thread only stages.
+            self._staging: list[tuple[int, int, bytes]] = []
+            self._staged_bytes = 0
+            self._staged_last_lsn = self._durable_lsn
+            # Cross this and the writer drains without waiting for a
+            # sync point: bounds staging memory and keeps background
+            # commits flowing between pumps (so the blocking drain at a
+            # sync point only covers the most recent suffix).
+            self._stage_high_water = max(
+                min(self._max_segment_bytes, 1024 * 1024), 1
+            )
+            self._commit_requested = False
+            self._stop = False
+            self._writer = threading.Thread(
+                target=self._writer_loop,
+                name=f"wal-writer-{self._dir.name}",
+                daemon=True,
+            )
+            self._writer.start()
 
     # ------------------------------------------------------------------
     @property
@@ -192,6 +452,11 @@ class WriteAheadLog:
         return self._fsync
 
     @property
+    def async_commit(self) -> bool:
+        """Whether a background writer thread owns write+fsync work."""
+        return self._async
+
+    @property
     def next_lsn(self) -> int:
         return self._next_lsn
 
@@ -200,36 +465,56 @@ class WriteAheadLog:
         """Highest LSN assigned so far (``start_lsn - 1`` when none)."""
         return self._next_lsn - 1
 
+    @property
+    def durable_lsn(self) -> int:
+        """Monotone watermark: records at or below it are committed.
+
+        "Committed" is relative to the fsync policy — fdatasynced under
+        ``batch``/``always``, flushed to the OS under ``never``.  With
+        ``async_commit`` the watermark trails :attr:`last_lsn` by the
+        staged-but-unwritten suffix; :meth:`wait_durable` closes the
+        gap.
+        """
+        return self._durable_lsn
+
     # ------------------------------------------------------------------
-    def append(self, rtype: int, payload: bytes) -> int:
+    def append(self, rtype: int, payload) -> int:
         """Write one record; returns its LSN.
 
-        Under ``fsync="always"`` the record is durable on return; under
-        the other policies it becomes durable at the next :meth:`sync`.
+        ``payload`` is the record body: ``bytes``, or a tuple/list of
+        buffer-likes (bytes / memoryviews) written back to back — the
+        zero-copy path the hot batch encoder uses; buffers must not be
+        mutated until the record is durable.
+
+        Synchronous mode: under ``fsync="always"`` the record is
+        durable on return; under the other policies it becomes durable
+        at the next :meth:`sync`.  Async mode: the record is staged for
+        the background writer and its durability is acknowledged by
+        :attr:`durable_lsn` / :meth:`wait_durable`; a previously failed
+        writer raises here.
         """
         if rtype not in RECORD_TYPES:
             raise ValueError(f"unknown record type {rtype}")
-        if len(payload) + _BODY_HEADER.size > MAX_BODY_BYTES:
+        parts = (
+            (payload,)
+            if isinstance(payload, (bytes, bytearray, memoryview))
+            else tuple(payload)
+        )
+        payload_len = sum(_buffer_len(part) for part in parts)
+        if payload_len + _BODY_HEADER.size > MAX_BODY_BYTES:
             raise WalError(
-                f"record body of {len(payload)} bytes is too large"
+                f"record body of {payload_len} bytes is too large"
             )
+        if self._async:
+            return self._append_async(rtype, parts, payload_len)
         with self._io_lock:
-            body = _BODY_HEADER.pack(rtype, self._next_lsn) + payload
-            frame = (
-                _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+            if self._closed:
+                raise WalError("log is closed")
+            frame_len = self._write_frame(
+                rtype, self._next_lsn, parts, payload_len
             )
-            if (
-                self._fh is not None
-                and self._segment_bytes + len(frame)
-                > self._max_segment_bytes
-                and self._segment_bytes > len(SEGMENT_MAGIC)
-            ):
-                self._seal()
-            if self._fh is None:
-                self._open_segment()
-            self._fh.write(frame)
-            self._segment_bytes += len(frame)
-            self.bytes_written += len(frame)
+            self._segment_bytes += frame_len
+            self.bytes_written += frame_len
             self.records_written += 1
             self._dirty = True
             lsn = self._next_lsn
@@ -238,13 +523,132 @@ class WriteAheadLog:
                 self._flush(force_fsync=True)
         return lsn
 
-    def sync(self) -> None:
-        """Group-commit point: flush (and fsync unless ``never``)."""
+    def _write_frame(
+        self, rtype: int, lsn: int, parts: tuple, payload_len: int
+    ) -> int:
+        """Frame one record into the current segment; returns its size.
+
+        The CRC is computed incrementally and the headers are written
+        separately from the payload buffers, so a large batch record is
+        never copied into a concatenated frame — every payload byte
+        crosses to the file buffer exactly once.  Rotation happens here
+        when the frame would overflow the segment.
+        """
+        body_len = _BODY_HEADER.size + payload_len
+        frame_len = _FRAME_HEADER.size + body_len
+        if (
+            self._fh is not None
+            and self._segment_bytes + frame_len > self._max_segment_bytes
+            and self._segment_bytes > len(SEGMENT_MAGIC)
+        ):
+            self._seal()
+        if self._fh is None:
+            self._open_segment(lsn)
+        body_header = _BODY_HEADER.pack(rtype, lsn)
+        crc = zlib.crc32(body_header)
+        for part in parts:
+            crc = zlib.crc32(part, crc)
+        self._fh.write(_FRAME_HEADER.pack(body_len, crc) + body_header)
+        for part in parts:
+            self._fh.write(part)
+        return frame_len
+
+    def _append_async(
+        self, rtype: int, parts: tuple, payload_len: int
+    ) -> int:
         with self._io_lock:
-            if not self._dirty:
+            with self._commit_cv:
+                self._raise_writer_error()
+                if self._closed:
+                    raise WalError("log is closed")
+                lsn = self._next_lsn
+                self._next_lsn += 1
+                self.records_written += 1
+                self._staging.append((rtype, lsn, parts, payload_len))
+                self._staged_bytes += (
+                    payload_len + _BODY_HEADER.size + _FRAME_HEADER.size
+                )
+                self._staged_last_lsn = lsn
+                if self._staged_bytes >= self._stage_high_water:
+                    # Bound staging memory even if no sync point comes;
+                    # groups otherwise form at sync points, which is
+                    # what makes the ``always`` durable-ack *grouped*
+                    # (one fdatasync per sync interval, not per frame).
+                    self._commit_requested = True
+                    self._commit_cv.notify_all()
+        return lsn
+
+    def sync(self) -> None:
+        """Blocking group-commit point.
+
+        On return, every record appended so far is committed to the
+        fsync policy's level (fdatasynced unless ``never``).  In async
+        mode this waits for the background writer to drain and commit
+        the staged suffix, surfacing any writer failure.
+        """
+        if not self._async:
+            with self._io_lock:
+                if not self._dirty:
+                    return
+                self._flush(force_fsync=self._fsync != "never")
+                self.syncs += 1
+            return
+        with self._commit_cv:
+            self._raise_writer_error()
+            target = self._next_lsn - 1
+            if self._durable_lsn >= target and not self._staging:
                 return
-            self._flush(force_fsync=self._fsync != "never")
-            self.syncs += 1
+        self.wait_durable(target)
+        self.syncs += 1
+
+    def request_sync(self) -> None:
+        """Non-blocking commit request (async mode).
+
+        Schedules a group commit of everything staged and returns
+        immediately; in synchronous mode this is just :meth:`sync`.
+        A previous writer failure raises here.
+        """
+        if not self._async:
+            self.sync()
+            return
+        with self._commit_cv:
+            self._raise_writer_error()
+            if self._staging:
+                self._commit_requested = True
+                self._commit_cv.notify_all()
+
+    def wait_durable(
+        self, lsn: int, *, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until records up to ``lsn`` are committed (durable-ack).
+
+        Returns True once :attr:`durable_lsn` >= ``lsn``; False when
+        ``timeout`` (seconds) elapses first.  The wait arms a commit
+        request, so callers never deadlock waiting for a group the
+        writer was not asked to commit; a failed writer raises
+        :class:`WalError` instead of blocking forever.  In synchronous
+        mode a lagging watermark forces a :meth:`sync`.
+        """
+        if not self._async:
+            if self._durable_lsn < lsn:
+                self.sync()
+            return self._durable_lsn >= lsn
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._commit_cv:
+            while self._durable_lsn < lsn:
+                self._raise_writer_error()
+                if self._closed:
+                    raise WalError("log is closed")
+                self._commit_requested = True
+                self._commit_cv.notify_all()
+                if deadline is None:
+                    self._commit_cv.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._commit_cv.wait(remaining)
+            return True
 
     def retain(self, lsn: int) -> list[Path]:
         """Delete sealed segments fully covered by a checkpoint at ``lsn``.
@@ -252,7 +656,8 @@ class WriteAheadLog:
         A segment is removable when the *next* segment starts at or
         below ``lsn + 1`` — every record it holds then has an LSN
         ``<= lsn``.  The active segment is never removed.  Returns the
-        deleted paths.
+        deleted paths.  (Claim-granular retirement *within* segments is
+        compaction's job; see :meth:`compact`.)
         """
         segments = list_segments(self._dir)
         removed: list[Path] = []
@@ -268,8 +673,60 @@ class WriteAheadLog:
             )
         return removed
 
-    def close(self) -> None:
+    def compact(self, *, checkpoint_lsn: Optional[int] = None):
+        """Rewrite the log to its live records; returns the report.
+
+        Safe on a live writer: appends are blocked for the duration,
+        the async writer (if any) is drained to durability first, the
+        current segment is sealed, and the next append starts a fresh
+        segment above the compacted generation.  See
+        :func:`repro.durable.compaction.compact_directory` for the
+        rewrite itself and the crash-safety protocol.
+        """
+        from repro.durable.compaction import compact_directory
+
         with self._io_lock:
+            if self._async:
+                with self._commit_cv:
+                    self._raise_writer_error()
+                    target = self._next_lsn - 1
+                self.wait_durable(target)
+            if self._fh is not None:
+                self._flush(force_fsync=self._fsync != "never")
+                self._fh.close()
+                self._fh = None
+                self._segment_bytes = 0
+            return compact_directory(
+                self._dir,
+                checkpoint_lsn=checkpoint_lsn,
+                max_segment_bytes=self._max_segment_bytes,
+            )
+
+    def close(self) -> None:
+        """Drain, flush, and close the log (the directory stays
+        recoverable).  In async mode every staged frame is committed
+        before the file handle closes; a writer failure raises after
+        the handle is released."""
+        if self._async:
+            # Mark closed while holding the producer lock: an append
+            # racing close() either completes its staging before the
+            # writer is told to stop (and is drained) or observes
+            # _closed and raises — it can never return an LSN the
+            # dying writer will silently drop.
+            with self._io_lock:
+                with self._commit_cv:
+                    self._closed = True
+                    self._stop = True
+                    self._commit_cv.notify_all()
+            self._writer.join()
+            with self._io_lock:
+                if self._fh is not None:
+                    self._fh.close()
+                    self._fh = None
+            self._raise_writer_error()
+            return
+        with self._io_lock:
+            self._closed = True
             if self._fh is not None:
                 self._flush(force_fsync=self._fsync != "never")
                 self._fh.close()
@@ -282,8 +739,69 @@ class WriteAheadLog:
         self.close()
 
     # ------------------------------------------------------------------
-    def _open_segment(self) -> None:
-        path = segment_path(self._dir, self._next_lsn)
+    def _raise_writer_error(self) -> None:
+        if self._writer_error is not None:
+            raise WalError(
+                "background WAL writer failed; staged records may not be "
+                "durable"
+            ) from self._writer_error
+
+    def _writer_loop(self) -> None:
+        """Background committer: drain staged groups until stopped."""
+        spare: list[tuple] = []
+        try:
+            while True:
+                with self._commit_cv:
+                    while not self._stop and not self._drain_ready():
+                        self._commit_cv.wait()
+                    staged = self._staging
+                    group_last = self._staged_last_lsn
+                    if staged:
+                        self._staging = spare
+                        self._staged_bytes = 0
+                    self._commit_requested = False
+                    if not staged and self._stop:
+                        break
+                start = time.perf_counter()
+                self._write_group(staged)
+                elapsed = time.perf_counter() - start
+                staged.clear()
+                spare = staged
+                with self._commit_cv:
+                    self._durable_lsn = group_last
+                    self.groups_committed += 1
+                    self.commit_seconds += elapsed
+                    self.commit_latencies.append(elapsed)
+                    self._commit_cv.notify_all()
+        except Exception as exc:
+            # Sticky: surfaces on the next append/sync/wait/close.
+            with self._commit_cv:
+                self._writer_error = exc
+                self._commit_cv.notify_all()
+
+    def _drain_ready(self) -> bool:
+        if not self._staging:
+            return False
+        return (
+            self._commit_requested
+            or self._staged_bytes >= self._stage_high_water
+        )
+
+    def _write_group(self, staged: list[tuple]) -> None:
+        """One group commit: frame and write every staged record, then
+        one flush (plus one fdatasync unless ``never``) for the whole
+        group — all off the appending thread."""
+        for rtype, lsn, parts, payload_len in staged:
+            frame_len = self._write_frame(rtype, lsn, parts, payload_len)
+            self._segment_bytes += frame_len
+            self.bytes_written += frame_len
+        self._fh.flush()
+        if self._fsync != "never":
+            _fdatasync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    def _open_segment(self, first_lsn: int) -> None:
+        path = segment_path(self._dir, first_lsn)
         if path.exists():
             # A frame-less leftover (crash between rotation and the
             # first frame surviving) carries no records and may be
@@ -309,12 +827,21 @@ class WriteAheadLog:
     def _flush(self, *, force_fsync: bool) -> None:
         if self._fh is None:
             return
+        was_dirty = self._dirty
+        start = time.perf_counter() if was_dirty else 0.0
         self._fh.flush()
         if force_fsync:
             # fdatasync skips the metadata flush (mtime etc.) where the
             # platform offers it; the file length change that matters
             # for replay is part of the data journal either way.
             _fdatasync(self._fh.fileno())
+        if was_dirty:
+            elapsed = time.perf_counter() - start
+            self.groups_committed += 1
+            self.commit_seconds += elapsed
+            self.commit_latencies.append(elapsed)
+            if not self._async:
+                self._durable_lsn = self._next_lsn - 1
         self._dirty = False
 
 
@@ -328,6 +855,17 @@ class WalScan:
 
     records: list[WalRecord] = field(default_factory=list)
     segments: int = 0
+    compacted_segments: int = 0
+    #: Checkpoint LSN a compaction assumed (0 when never compacted).
+    #: Records at or below it may legitimately be missing; recovery
+    #: must hold a checkpoint covering at least this LSN.
+    compaction_lsn: int = 0
+    #: End of a checkpoint-retention gap between the compacted
+    #: generation and the surviving top-level segments (0 when none):
+    #: ``retain()`` prunes whole post-compaction segments once a
+    #: checkpoint covers them, so records up to this LSN are missing
+    #: and recovery must hold a checkpoint covering at least it.
+    retired_gap_end: int = 0
     truncated_bytes: int = 0
     truncated_segment: Optional[str] = None
     first_lsn: int = 0
@@ -362,6 +900,109 @@ def _iter_frames(data: bytes) -> Iterator[tuple[int, int, bytes]]:
         offset = body_start + length
 
 
+def _scan_segment(
+    path: Path,
+    scan: WalScan,
+    after_lsn: int,
+    floor: int,
+    expected_lsn: Optional[int],
+    *,
+    tolerate_tail: bool,
+    repair: bool,
+    first_gap_ok: bool = False,
+) -> Optional[int]:
+    """Read one segment into ``scan``; returns the updated expected LSN.
+
+    ``floor`` is the compaction checkpoint LSN: gaps whose skipped
+    records all sit at or below it are legitimate (compaction dropped
+    them); any other gap means lost records.  ``first_gap_ok`` marks
+    the first top-level segment after a compacted generation: segment
+    retention may have pruned checkpoint-covered segments between the
+    two, so a gap before this segment's first frame is recorded
+    (``scan.retired_gap_end``) rather than treated as corruption —
+    recovery verifies a checkpoint covers it.  ``tolerate_tail`` marks
+    the final top-level segment, the only place a torn tail is a crash
+    signature rather than corruption.
+    """
+    data = path.read_bytes()
+    if len(data) < len(SEGMENT_MAGIC) or not data.startswith(SEGMENT_MAGIC):
+        if tolerate_tail and len(data) < len(SEGMENT_MAGIC):
+            # Crash between segment creation and the magic landing.
+            scan.truncated_bytes += len(data)
+            scan.truncated_segment = path.name
+            if repair:
+                path.unlink()
+            return expected_lsn
+        raise WalCorruptionError(f"segment {path.name} has a bad header")
+    consumed = len(SEGMENT_MAGIC)
+    frames = 0
+    for offset, body_start, body in _iter_frames(data):
+        rtype, lsn = _BODY_HEADER.unpack_from(body, 0)
+        if expected_lsn is not None:
+            if lsn <= expected_lsn:
+                raise WalCorruptionError(
+                    f"LSN order violation in {path.name}: got {lsn} "
+                    f"after {expected_lsn}"
+                )
+            if lsn != expected_lsn + 1 and lsn > floor + 1:
+                if frames == 0 and first_gap_ok:
+                    # Checkpoint retention pruned the segments between
+                    # the compacted generation and this one; the gap is
+                    # fine iff a checkpoint covers it, which recovery
+                    # checks against retired_gap_end.
+                    scan.retired_gap_end = lsn - 1
+                else:
+                    # Contiguity, not just monotonicity: a gap above
+                    # the compaction floor means records were lost (a
+                    # deleted or skipped segment) and replaying past it
+                    # would silently produce wrong state.
+                    raise WalCorruptionError(
+                        f"LSN gap in {path.name}: got {lsn} after "
+                        f"{expected_lsn}"
+                    )
+        expected_lsn = lsn
+        if scan.first_lsn == 0:
+            scan.first_lsn = lsn
+        scan.last_lsn = max(scan.last_lsn, lsn)
+        consumed = body_start + len(body)
+        frames += 1
+        if lsn > after_lsn:
+            scan.records.append(
+                WalRecord(
+                    lsn=lsn,
+                    rtype=rtype,
+                    payload=body[_BODY_HEADER.size:],
+                )
+            )
+    if consumed < len(data):
+        if not tolerate_tail:
+            raise WalCorruptionError(
+                f"corrupt frame mid-log in {path.name} "
+                f"(offset {consumed})"
+            )
+        scan.truncated_bytes = len(data) - consumed
+        scan.truncated_segment = path.name
+    if tolerate_tail and repair:
+        if frames == 0:
+            # No intact frame survived: the whole segment is noise
+            # (crash right after rotation).  Remove it so a resumed
+            # writer can reuse the LSN range it claims in its name.
+            path.unlink()
+            if scan.truncated_bytes:
+                _LOGGER.warning(
+                    "removed frame-less torn segment %s", path.name
+                )
+        elif scan.truncated_bytes:
+            with open(path, "rb+") as fh:
+                fh.truncate(consumed)
+            _LOGGER.warning(
+                "truncated torn tail of %s: %d byte(s) dropped",
+                path.name,
+                scan.truncated_bytes,
+            )
+    return expected_lsn
+
+
 def read_wal(
     directory: Union[str, Path],
     *,
@@ -370,78 +1011,72 @@ def read_wal(
 ) -> WalScan:
     """Read every intact record with LSN ``> after_lsn``, in order.
 
-    A torn tail on the final segment is truncated in place when
-    ``repair`` is true (so a subsequent writer restart cannot be
-    confused by it) and reported in the returned :class:`WalScan`.
-    Damage anywhere else raises :class:`WalCorruptionError`.
+    Compacted directories read the committed ``compacted/`` generation
+    first, then the top-level tail; an interrupted compaction swap is
+    repaired up front (rolled forward or back) when ``repair`` is
+    true, and read through its still-committed previous generation
+    when it is not.  A torn tail on the final top-level segment is
+    truncated in place when ``repair`` is true (so a subsequent writer
+    restart cannot be confused by it) and reported in the returned
+    :class:`WalScan`.  Damage anywhere else — including inside the
+    fully-fsynced compacted generation — raises
+    :class:`WalCorruptionError`.
     """
-    segments = list_segments(directory)
-    scan = WalScan(segments=len(segments))
-    expected_lsn: Optional[int] = None
-    for index, path in enumerate(segments):
-        is_last = index == len(segments) - 1
-        data = path.read_bytes()
-        if len(data) < len(SEGMENT_MAGIC) or not data.startswith(
-            SEGMENT_MAGIC
-        ):
-            if is_last and len(data) < len(SEGMENT_MAGIC):
-                # Crash between segment creation and the magic landing.
-                scan.truncated_bytes += len(data)
-                scan.truncated_segment = path.name
-                if repair:
-                    path.unlink()
-                break
-            raise WalCorruptionError(f"segment {path.name} has a bad header")
-        consumed = len(SEGMENT_MAGIC)
-        frames = 0
-        for offset, body_start, body in _iter_frames(data):
-            rtype, lsn = _BODY_HEADER.unpack_from(body, 0)
-            if expected_lsn is not None and lsn != expected_lsn + 1:
-                # Contiguity, not just monotonicity: a gap means
-                # records were lost (a deleted or skipped segment) and
-                # replaying past it would silently produce wrong state.
+    directory = Path(directory)
+    if repair and directory.is_dir():
+        repair_compaction(directory)
+    comp_dir = directory / COMPACT_DIRNAME
+    if not comp_dir.is_dir() and not repair:
+        old = directory / COMPACT_OLD_DIRNAME
+        if old.is_dir():
+            # Read-only view of a mid-swap crash: the previous
+            # generation is still the committed one.
+            comp_dir = old
+    manifest = None
+    comp_segments: list[Path] = []
+    if comp_dir.is_dir():
+        manifest = _read_manifest_file(comp_dir / COMPACT_MANIFEST)
+        if manifest is None:
+            raise WalCorruptionError(
+                f"compacted generation {comp_dir} has a missing or "
+                f"malformed {COMPACT_MANIFEST}"
+            )
+        for name in manifest["segments"]:
+            seg = comp_dir / name
+            if not seg.is_file():
                 raise WalCorruptionError(
-                    f"LSN gap in {path.name}: got {lsn} after "
-                    f"{expected_lsn}"
+                    f"compacted segment {name} is missing from {comp_dir}"
                 )
-            expected_lsn = lsn
-            if scan.first_lsn == 0:
-                scan.first_lsn = lsn
-            scan.last_lsn = lsn
-            consumed = body_start + len(body)
-            frames += 1
-            if lsn > after_lsn:
-                scan.records.append(
-                    WalRecord(
-                        lsn=lsn,
-                        rtype=rtype,
-                        payload=body[_BODY_HEADER.size:],
-                    )
-                )
-        if consumed < len(data):
-            if not is_last:
-                raise WalCorruptionError(
-                    f"corrupt frame mid-log in {path.name} "
-                    f"(offset {consumed})"
-                )
-            scan.truncated_bytes = len(data) - consumed
-            scan.truncated_segment = path.name
-        if is_last and repair:
-            if frames == 0:
-                # No intact frame survived: the whole segment is noise
-                # (crash right after rotation).  Remove it so a resumed
-                # writer can reuse the LSN range it claims in its name.
-                path.unlink()
-                if scan.truncated_bytes:
-                    _LOGGER.warning(
-                        "removed frame-less torn segment %s", path.name
-                    )
-            elif scan.truncated_bytes:
-                with open(path, "rb+") as fh:
-                    fh.truncate(consumed)
-                _LOGGER.warning(
-                    "truncated torn tail of %s: %d byte(s) dropped",
-                    path.name,
-                    scan.truncated_bytes,
-                )
+            comp_segments.append(seg)
+    retired = set(manifest["retired"]) if manifest is not None else set()
+    floor = manifest["checkpoint_lsn"] if manifest is not None else 0
+    top_segments = [
+        p for p in list_segments(directory) if p.name not in retired
+    ]
+    scan = WalScan(
+        segments=len(top_segments),
+        compacted_segments=len(comp_segments),
+        compaction_lsn=floor,
+    )
+    expected: Optional[int] = None
+    for seg in comp_segments:
+        expected = _scan_segment(
+            seg, scan, after_lsn, floor, expected,
+            tolerate_tail=False, repair=False,
+        )
+    for index, seg in enumerate(top_segments):
+        is_last = index == len(top_segments) - 1
+        expected = _scan_segment(
+            seg, scan, after_lsn, floor, expected,
+            tolerate_tail=is_last, repair=repair and is_last,
+            # Only the compacted-to-top-level boundary may carry a
+            # retention gap; top-level segments retire strictly from
+            # the head, so later boundaries stay contiguous.
+            first_gap_ok=index == 0 and manifest is not None,
+        )
+    if manifest is not None:
+        # Trailing records at or below the floor may have been dropped
+        # by compaction; the manifest still remembers the true end of
+        # the log so a resumed writer never reuses their LSNs.
+        scan.last_lsn = max(scan.last_lsn, manifest["last_lsn"])
     return scan

@@ -109,6 +109,18 @@ class ServiceStats:
     #: just in the benchmark.
     snapshot_reads: int = 0
     snapshot_read_seconds: float = 0.0
+    #: WAL observability (zero while running volatile), sampled from
+    #: the attached durability manager at every pump/flush/snapshot:
+    #: records appended, group commits completed, accumulated commit
+    #: seconds (write+flush+fsync wall time — on the ingest thread for
+    #: synchronous commit, on the background writer under
+    #: ``async_commit``), and the durable-LSN lag (records appended but
+    #: not yet committed at the last sample — the staged suffix a
+    #: crash under async commit could lose).
+    wal_appends: int = 0
+    wal_commit_groups: int = 0
+    wal_commit_seconds: float = 0.0
+    wal_durable_lag: int = 0
 
     @property
     def claims_rejected(self) -> int:
@@ -142,6 +154,10 @@ class ServiceStats:
             "rejected_overflow": self.rejected_overflow,
             "snapshot_reads": self.snapshot_reads,
             "snapshot_read_seconds": self.snapshot_read_seconds,
+            "wal_appends": self.wal_appends,
+            "wal_commit_groups": self.wal_commit_groups,
+            "wal_commit_seconds": self.wal_commit_seconds,
+            "wal_durable_lag": self.wal_durable_lag,
         }
 
 
@@ -674,6 +690,7 @@ class IngestService:
         moved = sum(shard.pump() for shard in self._shards)
         if self._durability is not None:
             self._durability.after_pump()
+            self._sample_wal_stats()
         return moved
 
     def flush(self) -> int:
@@ -683,7 +700,17 @@ class IngestService:
             shard.flush()
         if self._durability is not None:
             self._durability.after_pump()
+            self._sample_wal_stats()
         return moved
+
+    def _sample_wal_stats(self) -> None:
+        """Mirror the WAL's commit counters into :class:`ServiceStats`."""
+        wal = self._durability.wal
+        stats = self.stats
+        stats.wal_appends = wal.records_written
+        stats.wal_commit_groups = wal.groups_committed
+        stats.wal_commit_seconds = wal.commit_seconds
+        stats.wal_durable_lag = wal.last_lsn - wal.durable_lsn
 
     def snapshot(self, campaign_id: str) -> TruthSnapshot:
         """Fresh read-side view of one campaign.
@@ -698,8 +725,10 @@ class IngestService:
         shard.flush_campaign(campaign_id)
         if self._durability is not None:
             # The read may have forced a tail batch into the log; make
-            # it durable before handing out truths derived from it.
+            # it durable before handing out truths derived from it
+            # (blocks on the durable-ack watermark under async commit).
             self._durability.sync()
+            self._sample_wal_stats()
         snapshot = shard.campaigns[campaign_id].snapshot()
         self.stats.snapshot_reads += 1
         self.stats.snapshot_read_seconds += time.perf_counter() - start

@@ -47,14 +47,48 @@ def service_report(
     }
 
 
-def durability_report(*, batch=2_500_000.0, bitwise=True, bytes_per=16.1):
+def durability_report(
+    *,
+    batch=2_500_000.0,
+    bitwise=True,
+    bytes_per=12.1,
+    async_retention=0.7,
+    always_speedup=2.3,
+    async_bitwise=True,
+    compaction_bitwise=True,
+    shrunk=True,
+):
     return {
         "unlogged": {"claims_per_sec": 6_000_000.0},
+        "unlogged_always": {"claims_per_sec": 4_000_000.0},
         "logged": {
-            "never": {"claims_per_sec": 4_000_000.0},
+            "never": {
+                "claims_per_sec": 4_000_000.0,
+                "retention_vs_unlogged": 0.75,
+            },
             "batch": {
                 "claims_per_sec": batch,
                 "bytes_per_claim": bytes_per,
+                "retention_vs_unlogged": 0.6,
+            },
+            "always": {
+                "claims_per_sec": 1_300_000.0,
+                "retention_vs_unlogged": 0.3,
+            },
+        },
+        "logged_async": {
+            "never": {
+                "claims_per_sec": 4_500_000.0,
+                "retention_vs_unlogged": 0.8,
+            },
+            "batch": {
+                "claims_per_sec": 4_200_000.0,
+                "retention_vs_unlogged": async_retention,
+            },
+            "always": {
+                "claims_per_sec": 3_000_000.0,
+                "retention_vs_unlogged": 0.65,
+                "speedup_vs_sync_always": always_speedup,
             },
         },
         "recovery": {
@@ -66,6 +100,14 @@ def durability_report(*, batch=2_500_000.0, bitwise=True, bytes_per=16.1):
                 "claims_per_sec": 0.0,
                 "truths_match_bitwise": True,
             },
+            "async_commit": {
+                "claims_per_sec": 3_500_000.0,
+                "truths_match_bitwise": async_bitwise,
+            },
+        },
+        "compaction": {
+            "shrunk": shrunk,
+            "recovery": {"truths_match_bitwise": compaction_bitwise},
         },
     }
 
@@ -183,6 +225,72 @@ class TestCompare:
             durability_report(), fresh, kind="durability"
         )
         assert failures(results) == ["logged.batch.bytes_per_claim"]
+
+    def test_async_retention_floor(self):
+        fresh = durability_report(async_retention=0.1)
+        results = check_regression.check_regression(
+            durability_report(), fresh, kind="durability", tolerance=0.9
+        )
+        assert failures(results) == [
+            "logged_async.batch.retention_vs_unlogged"
+        ]
+
+    def test_always_speedup_floor(self):
+        # Above the floor: jitter down from the baseline is fine.
+        results = check_regression.check_regression(
+            durability_report(always_speedup=3.0),
+            durability_report(always_speedup=1.4),
+            kind="durability",
+        )
+        assert not failures(results)
+        # Collapsing to parity with per-frame sync trips it.
+        results = check_regression.check_regression(
+            durability_report(),
+            durability_report(always_speedup=0.9),
+            kind="durability",
+        )
+        assert failures(results) == [
+            "logged_async.always.speedup_vs_sync_always"
+        ]
+
+    def test_async_and_compaction_bitwise_flags_are_hard(self):
+        for kwargs, path in (
+            (
+                {"async_bitwise": False},
+                "recovery.async_commit.truths_match_bitwise",
+            ),
+            (
+                {"compaction_bitwise": False},
+                "compaction.recovery.truths_match_bitwise",
+            ),
+            ({"shrunk": False}, "compaction.shrunk"),
+        ):
+            results = check_regression.check_regression(
+                durability_report(),
+                durability_report(**kwargs),
+                kind="durability",
+                tolerance=0.99,
+            )
+            assert failures(results) == [path]
+
+    def test_legacy_report_without_async_sections_skips(self):
+        """Pre-async baselines lack the new sections: skip, not fail."""
+        legacy = {
+            "unlogged": {"claims_per_sec": 6_000_000.0},
+            "logged": {
+                "batch": {
+                    "claims_per_sec": 2_500_000.0,
+                    "bytes_per_claim": 16.1,
+                }
+            },
+            "recovery": {
+                "replay_only": {"truths_match_bitwise": True}
+            },
+        }
+        results = check_regression.check_regression(
+            legacy, legacy, kind="durability"
+        )
+        assert not failures(results)
 
 
 class TestCli:

@@ -26,6 +26,7 @@ def test_examples_directory_complete():
     scripts = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
     assert scripts == [
         "air_quality_monitoring",
+        "compact_recover",
         "crowd_labeling",
         "crowdsensing_protocol",
         "durable_service",
@@ -70,6 +71,16 @@ def test_durable_service(capsys):
     assert "truths bit-for-bit identical to the doomed service: True" in out
     assert "recovered privacy spend" in out
     assert "RMSE vs ground truth" in out
+
+
+def test_compact_recover(capsys):
+    out = run_example("compact_recover", capsys)
+    assert "background group commits" in out
+    assert "reclaimed" in out
+    assert "truths bit-for-bit identical after compaction: True" in out
+    assert (
+        "truths bit-for-bit identical after torn compaction: True" in out
+    )
 
 
 def test_multiprocess_workers(capsys):

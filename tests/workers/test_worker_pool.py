@@ -353,3 +353,42 @@ class TestDurabilityIntegration:
         b = run(2, tmp_path / "workers")
         for cid in a:
             assert np.array_equal(a[cid].truths, b[cid].truths)
+
+    def test_async_commit_durability_stays_parent_side_and_bitwise(
+        self, tmp_path
+    ):
+        """Async group commit changes no logged byte: a workers=2 run
+        with the background WAL writer recovers to the same truths as
+        an in-process synchronous-commit run on the same traffic."""
+
+        def run(workers, directory, async_commit):
+            durability = DurabilityManager(
+                DurabilityConfig(
+                    directory=directory,
+                    fsync="batch",
+                    async_commit=async_commit,
+                )
+            )
+            service = make_service(workers, durability=durability)
+            try:
+                snaps = stream_campaigns(
+                    service, num_campaigns=2, claims=6_000
+                )
+            finally:
+                durability.close()
+                service.close()
+            return snaps
+
+        a = run(0, tmp_path / "single", False)
+        b = run(2, tmp_path / "workers", True)
+        for cid in a:
+            assert np.array_equal(a[cid].truths, b[cid].truths)
+        # Both logs replay to the same truths: durability logging sits
+        # parent-side, so neither workers nor async commit change it.
+        for directory in (tmp_path / "single", tmp_path / "workers"):
+            recovered = RecoveryManager(directory).recover()
+            for cid in a:
+                assert np.array_equal(
+                    a[cid].truths,
+                    recovered.service.snapshot(cid).truths,
+                )
