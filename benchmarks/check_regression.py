@@ -71,6 +71,17 @@ SERVICE_METRICS = (
     # means the streaming aggregation itself changed, not the runner.
     Metric("streaming_vs_batch_rmse", "lower", floor=1e-3),
     Metric("workers_truths_match_bitwise", "flag"),
+    # Socket shard fabric (--hosts): throughput over real sockets, the
+    # clean-run bitwise invariant, and the kill-one-host failover run.
+    Metric("bulk_hosts.claims_per_sec", "higher"),
+    Metric("hosts_truths_match_bitwise", "flag"),
+    Metric("failover.truths_match_bitwise", "flag"),
+    # Recovery = respawn a shard host + replay its journal.  The smoke
+    # run recovers in ~1-2 s; the 30 s floor (the bound is
+    # max(baseline * (1 + tolerance), floor), so the floor governs
+    # here) only trips when failover degrades to something a caller
+    # would actually notice, not on runner jitter.
+    Metric("failover.recovery_seconds", "lower", floor=30.0),
 ) + tuple(
     metric
     for method in ("crh", "gtm", "catd")

@@ -7,9 +7,15 @@ Subcommands
   experiment and print its tables/charts;
 * ``all [--profile ...]`` — run every experiment in sequence;
 * ``service-bench [--claims N] [--shards N] [--method crh|gtm|catd]
-  [--output PATH]`` — benchmark the high-throughput claim-ingestion
-  service against the per-message server baseline, plus the per-method
-  streaming-vs-full-refit read-latency comparison;
+  [--workers N] [--hosts N] [--output PATH]`` — benchmark the
+  high-throughput claim-ingestion service against the per-message
+  server baseline, plus the per-method streaming-vs-full-refit
+  read-latency comparison; ``--hosts N`` adds socket-fabric runs with
+  a bitwise check and a kill-one-host failover measurement;
+* ``serve-shard [--host H] [--port N] [--worker-id I]`` — run one
+  shard host: the worker frame protocol served on a TCP port (the
+  multi-node fabric's unit of deployment; ``--port 0`` binds an
+  ephemeral port and prints ``PORT <n>`` for the parent to read);
 * ``durable-bench [--smoke] [--output PATH]`` — measure write-ahead
   logging cost (per fsync policy, synchronous and async commit),
   commit-latency percentiles, compaction, and crash-recovery speed;
@@ -106,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         "compare against the in-process run (default 0: in-process only)",
     )
     bench_p.add_argument(
+        "--hosts",
+        type=int,
+        default=0,
+        help="also run the bulk path over N socket shard hosts "
+        "(serve-shard subprocesses), with a bitwise check and a "
+        "kill-one-host failover run (default 0: no fabric)",
+    )
+    bench_p.add_argument(
         "--start-method",
         choices=("spawn", "fork", "forkserver"),
         default="spawn",
@@ -117,6 +131,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiny workload exercising every code path (CI smoke test)",
     )
     _add_output_option(bench_p, "results/BENCH_service.json")
+
+    serve_p = sub.add_parser(
+        "serve-shard",
+        help="run one shard host: the worker frame protocol on a TCP port",
+    )
+    serve_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind (default 0: pick an ephemeral port and "
+        "print 'PORT <n>' on stdout for the parent to read)",
+    )
+    serve_p.add_argument(
+        "--worker-id",
+        type=int,
+        default=0,
+        help="host identity used in log and error messages",
+    )
+    serve_p.add_argument(
+        "--shards",
+        type=int,
+        nargs=2,
+        default=(0, 0),
+        metavar=("LO", "HI"),
+        help="half-open shard range this host is expected to own "
+        "(informational; campaigns arrive via REGISTER frames)",
+    )
 
     durable_p = sub.add_parser(
         "durable-bench",
@@ -328,12 +374,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             method=args.method,
             read_claims=args.read_claims,
             workers=args.workers,
+            hosts=args.hosts,
             start_method=args.start_method,
             smoke=args.smoke,
         )
         print(format_summary(report))
         _write_output(report, args.output)
         return 0
+
+    if args.command == "serve-shard":
+        from repro.net.host import serve_shard
+
+        def announce(port: int) -> None:
+            # The launch contract: the first stdout line names the
+            # bound port, so a parent that asked for --port 0 can dial.
+            print(f"PORT {port}", flush=True)
+
+        return serve_shard(
+            host=args.host,
+            port=args.port,
+            worker_id=args.worker_id,
+            shard_range=tuple(args.shards),
+            announce=announce,
+        )
 
     if args.command == "durable-bench":
         from repro.durable import (

@@ -1,0 +1,332 @@
+"""Device transport over real sockets — the fabric's second protocol.
+
+:mod:`repro.net` contributes one transport abstraction
+(:class:`~repro.net.transport.SocketListener` /
+:class:`~repro.net.transport.SocketConnection`, framed by
+:class:`~repro.net.framing.FrameReader`) and two protocols ride it: the
+worker frame protocol (:mod:`repro.net.host`) and this one — the
+crowdsensing message surface of :class:`~repro.crowdsensing.transport.
+InProcessTransport`, crossed over TCP.
+
+The shape matches the paper's system (Section 2): devices talk to the
+server, never to each other.  A :class:`SocketTransportServer` runs a
+routing thread; each :class:`DeviceClient` introduces itself with a
+``DEVICE_HELLO`` frame, then exchanges ``DEVICE_MSG`` frames carrying
+the same JSON wire format the simulated transport round-trips
+(:func:`~repro.crowdsensing.messages.to_wire`).  Messages for a device
+that has not connected yet wait in a per-recipient outbox and flush at
+its hello — a real push service's store-and-forward, minimally.
+
+Delivery statistics reuse :class:`~repro.crowdsensing.transport.
+TransportStats`, so the Section 3.2 protocol-shape checks (O(S)
+messages per round, zero user-to-user traffic) apply verbatim to the
+socket deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import threading
+from collections import defaultdict
+from typing import Optional
+
+from repro.crowdsensing.messages import Message, from_wire, to_wire
+from repro.crowdsensing.transport import TransportStats
+from repro.net.framing import FramingError
+from repro.net.transport import SocketConnection, SocketListener, connect
+from repro.utils.logging import get_logger
+from repro.workers import protocol as proto
+
+_LOGGER = get_logger("crowdsensing.socket")
+
+#: Device protocol frame types (disjoint from the worker protocol's,
+#: which stops at 44 — one framing layer, two protocols).
+DEVICE_HELLO = 50
+DEVICE_MSG = 51
+
+
+def _hello(node_id: str) -> bytes:
+    return proto.encode_frame(
+        DEVICE_HELLO, json.dumps({"node_id": node_id}).encode("utf-8")
+    )
+
+
+def _message_frame(sender: str, recipient: str, message: Message) -> bytes:
+    return proto.encode_frame(
+        DEVICE_MSG,
+        json.dumps(
+            {
+                "sender": sender,
+                "recipient": recipient,
+                "wire": to_wire(message),
+            },
+            sort_keys=True,
+        ).encode("utf-8"),
+    )
+
+
+class SocketTransportServer:
+    """The server side of the device protocol: route, park, deliver.
+
+    Accepts device connections on a TCP port, routes ``DEVICE_MSG``
+    frames between nodes, and keeps the server's own inbox for messages
+    addressed to ``node_id``.  All routing happens on one background
+    thread; :meth:`send` and :meth:`receive` are safe from the caller's
+    thread.
+    """
+
+    def __init__(
+        self,
+        *,
+        node_id: str = "server",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.node_id = node_id
+        self._listener = SocketListener(host=host, port=port)
+        self.address = self._listener.address
+        self._lock = threading.Lock()
+        #: node_id -> live connection (post-hello).
+        self._clients: dict[str, SocketConnection] = {}
+        #: Connections accepted but not yet introduced.
+        self._anonymous: list[SocketConnection] = []
+        #: Store-and-forward: frames for recipients not yet connected.
+        self._parked: dict[str, list[bytes]] = defaultdict(list)
+        self._inbox: list[Message] = []
+        self.stats = TransportStats()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name="repro-device-transport", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._listener.port
+
+    def send(self, recipient: str, message: Message) -> bool:
+        """Route one message from the server to a device.
+
+        Returns True always (the socket transport does not model
+        faults); kept boolean for symmetry with
+        :meth:`~repro.crowdsensing.transport.InProcessTransport.send`.
+        """
+        if recipient == self.node_id:
+            raise ValueError("a node cannot send a message to itself")
+        self.stats.record_sent(self.node_id, recipient)
+        self._route(recipient, _message_frame(self.node_id, recipient, message))
+        return True
+
+    def receive(self) -> list[Message]:
+        """Pop and return all messages delivered to the server so far."""
+        with self._lock:
+            inbox, self._inbox = self._inbox, []
+        return inbox
+
+    def connected_nodes(self) -> list[str]:
+        """Node ids with a live connection (observability)."""
+        with self._lock:
+            return sorted(self._clients)
+
+    def user_to_user_messages(self) -> int:
+        """Messages between two non-server nodes (must stay 0).
+
+        Same check as the simulated transport: the paper's protocol has
+        no user-to-user communication, and the router counts every link
+        it carries.
+        """
+        count = 0
+        with self._lock:
+            links = dict(self.stats.by_link)
+        for (sender, recipient), n in links.items():
+            if not sender.startswith("server") \
+                    and not recipient.startswith("server"):
+                count += n
+        return count
+
+    def close(self) -> None:
+        """Stop routing and drop every connection; idempotent."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._thread.join(10.0)
+        with self._lock:
+            conns = list(self._clients.values()) + self._anonymous
+            self._clients.clear()
+            self._anonymous.clear()
+        for conn in conns:
+            conn.close()
+        self._listener.close()
+
+    def __enter__(self) -> "SocketTransportServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _route(self, recipient: str, frame: bytes) -> None:
+        with self._lock:
+            conn = self._clients.get(recipient)
+            if conn is None:
+                self._parked[recipient].append(frame)
+                return
+            try:
+                conn.send_bytes(frame)
+                self.stats.delivered += 1
+            except (BrokenPipeError, OSError):
+                # The device vanished mid-send; park the frame for its
+                # reconnect and forget the dead connection.
+                self._drop_locked(recipient)
+                self._parked[recipient].append(frame)
+
+    def _drop_locked(self, node_id: str) -> None:
+        conn = self._clients.pop(node_id, None)
+        if conn is not None:
+            conn.close()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                watched = {
+                    conn.fileno(): (node_id, conn)
+                    for node_id, conn in self._clients.items()
+                }
+                for conn in self._anonymous:
+                    watched[conn.fileno()] = (None, conn)
+            fds = [self._listener._sock.fileno()] + list(watched)
+            try:
+                readable, _, _ = select.select(fds, [], [], 0.1)
+            except OSError:  # pragma: no cover - listener torn down
+                return
+            for fd in readable:
+                if fd == self._listener._sock.fileno():
+                    self._accept()
+                else:
+                    self._pump_client(*watched[fd])
+
+    def _accept(self) -> None:
+        try:
+            conn = self._listener.accept(timeout=0.1)
+        except (TimeoutError, OSError):  # pragma: no cover - race
+            return
+        with self._lock:
+            self._anonymous.append(conn)
+
+    def _pump_client(
+        self, node_id: Optional[str], conn: SocketConnection
+    ) -> None:
+        try:
+            while conn.poll(0):
+                rtype, payload = conn.recv_frame()
+                node_id = self._on_frame(node_id, conn, rtype, payload)
+        except (EOFError, ConnectionResetError, OSError, FramingError):
+            with self._lock:
+                if node_id is not None:
+                    self._drop_locked(node_id)
+                elif conn in self._anonymous:
+                    self._anonymous.remove(conn)
+                    conn.close()
+
+    def _on_frame(
+        self,
+        node_id: Optional[str],
+        conn: SocketConnection,
+        rtype: int,
+        payload: bytes,
+    ) -> Optional[str]:
+        if rtype == DEVICE_HELLO:
+            node_id = json.loads(payload.decode("utf-8"))["node_id"]
+            with self._lock:
+                if conn in self._anonymous:
+                    self._anonymous.remove(conn)
+                self._clients[node_id] = conn
+                backlog = self._parked.pop(node_id, [])
+            for frame in backlog:
+                # Outside the route path on purpose: these were already
+                # counted as sent when they were parked.
+                conn.send_bytes(frame)
+                with self._lock:
+                    self.stats.delivered += 1
+            _LOGGER.debug(
+                "device %s connected (%d parked frame(s) flushed)",
+                node_id,
+                len(backlog),
+            )
+            return node_id
+        if rtype != DEVICE_MSG:
+            raise FramingError(
+                f"unexpected device frame type {rtype} from "
+                f"{node_id or 'anonymous peer'}"
+            )
+        body = json.loads(payload.decode("utf-8"))
+        sender, recipient = body["sender"], body["recipient"]
+        self.stats.record_sent(sender, recipient)
+        if recipient == self.node_id:
+            with self._lock:
+                self._inbox.append(from_wire(body["wire"]))
+                self.stats.delivered += 1
+        else:
+            self._route(recipient, proto.encode_frame(rtype, payload))
+        return node_id
+
+
+class DeviceClient:
+    """One user device on the socket transport.
+
+    Connects, introduces itself with ``DEVICE_HELLO`` (which also
+    flushes any messages the server parked for it), then sends and
+    receives protocol messages.
+    """
+
+    def __init__(
+        self,
+        address: tuple,
+        node_id: str,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self.node_id = node_id
+        self._conn = connect(address, timeout=timeout)
+        self._conn.send_bytes(_hello(node_id))
+
+    def send(self, recipient: str, message: Message) -> bool:
+        """Ship one message (routed by the server)."""
+        if recipient == self.node_id:
+            raise ValueError("a node cannot send a message to itself")
+        self._conn.send_bytes(
+            _message_frame(self.node_id, recipient, message)
+        )
+        return True
+
+    def receive(self, *, timeout: float = 0.0) -> list[Message]:
+        """Pop every message delivered so far.
+
+        ``timeout`` bounds the wait for the *first* message; once one
+        arrives, everything already buffered drains without waiting.
+        """
+        messages: list[Message] = []
+        wait = timeout
+        while self._conn.poll(wait):
+            rtype, payload = self._conn.recv_frame()
+            if rtype != DEVICE_MSG:
+                raise FramingError(
+                    f"unexpected frame type {rtype} on device "
+                    f"{self.node_id}"
+                )
+            messages.append(
+                from_wire(json.loads(payload.decode("utf-8"))["wire"])
+            )
+            wait = 0.0
+        return messages
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "DeviceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

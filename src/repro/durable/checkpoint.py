@@ -82,6 +82,43 @@ def _lower_arrays(obj, npz):
     return obj
 
 
+def pack_payload(payload) -> bytes:
+    """Encode a dict-with-arrays payload to in-memory npz bytes.
+
+    The exact encoding checkpoints use on disk, minus the file: binary,
+    bit-exact, pickle-free.  The worker protocol's state RPCs
+    (:func:`repro.workers.protocol.pack_state`) and the fabric's
+    checkpoint hand-off both delegate here, so a state blob is one
+    format everywhere — what a worker ships over a socket is what a
+    checkpoint stores.
+    """
+    import io
+
+    arrays: dict[str, np.ndarray] = {}
+    manifest = _hoist_arrays(payload, arrays, "payload")
+    try:
+        manifest_json = json.dumps(manifest, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"payload is not JSON-encodable outside its arrays: {exc}"
+        ) from exc
+    buf = io.BytesIO()
+    np.savez(buf, **{_MANIFEST_KEY: np.array(manifest_json)}, **arrays)
+    return buf.getvalue()
+
+
+def unpack_payload(blob: bytes):
+    """Inverse of :func:`pack_payload`."""
+    import io
+
+    try:
+        with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+            manifest = json.loads(str(npz[_MANIFEST_KEY][()]))
+            return _lower_arrays(manifest, npz)
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"malformed payload blob: {exc}") from exc
+
+
 @dataclass(frozen=True)
 class Checkpoint:
     """One loaded checkpoint: covered LSN plus the state payload."""

@@ -1,0 +1,55 @@
+"""repro.net — the multi-node shard fabric over real sockets.
+
+The worker tier (:mod:`repro.workers`) already speaks a length-prefixed,
+transport-independent frame protocol; this package crosses the machine
+boundary with it:
+
+* :mod:`repro.net.framing` — :class:`FrameReader`, the shared
+  incremental decoder both pipes and sockets use;
+* :mod:`repro.net.transport` — :class:`SocketListener` /
+  :class:`SocketConnection`, the ``multiprocessing``-connection surface
+  over TCP;
+* :mod:`repro.net.host` — :class:`ShardHost`, the worker runtime behind
+  an asyncio socket server (``repro serve-shard``);
+* :mod:`repro.net.placement` — :class:`PlacementMap`, the mutable
+  shard→host table;
+* :mod:`repro.net.fabric` — :class:`FabricPool`, the worker-pool
+  surface backed by shard-host processes on ports;
+* :mod:`repro.net.supervisor` — :class:`Supervisor`, journal-based
+  checkpoint/replay failover keeping recovered truths bitwise-identical.
+
+Re-exports resolve lazily (PEP 562): the worker tier imports
+:mod:`repro.net.framing`, and the fabric modules import the worker tier,
+so eager re-imports here would close an import cycle.
+"""
+
+_EXPORTS = {
+    "FabricPool": "repro.net.fabric",
+    "launch_shard_host": "repro.net.fabric",
+    "FrameReader": "repro.net.framing",
+    "FramingError": "repro.net.framing",
+    "ShardHost": "repro.net.host",
+    "serve_shard": "repro.net.host",
+    "PlacementMap": "repro.net.placement",
+    "shard_ranges": "repro.net.placement",
+    "HostJournal": "repro.net.supervisor",
+    "Supervisor": "repro.net.supervisor",
+    "SocketConnection": "repro.net.transport",
+    "SocketListener": "repro.net.transport",
+    "connect": "repro.net.transport",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.net' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,149 @@
+"""The shard host: the worker runtime behind an asyncio socket server.
+
+``repro serve-shard`` turns a shard worker into a process on a port.
+The host serves the same frame protocol the pipe workers speak — driven
+by the shared :class:`~repro.workers.worker.ShardRuntime` — but over
+TCP, and accepts *multiple* concurrent connections:
+
+* the **primary** connection is whichever peer completes the
+  ``CONFIG`` → ``READY`` handshake (the fabric's data plane; frames on
+  it are processed strictly in order, preserving the bitwise-identical
+  truths invariant);
+* any other connection may probe liveness with ``PING`` → ``PONG``
+  (the supervisor's heartbeat) without perturbing the data plane —
+  an unsolicited frame on the primary connection would be read as an
+  error report by the parent, so heartbeats need their own stream.
+
+Lifecycle mirrors the pipe worker: a ``SHUTDOWN`` frame exits cleanly;
+the primary connection closing without one means the parent is gone and
+the host exits rather than linger orphaned.  A dispatch failure is
+reported as an ``ERROR`` frame carrying the traceback, then the host
+exits nonzero — the parent raises a useful error instead of a bare
+connection reset, exactly like the pipe path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import traceback
+from typing import Callable, Optional
+
+from repro.durable import records as rec
+from repro.net.framing import FrameReader, FramingError
+from repro.net.transport import RECV_CHUNK
+from repro.utils.logging import get_logger
+from repro.workers import protocol as proto
+from repro.workers.worker import ShardRuntime
+
+_LOGGER = get_logger("net.host")
+
+
+class ShardHost:
+    """One shard-worker runtime served over TCP."""
+
+    def __init__(
+        self,
+        *,
+        worker_id: int = 0,
+        shard_range: tuple = (0, 0),
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._runtime = ShardRuntime(worker_id, shard_range)
+        self._host = host
+        self._requested_port = port
+        self._stop: Optional[asyncio.Event] = None
+        #: Bound port, set once the server is listening (``port=0``
+        #: binds an ephemeral port; the parent learns it via
+        #: ``announce``).
+        self.port: Optional[int] = None
+        self.exit_code = 0
+
+    # ------------------------------------------------------------------
+    async def serve(
+        self, *, announce: Optional[Callable[[int], None]] = None
+    ) -> int:
+        """Listen and dispatch until shutdown; returns the exit code."""
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._on_client, self._host, self._requested_port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if announce is not None:
+            announce(self.port)
+        _LOGGER.debug(
+            "shard host %d listening on %s:%d",
+            self._runtime.worker_id,
+            self._host,
+            self.port,
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+        return self.exit_code
+
+    # ------------------------------------------------------------------
+    async def _on_client(self, reader, writer) -> None:
+        frames = FrameReader()
+        is_primary = False
+
+        def send(rtype: int, payload: bytes = b"") -> None:
+            writer.write(proto.encode_frame(rtype, payload))
+
+        try:
+            while not self._stop.is_set():
+                data = await reader.read(RECV_CHUNK)
+                if not data:
+                    break
+                for rtype, payload in frames.feed(data):
+                    if rtype == rec.CONFIG and not self._runtime.configured:
+                        is_primary = True
+                    if not self._runtime.on_frame(rtype, payload, send):
+                        self._stop.set()
+                        break
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished; the finally block decides what it means
+        except Exception:
+            self.exit_code = 1
+            try:
+                send(
+                    proto.ERROR,
+                    rec.encode_json_payload(
+                        {
+                            "worker_id": self._runtime.worker_id,
+                            "traceback": traceback.format_exc(),
+                        }
+                    ),
+                )
+                await writer.drain()
+            except (OSError, ConnectionResetError, FramingError):
+                pass  # parent already gone; exit code still says "failed"
+            self._stop.set()
+        finally:
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            if is_primary and self._stop is not None \
+                    and not self._stop.is_set():
+                # The data plane closed without a SHUTDOWN: the parent
+                # is gone, and an orphaned host would serve no one.
+                self._stop.set()
+
+
+def serve_shard(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    worker_id: int = 0,
+    shard_range: tuple = (0, 0),
+    announce: Optional[Callable[[int], None]] = None,
+) -> int:
+    """Blocking entrypoint behind ``repro serve-shard``."""
+    shard_host = ShardHost(
+        worker_id=worker_id, shard_range=shard_range, host=host, port=port
+    )
+    return asyncio.run(shard_host.serve(announce=announce))

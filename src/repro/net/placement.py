@@ -1,0 +1,96 @@
+"""Shard-to-host placement: who owns which contiguous shard range.
+
+The worker pool used to keep an implicit placement (a flat
+shard-to-handle list built once at startup).  A multi-node fabric needs
+placement to be a first-class, *mutable* object: the supervisor
+re-homes shards when a host dies for good, and online rebalancing moves
+a shard between live hosts.  :class:`PlacementMap` is that object — an
+explicit shard→host table, seeded with contiguous ranges (sizes
+differing by at most one, exactly the old split) and updated one shard
+at a time.
+
+Contiguity is how placement *starts*, not an invariant: after moves the
+map describes ownership as runs (``describe`` collapses adjacent shards
+with one owner), which keeps the common case trivially readable while
+letting any shard live anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import ensure_int
+
+
+def shard_ranges(num_shards: int, num_hosts: int) -> list[tuple[int, int]]:
+    """Split ``num_shards`` into ``num_hosts`` contiguous ``(lo, hi)``
+    half-open ranges, sizes differing by at most one."""
+    ensure_int(num_shards, "num_shards", minimum=1)
+    ensure_int(num_hosts, "num_hosts", minimum=1)
+    if num_hosts > num_shards:
+        raise ValueError(
+            f"{num_hosts} hosts cannot each own a shard range of "
+            f"{num_shards} shard(s); use hosts <= num_shards"
+        )
+    base, extra = divmod(num_shards, num_hosts)
+    ranges = []
+    lo = 0
+    for h in range(num_hosts):
+        hi = lo + base + (1 if h < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+class PlacementMap:
+    """Mutable shard→host assignment seeded with contiguous ranges."""
+
+    def __init__(self, num_shards: int, num_hosts: int) -> None:
+        self._num_hosts = num_hosts
+        self._owner: list[int] = []
+        for host, (lo, hi) in enumerate(shard_ranges(num_shards, num_hosts)):
+            self._owner.extend([host] * (hi - lo))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._owner)
+
+    @property
+    def num_hosts(self) -> int:
+        return self._num_hosts
+
+    def owner_of(self, shard_index: int) -> int:
+        """Host index owning ``shard_index``."""
+        if not 0 <= shard_index < len(self._owner):
+            raise IndexError(
+                f"shard {shard_index} outside 0..{len(self._owner) - 1}"
+            )
+        return self._owner[shard_index]
+
+    def shards_of(self, host: int) -> list[int]:
+        """Every shard currently owned by ``host`` (ascending)."""
+        self._check_host(host)
+        return [s for s, h in enumerate(self._owner) if h == host]
+
+    def move(self, shard_index: int, host: int) -> int:
+        """Reassign one shard; returns the previous owner."""
+        self._check_host(host)
+        previous = self.owner_of(shard_index)
+        self._owner[shard_index] = host
+        return previous
+
+    def describe(self) -> list[dict]:
+        """Ownership as contiguous runs (JSON-friendly observability)."""
+        runs: list[dict] = []
+        for shard, host in enumerate(self._owner):
+            if runs and runs[-1]["host"] == host \
+                    and runs[-1]["hi"] == shard:
+                runs[-1]["hi"] = shard + 1
+            else:
+                runs.append({"host": host, "lo": shard, "hi": shard + 1})
+        return runs
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self._num_hosts:
+            raise IndexError(
+                f"host {host} outside 0..{self._num_hosts - 1}"
+            )

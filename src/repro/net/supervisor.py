@@ -1,0 +1,298 @@
+"""Supervised shard hosts: journal, checkpoint, restart, replay.
+
+A pipe worker dying is fatal by design — the parent raises
+:class:`~repro.workers.handles.WorkerCrashedError` and the operator
+recovers from the WAL.  A *fabric* must do better: shard hosts are
+remote processes that die for reasons that have nothing to do with the
+data (OOM killers, node reboots, deploys), and the service should ride
+through.
+
+The mechanism is deterministic replay, built on two facts the worker
+tier already guarantees:
+
+* a shard host's aggregator state is a pure function of the ordered
+  frame sequence it processed (that is what makes multi-process truths
+  bitwise-identical to single-process truths);
+* ``state_dict`` captures staged-but-unfolded work exactly, and
+  ``LOAD_STATE`` restores it, bit for bit.
+
+So the parent keeps, per host, a :class:`HostJournal`: the last
+*capture* (``state_dict`` of every campaign, taken through the normal
+RPC path) plus every state-changing frame sent since.  When a host
+dies, :meth:`Supervisor.failover` spawns a replacement, replays
+capture + journal in order, and the service continues as if nothing
+happened — recovered truths are bitwise-identical to an uncrashed run,
+and no caller ever sees the crash.
+
+One subtlety: answering a snapshot RPC *folds* staged claims remotely
+(reads force a refresh), and fold timing is part of the bitwise
+contract.  Snapshot requests are therefore journaled as ``REFRESH``
+markers — replaying the marker reproduces the fold at the same point
+in the stream, and a marker hitting an empty staging buffer is a
+no-op, so over-marking cannot perturb state.
+
+Captures are taken automatically every ``checkpoint_every_claims``
+journaled claims (bounding replay work and journal memory), and after
+every failover.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+from typing import Optional
+
+from repro.durable import records as rec
+from repro.utils.logging import get_logger
+from repro.workers import protocol as proto
+from repro.workers.handles import WorkerCrashedError, WorkerHandle
+
+_LOGGER = get_logger("net.supervisor")
+
+#: Frame types that change shard-host state and therefore must replay.
+JOURNALLED_TYPES = frozenset(
+    {rec.REGISTER, rec.UNREGISTER, rec.BATCH, rec.REFRESH, proto.LOAD_STATE}
+)
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+def _batch_claims(payload: bytes) -> int:
+    """Claim count of a BATCH frame (header peek; no column decode)."""
+    try:
+        (cid_len,) = _U16.unpack_from(payload, 0)
+        (n,) = _U32.unpack_from(payload, _U16.size + cid_len + 1)
+    except struct.error:
+        return 0  # malformed; the worker will raise, not us
+    return n
+
+
+class HostJournal:
+    """Everything needed to rebuild one shard host deterministically."""
+
+    def __init__(self) -> None:
+        #: Current registrations: campaign_id -> REGISTER spec.
+        self.specs: dict[str, dict] = {}
+        #: Last capture: campaign_id -> (spec, state_dict).
+        self.captured: dict[str, tuple[dict, dict]] = {}
+        #: State-changing frames sent since the last capture, in order.
+        self.frames: list[tuple[int, bytes]] = []
+        self.claims_since_capture = 0
+        self.captures = 0
+
+    def record(self, rtype: int, payload: bytes) -> None:
+        """Note one state-changing frame about to go on the wire."""
+        if rtype == rec.REGISTER:
+            spec = json.loads(payload.decode("utf-8"))
+            self.specs[spec["campaign_id"]] = spec
+        elif rtype == rec.UNREGISTER:
+            cid = json.loads(payload.decode("utf-8"))["campaign_id"]
+            self.specs.pop(cid, None)
+        elif rtype == rec.BATCH:
+            self.claims_since_capture += _batch_claims(payload)
+        self.frames.append((rtype, bytes(payload)))
+
+    def capture(self, states: dict[str, dict]) -> None:
+        """Adopt fresh per-campaign states; the journal restarts empty."""
+        self.captured = {
+            cid: (dict(self.specs[cid]), state)
+            for cid, state in states.items()
+        }
+        self.frames.clear()
+        self.claims_since_capture = 0
+        self.captures += 1
+
+
+class Supervisor:
+    """Watches a :class:`~repro.net.fabric.FabricPool`'s hosts.
+
+    The pool's handles route every state-changing frame through their
+    journal (see :class:`SupervisedHandle`); the supervisor decides
+    when to capture and performs failover when a host dies.  While
+    :attr:`active` is False (during failover, and after close) the
+    handles behave exactly like unsupervised ones, so replay traffic is
+    never re-journaled and a crash mid-failover surfaces instead of
+    recursing.
+    """
+
+    def __init__(
+        self, pool, *, checkpoint_every_claims: int = 50_000
+    ) -> None:
+        if checkpoint_every_claims < 1:
+            raise ValueError(
+                f"checkpoint_every_claims must be >= 1, got "
+                f"{checkpoint_every_claims}"
+            )
+        self._pool = pool
+        self.checkpoint_every_claims = checkpoint_every_claims
+        self.active = True
+        self.restarts = 0
+        self.failover_seconds: list[float] = []
+        self.last_failover_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self) -> None:
+        """Capture any host whose journal outgrew the claim budget."""
+        if not self.active:
+            return
+        for handle in self._pool.handles:
+            journal = handle.journal
+            if journal.claims_since_capture >= self.checkpoint_every_claims:
+                self.checkpoint(handle)
+
+    def checkpoint(self, handle: "SupervisedHandle") -> None:
+        """Capture one host's campaigns through the normal RPC path.
+
+        ``state_dict`` does not fold staged work (checkpointing cannot
+        perturb the stream), and the RPC is ordered after every frame
+        already sent, so the capture is exact without any barrier.
+        """
+        states = {
+            cid: handle.state_dict(cid) for cid in sorted(handle.journal.specs)
+        }
+        handle.journal.capture(states)
+        _LOGGER.debug(
+            "captured host %d (%d campaign(s))",
+            handle.worker_id,
+            len(states),
+        )
+
+    # ------------------------------------------------------------------
+    def failover(self, handle: "SupervisedHandle") -> None:
+        """Replace a dead host and replay it back to the stream head."""
+        start = time.perf_counter()
+        self.active = False
+        try:
+            _LOGGER.warning(
+                "shard host %d died (exit code %s); restarting",
+                handle.worker_id,
+                handle.process.exitcode,
+            )
+            self._pool.respawn(handle)
+            handle.send(rec.CONFIG, self._pool.config_frame)
+            handle.expect(proto.READY, timeout=self._pool.start_timeout)
+            journal = handle.journal
+            for cid, (spec, state) in journal.captured.items():
+                handle.send(rec.REGISTER, rec.encode_json_payload(spec))
+                handle.send(
+                    proto.LOAD_STATE,
+                    proto.pack_state(
+                        {"campaign_id": cid, "state": state}
+                    ),
+                )
+            for rtype, payload in journal.frames:
+                handle.send(rtype, payload)
+            # Barrier: the replacement is only "recovered" once it has
+            # processed the whole replay (and proved it can answer).
+            handle.sync()
+        finally:
+            self.active = True
+        # Start the next epoch from the recovered state so a second
+        # crash replays from here, not from before the first one.
+        self.checkpoint(handle)
+        elapsed = time.perf_counter() - start
+        self.restarts += 1
+        self.failover_seconds.append(elapsed)
+        self.last_failover_seconds = elapsed
+        _LOGGER.warning(
+            "shard host %d recovered in %.3fs (replayed %d campaign "
+            "capture(s))",
+            handle.worker_id,
+            elapsed,
+            len(handle.journal.captured),
+        )
+
+    def stats(self) -> dict:
+        """JSON-friendly counters (bench / observability)."""
+        return {
+            "restarts": self.restarts,
+            "last_failover_seconds": self.last_failover_seconds,
+            "failover_seconds": list(self.failover_seconds),
+            "checkpoint_every_claims": self.checkpoint_every_claims,
+            "captures": sum(
+                h.journal.captures for h in self._pool.handles
+            ),
+        }
+
+
+class SupervisedHandle(WorkerHandle):
+    """A :class:`WorkerHandle` that journals and self-heals.
+
+    Every state-changing frame is recorded in the host's journal
+    *before* it goes on the wire (a frame the dead host never processed
+    must still replay).  Crash errors from the data plane trigger
+    :meth:`Supervisor.failover` instead of propagating; RPCs retry once
+    against the replacement host.  Everything else — including
+    ``shutdown``, which writes to the socket directly — is inherited.
+    """
+
+    def __init__(self, *args, supervisor: Supervisor, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._supervisor = supervisor
+        self.journal = HostJournal()
+
+    # ------------------------------------------------------------------
+    def reset(self, process, conn) -> None:
+        """Adopt a replacement host (supervisor hook, post-respawn).
+
+        The handle object keeps its identity, so every
+        :class:`~repro.workers.handles.RemoteAggregator` proxy pointing
+        here stays valid across the restart.
+        """
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self.process = process
+        self._conn = conn
+        self._closed = False
+        self._crashing = False
+
+    # ------------------------------------------------------------------
+    def send(self, rtype: int, payload: bytes = b"") -> None:
+        if self._closed or not self._supervisor.active:
+            return super().send(rtype, payload)
+        journalled = rtype in JOURNALLED_TYPES
+        if journalled:
+            self.journal.record(rtype, payload)
+        try:
+            super().send(rtype, payload)
+        except WorkerCrashedError:
+            self._supervisor.failover(self)
+            if not journalled:
+                # A control frame (RPC request) is not part of the
+                # replay; deliver it to the replacement directly.
+                super().send(rtype, payload)
+
+    def request(self, rtype: int, payload: bytes, expect: int) -> bytes:
+        if self._closed or not self._supervisor.active:
+            return super().request(rtype, payload, expect)
+        if rtype == proto.SNAPSHOT_REQ:
+            # Answering a snapshot folds staged claims remotely; mark
+            # the fold so replay reproduces its timing (a marker onto
+            # empty staging is a no-op, so this can never over-fold).
+            self.journal.record(
+                rec.REFRESH,
+                rec.encode_json_payload(
+                    {
+                        "campaign_id": json.loads(
+                            payload.decode("utf-8")
+                        )["campaign_id"]
+                    }
+                ),
+            )
+        try:
+            return super().request(rtype, payload, expect)
+        except WorkerCrashedError:
+            self._supervisor.failover(self)
+            return super().request(rtype, payload, expect)
+
+    def check(self) -> None:
+        if self._closed or not self._supervisor.active:
+            return super().check()
+        try:
+            super().check()
+        except WorkerCrashedError:
+            self._supervisor.failover(self)

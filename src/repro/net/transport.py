@@ -1,0 +1,199 @@
+"""Socket transport with the ``multiprocessing`` connection surface.
+
+:class:`SocketConnection` wraps one TCP stream in the exact API the
+parent-side worker machinery already speaks against a pipe —
+``send_bytes`` / ``poll(timeout)`` / ``close`` — plus a ``recv_frame``
+fast path that :func:`repro.workers.protocol.recv_frame` prefers when
+present.  Because sockets fragment where pipes did not, every received
+chunk goes through the shared :class:`~repro.net.framing.FrameReader`;
+a frame is "available" (``poll`` returns True) only once all its bytes
+are buffered, so the caller never blocks mid-frame.
+
+:class:`SocketListener` is the accepting side; :func:`connect` the
+dialling side.  Both default to localhost — the fabric's first target
+is N processes on one machine — but take any ``(host, port)`` address.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import time
+from typing import Optional
+
+from repro.net.framing import FrameReader, FramingError
+
+#: Bytes per ``recv`` call; large enough that a state-RPC payload
+#: crosses in a few syscalls, small enough to stay allocation-friendly.
+RECV_CHUNK = 1 << 16
+
+
+class SocketConnection:
+    """One framed byte stream over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setblocking(False)
+        # Frames are latency-sensitive RPCs as often as bulk batches;
+        # never trade an RTT for coalescing.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock: Optional[socket.socket] = sock
+        self._reader = FrameReader()
+        self._frames: list[tuple[int, bytes]] = []
+        self._eof = False
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def fileno(self) -> int:
+        if self._sock is None:
+            raise OSError("connection is closed")
+        return self._sock.fileno()
+
+    # ------------------------------------------------------------------
+    def send_bytes(self, data: bytes) -> None:
+        """Write one complete buffer (blocking until fully sent)."""
+        if self._sock is None:
+            raise OSError("connection is closed")
+        view = memoryview(data)
+        while view:
+            try:
+                sent = self._sock.send(view)
+            except BlockingIOError:
+                select.select([], [self._sock], [])
+                continue
+            except BrokenPipeError:
+                raise
+            except ConnectionError as exc:
+                raise BrokenPipeError(str(exc)) from exc
+            view = view[sent:]
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True once a complete frame (or EOF) is ready to receive."""
+        if self._frames or self._eof:
+            return True
+        if self._sock is None:
+            raise OSError("connection is closed")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is None:
+                wait = None
+            else:
+                wait = max(deadline - time.monotonic(), 0.0)
+            readable, _, _ = select.select([self._sock], [], [], wait)
+            if not readable:
+                return False
+            if self._pull() and (self._frames or self._eof):
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return bool(self._frames or self._eof)
+
+    def recv_frame(self) -> tuple[int, bytes]:
+        """Blocking read of one decoded frame; EOFError when peer left."""
+        while not self._frames:
+            if self._eof:
+                raise EOFError("connection closed by peer")
+            if self._sock is None:
+                raise OSError("connection is closed")
+            select.select([self._sock], [], [])
+            self._pull()
+        return self._frames.pop(0)
+
+    def _pull(self) -> bool:
+        """Drain readable bytes into the frame reader; True if any read."""
+        got_any = False
+        while True:
+            try:
+                chunk = self._sock.recv(RECV_CHUNK)
+            except BlockingIOError:
+                return got_any
+            except ConnectionResetError:
+                self._eof = True
+                return True
+            got_any = True
+            if not chunk:
+                self._eof = True
+                if self._reader.pending_bytes:
+                    raise FramingError(
+                        f"peer closed mid-frame with "
+                        f"{self._reader.pending_bytes} byte(s) pending"
+                    )
+                return True
+            self._frames.extend(self._reader.feed(chunk))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "SocketConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SocketListener:
+    """Accepting side of the framed transport (one bound TCP socket)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(16)
+        self._sock: Optional[socket.socket] = sock
+        self.address: tuple[str, int] = sock.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def accept(self, timeout: Optional[float] = None) -> SocketConnection:
+        """Accept one peer; raises TimeoutError when none dials in time."""
+        if self._sock is None:
+            raise OSError("listener is closed")
+        readable, _, _ = select.select([self._sock], [], [], timeout)
+        if not readable:
+            raise TimeoutError(
+                f"no connection on {self.address} within {timeout}s"
+            )
+        conn, _peer = self._sock.accept()
+        return SocketConnection(conn)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "SocketListener":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    address: tuple[str, int], *, timeout: float = 30.0
+) -> SocketConnection:
+    """Dial a listener, retrying until ``timeout`` (hosts boot async)."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            sock = socket.create_connection(address, timeout=5.0)
+        except OSError as exc:
+            last_error = exc
+            time.sleep(0.05)
+            continue
+        return SocketConnection(sock)
+    raise ConnectionError(
+        f"could not connect to {address} within {timeout}s: {last_error}"
+    )

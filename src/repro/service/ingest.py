@@ -191,6 +191,19 @@ class IngestService:
         micro-batching, and durability logging stay here.  Call
         :meth:`close` (or use the service as a context manager) to shut
         the pool down.
+    hosts:
+        ``N >= 1`` starts a :class:`~repro.net.fabric.FabricPool` of N
+        shard-host *processes on TCP ports* instead of pipe workers —
+        the multi-node deployment shape, exercised on localhost.  The
+        service code path is identical to ``workers``: the fabric
+        exposes the same pool surface, so every proxy works unchanged
+        over sockets.  Mutually exclusive with ``workers``.
+    supervise:
+        With ``hosts``, journal every shard host and transparently
+        restart-and-replay one that dies
+        (:class:`~repro.net.supervisor.Supervisor`); recovered truths
+        are bitwise-identical to an uncrashed run.  ``False``
+        reproduces the pipe pool's fail-fast behaviour.
     start_method:
         ``multiprocessing`` start method for the pool (``"spawn"`` by
         default — safe on every supported platform and Python
@@ -204,18 +217,29 @@ class IngestService:
         ledger: Optional[BudgetLedger] = None,
         durability=None,
         workers: int = 0,
+        hosts: int = 0,
+        supervise: bool = True,
         start_method: str = "spawn",
     ) -> None:
         self._config = config if config is not None else ServiceConfig()
         self._ledger = ledger
         self._durability = None
+        self._closed = False
         self._shards = [
             Shard(i, queue_capacity=self._config.queue_capacity)
             for i in range(self._config.num_shards)
         ]
         self._campaign_shard: dict[str, Shard] = {}
+        #: Worker-side REGISTER spec per campaign — what rebalancing
+        #: replays on the target worker before shipping the state.
+        self._worker_specs: dict[str, dict] = {}
         self.stats = ServiceStats()
         self._pool = None
+        if workers and hosts:
+            raise ValueError(
+                "workers (pipe pool) and hosts (socket fabric) are "
+                "mutually exclusive; pick one"
+            )
         if workers:
             ensure_int(workers, "workers", minimum=0)
             from dataclasses import asdict
@@ -227,6 +251,18 @@ class IngestService:
                 workers,
                 asdict(self._config),
                 start_method=start_method,
+            )
+        elif hosts:
+            ensure_int(hosts, "hosts", minimum=0)
+            from dataclasses import asdict
+
+            from repro.net.fabric import FabricPool
+
+            self._pool = FabricPool(
+                self._config.num_shards,
+                hosts,
+                asdict(self._config),
+                supervise=supervise,
             )
         if durability is not None:
             self.attach_durability(durability)
@@ -376,16 +412,16 @@ class IngestService:
             # The worker must know the campaign before any batch frame
             # can reference it (frames are processed strictly in order,
             # so sending the registration first is sufficient).
-            self._pool.handle_for(shard_index).register(
-                {
-                    "campaign_id": campaign_id,
-                    "num_users": max_users,
-                    "num_objects": len(object_ids),
-                    "method": method,
-                    "aggregator": aggregator,
-                    "method_kwargs": dict(method_kwargs),
-                }
-            )
+            spec = {
+                "campaign_id": campaign_id,
+                "num_users": max_users,
+                "num_objects": len(object_ids),
+                "method": method,
+                "aggregator": aggregator,
+                "method_kwargs": dict(method_kwargs),
+            }
+            self._worker_specs[campaign_id] = spec
+            self._pool.handle_for(shard_index).register(spec)
         shard = self._shards[shard_index]
         shard.register(state)
         self._campaign_shard[campaign_id] = shard
@@ -409,6 +445,7 @@ class IngestService:
         if shard is None:
             raise KeyError(f"campaign {campaign_id!r} not registered")
         del shard.campaigns[campaign_id]
+        self._worker_specs.pop(campaign_id, None)
         if self._durability is not None:
             self._durability.log_unregister(campaign_id)
         if self._pool is not None:
@@ -745,14 +782,84 @@ class IngestService:
         if self._pool is not None:
             self._pool.sync()
 
+    # ------------------------------------------------------------------
+    def rebalance_shard(self, shard_index: int, target_worker: int) -> int:
+        """Move one shard's campaigns to another worker/host, online.
+
+        Works identically over pipes (:class:`~repro.workers.pool.
+        WorkerPool`) and sockets (:class:`~repro.net.fabric.FabricPool`)
+        because both route through the same
+        :class:`~repro.net.placement.PlacementMap`.  Per campaign on the
+        shard: register the spec on the target, ship ``state_dict``
+        (the RPC is ordered after every frame already sent, so shipped
+        batches — staged claims included — arrive in the state, bit for
+        bit), drop the source copy, and re-home the
+        :class:`~repro.workers.handles.RemoteAggregator` proxy.  Claims
+        still queued parent-side need nothing: they resolve their
+        handle at pump time, after the placement move.  Returns the
+        number of campaigns moved.
+        """
+        if self._pool is None:
+            raise RuntimeError(
+                "rebalancing requires a worker pool or fabric "
+                "(workers=N or hosts=N)"
+            )
+        if not 0 <= shard_index < len(self._shards):
+            raise IndexError(
+                f"shard {shard_index} outside 0..{len(self._shards) - 1}"
+            )
+        source = self._pool.handle_for(shard_index)
+        target = self._pool.handles[target_worker]
+        if target is source:
+            return 0
+        shard = self._shards[shard_index]
+        moved = 0
+        for campaign_id in sorted(shard.campaigns):
+            target.register(self._worker_specs[campaign_id])
+            state = source.state_dict(campaign_id)
+            target.load_state(campaign_id, state)
+            source.unregister(campaign_id)
+            shard.campaigns[campaign_id].aggregator.rehome(target)
+            moved += 1
+        self._pool.move_shard(shard_index, target_worker)
+        _LOGGER.debug(
+            "shard %d re-homed: worker %d -> %d (%d campaign(s))",
+            shard_index,
+            source.worker_id,
+            target.worker_id,
+            moved,
+        )
+        return moved
+
+    def fabric_stats(self) -> Optional[dict]:
+        """Placement and supervision counters (None without a pool)."""
+        if self._pool is None:
+            return None
+        stats: dict = {"workers": self._pool.num_workers}
+        placement = getattr(self._pool, "placement", None)
+        if placement is not None:
+            stats["placement"] = placement.describe()
+        supervisor = getattr(self._pool, "supervisor", None)
+        if supervisor is not None:
+            stats["supervision"] = supervisor.stats()
+        return stats
+
     def close(self) -> None:
         """Shut down the worker pool (if any); idempotent.
+
+        Safe to call twice, and safe after a
+        :class:`~repro.workers.handles.WorkerCrashedError` — shutdown
+        never writes to a pipe it cannot prove alive without catching
+        the failure, so a dead worker is simply reaped.
 
         Queued-but-unpumped work is dropped, exactly like abandoning an
         in-process service.  A durability manager attached to the
         service is *not* closed here — its WAL may outlive the service
         for recovery.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._pool is not None:
             self._pool.close()
 

@@ -299,6 +299,17 @@ class RemoteAggregator(IncrementalAggregator):
     def backend(self) -> str:
         return self._backend
 
+    def rehome(self, handle: WorkerHandle) -> None:
+        """Point the proxy at a new owning handle (online rebalancing).
+
+        The campaign's aggregator state has already moved (register +
+        ``load_state`` on the new worker, ordered after every shipped
+        frame), staged-claim bookkeeping included — so the local mirror
+        carries over unchanged; only the cached snapshot must go.
+        """
+        self._handle = handle
+        self._cache = None
+
     def ingest(self, batch: ClaimBatch) -> None:
         self._handle.send_batch(
             rec.WorkItem(

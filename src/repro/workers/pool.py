@@ -1,9 +1,10 @@
 """The worker pool: process lifecycle and shard-to-worker placement.
 
 A :class:`WorkerPool` spawns N worker processes and assigns each a
-contiguous range of the service's shards (contiguous ranges keep
-placement trivially describable and make the future multi-node split a
-table lookup).  Startup is a handshake: each worker receives a
+contiguous range of the service's shards via the same mutable
+:class:`~repro.net.placement.PlacementMap` the socket fabric
+(:class:`~repro.net.fabric.FabricPool`) uses — so routing and online
+rebalancing work identically over pipes and sockets.  Startup is a handshake: each worker receives a
 ``CONFIG`` frame (the service configuration, as the same JSON record
 the write-ahead log stores) and must answer ``READY`` — a worker that
 dies importing NumPy or decoding the config is reported with its
@@ -22,8 +23,8 @@ from __future__ import annotations
 import multiprocessing
 
 from repro.durable import records as rec
+from repro.net.placement import PlacementMap, shard_ranges
 from repro.utils.logging import get_logger
-from repro.utils.validation import ensure_int
 from repro.workers import protocol as proto
 from repro.workers.handles import WorkerHandle
 from repro.workers.worker import worker_main
@@ -34,24 +35,7 @@ _LOGGER = get_logger("workers.pool")
 START_METHODS = ("spawn", "fork", "forkserver")
 
 
-def shard_ranges(num_shards: int, num_workers: int) -> list[tuple[int, int]]:
-    """Split ``num_shards`` into ``num_workers`` contiguous ``(lo, hi)``
-    half-open ranges, sizes differing by at most one."""
-    ensure_int(num_shards, "num_shards", minimum=1)
-    ensure_int(num_workers, "num_workers", minimum=1)
-    if num_workers > num_shards:
-        raise ValueError(
-            f"{num_workers} workers cannot each own a shard range of "
-            f"{num_shards} shard(s); use workers <= num_shards"
-        )
-    base, extra = divmod(num_shards, num_workers)
-    ranges = []
-    lo = 0
-    for w in range(num_workers):
-        hi = lo + base + (1 if w < extra else 0)
-        ranges.append((lo, hi))
-        lo = hi
-    return ranges
+__all__ = ["START_METHODS", "WorkerPool", "shard_ranges"]
 
 
 class WorkerPool:
@@ -90,7 +74,10 @@ class WorkerPool:
             )
         self._closed = False
         self.handles: list[WorkerHandle] = []
-        self._by_shard: list[WorkerHandle] = []
+        #: Explicit, mutable shard->worker table: the same placement
+        #: object the socket fabric uses, so rebalancing works
+        #: identically over pipes and sockets.
+        self.placement = PlacementMap(num_shards, num_workers)
         ctx = multiprocessing.get_context(start_method)
         ranges = shard_ranges(num_shards, num_workers)
         config_frame = rec.encode_json_payload(config_payload)
@@ -117,9 +104,6 @@ class WorkerPool:
         except BaseException:
             self.close()
             raise
-        for handle in self.handles:
-            lo, hi = handle.shard_range
-            self._by_shard.extend([handle] * (hi - lo))
         _LOGGER.debug(
             "worker pool up: %d worker(s) over %d shard(s) via %s",
             num_workers,
@@ -133,8 +117,17 @@ class WorkerPool:
         return len(self.handles)
 
     def handle_for(self, shard_index: int) -> WorkerHandle:
-        """The handle owning ``shard_index``."""
-        return self._by_shard[shard_index]
+        """The handle owning ``shard_index`` (placement lookup)."""
+        return self.handles[self.placement.owner_of(shard_index)]
+
+    def move_shard(self, shard_index: int, target_worker: int) -> int:
+        """Reassign one shard in the placement; returns the old owner.
+
+        Pure routing — the caller
+        (:meth:`~repro.service.ingest.IngestService.rebalance_shard`)
+        moves the campaign state between workers first.
+        """
+        return self.placement.move(shard_index, target_worker)
 
     def check(self) -> None:
         """Probe every worker for crashes (cheap; called per pump)."""

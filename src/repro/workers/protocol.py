@@ -29,14 +29,11 @@ bit-exact, pickle-free, and byte-compatible with checkpoint payloads.
 
 from __future__ import annotations
 
-import io
-import json
 import struct
 
-import numpy as np
-
-from repro.durable.checkpoint import _hoist_arrays, _lower_arrays
+from repro.durable import checkpoint
 from repro.durable.records import RecordError
+from repro.net.framing import FrameReader, FramingError
 
 # ---------------------------------------------------------------------------
 # Frame types.  1..31 is reserved for repro.durable.records record types
@@ -63,6 +60,10 @@ READY = 40
 ERROR = 41
 #: Parent -> worker: drain and exit cleanly.
 SHUTDOWN = 42
+#: Liveness probe (any peer -> shard host); answered with PONG.
+PING = 43
+#: Liveness probe response.
+PONG = 44
 
 _HEADER = struct.Struct("<IB")
 
@@ -79,60 +80,66 @@ def encode_frame(rtype: int, payload: bytes) -> bytes:
 
 
 def decode_frame(frame: bytes) -> tuple[int, bytes]:
-    """Inverse of :func:`encode_frame`; validates the length prefix."""
+    """Inverse of :func:`encode_frame`; validates the length prefix.
+
+    Delegates to the shared :class:`~repro.net.framing.FrameReader`, so
+    the pipe path (whole-message delivery) and the socket path
+    (arbitrary fragmentation) run the exact same decoder; a pipe
+    message must decode to exactly one frame with nothing left over.
+    """
+    reader = FrameReader()
     try:
-        length, rtype = _HEADER.unpack_from(frame, 0)
-    except struct.error as exc:
-        raise ProtocolError(f"truncated frame header: {exc}") from exc
-    if len(frame) != _HEADER.size - 1 + length:
+        frames = reader.feed(frame)
+    except FramingError as exc:
+        raise ProtocolError(str(exc)) from exc
+    if len(frames) != 1 or reader.pending_bytes:
         raise ProtocolError(
-            f"frame declares {length} bytes after the length field, "
-            f"got {len(frame) - (_HEADER.size - 1)}"
+            f"expected exactly one complete frame in {len(frame)} "
+            f"byte(s), decoded {len(frames)} with "
+            f"{reader.pending_bytes} byte(s) left over"
         )
-    return rtype, frame[_HEADER.size:]
+    return frames[0]
 
 
 def send_frame(conn, rtype: int, payload: bytes = b"") -> None:
-    """Write one frame to a ``multiprocessing`` connection."""
+    """Write one frame to a connection (pipe or socket)."""
     conn.send_bytes(encode_frame(rtype, payload))
 
 
 def recv_frame(conn) -> tuple[int, bytes]:
-    """Read one frame from a ``multiprocessing`` connection.
+    """Read one frame from a connection (pipe or socket).
 
+    A ``multiprocessing`` pipe delivers whole messages, decoded here; a
+    :class:`~repro.net.transport.SocketConnection` reassembles frames
+    from the byte stream itself and exposes ``recv_frame`` directly.
     Raises ``EOFError`` when the peer has gone away, exactly like the
     underlying connection does.
     """
+    native = getattr(conn, "recv_frame", None)
+    if native is not None:
+        return native()
     return decode_frame(conn.recv_bytes())
 
 
 # ---------------------------------------------------------------------------
 # State payloads: nested dicts with NumPy arrays at the leaves, encoded
-# as an in-memory npz with a JSON manifest (the checkpoint layout).
-
-_MANIFEST_KEY = "manifest"
+# as an in-memory npz with a JSON manifest — byte-for-byte the
+# checkpoint layout (the durable tier owns the codec), so a state blob
+# shipped over a socket and a state blob stored in a checkpoint are the
+# same format and can hand off to each other.
 
 
 def pack_state(payload: dict) -> bytes:
     """Encode a dict-with-arrays payload (snapshot / state RPCs)."""
-    arrays: dict[str, np.ndarray] = {}
-    manifest = _hoist_arrays(payload, arrays, "payload")
     try:
-        manifest_json = json.dumps(manifest, sort_keys=True)
-    except (TypeError, ValueError) as exc:
-        raise ProtocolError(
-            f"state payload is not JSON-serialisable: {exc}"
-        ) from exc
-    buf = io.BytesIO()
-    np.savez(buf, **{_MANIFEST_KEY: np.array(manifest_json)}, **arrays)
-    return buf.getvalue()
+        return checkpoint.pack_payload(payload)
+    except checkpoint.CheckpointError as exc:
+        raise ProtocolError(str(exc)) from exc
 
 
 def unpack_state(blob: bytes) -> dict:
     """Inverse of :func:`pack_state`."""
     try:
-        with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
-            manifest = json.loads(str(npz[_MANIFEST_KEY][()]))
-            return _lower_arrays(manifest, npz)
-    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        return checkpoint.unpack_payload(blob)
+    except checkpoint.CheckpointError as exc:
         raise ProtocolError(f"malformed state payload: {exc}") from exc

@@ -1,8 +1,17 @@
-"""The shard-worker process: aggregation off the ingest process's back.
+"""The shard-worker runtime: aggregation off the ingest process's back.
 
-:func:`worker_main` is the (spawn-safe, module-level) entrypoint of one
-worker process.  A worker owns a contiguous range of shards: every
-campaign routed to those shards lives here as an
+:class:`ShardRuntime` is the transport-free core: given one decoded
+frame and a ``send`` callback it applies the frame to its campaign
+aggregators and emits any response frames.  Two transports drive it:
+
+* :func:`worker_main` — the (spawn-safe, module-level) entrypoint of a
+  pipe-connected worker process (``repro.workers.pool.WorkerPool``);
+* :class:`repro.net.host.ShardHost` — the same runtime behind an
+  asyncio socket server (``repro serve-shard``), one host process per
+  port.
+
+A runtime owns a contiguous range of shards: every campaign routed to
+those shards lives here as an
 :class:`~repro.service.aggregator.IncrementalAggregator` built by the
 exact same :func:`~repro.service.aggregator.make_aggregator` call the
 in-process service would have made, so given the same micro-batch and
@@ -27,7 +36,8 @@ Protocol (see :mod:`repro.workers.protocol`):
   refreshes keep their single-process timing);
 * ``SNAPSHOT_REQ`` / ``STATE_REQ`` / ``LOAD_STATE`` — read and restore
   aggregator state;
-* ``SYNC_REQ`` — barrier; ``SHUTDOWN`` — clean exit.
+* ``SYNC_REQ`` — barrier; ``PING`` — liveness probe;
+  ``SHUTDOWN`` — clean exit.
 
 Any exception is reported back as an ``ERROR`` frame carrying the full
 traceback before the process exits nonzero, so the parent can raise a
@@ -47,40 +57,46 @@ from repro.truthdiscovery.streaming import ClaimBatch
 from repro.workers import protocol as proto
 
 
-class _WorkerRuntime:
-    """State and dispatch loop of one worker process."""
+class ShardRuntime:
+    """Transport-free frame dispatcher of one shard worker/host.
 
-    def __init__(self, conn, worker_id: int, shard_range: tuple) -> None:
-        self._conn = conn
+    ``on_frame`` returns False exactly once — for ``SHUTDOWN`` — after
+    which the transport should stop its loop and exit.
+    """
+
+    def __init__(self, worker_id: int, shard_range: tuple = (0, 0)) -> None:
         self.worker_id = worker_id
         self.shard_range = tuple(shard_range)
-        self._config: dict = {}
+        self._config: dict | None = None
         self._aggregators: dict = {}
         self.claims_aggregated = 0
 
     # ------------------------------------------------------------------
-    def run(self) -> None:
-        rtype, payload = proto.recv_frame(self._conn)
-        if rtype != rec.CONFIG:
-            raise proto.ProtocolError(
-                f"worker {self.worker_id} expected a CONFIG frame first, "
-                f"got type {rtype}"
-            )
-        self._config = json.loads(payload.decode("utf-8"))
-        proto.send_frame(self._conn, proto.READY, b"")
-        while True:
-            try:
-                rtype, payload = proto.recv_frame(self._conn)
-            except EOFError:
-                # Parent went away without a SHUTDOWN; nothing left to
-                # serve.
-                return
-            if rtype == proto.SHUTDOWN:
-                return
-            self._dispatch(rtype, payload)
+    @property
+    def configured(self) -> bool:
+        return self._config is not None
+
+    def on_frame(self, rtype: int, payload: bytes, send) -> bool:
+        """Apply one frame; ``send(rtype, payload)`` emits responses."""
+        if rtype == proto.SHUTDOWN:
+            return False
+        if rtype == proto.PING:
+            send(proto.PONG, payload)
+            return True
+        if self._config is None:
+            if rtype != rec.CONFIG:
+                raise proto.ProtocolError(
+                    f"worker {self.worker_id} expected a CONFIG frame "
+                    f"first, got type {rtype}"
+                )
+            self._config = json.loads(payload.decode("utf-8"))
+            send(proto.READY, b"")
+            return True
+        self._dispatch(rtype, payload, send)
+        return True
 
     # ------------------------------------------------------------------
-    def _dispatch(self, rtype: int, payload: bytes) -> None:
+    def _dispatch(self, rtype: int, payload: bytes, send) -> None:
         if rtype == rec.BATCH:
             self._on_batch(rec.WorkItem.from_bytes(payload))
         elif rtype == rec.REFRESH:
@@ -90,14 +106,14 @@ class _WorkerRuntime:
         elif rtype == rec.UNREGISTER:
             self._aggregators.pop(self._json(payload)["campaign_id"], None)
         elif rtype == proto.SNAPSHOT_REQ:
-            self._on_snapshot(self._json(payload)["campaign_id"])
+            self._on_snapshot(self._json(payload)["campaign_id"], send)
         elif rtype == proto.STATE_REQ:
-            self._on_state(self._json(payload)["campaign_id"])
+            self._on_state(self._json(payload)["campaign_id"], send)
         elif rtype == proto.LOAD_STATE:
             body = proto.unpack_state(payload)
             self._aggregator(body["campaign_id"]).load_state(body["state"])
         elif rtype == proto.SYNC_REQ:
-            proto.send_frame(self._conn, proto.SYNC_RESP, payload)
+            send(proto.SYNC_RESP, payload)
         else:
             raise proto.ProtocolError(
                 f"worker {self.worker_id} received unknown frame type "
@@ -153,7 +169,7 @@ class _WorkerRuntime:
         )
         self.claims_aggregated += item.size
 
-    def _on_snapshot(self, campaign_id: str) -> None:
+    def _on_snapshot(self, campaign_id: str, send) -> None:
         aggregator = self._aggregator(campaign_id)
         payload = proto.pack_state(
             {
@@ -165,9 +181,9 @@ class _WorkerRuntime:
                 "batches_ingested": aggregator.batches_ingested,
             }
         )
-        proto.send_frame(self._conn, proto.SNAPSHOT_RESP, payload)
+        send(proto.SNAPSHOT_RESP, payload)
 
-    def _on_state(self, campaign_id: str) -> None:
+    def _on_state(self, campaign_id: str, send) -> None:
         aggregator = self._aggregator(campaign_id)
         payload = proto.pack_state(
             {
@@ -175,7 +191,7 @@ class _WorkerRuntime:
                 "state": aggregator.state_dict(),
             }
         )
-        proto.send_frame(self._conn, proto.STATE_RESP, payload)
+        send(proto.STATE_RESP, payload)
 
 
 def worker_main(conn, worker_id: int, shard_range: tuple) -> None:
@@ -185,9 +201,21 @@ def worker_main(conn, worker_id: int, shard_range: tuple) -> None:
     ``spawn`` start method (the default on macOS/Windows and from
     Python 3.14 on Linux) can import and call it.
     """
-    runtime = _WorkerRuntime(conn, worker_id, shard_range)
+    runtime = ShardRuntime(worker_id, shard_range)
+
+    def send(rtype: int, payload: bytes = b"") -> None:
+        proto.send_frame(conn, rtype, payload)
+
     try:
-        runtime.run()
+        while True:
+            try:
+                rtype, payload = proto.recv_frame(conn)
+            except EOFError:
+                # Parent went away without a SHUTDOWN; nothing left to
+                # serve.
+                return
+            if not runtime.on_frame(rtype, payload, send):
+                return
     except Exception:
         reported = False
         try:

@@ -29,6 +29,10 @@ def service_report(
     bitwise=True,
     method_rmse=3.2e-8,
     read_speedup=4.0,
+    hosts=1_500_000.0,
+    hosts_bitwise=True,
+    failover_bitwise=True,
+    recovery_seconds=1.2,
 ):
     return {
         "bulk": {"claims_per_sec": bulk},
@@ -36,6 +40,14 @@ def service_report(
         "submissions": {"claims_per_sec": submissions},
         "streaming_vs_batch_rmse": rmse,
         "workers_truths_match_bitwise": bitwise,
+        "bulk_hosts": {"claims_per_sec": hosts},
+        "hosts_truths_match_bitwise": hosts_bitwise,
+        "failover": {
+            "restarts": 1,
+            "recovery_seconds": recovery_seconds,
+            "truths_match_bitwise": failover_bitwise,
+            "claims_per_sec": hosts * 0.8,
+        },
         "methods": {
             method: {
                 "streaming_vs_batch_rmse": method_rmse,
@@ -183,6 +195,55 @@ class TestCompare:
             kind="service",
         )
         assert "methods.crh.read_speedup_mean" in failures(results)
+
+    def test_hosts_bitwise_flag_false_fails(self):
+        results = check_regression.check_regression(
+            service_report(),
+            service_report(hosts_bitwise=False),
+            kind="service",
+            tolerance=0.99,
+        )
+        assert failures(results) == ["hosts_truths_match_bitwise"]
+
+    def test_failover_bitwise_flag_false_fails(self):
+        results = check_regression.check_regression(
+            service_report(),
+            service_report(failover_bitwise=False),
+            kind="service",
+            tolerance=0.99,
+        )
+        assert failures(results) == ["failover.truths_match_bitwise"]
+
+    def test_failover_recovery_gates_on_absolute_ceiling(self):
+        # Recovery time is seconds-scale and jittery: 20x the baseline
+        # still passes while under the 30 s floor...
+        results = check_regression.check_regression(
+            service_report(recovery_seconds=1.2),
+            service_report(recovery_seconds=24.0),
+            kind="service",
+        )
+        assert not failures(results)
+        # ...but a recovery a caller would notice trips it.
+        results = check_regression.check_regression(
+            service_report(),
+            service_report(recovery_seconds=45.0),
+            kind="service",
+        )
+        assert failures(results) == ["failover.recovery_seconds"]
+
+    def test_legacy_service_report_without_fabric_skips(self):
+        """Pre-fabric baselines lack the hosts sections: skip, not
+        fail."""
+        base = service_report()
+        for key in ("bulk_hosts", "hosts_truths_match_bitwise", "failover"):
+            del base[key]
+        results = check_regression.check_regression(
+            base, service_report(), kind="service"
+        )
+        skipped = [c.metric.path for c in results if c.ok is None]
+        assert "bulk_hosts.claims_per_sec" in skipped
+        assert "failover.recovery_seconds" in skipped
+        assert not failures(results)
 
     def test_missing_sections_are_skipped(self):
         base = service_report()

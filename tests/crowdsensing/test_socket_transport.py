@@ -1,0 +1,156 @@
+"""Device transport over real sockets.
+
+ISSUE-6: the socket fabric serves two protocols through one framing
+layer — these tests cover the second, the crowdsensing device
+transport.  The protocol-shape invariants checked against the simulated
+transport (server-mediated routing, zero user-to-user traffic) must
+hold identically over TCP.
+"""
+
+import time
+
+import pytest
+
+from repro.crowdsensing.messages import ClaimSubmission, TaskAssignment
+from repro.crowdsensing.socket_transport import (
+    DeviceClient,
+    SocketTransportServer,
+)
+
+
+def assignment(campaign_id="sock-c"):
+    return TaskAssignment(
+        campaign_id=campaign_id,
+        object_ids=("o1", "o2"),
+        lambda2=0.5,
+        deadline=60.0,
+    )
+
+
+def submission(user_id):
+    return ClaimSubmission(
+        campaign_id="sock-c",
+        user_id=user_id,
+        object_ids=("o1", "o2"),
+        values=(0.25, -1.5),
+    )
+
+
+class TestRoundTrip:
+    def test_assignment_and_submission_round_trip(self):
+        with SocketTransportServer() as server:
+            with DeviceClient(server.address, "user0") as device:
+                server.send("user0", assignment())
+                got = device.receive(timeout=10.0)
+                assert got == [assignment()]
+                device.send("server", submission("user0"))
+                deadline_messages = []
+                for _ in range(100):
+                    deadline_messages = server.receive()
+                    if deadline_messages:
+                        break
+                    time.sleep(0.05)
+                assert deadline_messages == [submission("user0")]
+
+    def test_parked_message_flushes_at_hello(self):
+        """Store-and-forward: a message sent before the device connects
+        is delivered the moment it introduces itself."""
+        with SocketTransportServer() as server:
+            server.send("user1", assignment())
+            assert server.connected_nodes() == []
+            with DeviceClient(server.address, "user1") as device:
+                assert device.receive(timeout=10.0) == [assignment()]
+
+    def test_multiple_devices_routed_independently(self):
+        with SocketTransportServer() as server:
+            with DeviceClient(server.address, "user0") as d0, \
+                    DeviceClient(server.address, "user1") as d1:
+                server.send("user0", assignment("for-0"))
+                server.send("user1", assignment("for-1"))
+                assert [m.campaign_id for m in d0.receive(timeout=10.0)] \
+                    == ["for-0"]
+                assert [m.campaign_id for m in d1.receive(timeout=10.0)] \
+                    == ["for-1"]
+
+
+class TestProtocolShape:
+    def test_no_user_to_user_traffic_in_protocol_rounds(self):
+        """The paper's protocol is strictly server-mediated; a full
+        assignment/submission round over sockets leaves the
+        user-to-user link counter at zero."""
+        with SocketTransportServer() as server:
+            devices = [
+                DeviceClient(server.address, f"user{i}") for i in range(3)
+            ]
+            try:
+                for device in devices:
+                    server.send(device.node_id, assignment())
+                for device in devices:
+                    assert device.receive(timeout=10.0)
+                    device.send("server", submission(device.node_id))
+                deadline = time.monotonic() + 10
+                received = []
+                while len(received) < 3 and time.monotonic() < deadline:
+                    received.extend(server.receive())
+                    time.sleep(0.02)
+                assert len(received) == 3
+            finally:
+                for device in devices:
+                    device.close()
+            assert server.user_to_user_messages() == 0
+            assert server.stats.delivered >= 6
+
+    def test_user_to_user_relay_is_counted(self):
+        """If a device does address another device, the router carries
+        the frame — and the violation shows up in the counter."""
+        with SocketTransportServer() as server:
+            with DeviceClient(server.address, "user0") as d0, \
+                    DeviceClient(server.address, "user1") as d1:
+                d0.send("user1", assignment())
+                assert d1.receive(timeout=10.0) == [assignment()]
+                assert server.user_to_user_messages() == 1
+
+    def test_self_send_rejected(self):
+        with SocketTransportServer() as server:
+            with pytest.raises(ValueError):
+                server.send("server", assignment())
+            with DeviceClient(server.address, "user0") as device:
+                with pytest.raises(ValueError):
+                    device.send("user0", assignment())
+
+
+class TestLifecycle:
+    def test_connected_nodes_tracks_hellos(self):
+        with SocketTransportServer() as server:
+            with DeviceClient(server.address, "userB"):
+                with DeviceClient(server.address, "userA"):
+                    deadline = time.monotonic() + 10
+                    while server.connected_nodes() != ["userA", "userB"] \
+                            and time.monotonic() < deadline:
+                        time.sleep(0.02)
+                    assert server.connected_nodes() == ["userA", "userB"]
+
+    def test_close_idempotent(self):
+        server = SocketTransportServer()
+        with DeviceClient(server.address, "user0"):
+            pass
+        server.close()
+        server.close()
+
+    def test_send_after_device_disconnect_parks_for_reconnect(self):
+        """A vanished device's messages wait for its reconnect instead
+        of being dropped."""
+        with SocketTransportServer() as server:
+            device = DeviceClient(server.address, "user0")
+            deadline = time.monotonic() + 10
+            while "user0" not in server.connected_nodes() \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            device.close()
+            # The router notices the EOF and forgets the connection.
+            deadline = time.monotonic() + 10
+            while server.connected_nodes() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            server.send("user0", assignment())
+            with DeviceClient(server.address, "user0") as again:
+                assert again.receive(timeout=10.0) == [assignment()]

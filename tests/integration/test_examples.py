@@ -8,8 +8,6 @@ execute with stdout captured, asserting on its key output lines.
 import importlib.util
 from pathlib import Path
 
-import pytest
-
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 
@@ -29,6 +27,7 @@ def test_examples_directory_complete():
         "compact_recover",
         "crowd_labeling",
         "crowdsensing_protocol",
+        "distributed_service",
         "durable_service",
         "high_throughput_service",
         "indoor_floorplan",

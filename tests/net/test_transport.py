@@ -1,0 +1,133 @@
+"""SocketListener / SocketConnection: the mp.Connection surface on TCP."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.framing import FramingError
+from repro.net.transport import SocketListener, connect
+from repro.workers import protocol as proto
+
+
+@pytest.fixture
+def pair():
+    """An accepted (server_conn, client_conn) pair on localhost."""
+    with SocketListener() as listener:
+        result = {}
+
+        def dial():
+            result["client"] = connect(listener.address, timeout=10.0)
+
+        t = threading.Thread(target=dial)
+        t.start()
+        server = listener.accept(timeout=10.0)
+        t.join(10.0)
+        client = result["client"]
+        try:
+            yield server, client
+        finally:
+            server.close()
+            client.close()
+
+
+class TestRoundTrip:
+    def test_frames_both_directions(self, pair):
+        server, client = pair
+        client.send_bytes(proto.encode_frame(5, b"to-server"))
+        assert server.poll(5.0)
+        assert proto.recv_frame(server) == (5, b"to-server")
+        server.send_bytes(proto.encode_frame(33, b"to-client"))
+        assert proto.recv_frame(client) == (33, b"to-client")
+
+    def test_large_frame_survives_partial_sends(self, pair):
+        server, client = pair
+        payload = bytes(range(256)) * 16384  # 4 MiB: many recv chunks
+        # Send from a thread: a frame this size overflows the kernel
+        # socket buffers, so the sender blocks until the receiver
+        # drains — which is exactly the partial-send path under test.
+        sender = threading.Thread(
+            target=client.send_bytes,
+            args=(proto.encode_frame(35, payload),),
+        )
+        sender.start()
+        try:
+            rtype, got = proto.recv_frame(server)
+        finally:
+            sender.join(30.0)
+        assert rtype == 35
+        assert got == payload
+
+    def test_many_small_frames_coalesced(self, pair):
+        server, client = pair
+        frames = [(i % 250 + 1, bytes([i % 251])) for i in range(200)]
+        blob = b"".join(proto.encode_frame(t, p) for t, p in frames)
+        client.send_bytes(blob)
+        got = [proto.recv_frame(server) for _ in frames]
+        assert got == frames
+
+    def test_poll_zero_without_data(self, pair):
+        server, _client = pair
+        assert not server.poll(0)
+
+    def test_poll_sees_buffered_frame_without_new_bytes(self, pair):
+        server, client = pair
+        client.send_bytes(
+            proto.encode_frame(1, b"a") + proto.encode_frame(2, b"b")
+        )
+        assert server.poll(5.0)
+        assert proto.recv_frame(server) == (1, b"a")
+        # The second frame is already buffered; poll must not block on
+        # the (now idle) socket.
+        assert server.poll(0)
+        assert proto.recv_frame(server) == (2, b"b")
+
+
+class TestEdges:
+    def test_clean_close_raises_eof(self, pair):
+        server, client = pair
+        client.close()
+        with pytest.raises(EOFError):
+            server.recv_frame()
+
+    def test_poll_true_at_eof(self, pair):
+        server, client = pair
+        client.close()
+        assert server.poll(5.0)  # EOF is a readable event
+
+    def test_close_mid_frame_raises_framing_error(self):
+        with SocketListener() as listener:
+            raw = socket.create_connection(listener.address, timeout=10.0)
+            server = listener.accept(timeout=10.0)
+            try:
+                raw.sendall(proto.encode_frame(5, b"payload")[:3])
+            finally:
+                raw.close()
+            with pytest.raises(FramingError):
+                server.recv_frame()
+            server.close()
+
+    def test_connect_refused_after_deadline(self):
+        # Grab a port and close it so nothing listens there.
+        probe = SocketListener()
+        address = probe.address
+        probe.close()
+        with pytest.raises(ConnectionError):
+            connect(address, timeout=0.3)
+
+    def test_close_idempotent(self, pair):
+        server, client = pair
+        server.close()
+        server.close()
+        assert server.closed
+        client.close()
+        client.close()
+
+    def test_send_after_peer_close_raises_broken_pipe(self, pair):
+        server, client = pair
+        server.close()
+        with pytest.raises((BrokenPipeError, ConnectionError)):
+            # The first send may land in kernel buffers; keep writing
+            # until the RST surfaces.
+            for _ in range(64):
+                client.send_bytes(proto.encode_frame(5, b"x" * 65536))

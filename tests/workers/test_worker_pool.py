@@ -282,6 +282,16 @@ class TestLifecycle:
         finally:
             service.close()
 
+    def test_close_after_worker_crash_does_not_raise(self):
+        """close() must stay safe after a crash: no exception, no hang
+        on the dead worker, and a second close is still a no-op."""
+        service = make_service(2)
+        victim = service.worker_pool.handles[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(timeout=10)
+        service.close()
+        service.close()
+
     def test_remote_failure_surfaces_traceback(self):
         service = make_service(1)
         try:
