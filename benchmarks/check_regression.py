@@ -82,6 +82,14 @@ SERVICE_METRICS = (
     # here) only trips when failover degrades to something a caller
     # would actually notice, not on runner jitter.
     Metric("failover.recovery_seconds", "lower", floor=30.0),
+    # Stage-latency gates from the telemetry histograms.  Both are
+    # "lower" with generous absolute floors (the bound is
+    # max(baseline * (1 + tolerance), floor)): micro-batch flushes are
+    # tens of microseconds and group commits a few milliseconds on any
+    # healthy runner, so only an order-of-magnitude pipeline stall —
+    # not fsync jitter — trips these.
+    Metric("bulk.batch_flush_p99_ms", "lower", floor=250.0),
+    Metric("durable.durable_ack_p99_ms", "lower", floor=2000.0),
 ) + tuple(
     metric
     for method in ("crh", "gtm", "catd")

@@ -19,6 +19,11 @@ Subcommands
 * ``durable-bench [--smoke] [--output PATH]`` — measure write-ahead
   logging cost (per fsync policy, synchronous and async commit),
   commit-latency percentiles, compaction, and crash-recovery speed;
+* ``metrics URL`` — scrape a live ``/metrics`` endpoint once and
+  pretty-print every series (``--raw`` prints the Prometheus text);
+* ``top URL [--interval S]`` — live terminal dashboard over a metrics
+  endpoint: throughput, queue depths, durable lag, stage-latency
+  percentiles, per-process aggregation rates;
 * ``recover DIR [--campaign ID] [--checkpoint]`` — rebuild service
   state from a durability directory and report what was recovered;
 * ``compact DIR [--checkpoint-lsn N]`` — rewrite a durability
@@ -130,6 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tiny workload exercising every code path (CI smoke test)",
     )
+    bench_p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live metrics on this port for the whole benchmark "
+        "(Prometheus text at /metrics, JSON at /metrics.json; watch it "
+        "with 'repro top http://127.0.0.1:PORT/metrics')",
+    )
+    bench_p.add_argument(
+        "--trace-output",
+        metavar="PATH",
+        default=None,
+        help="sample per-submission traces during the WAL-attached "
+        "durable-ack run and write them as a JSON artifact to this path",
+    )
     _add_output_option(bench_p, "results/BENCH_service.json")
 
     serve_p = sub.add_parser(
@@ -209,7 +230,52 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tiny workload exercising every code path (CI smoke test)",
     )
+    durable_p.add_argument(
+        "--trace-output",
+        metavar="PATH",
+        default=None,
+        help="run one extra traced logged workload and write its "
+        "per-submission stage traces as a JSON artifact to this path",
+    )
     _add_output_option(durable_p, "results/BENCH_durability.json")
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="scrape a live metrics endpoint once and pretty-print it",
+    )
+    metrics_p.add_argument(
+        "url",
+        help="metrics endpoint, e.g. http://127.0.0.1:9800/metrics",
+    )
+    metrics_p.add_argument(
+        "--raw",
+        action="store_true",
+        help="print the Prometheus text exposition instead of the "
+        "formatted summary",
+    )
+
+    top_p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a metrics endpoint",
+    )
+    top_p.add_argument(
+        "url",
+        help="metrics endpoint, e.g. http://127.0.0.1:9800/metrics",
+    )
+    top_p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh interval in seconds (default 2.0)",
+    )
+    top_p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="redraw N times then exit (default: run until Ctrl-C or "
+        "the endpoint goes away)",
+    )
 
     compact_p = sub.add_parser(
         "compact",
@@ -377,10 +443,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             hosts=args.hosts,
             start_method=args.start_method,
             smoke=args.smoke,
+            metrics_port=args.metrics_port,
+            trace_output=args.trace_output,
         )
         print(format_summary(report))
         _write_output(report, args.output)
         return 0
+
+    if args.command == "metrics":
+        from repro.obs import format_metrics, render_prometheus, try_scrape
+
+        snapshot = try_scrape(args.url)
+        if snapshot is None:
+            print(f"{args.url}: no metrics endpoint reachable",
+                  file=sys.stderr)
+            return 1
+        if args.raw:
+            print(render_prometheus(snapshot), end="")
+        else:
+            print(format_metrics(snapshot))
+        return 0
+
+    if args.command == "top":
+        from repro.obs import run_top
+
+        return run_top(
+            args.url,
+            interval=args.interval,
+            iterations=args.iterations,
+        )
 
     if args.command == "serve-shard":
         from repro.net.host import serve_shard
@@ -413,6 +504,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             directory=args.dir,
             smoke=args.smoke,
+            trace_output=args.trace_output,
         )
         print(format_durability_summary(report))
         _write_output(report, args.output)

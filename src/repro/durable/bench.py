@@ -284,13 +284,17 @@ def run_durability_bench(
     directory: Optional[str] = None,
     reps: int = 3,
     smoke: bool = False,
+    trace_output: Optional[str] = None,
 ) -> dict:
     """Run every measured path; returns a JSON-serialisable summary.
 
     Each throughput path is measured ``reps`` times (best run
     reported) because fsync latency is noisy.  ``smoke`` shrinks the
     workload to a few thousand claims so CI can exercise the full code
-    path in a couple of seconds.
+    path in a couple of seconds.  ``trace_output`` adds one extra
+    small WAL-attached run with submission tracing enabled and dumps
+    the collected traces (all five stage timestamps, including the
+    durable-ack watermark stamp) to that path as JSON.
     """
     if smoke:
         total_claims = min(total_claims, 12_000)
@@ -429,6 +433,38 @@ def run_durability_bench(
             compaction["recovery"] = _recover_run(
                 ckpt_dir, campaigns, ckpt_truths
             )
+
+        trace = None
+        if trace_output is not None:
+            trace_dir = base_dir / "wal-traced"
+            if trace_dir.exists():
+                shutil.rmtree(trace_dir)
+            traced_manager = DurabilityManager(
+                DurabilityConfig(directory=trace_dir, fsync="batch")
+            )
+            # Bulk traffic is chunk-granular (one submission per column
+            # chunk), so sample densely enough for a useful artifact.
+            traced_config = ServiceConfig(
+                num_shards=num_shards,
+                max_batch=max_batch,
+                trace_sample_every=2,
+            )
+            service = IngestService(traced_config, durability=traced_manager)
+            _register_all(service, campaigns)
+            _run_ingest(
+                service, _slice_claims(chunks, min(total_claims, 20_000))
+            )
+            # One pump after the final sync: drains the last committed
+            # group and resolves pending traces against the durable-ack
+            # watermark before the dump.
+            service.pump()
+            service.telemetry.traces.dump(trace_output)
+            trace = {
+                "path": str(trace_output),
+                "traces_sampled": len(service.telemetry.traces),
+            }
+            service.close()
+            traced_manager.close()
     finally:
         if directory is None:
             shutil.rmtree(base_dir, ignore_errors=True)
@@ -463,6 +499,7 @@ def run_durability_bench(
         "logged_async": logged_async,
         "recovery": recovery,
         "compaction": compaction,
+        "trace": trace,
     }
 
 

@@ -1,0 +1,65 @@
+"""repro.obs — the unified telemetry layer.
+
+A typed metric registry (counters, gauges, mergeable log-scale latency
+histograms), sampled per-submission tracing, and exposition (Prometheus
+text over HTTP, plus the ``repro metrics`` / ``repro top`` terminal
+views).  Every pipeline layer — service, durable, workers, net —
+reports into it; see ``docs/observability.md`` for the metric-name
+reference.
+"""
+
+from repro.obs.exposition import (
+    MetricsServer,
+    render_prometheus,
+    scrape,
+    try_scrape,
+)
+from repro.obs.registry import (
+    BUCKET_BASE,
+    BUCKET_EDGES,
+    NUM_BUCKETS,
+    NULL_REGISTRY,
+    SUMMARY_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricRegistry,
+    NullRegistry,
+    RegistrySnapshot,
+    bucket_index,
+    percentile_from_counts,
+    series_key,
+    series_name,
+)
+from repro.obs.top import format_metrics, render_dashboard, run_top
+from repro.obs.tracing import STAGES, SubmissionTrace, TraceCollector
+
+__all__ = [
+    "BUCKET_BASE",
+    "BUCKET_EDGES",
+    "NUM_BUCKETS",
+    "NULL_REGISTRY",
+    "STAGES",
+    "SUMMARY_QUANTILES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+    "MetricsServer",
+    "NullRegistry",
+    "RegistrySnapshot",
+    "SubmissionTrace",
+    "TraceCollector",
+    "bucket_index",
+    "format_metrics",
+    "percentile_from_counts",
+    "render_dashboard",
+    "render_prometheus",
+    "run_top",
+    "scrape",
+    "series_key",
+    "series_name",
+    "try_scrape",
+]

@@ -1,0 +1,215 @@
+"""Metric exposition: Prometheus text format over a tiny HTTP server.
+
+:func:`render_prometheus` turns a
+:class:`~repro.obs.registry.RegistrySnapshot` into the Prometheus text
+exposition format (version 0.0.4: ``# TYPE`` headers, cumulative
+``_bucket{le=...}`` histogram series, ``_sum``/``_count``).
+
+:class:`MetricsServer` serves it: a threaded ``http.server`` endpoint
+with two routes —
+
+* ``GET /metrics`` — Prometheus text (what a scraper pulls);
+* ``GET /metrics.json`` — the snapshot's ``to_dict()`` JSON (what
+  ``repro top`` and the CI scrape check consume: structured, and
+  mergeable client-side via ``RegistrySnapshot.from_dict``).
+
+The server never talks to worker processes itself: its provider
+callable must be safe to run from the HTTP thread (the ingest service
+hands it a snapshot function that reads only local state and *cached*
+remote snapshots — remote STATS RPCs happen on the pump thread, where
+the frame protocol's ordering lives).
+
+:func:`scrape` is the matching one-shot client (stdlib ``urllib``), so
+``repro metrics`` / ``repro top`` need no HTTP dependency either.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.registry import (
+    BUCKET_EDGES,
+    RegistrySnapshot,
+    series_name,
+)
+
+
+def render_prometheus(snapshot: RegistrySnapshot) -> str:
+    """Prometheus text exposition (0.0.4) for one snapshot."""
+    lines: list[str] = []
+    seen_types: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in sorted(snapshot.counters.items()):
+        type_line(key[0], "counter")
+        lines.append(f"{series_name(key)} {_num(value)}")
+    for key, value in sorted(snapshot.gauges.items()):
+        type_line(key[0], "gauge")
+        lines.append(f"{series_name(key)} {_num(value)}")
+    for key, hist in sorted(snapshot.histograms.items()):
+        name, labels = key
+        type_line(name, "histogram")
+        cumulative = 0
+        for edge, count in zip(BUCKET_EDGES, hist["counts"]):
+            cumulative += count
+            bucket_key = (
+                f"{name}_bucket",
+                labels + (("le", _num(edge)),),
+            )
+            lines.append(f"{series_name(bucket_key)} {cumulative}")
+        inf_key = (f"{name}_bucket", labels + (("le", "+Inf"),))
+        lines.append(f"{series_name(inf_key)} {hist['count']}")
+        lines.append(
+            f"{series_name((f'{name}_sum', labels))} {_num(hist['sum'])}"
+        )
+        lines.append(
+            f"{series_name((f'{name}_count', labels))} {hist['count']}"
+        )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    """Render a number the way Prometheus likes (ints without '.0')."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _empty_snapshot() -> RegistrySnapshot:
+    return RegistrySnapshot()
+
+
+class MetricsServer:
+    """Threaded HTTP endpoint serving one provider's snapshots.
+
+    Parameters
+    ----------
+    provider:
+        Zero-argument callable returning the current
+        :class:`RegistrySnapshot`.  Swappable at runtime via
+        :meth:`set_provider` (the benchmark points the endpoint at
+        whichever service is currently running).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read
+        :attr:`port` afterwards).
+    """
+
+    def __init__(
+        self,
+        provider: Optional[Callable[[], RegistrySnapshot]] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._provider = provider or _empty_snapshot
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API name
+                try:
+                    snapshot = server._provider()
+                    if self.path.startswith("/metrics.json"):
+                        body = json.dumps(snapshot.to_dict()).encode()
+                        ctype = "application/json"
+                    elif self.path.startswith("/metrics"):
+                        body = render_prometheus(snapshot).encode()
+                        ctype = "text/plain; version=0.0.4"
+                    else:
+                        self.send_error(404)
+                        return
+                except Exception as exc:  # never kill the serve thread
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes must not spam the service's stderr
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def set_provider(
+        self, provider: Callable[[], RegistrySnapshot]
+    ) -> None:
+        self._provider = provider
+
+    def freeze(self) -> None:
+        """Pin the current snapshot (the provider's service is closing)."""
+        try:
+            snapshot = self._provider()
+        except Exception:  # provider already torn down
+            snapshot = RegistrySnapshot()
+        self._provider = lambda: snapshot
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+
+
+def scrape(url: str, *, timeout: float = 10.0) -> RegistrySnapshot:
+    """One-shot scrape of a ``/metrics.json`` endpoint.
+
+    Accepts the ``/metrics`` URL too and rewrites it to the JSON
+    route — the structured form round-trips into a
+    :class:`RegistrySnapshot` exactly.
+    """
+    if url.endswith("/metrics"):
+        url = url + ".json"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    return RegistrySnapshot.from_dict(payload)
+
+
+def try_scrape(
+    url: str, *, timeout: float = 10.0
+) -> Optional[RegistrySnapshot]:
+    """Like :func:`scrape`, but None on connection/HTTP errors."""
+    try:
+        return scrape(url, timeout=timeout)
+    except (urllib.error.URLError, OSError, ValueError):
+        return None

@@ -1,0 +1,225 @@
+"""Terminal views over scraped metrics: ``repro metrics`` / ``repro top``.
+
+Both commands are pure consumers of the ``/metrics.json`` endpoint
+(:mod:`repro.obs.exposition`):
+
+* :func:`format_metrics` — one-shot pretty-print of every series, with
+  p50/p90/p99 for histograms (``repro metrics URL``);
+* :func:`run_top` — a live dashboard refreshed in place: throughput
+  (from counter deltas between scrapes), per-shard queue depths,
+  durable lag, stage-latency percentiles, and per-process health for
+  worker/fabric runs (``repro top URL``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.obs.exposition import try_scrape
+from repro.obs.registry import (
+    SUMMARY_QUANTILES,
+    RegistrySnapshot,
+    percentile_from_counts,
+    series_name,
+)
+
+#: ANSI: clear screen + home (what keeps ``repro top`` flicker-free
+#: without a curses dependency).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def format_metrics(snapshot: RegistrySnapshot) -> str:
+    """Every series, grouped by kind; histograms get percentiles."""
+    lines: list[str] = []
+    if snapshot.counters:
+        lines.append("counters:")
+        for key, value in sorted(snapshot.counters.items()):
+            lines.append(f"  {series_name(key):<58} {value:>14,.0f}")
+    if snapshot.gauges:
+        lines.append("gauges:")
+        for key, value in sorted(snapshot.gauges.items()):
+            lines.append(f"  {series_name(key):<58} {value:>14,.0f}")
+    if snapshot.histograms:
+        lines.append("histograms (seconds):")
+        for key, hist in sorted(snapshot.histograms.items()):
+            quantiles = "  ".join(
+                f"p{q:.0f}={percentile_from_counts(hist['counts'], q):.6f}"
+                for q in SUMMARY_QUANTILES
+            )
+            lines.append(
+                f"  {series_name(key):<58} n={hist['count']:<8} "
+                f"{quantiles}"
+            )
+    if not lines:
+        lines.append("(no metrics)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _sum_gauges(snapshot: RegistrySnapshot, name: str) -> float:
+    return sum(
+        value
+        for (series, _), value in snapshot.gauges.items()
+        if series == name
+    )
+
+
+def _per_label(
+    snapshot: RegistrySnapshot, name: str, label: str
+) -> dict[str, float]:
+    """Series values of one family keyed by one label's value."""
+    out: dict[str, float] = {}
+    for group in (snapshot.counters, snapshot.gauges):
+        for (series, labels), value in group.items():
+            if series != name:
+                continue
+            labelmap = dict(labels)
+            if label in labelmap:
+                out[labelmap[label]] = out.get(labelmap[label], 0.0) + value
+    return out
+
+
+def _merged_percentiles(
+    snapshot: RegistrySnapshot, name: str
+) -> Optional[tuple]:
+    """p50/p90/p99 of one histogram family, merged across its series."""
+    merged: Optional[list[int]] = None
+    total = 0
+    for (series, _), hist in snapshot.histograms.items():
+        if series != name:
+            continue
+        total += hist["count"]
+        if merged is None:
+            merged = list(hist["counts"])
+        else:
+            for i, c in enumerate(hist["counts"]):
+                merged[i] += c
+    if merged is None or total == 0:
+        return None
+    return tuple(
+        percentile_from_counts(merged, q) for q in SUMMARY_QUANTILES
+    )
+
+
+def render_dashboard(
+    snapshot: RegistrySnapshot,
+    previous: Optional[RegistrySnapshot],
+    interval: float,
+) -> str:
+    """One ``repro top`` frame (no ANSI; the loop adds the clear)."""
+    accepted = snapshot.family_total("repro_claims_accepted_total")
+    rate = None
+    if previous is not None and interval > 0:
+        # Clamp at zero: a counter can step backwards when the endpoint's
+        # provider swaps to a fresh service between bench stages.
+        rate = max(
+            accepted - previous.family_total("repro_claims_accepted_total"),
+            0.0,
+        ) / interval
+    lines = [
+        "repro top — ingestion service",
+        "-----------------------------",
+        (
+            f"claims accepted: {accepted:>14,.0f}"
+            + (f"   ({rate:,.0f} claims/s)" if rate is not None else "")
+        ),
+        (
+            f"submissions:     "
+            f"{snapshot.family_total('repro_submissions_total'):>14,.0f}"
+            f"   rejected: "
+            f"{snapshot.family_total('repro_claims_rejected_total'):,.0f}"
+        ),
+    ]
+    depths = _per_label(snapshot, "repro_queue_depth", "shard")
+    if depths:
+        rendered = "  ".join(
+            f"s{shard}={depth:.0f}" for shard, depth in sorted(depths.items())
+        )
+        lines.append(f"queue depth:     {rendered}")
+    lag = _sum_gauges(snapshot, "repro_wal_durable_lag")
+    if any(series == "repro_wal_durable_lag"
+           for series, _ in snapshot.gauges):
+        lines.append(f"durable lag:     {lag:>14,.0f} record(s)")
+    for title, name in (
+        ("queue wait", "repro_queue_wait_seconds"),
+        ("batch flush", "repro_batch_flush_seconds"),
+        ("wal commit", "repro_wal_commit_seconds"),
+        ("snapshot read", "repro_snapshot_read_seconds"),
+        ("fabric rpc", "repro_fabric_rpc_seconds"),
+    ):
+        quantiles = _merged_percentiles(snapshot, name)
+        if quantiles is None:
+            continue
+        p50, p90, p99 = quantiles
+        lines.append(
+            f"{title + ':':<16} p50 {p50 * 1e3:9.3f} ms   "
+            f"p90 {p90 * 1e3:9.3f} ms   p99 {p99 * 1e3:9.3f} ms"
+        )
+    per_proc = _per_label(
+        snapshot, "repro_worker_claims_total", "proc"
+    )
+    if per_proc:
+        lines.append("per-process aggregation:")
+        previous_procs = (
+            _per_label(previous, "repro_worker_claims_total", "proc")
+            if previous is not None
+            else {}
+        )
+        for proc, claims in sorted(per_proc.items()):
+            proc_rate = ""
+            if proc in previous_procs and interval > 0:
+                delta = max(claims - previous_procs[proc], 0.0)
+                proc_rate = f"   ({delta / interval:,.0f} claims/s)"
+            lines.append(f"  {proc:<12} {claims:>14,.0f} claims{proc_rate}")
+    restarts = snapshot.value("repro_fabric_restarts_total")
+    if restarts is not None:
+        lines.append(f"host restarts:   {restarts:>14,.0f}")
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    stream=None,
+) -> int:
+    """Poll ``url`` and redraw the dashboard until interrupted.
+
+    ``iterations`` bounds the loop (None = run until Ctrl-C or the
+    endpoint disappears after having been seen); returns an exit code.
+    """
+    stream = stream if stream is not None else sys.stdout
+    previous: Optional[RegistrySnapshot] = None
+    ever_connected = False
+    remaining = iterations
+    try:
+        while remaining is None or remaining > 0:
+            if remaining is not None:
+                remaining -= 1
+            snapshot = try_scrape(url, timeout=max(interval, 2.0))
+            if snapshot is None:
+                if ever_connected:
+                    stream.write(f"\n{url}: endpoint gone; exiting\n")
+                    return 0
+                stream.write(f"{_CLEAR}waiting for {url} ...\n")
+                stream.flush()
+                time.sleep(interval)
+                continue
+            ever_connected = True
+            frame = render_dashboard(snapshot, previous, interval)
+            stream.write(f"{_CLEAR}{frame}\n")
+            stream.flush()
+            previous = snapshot
+            if remaining is None or remaining > 0:
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        stream.write("\n")
+    if not ever_connected:
+        stream.write(f"{url}: no metrics endpoint reachable\n")
+        return 1
+    return 0

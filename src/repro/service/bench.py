@@ -33,14 +33,18 @@ from __future__ import annotations
 
 import itertools
 import os
+import shutil
 import signal
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.crowdsensing.campaign import CampaignSpec
 from repro.crowdsensing.server import AggregationServer
 from repro.crowdsensing.transport import InProcessTransport
+from repro.obs.registry import percentile_from_counts
 from repro.service.ingest import IngestService, ServiceConfig
 from repro.service.loadgen import LoadGenerator
 from repro.truthdiscovery.claims import ClaimMatrix
@@ -60,6 +64,27 @@ def _percentile_ms(latencies: np.ndarray, q: float) -> float:
     return float(np.percentile(latencies, q) * 1e3)
 
 
+def _family_percentile_ms(snapshot, name: str, q: float) -> float:
+    """Histogram percentile merged across a family's label children.
+
+    ``RegistrySnapshot.histogram_percentile`` addresses one series;
+    the per-shard latency families (``repro_batch_flush_seconds{shard}``
+    and friends) want the service-wide percentile, which is just the
+    percentile of the element-wise summed bucket counts.
+    """
+    counts = None
+    for (series, _labels), hist in snapshot.histograms.items():
+        if series != name:
+            continue
+        if counts is None:
+            counts = list(hist["counts"])
+        else:
+            counts = [a + b for a, b in zip(counts, hist["counts"])]
+    if counts is None or sum(counts) == 0:
+        return 0.0
+    return float(percentile_from_counts(counts, q) * 1e3)
+
+
 def _bench_bulk(
     *,
     total_claims: int,
@@ -76,6 +101,10 @@ def _bench_bulk(
     supervise: bool = True,
     start_method: str = "spawn",
     midstream=None,
+    obs: bool = True,
+    trace_sample_every: int = 0,
+    trace_output=None,
+    metrics_server=None,
 ) -> tuple[dict, dict]:
     """One bulk-path run; returns (metrics, final truths per campaign).
 
@@ -88,11 +117,24 @@ def _bench_bulk(
     halfway chunk — the failover benchmark uses it to kill a shard
     host inside the measured window.  The final truths are snapshotted
     outside the clock; the caller uses them for the bitwise checks.
+
+    ``obs=False`` runs with the telemetry layer compiled out (the
+    null registry) — the overhead measurement compares the two.  A
+    ``metrics_server`` is pointed at this run's live registry for its
+    duration and frozen on our last snapshot before the service
+    closes, so a concurrent scraper always gets an answer.
     """
-    config = ServiceConfig(num_shards=num_shards, max_batch=max_batch)
+    config = ServiceConfig(
+        num_shards=num_shards,
+        max_batch=max_batch,
+        obs=obs,
+        trace_sample_every=trace_sample_every,
+    )
     service = IngestService(config, workers=workers, hosts=hosts,
                             supervise=supervise,
                             start_method=start_method)
+    if metrics_server is not None:
+        metrics_server.set_provider(service.metrics_snapshot)
     per_campaign_chunks = []
     generators = []
     per_campaign = max(total_claims // num_campaigns, 1)
@@ -146,6 +188,11 @@ def _bench_bulk(
     accepted = service.stats.claims_accepted
     lats = service.batch_latencies()
     fabric = service.fabric_stats() if hosts > 0 else None
+    obs_snapshot = service.metrics_snapshot() if obs else None
+    if trace_output is not None and trace_sample_every > 0:
+        service.telemetry.traces.dump(trace_output)
+    if metrics_server is not None:
+        metrics_server.freeze()
     service.close()
     metrics = {
         "claims": int(accepted),
@@ -157,6 +204,18 @@ def _bench_bulk(
         "workers": workers,
         "stats": service.stats.as_dict(),
     }
+    if obs_snapshot is not None:
+        metrics["batch_flush_p50_ms"] = _family_percentile_ms(
+            obs_snapshot, "repro_batch_flush_seconds", 50
+        )
+        metrics["batch_flush_p99_ms"] = _family_percentile_ms(
+            obs_snapshot, "repro_batch_flush_seconds", 99
+        )
+        metrics["queue_wait_p99_ms"] = _family_percentile_ms(
+            obs_snapshot, "repro_queue_wait_seconds", 99
+        )
+    if trace_sample_every > 0:
+        metrics["traces_sampled"] = len(service.telemetry.traces)
     if fabric is not None:
         metrics["hosts"] = hosts
         metrics["supervision"] = fabric.get("supervision")
@@ -414,6 +473,108 @@ def _kill_one_host(service) -> None:
     victim.process.join(10.0)
 
 
+def _bench_durable_ack(
+    *,
+    total_claims: int,
+    users_per_campaign: int,
+    objects_per_campaign: int,
+    num_shards: int,
+    max_batch: int,
+    chunk_size: int,
+    seed: int,
+    method: str,
+    trace_output=None,
+    metrics_server=None,
+) -> dict:
+    """Small WAL-attached run: append-to-durable-ack latency percentiles.
+
+    Runs the bulk path with a ``fsync=batch`` write-ahead log into a
+    throwaway directory and reads the per-group commit latency
+    percentiles from the ``repro_wal_commit_seconds{fsync=batch}``
+    histogram the telemetry layer drains from the WAL — the same
+    series a live scrape sees, exercised end to end.  With
+    ``trace_output`` set the run samples submission traces, which here
+    carry all five stage timestamps including the real durable-ack
+    stamp, and dumps them as a JSON artifact.
+    """
+    from repro.durable.manager import DurabilityConfig, DurabilityManager
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-service-bench-wal-"))
+    try:
+        manager = DurabilityManager(
+            DurabilityConfig(directory=tmp / "wal", fsync="batch")
+        )
+        # Bulk traffic is chunk-granular — one "submission" per column
+        # chunk, so only a handful per run; sample 1-in-2 so the
+        # artifact actually carries traces.
+        config = ServiceConfig(
+            num_shards=num_shards,
+            max_batch=max_batch,
+            trace_sample_every=2 if trace_output is not None else 0,
+        )
+        service = IngestService(config, durability=manager)
+        if metrics_server is not None:
+            metrics_server.set_provider(service.metrics_snapshot)
+        gen = LoadGenerator(
+            "durable-ack-c0",
+            num_users=users_per_campaign,
+            num_objects=objects_per_campaign,
+            random_state=seed,
+        )
+        service.register_campaign(
+            gen.campaign_id,
+            gen.object_ids,
+            max_users=users_per_campaign,
+            user_ids=gen.user_ids,
+            method=method,
+        )
+        chunks = list(gen.column_chunks(total_claims, chunk_size=chunk_size))
+        start = time.perf_counter()
+        for i, chunk in enumerate(chunks):
+            service.submit_columns(
+                chunk.campaign_id, chunk.user_slots, chunk.object_slots,
+                chunk.values,
+            )
+            if i % 8 == 7:
+                service.pump()
+        service.flush()
+        manager.sync()
+        elapsed = time.perf_counter() - start
+        # One more pump after the final sync so the last committed
+        # group is drained into the histogram and the durable-ack
+        # watermark resolves any still-pending traces.
+        service.pump()
+        snapshot = service.metrics_snapshot()
+        if trace_output is not None:
+            service.telemetry.traces.dump(trace_output)
+        if metrics_server is not None:
+            metrics_server.freeze()
+        p50 = snapshot.histogram_percentile(
+            "repro_wal_commit_seconds", 50, fsync="batch"
+        )
+        p99 = snapshot.histogram_percentile(
+            "repro_wal_commit_seconds", 99, fsync="batch"
+        )
+        accepted = service.stats.claims_accepted
+        metrics = {
+            "claims": int(accepted),
+            "seconds": elapsed,
+            "claims_per_sec": accepted / max(elapsed, 1e-9),
+            "fsync": "batch",
+            "commit_groups": int(service.stats.wal_commit_groups),
+            "durable_ack_p50_ms": (p50 or 0.0) * 1e3,
+            "durable_ack_p99_ms": (p99 or 0.0) * 1e3,
+        }
+        if trace_output is not None:
+            metrics["traces_sampled"] = len(service.telemetry.traces)
+            metrics["trace_output"] = str(trace_output)
+        service.close()
+        manager.close()
+        return metrics
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def run_service_bench(
     *,
     total_claims: int = 400_000,
@@ -435,6 +596,8 @@ def run_service_bench(
     hosts: int = 0,
     start_method: str = "spawn",
     smoke: bool = False,
+    metrics_port=None,
+    trace_output=None,
 ) -> dict:
     """Run all measured paths and return a JSON-serialisable summary.
 
@@ -453,6 +616,19 @@ def run_service_bench(
     ``smoke`` shrinks every workload to a few thousand claims so CI
     can exercise the full code path (including the worker spawn path)
     in seconds.
+
+    ``metrics_port`` starts a live :class:`~repro.obs.MetricsServer`
+    on ``127.0.0.1`` for the whole benchmark — each measured service
+    becomes its provider while it runs, and a frozen snapshot of the
+    last one serves the gaps in between, so an external scraper (CI's
+    mid-run check, ``repro top``) always gets an answer.
+    ``trace_output`` dumps sampled submission traces (with real
+    durable-ack timestamps, from the WAL-attached run) as JSON.
+
+    Two observability sections ride along: ``obs_overhead`` re-runs
+    the bulk path with telemetry disabled and reports the throughput
+    delta, and ``durable`` measures append-to-durable-ack commit
+    percentiles off the scraped histogram itself.
     """
     if method not in STREAMING_ESTIMATORS:
         raise ValueError(
@@ -465,6 +641,67 @@ def run_service_bench(
         baseline_claims = min(baseline_claims, 4_000)
         read_claims = min(read_claims, 30_000)
         num_reads = min(num_reads, 4)
+    durable_claims = min(total_claims // 2, 60_000)
+    metrics_server = None
+    if metrics_port is not None:
+        from repro.obs.exposition import MetricsServer
+
+        metrics_server = MetricsServer(port=metrics_port)
+    try:
+        return _run_service_bench(
+            total_claims=total_claims,
+            submission_claims=submission_claims,
+            baseline_claims=baseline_claims,
+            num_shards=num_shards,
+            num_campaigns=num_campaigns,
+            users_per_campaign=users_per_campaign,
+            objects_per_campaign=objects_per_campaign,
+            claims_per_submission=claims_per_submission,
+            max_batch=max_batch,
+            chunk_size=chunk_size,
+            seed=seed,
+            method=method,
+            read_methods=read_methods,
+            read_claims=read_claims,
+            num_reads=num_reads,
+            workers=workers,
+            hosts=hosts,
+            start_method=start_method,
+            smoke=smoke,
+            durable_claims=durable_claims,
+            trace_output=trace_output,
+            metrics_server=metrics_server,
+        )
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+
+
+def _run_service_bench(
+    *,
+    total_claims,
+    submission_claims,
+    baseline_claims,
+    num_shards,
+    num_campaigns,
+    users_per_campaign,
+    objects_per_campaign,
+    claims_per_submission,
+    max_batch,
+    chunk_size,
+    seed,
+    method,
+    read_methods,
+    read_claims,
+    num_reads,
+    workers,
+    hosts,
+    start_method,
+    smoke,
+    durable_claims,
+    trace_output,
+    metrics_server,
+) -> dict:
     bulk, bulk_truths = _bench_bulk(
         total_claims=total_claims,
         num_campaigns=num_campaigns,
@@ -475,7 +712,38 @@ def run_service_bench(
         chunk_size=chunk_size,
         seed=seed,
         method=method,
+        metrics_server=metrics_server,
     )
+    # Instrumentation overhead: interleaved obs-on/obs-off pairs, best
+    # rate of each.  Single runs are tens of milliseconds, so run-to-
+    # run scheduler noise dwarfs the real cost; best-of-N on both
+    # sides measures the achievable rate each way.
+    overhead_reps = 2
+    enabled_rates = [bulk["claims_per_sec"]]
+    disabled_rates = []
+    for _ in range(overhead_reps):
+        overhead_kwargs = dict(
+            total_claims=total_claims,
+            num_campaigns=num_campaigns,
+            users_per_campaign=users_per_campaign,
+            objects_per_campaign=objects_per_campaign,
+            num_shards=num_shards,
+            max_batch=max_batch,
+            chunk_size=chunk_size,
+            seed=seed,
+            method=method,
+        )
+        disabled, _ = _bench_bulk(obs=False, **overhead_kwargs)
+        disabled_rates.append(disabled["claims_per_sec"])
+        enabled, _ = _bench_bulk(**overhead_kwargs)
+        enabled_rates.append(enabled["claims_per_sec"])
+    obs_overhead = {
+        "claims_per_sec_enabled": max(enabled_rates),
+        "claims_per_sec_disabled": max(disabled_rates),
+        "overhead_fraction": 1.0
+        - max(enabled_rates) / max(max(disabled_rates), 1e-9),
+        "reps": overhead_reps,
+    }
     bulk_workers = None
     workers_match = None
     if workers > 0:
@@ -491,6 +759,7 @@ def run_service_bench(
             method=method,
             workers=workers,
             start_method=start_method,
+            metrics_server=metrics_server,
         )
         workers_match = all(
             np.array_equal(bulk_truths[cid], worker_truths[cid])
@@ -511,6 +780,7 @@ def run_service_bench(
             seed=seed,
             method=method,
             hosts=hosts,
+            metrics_server=metrics_server,
         )
         hosts_match = all(
             np.array_equal(bulk_truths[cid], hosts_truths[cid])
@@ -557,6 +827,18 @@ def run_service_bench(
         objects_per_campaign=objects_per_campaign,
         claims_per_submission=claims_per_submission,
         seed=seed,
+    )
+    durable = _bench_durable_ack(
+        total_claims=durable_claims,
+        users_per_campaign=users_per_campaign,
+        objects_per_campaign=objects_per_campaign,
+        num_shards=num_shards,
+        max_batch=max_batch,
+        chunk_size=chunk_size,
+        seed=seed,
+        method=method,
+        trace_output=trace_output,
+        metrics_server=metrics_server,
     )
     methods = {
         m: bench_method_reads(
@@ -609,7 +891,11 @@ def run_service_bench(
         ),
         "streaming_vs_batch_rmse": rmse,
         "methods": methods,
+        "obs_overhead": obs_overhead,
+        "durable": durable,
     }
+    if metrics_server is not None:
+        report["metrics_url"] = metrics_server.url
     if bulk_workers is not None:
         report["bulk_workers"] = bulk_workers
         report["speedup_workers_vs_single"] = bulk_workers[
@@ -698,6 +984,31 @@ def format_summary(report: dict) -> str:
             f"RMSE: {report['streaming_vs_batch_rmse']:.2e}"
         ),
     ]
+    if "batch_flush_p99_ms" in report["bulk"]:
+        lines.append(
+            f"flush histogram:  "
+            f"p50 {report['bulk']['batch_flush_p50_ms']:.3f} ms, "
+            f"p99 {report['bulk']['batch_flush_p99_ms']:.3f} ms "
+            f"(from repro_batch_flush_seconds)"
+        )
+    if "obs_overhead" in report:
+        oo = report["obs_overhead"]
+        lines.append(
+            f"obs overhead:     "
+            f"{oo['overhead_fraction']:+.1%} claims/s "
+            f"({oo['claims_per_sec_enabled']:,.0f} on vs "
+            f"{oo['claims_per_sec_disabled']:,.0f} off)"
+        )
+    if "durable" in report:
+        d = report["durable"]
+        lines.append(
+            f"durable ack:      "
+            f"p50 {d['durable_ack_p50_ms']:.2f} ms, "
+            f"p99 {d['durable_ack_p99_ms']:.2f} ms "
+            f"(fsync={d['fsync']}, {d['commit_groups']} groups)"
+        )
+    if "metrics_url" in report:
+        lines.append(f"metrics endpoint: {report['metrics_url']}")
     for name, section in report.get("methods", {}).items():
         lines += [
             "",

@@ -61,6 +61,11 @@ class ServiceConfig:
     refine_sweeps: int = 2
     refine_every: int = 8192
     full_refit_max_cells: int = 4096
+    #: Metric collection (:mod:`repro.obs`).  ``False`` swaps the
+    #: registry for the null one — every observation becomes a no-op.
+    obs: bool = True
+    #: Per-submission tracing: sample 1 in N submit calls (0 = off).
+    trace_sample_every: int = 0
 
     def __post_init__(self) -> None:
         ensure_int(self.num_shards, "num_shards", minimum=1)
@@ -68,6 +73,7 @@ class ServiceConfig:
         ensure_int(self.queue_capacity, "queue_capacity", minimum=1)
         ensure_int(self.refine_sweeps, "refine_sweeps", minimum=1)
         ensure_int(self.refine_every, "refine_every", minimum=1)
+        ensure_int(self.trace_sample_every, "trace_sample_every", minimum=0)
         ensure_in_range(self.decay, "decay", 0.0, 1.0, low_inclusive=False)
         if self.overflow not in OVERFLOW_POLICIES:
             raise ValueError(
@@ -89,38 +95,85 @@ class IngestResult:
         return self.rejected == 0
 
 
-@dataclass
 class ServiceStats:
-    """Running counters across the whole service (all shards)."""
+    """Running counters across the whole service (all shards).
 
-    submissions: int = 0
-    claims_accepted: int = 0
-    rejected_unknown_campaign: int = 0
-    rejected_unknown_object: int = 0
-    rejected_invalid_value: int = 0
-    rejected_capacity: int = 0
-    rejected_budget: int = 0
-    rejected_overflow: int = 0
-    #: Read-path observability: completed ``snapshot()`` calls and the
-    #: wall seconds they cost end-to-end (pump + deferred aggregation +
-    #: view construction).  Together with each aggregator's
-    #: ``refreshes`` / ``refresh_seconds`` counters this makes the
-    #: streaming-vs-full-refit read cost visible in production, not
-    #: just in the benchmark.
-    snapshot_reads: int = 0
-    snapshot_read_seconds: float = 0.0
-    #: WAL observability (zero while running volatile), sampled from
-    #: the attached durability manager at every pump/flush/snapshot:
-    #: records appended, group commits completed, accumulated commit
-    #: seconds (write+flush+fsync wall time — on the ingest thread for
-    #: synchronous commit, on the background writer under
-    #: ``async_commit``), and the durable-LSN lag (records appended but
-    #: not yet committed at the last sample — the staged suffix a
-    #: crash under async commit could lose).
-    wal_appends: int = 0
-    wal_commit_groups: int = 0
-    wal_commit_seconds: float = 0.0
-    wal_durable_lag: int = 0
+    Historically a plain bag of counters; now a *view*: the hot-path
+    counters (submissions, acceptances, rejections by reason) are still
+    plain attributes the ingest path bumps with one ``+=``, but the WAL
+    counters read live from the attached durability manager — a stats
+    read can never see stale commit/lag numbers, no matter when the
+    last pump sampled them.  The full metric surface (histograms,
+    per-shard series, worker processes) lives on
+    ``IngestService.metrics_snapshot()``; this class remains the
+    stable, cheap summary the benchmarks and tests consume.
+    """
+
+    def __init__(self, service: Optional["IngestService"] = None) -> None:
+        self._service = service
+        self.submissions = 0
+        self.claims_accepted = 0
+        self.rejected_unknown_campaign = 0
+        self.rejected_unknown_object = 0
+        self.rejected_invalid_value = 0
+        self.rejected_capacity = 0
+        self.rejected_budget = 0
+        self.rejected_overflow = 0
+        #: Read-path observability: completed ``snapshot()`` calls and
+        #: the wall seconds they cost end-to-end (pump + deferred
+        #: aggregation + view construction).
+        self.snapshot_reads = 0
+        self.snapshot_read_seconds = 0.0
+        # Cached WAL counters: refreshed on every live read and by
+        # ``_sample_wal_stats`` (pump/flush/snapshot/close), so a stats
+        # object that outlives its service still reports the last
+        # sampled values instead of zeros.
+        self._wal_appends = 0
+        self._wal_commit_groups = 0
+        self._wal_commit_seconds = 0.0
+        self._wal_durable_lag = 0
+
+    # ------------------------------------------------------------------
+    # WAL observability (zero while running volatile): records
+    # appended, group commits completed, accumulated commit seconds
+    # (write+flush+fsync wall time — on the ingest thread for
+    # synchronous commit, on the background writer under
+    # ``async_commit``), and the durable-LSN lag (records appended but
+    # not yet committed — the staged suffix a crash under async commit
+    # could lose).  Read live from the WAL itself.
+    def _live_wal(self):
+        service = self._service
+        if service is None or service.durability is None:
+            return None
+        return service.durability.wal
+
+    @property
+    def wal_appends(self) -> int:
+        wal = self._live_wal()
+        if wal is not None:
+            self._wal_appends = wal.records_written
+        return self._wal_appends
+
+    @property
+    def wal_commit_groups(self) -> int:
+        wal = self._live_wal()
+        if wal is not None:
+            self._wal_commit_groups = wal.groups_committed
+        return self._wal_commit_groups
+
+    @property
+    def wal_commit_seconds(self) -> float:
+        wal = self._live_wal()
+        if wal is not None:
+            self._wal_commit_seconds = wal.commit_seconds
+        return self._wal_commit_seconds
+
+    @property
+    def wal_durable_lag(self) -> int:
+        wal = self._live_wal()
+        if wal is not None:
+            self._wal_durable_lag = wal.last_lsn - wal.durable_lsn
+        return self._wal_durable_lag
 
     @property
     def claims_rejected(self) -> int:
@@ -142,7 +195,7 @@ class ServiceStats:
 
     def as_dict(self) -> dict:
         """Counters as a flat JSON-friendly mapping (benchmark output)."""
-        return {
+        out = {
             "submissions": self.submissions,
             "claims_accepted": self.claims_accepted,
             "claims_rejected": self.claims_rejected,
@@ -159,6 +212,22 @@ class ServiceStats:
             "wal_commit_seconds": self.wal_commit_seconds,
             "wal_durable_lag": self.wal_durable_lag,
         }
+        service = self._service
+        if service is not None:
+            telemetry = service.telemetry
+            out["queue_depths"] = service.queue_depths()
+            out["shards"] = [
+                {
+                    "accepted": telemetry.shard_claims_accepted[i],
+                    "rejected": telemetry.shard_claims_rejected[i],
+                    "processed": shard.claims_processed,
+                    "items_dropped": shard.items_dropped,
+                    "claims_dropped": shard.claims_dropped,
+                    "queue_depth": shard.queue_depth,
+                }
+                for i, shard in enumerate(service._shards)
+            ]
+        return out
 
 
 class IngestService:
@@ -229,12 +298,22 @@ class IngestService:
             Shard(i, queue_capacity=self._config.queue_capacity)
             for i in range(self._config.num_shards)
         ]
+        from repro.service.telemetry import ServiceTelemetry
+
+        self.telemetry = ServiceTelemetry(
+            self._config.num_shards,
+            enabled=self._config.obs,
+            trace_sample_every=self._config.trace_sample_every,
+        )
+        for shard in self._shards:
+            shard.telemetry = self.telemetry
         self._campaign_shard: dict[str, Shard] = {}
         #: Worker-side REGISTER spec per campaign — what rebalancing
         #: replays on the target worker before shipping the state.
         self._worker_specs: dict[str, dict] = {}
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(self)
         self._pool = None
+        self._pumps = 0
         if workers and hosts:
             raise ValueError(
                 "workers (pipe pool) and hosts (socket fabric) are "
@@ -504,24 +583,29 @@ class IngestService:
         stats = self.stats
         stats.submissions += 1
         n = len(submission.values)
+        trace = self.telemetry.traces.maybe_start(submission.campaign_id, n)
         shard = self._campaign_shard.get(submission.campaign_id)
         if shard is None:
             stats.rejected_unknown_campaign += n
             return IngestResult(0, n, "unknown-campaign")
+        shard_rejected = self.telemetry.shard_claims_rejected
         state = shard.campaigns[submission.campaign_id]
         object_slots = state.object_slots(submission.object_ids)
         if object_slots is None:
             stats.rejected_unknown_object += n
+            shard_rejected[shard.index] += n
             return IngestResult(0, n, "unknown-object")
         values = np.asarray(submission.values, dtype=float)
         if not np.isfinite(values).all():
             stats.rejected_invalid_value += n
+            shard_rejected[shard.index] += n
             return IngestResult(0, n, "invalid-value")
         # Peek capacity without consuming a slot: rejected traffic must
         # not exhaust the campaign's user table.
         slot = state.user_index.get(submission.user_id)
         if slot is None and len(state.user_table) >= state.capacity:
             stats.rejected_capacity += n
+            shard_rejected[shard.index] += n
             return IngestResult(0, n, "capacity")
         reserved = False
         if self._config.overflow == "reject":
@@ -531,6 +615,7 @@ class IngestService:
             # under concurrent producers.
             if not shard.try_reserve():
                 stats.rejected_overflow += n
+                shard_rejected[shard.index] += n
                 return IngestResult(0, n, "overflow")
             reserved = True
         if state.cost is not None and self._ledger is not None:
@@ -560,6 +645,7 @@ class IngestService:
                 if reserved:
                     shard.cancel_reservation()
                 stats.rejected_budget += n
+                shard_rejected[shard.index] += n
                 return IngestResult(0, n, "budget")
         if slot is None:
             slot = state.user_slot(submission.user_id)
@@ -571,11 +657,12 @@ class IngestService:
                 if reserved:
                     shard.cancel_reservation()
                 stats.rejected_capacity += n
+                shard_rejected[shard.index] += n
                 return IngestResult(0, n, "capacity")
         user_slots = np.full(n, slot, dtype=np.int64)
         return self._enqueue(
             shard, state, user_slots, object_slots, values,
-            reserved=reserved,
+            reserved=reserved, trace=trace,
         )
 
     def submit_columns(
@@ -600,9 +687,11 @@ class IngestService:
         shard = self._campaign_shard.get(campaign_id)
         values = np.asarray(values, dtype=float)
         n = values.size
+        trace = self.telemetry.traces.maybe_start(campaign_id, n)
         if shard is None:
             stats.rejected_unknown_campaign += n
             return IngestResult(0, n, "unknown-campaign")
+        shard_rejected = self.telemetry.shard_claims_rejected
         state = shard.campaigns[campaign_id]
         user_slots = np.asarray(user_slots, dtype=np.int64)
         object_slots = np.asarray(object_slots, dtype=np.int64)
@@ -617,12 +706,15 @@ class IngestService:
         if (object_slots.min() < 0
                 or object_slots.max() >= len(state.object_ids)):
             stats.rejected_unknown_object += n
+            shard_rejected[shard.index] += n
             return IngestResult(0, n, "unknown-object")
         if user_slots.min() < 0 or user_slots.max() >= state.capacity:
             stats.rejected_capacity += n
+            shard_rejected[shard.index] += n
             return IngestResult(0, n, "capacity")
         if not np.isfinite(values).all():
             stats.rejected_invalid_value += n
+            shard_rejected[shard.index] += n
             return IngestResult(0, n, "invalid-value")
         reserved = False
         if self._config.overflow == "reject":
@@ -630,6 +722,7 @@ class IngestService:
             # atomically against concurrent producers.
             if not shard.try_reserve():
                 stats.rejected_overflow += n
+                shard_rejected[shard.index] += n
                 return IngestResult(0, n, "overflow")
             reserved = True
         if state.cost is not None and self._ledger is not None:
@@ -693,6 +786,7 @@ class IngestService:
                 if reserved:
                     shard.cancel_reservation()
                 stats.rejected_budget += n
+                shard_rejected[shard.index] += n
                 _LOGGER.debug(
                     "chunk for %s rejected: %s out of budget",
                     campaign_id,
@@ -709,7 +803,7 @@ class IngestService:
             state.ensure_placeholder_slots(top_slot)
         return self._enqueue(
             shard, state, user_slots, object_slots, values,
-            reserved=reserved,
+            reserved=reserved, trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -728,6 +822,17 @@ class IngestService:
         if self._durability is not None:
             self._durability.after_pump()
             self._sample_wal_stats()
+        self._pumps += 1
+        if (
+            self._pool is not None
+            and self.telemetry.enabled
+            and self._pumps % 64 == 0
+        ):
+            # Refresh the cached worker/host registry snapshots from
+            # here — the pump thread owns the frame protocol; the HTTP
+            # scrape thread must never issue RPCs of its own.
+            self.telemetry.refresh_remote(self._pool)
+            self._fold_supervision()
         return moved
 
     def flush(self) -> int:
@@ -741,13 +846,32 @@ class IngestService:
         return moved
 
     def _sample_wal_stats(self) -> None:
-        """Mirror the WAL's commit counters into :class:`ServiceStats`."""
-        wal = self._durability.wal
+        """Fold the WAL's commit activity into the telemetry layer.
+
+        :class:`ServiceStats` reads the WAL counters live (they are
+        properties now), so this only has to (1) refresh the stats
+        object's fallback cache and (2) drain newly completed group
+        commits into the ``repro_wal_commit_seconds`` histogram and
+        resolve traces the durable-ack watermark now covers.
+        """
+        durability = self._durability
+        wal = durability.wal
         stats = self.stats
-        stats.wal_appends = wal.records_written
-        stats.wal_commit_groups = wal.groups_committed
-        stats.wal_commit_seconds = wal.commit_seconds
-        stats.wal_durable_lag = wal.last_lsn - wal.durable_lsn
+        stats._wal_appends = wal.records_written
+        stats._wal_commit_groups = wal.groups_committed
+        stats._wal_commit_seconds = wal.commit_seconds
+        stats._wal_durable_lag = wal.last_lsn - wal.durable_lsn
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.drain_wal(wal, durability.config.fsync)
+        if telemetry.traces.enabled:
+            telemetry.traces.resolve_durable(wal.durable_lsn)
+
+    def _fold_supervision(self) -> None:
+        """Mirror supervisor failover timings into the histogram."""
+        supervisor = getattr(self._pool, "supervisor", None)
+        if supervisor is not None:
+            self.telemetry.on_failover(supervisor)
 
     def snapshot(self, campaign_id: str) -> TruthSnapshot:
         """Fresh read-side view of one campaign.
@@ -767,8 +891,10 @@ class IngestService:
             self._durability.sync()
             self._sample_wal_stats()
         snapshot = shard.campaigns[campaign_id].snapshot()
+        elapsed = time.perf_counter() - start
         self.stats.snapshot_reads += 1
-        self.stats.snapshot_read_seconds += time.perf_counter() - start
+        self.stats.snapshot_read_seconds += elapsed
+        self.telemetry.snapshot_read.observe(elapsed)
         return snapshot
 
     def sync_workers(self) -> None:
@@ -781,6 +907,9 @@ class IngestService:
         """
         if self._pool is not None:
             self._pool.sync()
+            if self.telemetry.enabled:
+                self.telemetry.refresh_remote(self._pool)
+                self._fold_supervision()
 
     # ------------------------------------------------------------------
     def rebalance_shard(self, shard_index: int, target_worker: int) -> int:
@@ -860,6 +989,10 @@ class IngestService:
         if self._closed:
             return
         self._closed = True
+        if self._durability is not None:
+            # Final WAL sample: a stats object read after close must
+            # report the log's closing counters, not the last pump's.
+            self._sample_wal_stats()
         if self._pool is not None:
             self._pool.close()
 
@@ -881,6 +1014,16 @@ class IngestService:
         ]
         return np.asarray(lats, dtype=float)
 
+    def metrics_snapshot(self):
+        """The full metric view (:class:`~repro.obs.RegistrySnapshot`).
+
+        Safe from any thread: reads only live registry objects, plain
+        counters, and the *cached* remote snapshots — never the frame
+        protocol.  This is the provider a
+        :class:`~repro.obs.MetricsServer` should serve.
+        """
+        return self.telemetry.snapshot(self)
+
     # ------------------------------------------------------------------
     def _enqueue(
         self,
@@ -891,17 +1034,26 @@ class IngestService:
         values: np.ndarray,
         *,
         reserved: bool = False,
+        trace=None,
     ) -> IngestResult:
         n = values.size
+        now = time.perf_counter()
+        if trace is not None:
+            trace.enqueue_ts = now
         queued = shard.enqueue(
-            (state, user_slots, object_slots, values),
+            # The timestamp feeds the queue-wait histogram at pump time;
+            # the trace (almost always None) rides along to be stamped
+            # through flush/durable/aggregated.
+            (state, user_slots, object_slots, values, now, trace),
             overflow=self._config.overflow,
             reserved=reserved,
         )
         if not queued:
             self.stats.rejected_overflow += n
+            self.telemetry.shard_claims_rejected[shard.index] += n
             return IngestResult(0, n, "overflow")
         self.stats.claims_accepted += n
+        self.telemetry.shard_claims_accepted[shard.index] += n
         return IngestResult(n)
     # NOTE: under "drop_oldest" an *evicted* item's claims stay in the
     # service-level ``claims_accepted`` (they were admitted, then shed —

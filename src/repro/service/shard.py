@@ -53,6 +53,7 @@ class CampaignState:
         "claims_by_slot",
         "user_lock",
         "_object_cache",
+        "pending_traces",
     )
 
     def __init__(
@@ -96,6 +97,9 @@ class CampaignState:
         # Submissions typically reuse the same object_ids tuple; cache the
         # tuple -> index-array translation so the hot path never re-maps.
         self._object_cache: dict[tuple, np.ndarray] = {}
+        # Sampled traces whose claims are in the batcher but whose batch
+        # has not flushed yet (None until the first trace arrives).
+        self.pending_traces: Optional[list] = None
 
     # ------------------------------------------------------------------
     def user_slot(self, user_id: str) -> int:
@@ -218,6 +222,9 @@ class Shard:
         self.campaigns: dict[str, CampaignState] = {}
         self.batch_latencies: deque[float] = deque(maxlen=self.LATENCY_WINDOW)
         self.durability = durability
+        #: :class:`~repro.service.telemetry.ServiceTelemetry` hook, set
+        #: by the owning service (None for bare shards in tests).
+        self.telemetry = None
         self.items_dropped = 0
         self.claims_dropped = 0
         self.claims_processed = 0
@@ -298,12 +305,22 @@ class Shard:
             self._queue = []
             self._head = 0
         moved = 0
+        telemetry = self.telemetry
+        now = time.perf_counter() if telemetry is not None else 0.0
         for item in queue[head:] if head else queue:
-            state, user_slots, object_slots, values = item
+            # Items are (state, user_slots, object_slots, values) plus,
+            # from the service's enqueue path, an enqueue timestamp and
+            # an optional sampled trace; bare 4-tuples (tests, tools)
+            # still work.
+            state, user_slots, object_slots, values = item[:4]
             if self.campaigns.get(state.campaign_id) is not state:
                 # The campaign was unregistered (or re-registered fresh)
                 # after this item was queued; drop it unprocessed.
                 continue
+            if telemetry is not None and len(item) > 4:
+                telemetry.on_dequeue(
+                    self.index, now - item[4], item[5], state
+                )
             for batch in state.batcher.add_columns(
                 user_slots, object_slots, values
             ):
@@ -358,12 +375,16 @@ class Shard:
 
     def _ingest(self, state: CampaignState, batch) -> None:
         start = time.perf_counter()
+        lsn = None
         if self.durability is not None:
             # The write-ahead property: the batch is in the log before
             # the aggregator ever sees it.
-            self.durability.log_batch(state, batch)
+            lsn = self.durability.log_batch(state, batch)
         state.aggregator.ingest(batch)
-        self.batch_latencies.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self.batch_latencies.append(elapsed)
+        if self.telemetry is not None:
+            self.telemetry.on_batch(self.index, state, elapsed, lsn)
 
     def _compact(self) -> None:
         # Reclaim the consumed prefix once it dominates the list.

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 
 import numpy as np
 
@@ -74,6 +75,12 @@ class WorkerHandle:
         self._rpc_timeout = rpc_timeout
         self._closed = False
         self._crashing = False
+        #: RPC observability: round-trip count, accumulated seconds,
+        #: and a bounded window of recent latencies (the telemetry
+        #: layer folds the window into ``repro_fabric_rpc_seconds``).
+        self.rpc_count = 0
+        self.rpc_seconds = 0.0
+        self.rpc_latencies: deque[float] = deque(maxlen=1024)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
@@ -113,8 +120,14 @@ class WorkerHandle:
 
     def request(self, rtype: int, payload: bytes, expect: int) -> bytes:
         """Blocking RPC: send one frame, wait for its typed response."""
+        start = time.perf_counter()
         self.send(rtype, payload)
-        return self.expect(expect)
+        body = self.expect(expect)
+        elapsed = time.perf_counter() - start
+        self.rpc_count += 1
+        self.rpc_seconds += elapsed
+        self.rpc_latencies.append(elapsed)
+        return body
 
     def expect(self, expect: int, timeout: float | None = None) -> bytes:
         """Wait for one frame of type ``expect`` (ERROR frames raise)."""
@@ -189,6 +202,20 @@ class WorkerHandle:
     def sync(self) -> None:
         """Barrier: returns once every frame sent so far is processed."""
         self.request(proto.SYNC_REQ, b"", proto.SYNC_RESP)
+
+    def metrics(self):
+        """Fetch the worker's metric-registry snapshot (STATS RPC).
+
+        Ordered like every other frame, so the snapshot reflects all
+        batches shipped before the call.  Must only run on the thread
+        that owns the data plane (the service's pump thread).
+        """
+        from repro.obs.registry import RegistrySnapshot
+
+        body = self.request(proto.STATS_REQ, b"", proto.STATS_RESP)
+        return RegistrySnapshot.from_dict(
+            json.loads(body.decode("utf-8"))
+        )
 
     # ------------------------------------------------------------------
     def shutdown(self, timeout: float = 10.0) -> None:

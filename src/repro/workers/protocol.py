@@ -64,6 +64,10 @@ SHUTDOWN = 42
 PING = 43
 #: Liveness probe response.
 PONG = 44
+#: Stats RPC: request the worker's metric-registry snapshot.
+STATS_REQ = 45
+#: Stats RPC response (JSON ``RegistrySnapshot.to_dict()`` payload).
+STATS_RESP = 46
 
 _HEADER = struct.Struct("<IB")
 

@@ -48,11 +48,13 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 import traceback
 
 import numpy as np
 
 from repro.durable import records as rec
+from repro.obs.registry import NULL_REGISTRY, MetricRegistry
 from repro.truthdiscovery.streaming import ClaimBatch
 from repro.workers import protocol as proto
 
@@ -62,6 +64,12 @@ class ShardRuntime:
 
     ``on_frame`` returns False exactly once — for ``SHUTDOWN`` — after
     which the transport should stop its loop and exit.
+
+    Every runtime carries its own :class:`~repro.obs.MetricRegistry`
+    (activated by the ``obs`` flag in the CONFIG frame): aggregation
+    latency and throughput counters accumulate worker-side and cross
+    back to the parent as a mergeable snapshot over the STATS RPC, so
+    one scrape of the parent sees the whole fabric.
     """
 
     def __init__(self, worker_id: int, shard_range: tuple = (0, 0)) -> None:
@@ -70,6 +78,31 @@ class ShardRuntime:
         self._config: dict | None = None
         self._aggregators: dict = {}
         self.claims_aggregated = 0
+        self.registry = NULL_REGISTRY
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        registry = self.registry
+        self._batches_total = registry.counter(
+            "repro_worker_batches_total",
+            "micro-batches aggregated on this worker",
+        )
+        self._claims_total = registry.counter(
+            "repro_worker_claims_total",
+            "claims aggregated on this worker",
+        )
+        self._aggregate_hist = registry.histogram(
+            "repro_worker_aggregate_seconds",
+            "worker-side per-batch aggregation latency",
+        )
+        self._snapshots_total = registry.counter(
+            "repro_worker_snapshots_total",
+            "snapshot RPCs answered by this worker",
+        )
+        self._refreshes_total = registry.counter(
+            "repro_worker_refreshes_total",
+            "refresh frames applied by this worker",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -90,6 +123,9 @@ class ShardRuntime:
                     f"first, got type {rtype}"
                 )
             self._config = json.loads(payload.decode("utf-8"))
+            if self._config.get("obs", True):
+                self.registry = MetricRegistry()
+                self._bind_metrics()
             send(proto.READY, b"")
             return True
         self._dispatch(rtype, payload, send)
@@ -101,6 +137,7 @@ class ShardRuntime:
             self._on_batch(rec.WorkItem.from_bytes(payload))
         elif rtype == rec.REFRESH:
             self._aggregator(self._json(payload)["campaign_id"]).refresh()
+            self._refreshes_total.inc()
         elif rtype == rec.REGISTER:
             self._on_register(self._json(payload))
         elif rtype == rec.UNREGISTER:
@@ -114,6 +151,9 @@ class ShardRuntime:
             self._aggregator(body["campaign_id"]).load_state(body["state"])
         elif rtype == proto.SYNC_REQ:
             send(proto.SYNC_RESP, payload)
+        elif rtype == proto.STATS_REQ:
+            body = json.dumps(self.registry.snapshot().to_dict())
+            send(proto.STATS_RESP, body.encode("utf-8"))
         else:
             raise proto.ProtocolError(
                 f"worker {self.worker_id} received unknown frame type "
@@ -157,6 +197,7 @@ class ShardRuntime:
 
     def _on_batch(self, item: rec.WorkItem) -> None:
         aggregator = self._aggregator(item.campaign_id)
+        start = time.perf_counter()
         # Copy out of the frame buffer: decoded columns are read-only
         # views, and downstream aggregation must own writable int64/f64
         # arrays exactly like the single-process path hands it.
@@ -168,6 +209,9 @@ class ShardRuntime:
             )
         )
         self.claims_aggregated += item.size
+        self._aggregate_hist.observe(time.perf_counter() - start)
+        self._batches_total.inc()
+        self._claims_total.inc(item.size)
 
     def _on_snapshot(self, campaign_id: str, send) -> None:
         aggregator = self._aggregator(campaign_id)
@@ -182,6 +226,7 @@ class ShardRuntime:
             }
         )
         send(proto.SNAPSHOT_RESP, payload)
+        self._snapshots_total.inc()
 
     def _on_state(self, campaign_id: str, send) -> None:
         aggregator = self._aggregator(campaign_id)

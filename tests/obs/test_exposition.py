@@ -1,0 +1,84 @@
+"""Exposition tests: Prometheus text rendering and the HTTP endpoint."""
+
+from repro.obs.exposition import (
+    MetricsServer,
+    render_prometheus,
+    scrape,
+    try_scrape,
+)
+from repro.obs.registry import MetricRegistry
+
+
+def _sample_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.counter("repro_claims_total", "claims").inc(42)
+    reg.gauge("repro_queue_depth", labels=("shard",)).labels(shard=0).set(3)
+    hist = reg.histogram("repro_flush_seconds", "flush latency")
+    hist.observe(1e-4)
+    hist.observe(2e-3)
+    return reg
+
+
+class TestRender:
+    def test_families_and_types_present(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert "# TYPE repro_claims_total counter" in text
+        assert "repro_claims_total 42" in text
+        assert 'repro_queue_depth{shard="0"} 3' in text
+        assert "# TYPE repro_flush_seconds histogram" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_flush_seconds_bucket")
+        ]
+        counts = [float(line.split()[-1]) for line in lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in lines[-1]
+        assert counts[-1] == 2
+        assert "repro_flush_seconds_sum" in text
+        assert "repro_flush_seconds_count 2" in text
+
+    def test_empty_snapshot_renders(self):
+        assert render_prometheus(MetricRegistry().snapshot()) == ""
+
+
+class TestServer:
+    def test_scrape_round_trips_the_snapshot(self):
+        reg = _sample_registry()
+        with MetricsServer(reg.snapshot) as server:
+            snap = scrape(server.url)
+            assert snap.value("repro_claims_total") == 42
+            assert snap.value("repro_queue_depth", shard=0) == 3
+            hist = snap.histograms
+            assert len(hist) == 1
+
+    def test_provider_swap_and_freeze(self):
+        first = MetricRegistry()
+        first.counter("c_total").inc(1)
+        with MetricsServer(first.snapshot) as server:
+            assert scrape(server.url).value("c_total") == 1
+            second = MetricRegistry()
+            second.counter("c_total").inc(10)
+            server.set_provider(second.snapshot)
+            assert scrape(server.url).value("c_total") == 10
+            server.freeze()
+            second.counter("c_total").inc(5)
+            # Frozen: still serves the snapshot taken at freeze() time.
+            assert scrape(server.url).value("c_total") == 10
+
+    def test_prometheus_content_served(self):
+        import urllib.request
+
+        reg = _sample_registry()
+        with MetricsServer(reg.snapshot) as server:
+            body = urllib.request.urlopen(server.url).read().decode()
+        assert "# TYPE repro_claims_total counter" in body
+
+    def test_try_scrape_returns_none_when_unreachable(self):
+        with MetricsServer(MetricRegistry().snapshot) as server:
+            url = server.url
+        assert try_scrape(url) is None

@@ -1,0 +1,87 @@
+"""Tracing tests: sampling cadence, stage stamping, durable resolution."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import STAGES, TraceCollector
+
+
+class TestSampling:
+    def test_disabled_collector_never_samples(self):
+        collector = TraceCollector(0)
+        assert not collector.enabled
+        assert all(
+            collector.maybe_start("c", 1) is None for _ in range(100)
+        )
+
+    def test_one_in_n_cadence(self):
+        collector = TraceCollector(4)
+        started = [
+            collector.maybe_start("c", 1) is not None for _ in range(20)
+        ]
+        assert sum(started) == 5
+        # Every 4th call samples, deterministically.
+        assert started[3] and started[7] and not started[0]
+
+    def test_negative_sample_every_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCollector(-1)
+
+
+class TestStages:
+    def test_volatile_flush_collapses_durable(self):
+        collector = TraceCollector(1)
+        trace = collector.maybe_start("c0", 64)
+        trace.enqueue_ts = trace.submit_ts + 0.001
+        collector.on_flushed(trace, lsn=None)
+        assert trace.complete
+        assert trace.durable_ts == trace.flush_ts
+        (record,) = collector.records()
+        assert record["lsn"] is None
+        assert set(record["stage_offsets_s"]) == set(STAGES)
+        assert record["total_s"] >= 0.0
+
+    def test_durable_stamps_lazily_at_watermark(self):
+        collector = TraceCollector(1)
+        first = collector.maybe_start("c0", 10)
+        second = collector.maybe_start("c0", 10)
+        collector.on_flushed(first, lsn=3)
+        collector.on_flushed(second, lsn=7)
+        assert len(collector) == 0  # both awaiting durability
+        assert collector.resolve_durable(2) == 0
+        assert collector.resolve_durable(3) == 1
+        assert first.complete and not second.complete
+        assert collector.resolve_durable(100) == 1
+        assert len(collector) == 2
+        records = collector.records()
+        assert [r["trace_id"] for r in records] == [1, 2]
+        for record in records:
+            assert record["stage_deltas_s"]["durable"] >= 0.0
+
+    def test_pending_overflow_sheds_instead_of_growing(self):
+        collector = TraceCollector(1, max_pending=2)
+        traces = [collector.maybe_start("c", 1) for _ in range(3)]
+        for i, trace in enumerate(traces):
+            collector.on_flushed(trace, lsn=i + 1)
+        # The third trace was shed straight to completed, durable-less.
+        assert len(collector) == 1
+        assert collector.records()[0]["stage_offsets_s"]["durable"] is None
+        assert collector.resolve_durable(10) == 2
+
+    def test_completed_ring_is_bounded(self):
+        collector = TraceCollector(1, max_records=8)
+        for _ in range(50):
+            collector.on_flushed(collector.maybe_start("c", 1), lsn=None)
+        assert len(collector) == 8
+
+
+def test_dump_writes_json_artifact(tmp_path):
+    collector = TraceCollector(1)
+    collector.on_flushed(collector.maybe_start("c0", 5), lsn=None)
+    path = tmp_path / "traces.json"
+    assert collector.dump(str(path)) == 1
+    payload = json.loads(path.read_text())
+    assert payload["sample_every"] == 1
+    assert len(payload["traces"]) == 1
+    assert payload["traces"][0]["campaign_id"] == "c0"

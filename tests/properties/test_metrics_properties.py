@@ -1,0 +1,119 @@
+"""Property-based tests for snapshot merge algebra and serialisation.
+
+Values are dyadic rationals (integers / 1024), so float addition is
+exact and the associativity/commutativity assertions can demand
+*bitwise* equality — the property the cross-process merge tree relies
+on (worker snapshots merge in arbitrary arrival order).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import NUM_BUCKETS, RegistrySnapshot
+
+dyadic = st.integers(min_value=-(2**30), max_value=2**30).map(
+    lambda n: n / 1024
+)
+nonneg_dyadic = st.integers(min_value=0, max_value=2**30).map(
+    lambda n: n / 1024
+)
+
+label_tuples = st.sampled_from(
+    [
+        (),
+        (("shard", "0"),),
+        (("shard", "1"),),
+        (("proc", "worker0"), ("shard", "2")),
+        (("fsync", "batch"),),
+    ]
+)
+names = st.sampled_from(
+    ["a_total", "b_total", "queue_depth", "lat_seconds"]
+)
+
+
+@st.composite
+def snapshots(draw):
+    snap = RegistrySnapshot()
+    for _ in range(draw(st.integers(0, 4))):
+        key = (draw(names), draw(label_tuples))
+        snap.counters[key] = draw(nonneg_dyadic)
+    for _ in range(draw(st.integers(0, 3))):
+        key = ("g_" + draw(names), draw(label_tuples))
+        snap.gauges[key] = draw(dyadic)
+    for _ in range(draw(st.integers(0, 3))):
+        key = ("h_" + draw(names), draw(label_tuples))
+        counts = draw(
+            st.lists(
+                st.integers(0, 1000),
+                min_size=NUM_BUCKETS,
+                max_size=NUM_BUCKETS,
+            )
+        )
+        snap.histograms[key] = {
+            "count": sum(counts),
+            "sum": draw(nonneg_dyadic),
+            "counts": counts,
+        }
+    return snap
+
+
+def clone(snap: RegistrySnapshot) -> RegistrySnapshot:
+    return RegistrySnapshot.from_dict(snap.to_dict())
+
+
+def as_tuple(snap: RegistrySnapshot) -> tuple:
+    return (
+        sorted(snap.counters.items()),
+        sorted(snap.gauges.items()),
+        sorted(
+            (key, hist["count"], hist["sum"], tuple(hist["counts"]))
+            for key, hist in snap.histograms.items()
+        ),
+    )
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=80, deadline=None)
+def test_merge_is_commutative_bitwise(a, b):
+    left = clone(a).merge(clone(b))
+    right = clone(b).merge(clone(a))
+    assert as_tuple(left) == as_tuple(right)
+
+
+@given(snapshots(), snapshots(), snapshots())
+@settings(max_examples=80, deadline=None)
+def test_merge_is_associative_bitwise(a, b, c):
+    left = clone(a).merge(clone(b)).merge(clone(c))
+    right = clone(a).merge(clone(b).merge(clone(c)))
+    assert as_tuple(left) == as_tuple(right)
+
+
+@given(snapshots())
+@settings(max_examples=80, deadline=None)
+def test_empty_snapshot_is_merge_identity(a):
+    merged = clone(a).merge(RegistrySnapshot())
+    assert as_tuple(merged) == as_tuple(a)
+
+
+@given(snapshots())
+@settings(max_examples=80, deadline=None)
+def test_dict_round_trip_is_bitwise(a):
+    import json
+
+    through_json = RegistrySnapshot.from_dict(
+        json.loads(json.dumps(a.to_dict()))
+    )
+    assert as_tuple(through_json) == as_tuple(a)
+
+
+@given(snapshots())
+@settings(max_examples=80, deadline=None)
+def test_relabel_preserves_values_and_counts(a):
+    relabelled = clone(a).relabel(proc="worker9")
+    assert len(relabelled.counters) == len(a.counters)
+    assert sorted(relabelled.counters.values()) == sorted(
+        a.counters.values()
+    )
+    for (_, labels) in relabelled.counters:
+        assert ("proc", "worker9") in labels

@@ -1,0 +1,109 @@
+"""STATS RPC tests: worker registries crossing back to the parent."""
+
+import numpy as np
+
+from repro.service import (
+    IngestService,
+    LoadGenerator,
+    ServiceConfig,
+)
+
+
+def make_service(workers, **overrides):
+    defaults = dict(num_shards=4, max_batch=512)
+    defaults.update(overrides)
+    return IngestService(
+        ServiceConfig(**defaults), workers=workers, start_method="fork"
+    )
+
+
+def stream(service, *, claims=4_000, seed=7):
+    gen = LoadGenerator(
+        "stats-c0", num_users=40, num_objects=24, random_state=seed
+    )
+    service.register_campaign(
+        gen.campaign_id, gen.object_ids, max_users=40,
+        user_ids=gen.user_ids,
+    )
+    for chunk in gen.column_chunks(claims, chunk_size=512):
+        service.submit_columns(
+            chunk.campaign_id, chunk.user_slots, chunk.object_slots,
+            chunk.values,
+        )
+    service.flush()
+    service.sync_workers()
+    return gen
+
+
+class TestStatsRpc:
+    def test_handle_metrics_returns_worker_snapshot(self):
+        service = make_service(workers=2)
+        try:
+            stream(service)
+            snapshots = [
+                handle.metrics()
+                for handle in service.worker_pool.handles
+            ]
+            total = sum(
+                snap.value("repro_worker_claims_total") or 0
+                for snap in snapshots
+            )
+            assert total == service.stats.claims_accepted
+            batch_total = sum(
+                snap.value("repro_worker_batches_total") or 0
+                for snap in snapshots
+            )
+            assert batch_total >= 1
+        finally:
+            service.close()
+
+    def test_merged_snapshot_carries_proc_labelled_series(self):
+        service = make_service(workers=2)
+        try:
+            gen = stream(service)
+            service.snapshot(gen.campaign_id)
+            service.sync_workers()  # refreshes cached remote snapshots
+            snap = service.metrics_snapshot()
+            per_proc = {
+                labels_dict.get("proc"): value
+                for (name, labels), value in snap.counters.items()
+                if name == "repro_worker_claims_total"
+                for labels_dict in [dict(labels)]
+            }
+            assert set(per_proc) <= {"worker0", "worker1"}
+            assert sum(per_proc.values()) == service.stats.claims_accepted
+            # RPC latency histograms per handle proc label.
+            rpc_procs = {
+                dict(labels).get("proc")
+                for (name, labels) in snap.histograms
+                if name == "repro_fabric_rpc_seconds"
+            }
+            assert rpc_procs
+        finally:
+            service.close()
+
+    def test_stats_rpc_does_not_perturb_aggregation(self):
+        solo = make_service(workers=0)
+        pooled = make_service(workers=2)
+        try:
+            gen_a = stream(solo)
+            gen_b = stream(pooled)
+            for handle in pooled.worker_pool.handles:
+                handle.metrics()
+            pooled.sync_workers()
+            truths_solo = solo.snapshot(gen_a.campaign_id).truths
+            truths_pool = pooled.snapshot(gen_b.campaign_id).truths
+            assert np.array_equal(truths_solo, truths_pool)
+        finally:
+            solo.close()
+            pooled.close()
+
+    def test_obs_disabled_worker_answers_empty_snapshot(self):
+        service = make_service(workers=1, obs=False)
+        try:
+            stream(service)
+            (handle,) = service.worker_pool.handles
+            snap = handle.metrics()
+            assert snap.counters == {} and snap.histograms == {}
+        finally:
+            service.close()
