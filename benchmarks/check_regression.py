@@ -90,6 +90,18 @@ SERVICE_METRICS = (
     # not fsync jitter — trips these.
     Metric("bulk.batch_flush_p99_ms", "lower", floor=250.0),
     Metric("durable.durable_ack_p99_ms", "lower", floor=2000.0),
+    # WAL-shipping replication (--replicas).  Replica snapshot reads
+    # must at least keep pace with dirty primary reads — serving reads
+    # off the standby is the whole point of the read-replica path —
+    # and a promoted standby must be bit-for-bit the primary at the
+    # replicated watermark with the spent budget intact.  The fan-out
+    # gate is a same-run ratio of two timed read loops, so it takes an
+    # absolute floor rather than a baseline-relative bound.
+    Metric("replication.replica_reads_per_sec", "higher"),
+    Metric("replication.read_fanout_vs_primary", "at_least", floor=1.0),
+    Metric("replication.replica_truths_match_bitwise", "flag"),
+    Metric("replication.promotion_truths_match_bitwise", "flag"),
+    Metric("replication.budget_spent_matches", "flag"),
 ) + tuple(
     metric
     for method in ("crh", "gtm", "catd")

@@ -39,7 +39,12 @@ from repro.durable import (
     RecoveryManager,
     compact_directory,
 )
-from repro.service import IngestService, LoadGenerator, ServiceConfig
+from repro.service import (
+    IngestService,
+    LoadGenerator,
+    ServiceConfig,
+    Topology,
+)
 
 CHUNK = 512
 
@@ -73,7 +78,7 @@ def main() -> None:
         )
         service = IngestService(
             ServiceConfig(num_shards=2, max_batch=CHUNK),
-            durability=manager,
+            topology=Topology.in_process(durability=manager),
         )
         service.register_campaign(
             gen.campaign_id,

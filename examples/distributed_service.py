@@ -29,7 +29,12 @@ import time
 
 import numpy as np
 
-from repro.service import IngestService, LoadGenerator, ServiceConfig
+from repro.service import (
+    IngestService,
+    LoadGenerator,
+    ServiceConfig,
+    Topology,
+)
 
 NUM_CAMPAIGNS = 3
 CLAIMS_PER_CAMPAIGN = 4_000
@@ -56,7 +61,8 @@ def build_traffic():
 
 def run(generators, chunks, *, hosts: int, midstream=None) -> dict:
     service = IngestService(
-        ServiceConfig(num_shards=4, max_batch=1024), hosts=hosts
+        ServiceConfig(num_shards=4, max_batch=1024),
+        topology=Topology.fabric(hosts) if hosts else Topology.in_process(),
     )
     with service:
         for gen in generators:

@@ -34,6 +34,7 @@ from repro.service import (
     IngestService,
     LoadGenerator,
     ServiceConfig,
+    Topology,
 )
 
 CHUNK = 512
@@ -50,7 +51,7 @@ def build_service(directory: Path) -> tuple[IngestService, DurabilityManager]:
     service = IngestService(
         ServiceConfig(num_shards=2, max_batch=CHUNK),
         ledger=BudgetLedger(epsilon_cap=50.0),
-        durability=manager,
+        topology=Topology.in_process(durability=manager),
     )
     return service, manager
 

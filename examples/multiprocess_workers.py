@@ -24,7 +24,12 @@ import time
 
 import numpy as np
 
-from repro.service import IngestService, LoadGenerator, ServiceConfig
+from repro.service import (
+    IngestService,
+    LoadGenerator,
+    ServiceConfig,
+    Topology,
+)
 from repro.workers import WorkerCrashedError
 
 NUM_CAMPAIGNS = 4
@@ -52,10 +57,13 @@ def build_traffic():
 
 
 def run(generators, chunks, *, workers: int) -> dict:
+    topology = (
+        Topology.workers(workers, start_method="spawn")
+        if workers
+        else Topology.in_process()
+    )
     service = IngestService(
-        ServiceConfig(num_shards=4, max_batch=2048),
-        workers=workers,
-        start_method="spawn",
+        ServiceConfig(num_shards=4, max_batch=2048), topology=topology
     )
     with service:
         for gen in generators:
@@ -112,8 +120,7 @@ def main() -> None:
     print("\n== a killed worker fails loudly, not silently ==")
     service = IngestService(
         ServiceConfig(num_shards=4, max_batch=2048),
-        workers=2,
-        start_method="spawn",
+        topology=Topology.workers(2, start_method="spawn"),
     )
     with service:
         gen = generators[0]

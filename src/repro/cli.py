@@ -16,6 +16,11 @@ Subcommands
   shard host: the worker frame protocol served on a TCP port (the
   multi-node fabric's unit of deployment; ``--port 0`` binds an
   ephemeral port and prints ``PORT <n>`` for the parent to read);
+* ``standby --dir DIR [--host H] [--port N] [--fsync POLICY]`` — run
+  one warm standby: receive a primary's WAL stream into ``DIR``
+  (its own log generation), continuously replay it into live
+  aggregators, and serve replica snapshot reads and promotion
+  (same ``PORT <n>`` launch contract as ``serve-shard``);
 * ``durable-bench [--smoke] [--output PATH]`` — measure write-ahead
   logging cost (per fsync policy, synchronous and async commit),
   commit-latency percentiles, compaction, and crash-recovery speed;
@@ -29,6 +34,19 @@ Subcommands
 * ``compact DIR [--checkpoint-lsn N]`` — rewrite a durability
   directory's write-ahead log down to its live records (claim-granular
   retention; requires a checkpoint covering the dropped records).
+
+The durability subcommands (``recover`` / ``compact`` / ``standby``)
+all take their directory as ``--dir DIR`` (``recover`` and ``compact``
+also accept it positionally, the historical spelling), and the
+benchmarks share one flag vocabulary: ``--output PATH`` (JSON report,
+``-`` to skip), ``--metrics-port PORT`` (live exposition),
+``--trace-output PATH`` (sampled stage traces), ``--smoke`` (tiny CI
+workload).
+
+Exit codes: ``0`` success; ``1`` runtime failure (e.g. a standby's
+listener died, a metrics endpoint went away); ``2`` bad input —
+unknown names, malformed directories, log corruption the command
+refuses to touch.
 """
 
 from __future__ import annotations
@@ -125,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
         "kill-one-host failover run (default 0: no fabric)",
     )
     bench_p.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the WAL-shipping replication benchmark with N "
+        "warm standbys ('repro standby' subprocesses): replica "
+        "snapshot-read fan-out vs primary reads, replication lag, and "
+        "a promotion bitwise check (default 0: no replication)",
+    )
+    bench_p.add_argument(
         "--start-method",
         choices=("spawn", "fork", "forkserver"),
         default="spawn",
@@ -185,6 +213,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(informational; campaigns arrive via REGISTER frames)",
     )
 
+    standby_p = sub.add_parser(
+        "standby",
+        help="run one warm standby: receive, persist, and replay a "
+        "primary's WAL stream; serve replica reads and promotion",
+    )
+    standby_p.add_argument(
+        "--dir",
+        metavar="DIR",
+        required=True,
+        help="this standby's durability directory (its own WAL "
+        "generation; resumed if it already holds a log)",
+    )
+    standby_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    standby_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind (default 0: pick an ephemeral port and "
+        "print 'PORT <n>' on stdout for the parent to read)",
+    )
+    standby_p.add_argument(
+        "--fsync",
+        choices=("never", "batch", "always"),
+        default="batch",
+        help="commit policy of the standby's own WAL (default batch; "
+        "the standby acks a shipped group only after its own fsync)",
+    )
+
     durable_p = sub.add_parser(
         "durable-bench",
         help="measure write-ahead logging cost and crash-recovery speed",
@@ -237,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one extra traced logged workload and write its "
         "per-submission stage traces as a JSON artifact to this path",
     )
+    durable_p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live metrics on this port for the whole benchmark "
+        "(Prometheus text at /metrics, JSON at /metrics.json; watch it "
+        "with 'repro top http://127.0.0.1:PORT/metrics')",
+    )
     _add_output_option(durable_p, "results/BENCH_durability.json")
 
     metrics_p = sub.add_parser(
@@ -282,7 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite a durability directory's WAL down to live records",
     )
     compact_p.add_argument(
-        "directory", help="durability directory (WAL segments + checkpoints)"
+        "directory",
+        nargs="?",
+        default=None,
+        help="durability directory (WAL segments + checkpoints); "
+        "equivalent to --dir",
+    )
+    compact_p.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="durability directory (the flag spelling shared with "
+        "'standby' and 'durable-bench')",
     )
     compact_p.add_argument(
         "--checkpoint-lsn",
@@ -304,7 +384,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="rebuild service state from a durability directory",
     )
     recover_p.add_argument(
-        "directory", help="durability directory (WAL segments + checkpoints)"
+        "directory",
+        nargs="?",
+        default=None,
+        help="durability directory (WAL segments + checkpoints); "
+        "equivalent to --dir",
+    )
+    recover_p.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="durability directory (the flag spelling shared with "
+        "'standby' and 'durable-bench')",
     )
     recover_p.add_argument(
         "--campaign",
@@ -349,6 +440,27 @@ def _add_output_option(
         help=f"write the full summary as JSON to this path "
         f"(default {default}); pass '-' to skip writing",
     )
+
+
+def _resolve_dir(args) -> Optional[str]:
+    """One directory from the positional and ``--dir`` spellings."""
+    if args.directory is not None and args.dir is not None:
+        if args.directory != args.dir:
+            print(
+                f"both a positional directory ({args.directory}) and "
+                f"--dir ({args.dir}); pass one",
+                file=sys.stderr,
+            )
+            return None
+        return args.dir
+    directory = args.dir if args.dir is not None else args.directory
+    if directory is None:
+        print(
+            f"{args.command}: a durability directory is required "
+            f"(--dir DIR)",
+            file=sys.stderr,
+        )
+    return directory
 
 
 def _write_output(report: dict, output: Optional[str]) -> None:
@@ -441,6 +553,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             read_claims=args.read_claims,
             workers=args.workers,
             hosts=args.hosts,
+            replicas=args.replicas,
             start_method=args.start_method,
             smoke=args.smoke,
             metrics_port=args.metrics_port,
@@ -505,17 +618,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             directory=args.dir,
             smoke=args.smoke,
             trace_output=args.trace_output,
+            metrics_port=args.metrics_port,
         )
         print(format_durability_summary(report))
         _write_output(report, args.output)
         return 0
 
+    if args.command == "standby":
+        from repro.durable import CheckpointError, RecordError, WalError
+        from repro.replication import StandbyError, serve_standby
+
+        def announce(port: int) -> None:
+            # Same launch contract as serve-shard: the first stdout
+            # line names the bound port for a --port 0 parent to read.
+            print(f"PORT {port}", flush=True)
+
+        try:
+            serve_standby(
+                args.dir,
+                host=args.host,
+                port=args.port,
+                fsync=args.fsync,
+                announce=announce,
+            )
+        except (CheckpointError, RecordError, WalError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except StandbyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        return 0
+
     if args.command == "compact":
         from repro.durable import WalError, compact_directory
 
+        directory = _resolve_dir(args)
+        if directory is None:
+            return 2
         try:
             report = compact_directory(
-                args.directory, checkpoint_lsn=args.checkpoint_lsn
+                directory, checkpoint_lsn=args.checkpoint_lsn
             )
         except WalError as exc:
             print(str(exc), file=sys.stderr)
@@ -533,8 +675,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             WalError,
         )
 
+        directory = _resolve_dir(args)
+        if directory is None:
+            return 2
         try:
-            recovered = RecoveryManager(args.directory).recover(
+            recovered = RecoveryManager(directory).recover(
                 resume=args.checkpoint
             )
         except (CheckpointError, RecordError, RecoveryError, WalError) as exc:

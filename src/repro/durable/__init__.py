@@ -60,11 +60,14 @@ from repro.durable.manager import (
 )
 from repro.durable.records import RecordError, WalRecord, WorkItem
 from repro.durable.recovery import (
+    RecordApplier,
     RecoveredService,
     RecoveryError,
     RecoveryManager,
     RecoveryReport,
+    attach_resumed_durability,
 )
+from repro.durable.stream import TailGapError, WalTailReader
 from repro.durable.wal import (
     FSYNC_POLICIES,
     WalCorruptionError,
@@ -86,17 +89,21 @@ __all__ = [
     "DurabilityManager",
     "FORMAT_VERSION",
     "FSYNC_POLICIES",
+    "RecordApplier",
     "RecordError",
     "RecoveredService",
     "RecoveryError",
     "RecoveryManager",
     "RecoveryReport",
+    "TailGapError",
     "WalCorruptionError",
     "WalError",
     "WalRecord",
     "WalScan",
+    "WalTailReader",
     "WorkItem",
     "WriteAheadLog",
+    "attach_resumed_durability",
     "compact_directory",
     "format_durability_summary",
     "load_compaction_manifest",

@@ -57,6 +57,7 @@ from repro.durable.recovery import RecoveryManager
 from repro.durable.wal import FSYNC_POLICIES, list_segments
 from repro.service.ingest import IngestService, ServiceConfig
 from repro.service.loadgen import ColumnChunk, LoadGenerator
+from repro.service.topology import Topology
 
 
 def _make_traffic(
@@ -176,6 +177,7 @@ def _logged_run(
     checkpoint_every_claims: int = 0,
     reps: int = 1,
     async_commit: bool = False,
+    metrics_server=None,
 ) -> tuple[dict, dict]:
     """WAL-attached ingest runs (best of ``reps``); returns (metrics,
     final truths).
@@ -205,11 +207,17 @@ def _logged_run(
                 async_commit=async_commit,
             )
         )
-        service = IngestService(config, durability=manager)
+        service = IngestService(
+            config, topology=Topology.in_process(durability=manager)
+        )
+        if metrics_server is not None:
+            metrics_server.set_provider(service.metrics_snapshot)
         _register_all(service, campaigns)
         elapsed = _run_ingest(service, chunks)
         truths = _final_truths(service, campaigns)
         manager.sync()
+        if metrics_server is not None:
+            metrics_server.freeze()
         wal = manager.wal
         latencies = np.asarray(wal.commit_latencies, dtype=float)
         metrics = {
@@ -285,6 +293,7 @@ def run_durability_bench(
     reps: int = 3,
     smoke: bool = False,
     trace_output: Optional[str] = None,
+    metrics_port: Optional[int] = None,
 ) -> dict:
     """Run every measured path; returns a JSON-serialisable summary.
 
@@ -295,6 +304,11 @@ def run_durability_bench(
     small WAL-attached run with submission tracing enabled and dumps
     the collected traces (all five stage timestamps, including the
     durable-ack watermark stamp) to that path as JSON.
+    ``metrics_port`` serves live metrics on ``127.0.0.1`` for the
+    whole benchmark (same contract as ``service-bench``): each
+    WAL-attached service becomes the provider while it runs, and a
+    frozen snapshot of the last one covers the gaps, so an external
+    scraper always gets an answer.
     """
     if smoke:
         total_claims = min(total_claims, 12_000)
@@ -320,6 +334,11 @@ def run_durability_bench(
         else tempfile.mkdtemp(prefix="repro-durable-bench-")
     )
     base_dir.mkdir(parents=True, exist_ok=True)
+    metrics_server = None
+    if metrics_port is not None:
+        from repro.obs.exposition import MetricsServer
+
+        metrics_server = MetricsServer(port=metrics_port)
     try:
         def _unlogged_baseline(run_config, run_chunks):
             best = None
@@ -374,6 +393,7 @@ def run_durability_bench(
                     chunks=mode_chunks,
                     reps=reps,
                     async_commit=async_commit,
+                    metrics_server=metrics_server,
                 )
                 metrics["retention_vs_unlogged"] = metrics[
                     "claims_per_sec"
@@ -415,6 +435,7 @@ def run_durability_bench(
                 campaigns=campaigns,
                 chunks=chunks,
                 checkpoint_every_claims=max(total_claims // 4, 1),
+                metrics_server=metrics_server,
             )
             recovery["checkpointed"] = _recover_run(
                 ckpt_dir, campaigns, ckpt_truths
@@ -449,7 +470,12 @@ def run_durability_bench(
                 max_batch=max_batch,
                 trace_sample_every=2,
             )
-            service = IngestService(traced_config, durability=traced_manager)
+            service = IngestService(
+                traced_config,
+                topology=Topology.in_process(durability=traced_manager),
+            )
+            if metrics_server is not None:
+                metrics_server.set_provider(service.metrics_snapshot)
             _register_all(service, campaigns)
             _run_ingest(
                 service, _slice_claims(chunks, min(total_claims, 20_000))
@@ -463,9 +489,14 @@ def run_durability_bench(
                 "path": str(trace_output),
                 "traces_sampled": len(service.telemetry.traces),
             }
+            if metrics_server is not None:
+                metrics_server.freeze()
             service.close()
             traced_manager.close()
+        metrics_url = metrics_server.url if metrics_server else None
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if directory is None:
             shutil.rmtree(base_dir, ignore_errors=True)
 
@@ -500,6 +531,7 @@ def run_durability_bench(
         "recovery": recovery,
         "compaction": compaction,
         "trace": trace,
+        **({"metrics_url": metrics_url} if metrics_url else {}),
     }
 
 

@@ -156,6 +156,7 @@ class DurabilityManager:
         self._cid_prefix: dict[str, bytes] = {}
         self._u16_slots: dict[str, bool] = {}
         self._claims_since_checkpoint = 0
+        self._replication = None
         self.claims_logged = 0
         self.batches_logged = 0
         self.charges_logged = 0
@@ -375,6 +376,11 @@ class DurabilityManager:
             self._wal.request_sync()
         else:
             self._wal.sync()
+        if self._replication is not None:
+            # Semi-sync back-pressure: under that mode the pump blocks
+            # until at least one standby acked this pump's last LSN (a
+            # no-op in async mode).
+            self._replication.after_group_commit(self._wal.last_lsn)
         self.maybe_checkpoint()
 
     def maybe_checkpoint(self) -> Optional[Path]:
@@ -467,9 +473,28 @@ class DurabilityManager:
             self.checkpoint()
         return self._wal.compact()
 
+    def attach_replication(self, sender) -> None:
+        """Wire a :class:`~repro.replication.sender.ReplicationSender`
+        into the commit path: it hooks the WAL's post-fsync commit
+        notifications and, under semi-sync, blocks :meth:`after_pump`
+        on the standby ack watermark."""
+        if self._replication is not None:
+            raise RuntimeError("a replication sender is already attached")
+        self._replication = sender
+        sender.attach(self)
+
+    @property
+    def replication(self):
+        """The attached replication sender (None when unreplicated)."""
+        return self._replication
+
     def close(self) -> None:
         """Drain, flush, and close the log (the directory stays
-        recoverable)."""
+        recoverable).  Idempotent — a sticky async-writer error is
+        raised by the first close only (see
+        :meth:`~repro.durable.wal.WriteAheadLog.close`)."""
+        if self._replication is not None:
+            self._replication.close()
         self._wal.close()
 
     def __enter__(self) -> "DurabilityManager":

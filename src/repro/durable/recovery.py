@@ -117,6 +117,166 @@ class RecoveredService:
     service: "IngestService"  # noqa: F821 - forward ref, see recover()
     report: RecoveryReport
     durability: Optional[DurabilityManager] = None
+    #: Registration specs of every live campaign (what a resumed or
+    #: promoted logger needs to seed its bookkeeping).
+    specs: dict = field(default_factory=dict)
+
+
+class RecordApplier:
+    """Applies WAL records to a live service, one at a time.
+
+    This is the single definition of replay semantics: crash recovery
+    drives it over a full log scan, and a replication standby drives it
+    continuously as records arrive off the wire — both produce state
+    that is a pure function of the record sequence, which is what makes
+    recovered and promoted truths bitwise-equal to the primary's.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        specs: Optional[dict] = None,
+        report: Optional[RecoveryReport] = None,
+    ) -> None:
+        self.service = service
+        self.specs: dict[str, dict] = specs if specs is not None else {}
+        self.report = (
+            report
+            if report is not None
+            else RecoveryReport(directory="")
+        )
+
+    def apply(self, record: rec.WalRecord) -> None:
+        """Apply one decoded record (CONFIG records are no-ops)."""
+        service = self.service
+        if record.rtype == rec.CONFIG:
+            return
+        self.report.records_replayed += 1
+        if record.rtype == rec.REGISTER:
+            spec = record.decode()
+            register_from_spec(service, spec)
+            self.specs[spec["campaign_id"]] = spec
+            self.report.registers_replayed += 1
+        elif record.rtype == rec.UNREGISTER:
+            campaign_id = record.decode()["campaign_id"]
+            if service.has_campaign(campaign_id):
+                service.unregister_campaign(campaign_id)
+            self.specs.pop(campaign_id, None)
+        elif record.rtype == rec.USERS:
+            self._apply_users(record.decode())
+        elif record.rtype == rec.REFRESH:
+            campaign_id = record.decode()["campaign_id"]
+            if service.has_campaign(campaign_id):
+                state = service.campaign_state(campaign_id)
+                state.aggregator.refresh()
+        elif record.rtype == rec.BATCH:
+            self._apply_batch(record.decode())
+        elif record.rtype == rec.CHARGE:
+            body = record.decode()
+            if service.ledger is not None:
+                service.ledger.record_spent(
+                    body["user_id"],
+                    LDPGuarantee(
+                        epsilon=body["epsilon"], delta=body["delta"]
+                    ),
+                )
+            self.report.charges_replayed += 1
+
+    def _apply_users(self, body: dict) -> None:
+        service = self.service
+        campaign_id = body["campaign_id"]
+        if not service.has_campaign(campaign_id):
+            return
+        state = service.campaign_state(campaign_id)
+        for offset, user_id in enumerate(body["user_ids"]):
+            slot = int(body["start"]) + offset
+            if slot < len(state.user_table):
+                # The checkpointed user table already covers this slot
+                # (it is captured live and may run ahead of the log).
+                continue
+            if slot != len(state.user_table):
+                raise RecoveryError(
+                    f"user-table gap for {campaign_id!r}: record starts at "
+                    f"slot {slot}, table has {len(state.user_table)}"
+                )
+            state.user_table.append(user_id)
+            state.user_index[user_id] = slot
+
+    def _apply_batch(self, item: rec.WorkItem) -> None:
+        service = self.service
+        if not service.has_campaign(item.campaign_id):
+            # A batch for a campaign the log never registered (or that
+            # a later checkpoint no longer knows): nothing to feed.
+            self.report.batches_skipped += 1
+            _LOGGER.warning(
+                "skipping logged batch for unknown campaign %r",
+                item.campaign_id,
+            )
+            return
+        state = service.campaign_state(item.campaign_id)
+        top_slot = int(item.user_slots.max())
+        if top_slot >= state.capacity:
+            raise RecoveryError(
+                f"logged batch for {item.campaign_id!r} references slot "
+                f"{top_slot} beyond capacity {state.capacity}"
+            )
+        # Belt and braces: a USERS record always precedes its batch in
+        # the log, but placeholder ids keep replay total if one is lost.
+        state.ensure_placeholder_slots(top_slot)
+        state.aggregator.ingest(
+            ClaimBatch(
+                users=item.user_slots,
+                objects=item.object_slots,
+                values=item.values,
+            )
+        )
+        state.claims_accepted += item.size
+        state.claims_by_slot += np.bincount(
+            item.user_slots, minlength=state.capacity
+        )
+        self.report.batches_replayed += 1
+        self.report.claims_replayed += item.size
+
+
+def attach_resumed_durability(
+    service,
+    specs: dict,
+    last_lsn: int,
+    directory: Union[str, Path],
+    durability_config: Optional[DurabilityConfig] = None,
+) -> DurabilityManager:
+    """Give a replayed service a fresh logger continuing after ``last_lsn``.
+
+    This is the promotion step shared by crash recovery's ``resume``
+    path and a replication standby's ``promote()``: a new
+    :class:`DurabilityManager` starts at ``last_lsn + 1``, its shadow
+    counters are seeded from the live campaign state (so checkpoints
+    stay truthful without a re-scan), and a post-attach checkpoint
+    bounds the next crash's replay.
+    """
+    if durability_config is None:
+        durability_config = DurabilityConfig(directory=Path(directory))
+    manager = DurabilityManager(
+        durability_config, start_lsn=last_lsn + 1
+    )
+    shadows = {}
+    users_synced = {}
+    for campaign_id in specs:
+        state = service.campaign_state(campaign_id)
+        shadows[campaign_id] = _ShadowCounters(
+            claims=state.claims_accepted,
+            by_slot=state.claims_by_slot.copy(),
+        )
+        users_synced[campaign_id] = len(state.user_table)
+    manager.seed_recovered_state(
+        specs=specs, shadows=shadows, users_synced=users_synced
+    )
+    service.attach_durability(manager)
+    # A fresh checkpoint bounds the next crash's replay and lets
+    # retention drop the pre-crash segments.
+    manager.checkpoint()
+    return manager
 
 
 class RecoveryManager:
@@ -234,7 +394,10 @@ class RecoveryManager:
                 service, specs, report, durability_config
             )
         return RecoveredService(
-            service=service, report=report, durability=durability
+            service=service,
+            report=report,
+            durability=durability,
+            specs=specs,
         )
 
     # ------------------------------------------------------------------
@@ -303,172 +466,77 @@ class RecoveryManager:
     def _replay(
         self, service, scan: WalScan, specs: dict, report: RecoveryReport
     ) -> None:
+        applier = RecordApplier(service, specs=specs, report=report)
         for record in scan.records:
-            if record.rtype == rec.CONFIG:
-                continue
-            report.records_replayed += 1
-            if record.rtype == rec.REGISTER:
-                spec = record.decode()
-                self._register_from_spec(service, spec)
-                specs[spec["campaign_id"]] = spec
-                report.registers_replayed += 1
-            elif record.rtype == rec.UNREGISTER:
-                campaign_id = record.decode()["campaign_id"]
-                if service.has_campaign(campaign_id):
-                    service.unregister_campaign(campaign_id)
-                specs.pop(campaign_id, None)
-            elif record.rtype == rec.USERS:
-                self._replay_users(service, record.decode())
-            elif record.rtype == rec.REFRESH:
-                campaign_id = record.decode()["campaign_id"]
-                if service.has_campaign(campaign_id):
-                    state = service.campaign_state(campaign_id)
-                    state.aggregator.refresh()
-            elif record.rtype == rec.BATCH:
-                self._replay_batch(service, record.decode(), report)
-            elif record.rtype == rec.CHARGE:
-                body = record.decode()
-                if service.ledger is not None:
-                    service.ledger.record_spent(
-                        body["user_id"],
-                        LDPGuarantee(
-                            epsilon=body["epsilon"], delta=body["delta"]
-                        ),
-                    )
-                report.charges_replayed += 1
-
-    def _replay_users(self, service, body: dict) -> None:
-        campaign_id = body["campaign_id"]
-        if not service.has_campaign(campaign_id):
-            return
-        state = service.campaign_state(campaign_id)
-        for offset, user_id in enumerate(body["user_ids"]):
-            slot = int(body["start"]) + offset
-            if slot < len(state.user_table):
-                # The checkpointed user table already covers this slot
-                # (it is captured live and may run ahead of the log).
-                continue
-            if slot != len(state.user_table):
-                raise RecoveryError(
-                    f"user-table gap for {campaign_id!r}: record starts at "
-                    f"slot {slot}, table has {len(state.user_table)}"
-                )
-            state.user_table.append(user_id)
-            state.user_index[user_id] = slot
-
-    def _replay_batch(
-        self, service, item: rec.WorkItem, report: RecoveryReport
-    ) -> None:
-        if not service.has_campaign(item.campaign_id):
-            # A batch for a campaign the log never registered (or that
-            # a later checkpoint no longer knows): nothing to feed.
-            report.batches_skipped += 1
-            _LOGGER.warning(
-                "skipping logged batch for unknown campaign %r",
-                item.campaign_id,
-            )
-            return
-        state = service.campaign_state(item.campaign_id)
-        top_slot = int(item.user_slots.max())
-        if top_slot >= state.capacity:
-            raise RecoveryError(
-                f"logged batch for {item.campaign_id!r} references slot "
-                f"{top_slot} beyond capacity {state.capacity}"
-            )
-        # Belt and braces: a USERS record always precedes its batch in
-        # the log, but placeholder ids keep replay total if one is lost.
-        state.ensure_placeholder_slots(top_slot)
-        state.aggregator.ingest(
-            ClaimBatch(
-                users=item.user_slots,
-                objects=item.object_slots,
-                values=item.values,
-            )
-        )
-        state.claims_accepted += item.size
-        state.claims_by_slot += np.bincount(
-            item.user_slots, minlength=state.capacity
-        )
-        report.batches_replayed += 1
-        report.claims_replayed += item.size
+            applier.apply(record)
 
     def _resume(
         self, service, specs, report, durability_config
     ) -> DurabilityManager:
-        if durability_config is None:
-            durability_config = DurabilityConfig(directory=self._dir)
-        manager = DurabilityManager(
-            durability_config, start_lsn=report.last_lsn + 1
+        return attach_resumed_durability(
+            service,
+            specs,
+            report.last_lsn,
+            self._dir,
+            durability_config,
         )
-        shadows = {}
-        users_synced = {}
-        for campaign_id in specs:
-            state = service.campaign_state(campaign_id)
-            shadows[campaign_id] = _ShadowCounters(
-                claims=state.claims_accepted,
-                by_slot=state.claims_by_slot.copy(),
-            )
-            users_synced[campaign_id] = len(state.user_table)
-        manager.seed_recovered_state(
-            specs=specs, shadows=shadows, users_synced=users_synced
-        )
-        service.attach_durability(manager)
-        # A fresh checkpoint bounds the next crash's replay and lets
-        # retention drop the pre-crash segments.
-        manager.checkpoint()
-        return manager
 
     # ------------------------------------------------------------------
     @staticmethod
     def _register_from_spec(service, spec: dict) -> None:
-        cost = spec.get("cost")
-        if service.has_campaign(spec["campaign_id"]):
-            raise RecoveryError(
-                f"duplicate registration for {spec['campaign_id']!r} in log"
-            )
-        from repro.service.aggregator import _streaming_unsupported_kwargs
+        register_from_spec(service, spec)
 
-        method = spec.get("method", "crh")
-        aggregator = spec.get("aggregator", "auto")
-        method_kwargs = dict(spec.get("method_kwargs") or {})
-        if aggregator == "auto":
-            # Format-v1 logs stored the unresolved kind; since then the
-            # auto rule changed (GTM/CATD now stream at scale) and
-            # registration persists the resolved kind instead.  Replay
-            # must rebuild the backend the live v1 service actually ran
-            # — the checkpointed aggregator state and the logged-batch
-            # semantics both depend on it — so re-apply the v1 rule
-            # here: stream only large plain-CRH campaigns (v1 never
-            # considered method kwargs).
-            config = service.config
-            cells = int(spec["max_users"]) * len(spec["object_ids"])
-            if config.decay < 1.0:
-                aggregator = "streaming"
-            elif cells <= config.full_refit_max_cells or method != "crh":
-                aggregator = "full"
-            else:
-                aggregator = "streaming"
-        if aggregator == "streaming":
-            # v1 never forwarded method kwargs into its streaming
-            # backend, so v1 logs can pair a streaming campaign with
-            # batch-only knobs; drop what the estimator cannot accept,
-            # exactly as the v1 construction did.  v2 registrations
-            # validated this up front and carry nothing unsupported.
-            for key in _streaming_unsupported_kwargs(method, method_kwargs):
-                method_kwargs.pop(key)
-        service.register_campaign(
-            spec["campaign_id"],
-            list(spec["object_ids"]),
-            max_users=int(spec["max_users"]),
-            user_ids=spec.get("user_ids") or None,
-            method=method,
-            aggregator=aggregator,
-            cost=(
-                None
-                if cost is None
-                else LDPGuarantee(
-                    epsilon=cost["epsilon"], delta=cost["delta"]
-                )
-            ),
-            **method_kwargs,
+
+def register_from_spec(service, spec: dict) -> None:
+    """Re-register a campaign from its persisted REGISTER spec."""
+    cost = spec.get("cost")
+    if service.has_campaign(spec["campaign_id"]):
+        raise RecoveryError(
+            f"duplicate registration for {spec['campaign_id']!r} in log"
         )
+    from repro.service.aggregator import _streaming_unsupported_kwargs
+
+    method = spec.get("method", "crh")
+    aggregator = spec.get("aggregator", "auto")
+    method_kwargs = dict(spec.get("method_kwargs") or {})
+    if aggregator == "auto":
+        # Format-v1 logs stored the unresolved kind; since then the
+        # auto rule changed (GTM/CATD now stream at scale) and
+        # registration persists the resolved kind instead.  Replay
+        # must rebuild the backend the live v1 service actually ran
+        # — the checkpointed aggregator state and the logged-batch
+        # semantics both depend on it — so re-apply the v1 rule
+        # here: stream only large plain-CRH campaigns (v1 never
+        # considered method kwargs).
+        config = service.config
+        cells = int(spec["max_users"]) * len(spec["object_ids"])
+        if config.decay < 1.0:
+            aggregator = "streaming"
+        elif cells <= config.full_refit_max_cells or method != "crh":
+            aggregator = "full"
+        else:
+            aggregator = "streaming"
+    if aggregator == "streaming":
+        # v1 never forwarded method kwargs into its streaming
+        # backend, so v1 logs can pair a streaming campaign with
+        # batch-only knobs; drop what the estimator cannot accept,
+        # exactly as the v1 construction did.  v2 registrations
+        # validated this up front and carry nothing unsupported.
+        for key in _streaming_unsupported_kwargs(method, method_kwargs):
+            method_kwargs.pop(key)
+    service.register_campaign(
+        spec["campaign_id"],
+        list(spec["object_ids"]),
+        max_users=int(spec["max_users"]),
+        user_ids=spec.get("user_ids") or None,
+        method=method,
+        aggregator=aggregator,
+        cost=(
+            None
+            if cost is None
+            else LDPGuarantee(
+                epsilon=cost["epsilon"], delta=cost["delta"]
+            )
+        ),
+        **method_kwargs,
+    )

@@ -416,6 +416,11 @@ class WriteAheadLog:
         self._closed = False
         self._async = bool(async_commit)
         self._writer_error: Optional[BaseException] = None
+        # Called with the new durable watermark after every group
+        # commit (replication senders wake on this).  Async mode calls
+        # from the writer thread, sync mode from the committing thread;
+        # listeners must be cheap and must never raise.
+        self._commit_listeners: list = []
         if self._async:
             self._commit_cv = threading.Condition()
             # Double-buffered staging: producers fill one record list
@@ -457,6 +462,10 @@ class WriteAheadLog:
         return self._async
 
     @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
     def next_lsn(self) -> int:
         return self._next_lsn
 
@@ -476,6 +485,32 @@ class WriteAheadLog:
         gap.
         """
         return self._durable_lsn
+
+    def add_commit_listener(self, listener) -> None:
+        """Register ``listener(durable_lsn)`` to run after each group
+        commit, once the records at or below the watermark are on disk
+        (fdatasynced unless the policy is ``never``).
+
+        Listeners run on the committing thread (the background writer
+        in async mode) and must be cheap — typically just waking a
+        shipping thread.  Exceptions are swallowed and logged so a
+        misbehaving listener can never poison the commit path.
+        """
+        self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener) -> None:
+        """Unregister a listener added via :meth:`add_commit_listener`."""
+        try:
+            self._commit_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_commit(self, durable_lsn: int) -> None:
+        for listener in list(self._commit_listeners):
+            try:
+                listener(durable_lsn)
+            except Exception:  # pragma: no cover - defensive
+                _LOGGER.exception("WAL commit listener failed")
 
     # ------------------------------------------------------------------
     def append(self, rtype: int, payload) -> int:
@@ -706,7 +741,10 @@ class WriteAheadLog:
         """Drain, flush, and close the log (the directory stays
         recoverable).  In async mode every staged frame is committed
         before the file handle closes; a writer failure raises after
-        the handle is released."""
+        the handle is released.  Idempotent: only the *first* close
+        surfaces a sticky writer error — repeated closes (common in
+        ``finally`` blocks unwinding after that first raise) are
+        no-ops."""
         if self._async:
             # Mark closed while holding the producer lock: an append
             # racing close() either completes its staging before the
@@ -715,15 +753,18 @@ class WriteAheadLog:
             # dying writer will silently drop.
             with self._io_lock:
                 with self._commit_cv:
+                    first_close = not self._closed
                     self._closed = True
                     self._stop = True
                     self._commit_cv.notify_all()
-            self._writer.join()
+            if first_close:
+                self._writer.join()
             with self._io_lock:
                 if self._fh is not None:
                     self._fh.close()
                     self._fh = None
-            self._raise_writer_error()
+            if first_close:
+                self._raise_writer_error()
             return
         with self._io_lock:
             self._closed = True
@@ -773,6 +814,7 @@ class WriteAheadLog:
                     self.commit_seconds += elapsed
                     self.commit_latencies.append(elapsed)
                     self._commit_cv.notify_all()
+                self._notify_commit(group_last)
         except Exception as exc:
             # Sticky: surfaces on the next append/sync/wait/close.
             with self._commit_cv:
@@ -842,6 +884,7 @@ class WriteAheadLog:
             self.commit_latencies.append(elapsed)
             if not self._async:
                 self._durable_lsn = self._next_lsn - 1
+                self._notify_commit(self._durable_lsn)
         self._dirty = False
 
 

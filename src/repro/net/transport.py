@@ -155,14 +155,21 @@ class SocketListener:
 
     def accept(self, timeout: Optional[float] = None) -> SocketConnection:
         """Accept one peer; raises TimeoutError when none dials in time."""
-        if self._sock is None:
+        # Snapshot the socket: a concurrent close() (a standby or shard
+        # host stopping) nulls the attribute, and that race must read
+        # as "listener closed", not AttributeError.
+        sock = self._sock
+        if sock is None:
             raise OSError("listener is closed")
-        readable, _, _ = select.select([self._sock], [], [], timeout)
-        if not readable:
-            raise TimeoutError(
-                f"no connection on {self.address} within {timeout}s"
-            )
-        conn, _peer = self._sock.accept()
+        try:
+            readable, _, _ = select.select([sock], [], [], timeout)
+            if not readable:
+                raise TimeoutError(
+                    f"no connection on {self.address} within {timeout}s"
+                )
+            conn, _peer = sock.accept()
+        except ValueError as exc:  # select on a closed fd
+            raise OSError("listener is closed") from exc
         return SocketConnection(conn)
 
     def close(self) -> None:

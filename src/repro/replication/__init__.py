@@ -1,0 +1,52 @@
+"""WAL-shipping replication: warm standbys, read replicas, promotion.
+
+The primary's :class:`~repro.durable.wal.WriteAheadLog` is the
+replicated object: a :class:`ReplicationSender` ships every committed
+group (post-fsync, cursored by the durable-ack watermark) to N
+:class:`StandbyServer` processes over the shared
+:mod:`repro.net` framing.  Each standby persists the stream into its
+own WAL generation — acking only after its own fsync — and continuously
+replays it into live aggregators, so :class:`ReplicaReadClient` reads
+are instant and :meth:`StandbyServer.promote` yields a primary whose
+truths are bitwise-equal to the crashed one at the replicated
+watermark, with spent privacy budget staying spent.
+
+Construction normally goes through
+``Topology.replicated(standbys=n)`` (see :mod:`repro.service.topology`);
+the pieces here are the public surface for custom deployments.
+"""
+
+from repro.replication.client import ReplicaError, ReplicaReadClient
+from repro.replication.pool import (
+    StandbyHandle,
+    StandbyPool,
+    launch_standby,
+    standby_directory,
+)
+from repro.replication.protocol import REPLICATION_FORMAT
+from repro.replication.sender import (
+    SYNC_MODES,
+    ReplicationError,
+    ReplicationSender,
+)
+from repro.replication.standby import (
+    StandbyError,
+    StandbyServer,
+    serve_standby,
+)
+
+__all__ = [
+    "REPLICATION_FORMAT",
+    "SYNC_MODES",
+    "ReplicaError",
+    "ReplicaReadClient",
+    "ReplicationError",
+    "ReplicationSender",
+    "StandbyError",
+    "StandbyHandle",
+    "StandbyPool",
+    "StandbyServer",
+    "launch_standby",
+    "serve_standby",
+    "standby_directory",
+]

@@ -1,0 +1,113 @@
+"""Client side of a standby's read/control surface.
+
+:class:`ReplicaReadClient` speaks to one
+:class:`~repro.replication.standby.StandbyServer` over the shared
+framed transport and exposes the replica read path the ROADMAP promises
+— ``TruthSnapshot`` reads that never touch the primary's ingest hot
+path — plus the operational verbs (status, promote) the promotion
+runbook in ``docs/replication.md`` uses.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.net.transport import connect
+from repro.replication import protocol as rp
+from repro.service.snapshot import TruthSnapshot
+from repro.workers import protocol as proto
+from repro.workers.protocol import recv_frame, send_frame
+
+
+class ReplicaError(RuntimeError):
+    """The standby refused or failed a request."""
+
+
+class ReplicaReadClient:
+    """One connection to a standby (thread-safe, request/response).
+
+    Parameters
+    ----------
+    address:
+        The standby listener's ``(host, port)``.
+    timeout:
+        Dial budget (the standby may still be starting up).
+    """
+
+    def __init__(self, address, *, timeout: float = 30.0) -> None:
+        self._address = tuple(address)
+        self._conn = connect(self._address, timeout=timeout)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _call(self, rtype: int, payload: bytes, expected: int):
+        with self._lock:
+            send_frame(self._conn, rtype, payload)
+            resp_type, resp = recv_frame(self._conn)
+        if resp_type == rp.REPL_ERROR:
+            raise ReplicaError(
+                rp.decode_json(resp).get("error", "standby error")
+            )
+        if resp_type != expected:
+            raise ReplicaError(
+                f"expected frame {expected}, got {resp_type}"
+            )
+        return resp
+
+    def snapshot(self, campaign_id: str) -> TruthSnapshot:
+        """A fresh :class:`TruthSnapshot` served off the replica."""
+        resp = self._call(
+            rp.READ_REQ,
+            rp.encode_json({"campaign_id": campaign_id}),
+            rp.READ_RESP,
+        )
+        state = proto.unpack_state(resp)
+        weights = {
+            user: float(value)
+            for user, value in zip(
+                state["weight_users"], state["weight_values"]
+            )
+        }
+        return TruthSnapshot(
+            campaign_id=state["campaign_id"],
+            object_ids=tuple(state["object_ids"]),
+            truths=np.asarray(state["truths"], dtype=float),
+            seen_objects=np.asarray(state["seen_objects"], dtype=bool),
+            weights_by_user=weights,
+            claims_ingested=int(state["claims_ingested"]),
+            batches_ingested=int(state["batches_ingested"]),
+            pending_claims=int(state["pending_claims"]),
+        )
+
+    def status(self) -> dict:
+        """Watermarks, campaign list, spent-budget ledger."""
+        resp = self._call(rp.STATUS_REQ, b"", rp.STATUS_RESP)
+        return rp.decode_json(resp)
+
+    def promote(self) -> dict:
+        """Ask the standby to become primary; returns its report."""
+        resp = self._call(rp.PROMOTE_REQ, b"", rp.PROMOTE_RESP)
+        return rp.decode_json(resp)
+
+    def ping(self) -> bool:
+        try:
+            self._call(proto.PING, b"", proto.PONG)
+            return True
+        except (OSError, EOFError, ReplicaError):
+            return False
+
+    def shutdown(self) -> None:
+        """Tell the standby process to exit cleanly."""
+        with self._lock:
+            send_frame(self._conn, proto.SHUTDOWN)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ReplicaReadClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

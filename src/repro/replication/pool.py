@@ -1,0 +1,185 @@
+"""Launching and owning standby processes from the primary side.
+
+:func:`launch_standby` starts ``repro standby`` with the same launch
+contract as ``repro serve-shard`` (the child prints ``PORT <n>`` once
+its listener is bound); :class:`StandbyPool` owns N of them plus the
+:class:`~repro.replication.sender.ReplicationSender` shipping to them —
+the backing of ``Topology.replicated(standbys=n)``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.net.fabric import HostProcess, _read_port
+from repro.replication.client import ReplicaReadClient
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("replication.pool")
+
+
+def standby_directory(primary_dir: Union[str, Path], index: int) -> Path:
+    """Default on-disk home of standby ``index``: ``<dir>.standby<i>``."""
+    primary_dir = Path(primary_dir)
+    return primary_dir.with_name(f"{primary_dir.name}.standby{index}")
+
+
+def launch_standby(
+    directory: Union[str, Path],
+    *,
+    host: str = "127.0.0.1",
+    fsync: str = "batch",
+    start_timeout: float = 120.0,
+    python: Optional[str] = None,
+) -> tuple[HostProcess, int]:
+    """Start ``repro standby`` and learn its ephemeral port."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    popen = subprocess.Popen(
+        [
+            python or sys.executable,
+            "-m",
+            "repro.cli",
+            "standby",
+            "--dir",
+            str(directory),
+            "--host",
+            host,
+            "--port",
+            "0",
+            "--fsync",
+            fsync,
+        ],
+        stdout=subprocess.PIPE,
+        env=env,
+    )
+    try:
+        port = _read_port(popen, start_timeout)
+    except BaseException:
+        popen.kill()
+        popen.wait()
+        if popen.stdout is not None:
+            popen.stdout.close()
+        raise
+    _LOGGER.debug(
+        "standby up: dir %s, pid %d, port %d", directory, popen.pid, port
+    )
+    return HostProcess(popen), port
+
+
+class StandbyHandle:
+    """One launched standby: its process, address, and control client."""
+
+    def __init__(
+        self, index: int, directory: Path, process: HostProcess, port: int
+    ) -> None:
+        self.index = index
+        self.directory = directory
+        self.process = process
+        self.address = ("127.0.0.1", port)
+
+    def client(self, *, timeout: float = 30.0) -> ReplicaReadClient:
+        return ReplicaReadClient(self.address, timeout=timeout)
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class StandbyPool:
+    """N standby processes replicating one primary directory.
+
+    Parameters
+    ----------
+    count:
+        Standbys to launch.
+    primary_dir:
+        The primary's durability directory (standby directories default
+        to ``<primary_dir>.standby<i>``).
+    directories:
+        Explicit standby directories overriding the default naming.
+    fsync:
+        Commit policy of each standby's own WAL generation.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        primary_dir: Union[str, Path],
+        *,
+        directories: Optional[Sequence[Union[str, Path]]] = None,
+        fsync: str = "batch",
+        start_timeout: float = 120.0,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if directories is not None and len(directories) != count:
+            raise ValueError(
+                f"{len(directories)} directories for {count} standbys"
+            )
+        dirs = (
+            [Path(d) for d in directories]
+            if directories is not None
+            else [standby_directory(primary_dir, i) for i in range(count)]
+        )
+        self.handles: list[StandbyHandle] = []
+        try:
+            for index, directory in enumerate(dirs):
+                process, port = launch_standby(
+                    directory,
+                    fsync=fsync,
+                    start_timeout=start_timeout,
+                )
+                self.handles.append(
+                    StandbyHandle(index, directory, process, port)
+                )
+        except BaseException:
+            self.close()
+            raise
+        self._closed = False
+
+    @property
+    def addresses(self) -> list[tuple]:
+        return [handle.address for handle in self.handles]
+
+    def check(self) -> None:
+        """Raise if any standby process died."""
+        for handle in self.handles:
+            if not handle.is_alive():
+                raise RuntimeError(
+                    f"standby {handle.index} (pid {handle.process.pid}) "
+                    f"exited with code {handle.process.exitcode}"
+                )
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Shut every standby down cleanly (idempotent)."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        for handle in self.handles:
+            if handle.is_alive():
+                try:
+                    with handle.client(timeout=2.0) as client:
+                        client.shutdown()
+                except (OSError, EOFError, TimeoutError):
+                    pass
+        for handle in self.handles:
+            handle.process.join(timeout)
+            if handle.is_alive():
+                handle.process.terminate()
+                handle.process.join(2.0)
+            if handle.is_alive():  # pragma: no cover - last resort
+                handle.process.kill()
+                handle.process.join(2.0)
+            handle.process.release()

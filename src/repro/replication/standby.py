@@ -1,0 +1,525 @@
+"""A warm standby: persists the replication stream, serves reads,
+promotes on demand.
+
+A :class:`StandbyServer` owns its *own* WAL generation of the primary's
+log: every shipped record is appended with its primary LSN (the stream
+is contiguous, so the standby's frames are byte-identical to the
+primary's), group-committed, **acked only after its own fsync**, and
+then replayed into a live :class:`~repro.service.ingest.IngestService`
+through the same :class:`~repro.durable.recovery.RecordApplier` crash
+recovery uses.  That ordering — append, commit, ack, apply — makes the
+standby's directory independently recoverable and its in-memory truths
+a pure function of the acked record sequence, which is what the
+promotion bitwise-equality invariant rests on.
+
+Because the aggregators are live, reads are instant: the same listener
+answers snapshot (``READ_REQ``), status (``STATUS_REQ``) and promotion
+(``PROMOTE_REQ``) requests from
+:class:`~repro.replication.client.ReplicaReadClient` peers while the
+stream flows.  :meth:`StandbyServer.promote` turns the standby into a
+fully-functional primary: the replication WAL handle is closed and a
+fresh :class:`~repro.durable.manager.DurabilityManager` (continuing
+LSNs after the replicated watermark) is attached via the shared
+:func:`~repro.durable.recovery.attach_resumed_durability` path — spent
+budget stays spent because every charge was logged at admission and
+replayed on arrival.
+
+Run one with ``repro standby --dir DIR``; the process announces
+``PORT <n>`` on stdout exactly like ``repro serve-shard``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.durable import checkpoint as ckpt_codec
+from repro.durable import records as rec
+from repro.durable.checkpoint import CheckpointStore
+from repro.durable.recovery import (
+    RecordApplier,
+    RecoveryManager,
+    attach_resumed_durability,
+)
+from repro.durable.wal import FSYNC_POLICIES, WriteAheadLog, list_segments
+from repro.net.transport import SocketListener
+from repro.replication import protocol as rp
+from repro.utils.logging import get_logger
+from repro.workers import protocol as proto
+from repro.workers.protocol import recv_frame, send_frame
+
+_LOGGER = get_logger("replication.standby")
+
+
+class StandbyError(RuntimeError):
+    """The standby cannot serve or promote."""
+
+
+class StandbyServer:
+    """One warm standby process (or in-process thread, for tests).
+
+    Parameters
+    ----------
+    directory:
+        The standby's own durability directory.  If it already holds a
+        replicated prefix (a restarted standby), it is recovered first
+        and the replication cursor resumes after it.
+    host / port:
+        Listener bind address (port 0 picks a free one).
+    fsync:
+        Commit policy of the standby's WAL generation.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fsync: str = "batch",
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self._dir = Path(directory)
+        self._host = host
+        self._requested_port = port
+        self._fsync = fsync
+        self.port: Optional[int] = None
+        self._listener: Optional[SocketListener] = None
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._serve_thread: Optional[threading.Thread] = None
+        # One lock orders append/apply/read/promote: the stream applies
+        # under it, reads snapshot under it, promote flips under it.
+        self._apply_lock = threading.RLock()
+        self._service = None
+        self._applier: Optional[RecordApplier] = None
+        self._wal: Optional[WriteAheadLog] = None
+        self._promoted = False
+        self._durability = None
+        self.records_applied = 0
+        self.groups_applied = 0
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """Recover any replicated prefix already on this disk."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        has_history = bool(list_segments(self._dir)) or (
+            CheckpointStore(self._dir).load_latest() is not None
+        )
+        start_lsn = 1
+        if has_history:
+            recovered = RecoveryManager(self._dir).recover()
+            self._service = recovered.service
+            self._applier = RecordApplier(
+                self._service, specs=recovered.specs
+            )
+            start_lsn = recovered.report.last_lsn + 1
+        self._wal = WriteAheadLog(
+            self._dir, fsync=self._fsync, start_lsn=start_lsn
+        )
+
+    @property
+    def durable_lsn(self) -> int:
+        return self._wal.durable_lsn if self._wal is not None else 0
+
+    @property
+    def promoted(self) -> bool:
+        return self._promoted
+
+    @property
+    def service(self):
+        """The live replica service (None until a CONFIG arrives)."""
+        return self._service
+
+    @property
+    def durability(self):
+        """The promoted primary's manager (None before promotion)."""
+        return self._durability
+
+    # ------------------------------------------------------------------
+    def serve(self, announce=None) -> None:
+        """Bind, announce, and serve until :meth:`stop` (blocking)."""
+        self._listener = SocketListener(self._host, self._requested_port)
+        self.port = self._listener.port
+        if announce is not None:
+            announce(self.port)
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn = self._listener.accept(timeout=0.2)
+                except TimeoutError:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        finally:
+            self._listener.close()
+
+    def start(self) -> int:
+        """Serve on a background thread; returns the bound port."""
+        ready = threading.Event()
+
+        def _announce(_port):
+            ready.set()
+
+        self._serve_thread = threading.Thread(
+            target=self.serve,
+            kwargs={"announce": _announce},
+            name="standby-serve",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        if not ready.wait(timeout=30.0):
+            raise StandbyError("standby listener failed to bind")
+        return self.port
+
+    def stop(self) -> None:
+        """Stop serving and close the standby's WAL (idempotent)."""
+        self._stop.set()
+        if self._listener is not None:
+            self._listener.close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        self._threads.clear()
+        with self._apply_lock:
+            if self._wal is not None and not self._promoted:
+                self._wal.close()
+                self._wal = None
+
+    # ------------------------------------------------------------------
+    def _serve_connection(self, conn) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    rtype, payload = recv_frame(conn)
+                except (EOFError, OSError):
+                    break
+                if not self._dispatch(conn, rtype, payload):
+                    break
+        except Exception as exc:  # pragma: no cover - defensive
+            _LOGGER.exception("standby connection failed")
+            try:
+                send_frame(
+                    conn,
+                    rp.REPL_ERROR,
+                    rp.encode_json({"error": str(exc)}),
+                )
+            except OSError:
+                pass
+        finally:
+            conn.close()
+
+    def _dispatch(self, conn, rtype: int, payload: bytes) -> bool:
+        """Handle one frame; returns False to end the connection."""
+        if rtype == rp.HELLO:
+            return self._on_hello(conn, payload)
+        if rtype == rp.RECORDS:
+            return self._on_records(conn, payload)
+        if rtype == rp.CHECKPOINT:
+            return self._on_checkpoint(conn, payload)
+        if rtype == rp.READ_REQ:
+            return self._on_read(conn, payload)
+        if rtype == rp.STATUS_REQ:
+            send_frame(
+                conn, rp.STATUS_RESP, rp.encode_json(self.status())
+            )
+            return True
+        if rtype == rp.PROMOTE_REQ:
+            return self._on_promote(conn)
+        if rtype == proto.PING:
+            send_frame(conn, proto.PONG)
+            return True
+        if rtype == proto.SHUTDOWN:
+            self._stop.set()
+            return False
+        send_frame(
+            conn,
+            rp.REPL_ERROR,
+            rp.encode_json({"error": f"unexpected frame type {rtype}"}),
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    def _on_hello(self, conn, payload: bytes) -> bool:
+        body = rp.decode_json(payload)
+        if body.get("format") != rp.REPLICATION_FORMAT:
+            send_frame(
+                conn,
+                rp.REPL_ERROR,
+                rp.encode_json(
+                    {
+                        "error": (
+                            f"replication format mismatch: standby "
+                            f"speaks {rp.REPLICATION_FORMAT}"
+                        )
+                    }
+                ),
+            )
+            return False
+        if self._promoted:
+            send_frame(
+                conn,
+                rp.REPL_ERROR,
+                rp.encode_json(
+                    {"error": "standby was promoted; not accepting a stream"}
+                ),
+            )
+            return False
+        send_frame(conn, rp.CURSOR, rp.encode_lsn(self._wal.durable_lsn))
+        return True
+
+    def _on_records(self, conn, payload: bytes) -> bool:
+        records = rp.decode_records(payload)
+        with self._apply_lock:
+            if self._promoted or self._wal is None:
+                send_frame(
+                    conn,
+                    rp.REPL_ERROR,
+                    rp.encode_json({"error": "standby no longer replicates"}),
+                )
+                return False
+            fresh = []
+            for record in records:
+                if record.lsn <= self._wal.last_lsn:
+                    # Duplicate after a reconnect: already durable here.
+                    continue
+                if record.lsn != self._wal.next_lsn:
+                    send_frame(
+                        conn,
+                        rp.REPL_ERROR,
+                        rp.encode_json(
+                            {
+                                "error": (
+                                    f"stream gap: expected lsn "
+                                    f"{self._wal.next_lsn}, got "
+                                    f"{record.lsn}"
+                                )
+                            }
+                        ),
+                    )
+                    return False
+                self._wal.append(record.rtype, record.payload)
+                fresh.append(record)
+            # Durable before acked: the sender's cursor must never run
+            # ahead of what this disk can replay after a crash.
+            self._wal.sync()
+            send_frame(
+                conn, rp.ACK, rp.encode_lsn(self._wal.durable_lsn)
+            )
+            for record in fresh:
+                self._apply(record)
+            if fresh:
+                self.groups_applied += 1
+        return True
+
+    def _apply(self, record) -> None:
+        if record.rtype == rec.CONFIG:
+            if self._service is None:
+                self._service, self._applier = _service_from_config(
+                    record.decode()
+                )
+            self.records_applied += 1
+            return
+        if self._applier is None:
+            raise StandbyError(
+                f"record type {record.rtype} arrived before CONFIG"
+            )
+        self._applier.apply(record)
+        self.records_applied += 1
+
+    def _on_checkpoint(self, conn, payload: bytes) -> bool:
+        """Full resync: the primary's retained log no longer reaches
+        back to our cursor, so adopt a covering checkpoint instead."""
+        lsn, blob = rp.decode_checkpoint(payload)
+        checkpoint_payload = ckpt_codec.unpack_payload(blob)
+        with self._apply_lock:
+            if self._promoted:
+                send_frame(
+                    conn,
+                    rp.REPL_ERROR,
+                    rp.encode_json({"error": "standby no longer replicates"}),
+                )
+                return False
+            if self._wal is not None:
+                self._wal.close()
+            # The checkpoint supersedes everything replicated so far:
+            # restart this generation from a clean directory.
+            import shutil
+
+            shutil.rmtree(self._dir)
+            self._dir.mkdir(parents=True, exist_ok=True)
+            CheckpointStore(self._dir).save(lsn, checkpoint_payload)
+            recovered = RecoveryManager(self._dir).recover()
+            self._service = recovered.service
+            self._applier = RecordApplier(
+                self._service, specs=recovered.specs
+            )
+            self._wal = WriteAheadLog(
+                self._dir, fsync=self._fsync, start_lsn=lsn + 1
+            )
+            send_frame(conn, rp.ACK, rp.encode_lsn(lsn))
+        return True
+
+    # ------------------------------------------------------------------
+    def _on_read(self, conn, payload: bytes) -> bool:
+        body = rp.decode_json(payload)
+        campaign_id = body.get("campaign_id")
+        with self._apply_lock:
+            if self._service is None or not self._service.has_campaign(
+                campaign_id
+            ):
+                send_frame(
+                    conn,
+                    rp.REPL_ERROR,
+                    rp.encode_json(
+                        {"error": f"unknown campaign {campaign_id!r}"}
+                    ),
+                )
+                return True
+            snapshot = self._service.snapshot(campaign_id)
+        users = sorted(snapshot.weights_by_user)
+        send_frame(
+            conn,
+            rp.READ_RESP,
+            proto.pack_state(
+                {
+                    "campaign_id": snapshot.campaign_id,
+                    "object_ids": list(snapshot.object_ids),
+                    "truths": snapshot.truths,
+                    "seen_objects": snapshot.seen_objects,
+                    "weight_users": users,
+                    "weight_values": [
+                        snapshot.weights_by_user[u] for u in users
+                    ],
+                    "claims_ingested": snapshot.claims_ingested,
+                    "batches_ingested": snapshot.batches_ingested,
+                    "pending_claims": snapshot.pending_claims,
+                }
+            ),
+        )
+        return True
+
+    def status(self) -> dict:
+        """Watermarks, campaigns, and the spent-budget ledger."""
+        with self._apply_lock:
+            service = self._service
+            ledger = None
+            if service is not None and service.ledger is not None:
+                ledger = {
+                    "epsilon_cap": service.ledger.epsilon_cap,
+                    "delta_cap": service.ledger.delta_cap,
+                    "records": service.ledger.to_records(),
+                }
+            return {
+                "directory": str(self._dir),
+                "durable_lsn": self.durable_lsn,
+                "records_applied": self.records_applied,
+                "groups_applied": self.groups_applied,
+                "promoted": self._promoted,
+                "campaigns": (
+                    [] if service is None else service.campaign_ids
+                ),
+                "ledger": ledger,
+            }
+
+    def _on_promote(self, conn) -> bool:
+        try:
+            report = self.promote()
+        except StandbyError as exc:
+            send_frame(
+                conn, rp.REPL_ERROR, rp.encode_json({"error": str(exc)})
+            )
+            return True
+        send_frame(conn, rp.PROMOTE_RESP, rp.encode_json(report))
+        return True
+
+    def promote(self) -> dict:
+        """Become a fully-functional primary at the replicated watermark.
+
+        The replication WAL handle closes, a fresh
+        :class:`~repro.durable.manager.DurabilityManager` continues
+        LSNs after the last replicated record, shadow counters are
+        seeded from the live campaign state, and a post-promotion
+        checkpoint is written — the exact resume path crash recovery
+        uses, without re-reading the log.  Subsequent replication
+        streams are refused; reads keep working.  Returns a small
+        report dict.
+        """
+        start = time.perf_counter()
+        with self._apply_lock:
+            if self._promoted:
+                raise StandbyError("standby is already promoted")
+            if self._service is None or self._applier is None:
+                raise StandbyError(
+                    "nothing replicated yet; no service to promote"
+                )
+            watermark = self._wal.durable_lsn
+            self._wal.close()
+            self._wal = None
+            self._durability = attach_resumed_durability(
+                self._service,
+                self._applier.specs,
+                watermark,
+                self._dir,
+            )
+            self._promoted = True
+        report = {
+            "watermark_lsn": watermark,
+            "records_applied": self.records_applied,
+            "campaigns": self._service.campaign_ids,
+            "seconds": time.perf_counter() - start,
+        }
+        _LOGGER.info(
+            "promoted standby %s at lsn %d (%d campaign(s))",
+            self._dir,
+            watermark,
+            len(report["campaigns"]),
+        )
+        return report
+
+
+def _service_from_config(body: dict):
+    """Build the replica service+applier from a CONFIG record body."""
+    from repro.service.ingest import IngestService, ServiceConfig
+    from repro.service.ledger import BudgetLedger
+
+    config = ServiceConfig(**body["service_config"])
+    caps = body.get("ledger")
+    ledger = None
+    if caps is not None:
+        ledger = BudgetLedger(
+            caps["epsilon_cap"], delta_cap=caps["delta_cap"]
+        )
+    service = IngestService(config, ledger=ledger)
+    return service, RecordApplier(service)
+
+
+def serve_standby(
+    directory: Union[str, Path],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fsync: str = "batch",
+    announce=None,
+) -> None:
+    """Blocking entry point behind ``repro standby``."""
+    server = StandbyServer(directory, host=host, port=port, fsync=fsync)
+    try:
+        server.serve(announce=announce)
+    finally:
+        server.stop()

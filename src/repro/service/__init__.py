@@ -47,6 +47,7 @@ from repro.service.ledger import AdmissionDecision, BudgetLedger
 from repro.service.loadgen import ColumnChunk, LoadGenerator
 from repro.service.shard import CampaignState, Shard, shard_for
 from repro.service.snapshot import TruthSnapshot
+from repro.service.topology import Topology
 
 __all__ = [
     "AdmissionDecision",
@@ -64,6 +65,7 @@ __all__ = [
     "ServiceStats",
     "Shard",
     "StreamingAggregator",
+    "Topology",
     "TruthSnapshot",
     "bench_method_reads",
     "make_aggregator",

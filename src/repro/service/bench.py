@@ -46,7 +46,10 @@ from repro.crowdsensing.server import AggregationServer
 from repro.crowdsensing.transport import InProcessTransport
 from repro.obs.registry import percentile_from_counts
 from repro.service.ingest import IngestService, ServiceConfig
+from repro.service.ledger import BudgetLedger
 from repro.service.loadgen import LoadGenerator
+from repro.service.topology import Topology
+from repro.privacy.ldp import LDPGuarantee
 from repro.truthdiscovery.claims import ClaimMatrix
 from repro.truthdiscovery.registry import create_method
 from repro.truthdiscovery.streaming import STREAMING_ESTIMATORS
@@ -130,9 +133,13 @@ def _bench_bulk(
         obs=obs,
         trace_sample_every=trace_sample_every,
     )
-    service = IngestService(config, workers=workers, hosts=hosts,
-                            supervise=supervise,
-                            start_method=start_method)
+    if hosts > 0:
+        topology = Topology.fabric(hosts, supervise=supervise)
+    elif workers > 0:
+        topology = Topology.workers(workers, start_method=start_method)
+    else:
+        topology = Topology.in_process()
+    service = IngestService(config, topology=topology)
     if metrics_server is not None:
         metrics_server.set_provider(service.metrics_snapshot)
     per_campaign_chunks = []
@@ -512,7 +519,9 @@ def _bench_durable_ack(
             max_batch=max_batch,
             trace_sample_every=2 if trace_output is not None else 0,
         )
-        service = IngestService(config, durability=manager)
+        service = IngestService(
+            config, topology=Topology.in_process(durability=manager)
+        )
         if metrics_server is not None:
             metrics_server.set_provider(service.metrics_snapshot)
         gen = LoadGenerator(
@@ -575,6 +584,241 @@ def _bench_durable_ack(
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def _bench_replication(
+    *,
+    total_claims: int,
+    users_per_campaign: int,
+    objects_per_campaign: int,
+    num_shards: int,
+    max_batch: int,
+    chunk_size: int,
+    seed: int,
+    method: str,
+    replicas: int,
+    sync: str = "async",
+    num_reads: int = 32,
+    metrics_server=None,
+) -> dict:
+    """WAL-shipping replication: read fan-out, lag, promotion check.
+
+    Runs the bulk path on a primary whose WAL ships to ``replicas``
+    warm standbys (``repro standby`` subprocesses via
+    ``Topology.replicated``), then measures the read paths against
+    each other: primary snapshot reads pay a ``durability.sync()``
+    fsync each, replica reads are served from the standby's
+    continuously replayed aggregators over one RPC.  After the read
+    section the first standby is promoted and its truths and spent
+    privacy budget are checked bitwise against the primary's at the
+    replicated watermark — the same invariant the CI kill-test asserts
+    across a real SIGKILL.
+    """
+    import time as _time
+
+    from repro.durable.manager import DurabilityConfig, DurabilityManager
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-service-bench-repl-"))
+    service = None
+    try:
+        manager = DurabilityManager(
+            DurabilityConfig(directory=tmp / "wal", fsync="batch")
+        )
+        config = ServiceConfig(num_shards=num_shards, max_batch=max_batch)
+        service = IngestService(
+            config,
+            ledger=BudgetLedger(epsilon_cap=1e9),
+            topology=Topology.replicated(
+                standbys=replicas, durability=manager, sync=sync
+            ),
+        )
+        if metrics_server is not None:
+            metrics_server.set_provider(service.metrics_snapshot)
+        gen = LoadGenerator(
+            "repl-c0",
+            num_users=users_per_campaign,
+            num_objects=objects_per_campaign,
+            random_state=seed,
+        )
+        service.register_campaign(
+            gen.campaign_id,
+            gen.object_ids,
+            max_users=users_per_campaign,
+            user_ids=gen.user_ids,
+            method=method,
+            cost=LDPGuarantee(epsilon=1e-6, delta=0.0),
+        )
+        chunks = list(gen.column_chunks(total_claims, chunk_size=chunk_size))
+        start = time.perf_counter()
+        for i, chunk in enumerate(chunks):
+            service.submit_columns(
+                chunk.campaign_id, chunk.user_slots, chunk.object_slots,
+                chunk.values,
+            )
+            if i % 8 == 7:
+                service.pump()
+        service.flush()
+        manager.sync()
+        ingest_elapsed = time.perf_counter() - start
+
+        sender = service.replication
+
+        def _await_acks() -> int:
+            lsn = manager.wal.durable_lsn
+            deadline = _time.monotonic() + 120.0
+            while sender.min_ack_lsn() < lsn:
+                if _time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"standbys did not reach LSN {lsn} within 120 s "
+                        f"(acked {sender.min_ack_lsn()})"
+                    )
+                _time.sleep(0.02)
+            return lsn
+
+        t0 = _time.monotonic()
+        _await_acks()
+        catchup_seconds = _time.monotonic() - t0
+
+        clients = [h.client() for h in service.standbys.handles]
+        try:
+            # Dirty-read throughput: every read races a fresh write —
+            # the scenario read replicas exist for.  A primary snapshot
+            # must force the tail batch into the log and block on the
+            # durable-ack watermark (write + fsync per read); a replica
+            # read is one RPC against the standby's continuously
+            # replayed aggregators and never touches the primary's log.
+            # The write between reads is identical in both phases, and
+            # only the read call itself is on the clock.
+            read_chunks = list(
+                gen.column_chunks(2 * num_reads * 64, chunk_size=64)
+            )
+            primary_read_seconds = 0.0
+            for chunk in read_chunks[:num_reads]:
+                service.submit_columns(
+                    chunk.campaign_id, chunk.user_slots,
+                    chunk.object_slots, chunk.values,
+                )
+                t0 = time.perf_counter()
+                service.snapshot(gen.campaign_id)
+                primary_read_seconds += time.perf_counter() - t0
+            replica_read_seconds = 0.0
+            for i, chunk in enumerate(read_chunks[num_reads:]):
+                service.submit_columns(
+                    chunk.campaign_id, chunk.user_slots,
+                    chunk.object_slots, chunk.values,
+                )
+                t0 = time.perf_counter()
+                clients[i % len(clients)].snapshot(gen.campaign_id)
+                replica_read_seconds += time.perf_counter() - t0
+
+            # Quiesce, then check every replica serves the primary's
+            # truths bit for bit once the stream is fully applied.
+            service.flush()
+            manager.sync()
+            watermark = _await_acks()
+            primary_snap = service.snapshot(gen.campaign_id)
+            replica_snaps = []
+            for client in clients:
+                deadline = _time.monotonic() + 30.0
+                while True:
+                    snap = client.snapshot(gen.campaign_id)
+                    # Acks precede apply; give the standby a beat to
+                    # fold the last shipped group into its aggregators.
+                    if (
+                        snap.claims_ingested >= primary_snap.claims_ingested
+                        or _time.monotonic() > deadline
+                    ):
+                        break
+                    _time.sleep(0.02)
+                replica_snaps.append(snap)
+            replica_match = all(
+                np.array_equal(
+                    np.asarray(snap.truths, dtype=np.float64),
+                    np.asarray(primary_snap.truths, dtype=np.float64),
+                )
+                for snap in replica_snaps
+            )
+            stats = sender.stats()
+            ship_lats = np.asarray(
+                [v for link in sender.links for v in list(link.ship_latencies)]
+            )
+            if metrics_server is not None:
+                metrics_server.freeze()
+
+            # Promotion: stop shipping, promote standby 0, and compare
+            # its state against the primary's at the watermark.
+            ledger_records = (
+                service.ledger.to_records()
+                if service.ledger is not None
+                else None
+            )
+            sender.close()
+            promoter = clients[0]
+            promote_report = promoter.promote()
+            promoted_snap = promoter.snapshot(gen.campaign_id)
+            promoted_status = promoter.status()
+            promotion_match = bool(
+                np.array_equal(
+                    np.asarray(promoted_snap.truths, dtype=np.float64),
+                    np.asarray(primary_snap.truths, dtype=np.float64),
+                )
+            )
+            def _ledger_key(records):
+                # Spent totals must match exactly; record order is an
+                # insertion-order artifact (admission order on the
+                # primary, WAL charge order on the standby).
+                return sorted(
+                    (r["user_id"], r["epsilon"], r["delta"])
+                    for r in records
+                )
+
+            budget_match = bool(
+                ledger_records is None
+                or _ledger_key(promoted_status["ledger"]["records"])
+                == _ledger_key(ledger_records)
+            )
+        finally:
+            for client in clients:
+                client.close()
+
+        primary_rate = num_reads / max(primary_read_seconds, 1e-9)
+        replica_rate = num_reads / max(replica_read_seconds, 1e-9)
+        return {
+            "replicas": replicas,
+            "sync": sync,
+            "claims": int(service.stats.claims_accepted),
+            "ingest_seconds": ingest_elapsed,
+            "claims_per_sec": (
+                service.stats.claims_accepted / max(ingest_elapsed, 1e-9)
+            ),
+            "watermark_lsn": int(watermark),
+            "catchup_seconds": catchup_seconds,
+            "reads": num_reads,
+            "primary_reads_per_sec": primary_rate,
+            "replica_reads_per_sec": replica_rate,
+            "read_fanout_vs_primary": replica_rate / max(primary_rate, 1e-9),
+            "replica_truths_match_bitwise": bool(replica_match),
+            "promotion_truths_match_bitwise": promotion_match,
+            "budget_spent_matches": budget_match,
+            "promotion_seconds": promote_report["seconds"],
+            "promoted_records_applied": promote_report["records_applied"],
+            "records_shipped": sum(
+                s["records_shipped"] for s in stats["standbys"]
+            ),
+            "bytes_shipped": sum(
+                s["bytes_shipped"] for s in stats["standbys"]
+            ),
+            "reconnects": sum(s["reconnects"] for s in stats["standbys"]),
+            "semi_sync_timeouts": stats["semi_sync_timeouts"],
+            "ship_p50_ms": _percentile_ms(ship_lats, 50),
+            "ship_p99_ms": _percentile_ms(ship_lats, 99),
+        }
+    finally:
+        if service is not None:
+            service.close()
+        # Standby dirs default to <primary>.standby<i>, siblings of
+        # tmp/wal — still inside tmp, so one rmtree gets everything.
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def run_service_bench(
     *,
     total_claims: int = 400_000,
@@ -594,6 +838,8 @@ def run_service_bench(
     num_reads: int = 16,
     workers: int = 0,
     hosts: int = 0,
+    replicas: int = 0,
+    replication_sync: str = "async",
     start_method: str = "spawn",
     smoke: bool = False,
     metrics_port=None,
@@ -610,7 +856,10 @@ def run_service_bench(
     check against the in-process truths) and a failover one in which
     a shard host is SIGKILLed at the halfway chunk — reporting the
     supervisor's measured recovery time and whether the recovered
-    truths still match bit for bit.  ``read_methods`` selects
+    truths still match bit for bit.  ``replicas > 0`` adds the
+    WAL-shipping replication section (:func:`_bench_replication`):
+    replica-read fan-out vs primary reads, replication lag, and a
+    promotion bitwise check.  ``read_methods`` selects
     the per-method streaming-vs-full-refit read benchmarks
     (:func:`bench_method_reads`, ``read_claims`` claims each).
     ``smoke`` shrinks every workload to a few thousand claims so CI
@@ -666,6 +915,8 @@ def run_service_bench(
             num_reads=num_reads,
             workers=workers,
             hosts=hosts,
+            replicas=replicas,
+            replication_sync=replication_sync,
             start_method=start_method,
             smoke=smoke,
             durable_claims=durable_claims,
@@ -696,6 +947,8 @@ def _run_service_bench(
     num_reads,
     workers,
     hosts,
+    replicas,
+    replication_sync,
     start_method,
     smoke,
     durable_claims,
@@ -811,6 +1064,21 @@ def _run_service_bench(
             ),
             "claims_per_sec": failover_metrics["claims_per_sec"],
         }
+    replication = None
+    if replicas > 0:
+        replication = _bench_replication(
+            total_claims=durable_claims,
+            users_per_campaign=users_per_campaign,
+            objects_per_campaign=objects_per_campaign,
+            num_shards=num_shards,
+            max_batch=max_batch,
+            chunk_size=chunk_size,
+            seed=seed,
+            method=method,
+            replicas=replicas,
+            sync=replication_sync,
+            metrics_server=metrics_server,
+        )
     submissions = _bench_submissions(
         total_claims=submission_claims,
         users_per_campaign=users_per_campaign,
@@ -877,6 +1145,7 @@ def _run_service_bench(
             "num_reads": num_reads,
             "workers": workers,
             "hosts": hosts,
+            "replicas": replicas,
             "smoke": smoke,
         },
         "bulk": bulk,
@@ -909,6 +1178,8 @@ def _run_service_bench(
         ] / max(bulk["claims_per_sec"], 1e-9)
         report["hosts_truths_match_bitwise"] = bool(hosts_match)
         report["failover"] = failover
+    if replication is not None:
+        report["replication"] = replication
     if bulk_workers is not None or bulk_hosts is not None:
         # Extra processes can only beat the single process when the
         # hardware can actually run them in parallel; record what was
@@ -1007,6 +1278,30 @@ def format_summary(report: dict) -> str:
             f"p99 {d['durable_ack_p99_ms']:.2f} ms "
             f"(fsync={d['fsync']}, {d['commit_groups']} groups)"
         )
+    if "replication" in report:
+        rp = report["replication"]
+        lines += [
+            (
+                f"replication ({rp['replicas']} standby(s), "
+                f"{rp['sync']}): "
+                f"{rp['claims_per_sec']:>12,.0f} claims/s ingest, "
+                f"ship p99 {rp['ship_p99_ms']:.2f} ms"
+            ),
+            (
+                f"replica reads:    "
+                f"{rp['replica_reads_per_sec']:>12,.0f} reads/s vs "
+                f"{rp['primary_reads_per_sec']:,.0f} on the primary "
+                f"({rp['read_fanout_vs_primary']:.2f}x, truths bitwise "
+                f"{'equal' if rp['replica_truths_match_bitwise'] else 'DIFFER'})"
+            ),
+            (
+                f"promotion:        {rp['promotion_seconds']:.3f} s to "
+                f"LSN {rp['watermark_lsn']} (truths bitwise "
+                f"{'equal' if rp['promotion_truths_match_bitwise'] else 'DIFFER'}, "
+                f"budget "
+                f"{'preserved' if rp['budget_spent_matches'] else 'LOST'})"
+            ),
+        ]
     if "metrics_url" in report:
         lines.append(f"metrics endpoint: {report['metrics_url']}")
     for name, section in report.get("methods", {}).items():

@@ -29,6 +29,7 @@ validation, admission, and durability logging stay in this process.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -40,10 +41,24 @@ from repro.service.aggregator import make_aggregator, resolve_backend
 from repro.service.ledger import BudgetLedger
 from repro.service.shard import CampaignState, Shard, shard_for
 from repro.service.snapshot import TruthSnapshot
+from repro.service.topology import Topology
 from repro.utils.logging import get_logger
 from repro.utils.validation import ensure_in_range, ensure_int
 
 _LOGGER = get_logger("service.ingest")
+
+#: Distinguishes "keyword not passed" from an explicit None in the
+#: deprecated IngestService construction keywords.
+_UNSET = object()
+
+
+def _resolve_durability(durability):
+    """A DurabilityManager from a manager / config / directory value."""
+    if hasattr(durability, "wal"):
+        return durability
+    from repro.durable.manager import DurabilityManager
+
+    return DurabilityManager(durability)
 
 #: Accepted overflow policies for full shard queues.
 OVERFLOW_POLICIES = ("reject", "drop_oldest")
@@ -283,13 +298,43 @@ class IngestService:
         self,
         config: Optional[ServiceConfig] = None,
         *,
+        topology: Optional[Topology] = None,
         ledger: Optional[BudgetLedger] = None,
-        durability=None,
-        workers: int = 0,
-        hosts: int = 0,
-        supervise: bool = True,
-        start_method: str = "spawn",
+        durability=_UNSET,
+        workers=_UNSET,
+        hosts=_UNSET,
+        supervise=_UNSET,
+        start_method=_UNSET,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("durability", durability),
+                ("workers", workers),
+                ("hosts", hosts),
+                ("supervise", supervise),
+                ("start_method", start_method),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if topology is not None:
+                raise ValueError(
+                    f"pass either topology= or the deprecated keywords "
+                    f"({sorted(legacy)}), not both"
+                )
+            warnings.warn(
+                "IngestService(durability=/workers=/hosts=/supervise=/"
+                "start_method=) is deprecated; pass a single "
+                "topology=Topology.in_process()/.workers(n)/.fabric(n)/"
+                ".replicated(...) instead (see docs/api.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            topology = Topology._from_legacy_kwargs(**legacy)
+        if topology is None:
+            topology = Topology.in_process()
+        self._topology = topology
         self._config = config if config is not None else ServiceConfig()
         self._ledger = ledger
         self._durability = None
@@ -313,43 +358,91 @@ class IngestService:
         self._worker_specs: dict[str, dict] = {}
         self.stats = ServiceStats(self)
         self._pool = None
+        self._standby_pool = None
+        self._replication = None
         self._pumps = 0
-        if workers and hosts:
-            raise ValueError(
-                "workers (pipe pool) and hosts (socket fabric) are "
-                "mutually exclusive; pick one"
-            )
-        if workers:
-            ensure_int(workers, "workers", minimum=0)
+        if topology.kind == "workers":
             from dataclasses import asdict
 
             from repro.workers.pool import WorkerPool
 
             self._pool = WorkerPool(
                 self._config.num_shards,
-                workers,
+                topology.processes,
                 asdict(self._config),
-                start_method=start_method,
+                start_method=topology.start_method,
             )
-        elif hosts:
-            ensure_int(hosts, "hosts", minimum=0)
+        elif topology.kind == "fabric":
             from dataclasses import asdict
 
             from repro.net.fabric import FabricPool
 
             self._pool = FabricPool(
                 self._config.num_shards,
-                hosts,
+                topology.processes,
                 asdict(self._config),
-                supervise=supervise,
+                supervise=topology.supervise,
             )
-        if durability is not None:
-            self.attach_durability(durability)
+        # A manager the service built itself (from a config or path)
+        # has no other owner, so close() must close it; a manager the
+        # caller passed in may outlive the service for recovery.
+        self._owns_durability = topology.durability is not None and not hasattr(
+            topology.durability, "wal"
+        )
+        if topology.kind == "replicated":
+            self._start_replicated(topology)
+        elif topology.durability is not None:
+            self.attach_durability(
+                _resolve_durability(topology.durability)
+            )
+
+    def _start_replicated(self, topology: Topology) -> None:
+        """Bring up the replicated shape: logger, standbys, sender."""
+        from repro.replication.pool import StandbyPool
+        from repro.replication.sender import ReplicationSender
+
+        manager = _resolve_durability(topology.durability)
+        pool = None
+        try:
+            pool = StandbyPool(
+                topology.standbys,
+                manager.directory,
+                directories=topology.standby_dirs,
+                fsync=topology.standby_fsync,
+            )
+            self.attach_durability(manager)
+            sender = ReplicationSender(
+                pool.addresses,
+                sync=topology.sync,
+                ack_timeout=topology.ack_timeout,
+            )
+            manager.attach_replication(sender)
+        except BaseException:
+            if pool is not None:
+                pool.close()
+            raise
+        self._standby_pool = pool
+        self._replication = sender
 
     # ------------------------------------------------------------------
     @property
     def config(self) -> ServiceConfig:
         return self._config
+
+    @property
+    def topology(self) -> Topology:
+        """The deployment shape this service was constructed with."""
+        return self._topology
+
+    @property
+    def replication(self):
+        """The WAL-shipping sender (None unless ``replicated``)."""
+        return self._replication
+
+    @property
+    def standbys(self):
+        """The owned standby pool (None unless ``replicated``)."""
+        return self._standby_pool
 
     @property
     def ledger(self) -> Optional[BudgetLedger]:
@@ -982,9 +1075,13 @@ class IngestService:
         the failure, so a dead worker is simply reaped.
 
         Queued-but-unpumped work is dropped, exactly like abandoning an
-        in-process service.  A durability manager attached to the
-        service is *not* closed here — its WAL may outlive the service
-        for recovery.
+        in-process service.  A durability *manager* the caller attached
+        is *not* closed here — its WAL may outlive the service for
+        recovery — but one the service built itself (``durability=`` as
+        a config or directory path) is, since nothing else holds it.  A
+        ``replicated`` topology's sender and standby processes *are*
+        closed: the service owns them (a standby that should survive
+        this primary is promoted first).
         """
         if self._closed:
             return
@@ -993,8 +1090,14 @@ class IngestService:
             # Final WAL sample: a stats object read after close must
             # report the log's closing counters, not the last pump's.
             self._sample_wal_stats()
+        if self._replication is not None:
+            self._replication.close()
         if self._pool is not None:
             self._pool.close()
+        if self._standby_pool is not None:
+            self._standby_pool.close()
+        if self._owns_durability and self._durability is not None:
+            self._durability.close()
 
     def __enter__(self) -> "IngestService":
         return self

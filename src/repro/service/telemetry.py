@@ -242,6 +242,56 @@ class ServiceTelemetry:
                 float(wal.last_lsn - wal.durable_lsn))
             add("counter", series_key("repro_wal_commit_seconds_total"),
                 float(wal.commit_seconds))
+        replication = getattr(service, "replication", None)
+        if replication is None and service.durability is not None:
+            # A sender wired straight onto the manager (no
+            # Topology.replicated) still deserves lag gauges.
+            replication = service.durability.replication
+        if replication is not None:
+            repl = replication.stats()
+            add("counter",
+                series_key("repro_replication_semi_sync_timeouts_total"),
+                float(repl["semi_sync_timeouts"]))
+            for standby in repl["standbys"]:
+                labels = {"standby": str(standby["index"])}
+                add("gauge",
+                    series_key("repro_replication_lag_lsn", labels),
+                    float(standby["lag_lsn"]))
+                add("gauge",
+                    series_key("repro_replication_lag_seconds", labels),
+                    float(standby["lag_seconds"]))
+                add("gauge",
+                    series_key("repro_replication_connected", labels),
+                    1.0 if standby["connected"] else 0.0)
+                add("counter",
+                    series_key(
+                        "repro_replication_records_shipped_total", labels
+                    ),
+                    float(standby["records_shipped"]))
+                add("counter",
+                    series_key(
+                        "repro_replication_bytes_shipped_total", labels
+                    ),
+                    float(standby["bytes_shipped"]))
+                add("counter",
+                    series_key(
+                        "repro_replication_reconnects_total", labels
+                    ),
+                    float(standby["reconnects"]))
+            for link in replication.links:
+                latencies = list(link.ship_latencies)
+                if latencies:
+                    hist = Histogram(series_key(
+                        "repro_replication_ship_seconds",
+                        {"standby": str(link.index)},
+                    ))
+                    for value in latencies:
+                        hist.observe(value)
+                    add("histogram", hist.key, {
+                        "count": hist.count,
+                        "sum": hist.sum,
+                        "counts": hist.counts,
+                    })
         refreshes = 0
         refresh_seconds = 0.0
         for shard in service._shards:

@@ -1,0 +1,205 @@
+"""The service-topology API: one object says how a service deploys.
+
+Construction used to be a sprawl of mutually-exclusive keywords
+(``IngestService(config, workers=N, hosts=N, durability=...,
+supervise=..., start_method=...)``).  A :class:`Topology` replaces them
+with one value describing the whole deployment shape, built by a named
+factory per shape::
+
+    IngestService(config, topology=Topology.in_process())
+    IngestService(config, topology=Topology.workers(4))
+    IngestService(config, topology=Topology.fabric(2, supervise=True))
+    IngestService(config, topology=Topology.replicated(
+        standbys=2, durability="run/wal", sync="semi-sync"))
+
+Every factory accepts ``durability=`` — a
+:class:`~repro.durable.manager.DurabilityManager`, a
+:class:`~repro.durable.manager.DurabilityConfig`, or a bare directory
+path — because durability composes with every shape.
+``Topology.replicated`` *requires* it: the write-ahead log is the
+replicated object.
+
+The old keywords still work as thin shims emitting
+``DeprecationWarning`` (see ``IngestService``); ``docs/api.md`` is the
+migration guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.utils.validation import ensure_int
+
+#: Deployment shapes a topology can describe.
+TOPOLOGY_KINDS = ("in_process", "workers", "fabric", "replicated")
+
+#: Replication sync modes (mirrors repro.replication.sender.SYNC_MODES
+#: without importing the package at module load).
+REPLICATION_SYNC_MODES = ("async", "semi-sync")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """One deployment shape for an :class:`~repro.service.ingest.
+    IngestService` (build via the factory classmethods).
+
+    Attributes
+    ----------
+    kind:
+        ``"in_process"`` / ``"workers"`` / ``"fabric"`` /
+        ``"replicated"``.
+    processes:
+        Worker processes (``workers``) or shard hosts (``fabric``).
+    supervise:
+        Fabric only: restart and replay dead shard hosts.
+    start_method:
+        Workers only: the ``multiprocessing`` start method.
+    standbys:
+        Replicated only: warm standbys receiving the WAL stream.
+    sync:
+        Replicated only: ``"async"`` or ``"semi-sync"``.
+    durability:
+        A :class:`~repro.durable.manager.DurabilityManager`, a
+        :class:`~repro.durable.manager.DurabilityConfig`, or a bare
+        directory path; ``None`` runs volatile (not with
+        ``replicated``).
+    standby_dirs:
+        Replicated only: explicit standby directories (defaults to
+        ``<primary_dir>.standby<i>``).
+    standby_fsync:
+        Replicated only: commit policy of each standby's own WAL.
+    ack_timeout:
+        Replicated only: semi-sync back-pressure bound in seconds.
+    """
+
+    kind: str = "in_process"
+    processes: int = 0
+    supervise: bool = True
+    start_method: str = "spawn"
+    standbys: int = 0
+    sync: str = "async"
+    durability: Optional[object] = None
+    standby_dirs: Optional[tuple] = None
+    standby_fsync: str = "batch"
+    ack_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"kind must be one of {TOPOLOGY_KINDS}, got {self.kind!r}"
+            )
+        if self.kind in ("workers", "fabric"):
+            ensure_int(self.processes, "processes", minimum=1)
+        if self.kind == "replicated":
+            ensure_int(self.standbys, "standbys", minimum=1)
+            if self.sync not in REPLICATION_SYNC_MODES:
+                raise ValueError(
+                    f"sync must be one of {REPLICATION_SYNC_MODES}, "
+                    f"got {self.sync!r}"
+                )
+            if self.durability is None:
+                raise ValueError(
+                    "Topology.replicated requires durability= (the "
+                    "write-ahead log is what gets replicated)"
+                )
+            if (
+                self.standby_dirs is not None
+                and len(self.standby_dirs) != self.standbys
+            ):
+                raise ValueError(
+                    f"{len(self.standby_dirs)} standby_dirs for "
+                    f"{self.standbys} standbys"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def in_process(cls, *, durability=None) -> "Topology":
+        """Single process, shards as a state partition (the default)."""
+        return cls(kind="in_process", durability=durability)
+
+    @classmethod
+    def workers(
+        cls,
+        processes: int,
+        *,
+        start_method: str = "spawn",
+        durability=None,
+    ) -> "Topology":
+        """Shard aggregation in ``processes`` pipe-connected workers."""
+        return cls(
+            kind="workers",
+            processes=processes,
+            start_method=start_method,
+            durability=durability,
+        )
+
+    @classmethod
+    def fabric(
+        cls,
+        processes: int,
+        *,
+        supervise: bool = True,
+        durability=None,
+    ) -> "Topology":
+        """Shard hosts on sockets (``repro serve-shard`` processes)."""
+        return cls(
+            kind="fabric",
+            processes=processes,
+            supervise=supervise,
+            durability=durability,
+        )
+
+    @classmethod
+    def replicated(
+        cls,
+        standbys: int = 1,
+        *,
+        durability,
+        sync: str = "async",
+        standby_dirs: Optional[Sequence[Union[str, Path]]] = None,
+        standby_fsync: str = "batch",
+        ack_timeout: float = 30.0,
+    ) -> "Topology":
+        """A durable primary shipping its WAL to warm standbys."""
+        return cls(
+            kind="replicated",
+            standbys=standbys,
+            sync=sync,
+            durability=durability,
+            standby_dirs=(
+                None
+                if standby_dirs is None
+                else tuple(str(d) for d in standby_dirs)
+            ),
+            standby_fsync=standby_fsync,
+            ack_timeout=ack_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_legacy_kwargs(
+        cls,
+        *,
+        durability=None,
+        workers: int = 0,
+        hosts: int = 0,
+        supervise: bool = True,
+        start_method: str = "spawn",
+    ) -> "Topology":
+        """The deprecation shim behind the old ``IngestService`` kwargs."""
+        if workers and hosts:
+            raise ValueError(
+                "workers (pipe pool) and hosts (socket fabric) are "
+                "mutually exclusive; pick one"
+            )
+        if workers:
+            return cls.workers(
+                workers, start_method=start_method, durability=durability
+            )
+        if hosts:
+            return cls.fabric(
+                hosts, supervise=supervise, durability=durability
+            )
+        return cls.in_process(durability=durability)

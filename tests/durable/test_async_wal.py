@@ -159,6 +159,50 @@ class TestWriterFailure:
         with pytest.raises(WalError, match="background WAL writer"):
             wal.close()
 
+    def test_close_raises_once_then_no_ops(self, tmp_path, monkeypatch):
+        """A sticky writer error surfaces on the *first* close only:
+        the ``finally`` blocks unwinding above it close again and must
+        not re-raise (or hang joining an already-dead writer)."""
+        wal = WriteAheadLog(tmp_path, fsync="batch", async_commit=True)
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr("repro.durable.wal._fdatasync", boom)
+        wal.append(rec.REFRESH, PAYLOAD)
+        with pytest.raises(WalError, match="background WAL writer"):
+            wal.close()
+        wal.close()
+        wal.close()
+
+    def test_clean_double_close_is_no_op(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="batch", async_commit=True)
+        wal.append(rec.REFRESH, PAYLOAD)
+        wal.close()
+        wal.close()
+
+    def test_manager_close_raises_once_then_no_ops(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.durable import DurabilityConfig, DurabilityManager
+
+        manager = DurabilityManager(
+            DurabilityConfig(
+                directory=tmp_path, fsync="batch", async_commit=True
+            )
+        )
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        manager.wal.append(rec.REFRESH, PAYLOAD)
+        monkeypatch.setattr("repro.durable.wal._fdatasync", boom)
+        manager.wal.append(rec.REFRESH, PAYLOAD)
+        with pytest.raises(WalError, match="background WAL writer"):
+            manager.close()
+        manager.close()
+        manager.close()
+
     @pytest.mark.parametrize("async_commit", [False, True])
     def test_append_after_close_refused(self, tmp_path, async_commit):
         wal = WriteAheadLog(

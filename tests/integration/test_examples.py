@@ -34,6 +34,7 @@ def test_examples_directory_complete():
         "multiprocess_workers",
         "privacy_budget_planner",
         "quickstart",
+        "replicated_service",
         "streaming_monitoring",
     ]
 
@@ -87,6 +88,13 @@ def test_multiprocess_workers(capsys):
     assert "truths identical across modes" in out
     assert "caught: WorkerHandle(" in out
     assert "bit-for-bit" in out
+
+
+def test_replicated_service(capsys):
+    out = run_example("replicated_service", capsys)
+    assert "truths bitwise equal to primary" in out
+    assert "truths bitwise equal to the crashed primary's recovered state" in out
+    assert "spent budget preserved across the promotion" in out
 
 
 def test_crowdsensing_protocol(capsys):

@@ -1,0 +1,590 @@
+"""WAL-shipping end to end: ship, read off the replica, promote.
+
+All tests run the standby in-process (:meth:`StandbyServer.start`
+serves on a thread) and wire the :class:`ReplicationSender` to a real
+:class:`DurabilityManager`, so the full stack — commit listener, tail
+reader, framing, standby WAL generation, replay, promotion — is
+exercised without subprocesses.
+"""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.durable import DurabilityConfig, DurabilityManager
+from repro.durable.stream import WalTailReader
+from repro.net.transport import connect
+from repro.privacy.ldp import LDPGuarantee
+from repro.replication import protocol as rp
+from repro.replication.client import ReplicaError, ReplicaReadClient
+from repro.replication.sender import ReplicationSender
+from repro.replication.standby import StandbyServer
+from repro.service.ingest import IngestService, ServiceConfig
+from repro.service.ledger import BudgetLedger
+from repro.service.loadgen import LoadGenerator
+from repro.service.topology import Topology
+from repro.workers import protocol as proto
+from repro.workers.protocol import recv_frame, send_frame
+
+#: Chunk size equals the micro-batch size so every pump leaves the
+#: batcher empty — mid-stream comparisons are then exact (same trick
+#: as tests/durable/test_recovery.py).
+CHUNK = 128
+NUM_USERS = 40
+NUM_OBJECTS = 12
+COST = LDPGuarantee(epsilon=0.001, delta=0.0)
+
+
+def service_config():
+    return ServiceConfig(num_shards=2, max_batch=CHUNK)
+
+
+def make_traffic(total_chunks=16, seed=11):
+    gen = LoadGenerator(
+        "repl-c0",
+        num_users=NUM_USERS,
+        num_objects=NUM_OBJECTS,
+        random_state=seed,
+    )
+    chunks = list(
+        gen.column_chunks(total_chunks * CHUNK, chunk_size=CHUNK)
+    )
+    return gen, chunks
+
+
+def register(service, gen, cost=None):
+    service.register_campaign(
+        gen.campaign_id,
+        gen.object_ids,
+        max_users=NUM_USERS,
+        user_ids=gen.user_ids,
+        cost=cost,
+    )
+
+
+def feed(service, chunks):
+    for chunk in chunks:
+        service.submit_columns(
+            chunk.campaign_id,
+            chunk.user_slots,
+            chunk.object_slots,
+            chunk.values,
+        )
+        service.pump()
+
+
+def primary_service(tmp_path, *, ledger=None):
+    manager = DurabilityManager(
+        DurabilityConfig(directory=tmp_path / "wal", fsync="batch")
+    )
+    service = IngestService(
+        service_config(),
+        ledger=ledger,
+        topology=Topology.in_process(durability=manager),
+    )
+    return service, manager
+
+
+def attach_sender(manager, addresses, **kwargs):
+    sender = ReplicationSender(addresses, **kwargs)
+    manager.attach_replication(sender)
+    return sender
+
+
+def quiesce(service, manager, sender, *, timeout=60.0):
+    """Flush the primary and wait for every standby to ack it."""
+    service.flush()
+    manager.sync()
+    watermark = manager.wal.durable_lsn
+    deadline = time.monotonic() + timeout
+    while sender.min_ack_lsn() < watermark:
+        assert time.monotonic() < deadline, (
+            f"standbys stuck at {sender.min_ack_lsn()} < {watermark}"
+        )
+        time.sleep(0.01)
+    return watermark
+
+
+def ledger_key(records):
+    return sorted(
+        (r["user_id"], r["epsilon"], r["delta"]) for r in records
+    )
+
+
+def free_port() -> int:
+    """A port nothing is listening on (bound once, then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestShipAndRead:
+    def test_replica_snapshot_bitwise_equal(self, tmp_path):
+        gen, chunks = make_traffic()
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(
+            tmp_path, ledger=BudgetLedger(epsilon_cap=100.0)
+        )
+        sender = attach_sender(manager, [address])
+        try:
+            register(service, gen, cost=COST)
+            feed(service, chunks)
+            watermark = quiesce(service, manager, sender)
+
+            primary_snap = service.snapshot(gen.campaign_id)
+            with ReplicaReadClient(address) as client:
+                assert client.ping()
+                replica_snap = client.snapshot(gen.campaign_id)
+                status = client.status()
+
+            assert (
+                replica_snap.truths.tobytes()
+                == primary_snap.truths.tobytes()
+            )
+            assert (
+                replica_snap.claims_ingested
+                == primary_snap.claims_ingested
+            )
+            assert (
+                replica_snap.weights_by_user
+                == primary_snap.weights_by_user
+            )
+            assert status["durable_lsn"] == watermark
+            assert status["promoted"] is False
+            assert gen.campaign_id in status["campaigns"]
+            assert ledger_key(status["ledger"]["records"]) == ledger_key(
+                service.ledger.to_records()
+            )
+
+            stats = sender.stats()
+            assert stats["sync_mode"] == "async"
+            (link,) = stats["standbys"]
+            assert link["connected"] is True
+            assert link["ack_lsn"] == watermark
+            assert link["lag_lsn"] == 0
+            assert link["records_shipped"] > 0
+            assert link["bytes_shipped"] > 0
+        finally:
+            service.close()
+            standby.stop()
+
+    def test_replication_metrics_exposed(self, tmp_path):
+        from repro.obs.exposition import render_prometheus
+
+        gen, chunks = make_traffic(total_chunks=4)
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address])
+        try:
+            register(service, gen)
+            feed(service, chunks)
+            quiesce(service, manager, sender)
+            text = render_prometheus(
+                service.telemetry.snapshot(service)
+            )
+            for family in (
+                "repro_replication_lag_lsn",
+                "repro_replication_lag_seconds",
+                "repro_replication_connected",
+                "repro_replication_records_shipped_total",
+                "repro_replication_bytes_shipped_total",
+                "repro_replication_reconnects_total",
+                "repro_replication_ship_seconds",
+            ):
+                assert family in text, f"missing {family}"
+            assert 'standby="0"' in text
+        finally:
+            service.close()
+            standby.stop()
+
+    def test_unknown_campaign_read_errors_but_connection_survives(
+        self, tmp_path
+    ):
+        gen, chunks = make_traffic(total_chunks=2)
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address])
+        try:
+            register(service, gen)
+            feed(service, chunks)
+            quiesce(service, manager, sender)
+            with ReplicaReadClient(address) as client:
+                with pytest.raises(ReplicaError, match="unknown campaign"):
+                    client.snapshot("no-such-campaign")
+                # The error is per-request: the stream keeps working.
+                snap = client.snapshot(gen.campaign_id)
+                assert snap.campaign_id == gen.campaign_id
+        finally:
+            service.close()
+            standby.stop()
+
+
+class TestPromotion:
+    def test_promote_bitwise_with_budget_and_keeps_serving(
+        self, tmp_path
+    ):
+        gen, chunks = make_traffic()
+        half = len(chunks) // 2
+
+        # Uncrashed reference over the whole stream.
+        reference = IngestService(service_config())
+        register(reference, gen)
+        feed(reference, chunks)
+        reference.flush()
+        ref_final = reference.snapshot(gen.campaign_id)
+        reference.close()
+
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(
+            tmp_path, ledger=BudgetLedger(epsilon_cap=100.0)
+        )
+        sender = attach_sender(manager, [address])
+        try:
+            register(service, gen, cost=COST)
+            feed(service, chunks[:half])
+            watermark = quiesce(service, manager, sender)
+            primary_snap = service.snapshot(gen.campaign_id)
+            spent = service.ledger.to_records()
+
+            # "Crash" the primary: stop shipping, abandon the rest.
+            sender.close()
+            with ReplicaReadClient(address) as client:
+                report = client.promote()
+                promoted_snap = client.snapshot(gen.campaign_id)
+                status = client.status()
+                with pytest.raises(ReplicaError, match="already promoted"):
+                    client.promote()
+
+            assert report["watermark_lsn"] == watermark
+            assert gen.campaign_id in report["campaigns"]
+            assert (
+                promoted_snap.truths.tobytes()
+                == primary_snap.truths.tobytes()
+            )
+            assert (
+                promoted_snap.claims_ingested
+                == primary_snap.claims_ingested
+            )
+            # Spent budget stays spent across the promotion.
+            assert status["promoted"] is True
+            assert ledger_key(status["ledger"]["records"]) == ledger_key(
+                spent
+            )
+
+            # The promoted standby is a fully-functional durable
+            # primary: it finishes the stream the crashed one started.
+            new_primary = standby.service
+            assert standby.durability is not None
+            feed(new_primary, chunks[half:])
+            new_primary.flush()
+            final = new_primary.snapshot(gen.campaign_id)
+            assert final.truths.tobytes() == ref_final.truths.tobytes()
+            assert final.claims_ingested == ref_final.claims_ingested
+        finally:
+            service.close()
+            standby.stop()
+            if standby.durability is not None:
+                standby.durability.close()
+
+    def test_promoted_standby_refuses_new_streams(self, tmp_path):
+        gen, chunks = make_traffic(total_chunks=2)
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address])
+        try:
+            register(service, gen)
+            feed(service, chunks)
+            quiesce(service, manager, sender)
+            sender.close()
+            with ReplicaReadClient(address) as client:
+                client.promote()
+
+            conn = connect(address, timeout=10.0)
+            try:
+                send_frame(
+                    conn,
+                    rp.HELLO,
+                    rp.encode_json(
+                        {"format": rp.REPLICATION_FORMAT, "directory": "x"}
+                    ),
+                )
+                rtype, payload = recv_frame(conn)
+            finally:
+                conn.close()
+            assert rtype == rp.REPL_ERROR
+            assert "promoted" in rp.decode_json(payload)["error"]
+        finally:
+            service.close()
+            standby.stop()
+            if standby.durability is not None:
+                standby.durability.close()
+
+    def test_promote_before_any_stream_fails(self, tmp_path):
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        try:
+            with ReplicaReadClient(address) as client:
+                with pytest.raises(
+                    ReplicaError, match="nothing replicated"
+                ):
+                    client.promote()
+        finally:
+            standby.stop()
+
+
+class TestStreamIntegrity:
+    def test_reconnect_resumes_from_standby_cursor(self, tmp_path):
+        gen, chunks = make_traffic()
+        half = len(chunks) // 2
+        standby_dir = tmp_path / "sb0"
+
+        standby = StandbyServer(standby_dir)
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address])
+        register(service, gen)
+        feed(service, chunks[:half])
+        cursor = quiesce(service, manager, sender)
+
+        # Take the standby down mid-deployment; the primary keeps
+        # ingesting against a dead link.
+        sender.close()
+        standby.stop()
+        feed(service, chunks[half:])
+        service.flush()
+        manager.sync()
+
+        # Restart from the same directory: the replicated prefix is
+        # recovered and the handshake cursor resumes after it.
+        restarted = StandbyServer(standby_dir)
+        address = ("127.0.0.1", restarted.start())
+        assert restarted.durable_lsn == cursor
+        manager._replication = None  # the first sender is closed
+        sender = attach_sender(manager, [address])
+        try:
+            watermark = quiesce(service, manager, sender)
+            assert watermark > cursor
+            # Only the suffix was shipped — nothing re-sent, nothing
+            # re-applied.
+            assert sender.links[0].records_shipped == watermark - cursor
+            primary_snap = service.snapshot(gen.campaign_id)
+            with ReplicaReadClient(address) as client:
+                replica_snap = client.snapshot(gen.campaign_id)
+            assert (
+                replica_snap.truths.tobytes()
+                == primary_snap.truths.tobytes()
+            )
+            assert (
+                replica_snap.claims_ingested
+                == primary_snap.claims_ingested
+            )
+        finally:
+            service.close()
+            restarted.stop()
+
+    def test_duplicate_group_deduped_and_gap_rejected(self, tmp_path):
+        gen, chunks = make_traffic(total_chunks=2)
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address])
+        try:
+            register(service, gen)
+            feed(service, chunks)
+            watermark = quiesce(service, manager, sender)
+            applied_before = standby.records_applied
+
+            first = WalTailReader(
+                manager.wal.directory, after_lsn=0
+            ).poll(1)
+            assert len(first) == 1
+
+            conn = connect(address, timeout=10.0)
+            try:
+                send_frame(
+                    conn,
+                    rp.HELLO,
+                    rp.encode_json(
+                        {"format": rp.REPLICATION_FORMAT, "directory": "x"}
+                    ),
+                )
+                rtype, payload = recv_frame(conn)
+                assert rtype == rp.CURSOR
+                assert rp.decode_lsn(payload) == watermark
+
+                # A duplicate of an already-durable record (a reconnect
+                # replaying history) is acked at the unchanged
+                # watermark and never re-applied.
+                send_frame(conn, rp.RECORDS, rp.encode_records(first))
+                rtype, payload = recv_frame(conn)
+                assert rtype == rp.ACK
+                assert rp.decode_lsn(payload) == watermark
+                assert standby.records_applied == applied_before
+
+                # A gap (skipped LSNs) must never be appended: the
+                # standby's log would stop being the primary's prefix.
+                gap = [
+                    type(first[0])(
+                        lsn=watermark + 5,
+                        rtype=first[0].rtype,
+                        payload=b"",
+                    )
+                ]
+                send_frame(conn, rp.RECORDS, rp.encode_records(gap))
+                rtype, payload = recv_frame(conn)
+                assert rtype == rp.REPL_ERROR
+                assert "stream gap" in rp.decode_json(payload)["error"]
+                assert standby.durable_lsn == watermark
+            finally:
+                conn.close()
+        finally:
+            service.close()
+            standby.stop()
+
+    def test_format_mismatch_refused(self, tmp_path):
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        try:
+            conn = connect(address, timeout=10.0)
+            try:
+                send_frame(
+                    conn, rp.HELLO, rp.encode_json({"format": 999})
+                )
+                rtype, payload = recv_frame(conn)
+            finally:
+                conn.close()
+            assert rtype == rp.REPL_ERROR
+            assert "format" in rp.decode_json(payload)["error"]
+        finally:
+            standby.stop()
+
+
+class TestCheckpointResync:
+    def test_compacted_primary_resyncs_via_checkpoint(self, tmp_path):
+        gen, chunks = make_traffic()
+        half = len(chunks) // 2
+        service, manager = primary_service(tmp_path)
+        register(service, gen)
+        feed(service, chunks[:half])
+        service.flush()
+        # Checkpoint + compaction retire the whole replicated prefix:
+        # a standby joining at cursor 0 can no longer tail from LSN 1.
+        manager.compact()
+
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        sender = attach_sender(manager, [address])
+        try:
+            feed(service, chunks[half:])
+            quiesce(service, manager, sender)
+            assert sender.links[0].checkpoints_shipped == 1
+
+            primary_snap = service.snapshot(gen.campaign_id)
+            with ReplicaReadClient(address) as client:
+                replica_snap = client.snapshot(gen.campaign_id)
+            assert (
+                replica_snap.truths.tobytes()
+                == primary_snap.truths.tobytes()
+            )
+            assert (
+                replica_snap.claims_ingested
+                == primary_snap.claims_ingested
+            )
+            assert (
+                replica_snap.weights_by_user
+                == primary_snap.weights_by_user
+            )
+        finally:
+            service.close()
+            standby.stop()
+
+
+class TestSyncModes:
+    def test_semi_sync_acks_every_pump(self, tmp_path):
+        gen, chunks = make_traffic(total_chunks=6)
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address], sync="semi-sync")
+        try:
+            register(service, gen)
+            feed(service, chunks)
+            service.flush()
+            # Every pump blocked on its own ack, so the watermark is
+            # already replicated — no waiting loop needed.
+            assert sender.min_ack_lsn() >= manager.wal.last_lsn
+            assert sender.semi_sync_timeouts == 0
+        finally:
+            service.close()
+            standby.stop()
+
+    def test_semi_sync_timeout_degrades_to_async(self, tmp_path):
+        gen, chunks = make_traffic(total_chunks=1)
+        service, manager = primary_service(tmp_path)
+        # Nothing listens on this port: acks never arrive and every
+        # pump degrades after ack_timeout instead of hanging forever.
+        sender = attach_sender(
+            manager,
+            [("127.0.0.1", free_port())],
+            sync="semi-sync",
+            ack_timeout=0.2,
+            connect_timeout=0.2,
+        )
+        try:
+            register(service, gen)
+            feed(service, chunks)
+            service.flush()
+            assert sender.semi_sync_timeouts >= 1
+        finally:
+            service.close()
+
+    def test_async_never_blocks_on_dead_standby(self, tmp_path):
+        gen, chunks = make_traffic(total_chunks=2)
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(
+            manager,
+            [("127.0.0.1", free_port())],
+            connect_timeout=0.2,
+        )
+        try:
+            register(service, gen)
+            start = time.monotonic()
+            feed(service, chunks)
+            service.flush()
+            # Async mode: a dead standby costs the ingest path nothing.
+            assert time.monotonic() - start < 10.0
+            assert sender.min_ack_lsn() == 0
+            assert np.all(
+                np.isfinite(service.snapshot(gen.campaign_id).truths)
+            )
+        finally:
+            service.close()
+
+
+class TestSenderValidation:
+    def test_bad_sync_mode(self):
+        with pytest.raises(ValueError, match="sync must be one of"):
+            ReplicationSender([("127.0.0.1", 1)], sync="eventually")
+
+    def test_needs_standbys(self):
+        with pytest.raises(ValueError, match="at least one standby"):
+            ReplicationSender([])
+
+    def test_close_is_idempotent(self, tmp_path):
+        standby = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address])
+        try:
+            sender.close()
+            sender.close()
+        finally:
+            service.close()
+            standby.stop()

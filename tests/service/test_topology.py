@@ -1,0 +1,219 @@
+"""The service-topology API and its deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.durable import DurabilityConfig, DurabilityManager
+from repro.service.ingest import IngestService, ServiceConfig
+from repro.service.topology import Topology
+
+
+class TestFactories:
+    def test_in_process_default(self):
+        topo = Topology.in_process()
+        assert topo.kind == "in_process"
+        assert topo.durability is None
+
+    def test_workers(self):
+        topo = Topology.workers(4, start_method="fork")
+        assert topo.kind == "workers"
+        assert topo.processes == 4
+        assert topo.start_method == "fork"
+
+    def test_fabric(self):
+        topo = Topology.fabric(2, supervise=False)
+        assert topo.kind == "fabric"
+        assert topo.processes == 2
+        assert topo.supervise is False
+
+    def test_replicated(self, tmp_path):
+        topo = Topology.replicated(
+            standbys=2,
+            durability=tmp_path,
+            sync="semi-sync",
+            standby_dirs=[tmp_path / "a", tmp_path / "b"],
+            standby_fsync="always",
+            ack_timeout=5.0,
+        )
+        assert topo.kind == "replicated"
+        assert topo.standbys == 2
+        assert topo.sync == "semi-sync"
+        assert topo.standby_dirs == (
+            str(tmp_path / "a"),
+            str(tmp_path / "b"),
+        )
+        assert topo.standby_fsync == "always"
+        assert topo.ack_timeout == 5.0
+
+    def test_frozen(self):
+        topo = Topology.in_process()
+        with pytest.raises(AttributeError):
+            topo.kind = "fabric"
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            Topology(kind="cluster")
+
+    @pytest.mark.parametrize("processes", [0, -1])
+    def test_workers_need_processes(self, processes):
+        with pytest.raises(ValueError, match="processes"):
+            Topology.workers(processes)
+
+    @pytest.mark.parametrize("processes", [0, -3])
+    def test_fabric_needs_processes(self, processes):
+        with pytest.raises(ValueError, match="processes"):
+            Topology.fabric(processes)
+
+    def test_replicated_needs_standbys(self, tmp_path):
+        with pytest.raises(ValueError, match="standbys"):
+            Topology.replicated(standbys=0, durability=tmp_path)
+
+    def test_replicated_bad_sync(self, tmp_path):
+        with pytest.raises(ValueError, match="sync must be one of"):
+            Topology.replicated(durability=tmp_path, sync="full")
+
+    def test_replicated_requires_durability(self):
+        with pytest.raises(ValueError, match="requires durability"):
+            Topology.replicated(standbys=1, durability=None)
+
+    def test_standby_dirs_count_must_match(self, tmp_path):
+        with pytest.raises(ValueError, match="standby_dirs"):
+            Topology.replicated(
+                standbys=2,
+                durability=tmp_path,
+                standby_dirs=[tmp_path / "only-one"],
+            )
+
+
+class TestLegacyKwargShim:
+    def test_workers_and_hosts_mutually_exclusive(self):
+        with pytest.raises(
+            ValueError,
+            match=(
+                r"workers \(pipe pool\) and hosts \(socket fabric\) are "
+                r"mutually exclusive; pick one"
+            ),
+        ):
+            Topology._from_legacy_kwargs(workers=2, hosts=2)
+
+    def test_legacy_workers_maps_to_workers(self):
+        assert Topology._from_legacy_kwargs(
+            workers=3, start_method="fork"
+        ) == Topology.workers(3, start_method="fork")
+
+    def test_legacy_hosts_maps_to_fabric(self):
+        assert Topology._from_legacy_kwargs(
+            hosts=2, supervise=False
+        ) == Topology.fabric(2, supervise=False)
+
+    def test_legacy_default_maps_to_in_process(self):
+        assert Topology._from_legacy_kwargs() == Topology.in_process()
+
+    def test_legacy_durability_is_preserved(self, tmp_path):
+        topo = Topology._from_legacy_kwargs(durability=tmp_path)
+        assert topo == Topology.in_process(durability=tmp_path)
+
+
+class TestIngestServiceShims:
+    def test_legacy_durability_kwarg_warns_once_same_topology(
+        self, tmp_path
+    ):
+        manager = DurabilityManager(DurabilityConfig(directory=tmp_path))
+        with pytest.warns(DeprecationWarning) as caught:
+            service = IngestService(
+                ServiceConfig(num_shards=2), durability=manager
+            )
+        try:
+            assert len(caught) == 1
+            assert "topology=" in str(caught[0].message)
+            assert service.topology == Topology.in_process(
+                durability=manager
+            )
+            assert service.durability is manager
+        finally:
+            service.close()
+            manager.close()
+
+    def test_legacy_workers_kwarg_builds_worker_topology(self):
+        with pytest.warns(DeprecationWarning):
+            service = IngestService(
+                ServiceConfig(num_shards=2), workers=1
+            )
+        try:
+            assert service.topology == Topology.workers(1)
+        finally:
+            service.close()
+
+    def test_topology_and_legacy_kwargs_conflict(self, tmp_path):
+        manager = DurabilityManager(DurabilityConfig(directory=tmp_path))
+        try:
+            with pytest.raises(
+                ValueError, match="either topology= or the deprecated"
+            ):
+                IngestService(
+                    ServiceConfig(num_shards=2),
+                    topology=Topology.in_process(),
+                    durability=manager,
+                )
+        finally:
+            manager.close()
+
+    def test_default_is_in_process_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service = IngestService(ServiceConfig(num_shards=2))
+        try:
+            assert service.topology == Topology.in_process()
+            assert service.replication is None
+            assert service.standbys is None
+        finally:
+            service.close()
+
+    def test_topology_durability_accepts_config_and_path(self, tmp_path):
+        service = IngestService(
+            ServiceConfig(num_shards=2),
+            topology=Topology.in_process(
+                durability=DurabilityConfig(directory=tmp_path / "a")
+            ),
+        )
+        try:
+            assert service.durability is not None
+            assert (tmp_path / "a").is_dir()
+        finally:
+            service.close()
+
+        service = IngestService(
+            ServiceConfig(num_shards=2),
+            topology=Topology.in_process(durability=tmp_path / "b"),
+        )
+        try:
+            assert service.durability is not None
+            assert (tmp_path / "b").is_dir()
+        finally:
+            service.close()
+
+    def test_service_built_manager_closed_with_service(self, tmp_path):
+        """durability= as a path/config has no other owner — close()
+        must close the manager it built; a caller-attached manager must
+        survive close() for recovery."""
+        service = IngestService(
+            ServiceConfig(num_shards=2),
+            topology=Topology.in_process(durability=tmp_path / "own"),
+        )
+        manager = service.durability
+        service.close()
+        assert manager.wal.closed
+
+        caller_owned = DurabilityManager(
+            DurabilityConfig(directory=tmp_path / "theirs")
+        )
+        service = IngestService(
+            ServiceConfig(num_shards=2),
+            topology=Topology.in_process(durability=caller_owned),
+        )
+        service.close()
+        assert not caller_owned.wal.closed
+        caller_owned.close()
