@@ -169,7 +169,31 @@ DURABILITY_METRICS = (
     Metric("compaction.shrunk", "flag"),
 )
 
-KINDS = {"service": SERVICE_METRICS, "durability": DURABILITY_METRICS}
+CHAOS_METRICS = (
+    # Self-healing failover ceilings from the chaos drill
+    # (``repro chaos-drill --smoke``).  Detection is bounded by
+    # interval * misses (0.2s * 3 in the drill) plus probe timeouts,
+    # and promotion by one standby replay; both floors sit an order of
+    # magnitude above healthy values (≈2.4s / ≈1s) so only a watchdog
+    # that has actually stopped meeting its SLO trips the gate, not a
+    # loaded runner.  The bound is max(baseline*(1+tol), floor), so
+    # the floor governs while baselines stay small.
+    Metric("watchdog.detection_seconds_max", "lower", floor=10.0),
+    Metric("watchdog.promotion_seconds_max", "lower", floor=15.0),
+    Metric("watchdog.failover_wall_seconds_max", "lower", floor=30.0),
+    # Hard invariants over every drill: the watchdog (not an operator)
+    # promoted, the healed truths are bitwise the dead primary's WAL
+    # replayed to the watermark, and spent budget stayed spent.
+    Metric("invariants.auto_promoted", "flag"),
+    Metric("invariants.truths_match_bitwise", "flag"),
+    Metric("invariants.budget_spent_matches", "flag"),
+)
+
+KINDS = {
+    "service": SERVICE_METRICS,
+    "durability": DURABILITY_METRICS,
+    "chaos": CHAOS_METRICS,
+}
 
 
 def lookup(report: dict, path: str):

@@ -1,0 +1,57 @@
+"""repro.chaos — deterministic fault injection and chaos drills.
+
+The invariants this codebase sells — recovered truths bitwise-equal,
+spent budget stays spent — were historically proven at hand-placed
+fault points (a SIGKILL here, a torn segment there).  This package
+makes them properties checked under *randomized but reproducible*
+schedules instead:
+
+* :class:`FaultPlan` — a seed-driven schedule over named fault points
+  (:data:`FAULT_POINTS`) threaded through the WAL, the socket
+  transport, and the process pools; per-point child streams keep the
+  schedule stable under interleaving;
+* :mod:`repro.chaos.points` — the process-wide switchboard hook sites
+  query (a no-op unless a plan is installed);
+* :func:`run_chaos_drill` — the harness behind ``repro chaos-drill``:
+  N seeded schedules against a live replicated topology, each ending
+  in a SIGKILLed primary, an *automated* watchdog promotion, and the
+  bitwise/budget invariant checks.
+
+See ``docs/operations.md`` for reproducing a drill seed locally.
+"""
+
+from repro.chaos.plan import (
+    DEFAULT_RATES,
+    FAULT_POINTS,
+    FaultPlan,
+    InjectedFault,
+)
+from repro.chaos.points import (
+    active,
+    fire,
+    injected_counts,
+    install,
+    installed,
+    uninstall,
+)
+
+__all__ = [
+    "DEFAULT_RATES",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "InjectedFault",
+    "active",
+    "fire",
+    "injected_counts",
+    "install",
+    "installed",
+    "uninstall",
+    "run_chaos_drill",
+]
+
+
+def run_chaos_drill(*args, **kwargs):
+    """Lazy alias for :func:`repro.chaos.drill.run_chaos_drill`."""
+    from repro.chaos.drill import run_chaos_drill as _run
+
+    return _run(*args, **kwargs)

@@ -1,0 +1,599 @@
+"""The chaos drill: seeded faults, a murdered primary, a self-healing check.
+
+``repro chaos-drill`` runs N fully-seeded failure scenarios against a
+*live* replicated topology and asserts the system healed itself:
+
+1. spawn a **primary driver** child (this module re-exec'd with
+   ``--run-primary``) that installs ``FaultPlan(seed)``, builds
+   ``Topology.replicated(standbys=2, auto_failover=True)`` — real
+   ``repro standby`` processes, a real detached ``repro watchdog`` —
+   plus a tight background-compaction policy, and streams claims
+   under injected connection resets, delays, and dial refusals;
+2. wait until the watchdog prints ``ARMED`` and a standby holds a
+   replicated prefix, optionally SIGKILL one standby (seed-derived),
+   then **SIGKILL the primary** — every drill includes this fault;
+3. read the watchdog's ``PROMOTED <json>`` line off the still-open
+   stdout pipe (the watchdog inherited it and outlives the primary —
+   no operator, no ``promote()`` call from the harness);
+4. verify the two invariants that make failover trustworthy:
+   **bitwise truths** — the promoted standby's truths are bit-for-bit
+   equal to an independent replay of the dead primary's WAL at the
+   replicated watermark — and **spent budget stays spent** — every
+   privacy-budget charge the dead primary admitted survives in the
+   promoted ledger;
+5. read through a :class:`~repro.replication.client.FailoverReadClient`
+   so the re-pointing path is exercised on every drill.
+
+Determinism: the injected fault schedule is a pure function of the
+drill seed (see :mod:`repro.chaos.plan`), so a failing seed replays
+with ``repro chaos-drill --seeds <seed>``.  Wall-clock timings
+(detection/promotion) are environment-dependent and are gated, not
+replayed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+CHUNK = 256
+NUM_USERS = 60
+NUM_OBJECTS = 24
+CAMPAIGN = "chaos-drill"
+
+#: Seeds the CI smoke job pins (failures reproduce from the seed alone).
+SMOKE_SEEDS = (101, 202, 303, 404, 505)
+
+#: A standby must hold at least this LSN before the primary is killed,
+#: so the promoted state is never trivially empty.
+MIN_REPLICATED_LSN = 40
+
+
+# ----------------------------------------------------------------------
+# Child: the primary that is going to die, faults installed.
+def run_primary(args) -> int:
+    from repro.chaos import FaultPlan, injected_counts, install
+    from repro.durable import (
+        CompactionPolicy,
+        DurabilityConfig,
+    )
+    from repro.privacy.ldp import LDPGuarantee
+    from repro.service.ingest import IngestService, ServiceConfig
+    from repro.service.ledger import BudgetLedger
+    from repro.service.loadgen import LoadGenerator
+    from repro.service.topology import Topology
+
+    # Deterministic injection, in this process only: the standbys and
+    # the watchdog are separate processes and stay fault-free — chaos
+    # tests the primary's side of every stream, not the detector.
+    install(FaultPlan(args.seed))
+    durability = DurabilityConfig(
+        directory=args.dir,
+        fsync="batch",
+        checkpoint_every_claims=4 * CHUNK,
+        compaction=CompactionPolicy(
+            max_wal_bytes=512 * 1024,
+            min_interval_seconds=1.0,
+            check_interval_seconds=0.2,
+        ),
+    )
+    service = IngestService(
+        ServiceConfig(num_shards=2, max_batch=CHUNK),
+        ledger=BudgetLedger(epsilon_cap=1e6),
+        topology=Topology.replicated(
+            standbys=args.standbys,
+            durability=durability,
+            auto_failover=True,
+            heartbeat_interval=0.2,
+            heartbeat_misses=3,
+        ),
+    )
+    for handle in service.standbys.handles:
+        print(
+            f"STANDBY {handle.index} {handle.address[1]} "
+            f"{handle.process.pid}",
+            flush=True,
+        )
+    print(f"WATCHDOG {service.watchdog_process.pid}", flush=True)
+
+    gen = LoadGenerator(
+        CAMPAIGN,
+        num_users=NUM_USERS,
+        num_objects=NUM_OBJECTS,
+        random_state=args.seed,
+    )
+    service.register_campaign(
+        gen.campaign_id,
+        gen.object_ids,
+        max_users=NUM_USERS,
+        user_ids=gen.user_ids,
+        cost=LDPGuarantee(epsilon=1e-4, delta=0.0),
+    )
+    # Stream slowly enough that the parent reliably kills us
+    # mid-stream; the sleeps also give injected delays and resets a
+    # live reconnect path to chew on.
+    for i, chunk in enumerate(
+        gen.column_chunks(args.claims, chunk_size=CHUNK)
+    ):
+        service.submit_columns(
+            chunk.campaign_id,
+            chunk.user_slots,
+            chunk.object_slots,
+            chunk.values,
+        )
+        service.pump()
+        if i == 4:
+            print("STREAMING", flush=True)
+        if i % 10 == 0:
+            print(
+                "FAULTS " + json.dumps(injected_counts(), sort_keys=True),
+                flush=True,
+            )
+        time.sleep(0.03)
+    # Only reached if the parent never killed us; stay alive so the
+    # kill can still land (a drill that outruns its harness is a
+    # harness bug, not a heal).
+    print("STREAM-EXHAUSTED", flush=True)
+    time.sleep(120.0)
+    service.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parent: orchestrate, kill, observe the self-heal, verify.
+def replay_primary_prefix(directory: Path, up_to_lsn: int):
+    """Independently rebuild the dead primary's state at ``up_to_lsn``.
+
+    Same record-application path the standby used
+    (:class:`~repro.durable.recovery.RecordApplier`), driven straight
+    off the dead primary's segments — an arbiter that shares no
+    process with either side of the replication stream.
+    """
+    from repro.durable import records as rec
+    from repro.durable.recovery import RecordApplier
+    from repro.durable.wal import read_wal
+    from repro.service.ingest import IngestService, ServiceConfig
+    from repro.service.ledger import BudgetLedger
+
+    service = None
+    applier = None
+    for record in read_wal(directory).records:
+        if record.lsn > up_to_lsn:
+            break
+        if record.rtype == rec.CONFIG:
+            if service is None:
+                body = record.decode()
+                caps = body.get("ledger")
+                service = IngestService(
+                    ServiceConfig(**body["service_config"]),
+                    ledger=(
+                        None
+                        if caps is None
+                        else BudgetLedger(
+                            caps["epsilon_cap"],
+                            delta_cap=caps["delta_cap"],
+                        )
+                    ),
+                )
+                applier = RecordApplier(service)
+            continue
+        applier.apply(record)
+    if service is None:
+        raise RuntimeError(f"no CONFIG record in {directory}")
+    return service
+
+
+def ledger_key(records):
+    return sorted(
+        (r["user_id"], r["epsilon"], r["delta"]) for r in records
+    )
+
+
+class _LineReader:
+    """Read a child's stdout on a thread so waits can carry deadlines
+    (after the primary dies, the next line comes from the watchdog —
+    or never, which must be a timeout, not a hang)."""
+
+    def __init__(self, stream) -> None:
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._pump, args=(stream,), daemon=True
+        )
+        self._thread.start()
+
+    def _pump(self, stream) -> None:
+        for line in stream:
+            self._queue.put(line.strip())
+        self._queue.put(None)  # EOF
+
+    def next_line(self, timeout: float) -> Optional[str]:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"no output from drill child within {timeout}s"
+            ) from None
+
+    def wait_for(
+        self, prefixes: Sequence[str], *, timeout: float, sink=None
+    ) -> str:
+        """Return the first line starting with any prefix; feed every
+        line through ``sink`` on the way."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"child never printed any of {prefixes}"
+                )
+            line = self.next_line(remaining)
+            if line is None:
+                raise RuntimeError(
+                    f"child stdout closed before any of {prefixes}"
+                )
+            if sink is not None:
+                sink(line)
+            if any(line.startswith(p) for p in prefixes):
+                return line
+
+
+def _kill_pid(pid: int) -> None:
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except OSError:
+        pass
+
+
+def run_one_drill(
+    seed: int,
+    *,
+    claims: int,
+    standbys: int = 2,
+    python: Optional[str] = None,
+    log=print,
+) -> dict:
+    """One seeded drill; returns the per-seed result dict."""
+    import numpy as np
+
+    from repro.replication.client import (
+        FailoverReadClient,
+        ReplicaReadClient,
+    )
+    from repro.utils.rng import derive_seed
+
+    root = Path(tempfile.mkdtemp(prefix=f"repro-chaos-{seed}-"))
+    primary_dir = root / "wal"
+    child = subprocess.Popen(
+        [
+            python or sys.executable,
+            "-m",
+            "repro.chaos.drill",
+            "--run-primary",
+            "--seed",
+            str(seed),
+            "--dir",
+            str(primary_dir),
+            "--claims",
+            str(claims),
+            "--standbys",
+            str(standbys),
+        ],
+        env={**os.environ},
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    standby_ports: dict[int, int] = {}
+    standby_pids: dict[int, int] = {}
+    watchdog_pid: Optional[int] = None
+    faults: dict = {}
+    armed = False
+
+    def sink(line: str) -> None:
+        nonlocal watchdog_pid, armed
+        if line.startswith("STANDBY "):
+            _, index, port, pid = line.split()
+            standby_ports[int(index)] = int(port)
+            standby_pids[int(index)] = int(pid)
+        elif line.startswith("WATCHDOG "):
+            watchdog_pid = int(line.split()[1])
+        elif line.startswith("FAULTS "):
+            faults.update(json.loads(line.split(" ", 1)[1]))
+        elif line == "ARMED":
+            armed = True
+
+    result: dict = {"seed": seed, "auto_promoted": False}
+    try:
+        reader = _LineReader(child.stdout)
+        reader.wait_for(["STREAMING"], timeout=180.0, sink=sink)
+        if not armed:
+            reader.wait_for(["ARMED"], timeout=60.0, sink=sink)
+        if len(standby_ports) != standbys:
+            raise RuntimeError("child never announced its standbys")
+
+        # A standby must hold a real replicated prefix before we pull
+        # the plug, or "bitwise at the watermark" verifies nothing.
+        deadline = time.monotonic() + 120.0
+        while True:
+            watermarks = {}
+            for index, port in standby_ports.items():
+                try:
+                    with ReplicaReadClient(
+                        ("127.0.0.1", port), timeout=5.0
+                    ) as client:
+                        watermarks[index] = client.status()["durable_lsn"]
+                except (OSError, EOFError, ConnectionError):
+                    continue
+            if watermarks and max(watermarks.values()) >= MIN_REPLICATED_LSN:
+                break
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"no standby reached lsn {MIN_REPLICATED_LSN}; "
+                    f"saw {watermarks}"
+                )
+            time.sleep(0.05)
+
+        # Seed-derived extra process fault: SIGKILL at most one standby
+        # (never all — someone must be left to elect).  Distinct bits
+        # of the draw decide *whether* and *whom*: reusing the parity
+        # bit for both would pin the victim to standby 0 forever.
+        kill_draw = derive_seed(seed, "drill", "kill-standby")
+        victim: Optional[int] = None
+        if standbys > 1 and (kill_draw >> 1) % 2 == 0:
+            victim = (kill_draw >> 2) % standbys
+            log(f"  chaos: SIGKILL standby {victim} "
+                f"(pid {standby_pids[victim]})")
+            _kill_pid(standby_pids[victim])
+        result["standby_killed"] = victim
+
+        log(f"  SIGKILL primary pid {child.pid}")
+        kill_time = time.monotonic()
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait(timeout=30.0)
+
+        # The watchdog inherited the stdout pipe; its PROMOTED line is
+        # the proof the system healed itself — nobody on this side of
+        # the pipe calls promote().
+        line = reader.wait_for(["PROMOTED "], timeout=60.0, sink=sink)
+        promoted = json.loads(line.split(" ", 1)[1])
+        failover_wall = time.monotonic() - kill_time
+        result.update(
+            {
+                "auto_promoted": True,
+                "promoted_index": promoted["promoted_index"],
+                "watermark_lsn": promoted["watermark_lsn"],
+                "detection_seconds": promoted["detection_seconds"],
+                "promotion_seconds": promoted["promotion_seconds"],
+                "failover_wall_seconds": failover_wall,
+                "faults_injected": dict(faults),
+            }
+        )
+        log(
+            f"  PROMOTED standby {promoted['promoted_index']} at lsn "
+            f"{promoted['watermark_lsn']} (detect "
+            f"{promoted['detection_seconds']:.2f}s, promote "
+            f"{promoted['promotion_seconds']:.2f}s)"
+        )
+
+        # The spent-budget status must come from the new primary.
+        promoted_port = standby_ports[promoted["promoted_index"]]
+        with ReplicaReadClient(
+            ("127.0.0.1", promoted_port), timeout=10.0
+        ) as primary_client:
+            deadline = time.monotonic() + 30.0
+            status = primary_client.status()
+            while not status.get("promoted"):
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        "promoted standby never reported promoted=True"
+                    )
+                time.sleep(0.1)
+                status = primary_client.status()
+
+        # Read through the re-pointing client: when a standby was
+        # killed, start there — the read path must walk off the corpse
+        # to the new primary on its own.  (A non-promoted survivor
+        # would serve truths at *its* watermark, so the walk must end
+        # on the promoted standby either way.)
+        addresses = []
+        if victim is not None:
+            addresses.append(("127.0.0.1", standby_ports[victim]))
+        addresses.append(("127.0.0.1", promoted_port))
+        with FailoverReadClient(addresses, timeout=3.0) as read_client:
+            snapshot = read_client.snapshot(CAMPAIGN)
+            result["read_repoints"] = read_client.repoints
+        arbiter = replay_primary_prefix(
+            primary_dir, promoted["watermark_lsn"]
+        )
+        crashed = arbiter.snapshot(CAMPAIGN)
+        result["truths_match_bitwise"] = bool(
+            snapshot.truths.tobytes() == crashed.truths.tobytes()
+            and np.all(np.isfinite(snapshot.truths))
+            and snapshot.weights_by_user == crashed.weights_by_user
+            and snapshot.claims_ingested == crashed.claims_ingested
+            and snapshot.claims_ingested > 0
+        )
+        spent = status["ledger"]["records"]
+        result["budget_spent_matches"] = bool(
+            len(spent) > 0
+            and ledger_key(spent) == ledger_key(arbiter.ledger.to_records())
+        )
+        result["claims_preserved"] = int(snapshot.claims_ingested)
+        log(
+            f"  invariants: bitwise="
+            f"{result['truths_match_bitwise']} "
+            f"budget={result['budget_spent_matches']} "
+            f"(repoints={result['read_repoints']})"
+        )
+        return result
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+        for index, port in standby_ports.items():
+            try:
+                with ReplicaReadClient(
+                    ("127.0.0.1", port), timeout=2.0
+                ) as client:
+                    client.shutdown()
+            except (OSError, EOFError, ConnectionError):
+                pass
+        time.sleep(0.2)
+        for pid in standby_pids.values():
+            _kill_pid(pid)
+        if watchdog_pid is not None:
+            _kill_pid(watchdog_pid)
+        if child.stdout is not None:
+            child.stdout.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_chaos_drill(
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    drills: int = 5,
+    base_seed: int = 2020,
+    claims: int = 6000,
+    smoke: bool = False,
+    log=print,
+) -> dict:
+    """Run every seed; returns the aggregate report the CI job gates."""
+    if seeds is None:
+        seeds = (
+            list(SMOKE_SEEDS)
+            if smoke
+            else [base_seed + 101 * i for i in range(drills)]
+        )
+    seeds = list(seeds)
+    if smoke:
+        claims = min(claims, 4000)
+    results = []
+    for seed in seeds:
+        log(f"== drill seed {seed} ==")
+        try:
+            results.append(
+                run_one_drill(seed, claims=claims, log=log)
+            )
+        except (RuntimeError, TimeoutError, OSError) as exc:
+            log(f"  drill seed {seed} FAILED: {exc}")
+            results.append(
+                {
+                    "seed": seed,
+                    "auto_promoted": False,
+                    "error": str(exc),
+                }
+            )
+    healed = [r for r in results if r.get("auto_promoted")]
+    report = {
+        "kind": "chaos",
+        "seeds": seeds,
+        "claims_per_drill": claims,
+        "drills": results,
+        "watchdog": {
+            "detection_seconds_max": max(
+                (r["detection_seconds"] for r in healed), default=None
+            ),
+            "promotion_seconds_max": max(
+                (r["promotion_seconds"] for r in healed), default=None
+            ),
+            "failover_wall_seconds_max": max(
+                (r["failover_wall_seconds"] for r in healed),
+                default=None,
+            ),
+        },
+        "invariants": {
+            "auto_promoted": len(healed) == len(results),
+            "truths_match_bitwise": bool(results)
+            and all(r.get("truths_match_bitwise") for r in results),
+            "budget_spent_matches": bool(results)
+            and all(r.get("budget_spent_matches") for r in results),
+        },
+    }
+    return report
+
+
+def format_drill_summary(report: dict) -> str:
+    lines = [
+        f"chaos drill over {len(report['seeds'])} seed(s): "
+        f"{report['seeds']}"
+    ]
+    for drill in report["drills"]:
+        if not drill.get("auto_promoted"):
+            lines.append(
+                f"  seed {drill['seed']}: FAILED to heal "
+                f"({drill.get('error', 'no promotion observed')})"
+            )
+            continue
+        lines.append(
+            f"  seed {drill['seed']}: promoted standby "
+            f"{drill['promoted_index']} at lsn {drill['watermark_lsn']} "
+            f"(detect {drill['detection_seconds']:.2f}s, promote "
+            f"{drill['promotion_seconds']:.2f}s, bitwise="
+            f"{drill['truths_match_bitwise']}, budget="
+            f"{drill['budget_spent_matches']})"
+        )
+    inv = report["invariants"]
+    watchdog = report["watchdog"]
+    if watchdog["detection_seconds_max"] is not None:
+        lines.append(
+            f"worst detection {watchdog['detection_seconds_max']:.2f}s, "
+            f"worst promotion {watchdog['promotion_seconds_max']:.2f}s"
+        )
+    lines.append(
+        "invariants: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(inv.items()))
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="seeded chaos drill against a replicated topology"
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=None)
+    parser.add_argument("--drills", type=int, default=5)
+    parser.add_argument("--base-seed", type=int, default=2020)
+    parser.add_argument("--claims", type=int, default=6000)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--output", default=None)
+    # Internal: the doomed-primary child re-exec.
+    parser.add_argument(
+        "--run-primary", action="store_true", help=argparse.SUPPRESS
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--dir", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--standbys", type=int, default=2,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.run_primary:
+        return run_primary(args)
+    report = run_chaos_drill(
+        seeds=args.seeds,
+        drills=args.drills,
+        base_seed=args.base_seed,
+        claims=args.claims,
+        smoke=args.smoke,
+    )
+    print(format_drill_summary(report))
+    if args.output:
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if all(report["invariants"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The process-wide fault-point switchboard.
+
+Hook sites in the hot layers (:mod:`repro.durable.wal`,
+:mod:`repro.net.transport`, :mod:`repro.net.supervisor`) cannot import
+plan machinery or pay for it when chaos is off.  This module is their
+entire dependency: a module global holding the active
+:class:`~repro.chaos.plan.FaultPlan` (or None) and a :func:`fire` that
+is a two-instruction no-op while nothing is installed.
+
+Installation is explicit and per process — a standby subprocess never
+injects unless *it* installs a plan — and scoped installs via
+:func:`installed` keep tests from leaking chaos into each other.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.chaos.plan import FaultPlan, InjectedFault
+
+_plan: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Make ``plan`` the process's active fault schedule."""
+    global _plan
+    if plan is not None and not isinstance(plan, FaultPlan):
+        raise TypeError(
+            f"expected a FaultPlan, got {type(plan).__name__}"
+        )
+    _plan = plan
+
+
+def uninstall() -> None:
+    """Deactivate fault injection for this process."""
+    global _plan
+    _plan = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The installed plan, or None when chaos is off."""
+    return _plan
+
+
+def fire(point: str) -> Optional[InjectedFault]:
+    """Query the active plan at ``point`` (None when chaos is off)."""
+    plan = _plan
+    if plan is None:
+        return None
+    return plan.fire(point)
+
+
+def injected_counts() -> dict[str, int]:
+    """Injected-fault tallies of the active plan ({} when off)."""
+    plan = _plan
+    return {} if plan is None else plan.counts()
+
+
+@contextmanager
+def installed(plan: FaultPlan):
+    """``with installed(FaultPlan(seed)):`` — scoped injection."""
+    previous = _plan
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous) if previous is not None else uninstall()

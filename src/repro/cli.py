@@ -21,6 +21,16 @@ Subcommands
   (its own log generation), continuously replay it into live
   aggregators, and serve replica snapshot reads and promotion
   (same ``PORT <n>`` launch contract as ``serve-shard``);
+* ``watchdog --primary H:P --standby H:P [...]`` — the auto-failover
+  agent: heartbeat a primary's status listener and, when it dies,
+  elect the freshest standby and promote it (prints ``ARMED`` when
+  live and ``PROMOTED <json>`` after a failover; spawned detached by
+  ``Topology.replicated(auto_failover=True)``);
+* ``chaos-drill [--seeds N ...] [--smoke] [--output PATH]`` — seeded
+  fault-injection drills: run a replicated topology under a
+  deterministic ``repro.chaos`` fault schedule, SIGKILL the primary,
+  let the watchdog promote, and assert the bitwise-truths and
+  spent-budget invariants (exit 1 if any drill fails to heal);
 * ``durable-bench [--smoke] [--output PATH]`` — measure write-ahead
   logging cost (per fsync policy, synchronous and async commit),
   commit-latency percentiles, compaction, and crash-recovery speed;
@@ -244,6 +254,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="commit policy of the standby's own WAL (default batch; "
         "the standby acks a shipped group only after its own fsync)",
     )
+
+    watchdog_p = sub.add_parser(
+        "watchdog",
+        help="heartbeat a primary's status listener; on death, elect "
+        "and promote the freshest standby (the auto-failover agent "
+        "behind Topology.replicated(auto_failover=True))",
+    )
+    watchdog_p.add_argument(
+        "--primary",
+        required=True,
+        metavar="HOST:PORT",
+        help="the primary's status listener address",
+    )
+    watchdog_p.add_argument(
+        "--standby",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        dest="standbys",
+        help="a standby listener address (repeat per standby; order "
+        "is the election tie-break)",
+    )
+    watchdog_p.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between heartbeats (default 0.5)",
+    )
+    watchdog_p.add_argument(
+        "--misses",
+        type=int,
+        default=4,
+        help="consecutive missed heartbeats before the primary is "
+        "declared dead (default 4)",
+    )
+    watchdog_p.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=1.0,
+        help="dial + response budget of one probe (default 1.0)",
+    )
+
+    drill_p = sub.add_parser(
+        "chaos-drill",
+        help="run seeded fault-injection drills against a live "
+        "replicated topology: SIGKILL the primary under injected "
+        "faults, wait for the watchdog to promote, and verify the "
+        "bitwise-truths and spent-budget invariants",
+    )
+    drill_p.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="explicit drill seeds (default: --drills seeds derived "
+        "from --base-seed)",
+    )
+    drill_p.add_argument(
+        "--drills",
+        type=int,
+        default=5,
+        metavar="N",
+        help="number of seeded drills when --seeds is not given "
+        "(default 5)",
+    )
+    drill_p.add_argument(
+        "--base-seed",
+        type=int,
+        default=2020,
+        help="base seed the default drill seeds derive from",
+    )
+    drill_p.add_argument(
+        "--claims",
+        type=int,
+        default=6000,
+        help="claims streamed through the primary per drill "
+        "(default 6000)",
+    )
+    drill_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny pinned workload over the pinned CI seeds",
+    )
+    _add_output_option(drill_p, "results/BENCH_chaos.json")
 
     durable_p = sub.add_parser(
         "durable-bench",
@@ -648,6 +743,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(str(exc), file=sys.stderr)
             return 1
         return 0
+
+    if args.command == "watchdog":
+        import json
+
+        from repro.replication.watchdog import (
+            FailoverWatchdog,
+            WatchdogError,
+            parse_address,
+        )
+
+        try:
+            primary = parse_address(args.primary)
+            standbys = [parse_address(a) for a in args.standbys]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        watchdog = FailoverWatchdog(
+            primary,
+            standbys,
+            interval=args.interval,
+            misses=args.misses,
+            probe_timeout=args.probe_timeout,
+            # The launch contract: "ARMED" once the primary has been
+            # seen alive, "PROMOTED <json>" after a failover — both on
+            # stdout, where a drill (or operator tooling) reads them.
+            on_armed=lambda: print("ARMED", flush=True),
+        )
+        try:
+            result = watchdog.run()
+        except WatchdogError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:  # pragma: no cover - operator stop
+            return 0
+        if result is None:
+            return 0
+        print("PROMOTED " + json.dumps(result, sort_keys=True), flush=True)
+        return 0
+
+    if args.command == "chaos-drill":
+        from repro.chaos.drill import format_drill_summary, run_chaos_drill
+
+        report = run_chaos_drill(
+            seeds=args.seeds,
+            drills=args.drills,
+            base_seed=args.base_seed,
+            claims=args.claims,
+            smoke=args.smoke,
+        )
+        print(format_drill_summary(report))
+        _write_output(report, args.output)
+        invariants = report.get("invariants", {})
+        healthy = all(bool(v) for v in invariants.values())
+        return 0 if healthy else 1
 
     if args.command == "compact":
         from repro.durable import WalError, compact_directory

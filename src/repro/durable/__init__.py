@@ -23,6 +23,10 @@ memory; this package makes that state survive a crash:
   directory-fsync swap, so disk usage is bounded by live state rather
   than segment boundaries; a crash at any point mid-swap is rolled
   forward or back on the next open;
+* :class:`CompactionPolicy` / :class:`CompactionDaemon` — background
+  policy engine (disk-usage and segment-age thresholds) that requests
+  compactions; the work itself runs at the manager's pump-side quiesce
+  point, never from the daemon thread;
 * :class:`CheckpointStore` — atomic snapshots of per-campaign
   aggregator state and the :class:`~repro.service.ledger.BudgetLedger`,
   bounding how much log a restart must replay;
@@ -53,6 +57,7 @@ from repro.durable.compaction import (
     CompactionReport,
     compact_directory,
 )
+from repro.durable.daemon import CompactionDaemon, CompactionPolicy
 from repro.durable.manager import (
     DurabilityConfig,
     DurabilityManager,
@@ -83,7 +88,9 @@ __all__ = [
     "Checkpoint",
     "CheckpointError",
     "CheckpointStore",
+    "CompactionDaemon",
     "CompactionInterrupted",
+    "CompactionPolicy",
     "CompactionReport",
     "DurabilityConfig",
     "DurabilityManager",

@@ -1,0 +1,208 @@
+"""Policy-driven background compaction.
+
+Compaction (:meth:`DurabilityManager.compact`) rewrites the log down to
+live records, but something has to *decide* to run it.  Leaving that to
+the operator means the WAL grows until someone notices; wiring it to a
+claim counter (the checkpoint cadence) misses the common failure mode —
+a quiet service whose old segments sit on disk forever.
+
+:class:`CompactionDaemon` closes that gap.  A daemon thread evaluates a
+:class:`CompactionPolicy` against the directory on a fixed cadence —
+total segment bytes, and the age of the oldest segment — and, when a
+threshold trips, raises a *request flag*.  It never calls ``compact()``
+itself: checkpointing captures aggregator state and must not race the
+pump thread's aggregation, so the actual work runs inline in
+:meth:`DurabilityManager.after_pump`, the natural quiesce point where
+the pump thread is between batches.  The daemon only looks at the
+filesystem (cheap ``stat`` calls), so its cadence can be tight without
+touching the ingest hot path.
+
+The flag-honouring side lives in the manager; this module is the
+policy, the clock, and the counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.durable.wal import list_segments
+from repro.utils.logging import get_logger
+from repro.utils.validation import ensure_positive
+
+_LOGGER = get_logger("durable.daemon")
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When background compaction should trigger.
+
+    Parameters
+    ----------
+    max_wal_bytes:
+        Trigger once live WAL segments exceed this many bytes on disk
+        (None disables the size trigger).
+    max_record_age_seconds:
+        Trigger once the oldest segment file is older than this
+        (None disables the age trigger).  Age is measured from the
+        segment's mtime — the last append it received — so an idle
+        directory eventually compacts down to its checkpoint.
+    min_interval_seconds:
+        Floor between two policy-triggered compactions, so a directory
+        hovering at a threshold does not compact on every evaluation.
+    check_interval_seconds:
+        How often the daemon thread re-evaluates the policy.
+    """
+
+    max_wal_bytes: Optional[int] = 256 * 1024 * 1024
+    max_record_age_seconds: Optional[float] = None
+    min_interval_seconds: float = 30.0
+    check_interval_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_wal_bytes is None and self.max_record_age_seconds is None:
+            raise ValueError(
+                "policy needs max_wal_bytes or max_record_age_seconds "
+                "(both None would never trigger)"
+            )
+        if self.max_wal_bytes is not None:
+            ensure_positive(self.max_wal_bytes, "max_wal_bytes")
+        if self.max_record_age_seconds is not None:
+            ensure_positive(
+                self.max_record_age_seconds, "max_record_age_seconds"
+            )
+        ensure_positive(self.min_interval_seconds, "min_interval_seconds")
+        ensure_positive(self.check_interval_seconds, "check_interval_seconds")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, directory: Path, now: float) -> Optional[str]:
+        """The reason compaction should run now, or None.
+
+        Pure filesystem inspection — callable from any thread.
+        """
+        segments = list_segments(directory)
+        if not segments:
+            return None
+        total = 0
+        oldest_mtime = None
+        for segment in segments:
+            try:
+                stat = segment.stat()
+            except OSError:
+                continue  # compaction/retention raced us; skip it
+            total += stat.st_size
+            if oldest_mtime is None or stat.st_mtime < oldest_mtime:
+                oldest_mtime = stat.st_mtime
+        if self.max_wal_bytes is not None and total > self.max_wal_bytes:
+            return f"wal size {total} > {self.max_wal_bytes} bytes"
+        if (
+            self.max_record_age_seconds is not None
+            and oldest_mtime is not None
+            and now - oldest_mtime > self.max_record_age_seconds
+        ):
+            return (
+                f"oldest segment {now - oldest_mtime:.0f}s old > "
+                f"{self.max_record_age_seconds:.0f}s"
+            )
+        return None
+
+
+class CompactionDaemon:
+    """Evaluates a :class:`CompactionPolicy` on a background thread.
+
+    The daemon communicates with the pump thread through one flag:
+    :meth:`take_request` (called from ``after_pump``) atomically claims
+    a pending trigger, and the caller reports back via
+    :meth:`record_compaction` so the ``min_interval_seconds`` floor is
+    measured from actual compactions, not from requests.
+    """
+
+    def __init__(self, directory: Path, policy: CompactionPolicy) -> None:
+        self._directory = Path(directory)
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._pending_reason: Optional[str] = None
+        self._last_compaction = time.monotonic()
+        self.evaluations = 0
+        self.policy_triggers = 0
+        self.compactions_run = 0
+        self.bytes_reclaimed = 0
+        self.last_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("compaction daemon already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-compaction", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.policy.check_interval_seconds):
+            self.evaluate_once()
+
+    # ------------------------------------------------------------------
+    def evaluate_once(self) -> Optional[str]:
+        """One policy evaluation (the thread's beat; tests call it too)."""
+        with self._lock:
+            self.evaluations += 1
+            if self._pending_reason is not None:
+                return self._pending_reason  # still waiting on the pump
+            if (
+                time.monotonic() - self._last_compaction
+                < self.policy.min_interval_seconds
+            ):
+                return None
+        reason = self.policy.evaluate(self._directory, time.time())
+        if reason is None:
+            return None
+        with self._lock:
+            if self._pending_reason is None:
+                self._pending_reason = reason
+                self.policy_triggers += 1
+                self.last_reason = reason
+                _LOGGER.info("compaction requested: %s", reason)
+        return reason
+
+    def take_request(self) -> Optional[str]:
+        """Claim the pending trigger, if any (pump thread, after_pump)."""
+        with self._lock:
+            reason = self._pending_reason
+            self._pending_reason = None
+            return reason
+
+    def record_compaction(self, report) -> None:
+        """Note a completed policy-triggered compaction."""
+        with self._lock:
+            self._last_compaction = time.monotonic()
+            self.compactions_run += 1
+            reclaimed = getattr(report, "bytes_reclaimed", None)
+            if reclaimed is None and isinstance(report, dict):
+                reclaimed = report.get("bytes_reclaimed")
+            if reclaimed:
+                self.bytes_reclaimed += int(reclaimed)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-friendly counters (service scrape / drill report)."""
+        with self._lock:
+            return {
+                "evaluations": self.evaluations,
+                "policy_triggers": self.policy_triggers,
+                "compactions_run": self.compactions_run,
+                "bytes_reclaimed": self.bytes_reclaimed,
+                "last_reason": self.last_reason,
+                "pending": self._pending_reason is not None,
+            }

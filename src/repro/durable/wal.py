@@ -97,6 +97,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from repro.chaos import points as _chaos
 from repro.durable.records import RECORD_TYPES, WalRecord
 from repro.utils.logging import get_logger
 
@@ -569,6 +570,12 @@ class WriteAheadLog:
         crosses to the file buffer exactly once.  Rotation happens here
         when the frame would overflow the segment.
         """
+        fault = _chaos.fire("wal.write")
+        if fault is not None:
+            raise OSError(
+                f"chaos: injected WAL write error at lsn {lsn} "
+                f"(#{fault.index})"
+            )
         body_len = _BODY_HEADER.size + payload_len
         frame_len = _FRAME_HEADER.size + body_len
         if (
@@ -583,6 +590,23 @@ class WriteAheadLog:
         crc = zlib.crc32(body_header)
         for part in parts:
             crc = zlib.crc32(part, crc)
+        torn = _chaos.fire("wal.torn_tail")
+        if torn is not None:
+            # Simulated power loss mid-write: a frame header plus a
+            # truncated body reaches the disk, then the writer "dies".
+            # The record was never durable (the watermark does not
+            # advance), so the scan-time torn-tail repair must truncate
+            # it on the next recovery.  The log is unusable afterwards,
+            # exactly like a real torn write.
+            self._fh.write(
+                _FRAME_HEADER.pack(body_len, crc) + body_header[:3]
+            )
+            self._fh.flush()
+            self._closed = True
+            raise OSError(
+                f"chaos: torn WAL tail injected at lsn {lsn} "
+                f"(#{torn.index})"
+            )
         self._fh.write(_FRAME_HEADER.pack(body_len, crc) + body_header)
         for part in parts:
             self._fh.write(part)
@@ -839,6 +863,11 @@ class WriteAheadLog:
             self.bytes_written += frame_len
         self._fh.flush()
         if self._fsync != "never":
+            fault = _chaos.fire("wal.fsync")
+            if fault is not None:
+                raise OSError(
+                    f"chaos: injected fsync error (#{fault.index})"
+                )
             _fdatasync(self._fh.fileno())
 
     # ------------------------------------------------------------------
@@ -873,6 +902,11 @@ class WriteAheadLog:
         start = time.perf_counter() if was_dirty else 0.0
         self._fh.flush()
         if force_fsync:
+            fault = _chaos.fire("wal.fsync")
+            if fault is not None:
+                raise OSError(
+                    f"chaos: injected fsync error (#{fault.index})"
+                )
             # fdatasync skips the metadata flush (mtime etc.) where the
             # platform offers it; the file length change that matters
             # for replay is part of the data journal either way.

@@ -25,6 +25,7 @@ connection reset, exactly like the pipe path.
 from __future__ import annotations
 
 import asyncio
+import signal
 import traceback
 from typing import Callable, Optional
 
@@ -58,13 +59,33 @@ class ShardHost:
         #: ``announce``).
         self.port: Optional[int] = None
         self.exit_code = 0
+        self._writers: set = set()
 
     # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask :meth:`serve` to exit (the SIGTERM handler; loop thread)."""
+        if self._stop is not None:
+            self._stop.set()
+
     async def serve(
         self, *, announce: Optional[Callable[[int], None]] = None
     ) -> int:
-        """Listen and dispatch until shutdown; returns the exit code."""
+        """Listen and dispatch until shutdown; returns the exit code.
+
+        SIGTERM is a graceful stop: the listener closes, every open
+        connection's write buffer is flushed to the peer (a response a
+        client is waiting on still arrives), and only then does the
+        host exit — instead of the interpreter's default instant death
+        mid-frame.
+        """
         self._stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        signal_installed = False
+        try:
+            loop.add_signal_handler(signal.SIGTERM, self.request_stop)
+            signal_installed = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-main thread or non-Unix loop: no handler
         server = await asyncio.start_server(
             self._on_client, self._host, self._requested_port
         )
@@ -80,14 +101,31 @@ class ShardHost:
         try:
             await self._stop.wait()
         finally:
+            if signal_installed:
+                loop.remove_signal_handler(signal.SIGTERM)
             server.close()
             await server.wait_closed()
+            # Transport close flushes queued frames before EOFing the
+            # peer; waiting on it is the graceful part of shutdown.
+            for writer in list(self._writers):
+                try:
+                    writer.close()
+                except OSError:  # pragma: no cover - teardown race
+                    continue
+            for writer in list(self._writers):
+                try:
+                    await asyncio.wait_for(
+                        writer.wait_closed(), timeout=2.0
+                    )
+                except (asyncio.TimeoutError, OSError, ConnectionError):
+                    pass
         return self.exit_code
 
     # ------------------------------------------------------------------
     async def _on_client(self, reader, writer) -> None:
         frames = FrameReader()
         is_primary = False
+        self._writers.add(writer)
 
         def send(rtype: int, payload: bytes = b"") -> None:
             writer.write(proto.encode_frame(rtype, payload))
@@ -123,6 +161,7 @@ class ShardHost:
                 pass  # parent already gone; exit code still says "failed"
             self._stop.set()
         finally:
+            self._writers.discard(writer)
             try:
                 writer.close()
             except OSError:  # pragma: no cover - teardown race

@@ -43,6 +43,7 @@ import struct
 import time
 from typing import Optional
 
+from repro.chaos import points as _chaos
 from repro.durable import records as rec
 from repro.utils.logging import get_logger
 from repro.workers import protocol as proto
@@ -269,6 +270,22 @@ class SupervisedHandle(WorkerHandle):
     def request(self, rtype: int, payload: bytes, expect: int) -> bytes:
         if self._closed or not self._supervisor.active:
             return super().request(rtype, payload, expect)
+        stall = _chaos.fire("proc.stall")
+        if stall is not None:
+            # Injected slow host: the RPC completes, late — exercising
+            # every timeout the caller stacked on top of this path.
+            time.sleep(stall.seconds)
+        kill = _chaos.fire("proc.kill")
+        if kill is not None and self.process is not None:
+            # Injected host death right before an RPC: the request
+            # below sees the crash and the supervisor must fail over.
+            _LOGGER.warning(
+                "chaos: SIGKILL shard host %d (#%d)",
+                self.worker_id,
+                kill.index,
+            )
+            self.process.kill()
+            self.process.join(5.0)
         if rtype == proto.SNAPSHOT_REQ:
             # Answering a snapshot folds staged claims remotely; mark
             # the fold so replay reproduces its timing (a marker onto

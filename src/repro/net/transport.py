@@ -21,7 +21,10 @@ import socket
 import time
 from typing import Optional
 
+from repro.chaos import points as _chaos
 from repro.net.framing import FrameReader, FramingError
+from repro.utils.backoff import Backoff
+from repro.utils.rng import derive_seed
 
 #: Bytes per ``recv`` call; large enough that a state-RPC payload
 #: crosses in a few syscalls, small enough to stay allocation-friendly.
@@ -56,6 +59,19 @@ class SocketConnection:
         """Write one complete buffer (blocking until fully sent)."""
         if self._sock is None:
             raise OSError("connection is closed")
+        delay = _chaos.fire("net.delay")
+        if delay is not None:
+            # Injected slow network: the frame arrives, late.
+            time.sleep(delay.seconds)
+        reset = _chaos.fire("net.send")
+        if reset is not None:
+            # Injected connection reset: both ends see the stream die
+            # mid-frame, exactly like a partition — the caller's
+            # reconnect path (and the peer's dedup) must absorb it.
+            self.close()
+            raise BrokenPipeError(
+                f"chaos: injected connection reset (#{reset.index})"
+            )
         view = memoryview(data)
         while view:
             try:
@@ -188,19 +204,46 @@ class SocketListener:
 
 
 def connect(
-    address: tuple[str, int], *, timeout: float = 30.0
+    address: tuple[str, int],
+    *,
+    timeout: float = 30.0,
+    backoff: Optional[Backoff] = None,
 ) -> SocketConnection:
-    """Dial a listener, retrying until ``timeout`` (hosts boot async)."""
+    """Dial a listener, retrying until ``timeout`` (hosts boot async).
+
+    Retries follow a capped exponential backoff with seeded jitter
+    (:class:`~repro.utils.backoff.Backoff`) instead of a fixed beat:
+    the first retry is nearly immediate (a booting host usually binds
+    within milliseconds), later ones spread out so N parents redialing
+    one dead host do not synchronize.  The default schedule is seeded
+    from the target address, so a replayed chaos drill redials on an
+    identical timeline; pass ``backoff=`` to own the schedule.
+    """
+    if backoff is None:
+        backoff = Backoff(
+            base=0.02,
+            cap=0.5,
+            random_state=derive_seed(0, "net.connect", *address),
+        )
     deadline = time.monotonic() + timeout
     last_error: Optional[Exception] = None
     while time.monotonic() < deadline:
-        try:
-            sock = socket.create_connection(address, timeout=5.0)
-        except OSError as exc:
-            last_error = exc
-            time.sleep(0.05)
-            continue
-        return SocketConnection(sock)
+        fault = _chaos.fire("net.connect")
+        if fault is None:
+            try:
+                sock = socket.create_connection(address, timeout=5.0)
+            except OSError as exc:
+                last_error = exc
+            else:
+                return SocketConnection(sock)
+        else:
+            last_error = ConnectionRefusedError(
+                f"chaos: injected dial refusal (#{fault.index})"
+            )
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        time.sleep(min(backoff.next(), remaining))
     raise ConnectionError(
         f"could not connect to {address} within {timeout}s: {last_error}"
     )

@@ -11,12 +11,24 @@ are instant and :meth:`StandbyServer.promote` yields a primary whose
 truths are bitwise-equal to the crashed one at the replicated
 watermark, with spent privacy budget staying spent.
 
+Promotion can be automatic: :class:`FailoverWatchdog` (see
+:mod:`repro.replication.watchdog`) heartbeats the primary's
+:class:`PrimaryStatusServer`, detects its death, elects the standby
+with the highest replicated watermark, and promotes it — the detached
+process behind ``Topology.replicated(auto_failover=True)``.
+:class:`FailoverReadClient` keeps replica readers working across
+standby deaths and promotions.
+
 Construction normally goes through
 ``Topology.replicated(standbys=n)`` (see :mod:`repro.service.topology`);
 the pieces here are the public surface for custom deployments.
 """
 
-from repro.replication.client import ReplicaError, ReplicaReadClient
+from repro.replication.client import (
+    FailoverReadClient,
+    ReplicaError,
+    ReplicaReadClient,
+)
 from repro.replication.pool import (
     StandbyHandle,
     StandbyPool,
@@ -34,10 +46,19 @@ from repro.replication.standby import (
     StandbyServer,
     serve_standby,
 )
+from repro.replication.watchdog import (
+    FailoverWatchdog,
+    PrimaryStatusServer,
+    WatchdogError,
+    launch_watchdog,
+)
 
 __all__ = [
     "REPLICATION_FORMAT",
     "SYNC_MODES",
+    "FailoverReadClient",
+    "FailoverWatchdog",
+    "PrimaryStatusServer",
     "ReplicaError",
     "ReplicaReadClient",
     "ReplicationError",
@@ -46,7 +67,8 @@ __all__ = [
     "StandbyHandle",
     "StandbyPool",
     "StandbyServer",
-    "launch_standby",
+    "WatchdogError",
+    "launch_watchdog",
     "serve_standby",
     "standby_directory",
 ]

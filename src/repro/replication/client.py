@@ -111,3 +111,98 @@ class ReplicaReadClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class FailoverReadClient:
+    """Replica reads that survive standby deaths and promotions.
+
+    Holds the full standby address list and one live
+    :class:`ReplicaReadClient` at a time.  When the current standby
+    stops answering — it died, or a chaos drill reset the stream — the
+    client *re-points*: it drops the connection, advances to the next
+    address that dials, and retries the request once per address.  After
+    an automatic promotion the promoted standby keeps serving the same
+    listener, so a reader rides through a failover with at most one
+    re-point and no address changes.
+
+    Parameters
+    ----------
+    addresses:
+        Every standby listener, in launch order.
+    timeout:
+        Dial budget per re-point attempt.
+    """
+
+    def __init__(self, addresses, *, timeout: float = 10.0) -> None:
+        if not addresses:
+            raise ValueError("need at least one standby address")
+        self._addresses = [tuple(a) for a in addresses]
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._client: "ReplicaReadClient | None" = None
+        self._index = 0
+        self.repoints = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_address(self) -> tuple:
+        """Where the next request will go."""
+        return self._addresses[self._index % len(self._addresses)]
+
+    def _drop(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self._index += 1
+        self.repoints += 1
+
+    def _invoke(self, method: str, *args):
+        # One attempt per address, starting from the current one; a
+        # ReplicaError (the standby answered, and refused) propagates —
+        # only transport failures re-point.
+        last: Exception | None = None
+        with self._lock:
+            for _ in range(len(self._addresses)):
+                if self._client is None:
+                    address = self._addresses[
+                        self._index % len(self._addresses)
+                    ]
+                    try:
+                        self._client = ReplicaReadClient(
+                            address, timeout=self._timeout
+                        )
+                    except (ConnectionError, OSError) as exc:
+                        last = exc
+                        self._drop()
+                        continue
+                try:
+                    return getattr(self._client, method)(*args)
+                except (OSError, EOFError, ConnectionError) as exc:
+                    last = exc
+                    self._drop()
+        raise ReplicaError(f"no standby reachable: {last}")
+
+    # ------------------------------------------------------------------
+    def snapshot(self, campaign_id: str) -> TruthSnapshot:
+        return self._invoke("snapshot", campaign_id)
+
+    def status(self) -> dict:
+        return self._invoke("status")
+
+    def ping(self) -> bool:
+        try:
+            return bool(self._invoke("ping"))
+        except ReplicaError:
+            return False
+
+    def close(self) -> None:
+        with self._lock:
+            if self._client is not None:
+                self._client.close()
+                self._client = None
+
+    def __enter__(self) -> "FailoverReadClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -96,6 +96,21 @@ class StandbyHandle:
     def is_alive(self) -> bool:
         return self.process.is_alive()
 
+    def kill(self) -> None:
+        """SIGKILL this standby — the chaos drill's process fault.
+
+        No flush, no goodbye: the standby's own WAL generation plus
+        the ack-after-fsync contract are what make this survivable
+        (a restarted standby resumes from its durable cursor).
+        """
+        _LOGGER.warning(
+            "chaos: SIGKILL standby %d (pid %d)",
+            self.index,
+            self.process.pid,
+        )
+        self.process.kill()
+        self.process.join(5.0)
+
 
 class StandbyPool:
     """N standby processes replicating one primary directory.

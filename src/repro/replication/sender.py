@@ -44,7 +44,9 @@ from repro.durable import checkpoint as ckpt_codec
 from repro.durable.stream import TailGapError, WalTailReader
 from repro.net.transport import connect
 from repro.replication import protocol as rp
+from repro.utils.backoff import Backoff
 from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
 from repro.workers.protocol import recv_frame, send_frame
 
 _LOGGER = get_logger("replication.sender")
@@ -79,6 +81,14 @@ class _StandbyLink:
         #: Wall seconds from group send to standby ack, newest last.
         self.ship_latencies: deque = deque(maxlen=4096)
         self.last_error: Optional[str] = None
+        # The shared reconnect schedule: capped exponential backoff
+        # with jitter seeded per link, so two links never redial on
+        # the same beat yet a chaos drill replays both timelines.
+        self._backoff = Backoff(
+            base=0.05,
+            cap=2.0,
+            random_state=derive_seed(0, "repl-link", index, *self.address),
+        )
         self._thread = threading.Thread(
             target=self._run,
             name=f"repl-sender-{index}",
@@ -94,7 +104,6 @@ class _StandbyLink:
     # ------------------------------------------------------------------
     def _run(self) -> None:
         sender = self.sender
-        backoff = 0.05
         while not sender.stopped:
             conn = None
             try:
@@ -102,7 +111,7 @@ class _StandbyLink:
                     self.address, timeout=sender.connect_timeout
                 )
                 self.connected = True
-                backoff = 0.05
+                self._backoff.reset()
                 self._stream(conn)
             except Exception as exc:
                 if sender.stopped:
@@ -114,8 +123,7 @@ class _StandbyLink:
                     self.index,
                     exc,
                 )
-                sender.wait_or_stop(backoff)
-                backoff = min(backoff * 2, 2.0)
+                sender.wait_or_stop(self._backoff.next())
             finally:
                 self.connected = False
                 if conn is not None:

@@ -185,6 +185,17 @@ class StandbyServer:
             raise StandbyError("standby listener failed to bind")
         return self.port
 
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit (signal-handler safe).
+
+        Only flips the stop flag; the serving thread notices within
+        its accept timeout and the caller's :meth:`stop` then does the
+        real teardown — joining connection threads and closing the
+        standby's WAL, which fsyncs the replication cursor so a
+        restart resumes exactly where this process stopped.
+        """
+        self._stop.set()
+
     def stop(self) -> None:
         """Stop serving and close the standby's WAL (idempotent)."""
         self._stop.set()
@@ -517,9 +528,32 @@ def serve_standby(
     fsync: str = "batch",
     announce=None,
 ) -> None:
-    """Blocking entry point behind ``repro standby``."""
+    """Blocking entry point behind ``repro standby``.
+
+    SIGTERM (the supervisor's polite stop, e.g. ``StandbyPool.close``
+    or an operator's ``kill``) exits gracefully: the serve loop winds
+    down and the standby's WAL is flushed and closed, fsyncing the
+    replication cursor so the next start resumes from it.  Only
+    installed when running on the main thread (tests drive
+    :class:`StandbyServer` directly from worker threads).
+    """
+    import signal
+
     server = StandbyServer(directory, host=host, port=port, fsync=fsync)
+    previous = None
+    installed = False
+    if threading.current_thread() is threading.main_thread():
+        try:
+            previous = signal.signal(
+                signal.SIGTERM,
+                lambda signum, frame: server.request_stop(),
+            )
+            installed = True
+        except ValueError:  # pragma: no cover - exotic embedding
+            pass
     try:
         server.serve(announce=announce)
     finally:
         server.stop()
+        if installed:
+            signal.signal(signal.SIGTERM, previous)

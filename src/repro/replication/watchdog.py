@@ -1,0 +1,449 @@
+"""Automated failover: heartbeat the primary, promote the freshest standby.
+
+``docs/replication.md`` used to end with a *manual* promotion runbook —
+an operator notices the primary is gone, inspects every standby's
+watermark, and calls ``promote()`` on the best one.  This module is
+that runbook as code:
+
+* :class:`PrimaryStatusServer` gives the primary a liveness surface:
+  a listener answering the worker protocol's ``PING`` and the
+  replication protocol's ``STATUS_REQ`` (role, watermarks) without
+  touching the ingest hot path;
+* :class:`FailoverWatchdog` heartbeats that listener on an interval.
+  After ``misses`` consecutive failed probes it declares the primary
+  dead, queries every standby's replicated watermark over the same
+  STATUS frames standbys already serve, elects the freshest (highest
+  ``durable_lsn``; ties break to the lowest index — a deterministic
+  rule, so two drills with the same schedule elect the same standby),
+  and calls ``PROMOTE`` on it;
+* :func:`launch_watchdog` runs that loop in a *detached* ``repro
+  watchdog`` process.  Detachment is the point: a watchdog thread
+  inside the primary dies with the primary, while an orphaned child
+  keeps running after SIGKILL — which is exactly when it is needed.
+
+``Topology.replicated(auto_failover=True)`` wires all three together;
+the manual ``promote()`` path remains as the fallback when no watchdog
+is armed.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.net.transport import SocketListener, connect
+from repro.replication import protocol as rp
+from repro.replication.client import ReplicaError, ReplicaReadClient
+from repro.utils.logging import get_logger
+from repro.utils.validation import ensure_int, ensure_positive
+from repro.workers import protocol as proto
+from repro.workers.protocol import ProtocolError, recv_frame, send_frame
+
+_LOGGER = get_logger("replication.watchdog")
+
+#: How long a status connection may sit idle before the server drops it
+#: (a watchdog probes and disconnects; anything quieter is dead).
+_IDLE_SECONDS = 10.0
+
+
+class WatchdogError(RuntimeError):
+    """The watchdog could not complete a failover."""
+
+
+class PrimaryStatusServer:
+    """The primary's liveness/status listener (one background thread).
+
+    Answers ``PING`` → ``PONG`` and ``STATUS_REQ`` → ``STATUS_RESP``
+    with the primary's role and WAL watermarks, read straight off the
+    :class:`~repro.durable.manager.DurabilityManager` — no locks shared
+    with the ingest path.  Serves one connection at a time: the only
+    expected client is a watchdog that dials, probes, and hangs up.
+    """
+
+    def __init__(
+        self, manager, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._manager = manager
+        self._listener = SocketListener(host, port)
+        self.address = self._listener.address
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.probes_answered = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("status server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-primary-status", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def _status(self) -> dict:
+        return {
+            "role": "primary",
+            "pid": os.getpid(),
+            "durable_lsn": self._manager.durable_lsn,
+            "last_lsn": self._manager.last_lsn,
+        }
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn = self._listener.accept(timeout=0.2)
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed under us: shutting down
+            try:
+                self._serve(conn)
+            finally:
+                conn.close()
+
+    def _serve(self, conn) -> None:
+        idle_since = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                if not conn.poll(0.2):
+                    if time.monotonic() - idle_since > _IDLE_SECONDS:
+                        return
+                    continue
+                rtype, _payload = recv_frame(conn)
+            except (OSError, EOFError):
+                return
+            idle_since = time.monotonic()
+            try:
+                if rtype == proto.PING:
+                    send_frame(conn, proto.PONG)
+                    self.probes_answered += 1
+                elif rtype == rp.STATUS_REQ:
+                    send_frame(
+                        conn,
+                        rp.STATUS_RESP,
+                        rp.encode_json(self._status()),
+                    )
+                elif rtype == proto.SHUTDOWN:
+                    return
+                else:
+                    send_frame(
+                        conn,
+                        rp.REPL_ERROR,
+                        rp.encode_json(
+                            {"error": f"unsupported frame type {rtype}"}
+                        ),
+                    )
+            except (OSError, BrokenPipeError):
+                return
+
+
+class FailoverWatchdog:
+    """Detect primary death and promote the freshest standby.
+
+    Parameters
+    ----------
+    primary_address:
+        The primary's :class:`PrimaryStatusServer` ``(host, port)``.
+    standby_addresses:
+        Every standby listener, in launch order (index order is the
+        election tie-break).
+    interval:
+        Seconds between heartbeats.
+    misses:
+        Consecutive failed probes before the primary is declared dead.
+    probe_timeout:
+        Dial + response budget of a single probe (and of each election
+        status query).
+    on_armed:
+        Called once, after the first successful probe — the hook the
+        CLI uses to print ``ARMED`` so a drill knows the watchdog is
+        live before it starts killing things.
+    """
+
+    def __init__(
+        self,
+        primary_address: tuple,
+        standby_addresses: Sequence[tuple],
+        *,
+        interval: float = 0.5,
+        misses: int = 4,
+        probe_timeout: float = 1.0,
+        on_armed: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if not standby_addresses:
+            raise ValueError("watchdog needs at least one standby address")
+        ensure_positive(interval, "interval")
+        ensure_int(misses, "misses", minimum=1)
+        ensure_positive(probe_timeout, "probe_timeout")
+        self.primary_address = tuple(primary_address)
+        self.standby_addresses = [tuple(a) for a in standby_addresses]
+        self.interval = float(interval)
+        self.misses = int(misses)
+        self.probe_timeout = float(probe_timeout)
+        self._on_armed = on_armed
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.armed = False
+        self.heartbeats_sent = 0
+        self.heartbeat_misses = 0
+        self.elections = 0
+        self.auto_promotions = 0
+        self.detection_seconds: Optional[float] = None
+        self.promotion_seconds: Optional[float] = None
+        self.result: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def probe(self) -> bool:
+        """One PING round-trip against the primary's status listener."""
+        try:
+            conn = connect(
+                self.primary_address, timeout=self.probe_timeout
+            )
+        except (ConnectionError, OSError):
+            return False
+        try:
+            send_frame(conn, proto.PING)
+            if not conn.poll(self.probe_timeout):
+                return False
+            rtype, _ = recv_frame(conn)
+            return rtype == proto.PONG
+        except (OSError, EOFError, ProtocolError):
+            return False
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def elect(self) -> tuple[int, tuple, int]:
+        """Pick the freshest reachable standby.
+
+        Returns ``(index, address, watermark_lsn)``.  Standbys that are
+        dead or unreachable are skipped (the drill kills at most
+        standbys-1, so someone always answers); strict ``>`` keeps the
+        lowest index on watermark ties.
+        """
+        best: Optional[tuple[int, tuple, int]] = None
+        for index, address in enumerate(self.standby_addresses):
+            try:
+                with ReplicaReadClient(
+                    address, timeout=self.probe_timeout
+                ) as client:
+                    status = client.status()
+            except (
+                ConnectionError,
+                OSError,
+                EOFError,
+                ReplicaError,
+                ProtocolError,
+            ):
+                _LOGGER.warning(
+                    "election: standby %d at %s unreachable", index, address
+                )
+                continue
+            watermark = int(status.get("durable_lsn", -1))
+            _LOGGER.info(
+                "election: standby %d at %s holds lsn %d",
+                index,
+                address,
+                watermark,
+            )
+            if best is None or watermark > best[2]:
+                best = (index, address, watermark)
+        if best is None:
+            raise WatchdogError(
+                "no standby reachable; cannot promote anything"
+            )
+        return best
+
+    def failover(self) -> dict:
+        """Elect and promote; returns the failover report."""
+        start = time.perf_counter()
+        self.elections += 1
+        index, address, watermark = self.elect()
+        with ReplicaReadClient(
+            address, timeout=self.probe_timeout
+        ) as client:
+            report = client.promote()
+        self.promotion_seconds = time.perf_counter() - start
+        self.auto_promotions += 1
+        result = {
+            "promoted_index": index,
+            "promoted_address": list(address),
+            "watermark_lsn": int(
+                report.get("watermark_lsn", watermark)
+            ),
+            "records_applied": report.get("records_applied"),
+            "detection_seconds": self.detection_seconds,
+            "promotion_seconds": self.promotion_seconds,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeat_misses": self.heartbeat_misses,
+        }
+        self.result = result
+        _LOGGER.warning(
+            "auto-promoted standby %d at %s (watermark lsn %d, "
+            "detection %.3fs, promotion %.3fs)",
+            index,
+            address,
+            result["watermark_lsn"],
+            self.detection_seconds or -1.0,
+            self.promotion_seconds,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def run(self) -> Optional[dict]:
+        """Heartbeat until the primary dies, then fail over.
+
+        Misses only count once the watchdog is *armed* (has seen the
+        primary alive at least once), so a slow-booting primary is
+        never "detected dead" before it ever lived.  Returns the
+        failover report, or None when stopped while the primary was
+        still healthy.
+        """
+        consecutive = 0
+        first_miss: Optional[float] = None
+        while not self._stop.is_set():
+            ok = self.probe()
+            self.heartbeats_sent += 1
+            now = time.monotonic()
+            if ok:
+                consecutive = 0
+                first_miss = None
+                if not self.armed:
+                    self.armed = True
+                    _LOGGER.info(
+                        "armed: primary %s is alive", self.primary_address
+                    )
+                    if self._on_armed is not None:
+                        self._on_armed()
+            elif self.armed:
+                self.heartbeat_misses += 1
+                consecutive += 1
+                if first_miss is None:
+                    first_miss = now
+                if consecutive >= self.misses:
+                    self.detection_seconds = now - first_miss
+                    _LOGGER.warning(
+                        "primary %s dead: %d consecutive misses in %.3fs",
+                        self.primary_address,
+                        consecutive,
+                        self.detection_seconds,
+                    )
+                    return self.failover()
+            self._stop.wait(self.interval)
+        return None
+
+    def start(self) -> None:
+        """Run the heartbeat loop on a background thread (tests, or an
+        in-process watchdog on a *third* machine; production failover
+        uses :func:`launch_watchdog`)."""
+        if self._thread is not None:
+            raise RuntimeError("watchdog already started")
+        self._thread = threading.Thread(
+            target=self._run_thread, name="repro-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def _run_thread(self) -> None:
+        try:
+            self.run()
+        except WatchdogError as exc:  # pragma: no cover - all dead
+            _LOGGER.error("failover failed: %s", exc)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-friendly counters (telemetry / drill report)."""
+        return {
+            "armed": self.armed,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeat_misses": self.heartbeat_misses,
+            "elections": self.elections,
+            "auto_promotions": self.auto_promotions,
+            "detection_seconds": self.detection_seconds,
+            "promotion_seconds": self.promotion_seconds,
+            "promoted_index": (
+                None
+                if self.result is None
+                else self.result.get("promoted_index")
+            ),
+        }
+
+
+def format_address(address: tuple) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)`` (the CLI's address syntax)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must be host:port, got {text!r}")
+    return host, int(port)
+
+
+def launch_watchdog(
+    primary_address: tuple,
+    standby_addresses: Sequence[tuple],
+    *,
+    interval: float = 0.5,
+    misses: int = 4,
+    probe_timeout: float = 1.0,
+    python: Optional[str] = None,
+) -> subprocess.Popen:
+    """Start a detached ``repro watchdog`` process.
+
+    The child inherits stdout/stderr (its ``ARMED`` and ``PROMOTED``
+    lines land in the launcher's stream — the chaos drill reads them
+    from there even after the launcher is SIGKILLed) and is *not*
+    waited on: it must outlive this process, that is its job.
+    """
+    import repro
+
+    env = dict(os.environ)
+    src_dir = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))
+    )
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    argv = [
+        python or sys.executable,
+        "-m",
+        "repro.cli",
+        "watchdog",
+        "--primary",
+        format_address(primary_address),
+        "--interval",
+        str(interval),
+        "--misses",
+        str(misses),
+        "--probe-timeout",
+        str(probe_timeout),
+    ]
+    for address in standby_addresses:
+        argv.extend(["--standby", format_address(address)])
+    popen = subprocess.Popen(argv, env=env)
+    _LOGGER.info(
+        "watchdog pid %d armed over primary %s, %d standby(s)",
+        popen.pid,
+        format_address(primary_address),
+        len(standby_addresses),
+    )
+    return popen

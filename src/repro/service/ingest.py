@@ -360,6 +360,13 @@ class IngestService:
         self._pool = None
         self._standby_pool = None
         self._replication = None
+        self._status_server = None
+        self._watchdog_proc = None
+        #: An in-process :class:`~repro.replication.watchdog.
+        #: FailoverWatchdog` whose stats should fold into telemetry
+        #: (set by tests or custom deployments; the auto_failover
+        #: watchdog is a detached process and reports via its own exit).
+        self.watchdog = None
         self._pumps = 0
         if topology.kind == "workers":
             from dataclasses import asdict
@@ -397,12 +404,16 @@ class IngestService:
             )
 
     def _start_replicated(self, topology: Topology) -> None:
-        """Bring up the replicated shape: logger, standbys, sender."""
+        """Bring up the replicated shape: logger, standbys, sender —
+        and, under ``auto_failover``, the status listener plus the
+        detached watchdog process that will promote a standby if this
+        process dies."""
         from repro.replication.pool import StandbyPool
         from repro.replication.sender import ReplicationSender
 
         manager = _resolve_durability(topology.durability)
         pool = None
+        status_server = None
         try:
             pool = StandbyPool(
                 topology.standbys,
@@ -417,12 +428,29 @@ class IngestService:
                 ack_timeout=topology.ack_timeout,
             )
             manager.attach_replication(sender)
+            if topology.auto_failover:
+                from repro.replication.watchdog import (
+                    PrimaryStatusServer,
+                    launch_watchdog,
+                )
+
+                status_server = PrimaryStatusServer(manager)
+                status_server.start()
+                self._watchdog_proc = launch_watchdog(
+                    status_server.address,
+                    pool.addresses,
+                    interval=topology.heartbeat_interval,
+                    misses=topology.heartbeat_misses,
+                )
         except BaseException:
+            if status_server is not None:
+                status_server.stop()
             if pool is not None:
                 pool.close()
             raise
         self._standby_pool = pool
         self._replication = sender
+        self._status_server = status_server
 
     # ------------------------------------------------------------------
     @property
@@ -443,6 +471,18 @@ class IngestService:
     def standbys(self):
         """The owned standby pool (None unless ``replicated``)."""
         return self._standby_pool
+
+    @property
+    def status_server(self):
+        """The primary's liveness listener (None unless
+        ``auto_failover``)."""
+        return self._status_server
+
+    @property
+    def watchdog_process(self):
+        """The detached ``repro watchdog`` process (None unless
+        ``auto_failover``)."""
+        return self._watchdog_proc
 
     @property
     def ledger(self) -> Optional[BudgetLedger]:
@@ -1086,6 +1126,22 @@ class IngestService:
         if self._closed:
             return
         self._closed = True
+        if self._watchdog_proc is not None:
+            # Stand the watchdog down *first*: a planned shutdown must
+            # not read as a primary death, or the watchdog would
+            # promote a standby we are about to close.
+            self._watchdog_proc.terminate()
+            try:
+                self._watchdog_proc.wait(10.0)
+            except Exception:  # pragma: no cover - stuck watchdog
+                self._watchdog_proc.kill()
+                self._watchdog_proc.wait()
+            self._watchdog_proc = None
+        if self._status_server is not None:
+            self._status_server.stop()
+            self._status_server = None
+        if self.watchdog is not None:
+            self.watchdog.stop()
         if self._durability is not None:
             # Final WAL sample: a stats object read after close must
             # report the log's closing counters, not the last pump's.

@@ -242,6 +242,21 @@ class ServiceTelemetry:
                 float(wal.last_lsn - wal.durable_lsn))
             add("counter", series_key("repro_wal_commit_seconds_total"),
                 float(wal.commit_seconds))
+            daemon = durability.compaction_daemon
+            if daemon is not None:
+                stats = daemon.stats()
+                add("counter",
+                    series_key("repro_compaction_policy_triggers_total"),
+                    float(stats["policy_triggers"]))
+                add("counter",
+                    series_key("repro_compaction_runs_total"),
+                    float(stats["compactions_run"]))
+                add("counter",
+                    series_key("repro_compaction_bytes_reclaimed_total"),
+                    float(stats["bytes_reclaimed"]))
+                add("counter",
+                    series_key("repro_compaction_evaluations_total"),
+                    float(stats["evaluations"]))
         replication = getattr(service, "replication", None)
         if replication is None and service.durability is not None:
             # A sender wired straight onto the manager (no
@@ -292,6 +307,48 @@ class ServiceTelemetry:
                         "sum": hist.sum,
                         "counts": hist.counts,
                     })
+        # Chaos injection counters (zero-cardinality when no plan is
+        # installed; one counter per fault point while one is).
+        from repro.chaos import points as _chaos_points
+
+        for point, count in sorted(_chaos_points.injected_counts().items()):
+            add("counter",
+                series_key(
+                    "repro_chaos_faults_injected_total", {"point": point}
+                ),
+                float(count))
+        # Failover watchdog: the detached auto_failover process shows
+        # up as an armed gauge; an in-process watchdog (service.watchdog)
+        # folds its full counter set.
+        watchdog_proc = getattr(service, "watchdog_process", None)
+        watchdog = getattr(service, "watchdog", None)
+        if watchdog_proc is not None and watchdog is None:
+            add("gauge", series_key("repro_watchdog_armed"),
+                1.0 if watchdog_proc.poll() is None else 0.0)
+        if watchdog is not None:
+            stats = watchdog.stats()
+            add("gauge", series_key("repro_watchdog_armed"),
+                1.0 if stats["armed"] else 0.0)
+            add("counter",
+                series_key("repro_watchdog_heartbeats_total"),
+                float(stats["heartbeats_sent"]))
+            add("counter",
+                series_key("repro_watchdog_heartbeat_misses_total"),
+                float(stats["heartbeat_misses"]))
+            add("counter",
+                series_key("repro_watchdog_elections_total"),
+                float(stats["elections"]))
+            add("counter",
+                series_key("repro_watchdog_auto_promotions_total"),
+                float(stats["auto_promotions"]))
+            if stats["detection_seconds"] is not None:
+                add("gauge",
+                    series_key("repro_watchdog_detection_seconds"),
+                    float(stats["detection_seconds"]))
+            if stats["promotion_seconds"] is not None:
+                add("gauge",
+                    series_key("repro_watchdog_promotion_seconds"),
+                    float(stats["promotion_seconds"]))
         refreshes = 0
         refresh_seconds = 0.0
         for shard in service._shards:

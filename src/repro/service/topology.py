@@ -72,6 +72,18 @@ class Topology:
         Replicated only: commit policy of each standby's own WAL.
     ack_timeout:
         Replicated only: semi-sync back-pressure bound in seconds.
+    auto_failover:
+        Replicated only: arm the failover watchdog — a detached
+        ``repro watchdog`` process heartbeats the primary over its
+        status listener and, when the primary dies, elects the freshest
+        standby (highest replicated watermark) and promotes it without
+        operator involvement.  See ``docs/operations.md``.
+    heartbeat_interval:
+        Replicated only: seconds between watchdog heartbeats.
+    heartbeat_misses:
+        Replicated only: consecutive missed heartbeats before the
+        watchdog declares the primary dead (detection timeout is
+        roughly ``interval * misses``).
     """
 
     kind: str = "in_process"
@@ -84,6 +96,9 @@ class Topology:
     standby_dirs: Optional[tuple] = None
     standby_fsync: str = "batch"
     ack_timeout: float = 30.0
+    auto_failover: bool = False
+    heartbeat_interval: float = 0.5
+    heartbeat_misses: int = 4
 
     def __post_init__(self) -> None:
         if self.kind not in TOPOLOGY_KINDS:
@@ -111,6 +126,15 @@ class Topology:
                 raise ValueError(
                     f"{len(self.standby_dirs)} standby_dirs for "
                     f"{self.standbys} standbys"
+                )
+            if self.auto_failover:
+                if self.heartbeat_interval <= 0:
+                    raise ValueError(
+                        f"heartbeat_interval must be > 0, got "
+                        f"{self.heartbeat_interval}"
+                    )
+                ensure_int(
+                    self.heartbeat_misses, "heartbeat_misses", minimum=1
                 )
 
     # ------------------------------------------------------------------
@@ -161,8 +185,17 @@ class Topology:
         standby_dirs: Optional[Sequence[Union[str, Path]]] = None,
         standby_fsync: str = "batch",
         ack_timeout: float = 30.0,
+        auto_failover: bool = False,
+        heartbeat_interval: float = 0.5,
+        heartbeat_misses: int = 4,
     ) -> "Topology":
-        """A durable primary shipping its WAL to warm standbys."""
+        """A durable primary shipping its WAL to warm standbys.
+
+        With ``auto_failover=True`` the service also runs a status
+        listener and spawns a detached failover watchdog: if this
+        process dies, the watchdog elects and promotes the freshest
+        standby on its own (``repro.replication.watchdog``).
+        """
         return cls(
             kind="replicated",
             standbys=standbys,
@@ -175,6 +208,9 @@ class Topology:
             ),
             standby_fsync=standby_fsync,
             ack_timeout=ack_timeout,
+            auto_failover=auto_failover,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_misses=heartbeat_misses,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,99 @@
+"""Capped exponential backoff with deterministic jitter.
+
+Every reconnect loop in the codebase used to roll its own retry
+cadence — a fixed 50 ms dial loop in :func:`repro.net.transport.connect`
+and a hand-doubled sleep in the replication sender.  Synchronized fixed
+intervals are exactly how reconnect storms happen (every link retries
+on the same beat), and undeterministic jitter is exactly how chaos
+drills stop replaying.  :class:`Backoff` fixes both: delays grow
+exponentially to a cap, each delay carries full jitter (uniform in
+``[base, computed]``, the "decorrelated-ish" variant that keeps early
+retries fast), and the jitter stream is a seeded
+``numpy.random.Generator`` — same seed, same retry timeline, every run.
+
+Consumers name their stream with :func:`repro.utils.rng.derive_seed`
+tokens (``derive_seed(seed, "repl-link", index)``) so two links never
+share a beat yet each is individually reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import ensure_positive
+
+
+class Backoff:
+    """One retry schedule: exponential growth, cap, seeded jitter.
+
+    Parameters
+    ----------
+    base:
+        First (and minimum) delay in seconds.
+    factor:
+        Growth factor applied to the un-jittered envelope per attempt.
+    cap:
+        Upper bound on any delay.
+    random_state:
+        Seed for the jitter stream (see :data:`repro.utils.rng.
+        RandomState`).  Passing an int makes the schedule a pure
+        function of the seed — what lets a chaos drill replay a
+        reconnect timeline exactly.  ``None`` uses fresh entropy.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 2.0,
+        random_state: RandomState = None,
+    ) -> None:
+        ensure_positive(base, "base")
+        ensure_positive(cap, "cap")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if cap < base:
+            raise ValueError(f"cap {cap} is below base {base}")
+        self._base = float(base)
+        self._factor = float(factor)
+        self._cap = float(cap)
+        self._rng = as_generator(random_state)
+        self._attempt = 0
+
+    @property
+    def attempt(self) -> int:
+        """Delays handed out since construction or the last reset."""
+        return self._attempt
+
+    def next(self) -> float:
+        """The next delay in seconds (advances the schedule)."""
+        envelope = min(
+            self._cap, self._base * self._factor**self._attempt
+        )
+        self._attempt += 1
+        if envelope <= self._base:
+            return self._base
+        # Full jitter over [base, envelope]: retries stay fast early,
+        # spread out late, and never synchronize across streams.
+        return float(self._rng.uniform(self._base, envelope))
+
+    def reset(self) -> None:
+        """Back to the first attempt (call after a success)."""
+        self._attempt = 0
+
+
+def backoff_delays(
+    *,
+    base: float = 0.05,
+    factor: float = 2.0,
+    cap: float = 2.0,
+    random_state: RandomState = None,
+) -> Iterator[float]:
+    """Endless iterator of :class:`Backoff` delays (loop sugar)."""
+    schedule = Backoff(
+        base=base, factor=factor, cap=cap, random_state=random_state
+    )
+    while True:
+        yield schedule.next()

@@ -124,6 +124,31 @@ def durability_report(
     }
 
 
+def chaos_report(
+    *,
+    detection=2.4,
+    promotion=1.0,
+    wall=4.6,
+    auto_promoted=True,
+    bitwise=True,
+    budget=True,
+):
+    return {
+        "kind": "chaos",
+        "seeds": [101, 202],
+        "watchdog": {
+            "detection_seconds_max": detection,
+            "promotion_seconds_max": promotion,
+            "failover_wall_seconds_max": wall,
+        },
+        "invariants": {
+            "auto_promoted": auto_promoted,
+            "truths_match_bitwise": bitwise,
+            "budget_spent_matches": budget,
+        },
+    }
+
+
 def failures(results):
     return [c.metric.path for c in results if c.ok is False]
 
@@ -354,6 +379,45 @@ class TestCompare:
         assert not failures(results)
 
 
+class TestChaosKind:
+    def test_identical_reports_pass(self):
+        report = chaos_report()
+        results = check_regression.check_regression(
+            report, chaos_report(), kind="chaos"
+        )
+        assert failures(results) == []
+
+    def test_detection_gates_on_absolute_ceiling(self):
+        # Healthy drills sit near 2.4s; the bound is
+        # max(baseline*(1+tol), 10s floor), so jitter up to the floor
+        # passes and a watchdog past its SLO fails.
+        results = check_regression.check_regression(
+            chaos_report(), chaos_report(detection=9.0), kind="chaos"
+        )
+        assert failures(results) == []
+        results = check_regression.check_regression(
+            chaos_report(), chaos_report(detection=11.0), kind="chaos"
+        )
+        assert failures(results) == ["watchdog.detection_seconds_max"]
+
+    def test_promotion_ceiling(self):
+        results = check_regression.check_regression(
+            chaos_report(), chaos_report(promotion=16.0), kind="chaos"
+        )
+        assert failures(results) == ["watchdog.promotion_seconds_max"]
+
+    def test_invariant_flags_are_hard(self):
+        for kwargs, path in (
+            ({"auto_promoted": False}, "invariants.auto_promoted"),
+            ({"bitwise": False}, "invariants.truths_match_bitwise"),
+            ({"budget": False}, "invariants.budget_spent_matches"),
+        ):
+            results = check_regression.check_regression(
+                chaos_report(), chaos_report(**kwargs), kind="chaos"
+            )
+            assert failures(results) == [path]
+
+
 class TestCli:
     def write(self, tmp_path, name, report):
         path = tmp_path / name
@@ -399,6 +463,7 @@ class TestCli:
         for kind, name in (
             ("service", "BENCH_service_smoke.json"),
             ("durability", "BENCH_durability_smoke.json"),
+            ("chaos", "BENCH_chaos_smoke.json"),
         ):
             path = str(results_dir / name)
             assert check_regression.main(

@@ -1,0 +1,222 @@
+"""Policy-driven background compaction: policy, daemon, manager wiring.
+
+The daemon's contract is deliberately narrow — it *requests* compaction
+(a flag) and the pump thread *runs* it inside ``after_pump`` — so the
+tests split the same way: policy evaluation against real segment
+files, the request/claim/record lifecycle without any thread, and the
+full loop through a live :class:`IngestService`.
+"""
+
+import time
+
+import pytest
+
+from repro.durable import (
+    CompactionDaemon,
+    CompactionPolicy,
+    DurabilityConfig,
+    DurabilityManager,
+    WriteAheadLog,
+)
+from repro.durable.records import BATCH
+from repro.service.ingest import IngestService, ServiceConfig
+from repro.service.loadgen import LoadGenerator
+from repro.service.topology import Topology
+
+CHUNK = 128
+
+
+def write_segments(directory, *, records=20, payload=b"x" * 200):
+    with WriteAheadLog(directory, fsync="never") as wal:
+        for _ in range(records):
+            wal.append(BATCH, payload)
+        wal.sync()
+
+
+# --------------------------------------------------------------- policy
+class TestCompactionPolicy:
+    def test_both_triggers_disabled_rejected(self):
+        with pytest.raises(ValueError, match="never trigger"):
+            CompactionPolicy(
+                max_wal_bytes=None, max_record_age_seconds=None
+            )
+
+    def test_non_positive_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_wal_bytes=0)
+        with pytest.raises(ValueError):
+            CompactionPolicy(max_record_age_seconds=-1.0)
+        with pytest.raises(ValueError):
+            CompactionPolicy(min_interval_seconds=0.0)
+
+    def test_empty_directory_never_triggers(self, tmp_path):
+        policy = CompactionPolicy(max_wal_bytes=1)
+        assert policy.evaluate(tmp_path, time.time()) is None
+
+    def test_size_trigger(self, tmp_path):
+        write_segments(tmp_path)
+        policy = CompactionPolicy(max_wal_bytes=512)
+        reason = policy.evaluate(tmp_path, time.time())
+        assert reason is not None and "wal size" in reason
+        roomy = CompactionPolicy(max_wal_bytes=1024 * 1024 * 1024)
+        assert roomy.evaluate(tmp_path, time.time()) is None
+
+    def test_age_trigger(self, tmp_path):
+        write_segments(tmp_path)
+        policy = CompactionPolicy(
+            max_wal_bytes=None, max_record_age_seconds=60.0
+        )
+        now = time.time()
+        assert policy.evaluate(tmp_path, now) is None
+        reason = policy.evaluate(tmp_path, now + 3600.0)
+        assert reason is not None and "oldest segment" in reason
+
+
+# --------------------------------------------------------------- daemon
+class TestCompactionDaemon:
+    def fast_daemon(self, directory, **overrides):
+        policy = CompactionPolicy(
+            max_wal_bytes=overrides.pop("max_wal_bytes", 512),
+            min_interval_seconds=overrides.pop(
+                "min_interval_seconds", 0.01
+            ),
+            check_interval_seconds=0.01,
+            **overrides,
+        )
+        return CompactionDaemon(directory, policy)
+
+    def test_trigger_take_record_lifecycle(self, tmp_path):
+        write_segments(tmp_path)
+        daemon = self.fast_daemon(tmp_path)
+        time.sleep(0.02)  # past the min-interval floor from __init__
+        reason = daemon.evaluate_once()
+        assert reason is not None
+        stats = daemon.stats()
+        assert stats["policy_triggers"] == 1
+        assert stats["pending"] is True
+        assert stats["last_reason"] == reason
+        # A second evaluation while pending must not double-trigger.
+        daemon.evaluate_once()
+        assert daemon.stats()["policy_triggers"] == 1
+
+        assert daemon.take_request() == reason
+        assert daemon.take_request() is None  # claimed exactly once
+        daemon.record_compaction({"bytes_reclaimed": 4096})
+        stats = daemon.stats()
+        assert stats["compactions_run"] == 1
+        assert stats["bytes_reclaimed"] == 4096
+        assert stats["pending"] is False
+
+    def test_min_interval_floors_retriggering(self, tmp_path):
+        write_segments(tmp_path)
+        daemon = self.fast_daemon(
+            tmp_path, min_interval_seconds=3600.0
+        )
+        # _last_compaction starts at construction time, so a fresh
+        # daemon with a tall floor must stay quiet even over threshold.
+        assert daemon.evaluate_once() is None
+        assert daemon.stats()["policy_triggers"] == 0
+
+    def test_thread_evaluates_on_cadence(self, tmp_path):
+        write_segments(tmp_path)
+        daemon = self.fast_daemon(tmp_path)
+        daemon.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while daemon.stats()["policy_triggers"] < 1:
+                assert time.monotonic() < deadline, "never triggered"
+                time.sleep(0.01)
+        finally:
+            daemon.stop()
+        assert daemon.stats()["evaluations"] >= 1
+
+    def test_double_start_rejected(self, tmp_path):
+        daemon = self.fast_daemon(tmp_path)
+        daemon.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                daemon.start()
+        finally:
+            daemon.stop()
+
+
+# ------------------------------------------------------- manager wiring
+class TestManagerWiring:
+    def test_policy_compaction_runs_on_the_pump(self, tmp_path):
+        gen = LoadGenerator(
+            "cd-c0", num_users=40, num_objects=12, random_state=3
+        )
+        config = DurabilityConfig(
+            directory=tmp_path / "wal",
+            fsync="never",
+            checkpoint_every_claims=4 * CHUNK,
+            compaction=CompactionPolicy(
+                max_wal_bytes=16 * 1024,
+                min_interval_seconds=0.05,
+                check_interval_seconds=0.02,
+            ),
+        )
+        service = IngestService(
+            ServiceConfig(num_shards=2, max_batch=CHUNK),
+            topology=Topology.in_process(durability=config),
+        )
+        try:
+            manager = service.durability
+            daemon = manager.compaction_daemon
+            assert daemon is not None
+            service.register_campaign(
+                gen.campaign_id,
+                gen.object_ids,
+                max_users=40,
+                user_ids=gen.user_ids,
+            )
+            chunks = gen.column_chunks(64 * CHUNK, chunk_size=CHUNK)
+            deadline = time.monotonic() + 60.0
+            compacted = False
+            for chunk in chunks:
+                service.submit_columns(
+                    chunk.campaign_id,
+                    chunk.user_slots,
+                    chunk.object_slots,
+                    chunk.values,
+                )
+                service.pump()
+                if daemon.stats()["compactions_run"] >= 1:
+                    compacted = True
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert compacted, daemon.stats()
+            stats = daemon.stats()
+            assert stats["policy_triggers"] >= 1
+            assert stats["bytes_reclaimed"] > 0
+            assert "wal size" in stats["last_reason"]
+            # The service after compaction still aggregates sanely and
+            # the daemon flag was consumed by the pump.
+            snapshot = service.snapshot(gen.campaign_id)
+            assert snapshot.claims_ingested > 0
+        finally:
+            service.close()
+
+    def test_no_policy_no_daemon(self, tmp_path):
+        manager = DurabilityManager(
+            DurabilityConfig(directory=tmp_path / "wal")
+        )
+        try:
+            assert manager.compaction_daemon is None
+        finally:
+            manager.close()
+
+    def test_close_stops_daemon_thread(self, tmp_path):
+        config = DurabilityConfig(
+            directory=tmp_path / "wal",
+            compaction=CompactionPolicy(max_wal_bytes=1024),
+        )
+        service = IngestService(
+            ServiceConfig(num_shards=1, max_batch=CHUNK),
+            topology=Topology.in_process(durability=config),
+        )
+        daemon = service.durability.compaction_daemon
+        service.close()
+        assert daemon is not None
+        assert daemon._thread is None  # joined by close()

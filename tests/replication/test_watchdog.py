@@ -1,0 +1,351 @@
+"""Automated failover: status server, heartbeats, election, promotion.
+
+Everything runs in-process (:meth:`StandbyServer.start` and
+:meth:`FailoverWatchdog.start` both serve on threads), so the full
+self-healing loop — heartbeat, miss accounting, election over STATUS
+frames, ``PROMOTE`` — is exercised without subprocesses.  The
+subprocess flavour (``launch_watchdog`` + the drill harness) is
+covered by ``repro chaos-drill --smoke`` in CI.
+"""
+
+import time
+
+import pytest
+
+from repro.durable import DurabilityConfig, DurabilityManager
+from repro.replication.client import (
+    FailoverReadClient,
+    ReplicaError,
+    ReplicaReadClient,
+)
+from repro.replication.sender import ReplicationSender
+from repro.replication.standby import StandbyServer
+from repro.replication.watchdog import (
+    FailoverWatchdog,
+    PrimaryStatusServer,
+    WatchdogError,
+    format_address,
+    parse_address,
+)
+from repro.service.ingest import IngestService, ServiceConfig
+from repro.service.loadgen import LoadGenerator
+from repro.service.topology import Topology
+
+CHUNK = 128
+NUM_USERS = 40
+NUM_OBJECTS = 12
+
+
+def make_traffic(total_chunks=8, seed=11):
+    gen = LoadGenerator(
+        "wd-c0",
+        num_users=NUM_USERS,
+        num_objects=NUM_OBJECTS,
+        random_state=seed,
+    )
+    chunks = list(
+        gen.column_chunks(total_chunks * CHUNK, chunk_size=CHUNK)
+    )
+    return gen, chunks
+
+
+def primary_service(tmp_path):
+    manager = DurabilityManager(
+        DurabilityConfig(directory=tmp_path / "wal", fsync="batch")
+    )
+    service = IngestService(
+        ServiceConfig(num_shards=2, max_batch=CHUNK),
+        topology=Topology.in_process(durability=manager),
+    )
+    return service, manager
+
+
+def feed(service, gen, chunks):
+    service.register_campaign(
+        gen.campaign_id,
+        gen.object_ids,
+        max_users=NUM_USERS,
+        user_ids=gen.user_ids,
+    )
+    for chunk in chunks:
+        service.submit_columns(
+            chunk.campaign_id,
+            chunk.user_slots,
+            chunk.object_slots,
+            chunk.values,
+        )
+        service.pump()
+
+
+def quiesce(service, manager, sender, *, timeout=60.0):
+    service.flush()
+    manager.sync()
+    watermark = manager.wal.durable_lsn
+    deadline = time.monotonic() + timeout
+    while sender.min_ack_lsn() < watermark:
+        assert time.monotonic() < deadline
+        time.sleep(0.01)
+    return watermark
+
+
+# -------------------------------------------------------- status server
+class TestPrimaryStatusServer:
+    def test_answers_ping_and_status(self, tmp_path):
+        service, manager = primary_service(tmp_path)
+        server = PrimaryStatusServer(manager)
+        server.start()
+        try:
+            watchdog = FailoverWatchdog(
+                server.address, [("127.0.0.1", 1)], probe_timeout=2.0
+            )
+            assert watchdog.probe() is True
+            assert server.probes_answered == 1
+
+            gen, chunks = make_traffic(total_chunks=2)
+            feed(service, gen, chunks)
+            service.flush()
+            manager.sync()
+            with ReplicaReadClient(server.address) as client:
+                status = client.status()
+            assert status["role"] == "primary"
+            assert status["durable_lsn"] == manager.wal.durable_lsn
+            assert status["last_lsn"] == manager.wal.last_lsn
+        finally:
+            server.stop()
+            service.close()
+
+    def test_probe_false_once_stopped(self, tmp_path):
+        _service, manager = primary_service(tmp_path)
+        server = PrimaryStatusServer(manager)
+        server.start()
+        watchdog = FailoverWatchdog(
+            server.address, [("127.0.0.1", 1)], probe_timeout=0.5
+        )
+        assert watchdog.probe() is True
+        server.stop()
+        assert watchdog.probe() is False
+        _service.close()
+
+
+# ------------------------------------------------------------- election
+class TestElection:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one standby"):
+            FailoverWatchdog(("127.0.0.1", 1), [])
+        with pytest.raises(ValueError):
+            FailoverWatchdog(
+                ("127.0.0.1", 1), [("127.0.0.1", 2)], misses=0
+            )
+
+    def test_elects_freshest_standby(self, tmp_path):
+        lagging = StandbyServer(tmp_path / "sb0")
+        fresh = StandbyServer(tmp_path / "sb1")
+        addresses = [
+            ("127.0.0.1", lagging.start()),
+            ("127.0.0.1", fresh.start()),
+        ]
+        service, manager = primary_service(tmp_path)
+        # Ship everything to standby 1 only: it must win the election
+        # despite its higher index.
+        sender = ReplicationSender([addresses[1]])
+        manager.attach_replication(sender)
+        try:
+            gen, chunks = make_traffic(total_chunks=4)
+            feed(service, gen, chunks)
+            watermark = quiesce(service, manager, sender)
+            watchdog = FailoverWatchdog(
+                ("127.0.0.1", 1), addresses, probe_timeout=2.0
+            )
+            index, address, lsn = watchdog.elect()
+            assert index == 1
+            assert address == addresses[1]
+            assert lsn == watermark
+        finally:
+            service.close()
+            lagging.stop()
+            fresh.stop()
+
+    def test_watermark_tie_breaks_to_lowest_index(self, tmp_path):
+        first = StandbyServer(tmp_path / "sb0")
+        second = StandbyServer(tmp_path / "sb1")
+        addresses = [
+            ("127.0.0.1", first.start()),
+            ("127.0.0.1", second.start()),
+        ]
+        try:
+            watchdog = FailoverWatchdog(
+                ("127.0.0.1", 1), addresses, probe_timeout=2.0
+            )
+            index, _address, lsn = watchdog.elect()
+            assert index == 0  # both at lsn 0: deterministic tie-break
+            assert lsn == 0
+        finally:
+            first.stop()
+            second.stop()
+
+    def test_unreachable_standbys_are_skipped(self, tmp_path):
+        live = StandbyServer(tmp_path / "sb0")
+        addresses = [
+            ("127.0.0.1", 1),  # nothing listens here
+            ("127.0.0.1", live.start()),
+        ]
+        try:
+            watchdog = FailoverWatchdog(
+                ("127.0.0.1", 1), addresses, probe_timeout=1.0
+            )
+            index, _address, _lsn = watchdog.elect()
+            assert index == 1
+        finally:
+            live.stop()
+
+    def test_no_reachable_standby_raises(self):
+        watchdog = FailoverWatchdog(
+            ("127.0.0.1", 1),
+            [("127.0.0.1", 1), ("127.0.0.1", 2)],
+            probe_timeout=0.3,
+        )
+        with pytest.raises(WatchdogError, match="no standby reachable"):
+            watchdog.elect()
+
+
+# ----------------------------------------------------- failover, end to end
+class TestAutomatedFailover:
+    def test_detects_death_and_promotes(self, tmp_path):
+        standby0 = StandbyServer(tmp_path / "sb0")
+        standby1 = StandbyServer(tmp_path / "sb1")
+        addresses = [
+            ("127.0.0.1", standby0.start()),
+            ("127.0.0.1", standby1.start()),
+        ]
+        service, manager = primary_service(tmp_path)
+        sender = ReplicationSender(addresses)
+        manager.attach_replication(sender)
+        status_server = PrimaryStatusServer(manager)
+        status_server.start()
+        armed = []
+        watchdog = FailoverWatchdog(
+            status_server.address,
+            addresses,
+            interval=0.1,
+            misses=2,
+            probe_timeout=1.0,
+            on_armed=lambda: armed.append(True),
+        )
+        watchdog.start()
+        try:
+            gen, chunks = make_traffic(total_chunks=4)
+            feed(service, gen, chunks)
+            watermark = quiesce(service, manager, sender)
+            primary_snap = service.snapshot(gen.campaign_id)
+
+            deadline = time.monotonic() + 10.0
+            while not watchdog.armed:
+                assert time.monotonic() < deadline, "never armed"
+                time.sleep(0.01)
+            assert armed == [True]
+
+            # "Die": the status listener goes away, heartbeats start
+            # missing, and nobody on this side promotes anything.
+            status_server.stop()
+            deadline = time.monotonic() + 15.0
+            while watchdog.result is None:
+                assert time.monotonic() < deadline, "never promoted"
+                time.sleep(0.05)
+
+            result = watchdog.result
+            assert result["watermark_lsn"] == watermark
+            assert result["detection_seconds"] is not None
+            assert result["promotion_seconds"] > 0.0
+            stats = watchdog.stats()
+            assert stats["auto_promotions"] == 1
+            assert stats["elections"] == 1
+            assert stats["heartbeat_misses"] >= 2
+
+            promoted = addresses[result["promoted_index"]]
+            with ReplicaReadClient(promoted) as client:
+                assert client.status()["promoted"] is True
+                replica_snap = client.snapshot(gen.campaign_id)
+            assert (
+                replica_snap.truths.tobytes()
+                == primary_snap.truths.tobytes()
+            )
+        finally:
+            watchdog.stop()
+            status_server.stop()
+            service.close()
+            standby0.stop()
+            standby1.stop()
+
+    def test_stop_while_healthy_returns_none(self, tmp_path):
+        _service, manager = primary_service(tmp_path)
+        status_server = PrimaryStatusServer(manager)
+        status_server.start()
+        watchdog = FailoverWatchdog(
+            status_server.address,
+            [("127.0.0.1", 1)],
+            interval=0.05,
+            misses=2,
+        )
+        watchdog.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while not watchdog.armed:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            watchdog.stop()
+            assert watchdog.result is None
+            assert watchdog.stats()["auto_promotions"] == 0
+        finally:
+            watchdog.stop()
+            status_server.stop()
+            _service.close()
+
+
+# ------------------------------------------------------ failover client
+class TestFailoverReadClient:
+    def test_repoints_past_dead_standbys(self, tmp_path):
+        live = StandbyServer(tmp_path / "sb0")
+        port = live.start()
+        addresses = [("127.0.0.1", 1), ("127.0.0.1", port)]
+        try:
+            with FailoverReadClient(addresses, timeout=1.0) as client:
+                assert client.ping() is True
+                assert client.repoints == 1
+                assert client.current_address == addresses[1]
+                # Subsequent calls stay on the live standby.
+                assert client.status()["promoted"] is False
+                assert client.repoints == 1
+        finally:
+            live.stop()
+
+    def test_all_dead_raises_replica_error(self):
+        with FailoverReadClient(
+            [("127.0.0.1", 1), ("127.0.0.1", 2)], timeout=0.3
+        ) as client:
+            # ping() is the liveness query: exhaustion reads as False.
+            assert client.ping() is False
+            with pytest.raises(ReplicaError, match="no standby reachable"):
+                client.status()
+
+    def test_application_errors_propagate(self, tmp_path):
+        live = StandbyServer(tmp_path / "sb0")
+        port = live.start()
+        try:
+            with FailoverReadClient(
+                [("127.0.0.1", port)], timeout=2.0
+            ) as client:
+                # The standby answered and refused: that is not a
+                # connectivity problem, so no re-point happens.
+                with pytest.raises(ReplicaError, match="unknown"):
+                    client.snapshot("no-such-campaign")
+                assert client.repoints == 0
+        finally:
+            live.stop()
+
+
+# ------------------------------------------------------------ addresses
+def test_address_round_trip():
+    assert parse_address("127.0.0.1:9001") == ("127.0.0.1", 9001)
+    assert format_address(("127.0.0.1", 9001)) == "127.0.0.1:9001"
+    with pytest.raises(ValueError):
+        parse_address("9001")

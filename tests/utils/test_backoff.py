@@ -1,0 +1,76 @@
+"""The shared retry schedule: envelope bounds, determinism, reset."""
+
+import itertools
+
+import pytest
+
+from repro.utils.backoff import Backoff, backoff_delays
+
+
+class TestValidation:
+    def test_non_positive_base_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(base=0.0)
+
+    def test_sub_one_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            Backoff(factor=0.5)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError, match="below base"):
+            Backoff(base=1.0, cap=0.5)
+
+
+class TestSchedule:
+    def test_first_delay_is_exactly_base(self):
+        schedule = Backoff(base=0.05, random_state=1)
+        assert schedule.next() == 0.05
+
+    def test_delays_stay_inside_the_envelope(self):
+        base, factor, cap = 0.05, 2.0, 2.0
+        schedule = Backoff(
+            base=base, factor=factor, cap=cap, random_state=7
+        )
+        for attempt in range(20):
+            envelope = min(cap, base * factor**attempt)
+            delay = schedule.next()
+            assert base <= delay <= max(envelope, base)
+
+    def test_late_delays_reach_past_base(self):
+        schedule = Backoff(base=0.05, cap=2.0, random_state=3)
+        delays = [schedule.next() for _ in range(30)]
+        # With full jitter over [0.05, 2.0] the odds of 25 straight
+        # draws under 0.1 are negligible: growth must actually happen.
+        assert max(delays) > 0.1
+
+    def test_same_seed_same_timeline(self):
+        a = Backoff(random_state=42)
+        b = Backoff(random_state=42)
+        assert [a.next() for _ in range(12)] == [
+            b.next() for _ in range(12)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = Backoff(random_state=1)
+        b = Backoff(random_state=2)
+        assert [a.next() for _ in range(12)] != [
+            b.next() for _ in range(12)
+        ]
+
+    def test_reset_restarts_the_schedule(self):
+        schedule = Backoff(base=0.05, random_state=5)
+        for _ in range(6):
+            schedule.next()
+        assert schedule.attempt == 6
+        schedule.reset()
+        assert schedule.attempt == 0
+        assert schedule.next() == 0.05  # first attempt again
+
+
+class TestIterator:
+    def test_backoff_delays_matches_the_class(self):
+        from_iter = list(
+            itertools.islice(backoff_delays(random_state=9), 8)
+        )
+        schedule = Backoff(random_state=9)
+        assert from_iter == [schedule.next() for _ in range(8)]
