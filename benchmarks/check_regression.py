@@ -187,6 +187,18 @@ CHAOS_METRICS = (
     Metric("invariants.auto_promoted", "flag"),
     Metric("invariants.truths_match_bitwise", "flag"),
     Metric("invariants.budget_spent_matches", "flag"),
+    # Degraded-mode drills (ISSUE-10).  Host-loss re-homes are journal
+    # replays onto a survivor — healthy runs finish in well under a
+    # second, so the 20s floor only trips a structural stall.  The
+    # flags are hard: a partitioned watchdog fleet must promote
+    # exactly once (fencing), re-homed truths must be bitwise the
+    # uncrashed run's, and the budget ledger must survive untouched.
+    Metric("rehome.rehome_seconds_max", "lower", floor=20.0),
+    Metric("invariants.no_double_promotion", "flag"),
+    Metric("invariants.stale_promote_refused", "flag"),
+    Metric("invariants.rehome_truths_match_bitwise", "flag"),
+    Metric("invariants.rehome_budget_matches", "flag"),
+    Metric("invariants.wal_replay_matches", "flag"),
 )
 
 KINDS = {

@@ -24,11 +24,25 @@
 5. read through a :class:`~repro.replication.client.FailoverReadClient`
    so the re-pointing path is exercised on every drill.
 
+That is the ``promotion`` scenario.  Two more ride the same harness
+(``--scenarios``, all three by default):
+
+- ``host-loss`` — in-process: a ``proc.spawn`` fault at rate 1.0
+  refuses every respawn, one shard host is SIGKILLed mid-stream, and
+  the supervisor must declare the host lost and re-home its shards
+  onto a survivor from the journal — bitwise-equal to an uncrashed
+  reference run, budget intact, and the WAL replay agreeing;
+- ``partition`` — the child launches a **3-watchdog fleet** with one
+  member's dials chaos-refused; after the primary SIGKILL the two
+  healthy members race, and quorum votes plus the fencing epoch must
+  yield *exactly one* ``PROMOTED`` line, with a stale-epoch PROMOTE
+  refused by every surviving standby.
+
 Determinism: the injected fault schedule is a pure function of the
 drill seed (see :mod:`repro.chaos.plan`), so a failing seed replays
 with ``repro chaos-drill --seeds <seed>``.  Wall-clock timings
-(detection/promotion) are environment-dependent and are gated, not
-replayed.
+(detection/promotion/rehome) are environment-dependent and are gated,
+not replayed.
 """
 
 from __future__ import annotations
@@ -52,8 +66,16 @@ NUM_USERS = 60
 NUM_OBJECTS = 24
 CAMPAIGN = "chaos-drill"
 
+#: Scenario classes ``run_chaos_drill`` knows how to stage.
+SCENARIOS = ("promotion", "host-loss", "partition")
+
 #: Seeds the CI smoke job pins (failures reproduce from the seed alone).
 SMOKE_SEEDS = (101, 202, 303, 404, 505)
+
+#: Pinned seeds of the cheaper degraded-mode scenarios (each host-loss
+#: drill is in-process; each partition drill runs a 3-watchdog fleet).
+HOST_LOSS_SMOKE_SEEDS = (11, 22)
+PARTITION_SMOKE_SEEDS = (7,)
 
 #: A standby must hold at least this LSN before the primary is killed,
 #: so the promoted state is never trivially empty.
@@ -88,13 +110,17 @@ def run_primary(args) -> int:
             check_interval_seconds=0.2,
         ),
     )
+    # A single watchdog rides the service's own auto_failover plumbing;
+    # a quorum fleet is launched by hand so one member (and only that
+    # member) can be chaos-partitioned from everything it dials.
+    fleet = args.watchdogs > 1
     service = IngestService(
         ServiceConfig(num_shards=2, max_batch=CHUNK),
         ledger=BudgetLedger(epsilon_cap=1e6),
         topology=Topology.replicated(
             standbys=args.standbys,
             durability=durability,
-            auto_failover=True,
+            auto_failover=not fleet,
             heartbeat_interval=0.2,
             heartbeat_misses=3,
         ),
@@ -105,7 +131,47 @@ def run_primary(args) -> int:
             f"{handle.process.pid}",
             flush=True,
         )
-    print(f"WATCHDOG {service.watchdog_process.pid}", flush=True)
+    if fleet:
+        from repro.replication.watchdog import (
+            PrimaryStatusServer,
+            allocate_peer_ports,
+            launch_watchdog,
+        )
+
+        status_server = PrimaryStatusServer(service.durability)
+        status_server.start()
+        peer_ports = allocate_peer_ports(args.watchdogs)
+        standby_addresses = [
+            h.address for h in service.standbys.handles
+        ]
+        for i in range(args.watchdogs):
+            chaos = {}
+            if i == args.partition_watchdog:
+                # This member's every outbound dial is refused (until
+                # the plan's per-point cap heals the partition): it can
+                # never probe the primary, reach a standby, or collect
+                # a vote — the minority side of the partition.
+                chaos = {
+                    "chaos_seed": args.seed,
+                    "chaos_rates": {"net.connect": 1.0},
+                }
+            proc = launch_watchdog(
+                status_server.address,
+                standby_addresses,
+                interval=0.2,
+                misses=3,
+                index=i,
+                peer_port=peer_ports[i],
+                peers=[
+                    ("127.0.0.1", port)
+                    for j, port in enumerate(peer_ports)
+                    if j != i
+                ],
+                **chaos,
+            )
+            print(f"WATCHDOG {proc.pid}", flush=True)
+    else:
+        print(f"WATCHDOG {service.watchdog_process.pid}", flush=True)
 
     gen = LoadGenerator(
         CAMPAIGN,
@@ -260,64 +326,95 @@ def run_one_drill(
     *,
     claims: int,
     standbys: int = 2,
+    watchdogs: int = 1,
+    partition_watchdog: Optional[int] = None,
     python: Optional[str] = None,
     log=print,
 ) -> dict:
-    """One seeded drill; returns the per-seed result dict."""
+    """One seeded drill; returns the per-seed result dict.
+
+    With ``watchdogs > 1`` the child runs a quorum fleet;
+    ``partition_watchdog`` names the member launched behind a
+    total-connect-refusal fault plan.  The drill then also asserts the
+    degraded-quorum invariants: exactly one ``PROMOTED`` line ever
+    appears, and a re-``promote()`` at the winning fencing epoch is
+    refused by *every* surviving standby.
+    """
     import numpy as np
 
     from repro.replication.client import (
         FailoverReadClient,
+        ReplicaError,
         ReplicaReadClient,
     )
     from repro.utils.rng import derive_seed
 
     root = Path(tempfile.mkdtemp(prefix=f"repro-chaos-{seed}-"))
     primary_dir = root / "wal"
+    argv = [
+        python or sys.executable,
+        "-m",
+        "repro.chaos.drill",
+        "--run-primary",
+        "--seed",
+        str(seed),
+        "--dir",
+        str(primary_dir),
+        "--claims",
+        str(claims),
+        "--standbys",
+        str(standbys),
+        "--watchdogs",
+        str(watchdogs),
+    ]
+    if partition_watchdog is not None:
+        argv.extend(["--partition-watchdog", str(partition_watchdog)])
     child = subprocess.Popen(
-        [
-            python or sys.executable,
-            "-m",
-            "repro.chaos.drill",
-            "--run-primary",
-            "--seed",
-            str(seed),
-            "--dir",
-            str(primary_dir),
-            "--claims",
-            str(claims),
-            "--standbys",
-            str(standbys),
-        ],
+        argv,
         env={**os.environ},
         stdout=subprocess.PIPE,
         text=True,
     )
     standby_ports: dict[int, int] = {}
     standby_pids: dict[int, int] = {}
-    watchdog_pid: Optional[int] = None
+    watchdog_pids: list[int] = []
     faults: dict = {}
-    armed = False
+    armed = 0
+    promoted_lines = 0
 
     def sink(line: str) -> None:
-        nonlocal watchdog_pid, armed
+        nonlocal armed, promoted_lines
         if line.startswith("STANDBY "):
             _, index, port, pid = line.split()
             standby_ports[int(index)] = int(port)
             standby_pids[int(index)] = int(pid)
         elif line.startswith("WATCHDOG "):
-            watchdog_pid = int(line.split()[1])
+            watchdog_pids.append(int(line.split()[1]))
         elif line.startswith("FAULTS "):
             faults.update(json.loads(line.split(" ", 1)[1]))
-        elif line == "ARMED":
-            armed = True
+        elif line.startswith("ARMED"):
+            armed += 1
+        elif line.startswith("PROMOTED "):
+            promoted_lines += 1
 
-    result: dict = {"seed": seed, "auto_promoted": False}
+    # The partitioned member cannot reach the primary, so it never
+    # arms; every healthy member must before the kill.
+    armed_needed = watchdogs - (0 if partition_watchdog is None else 1)
+    result: dict = {
+        "seed": seed,
+        "scenario": "promotion" if watchdogs == 1 else "partition",
+        "auto_promoted": False,
+    }
     try:
         reader = _LineReader(child.stdout)
         reader.wait_for(["STREAMING"], timeout=180.0, sink=sink)
-        if not armed:
-            reader.wait_for(["ARMED"], timeout=60.0, sink=sink)
+        arm_deadline = time.monotonic() + 60.0
+        while armed < armed_needed:
+            reader.wait_for(
+                ["ARMED"],
+                timeout=max(0.1, arm_deadline - time.monotonic()),
+                sink=sink,
+            )
         if len(standby_ports) != standbys:
             raise RuntimeError("child never announced its standbys")
 
@@ -347,9 +444,14 @@ def run_one_drill(
         # (never all — someone must be left to elect).  Distinct bits
         # of the draw decide *whether* and *whom*: reusing the parity
         # bit for both would pin the victim to standby 0 forever.
+        # Partition drills skip it — one fault class per scenario.
         kill_draw = derive_seed(seed, "drill", "kill-standby")
         victim: Optional[int] = None
-        if standbys > 1 and (kill_draw >> 1) % 2 == 0:
+        if (
+            watchdogs == 1
+            and standbys > 1
+            and (kill_draw >> 1) % 2 == 0
+        ):
             victim = (kill_draw >> 2) % standbys
             log(f"  chaos: SIGKILL standby {victim} "
                 f"(pid {standby_pids[victim]})")
@@ -364,7 +466,7 @@ def run_one_drill(
         # The watchdog inherited the stdout pipe; its PROMOTED line is
         # the proof the system healed itself — nobody on this side of
         # the pipe calls promote().
-        line = reader.wait_for(["PROMOTED "], timeout=60.0, sink=sink)
+        line = reader.wait_for(["PROMOTED "], timeout=90.0, sink=sink)
         promoted = json.loads(line.split(" ", 1)[1])
         failover_wall = time.monotonic() - kill_time
         result.update(
@@ -372,6 +474,8 @@ def run_one_drill(
                 "auto_promoted": True,
                 "promoted_index": promoted["promoted_index"],
                 "watermark_lsn": promoted["watermark_lsn"],
+                "fencing_epoch": promoted.get("fencing_epoch"),
+                "watchdog_index": promoted.get("watchdog_index"),
                 "detection_seconds": promoted["detection_seconds"],
                 "promotion_seconds": promoted["promotion_seconds"],
                 "failover_wall_seconds": failover_wall,
@@ -384,6 +488,29 @@ def run_one_drill(
             f"{promoted['detection_seconds']:.2f}s, promote "
             f"{promoted['promotion_seconds']:.2f}s)"
         )
+        if watchdogs > 1:
+            # Grace window: every extra PROMOTED line the rest of the
+            # fleet could ever print lands here (losers print OBSERVED
+            # and exit; the partitioned member can only retry during
+            # the window).  More than one promotion is split-brain.
+            grace_until = time.monotonic() + 8.0
+            while True:
+                remaining = grace_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = reader.next_line(remaining)
+                except TimeoutError:
+                    break
+                if extra is None:
+                    break
+                sink(extra)
+            result["promoted_lines"] = promoted_lines
+            result["no_double_promotion"] = promoted_lines == 1
+            log(
+                f"  quorum: {promoted_lines} promotion(s) across a "
+                f"fleet of {watchdogs} (one partitioned)"
+            )
 
         # The spent-budget status must come from the new primary.
         promoted_port = standby_ports[promoted["promoted_index"]]
@@ -399,6 +526,31 @@ def run_one_drill(
                     )
                 time.sleep(0.1)
                 status = primary_client.status()
+
+        # The fence must hold fleet-wide: a stale PROMOTE at the
+        # epoch that already won is refused by the promoted standby
+        # *and* by every surviving non-promoted standby (the winner
+        # broadcast the epoch) — two primaries are unreachable even
+        # for a partitioned watchdog that wakes up late.
+        stale_epoch = int(promoted.get("fencing_epoch") or 1)
+        stale_refused = True
+        for index, port in sorted(standby_ports.items()):
+            if index == victim:
+                continue
+            try:
+                with ReplicaReadClient(
+                    ("127.0.0.1", port), timeout=5.0
+                ) as fence_client:
+                    fence_client.promote(epoch=stale_epoch)
+                stale_refused = False
+                log(f"  FENCE BREACH: standby {index} accepted stale "
+                    f"epoch {stale_epoch}")
+            except ReplicaError as exc:
+                if "stale fencing epoch" not in str(exc):
+                    stale_refused = False
+                    log(f"  stale promote on standby {index} failed "
+                        f"oddly: {exc}")
+        result["stale_promote_refused"] = stale_refused
 
         # Read through the re-pointing client: when a standby was
         # killed, start there — the read path must walk off the corpse
@@ -451,10 +603,220 @@ def run_one_drill(
         time.sleep(0.2)
         for pid in standby_pids.values():
             _kill_pid(pid)
-        if watchdog_pid is not None:
-            _kill_pid(watchdog_pid)
+        for pid in watchdog_pids:
+            _kill_pid(pid)
         if child.stdout is not None:
             child.stdout.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _host_loss_campaigns(seed: int):
+    """The three campaigns every host-loss run (crashed, reference,
+    arbiter) streams — identical traffic is the whole comparison."""
+    from repro.service.loadgen import LoadGenerator
+
+    return [
+        LoadGenerator(
+            f"drill-c{i}",
+            num_users=NUM_USERS,
+            num_objects=NUM_OBJECTS,
+            random_state=seed + i,
+        )
+        for i in range(3)
+    ]
+
+
+def _host_loss_service(num_shards: int, topology, directory=None):
+    from repro.durable import DurabilityConfig
+    from repro.privacy.ldp import LDPGuarantee
+    from repro.service.ingest import IngestService, ServiceConfig
+    from repro.service.ledger import BudgetLedger
+    from repro.service.topology import Topology
+
+    if topology == "fabric":
+        topology = Topology.fabric(
+            2,
+            durability=DurabilityConfig(
+                directory=directory, fsync="batch"
+            ),
+        )
+    else:
+        topology = Topology.in_process()
+    service = IngestService(
+        ServiceConfig(num_shards=num_shards, max_batch=CHUNK),
+        ledger=BudgetLedger(epsilon_cap=1e6),
+        topology=topology,
+    )
+    for gen in _host_loss_campaigns(0):
+        service.register_campaign(
+            gen.campaign_id,
+            gen.object_ids,
+            max_users=NUM_USERS,
+            user_ids=gen.user_ids,
+            cost=LDPGuarantee(epsilon=1e-4, delta=0.0),
+        )
+    return service
+
+
+def _stream_host_loss(service, seed: int, claims: int, *, midstream=None):
+    """Interleave the three campaigns' chunks; fire ``midstream`` once
+    at the halfway point (that is where the host dies)."""
+    per_campaign = max(CHUNK, claims // 3)
+    chunk_lists = [
+        list(gen.column_chunks(per_campaign, chunk_size=CHUNK))
+        for gen in _host_loss_campaigns(seed)
+    ]
+    total = max(len(chunks) for chunks in chunk_lists)
+    for i in range(total):
+        if midstream is not None and i == total // 2:
+            midstream()
+        for chunks in chunk_lists:
+            if i < len(chunks):
+                chunk = chunks[i]
+                service.submit_columns(
+                    chunk.campaign_id,
+                    chunk.user_slots,
+                    chunk.object_slots,
+                    chunk.values,
+                )
+        if i % 3 == 0:
+            service.pump()
+    service.flush()
+
+
+def _snapshots_bitwise_equal(got, expected) -> bool:
+    import numpy as np
+
+    return bool(
+        got.truths.tobytes() == expected.truths.tobytes()
+        and np.all(np.isfinite(got.truths))
+        and got.weights_by_user == expected.weights_by_user
+        and got.claims_ingested == expected.claims_ingested
+        and got.claims_ingested > 0
+    )
+
+
+def run_host_loss_drill(
+    seed: int,
+    *,
+    claims: int,
+    num_shards: int = 4,
+    log=print,
+) -> dict:
+    """Kill a shard host *and* refuse every respawn; assert the rehome.
+
+    The degraded-mode scenario behind ``Supervisor.rehome``: a two-host
+    fabric streams three campaigns, the host owning campaign 0 is
+    SIGKILLed at the halfway mark, and the ``proc.spawn`` fault point
+    (rate 1.0) turns the loss permanent — the supervisor must exhaust
+    its bounded respawn attempts and re-home the dead host's shards
+    onto the survivor from its journal.  Invariants:
+
+    * **rehome_truths_match_bitwise** — every campaign's truths equal
+      an uncrashed single-process reference run, bit for bit;
+    * **wal_replay_matches** — they also equal an independent replay of
+      the service's own WAL (the arbiter shares no fabric state);
+    * **rehome_budget_matches** — the privacy ledger matches the
+      reference's, record for record.
+    """
+    from repro.chaos import (
+        DEFAULT_RATES,
+        FaultPlan,
+        injected_counts,
+        install,
+        uninstall,
+    )
+
+    log(f"  reference run (uncrashed, in-process)")
+    reference = _host_loss_service(num_shards, "in_process")
+    try:
+        _stream_host_loss(reference, seed, claims)
+        expected = {
+            gen.campaign_id: reference.snapshot(gen.campaign_id)
+            for gen in _host_loss_campaigns(seed)
+        }
+        expected_ledger = ledger_key(reference.ledger.to_records())
+    finally:
+        reference.close()
+
+    root = Path(tempfile.mkdtemp(prefix=f"repro-hostloss-{seed}-"))
+    # The kill is the drill's own deterministic fault; the only seeded
+    # injection is the spawn refusal that makes the loss permanent.
+    rates = {point: 0.0 for point in DEFAULT_RATES}
+    rates["proc.spawn"] = 1.0
+    install(FaultPlan(seed, rates=rates))
+    result: dict = {"seed": seed, "scenario": "host-loss"}
+    service = None
+    try:
+        service = _host_loss_service(
+            num_shards, "fabric", directory=root / "wal"
+        )
+        victim_shard = service.shard_of("drill-c0")
+        victim = service.worker_pool.handle_for(victim_shard)
+        result["victim_host"] = victim.worker_id
+
+        def kill_host() -> None:
+            log(f"  chaos: SIGKILL shard host {victim.worker_id} "
+                f"(pid {victim.process.pid}); respawns refused")
+            _kill_pid(victim.process.pid)
+            waiter = getattr(victim.process, "wait", None)
+            if waiter is None:
+                waiter = victim.process.join
+            waiter(10)
+
+        _stream_host_loss(service, seed, claims, midstream=kill_host)
+        stats = service.worker_pool.supervisor.stats()
+        snapshots = {
+            gen.campaign_id: service.snapshot(gen.campaign_id)
+            for gen in _host_loss_campaigns(seed)
+        }
+        got_ledger = ledger_key(service.ledger.to_records())
+        result.update(
+            {
+                "rehomes": stats["rehomes"],
+                "hosts_lost": stats["hosts_lost"],
+                "respawn_retries": stats["respawn_retries"],
+                "placement_epoch": stats["placement_epoch"],
+                "rehome_seconds": stats["last_rehome_seconds"],
+                "faults_injected": injected_counts(),
+            }
+        )
+        result["rehome_truths_match_bitwise"] = bool(
+            stats["rehomes"] >= 1
+            and all(
+                _snapshots_bitwise_equal(snapshots[cid], expected[cid])
+                for cid in expected
+            )
+        )
+        result["rehome_budget_matches"] = bool(
+            len(got_ledger) > 0 and got_ledger == expected_ledger
+        )
+        result["claims_preserved"] = int(
+            sum(s.claims_ingested for s in snapshots.values())
+        )
+        service.close()
+        service = None
+        uninstall()
+        arbiter = replay_primary_prefix(root / "wal", 10**12)
+        result["wal_replay_matches"] = all(
+            _snapshots_bitwise_equal(
+                arbiter.snapshot(cid), snapshots[cid]
+            )
+            for cid in expected
+        )
+        log(
+            f"  rehomed {stats['rehomes']} host(s) in "
+            f"{stats['last_rehome_seconds']:.3f}s "
+            f"(placement epoch {stats['placement_epoch']}, "
+            f"bitwise={result['rehome_truths_match_bitwise']}, "
+            f"wal={result['wal_replay_matches']}, "
+            f"budget={result['rehome_budget_matches']})"
+        )
+        return result
+    finally:
+        if service is not None:
+            service.close()
+        uninstall()
         shutil.rmtree(root, ignore_errors=True)
 
 
@@ -465,38 +827,143 @@ def run_chaos_drill(
     base_seed: int = 2020,
     claims: int = 6000,
     smoke: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
     log=print,
 ) -> dict:
-    """Run every seed; returns the aggregate report the CI job gates."""
-    if seeds is None:
-        seeds = (
-            list(SMOKE_SEEDS)
-            if smoke
-            else [base_seed + 101 * i for i in range(drills)]
+    """Run every scenario and seed; returns the report the CI job gates.
+
+    ``scenarios`` picks from :data:`SCENARIOS` (None runs all three).
+    An explicit ``seeds`` list applies to every selected scenario —
+    that is how a failing seed replays in isolation; otherwise each
+    scenario gets its own pinned (``--smoke``) or ``base_seed``-derived
+    list.  Invariant keys only appear for scenarios that ran, so a
+    targeted re-run is gated on exactly what it exercised.
+    """
+    if scenarios is None:
+        scenarios = SCENARIOS
+    unknown = set(scenarios) - set(SCENARIOS)
+    if unknown:
+        raise ValueError(
+            f"unknown scenario(s) {sorted(unknown)}; "
+            f"known: {list(SCENARIOS)}"
         )
-    seeds = list(seeds)
     if smoke:
         claims = min(claims, 4000)
-    results = []
-    for seed in seeds:
-        log(f"== drill seed {seed} ==")
-        try:
-            results.append(
-                run_one_drill(seed, claims=claims, log=log)
-            )
-        except (RuntimeError, TimeoutError, OSError) as exc:
-            log(f"  drill seed {seed} FAILED: {exc}")
-            results.append(
-                {
-                    "seed": seed,
-                    "auto_promoted": False,
-                    "error": str(exc),
-                }
-            )
-    healed = [r for r in results if r.get("auto_promoted")]
+
+    def scenario_seeds(pinned, derived):
+        if seeds is not None:
+            return list(seeds)
+        return list(pinned) if smoke else derived
+
+    promotion_results: list = []
+    rehome_results: list = []
+    partition_results: list = []
+    if "promotion" in scenarios:
+        for seed in scenario_seeds(
+            SMOKE_SEEDS, [base_seed + 101 * i for i in range(drills)]
+        ):
+            log(f"== promotion drill seed {seed} ==")
+            try:
+                promotion_results.append(
+                    run_one_drill(seed, claims=claims, log=log)
+                )
+            except (RuntimeError, TimeoutError, OSError) as exc:
+                log(f"  drill seed {seed} FAILED: {exc}")
+                promotion_results.append(
+                    {
+                        "seed": seed,
+                        "scenario": "promotion",
+                        "auto_promoted": False,
+                        "error": str(exc),
+                    }
+                )
+    if "host-loss" in scenarios:
+        for seed in scenario_seeds(
+            HOST_LOSS_SMOKE_SEEDS, [base_seed + 11 * i for i in range(2)]
+        ):
+            log(f"== host-loss drill seed {seed} ==")
+            try:
+                rehome_results.append(
+                    run_host_loss_drill(seed, claims=claims, log=log)
+                )
+            except (RuntimeError, TimeoutError, OSError) as exc:
+                log(f"  host-loss seed {seed} FAILED: {exc}")
+                rehome_results.append(
+                    {
+                        "seed": seed,
+                        "scenario": "host-loss",
+                        "error": str(exc),
+                    }
+                )
+    if "partition" in scenarios:
+        for seed in scenario_seeds(
+            PARTITION_SMOKE_SEEDS, [base_seed + 7]
+        ):
+            log(f"== partition drill seed {seed} (watchdogs=3) ==")
+            try:
+                partition_results.append(
+                    run_one_drill(
+                        seed,
+                        claims=claims,
+                        watchdogs=3,
+                        partition_watchdog=2,
+                        log=log,
+                    )
+                )
+            except (RuntimeError, TimeoutError, OSError) as exc:
+                log(f"  partition seed {seed} FAILED: {exc}")
+                partition_results.append(
+                    {
+                        "seed": seed,
+                        "scenario": "partition",
+                        "auto_promoted": False,
+                        "error": str(exc),
+                    }
+                )
+
+    killed = promotion_results + partition_results
+    results = killed + rehome_results
+    healed = [r for r in killed if r.get("auto_promoted")]
+    invariants: dict = {}
+    if killed:
+        invariants.update(
+            {
+                "auto_promoted": len(healed) == len(killed),
+                "truths_match_bitwise": all(
+                    r.get("truths_match_bitwise") for r in killed
+                ),
+                "budget_spent_matches": all(
+                    r.get("budget_spent_matches") for r in killed
+                ),
+                "stale_promote_refused": all(
+                    r.get("stale_promote_refused") for r in killed
+                ),
+            }
+        )
+    if partition_results:
+        invariants["no_double_promotion"] = all(
+            r.get("no_double_promotion") for r in partition_results
+        )
+    if rehome_results:
+        invariants.update(
+            {
+                "rehome_truths_match_bitwise": all(
+                    r.get("rehome_truths_match_bitwise")
+                    for r in rehome_results
+                ),
+                "rehome_budget_matches": all(
+                    r.get("rehome_budget_matches")
+                    for r in rehome_results
+                ),
+                "wal_replay_matches": all(
+                    r.get("wal_replay_matches") for r in rehome_results
+                ),
+            }
+        )
     report = {
         "kind": "chaos",
-        "seeds": seeds,
+        "scenarios": list(scenarios),
+        "seeds": sorted({r["seed"] for r in results}),
         "claims_per_drill": claims,
         "drills": results,
         "watchdog": {
@@ -511,36 +978,69 @@ def run_chaos_drill(
                 default=None,
             ),
         },
-        "invariants": {
-            "auto_promoted": len(healed) == len(results),
-            "truths_match_bitwise": bool(results)
-            and all(r.get("truths_match_bitwise") for r in results),
-            "budget_spent_matches": bool(results)
-            and all(r.get("budget_spent_matches") for r in results),
+        "rehome": {
+            "rehome_seconds_max": max(
+                (
+                    r["rehome_seconds"]
+                    for r in rehome_results
+                    if r.get("rehome_seconds") is not None
+                ),
+                default=None,
+            ),
+            "hosts_lost_total": sum(
+                len(r.get("hosts_lost", ())) for r in rehome_results
+            ),
+            "rehomes_total": sum(
+                r.get("rehomes", 0) for r in rehome_results
+            ),
         },
+        "invariants": invariants,
     }
     return report
 
 
 def format_drill_summary(report: dict) -> str:
     lines = [
-        f"chaos drill over {len(report['seeds'])} seed(s): "
-        f"{report['seeds']}"
+        f"chaos drill: scenarios {report.get('scenarios', ['promotion'])}"
+        f" over {len(report['drills'])} run(s)"
     ]
     for drill in report["drills"]:
+        scenario = drill.get("scenario", "promotion")
+        if scenario == "host-loss":
+            if "error" in drill:
+                lines.append(
+                    f"  [host-loss] seed {drill['seed']}: FAILED "
+                    f"({drill['error']})"
+                )
+                continue
+            lines.append(
+                f"  [host-loss] seed {drill['seed']}: lost host(s) "
+                f"{drill['hosts_lost']}, rehomed in "
+                f"{drill['rehome_seconds']:.3f}s (bitwise="
+                f"{drill['rehome_truths_match_bitwise']}, wal="
+                f"{drill['wal_replay_matches']}, budget="
+                f"{drill['rehome_budget_matches']})"
+            )
+            continue
         if not drill.get("auto_promoted"):
             lines.append(
-                f"  seed {drill['seed']}: FAILED to heal "
+                f"  [{scenario}] seed {drill['seed']}: FAILED to heal "
                 f"({drill.get('error', 'no promotion observed')})"
             )
             continue
+        extra = ""
+        if scenario == "partition":
+            extra = (
+                f", promotions={drill.get('promoted_lines')}"
+                f", fence={drill.get('fencing_epoch')}"
+            )
         lines.append(
-            f"  seed {drill['seed']}: promoted standby "
+            f"  [{scenario}] seed {drill['seed']}: promoted standby "
             f"{drill['promoted_index']} at lsn {drill['watermark_lsn']} "
             f"(detect {drill['detection_seconds']:.2f}s, promote "
             f"{drill['promotion_seconds']:.2f}s, bitwise="
             f"{drill['truths_match_bitwise']}, budget="
-            f"{drill['budget_spent_matches']})"
+            f"{drill['budget_spent_matches']}{extra})"
         )
     inv = report["invariants"]
     watchdog = report["watchdog"]
@@ -548,6 +1048,12 @@ def format_drill_summary(report: dict) -> str:
         lines.append(
             f"worst detection {watchdog['detection_seconds_max']:.2f}s, "
             f"worst promotion {watchdog['promotion_seconds_max']:.2f}s"
+        )
+    rehome = report.get("rehome") or {}
+    if rehome.get("rehome_seconds_max") is not None:
+        lines.append(
+            f"worst rehome {rehome['rehome_seconds_max']:.3f}s over "
+            f"{rehome['rehomes_total']} rehome(s)"
         )
     lines.append(
         "invariants: "
@@ -566,6 +1072,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--base-seed", type=int, default=2020)
     parser.add_argument("--claims", type=int, default=6000)
     parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--scenarios", nargs="+", default=None, choices=SCENARIOS
+    )
     parser.add_argument("--output", default=None)
     # Internal: the doomed-primary child re-exec.
     parser.add_argument(
@@ -576,6 +1085,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--dir", default=None, help=argparse.SUPPRESS)
     parser.add_argument("--standbys", type=int, default=2,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--watchdogs", type=int, default=1,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--partition-watchdog", type=int, default=None,
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
     if args.run_primary:
         return run_primary(args)
@@ -585,6 +1098,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         base_seed=args.base_seed,
         claims=args.claims,
         smoke=args.smoke,
+        scenarios=args.scenarios,
     )
     print(format_drill_summary(report))
     if args.output:

@@ -39,6 +39,7 @@ FAULT_POINTS = {
     # repro.net.supervisor / replication + fabric pools — process faults.
     "proc.kill": "sigkill",  # SIGKILL a pooled process
     "proc.stall": "stall",  # slow-host stall before an RPC
+    "proc.spawn": "spawn-refused",  # replacement host launch refused
 }
 
 #: Points whose injected fault carries a duration (seconds).
@@ -56,6 +57,7 @@ DEFAULT_RATES = {
     "net.delay": 0.02,
     "proc.kill": 0.0,
     "proc.stall": 0.02,
+    "proc.spawn": 0.0,
 }
 
 

@@ -295,6 +295,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="dial + response budget of one probe (default 1.0)",
     )
+    watchdog_p.add_argument(
+        "--index",
+        type=int,
+        default=0,
+        help="this watchdog's identity within the fleet (default 0)",
+    )
+    watchdog_p.add_argument(
+        "--peer-port",
+        type=int,
+        default=None,
+        help="port of this watchdog's own voting listener (quorum "
+        "fleets only; 0 picks a free one)",
+    )
+    watchdog_p.add_argument(
+        "--peer",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        dest="peers",
+        help="another fleet member's voting listener (repeat per "
+        "peer); any peer switches on majority voting before promotion",
+    )
+    watchdog_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="install a seeded FaultPlan inside this watchdog (drill "
+        "use: partition one fleet member)",
+    )
+    watchdog_p.add_argument(
+        "--chaos-rate",
+        action="append",
+        default=None,
+        metavar="POINT=RATE",
+        dest="chaos_rates",
+        help="per-point fault rate override for --chaos-seed "
+        "(repeatable, e.g. net.connect=1.0)",
+    )
 
     drill_p = sub.add_parser(
         "chaos-drill",
@@ -337,6 +375,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="tiny pinned workload over the pinned CI seeds",
+    )
+    drill_p.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=["promotion", "host-loss", "partition"],
+        metavar="NAME",
+        help="scenario classes to run: promotion (kill the primary, "
+        "watchdog promotes), host-loss (kill a shard host with "
+        "respawn blocked; shards re-home onto survivors), partition "
+        "(watchdogs=3 with one member network-partitioned; exactly "
+        "one promotion).  Default: all",
     )
     _add_output_option(drill_p, "results/BENCH_chaos.json")
 
@@ -756,17 +806,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         try:
             primary = parse_address(args.primary)
             standbys = [parse_address(a) for a in args.standbys]
+            peers = [parse_address(a) for a in (args.peers or [])]
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+        if args.chaos_seed is not None:
+            # Drill hook: a seeded FaultPlan inside *this* watchdog
+            # only — how a drill partitions one fleet member.
+            from repro.chaos import points as chaos_points
+            from repro.chaos.plan import FaultPlan
+
+            rates = {}
+            for item in args.chaos_rates or []:
+                point, sep, rate = item.partition("=")
+                if not sep:
+                    print(
+                        f"--chaos-rate must be POINT=RATE, got {item!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                rates[point] = float(rate)
+            try:
+                chaos_points.install(
+                    FaultPlan(args.chaos_seed, rates=rates)
+                )
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
         watchdog = FailoverWatchdog(
             primary,
             standbys,
             interval=args.interval,
             misses=args.misses,
             probe_timeout=args.probe_timeout,
+            index=args.index,
+            peers=peers,
+            peer_port=args.peer_port,
             # The launch contract: "ARMED" once the primary has been
-            # seen alive, "PROMOTED <json>" after a failover — both on
+            # seen alive, "PROMOTED <json>" after a failover this
+            # watchdog performed itself, "OBSERVED <json>" when it
+            # stood down because a peer promoted first — all on
             # stdout, where a drill (or operator tooling) reads them.
             on_armed=lambda: print("ARMED", flush=True),
         )
@@ -777,9 +856,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         except KeyboardInterrupt:  # pragma: no cover - operator stop
             return 0
+        finally:
+            if watchdog.peer_server is not None:
+                watchdog.peer_server.stop()
         if result is None:
             return 0
-        print("PROMOTED " + json.dumps(result, sort_keys=True), flush=True)
+        tag = "OBSERVED" if result.get("observed") else "PROMOTED"
+        print(
+            f"{tag} " + json.dumps(result, sort_keys=True), flush=True
+        )
         return 0
 
     if args.command == "chaos-drill":
@@ -791,6 +876,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             base_seed=args.base_seed,
             claims=args.claims,
             smoke=args.smoke,
+            scenarios=args.scenarios,
         )
         print(format_drill_summary(report))
         _write_output(report, args.output)

@@ -34,6 +34,7 @@ import sys
 import time
 from typing import Optional
 
+from repro.chaos import points as _chaos
 from repro.durable import records as rec
 from repro.net.placement import PlacementMap, shard_ranges
 from repro.net.supervisor import SupervisedHandle, Supervisor
@@ -280,9 +281,13 @@ class FabricPool:
 
         Supervised handles absorb crashes by restarting the host;
         afterwards any host whose journal outgrew the claim budget is
-        re-captured.
+        re-captured.  Hosts declared lost for good (re-homed by the
+        supervisor) are skipped — probing a retired corpse would only
+        re-detect the loss.
         """
         for handle in self.handles:
+            if getattr(handle, "lost", False):
+                continue
             handle.check()
         if self.supervisor is not None:
             self.supervisor.maybe_checkpoint()
@@ -290,6 +295,8 @@ class FabricPool:
     def sync(self) -> None:
         """Barrier across all hosts: every shipped frame is processed."""
         for handle in self.handles:
+            if getattr(handle, "lost", False):
+                continue
             handle.sync()
 
     def ping(self, worker_id: int, *, timeout: float = 5.0) -> float:
@@ -328,7 +335,20 @@ class FabricPool:
 
     # ------------------------------------------------------------------
     def respawn(self, handle) -> None:
-        """Replace a dead host's process and socket (supervisor hook)."""
+        """Replace a dead host's process and socket (supervisor hook).
+
+        Raises ``OSError`` when the replacement cannot be launched —
+        including when the injectable ``proc.spawn`` fault point fires,
+        which is how chaos drills model a machine that is gone for good
+        (the supervisor's bounded retries exhaust and it re-homes the
+        host's shards instead).
+        """
+        fault = _chaos.fire("proc.spawn")
+        if fault is not None:
+            raise OSError(
+                f"chaos: spawn of shard host {handle.worker_id} refused "
+                f"(#{fault.index})"
+            )
         old = handle.process
         if old.is_alive():
             old.kill()
@@ -354,7 +374,8 @@ class FabricPool:
             # is exactly what we want.
             self.supervisor.active = False
         for handle in self.handles:
-            handle.shutdown(timeout)
+            if not getattr(handle, "lost", False):
+                handle.shutdown(timeout)
             release = getattr(handle.process, "release", None)
             if release is not None:
                 release()

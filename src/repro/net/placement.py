@@ -46,6 +46,10 @@ class PlacementMap:
     def __init__(self, num_shards: int, num_hosts: int) -> None:
         self._num_hosts = num_hosts
         self._owner: list[int] = []
+        #: Monotone version counter, bumped on every :meth:`move`.  A
+        #: scrape comparing two epochs knows whether ownership changed
+        #: in between without diffing the whole table.
+        self.epoch = 0
         for host, (lo, hi) in enumerate(shard_ranges(num_shards, num_hosts)):
             self._owner.extend([host] * (hi - lo))
 
@@ -76,6 +80,7 @@ class PlacementMap:
         self._check_host(host)
         previous = self.owner_of(shard_index)
         self._owner[shard_index] = host
+        self.epoch += 1
         return previous
 
     def describe(self) -> list[dict]:

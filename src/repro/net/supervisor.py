@@ -34,6 +34,16 @@ no-op, so over-marking cannot perturb state.
 Captures are taken automatically every ``checkpoint_every_claims``
 journaled claims (bounding replay work and journal memory), and after
 every failover.
+
+Hosts can also disappear *for good* — the machine is gone, not the
+process.  Respawn attempts are bounded by the shared jittered
+:class:`~repro.utils.backoff.Backoff` (one seeded stream per host), and
+when they exhaust, :meth:`Supervisor.rehome` declares the host lost and
+replays its journal — capture plus frame suffix, per campaign, in
+order — into the *surviving* hosts instead.  Placement moves and proxy
+re-points happen only after the replay barrier, so no claim is dropped
+and truths stay bitwise-equal to an uncrashed run; the service keeps
+ingesting, degraded, with fewer hosts.
 """
 
 from __future__ import annotations
@@ -41,11 +51,13 @@ from __future__ import annotations
 import json
 import struct
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.chaos import points as _chaos
 from repro.durable import records as rec
+from repro.utils.backoff import Backoff
 from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
 from repro.workers import protocol as proto
 from repro.workers.handles import WorkerCrashedError, WorkerHandle
 
@@ -68,6 +80,21 @@ def _batch_claims(payload: bytes) -> int:
     except struct.error:
         return 0  # malformed; the worker will raise, not us
     return n
+
+
+def _frame_campaign(rtype: int, payload: bytes) -> str:
+    """The campaign a journaled frame belongs to (re-home routing).
+
+    BATCH frames prefix the campaign id (u16 length + bytes); REGISTER/
+    UNREGISTER/REFRESH are JSON; LOAD_STATE is a packed state whose
+    envelope carries ``campaign_id``.
+    """
+    if rtype == rec.BATCH:
+        (cid_len,) = _U16.unpack_from(payload, 0)
+        return payload[_U16.size:_U16.size + cid_len].decode("utf-8")
+    if rtype == proto.LOAD_STATE:
+        return proto.unpack_state(payload)["campaign_id"]
+    return json.loads(payload.decode("utf-8"))["campaign_id"]
 
 
 class HostJournal:
@@ -119,19 +146,42 @@ class Supervisor:
     """
 
     def __init__(
-        self, pool, *, checkpoint_every_claims: int = 50_000
+        self,
+        pool,
+        *,
+        checkpoint_every_claims: int = 50_000,
+        respawn_attempts: int = 4,
+        respawn_seed: int = 0,
     ) -> None:
         if checkpoint_every_claims < 1:
             raise ValueError(
                 f"checkpoint_every_claims must be >= 1, got "
                 f"{checkpoint_every_claims}"
             )
+        if respawn_attempts < 1:
+            raise ValueError(
+                f"respawn_attempts must be >= 1, got {respawn_attempts}"
+            )
         self._pool = pool
         self.checkpoint_every_claims = checkpoint_every_claims
+        self.respawn_attempts = respawn_attempts
+        self._respawn_seed = respawn_seed
+        self._respawn_backoff: dict[int, Backoff] = {}
         self.active = True
         self.restarts = 0
+        self.respawn_retries = 0
         self.failover_seconds: list[float] = []
         self.last_failover_seconds: Optional[float] = None
+        #: Hosts declared gone for good (their shards were re-homed).
+        self.lost_hosts: set[int] = set()
+        self.rehomes = 0
+        self.rehome_seconds: list[float] = []
+        self.last_rehome_seconds: Optional[float] = None
+        #: Service hook, called as ``on_rehome(campaign_id, handle)``
+        #: after a lost host's campaign landed on a survivor — the
+        #: :class:`~repro.workers.handles.RemoteAggregator` proxies live
+        #: above this layer and must re-point there.
+        self.on_rehome: Optional[Callable[[str, WorkerHandle], None]] = None
 
     # ------------------------------------------------------------------
     def maybe_checkpoint(self) -> None:
@@ -139,6 +189,8 @@ class Supervisor:
         if not self.active:
             return
         for handle in self._pool.handles:
+            if getattr(handle, "lost", False):
+                continue
             journal = handle.journal
             if journal.claims_since_capture >= self.checkpoint_every_claims:
                 self.checkpoint(handle)
@@ -162,34 +214,51 @@ class Supervisor:
 
     # ------------------------------------------------------------------
     def failover(self, handle: "SupervisedHandle") -> None:
-        """Replace a dead host and replay it back to the stream head."""
+        """Replace a dead host and replay it back to the stream head.
+
+        When the replacement cannot be spawned within the bounded
+        backoff budget, the host is declared gone for good and its
+        shards are re-homed onto the survivors instead
+        (:meth:`rehome`) — degraded, but no claim is dropped.
+        """
         start = time.perf_counter()
         self.active = False
+        respawned = False
         try:
             _LOGGER.warning(
                 "shard host %d died (exit code %s); restarting",
                 handle.worker_id,
                 handle.process.exitcode,
             )
-            self._pool.respawn(handle)
-            handle.send(rec.CONFIG, self._pool.config_frame)
-            handle.expect(proto.READY, timeout=self._pool.start_timeout)
-            journal = handle.journal
-            for cid, (spec, state) in journal.captured.items():
-                handle.send(rec.REGISTER, rec.encode_json_payload(spec))
-                handle.send(
-                    proto.LOAD_STATE,
-                    proto.pack_state(
-                        {"campaign_id": cid, "state": state}
-                    ),
+            respawned = self._respawn_bounded(handle)
+            if respawned:
+                handle.send(rec.CONFIG, self._pool.config_frame)
+                handle.expect(
+                    proto.READY, timeout=self._pool.start_timeout
                 )
-            for rtype, payload in journal.frames:
-                handle.send(rtype, payload)
-            # Barrier: the replacement is only "recovered" once it has
-            # processed the whole replay (and proved it can answer).
-            handle.sync()
+                journal = handle.journal
+                for cid, (spec, state) in journal.captured.items():
+                    handle.send(
+                        rec.REGISTER, rec.encode_json_payload(spec)
+                    )
+                    handle.send(
+                        proto.LOAD_STATE,
+                        proto.pack_state(
+                            {"campaign_id": cid, "state": state}
+                        ),
+                    )
+                for rtype, payload in journal.frames:
+                    handle.send(rtype, payload)
+                # Barrier: the replacement is only "recovered" once it
+                # has processed the whole replay (and proved it can
+                # answer).
+                handle.sync()
+            else:
+                self.rehome(handle)
         finally:
             self.active = True
+        if not respawned:
+            return
         # Start the next epoch from the recovered state so a second
         # crash replays from here, not from before the first one.
         self.checkpoint(handle)
@@ -205,15 +274,153 @@ class Supervisor:
             len(handle.journal.captured),
         )
 
+    def _respawn_bounded(self, handle: "SupervisedHandle") -> bool:
+        """Respawn with jittered-backoff retries; False when exhausted.
+
+        A flapping spawn path (or an injected ``proc.spawn`` fault)
+        neither hard-fails the service on the first refusal nor loops
+        hot: each host retries on its own seeded backoff stream.
+        """
+        backoff = self._respawn_backoff.get(handle.worker_id)
+        if backoff is None:
+            backoff = Backoff(
+                base=0.05,
+                cap=2.0,
+                random_state=derive_seed(
+                    self._respawn_seed,
+                    "supervisor.respawn",
+                    handle.worker_id,
+                ),
+            )
+            self._respawn_backoff[handle.worker_id] = backoff
+        backoff.reset()
+        for attempt in range(self.respawn_attempts):
+            try:
+                self._pool.respawn(handle)
+            except (OSError, RuntimeError, TimeoutError) as exc:
+                self.respawn_retries += 1
+                remaining = self.respawn_attempts - attempt - 1
+                _LOGGER.warning(
+                    "respawn of shard host %d failed (%s); "
+                    "%d attempt(s) left",
+                    handle.worker_id,
+                    exc,
+                    remaining,
+                )
+                if remaining == 0:
+                    return False
+                time.sleep(backoff.next())
+            else:
+                return True
+        return False  # pragma: no cover - loop always returns
+
+    # ------------------------------------------------------------------
+    def rehome(self, dead: "SupervisedHandle") -> None:
+        """Declare ``dead`` gone for good; re-home its shards.
+
+        State is sourced from the dead host's *journal* (the host
+        cannot be asked): the last capture plus the frame suffix replay
+        into the survivors, per campaign, in original order — the same
+        determinism argument as in-place failover, just with a new
+        address.  The placement table and the aggregator proxies are
+        updated only after the replay barrier, so the switch is atomic
+        from the data plane's point of view.
+        """
+        from repro.service.shard import shard_for
+
+        start = time.perf_counter()
+        placement = self._pool.placement
+        survivors = [
+            h
+            for h in self._pool.handles
+            if h is not dead and not getattr(h, "lost", False)
+        ]
+        if not survivors:
+            raise WorkerCrashedError(
+                f"shard host {dead.worker_id} is gone for good and no "
+                f"surviving hosts remain"
+            )
+        dead.retire()
+        self.lost_hosts.add(dead.worker_id)
+        journal = dead.journal
+        # Deterministic reassignment: the dead host's shards go
+        # round-robin over the survivors in handle order.
+        shards = placement.shards_of(dead.worker_id)
+        new_owner = {
+            shard: survivors[i % len(survivors)]
+            for i, shard in enumerate(shards)
+        }
+
+        def target_of(cid: str) -> WorkerHandle:
+            owner = new_owner.get(shard_for(cid, placement.num_shards))
+            return owner if owner is not None else survivors[0]
+
+        # Replay capture first, then the suffix, preserving per-frame
+        # order; interleaving across campaigns is irrelevant because
+        # shard-host state is per-campaign independent.
+        for cid in sorted(journal.captured):
+            spec, state = journal.captured[cid]
+            target = target_of(cid)
+            target.send(rec.REGISTER, rec.encode_json_payload(spec))
+            target.send(
+                proto.LOAD_STATE,
+                proto.pack_state({"campaign_id": cid, "state": state}),
+            )
+        for rtype, payload in journal.frames:
+            target_of(_frame_campaign(rtype, payload)).send(rtype, payload)
+        affected = sorted(
+            {target_of(cid).worker_id for cid in journal.specs}
+            | {h.worker_id for h in new_owner.values()}
+        )
+        by_id = {h.worker_id: h for h in survivors}
+        for worker_id in affected:
+            by_id[worker_id].sync()
+        # The survivors now own the campaigns: absorb them into their
+        # journals and capture, so a *survivor* crash replays them too.
+        for cid, spec in journal.specs.items():
+            target_of(cid).journal.specs[cid] = dict(spec)
+            dead.rehome_targets[cid] = target_of(cid)
+        for worker_id in affected:
+            self.checkpoint(by_id[worker_id])
+        # Atomic switch: placement, then proxies.
+        for shard, owner in sorted(new_owner.items()):
+            placement.move(shard, owner.worker_id)
+        if self.on_rehome is not None:
+            for cid in sorted(journal.specs):
+                self.on_rehome(cid, target_of(cid))
+        elapsed = time.perf_counter() - start
+        self.rehomes += 1
+        self.rehome_seconds.append(elapsed)
+        self.last_rehome_seconds = elapsed
+        _LOGGER.warning(
+            "shard host %d lost for good: re-homed %d shard(s) / %d "
+            "campaign(s) onto %d survivor(s) in %.3fs (placement epoch "
+            "%d)",
+            dead.worker_id,
+            len(shards),
+            len(journal.specs),
+            len({h.worker_id for h in new_owner.values()}),
+            elapsed,
+            placement.epoch,
+        )
+
     def stats(self) -> dict:
         """JSON-friendly counters (bench / observability)."""
         return {
             "restarts": self.restarts,
+            "respawn_retries": self.respawn_retries,
             "last_failover_seconds": self.last_failover_seconds,
             "failover_seconds": list(self.failover_seconds),
             "checkpoint_every_claims": self.checkpoint_every_claims,
             "captures": sum(
                 h.journal.captures for h in self._pool.handles
+            ),
+            "hosts_lost": sorted(self.lost_hosts),
+            "rehomes": self.rehomes,
+            "last_rehome_seconds": self.last_rehome_seconds,
+            "rehome_seconds": list(self.rehome_seconds),
+            "placement_epoch": getattr(
+                self._pool.placement, "epoch", 0
             ),
         }
 
@@ -233,6 +440,21 @@ class SupervisedHandle(WorkerHandle):
         super().__init__(*args, **kwargs)
         self._supervisor = supervisor
         self.journal = HostJournal()
+        #: True once the supervisor declared this host gone for good.
+        self.lost = False
+        #: campaign_id -> surviving handle, filled in by ``rehome``;
+        #: an RPC caught mid-flight by the loss re-routes through this.
+        self.rehome_targets: dict[str, WorkerHandle] = {}
+
+    # ------------------------------------------------------------------
+    def retire(self) -> None:
+        """Mark the host lost for good and release its connection."""
+        self.lost = True
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
 
     # ------------------------------------------------------------------
     def reset(self, process, conn) -> None:
@@ -253,6 +475,11 @@ class SupervisedHandle(WorkerHandle):
 
     # ------------------------------------------------------------------
     def send(self, rtype: int, payload: bytes = b"") -> None:
+        if self.lost:
+            raise WorkerCrashedError(
+                f"shard host {self.worker_id} is gone for good; its "
+                f"shards were re-homed"
+            )
         if self._closed or not self._supervisor.active:
             return super().send(rtype, payload)
         journalled = rtype in JOURNALLED_TYPES
@@ -262,6 +489,15 @@ class SupervisedHandle(WorkerHandle):
             super().send(rtype, payload)
         except WorkerCrashedError:
             self._supervisor.failover(self)
+            if self.lost:
+                if journalled:
+                    # The frame was journaled before the wire, so the
+                    # re-home replay already delivered it to a survivor.
+                    return
+                raise WorkerCrashedError(
+                    f"shard host {self.worker_id} is gone for good; "
+                    f"route through the placement map"
+                )
             if not journalled:
                 # A control frame (RPC request) is not part of the
                 # replay; deliver it to the replacement directly.
@@ -304,9 +540,32 @@ class SupervisedHandle(WorkerHandle):
             return super().request(rtype, payload, expect)
         except WorkerCrashedError:
             self._supervisor.failover(self)
+            if self.lost:
+                return self._reroute_request(rtype, payload, expect)
             return super().request(rtype, payload, expect)
 
+    def _reroute_request(
+        self, rtype: int, payload: bytes, expect: int
+    ) -> bytes:
+        """Answer an RPC caught mid-flight by a permanent host loss.
+
+        Campaign-scoped reads re-route to the survivor that adopted the
+        campaign (the re-home replay already reproduced the fold
+        marker, so a snapshot off the survivor is the bitwise answer).
+        """
+        if rtype in (proto.SNAPSHOT_REQ, proto.STATE_REQ):
+            cid = json.loads(payload.decode("utf-8"))["campaign_id"]
+            target = self.rehome_targets.get(cid)
+            if target is not None:
+                return target.request(rtype, payload, expect)
+        raise WorkerCrashedError(
+            f"shard host {self.worker_id} is gone for good; re-issue "
+            f"the request through the placement map"
+        )
+
     def check(self) -> None:
+        if self.lost:
+            return
         if self._closed or not self._supervisor.active:
             return super().check()
         try:

@@ -86,9 +86,18 @@ class ReplicaReadClient:
         resp = self._call(rp.STATUS_REQ, b"", rp.STATUS_RESP)
         return rp.decode_json(resp)
 
-    def promote(self) -> dict:
-        """Ask the standby to become primary; returns its report."""
-        resp = self._call(rp.PROMOTE_REQ, b"", rp.PROMOTE_RESP)
+    def promote(self, *, epoch=None) -> dict:
+        """Ask the standby to become primary; returns its report.
+
+        ``epoch`` carries the caller's fencing epoch; the standby
+        refuses (``ReplicaError``) anything at or below the highest
+        epoch it ever accepted.  ``None`` means a manual promotion that
+        fences at the standby's next epoch.
+        """
+        payload = b"" if epoch is None else rp.encode_json(
+            {"epoch": int(epoch)}
+        )
+        resp = self._call(rp.PROMOTE_REQ, payload, rp.PROMOTE_RESP)
         return rp.decode_json(resp)
 
     def ping(self) -> bool:

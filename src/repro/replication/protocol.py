@@ -23,8 +23,14 @@ Stream shape (sender = primary, dialing; standby = listening):
 Read-side clients (:class:`~repro.replication.client.ReplicaReadClient`)
 use ``READ_REQ``/``READ_RESP`` (truth snapshots), ``STATUS_REQ``/
 ``STATUS_RESP`` (watermarks, campaigns, spent budget) and
-``PROMOTE_REQ``/``PROMOTE_RESP`` on the same listener.  Liveness and
-shutdown reuse the worker protocol's ``PING``/``PONG``/``SHUTDOWN``.
+``PROMOTE_REQ``/``PROMOTE_RESP`` on the same listener.  A
+``PROMOTE_REQ`` may carry a JSON body with a monotone fencing
+``epoch``; the standby persists the highest epoch it has accepted and
+refuses anything stale, which is what makes a partitioned watchdog's
+late promote harmless.  Watchdogs vote among themselves with
+``WD_VOTE_REQ``/``WD_VOTE_RESP`` and announce success with
+``WD_PROMOTED``.  Liveness and shutdown reuse the worker protocol's
+``PING``/``PONG``/``SHUTDOWN``.
 """
 
 from __future__ import annotations
@@ -51,6 +57,12 @@ STATUS_RESP = 58
 PROMOTE_REQ = 59
 PROMOTE_RESP = 60
 REPL_ERROR = 61
+#: Watchdog peer protocol (quorum-fenced promotion): a watchdog asks
+#: its peers for votes before promoting, and announces a completed
+#: promotion so stragglers stand down.
+WD_VOTE_REQ = 62
+WD_VOTE_RESP = 63
+WD_PROMOTED = 64
 
 _LSN = struct.Struct("<Q")
 _COUNT = struct.Struct("<I")

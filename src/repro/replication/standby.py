@@ -103,12 +103,46 @@ class StandbyServer:
         self._durability = None
         self.records_applied = 0
         self.groups_applied = 0
+        self._fencing_epoch = 0
         self._bootstrap()
+
+    # ------------------------------------------------------------------
+    @property
+    def fencing_epoch(self) -> int:
+        """Highest promotion epoch this standby has accepted (durable)."""
+        return self._fencing_epoch
+
+    def _fence_path(self) -> Path:
+        return self._dir / "FENCE"
+
+    def _load_fencing_epoch(self) -> int:
+        try:
+            return int(self._fence_path().read_text("utf-8").strip())
+        except (FileNotFoundError, ValueError):
+            return 0
+
+    def _persist_fencing_epoch(self, epoch: int) -> None:
+        """Durably record an accepted epoch *before* acting on it.
+
+        Write-fsync-rename so a crash leaves either the old fence or
+        the new one, never a torn file — the refusal of stale PROMOTEs
+        must survive a standby restart.
+        """
+        import os
+
+        tmp = self._fence_path().with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(f"{epoch}\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._fence_path())
+        self._fencing_epoch = epoch
 
     # ------------------------------------------------------------------
     def _bootstrap(self) -> None:
         """Recover any replicated prefix already on this disk."""
         self._dir.mkdir(parents=True, exist_ok=True)
+        self._fencing_epoch = self._load_fencing_epoch()
         has_history = bool(list_segments(self._dir)) or (
             CheckpointStore(self._dir).load_latest() is not None
         )
@@ -251,7 +285,9 @@ class StandbyServer:
             )
             return True
         if rtype == rp.PROMOTE_REQ:
-            return self._on_promote(conn)
+            return self._on_promote(conn, payload)
+        if rtype == rp.WD_PROMOTED:
+            return self._on_fence_advance(conn, payload)
         if rtype == proto.PING:
             send_frame(conn, proto.PONG)
             return True
@@ -374,6 +410,10 @@ class StandbyServer:
 
             shutil.rmtree(self._dir)
             self._dir.mkdir(parents=True, exist_ok=True)
+            if self._fencing_epoch:
+                # The fence outlives the replicated generation: a
+                # resync must not reopen the door to stale PROMOTEs.
+                self._persist_fencing_epoch(self._fencing_epoch)
             CheckpointStore(self._dir).save(lsn, checkpoint_payload)
             recovered = RecoveryManager(self._dir).recover()
             self._service = recovered.service
@@ -446,11 +486,33 @@ class StandbyServer:
                     [] if service is None else service.campaign_ids
                 ),
                 "ledger": ledger,
+                "fencing_epoch": self._fencing_epoch,
             }
 
-    def _on_promote(self, conn) -> bool:
+    def _on_fence_advance(self, conn, payload: bytes) -> bool:
+        """A watchdog announced a promotion done *elsewhere*: adopt the
+        winning fencing epoch without promoting, so a stale watchdog's
+        late PROMOTE is refused on this standby too."""
+        body = rp.decode_json(payload)
+        epoch = int(body.get("fencing_epoch", 0) or 0)
+        with self._apply_lock:
+            if epoch > self._fencing_epoch:
+                self._persist_fencing_epoch(epoch)
+                _LOGGER.info(
+                    "fence advanced to epoch %d (promotion elsewhere)",
+                    epoch,
+                )
+        send_frame(conn, proto.PONG)
+        return True
+
+    def _on_promote(self, conn, payload: bytes) -> bool:
+        epoch = None
+        if payload:
+            body = rp.decode_json(payload)
+            if "epoch" in body and body["epoch"] is not None:
+                epoch = int(body["epoch"])
         try:
-            report = self.promote()
+            report = self.promote(epoch=epoch)
         except StandbyError as exc:
             send_frame(
                 conn, rp.REPL_ERROR, rp.encode_json({"error": str(exc)})
@@ -459,7 +521,7 @@ class StandbyServer:
         send_frame(conn, rp.PROMOTE_RESP, rp.encode_json(report))
         return True
 
-    def promote(self) -> dict:
+    def promote(self, *, epoch: Optional[int] = None) -> dict:
         """Become a fully-functional primary at the replicated watermark.
 
         The replication WAL handle closes, a fresh
@@ -470,15 +532,30 @@ class StandbyServer:
         uses, without re-reading the log.  Subsequent replication
         streams are refused; reads keep working.  Returns a small
         report dict.
+
+        ``epoch`` is the caller's monotone fencing epoch.  The fence is
+        checked *first* and persisted before any state flips: an epoch
+        at or below the highest ever accepted here is refused, which is
+        what makes a partitioned watchdog's late PROMOTE harmless.  A
+        ``None`` epoch (manual ``repro promote``) fences at the next
+        epoch automatically.
         """
         start = time.perf_counter()
         with self._apply_lock:
+            if epoch is not None and epoch <= self._fencing_epoch:
+                raise StandbyError(
+                    f"stale fencing epoch {epoch}: this standby already "
+                    f"accepted epoch {self._fencing_epoch}"
+                )
             if self._promoted:
                 raise StandbyError("standby is already promoted")
             if self._service is None or self._applier is None:
                 raise StandbyError(
                     "nothing replicated yet; no service to promote"
                 )
+            self._persist_fencing_epoch(
+                self._fencing_epoch + 1 if epoch is None else epoch
+            )
             watermark = self._wal.durable_lsn
             self._wal.close()
             self._wal = None
@@ -493,6 +570,7 @@ class StandbyServer:
             "watermark_lsn": watermark,
             "records_applied": self.records_applied,
             "campaigns": self._service.campaign_ids,
+            "fencing_epoch": self._fencing_epoch,
             "seconds": time.perf_counter() - start,
         }
         _LOGGER.info(

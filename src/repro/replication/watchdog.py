@@ -21,6 +21,21 @@ that runbook as code:
   inside the primary dies with the primary, while an orphaned child
   keeps running after SIGKILL — which is exactly when it is needed.
 
+A single watchdog is a single point of *false* detection: a network
+partition between it and the primary looks exactly like primary death.
+``Topology.replicated(auto_failover=True, watchdogs=N)`` therefore
+launches N watchdogs that vote before promoting: each runs a tiny
+:class:`WatchdogPeerServer`, a watchdog that detects death asks its
+peers for votes (``WD_VOTE_REQ``), and only a strict majority of the
+fleet may promote.  A peer grants a vote only if its *own* probe of
+the primary fails too, it has not observed a promotion, and it has not
+already voted for another candidate at that epoch.  The winner
+promotes with a monotone **fencing epoch** — one above the highest
+epoch any standby reported — which the standby persists before
+flipping, so a partitioned stale watchdog's late PROMOTE is refused by
+construction.  With ``watchdogs=1`` the self-vote is the majority and
+behaviour is exactly the old single-watchdog flow.
+
 ``Topology.replicated(auto_failover=True)`` wires all three together;
 the manual ``promote()`` path remains as the fallback when no watchdog
 is armed.
@@ -38,7 +53,9 @@ from typing import Callable, Optional, Sequence
 from repro.net.transport import SocketListener, connect
 from repro.replication import protocol as rp
 from repro.replication.client import ReplicaError, ReplicaReadClient
+from repro.utils.backoff import Backoff
 from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
 from repro.utils.validation import ensure_int, ensure_positive
 from repro.workers import protocol as proto
 from repro.workers.protocol import ProtocolError, recv_frame, send_frame
@@ -148,6 +165,183 @@ class PrimaryStatusServer:
                 return
 
 
+class WatchdogPeerServer:
+    """One watchdog's voting surface (quorum-fenced promotion).
+
+    Answers three frames on its own listener, one connection at a time
+    (peers dial, ask, hang up):
+
+    * ``WD_VOTE_REQ`` (JSON ``{"epoch": E, "requester": i}``): grant
+      iff this watchdog has not observed a promotion, its *own*
+      instantaneous probe of the primary also fails (a peer that can
+      still reach the primary refuses — that is the partition defence),
+      and no *other* requester holds an unexpired grant.  The grant is
+      **single and leased**: one outstanding endorsement at a time, so
+      two candidates can never assemble disjoint majorities at
+      different epochs; if the grantee dies before promoting, the
+      lease expires and the fleet can try again.
+    * ``WD_PROMOTED`` (JSON report): a peer announces it promoted;
+      recorded so every later vote request is refused and the local
+      failover loop stands down.
+    * ``PING`` → ``PONG`` (liveness).
+    """
+
+    #: How long a granted vote stays exclusive when the grantee never
+    #: promotes (it died mid-failover).  Long enough for any real
+    #: promotion to complete, short enough that a drill retries fast.
+    VOTE_LEASE_SECONDS = 15.0
+
+    def __init__(
+        self, watchdog: "FailoverWatchdog", *, host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._watchdog = watchdog
+        self._listener = SocketListener(host, port)
+        self.address = self._listener.address
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        #: The one outstanding grant: (requester, epoch, granted_at).
+        self._grant: Optional[tuple[int, int, float]] = None
+        self.votes_granted = 0
+        self.votes_denied = 0
+        #: Report announced via WD_PROMOTED (or None).
+        self.promotion_observed: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("peer server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-watchdog-peer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def _holder(self, requester: int) -> Optional[int]:
+        """The live grantee blocking ``requester``, or None (lock held)."""
+        if self._grant is None:
+            return None
+        holder, _epoch, granted_at = self._grant
+        if holder == requester:
+            return None  # re-ask / higher epoch: refresh below
+        if time.monotonic() - granted_at > self.VOTE_LEASE_SECONDS:
+            self._grant = None  # grantee died mid-failover; lease over
+            return None
+        return holder
+
+    def _vote(self, body: dict) -> dict:
+        epoch = int(body.get("epoch", 0))
+        requester = int(body.get("requester", -1))
+        with self._lock:
+            if self.promotion_observed is not None:
+                self.votes_denied += 1
+                return {
+                    "granted": False,
+                    "reason": "promotion already observed",
+                    "promoted": True,
+                }
+            holder = self._holder(requester)
+            if holder is not None:
+                self.votes_denied += 1
+                return {
+                    "granted": False,
+                    "reason": f"vote leased to watchdog {holder}",
+                    "promoted": False,
+                }
+        # Probe outside the lock: the primary may take probe_timeout
+        # to answer, and a PING must never queue behind it.
+        if self._watchdog.probe():
+            with self._lock:
+                self.votes_denied += 1
+            return {
+                "granted": False,
+                "reason": "primary is alive from here",
+                "promoted": False,
+            }
+        with self._lock:
+            if self.promotion_observed is not None:
+                self.votes_denied += 1
+                return {
+                    "granted": False,
+                    "reason": "promotion already observed",
+                    "promoted": True,
+                }
+            holder = self._holder(requester)
+            if holder is not None:
+                self.votes_denied += 1
+                return {
+                    "granted": False,
+                    "reason": f"vote leased to watchdog {holder}",
+                    "promoted": False,
+                }
+            self._grant = (requester, epoch, time.monotonic())
+            self.votes_granted += 1
+        return {"granted": True, "reason": "ok", "promoted": False}
+
+    def observe_promotion(self, report: dict) -> None:
+        with self._lock:
+            if self.promotion_observed is None:
+                self.promotion_observed = dict(report)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn = self._listener.accept(timeout=0.2)
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed under us: shutting down
+            try:
+                self._serve(conn)
+            finally:
+                conn.close()
+
+    def _serve(self, conn) -> None:
+        idle_since = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                if not conn.poll(0.2):
+                    if time.monotonic() - idle_since > _IDLE_SECONDS:
+                        return
+                    continue
+                rtype, payload = recv_frame(conn)
+            except (OSError, EOFError):
+                return
+            idle_since = time.monotonic()
+            try:
+                if rtype == rp.WD_VOTE_REQ:
+                    verdict = self._vote(rp.decode_json(payload))
+                    send_frame(
+                        conn, rp.WD_VOTE_RESP, rp.encode_json(verdict)
+                    )
+                elif rtype == rp.WD_PROMOTED:
+                    self.observe_promotion(rp.decode_json(payload))
+                    send_frame(conn, proto.PONG)
+                elif rtype == proto.PING:
+                    send_frame(conn, proto.PONG)
+                elif rtype == proto.SHUTDOWN:
+                    return
+                else:
+                    send_frame(
+                        conn,
+                        rp.REPL_ERROR,
+                        rp.encode_json(
+                            {"error": f"unsupported frame type {rtype}"}
+                        ),
+                    )
+            except (OSError, BrokenPipeError):
+                return
+
+
 class FailoverWatchdog:
     """Detect primary death and promote the freshest standby.
 
@@ -169,6 +363,22 @@ class FailoverWatchdog:
         Called once, after the first successful probe — the hook the
         CLI uses to print ``ARMED`` so a drill knows the watchdog is
         live before it starts killing things.
+    index:
+        This watchdog's identity within the fleet (0-based; also the
+        jitter seed of its retry backoff, which breaks vote symmetry).
+    peers:
+        The *other* watchdogs' :class:`WatchdogPeerServer` addresses.
+        Non-empty peers (or ``peer_port``) switch on quorum voting:
+        this watchdog starts its own peer server and only promotes
+        with a strict majority of ``len(peers) + 1`` votes.
+    peer_port:
+        Port for this watchdog's own peer server (0 picks a free one;
+        the fleet launcher pre-allocates ports so every member knows
+        the others up front).
+    election_attempts:
+        Consecutive empty elections (zero reachable standbys) tolerated
+        — each retried under the jittered backoff, never a tight loop —
+        before the failover is abandoned with :class:`WatchdogError`.
     """
 
     def __init__(
@@ -180,28 +390,52 @@ class FailoverWatchdog:
         misses: int = 4,
         probe_timeout: float = 1.0,
         on_armed: Optional[Callable[[], None]] = None,
+        index: int = 0,
+        peers: Sequence[tuple] = (),
+        peer_port: Optional[int] = None,
+        election_attempts: int = 6,
     ) -> None:
         if not standby_addresses:
             raise ValueError("watchdog needs at least one standby address")
         ensure_positive(interval, "interval")
         ensure_int(misses, "misses", minimum=1)
         ensure_positive(probe_timeout, "probe_timeout")
+        ensure_int(index, "index", minimum=0)
+        ensure_int(election_attempts, "election_attempts", minimum=1)
         self.primary_address = tuple(primary_address)
         self.standby_addresses = [tuple(a) for a in standby_addresses]
         self.interval = float(interval)
         self.misses = int(misses)
         self.probe_timeout = float(probe_timeout)
         self._on_armed = on_armed
+        self.index = int(index)
+        self.peers = [tuple(a) for a in peers]
+        self.election_attempts = int(election_attempts)
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.armed = False
         self.heartbeats_sent = 0
         self.heartbeat_misses = 0
         self.elections = 0
+        self.failed_elections = 0
+        self.quorum_denied = 0
+        self.promotions_refused = 0
         self.auto_promotions = 0
         self.detection_seconds: Optional[float] = None
         self.promotion_seconds: Optional[float] = None
         self.result: Optional[dict] = None
+        #: Last per-standby reachability, for state-change-only logging.
+        self._standby_reachable: dict[int, bool] = {}
+        #: Highest fencing epoch any standby reported in the last scan.
+        self._max_epoch_seen = 0
+        #: Set by elect() when a standby already reports promoted=True.
+        self._promoted_standby: Optional[dict] = None
+        self.peer_server: Optional[WatchdogPeerServer] = None
+        if self.peers or peer_port is not None:
+            self.peer_server = WatchdogPeerServer(
+                self, port=peer_port or 0
+            )
+            self.peer_server.start()
 
     # ------------------------------------------------------------------
     def probe(self) -> bool:
@@ -228,9 +462,14 @@ class FailoverWatchdog:
         """Pick the freshest reachable standby.
 
         Returns ``(index, address, watermark_lsn)``.  Standbys that are
-        dead or unreachable are skipped (the drill kills at most
-        standbys-1, so someone always answers); strict ``>`` keeps the
-        lowest index on watermark ties.
+        dead or unreachable are skipped; strict ``>`` keeps the lowest
+        index on watermark ties.  Reachability is logged once per
+        *state change* (unreachable↔reachable), not per probe — an
+        election retry loop must not flood the log.  Side effects: the
+        highest ``fencing_epoch`` seen lands in ``_max_epoch_seen``,
+        and a standby already reporting ``promoted=True`` lands in
+        ``_promoted_standby`` (someone else won; the caller stands
+        down).
         """
         best: Optional[tuple[int, tuple, int]] = None
         for index, address in enumerate(self.standby_addresses):
@@ -246,17 +485,33 @@ class FailoverWatchdog:
                 ReplicaError,
                 ProtocolError,
             ):
-                _LOGGER.warning(
-                    "election: standby %d at %s unreachable", index, address
-                )
+                if self._standby_reachable.get(index, True):
+                    _LOGGER.warning(
+                        "election: standby %d at %s unreachable",
+                        index,
+                        address,
+                    )
+                self._standby_reachable[index] = False
                 continue
             watermark = int(status.get("durable_lsn", -1))
-            _LOGGER.info(
-                "election: standby %d at %s holds lsn %d",
-                index,
-                address,
-                watermark,
+            self._max_epoch_seen = max(
+                self._max_epoch_seen,
+                int(status.get("fencing_epoch", 0) or 0),
             )
+            if status.get("promoted"):
+                self._promoted_standby = {
+                    "promoted_index": index,
+                    "promoted_address": list(address),
+                    "watermark_lsn": watermark,
+                }
+            if not self._standby_reachable.get(index, False):
+                _LOGGER.info(
+                    "election: standby %d at %s holds lsn %d",
+                    index,
+                    address,
+                    watermark,
+                )
+            self._standby_reachable[index] = True
             if best is None or watermark > best[2]:
                 best = (index, address, watermark)
         if best is None:
@@ -265,40 +520,200 @@ class FailoverWatchdog:
             )
         return best
 
-    def failover(self) -> dict:
-        """Elect and promote; returns the failover report."""
-        start = time.perf_counter()
-        self.elections += 1
-        index, address, watermark = self.elect()
-        with ReplicaReadClient(
-            address, timeout=self.probe_timeout
-        ) as client:
-            report = client.promote()
-        self.promotion_seconds = time.perf_counter() - start
-        self.auto_promotions += 1
-        result = {
-            "promoted_index": index,
-            "promoted_address": list(address),
-            "watermark_lsn": int(
-                report.get("watermark_lsn", watermark)
-            ),
-            "records_applied": report.get("records_applied"),
-            "detection_seconds": self.detection_seconds,
-            "promotion_seconds": self.promotion_seconds,
-            "heartbeats_sent": self.heartbeats_sent,
-            "heartbeat_misses": self.heartbeat_misses,
-        }
+    # ------------------------------------------------------------------
+    @property
+    def fleet_size(self) -> int:
+        """Voters in the fleet (peers plus this watchdog)."""
+        return len(self.peers) + 1
+
+    def _gather_votes(self, epoch: int, candidate: int) -> int:
+        """Ask every peer to endorse promoting at ``epoch``.
+
+        Returns granted votes including the self-vote.  An unreachable
+        peer is simply a vote not granted — a partitioned minority can
+        never reach a majority, which is the whole point.  A peer that
+        answers "promotion already observed" feeds
+        :attr:`peer_server.promotion_observed` so the caller stands
+        down.
+        """
+        granted = 1  # self-vote: this watchdog detected the death
+        body = rp.encode_json(
+            {"epoch": epoch, "candidate": candidate,
+             "requester": self.index}
+        )
+        for address in self.peers:
+            try:
+                conn = connect(address, timeout=self.probe_timeout)
+            except (ConnectionError, OSError):
+                continue
+            try:
+                send_frame(conn, rp.WD_VOTE_REQ, body)
+                if not conn.poll(self.probe_timeout):
+                    continue
+                rtype, payload = recv_frame(conn)
+                if rtype != rp.WD_VOTE_RESP:
+                    continue
+                verdict = rp.decode_json(payload)
+            except (OSError, EOFError, ProtocolError):
+                continue
+            finally:
+                conn.close()
+            if verdict.get("granted"):
+                granted += 1
+            elif verdict.get("promoted") and self.peer_server is not None:
+                self.peer_server.observe_promotion(
+                    {"reason": "peer observed a promotion"}
+                )
+        return granted
+
+    def _announce_promotion(self, result: dict) -> None:
+        """Broadcast the completed failover (best effort).
+
+        Peers record it and stand down; every *other* standby persists
+        the winning fencing epoch (``WD_PROMOTED`` advances a standby's
+        fence without promoting it), so a partitioned watchdog's late
+        PROMOTE at the same or a lower epoch is refused fleet-wide,
+        not just on the promoted standby.
+        """
+        if self.peer_server is not None:
+            self.peer_server.observe_promotion(result)
+        body = rp.encode_json(result)
+        targets = list(self.peers) + [
+            tuple(a)
+            for a in self.standby_addresses
+            if list(a) != list(result.get("promoted_address", ()))
+        ]
+        for address in targets:
+            try:
+                conn = connect(address, timeout=self.probe_timeout)
+            except (ConnectionError, OSError):
+                continue
+            try:
+                send_frame(conn, rp.WD_PROMOTED, body)
+                conn.poll(self.probe_timeout)
+            except (OSError, EOFError):
+                pass
+            finally:
+                conn.close()
+
+    def _observed_promotion(self) -> Optional[dict]:
+        if self.peer_server is None:
+            return None
+        return self.peer_server.promotion_observed
+
+    def _stand_down(self, observed: dict) -> dict:
+        result = dict(observed)
+        result["observed"] = True
+        result.setdefault("promoted_index", None)
         self.result = result
         _LOGGER.warning(
-            "auto-promoted standby %d at %s (watermark lsn %d, "
-            "detection %.3fs, promotion %.3fs)",
-            index,
-            address,
-            result["watermark_lsn"],
-            self.detection_seconds or -1.0,
-            self.promotion_seconds,
+            "standing down: a peer watchdog already promoted (%s)",
+            observed,
         )
         return result
+
+    def failover(self) -> dict:
+        """Elect, gather a quorum, and promote with a fencing epoch.
+
+        Returns the failover report.  With peers configured, the
+        promotion only proceeds on a strict majority of the fleet; a
+        denied quorum retries under the jittered backoff (re-checking
+        for a peer's completed promotion each round).  The report of a
+        promotion done *elsewhere* carries ``observed: True``.
+        """
+        start = time.perf_counter()
+        backoff = Backoff(
+            base=0.05,
+            cap=1.0,
+            random_state=derive_seed(0, "watchdog.failover", self.index),
+        )
+        empty_elections = 0
+        while not self._stop.is_set():
+            observed = self._observed_promotion()
+            if observed is not None:
+                return self._stand_down(observed)
+            self.elections += 1
+            try:
+                index, address, watermark = self.elect()
+            except WatchdogError:
+                self.failed_elections += 1
+                empty_elections += 1
+                if empty_elections >= self.election_attempts:
+                    raise
+                self._stop.wait(backoff.next())
+                continue
+            empty_elections = 0
+            if self._promoted_standby is not None:
+                return self._stand_down(self._promoted_standby)
+            epoch = self._max_epoch_seen + 1
+            if self.peers:
+                granted = self._gather_votes(epoch, index)
+                if granted * 2 <= self.fleet_size:
+                    self.quorum_denied += 1
+                    _LOGGER.warning(
+                        "quorum denied: %d/%d vote(s) at epoch %d",
+                        granted,
+                        self.fleet_size,
+                        epoch,
+                    )
+                    observed = self._observed_promotion()
+                    if observed is not None:
+                        return self._stand_down(observed)
+                    self._stop.wait(backoff.next())
+                    continue
+            try:
+                with ReplicaReadClient(
+                    address, timeout=self.probe_timeout
+                ) as client:
+                    report = client.promote(epoch=epoch)
+            except ReplicaError as exc:
+                # Lost the race: another watchdog fenced a higher (or
+                # this) epoch first, or the standby refused.  Re-elect;
+                # the next scan observes the winner's promoted=True.
+                self.promotions_refused += 1
+                _LOGGER.warning(
+                    "promotion at epoch %d refused by standby %d: %s",
+                    epoch,
+                    index,
+                    exc,
+                )
+                self._stop.wait(backoff.next())
+                continue
+            except (ConnectionError, OSError, EOFError, ProtocolError):
+                self._stop.wait(backoff.next())
+                continue
+            self.promotion_seconds = time.perf_counter() - start
+            self.auto_promotions += 1
+            result = {
+                "promoted_index": index,
+                "promoted_address": list(address),
+                "watermark_lsn": int(
+                    report.get("watermark_lsn", watermark)
+                ),
+                "records_applied": report.get("records_applied"),
+                "fencing_epoch": int(
+                    report.get("fencing_epoch", epoch)
+                ),
+                "detection_seconds": self.detection_seconds,
+                "promotion_seconds": self.promotion_seconds,
+                "heartbeats_sent": self.heartbeats_sent,
+                "heartbeat_misses": self.heartbeat_misses,
+                "watchdog_index": self.index,
+            }
+            self.result = result
+            self._announce_promotion(result)
+            _LOGGER.warning(
+                "auto-promoted standby %d at %s (watermark lsn %d, "
+                "epoch %d, detection %.3fs, promotion %.3fs)",
+                index,
+                address,
+                result["watermark_lsn"],
+                result["fencing_epoch"],
+                self.detection_seconds or -1.0,
+                self.promotion_seconds,
+            )
+            return result
+        raise WatchdogError("stopped before the failover completed")
 
     # ------------------------------------------------------------------
     def run(self) -> Optional[dict]:
@@ -365,16 +780,26 @@ class FailoverWatchdog:
         if self._thread is not None:
             self._thread.join(10.0)
             self._thread = None
+        if self.peer_server is not None:
+            self.peer_server.stop()
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """JSON-friendly counters (telemetry / drill report)."""
+        peer = self.peer_server
         return {
             "armed": self.armed,
+            "index": self.index,
+            "fleet_size": self.fleet_size,
             "heartbeats_sent": self.heartbeats_sent,
             "heartbeat_misses": self.heartbeat_misses,
             "elections": self.elections,
+            "failed_elections": self.failed_elections,
+            "quorum_denied": self.quorum_denied,
+            "promotions_refused": self.promotions_refused,
             "auto_promotions": self.auto_promotions,
+            "votes_granted": 0 if peer is None else peer.votes_granted,
+            "votes_denied": 0 if peer is None else peer.votes_denied,
             "detection_seconds": self.detection_seconds,
             "promotion_seconds": self.promotion_seconds,
             "promoted_index": (
@@ -397,6 +822,29 @@ def parse_address(text: str) -> tuple[str, int]:
     return host, int(port)
 
 
+def allocate_peer_ports(count: int, *, host: str = "127.0.0.1") -> list[int]:
+    """Reserve ``count`` free ports for a watchdog fleet's peer servers.
+
+    Every fleet member must know the others' peer addresses *before*
+    any of them starts, so the launcher binds ephemeral listeners,
+    reads the assigned ports, and releases them.  The tiny window
+    before the watchdogs re-bind is racy in theory; in practice the
+    kernel does not recycle just-released ephemeral ports that fast.
+    """
+    import socket
+
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
 def launch_watchdog(
     primary_address: tuple,
     standby_addresses: Sequence[tuple],
@@ -404,6 +852,11 @@ def launch_watchdog(
     interval: float = 0.5,
     misses: int = 4,
     probe_timeout: float = 1.0,
+    index: int = 0,
+    peer_port: Optional[int] = None,
+    peers: Sequence[tuple] = (),
+    chaos_seed: Optional[int] = None,
+    chaos_rates: Optional[dict] = None,
     python: Optional[str] = None,
 ) -> subprocess.Popen:
     """Start a detached ``repro watchdog`` process.
@@ -412,6 +865,11 @@ def launch_watchdog(
     lines land in the launcher's stream — the chaos drill reads them
     from there even after the launcher is SIGKILLed) and is *not*
     waited on: it must outlive this process, that is its job.
+
+    ``index``/``peer_port``/``peers`` configure quorum voting (see
+    :class:`WatchdogPeerServer`); ``chaos_seed``/``chaos_rates``
+    install a :class:`~repro.chaos.plan.FaultPlan` inside the child —
+    how a drill partitions one fleet member without touching the rest.
     """
     import repro
 
@@ -436,14 +894,27 @@ def launch_watchdog(
         str(misses),
         "--probe-timeout",
         str(probe_timeout),
+        "--index",
+        str(index),
     ]
     for address in standby_addresses:
         argv.extend(["--standby", format_address(address)])
+    if peer_port is not None:
+        argv.extend(["--peer-port", str(peer_port)])
+    for address in peers:
+        argv.extend(["--peer", format_address(address)])
+    if chaos_seed is not None:
+        argv.extend(["--chaos-seed", str(chaos_seed)])
+        for point, rate in sorted((chaos_rates or {}).items()):
+            argv.extend(["--chaos-rate", f"{point}={rate}"])
     popen = subprocess.Popen(argv, env=env)
     _LOGGER.info(
-        "watchdog pid %d armed over primary %s, %d standby(s)",
+        "watchdog %d pid %d armed over primary %s, %d standby(s), "
+        "%d peer(s)",
+        index,
         popen.pid,
         format_address(primary_address),
         len(standby_addresses),
+        len(peers),
     )
     return popen

@@ -362,6 +362,7 @@ class IngestService:
         self._replication = None
         self._status_server = None
         self._watchdog_proc = None
+        self._watchdog_procs = []
         #: An in-process :class:`~repro.replication.watchdog.
         #: FailoverWatchdog` whose stats should fold into telemetry
         #: (set by tests or custom deployments; the auto_failover
@@ -390,6 +391,11 @@ class IngestService:
                 asdict(self._config),
                 supervise=topology.supervise,
             )
+            if self._pool.supervisor is not None:
+                # Permanent host loss: the supervisor re-homes the
+                # journaled state onto survivors, then this hook
+                # re-points the campaign's aggregator proxy.
+                self._pool.supervisor.on_rehome = self._repoint_campaign
         # A manager the service built itself (from a config or path)
         # has no other owner, so close() must close it; a manager the
         # caller passed in may outlive the service for recovery.
@@ -431,17 +437,35 @@ class IngestService:
             if topology.auto_failover:
                 from repro.replication.watchdog import (
                     PrimaryStatusServer,
+                    allocate_peer_ports,
                     launch_watchdog,
                 )
 
                 status_server = PrimaryStatusServer(manager)
                 status_server.start()
-                self._watchdog_proc = launch_watchdog(
-                    status_server.address,
-                    pool.addresses,
-                    interval=topology.heartbeat_interval,
-                    misses=topology.heartbeat_misses,
+                count = topology.watchdogs
+                peer_ports = (
+                    allocate_peer_ports(count) if count > 1 else [None]
                 )
+                self._watchdog_procs = []
+                for i in range(count):
+                    peers = [
+                        ("127.0.0.1", port)
+                        for j, port in enumerate(peer_ports)
+                        if j != i and port is not None
+                    ]
+                    self._watchdog_procs.append(
+                        launch_watchdog(
+                            status_server.address,
+                            pool.addresses,
+                            interval=topology.heartbeat_interval,
+                            misses=topology.heartbeat_misses,
+                            index=i,
+                            peer_port=peer_ports[i],
+                            peers=peers,
+                        )
+                    )
+                self._watchdog_proc = self._watchdog_procs[0]
         except BaseException:
             if status_server is not None:
                 status_server.stop()
@@ -480,9 +504,14 @@ class IngestService:
 
     @property
     def watchdog_process(self):
-        """The detached ``repro watchdog`` process (None unless
+        """The first detached ``repro watchdog`` process (None unless
         ``auto_failover``)."""
         return self._watchdog_proc
+
+    @property
+    def watchdog_processes(self):
+        """Every detached watchdog process (the quorum fleet)."""
+        return list(self._watchdog_procs)
 
     @property
     def ledger(self) -> Optional[BudgetLedger]:
@@ -1093,6 +1122,20 @@ class IngestService:
         )
         return moved
 
+    def _repoint_campaign(self, campaign_id: str, handle) -> None:
+        """Supervisor re-home hook: point one campaign's aggregator
+        proxy at the survivor that adopted its state.
+
+        Claims still queued parent-side need nothing — they resolve
+        their handle through the placement map at pump time, after the
+        supervisor's placement moves."""
+        shard = self._shards[self.shard_of(campaign_id)]
+        campaign = shard.campaigns.get(campaign_id)
+        if campaign is not None:
+            rehome = getattr(campaign.aggregator, "rehome", None)
+            if rehome is not None:
+                rehome(handle)
+
     def fabric_stats(self) -> Optional[dict]:
         """Placement and supervision counters (None without a pool)."""
         if self._pool is None:
@@ -1127,16 +1170,20 @@ class IngestService:
             return
         self._closed = True
         if self._watchdog_proc is not None:
-            # Stand the watchdog down *first*: a planned shutdown must
-            # not read as a primary death, or the watchdog would
-            # promote a standby we are about to close.
-            self._watchdog_proc.terminate()
-            try:
-                self._watchdog_proc.wait(10.0)
-            except Exception:  # pragma: no cover - stuck watchdog
-                self._watchdog_proc.kill()
-                self._watchdog_proc.wait()
+            # Stand the watchdogs down *first*: a planned shutdown must
+            # not read as a primary death, or the fleet would promote a
+            # standby we are about to close.
+            fleet = self._watchdog_procs or [self._watchdog_proc]
+            for proc in fleet:
+                proc.terminate()
+            for proc in fleet:
+                try:
+                    proc.wait(10.0)
+                except Exception:  # pragma: no cover - stuck watchdog
+                    proc.kill()
+                    proc.wait()
             self._watchdog_proc = None
+            self._watchdog_procs = []
         if self._status_server is not None:
             self._status_server.stop()
             self._status_server = None
@@ -1181,6 +1228,7 @@ class IngestService:
         protocol.  This is the provider a
         :class:`~repro.obs.MetricsServer` should serve.
         """
+        self._fold_supervision()
         return self.telemetry.snapshot(self)
 
     # ------------------------------------------------------------------

@@ -99,6 +99,11 @@ class ServiceTelemetry:
             "repro_fabric_failover_seconds",
             "supervised shard-host restart+replay duration",
         )
+        self.rehome = registry.histogram(
+            "repro_fabric_rehome_seconds",
+            "journal-sourced shard re-home duration after a permanent "
+            "host loss",
+        )
         #: Per-shard admission tallies (satellite: per-shard
         #: accepted/rejected): plain ints, bumped on the submit path.
         self.shard_claims_accepted = [0] * num_shards
@@ -110,6 +115,7 @@ class ServiceTelemetry:
         #: thread, read (reference-swap only) by the scrape thread.
         self.remote_snapshots: dict[int, RegistrySnapshot] = {}
         self._failovers_seen = 0
+        self._rehomes_seen = 0
 
     # ------------------------------------------------------------------
     # Pump-thread hooks (hot path).
@@ -162,11 +168,15 @@ class ServiceTelemetry:
         self._wal_groups_seen = total
 
     def on_failover(self, supervisor) -> None:
-        """Fold any newly measured failovers into the histogram."""
+        """Fold any newly measured failovers/re-homes into histograms."""
         seconds = supervisor.failover_seconds
         for value in seconds[self._failovers_seen:]:
             self.failover.observe(value)
         self._failovers_seen = len(seconds)
+        rehomes = getattr(supervisor, "rehome_seconds", ())
+        for value in rehomes[self._rehomes_seen:]:
+            self.rehome.observe(value)
+        self._rehomes_seen = len(rehomes)
 
     def refresh_remote(self, pool) -> None:
         """Pull worker/host registry snapshots (pump thread only).
@@ -339,6 +349,15 @@ class ServiceTelemetry:
                 series_key("repro_watchdog_elections_total"),
                 float(stats["elections"]))
             add("counter",
+                series_key("repro_watchdog_failed_elections_total"),
+                float(stats.get("failed_elections", 0)))
+            add("counter",
+                series_key("repro_watchdog_quorum_denied_total"),
+                float(stats.get("quorum_denied", 0)))
+            add("counter",
+                series_key("repro_watchdog_votes_granted_total"),
+                float(stats.get("votes_granted", 0)))
+            add("counter",
                 series_key("repro_watchdog_auto_promotions_total"),
                 float(stats["auto_promotions"]))
             if stats["detection_seconds"] is not None:
@@ -386,6 +405,19 @@ class ServiceTelemetry:
                 add("counter",
                     series_key("repro_fabric_restarts_total"),
                     float(supervisor.restarts))
+                lost = getattr(supervisor, "lost_hosts", ())
+                add("gauge", series_key("repro_degraded_hosts"),
+                    float(len(lost)))
+                add("counter",
+                    series_key("repro_fabric_hosts_lost_total"),
+                    float(len(lost)))
+                add("counter",
+                    series_key("repro_fabric_rehomes_total"),
+                    float(getattr(supervisor, "rehomes", 0)))
+            placement = getattr(pool, "placement", None)
+            if placement is not None:
+                add("gauge", series_key("repro_placement_epoch"),
+                    float(getattr(placement, "epoch", 0)))
             for worker_id, remote in list(self.remote_snapshots.items()):
                 snap = snap.merge(
                     remote.relabel(proc=f"worker{worker_id}")

@@ -84,6 +84,13 @@ class Topology:
         Replicated only: consecutive missed heartbeats before the
         watchdog declares the primary dead (detection timeout is
         roughly ``interval * misses``).
+    watchdogs:
+        Replicated + ``auto_failover`` only: size of the watchdog
+        fleet.  More than one switches on quorum voting — a strict
+        majority must agree the primary is dead before any member
+        promotes, and the winner fences the promotion with a monotone
+        epoch the standby persists.  Use an odd count (3 tolerates one
+        partitioned watchdog).
     """
 
     kind: str = "in_process"
@@ -99,6 +106,7 @@ class Topology:
     auto_failover: bool = False
     heartbeat_interval: float = 0.5
     heartbeat_misses: int = 4
+    watchdogs: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in TOPOLOGY_KINDS:
@@ -136,6 +144,7 @@ class Topology:
                 ensure_int(
                     self.heartbeat_misses, "heartbeat_misses", minimum=1
                 )
+                ensure_int(self.watchdogs, "watchdogs", minimum=1)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -188,13 +197,17 @@ class Topology:
         auto_failover: bool = False,
         heartbeat_interval: float = 0.5,
         heartbeat_misses: int = 4,
+        watchdogs: int = 1,
     ) -> "Topology":
         """A durable primary shipping its WAL to warm standbys.
 
         With ``auto_failover=True`` the service also runs a status
-        listener and spawns a detached failover watchdog: if this
-        process dies, the watchdog elects and promotes the freshest
-        standby on its own (``repro.replication.watchdog``).
+        listener and spawns ``watchdogs`` detached failover watchdogs:
+        if this process dies, they elect the freshest standby and —
+        with ``watchdogs > 1`` — promote it only after a strict
+        majority of the fleet agrees, fenced by a monotone epoch the
+        standby persists (``repro.replication.watchdog``).  Odd fleet
+        sizes tolerate ``(watchdogs - 1) // 2`` partitioned members.
         """
         return cls(
             kind="replicated",
@@ -211,6 +224,7 @@ class Topology:
             auto_failover=auto_failover,
             heartbeat_interval=heartbeat_interval,
             heartbeat_misses=heartbeat_misses,
+            watchdogs=watchdogs,
         )
 
     # ------------------------------------------------------------------

@@ -51,6 +51,15 @@ class TestPlacementMap:
             {"host": 1, "lo": 2, "hi": 4},
         ]
 
+    def test_move_increments_epoch(self):
+        pm = PlacementMap(4, 2)
+        assert pm.epoch == 0
+        pm.move(1, 1)
+        assert pm.epoch == 1
+        pm.move(2, 0)
+        pm.move(3, 0)
+        assert pm.epoch == 3
+
     def test_bounds_checked(self):
         pm = PlacementMap(4, 2)
         with pytest.raises(IndexError):

@@ -189,6 +189,101 @@ class TestFailover:
         assert crash_restarts == 1
         assert np.array_equal(expected.truths, got.truths)
 
+    def test_host_loss_rehomes_bitwise_and_budget_stays_spent(self):
+        """ISSUE-10 tentpole (a): when every respawn attempt is refused
+        (``proc.spawn`` fault at rate 1.0), the supervisor declares the
+        host lost and re-homes its shards onto the survivor from the
+        journal — truths bitwise-equal to an uncrashed run, budget
+        spent before the loss stays spent, placement epoch advanced."""
+        from repro.chaos import DEFAULT_RATES, FaultPlan, install, uninstall
+
+        with make_budgeted_service(0) as baseline:
+            expected = stream_campaigns(baseline, cost=COST)
+            expected_spent = {
+                user: baseline.ledger.spent(user).epsilon
+                for user in ("user0", "user7", "user29")
+            }
+
+        rates = {point: 0.0 for point in DEFAULT_RATES}
+        rates["proc.spawn"] = 1.0
+        install(FaultPlan(5, rates=rates))
+        try:
+            with make_budgeted_service(2) as service:
+                got = stream_campaigns(
+                    service,
+                    cost=COST,
+                    midstream=lambda s: kill_owner_of(s, "net-c0"),
+                )
+                stats = service.fabric_stats()["supervision"]
+                placement_epoch = (
+                    service.worker_pool.placement.epoch
+                )
+                final_spent = {
+                    user: service.ledger.spent(user).epsilon
+                    for user in expected_spent
+                }
+                metrics = service.metrics_snapshot()
+        finally:
+            uninstall()
+
+        # The loss was permanent: no restart succeeded, every bounded
+        # respawn attempt was burned, and exactly one rehome happened.
+        assert stats["restarts"] == 0
+        assert stats["rehomes"] == 1
+        assert stats["respawn_retries"] == 4
+        assert stats["hosts_lost"] == [
+            stats["hosts_lost"][0]
+        ]  # exactly one host on the casualty list
+        assert stats["last_rehome_seconds"] > 0
+        assert stats["rehome_seconds"] == [stats["last_rehome_seconds"]]
+        # Both of the dead host's shards moved, each bumping the epoch.
+        assert placement_epoch == 2
+        assert stats["placement_epoch"] == 2
+        # Budget charged before the loss was not refunded by the rehome.
+        assert final_spent == expected_spent
+        assert_snapshots_bitwise_equal(expected, got)
+        # The degraded mode is on the telemetry surface (ISSUE-10
+        # tentpole (c)): lost-host gauge, placement epoch, rehome
+        # counters, and the rehome-duration histogram.
+        assert metrics.value("repro_degraded_hosts") == 1
+        assert metrics.value("repro_placement_epoch") == 2
+        assert metrics.value("repro_fabric_rehomes_total") == 1
+        assert metrics.value("repro_fabric_hosts_lost_total") == 1
+        assert metrics.value("repro_fabric_restarts_total") == 0
+        rehome_hist = metrics.histograms.get(
+            ("repro_fabric_rehome_seconds", ())
+        )
+        assert rehome_hist is not None and rehome_hist["count"] == 1
+
+    def test_rehome_with_no_survivors_raises(self):
+        """A single-host fabric has nowhere to re-home: permanent loss
+        must surface as WorkerCrashedError, not hang or heal."""
+        from repro.chaos import DEFAULT_RATES, FaultPlan, install, uninstall
+
+        rates = {point: 0.0 for point in DEFAULT_RATES}
+        rates["proc.spawn"] = 1.0
+        install(FaultPlan(5, rates=rates))
+        try:
+            with IngestService(
+                ServiceConfig(num_shards=2, max_batch=64), hosts=1
+            ) as service:
+                service.register_campaign(
+                    "net-lone", ["o1", "o2"], max_users=4
+                )
+                kill_owner_of(service, "net-lone")
+                with pytest.raises(WorkerCrashedError):
+                    for _ in range(50):
+                        service.submit_columns(
+                            "net-lone",
+                            np.array([0, 1], dtype=np.int64),
+                            np.array([0, 1], dtype=np.int64),
+                            np.array([1.0, 2.0]),
+                        )
+                        service.pump()
+                        service.sync_workers()
+        finally:
+            uninstall()
+
     def test_unsupervised_fabric_fails_fast(self):
         """supervise=False restores the pipe pool's contract: a dead
         host surfaces as WorkerCrashedError instead of healing."""

@@ -339,6 +339,118 @@ class TestPromotion:
             standby.stop()
 
 
+class TestFencingEpoch:
+    """ISSUE-10 tentpole (b): the monotone fencing epoch a standby
+    persists before flipping, which makes a stale PROMOTE impossible
+    to honour — the standby side of quorum-fenced promotion."""
+
+    def _shipped_standby(self, tmp_path, name="sb0"):
+        gen, chunks = make_traffic(total_chunks=2)
+        standby = StandbyServer(tmp_path / name)
+        address = ("127.0.0.1", standby.start())
+        service, manager = primary_service(tmp_path)
+        sender = attach_sender(manager, [address])
+        register(service, gen)
+        feed(service, chunks)
+        quiesce(service, manager, sender)
+        sender.close()
+        return standby, address, service
+
+    def test_stale_epoch_refused_even_after_promotion(self, tmp_path):
+        standby, address, service = self._shipped_standby(tmp_path)
+        try:
+            with ReplicaReadClient(address) as client:
+                report = client.promote(epoch=3)
+                assert report["fencing_epoch"] == 3
+                assert client.status()["fencing_epoch"] == 3
+                # The fence outranks every other refusal: the same (or
+                # a lower) epoch is stale whoever presents it.
+                with pytest.raises(
+                    ReplicaError, match="stale fencing epoch 3"
+                ):
+                    client.promote(epoch=3)
+                with pytest.raises(
+                    ReplicaError, match="stale fencing epoch 2"
+                ):
+                    client.promote(epoch=2)
+                # An epoch-less promote on a promoted standby still
+                # reads as the plain double-promotion error.
+                with pytest.raises(ReplicaError, match="already promoted"):
+                    client.promote()
+            fence_file = tmp_path / "sb0" / "FENCE"
+            assert fence_file.read_text().strip() == "3"
+        finally:
+            service.close()
+            standby.stop()
+            if standby.durability is not None:
+                standby.durability.close()
+
+    def test_wd_promoted_advances_fence_without_promoting(self, tmp_path):
+        standby, address, service = self._shipped_standby(tmp_path)
+        try:
+            # A watchdog announces someone ELSE won at epoch 5: this
+            # standby must adopt the fence but stay a standby.
+            conn = connect(address, timeout=10.0)
+            try:
+                send_frame(
+                    conn,
+                    rp.WD_PROMOTED,
+                    rp.encode_json({"fencing_epoch": 5}),
+                )
+                rtype, _payload = recv_frame(conn)
+            finally:
+                conn.close()
+            assert rtype == proto.PONG
+            with ReplicaReadClient(address) as client:
+                status = client.status()
+                assert status["promoted"] is False
+                assert status["fencing_epoch"] == 5
+                # The partitioned loser's late PROMOTE at (or below)
+                # the winning epoch bounces off the advanced fence...
+                with pytest.raises(
+                    ReplicaError, match="stale fencing epoch 5"
+                ):
+                    client.promote(epoch=5)
+                # ...while a legitimately newer election still works.
+                report = client.promote(epoch=6)
+                assert report["fencing_epoch"] == 6
+        finally:
+            service.close()
+            standby.stop()
+            if standby.durability is not None:
+                standby.durability.close()
+
+    def test_fence_survives_standby_restart(self, tmp_path):
+        standby, address, service = self._shipped_standby(tmp_path)
+        try:
+            conn = connect(address, timeout=10.0)
+            try:
+                send_frame(
+                    conn,
+                    rp.WD_PROMOTED,
+                    rp.encode_json({"fencing_epoch": 7}),
+                )
+                recv_frame(conn)
+            finally:
+                conn.close()
+        finally:
+            service.close()
+            standby.stop()
+        reborn = StandbyServer(tmp_path / "sb0")
+        address = ("127.0.0.1", reborn.start())
+        try:
+            with ReplicaReadClient(address) as client:
+                assert client.status()["fencing_epoch"] == 7
+                with pytest.raises(
+                    ReplicaError, match="stale fencing epoch 6"
+                ):
+                    client.promote(epoch=6)
+        finally:
+            reborn.stop()
+            if reborn.durability is not None:
+                reborn.durability.close()
+
+
 class TestStreamIntegrity:
     def test_reconnect_resumes_from_standby_cursor(self, tmp_path):
         gen, chunks = make_traffic()

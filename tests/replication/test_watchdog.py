@@ -24,6 +24,7 @@ from repro.replication.watchdog import (
     FailoverWatchdog,
     PrimaryStatusServer,
     WatchdogError,
+    allocate_peer_ports,
     format_address,
     parse_address,
 )
@@ -301,6 +302,155 @@ class TestAutomatedFailover:
             _service.close()
 
 
+# ---------------------------------------------------- quorum-fenced fleet
+class TestQuorumFencedFailover:
+    """ISSUE-10 tentpole (b): N watchdogs vote before any promotion,
+    and the winning fencing epoch makes a second promotion impossible
+    fleet-wide — asserted here with the whole fleet in-process."""
+
+    def test_vote_grant_is_single_and_leased(self, tmp_path):
+        # Primary address points at nothing: every probe fails, so the
+        # peer's own view agrees the primary is dead.
+        watchdog = FailoverWatchdog(
+            ("127.0.0.1", 1),
+            [("127.0.0.1", 2)],
+            probe_timeout=0.2,
+            peer_port=0,
+        )
+        peer = watchdog.peer_server
+        try:
+            assert peer._vote({"epoch": 1, "requester": 1})["granted"]
+            # A second candidate is refused while the lease is live...
+            denied = peer._vote({"epoch": 1, "requester": 2})
+            assert not denied["granted"]
+            assert "leased to watchdog 1" in denied["reason"]
+            # ...but the grantee itself may re-ask at a higher epoch.
+            assert peer._vote({"epoch": 2, "requester": 1})["granted"]
+            # Once a promotion is observed, every vote is refused and
+            # the verdict says why, so the asker stands down too.
+            peer.observe_promotion({"promoted_index": 0})
+            verdict = peer._vote({"epoch": 3, "requester": 1})
+            assert not verdict["granted"]
+            assert verdict["promoted"] is True
+            assert peer.votes_granted == 2
+            assert peer.votes_denied == 2
+        finally:
+            watchdog.stop()
+
+    def test_vote_denied_while_primary_alive(self, tmp_path):
+        _service, manager = primary_service(tmp_path)
+        status_server = PrimaryStatusServer(manager)
+        status_server.start()
+        watchdog = FailoverWatchdog(
+            status_server.address,
+            [("127.0.0.1", 2)],
+            probe_timeout=1.0,
+            peer_port=0,
+        )
+        try:
+            verdict = watchdog.peer_server._vote(
+                {"epoch": 1, "requester": 1}
+            )
+            assert not verdict["granted"]
+            assert "alive" in verdict["reason"]
+        finally:
+            watchdog.stop()
+            status_server.stop()
+            _service.close()
+
+    def test_empty_elections_are_bounded_and_counted(self):
+        watchdog = FailoverWatchdog(
+            ("127.0.0.1", 1),
+            [("127.0.0.1", 1), ("127.0.0.1", 2)],
+            probe_timeout=0.2,
+            election_attempts=2,
+        )
+        with pytest.raises(WatchdogError, match="no standby reachable"):
+            watchdog.failover()
+        stats = watchdog.stats()
+        assert stats["failed_elections"] == 2
+        assert stats["elections"] == 2
+        assert stats["auto_promotions"] == 0
+
+    def test_fleet_promotes_exactly_once_and_fences(self, tmp_path):
+        standby0 = StandbyServer(tmp_path / "sb0")
+        standby1 = StandbyServer(tmp_path / "sb1")
+        addresses = [
+            ("127.0.0.1", standby0.start()),
+            ("127.0.0.1", standby1.start()),
+        ]
+        service, manager = primary_service(tmp_path)
+        sender = ReplicationSender(addresses)
+        manager.attach_replication(sender)
+        status_server = PrimaryStatusServer(manager)
+        status_server.start()
+        ports = allocate_peer_ports(3)
+        fleet = [
+            FailoverWatchdog(
+                status_server.address,
+                addresses,
+                interval=0.1,
+                misses=2,
+                probe_timeout=1.0,
+                index=i,
+                peer_port=ports[i],
+                peers=[
+                    ("127.0.0.1", p)
+                    for j, p in enumerate(ports)
+                    if j != i
+                ],
+            )
+            for i in range(3)
+        ]
+        try:
+            gen, chunks = make_traffic(total_chunks=4)
+            feed(service, gen, chunks)
+            watermark = quiesce(service, manager, sender)
+            for watchdog in fleet:
+                watchdog.start()
+            deadline = time.monotonic() + 10.0
+            while not all(w.armed for w in fleet):
+                assert time.monotonic() < deadline, "fleet never armed"
+                time.sleep(0.01)
+
+            # Kill the primary's liveness surface: all three detect the
+            # death near-simultaneously and race for the quorum.
+            status_server.stop()
+            deadline = time.monotonic() + 30.0
+            while any(w.result is None for w in fleet):
+                assert time.monotonic() < deadline, "fleet never settled"
+                time.sleep(0.05)
+
+            promotions = sum(
+                w.stats()["auto_promotions"] for w in fleet
+            )
+            assert promotions == 1
+            winners = [w for w in fleet if w.stats()["auto_promotions"]]
+            losers = [w for w in fleet if not w.stats()["auto_promotions"]]
+            result = winners[0].result
+            assert result["fencing_epoch"] == 1
+            assert result["watermark_lsn"] == watermark
+            for loser in losers:
+                assert loser.result["observed"] is True
+
+            # The fence holds on EVERY standby — the promoted one and
+            # the survivor whose fence the winner's broadcast advanced.
+            for address in addresses:
+                with ReplicaReadClient(address) as client:
+                    assert client.status()["fencing_epoch"] == 1
+                    with pytest.raises(
+                        ReplicaError, match="stale fencing epoch 1"
+                    ):
+                        client.promote(epoch=1)
+        finally:
+            for watchdog in fleet:
+                watchdog.stop()
+            status_server.stop()
+            service.close()
+            standby0.stop()
+            standby1.stop()
+
+
 # ------------------------------------------------------ failover client
 class TestFailoverReadClient:
     def test_repoints_past_dead_standbys(self, tmp_path):
@@ -326,6 +476,25 @@ class TestFailoverReadClient:
             assert client.ping() is False
             with pytest.raises(ReplicaError, match="no standby reachable"):
                 client.status()
+
+    def test_every_standby_dead_raises_promptly(self):
+        """ISSUE-10 satellite: total standby loss is a bounded, prompt
+        error — one dial per address, no retry loop, no hang."""
+        addresses = [
+            ("127.0.0.1", 1),
+            ("127.0.0.1", 2),
+            ("127.0.0.1", 3),
+        ]
+        with FailoverReadClient(addresses, timeout=0.3) as client:
+            start = time.monotonic()
+            with pytest.raises(
+                ReplicaError, match="no standby reachable"
+            ):
+                client.snapshot("any-campaign")
+            elapsed = time.monotonic() - start
+            # Worst case is one timeout per address; anything beyond
+            # that would mean the walk looped back over dead standbys.
+            assert elapsed < len(addresses) * 0.3 + 1.0
 
     def test_application_errors_propagate(self, tmp_path):
         live = StandbyServer(tmp_path / "sb0")
